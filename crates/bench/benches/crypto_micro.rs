@@ -1,0 +1,84 @@
+//! Ablation micro-benches for the hash primitives: SHA-256 throughput and
+//! the three rolling-hash candidates for the chunker (the paper reports
+//! the rolling hash at ~20% of POS-Tree build cost, motivating the P′
+//! cid-pattern for index nodes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fb_bench::random_bytes;
+use forkbase_crypto::{blake2b_256, hash_bytes, CyclicPoly, MovingSum, RabinKarp, RollingHash};
+
+fn sha256_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [1024usize, 64 * 1024, 1024 * 1024] {
+        let data = random_bytes(size, 1);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| hash_bytes(data));
+        });
+    }
+    group.finish();
+}
+
+/// The paper's suggested faster cid hash (§4.2.1: "faster alternatives,
+/// e.g., BLAKE2, can also be used to reduce computational overhead").
+/// Compare against the `sha256` group to size the CryptoHash saving in
+/// Table 4.
+fn blake2b_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blake2b_256");
+    for size in [1024usize, 64 * 1024, 1024 * 1024] {
+        let data = random_bytes(size, 1);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| blake2b_256(data));
+        });
+    }
+    group.finish();
+}
+
+fn rolling_hashes(c: &mut Criterion) {
+    let data = random_bytes(256 * 1024, 2);
+    let mut group = c.benchmark_group("rolling_hash");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+
+    group.bench_function("cyclic_poly", |b| {
+        let mut h = CyclicPoly::new(48);
+        b.iter(|| {
+            h.reset();
+            let mut acc = 0u64;
+            for &byte in &data {
+                acc ^= h.roll(byte);
+            }
+            acc
+        });
+    });
+    group.bench_function("rabin_karp", |b| {
+        let mut h = RabinKarp::new(48);
+        b.iter(|| {
+            h.reset();
+            let mut acc = 0u64;
+            for &byte in &data {
+                acc ^= h.roll(byte);
+            }
+            acc
+        });
+    });
+    group.bench_function("moving_sum", |b| {
+        let mut h = MovingSum::new(48);
+        b.iter(|| {
+            h.reset();
+            let mut acc = 0u64;
+            for &byte in &data {
+                acc ^= h.roll(byte);
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = sha256_throughput, blake2b_throughput, rolling_hashes
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Figure 10 — client-perceived throughput (committed transactions per
+//! second) vs. the number of updates (b = 50, r = w = 0.5).
+//!
+//! Paper shape: *no differences* between the three engines — storage
+//! overheads are small relative to total transaction processing, so the
+//! three curves coincide.
+
+use fb_bench::*;
+use fb_workload::{Op, YcsbConfig, YcsbGen};
+use forkbase_core::ForkBase;
+use ledgerlite::{
+    BucketTree, ForkBaseBackend, ForkBaseKvAdapter, KvBackend, LedgerNode, StateBackend,
+    Transaction,
+};
+
+const BLOCK_SIZE: usize = 50;
+
+fn drive<B: StateBackend>(mut node: LedgerNode<B>, n_updates: usize) -> f64 {
+    let mut gen = YcsbGen::new(YcsbConfig {
+        n_keys: n_updates.max(100),
+        read_ratio: 0.5,
+        value_size: 100,
+        ..Default::default()
+    });
+    let ops = gen.batch(n_updates * 2);
+    let t = std::time::Instant::now();
+    for op in ops {
+        match op {
+            Op::Read(k) => {
+                node.submit(Transaction::get("kv", k));
+            }
+            Op::Write(k, v) => {
+                node.submit(Transaction::put("kv", k, v));
+            }
+        }
+    }
+    node.flush();
+    ops_per_sec(node.txns_committed() as usize, t.elapsed())
+}
+
+fn main() {
+    banner("Figure 10", "client-perceived throughput (txns/s, b=50, r=w=0.5)");
+    let sizes: Vec<usize> = [1usize << 10, 1 << 12, 1 << 14, 1 << 16]
+        .iter()
+        .map(|&n| scaled(n))
+        .collect();
+
+    header(&["#updates", "Rocksdb", "ForkBase-KV", "ForkBase"]);
+    for &n in &sizes {
+        let dir = temp_dir("fig10");
+        let rocks = rockslite::RocksLite::open(&dir).expect("open");
+        let t_rocks = drive(
+            LedgerNode::new(KvBackend::new(rocks, Box::new(BucketTree::new(1024))), BLOCK_SIZE),
+            n,
+        );
+        std::fs::remove_dir_all(dir).ok();
+
+        let fbkv = ForkBaseKvAdapter::new(ForkBase::in_memory());
+        let t_fbkv = drive(
+            LedgerNode::new(KvBackend::new(fbkv, Box::new(BucketTree::new(1024))), BLOCK_SIZE),
+            n,
+        );
+        let t_fb = drive(LedgerNode::new(ForkBaseBackend::in_memory(), BLOCK_SIZE), n);
+
+        row(&[
+            n.to_string(),
+            format!("{t_rocks:.0} tx/s"),
+            format!("{t_fbkv:.0} tx/s"),
+            format!("{t_fb:.0} tx/s"),
+        ]);
+    }
+    println!("\npaper shape check: the three engines should be within a small factor of");
+    println!("each other (the paper sees no differences at all under consensus costs).");
+}

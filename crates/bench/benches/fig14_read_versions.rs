@@ -1,0 +1,67 @@
+//! Figure 14 — throughput of reading consecutive versions of a wiki page.
+//!
+//! Paper shapes: Redis is fastest for reading only the latest version;
+//! as an exploration tracks more versions, ForkBase overtakes it because
+//! the client chunk cache already holds most chunks of neighbouring
+//! versions (structural sharing), while Redis transfers each full copy.
+
+use fb_bench::*;
+use fb_workload::PageEditGen;
+use wikilite::{ForkBaseWiki, RedisWiki, WikiEngine};
+
+const VERSIONS: usize = 8;
+
+fn main() {
+    banner("Figure 14", "throughput of reading consecutive page versions");
+    let pages = scaled(64);
+    let explorations = scaled(400);
+
+    // Build identical version histories on both engines.
+    let fb = ForkBaseWiki::with_client_cache(256 << 20);
+    let redis = RedisWiki::new();
+    let mut gen = PageEditGen::new(31, 1.0, 64);
+    for p in 0..pages {
+        let title = format!("page-{p:04}");
+        let initial = gen.initial_page(15 * 1024);
+        fb.create_page(&title, &initial);
+        redis.create_page(&title, &initial);
+        for _ in 0..VERSIONS - 1 {
+            let edit = gen.next_edit(15 * 1024);
+            fb.edit_page(&title, &edit);
+            redis.edit_page(&title, &edit);
+        }
+    }
+
+    header(&["#versions", "ForkBase", "Redis"]);
+    for n_versions in 1..=6usize {
+        // Each exploration reads versions latest, latest-1, …
+        fb.clear_cache();
+        let t = std::time::Instant::now();
+        for e in 0..explorations {
+            let title = format!("page-{:04}", e % pages);
+            for back in 0..n_versions {
+                fb.read_version(&title, back).expect("version exists");
+            }
+        }
+        let fb_tput = ops_per_sec(explorations * n_versions, t.elapsed());
+
+        let t = std::time::Instant::now();
+        for e in 0..explorations {
+            let title = format!("page-{:04}", e % pages);
+            for back in 0..n_versions {
+                redis.read_version(&title, back).expect("version exists");
+            }
+        }
+        let redis_tput = ops_per_sec(explorations * n_versions, t.elapsed());
+
+        row(&[
+            n_versions.to_string(),
+            format!("{fb_tput:.0}/s"),
+            format!("{redis_tput:.0}/s"),
+        ]);
+    }
+    let (hits, misses) = fb.cache_stats().expect("cache configured");
+    println!("\nclient cache over the run: {hits} hits / {misses} misses");
+    println!("paper shape check: the ForkBase/Redis throughput ratio improves as more");
+    println!("consecutive versions are read per exploration (cached shared chunks).");
+}

@@ -1,0 +1,130 @@
+//! Figure 17 — (a) version-diff latency vs. the fraction of differing
+//! records, and (b) aggregation-query latency vs. dataset size for
+//! row-oriented ForkBase, column-oriented ForkBase and the
+//! OrpheusDB-style baseline.
+//!
+//! Paper shapes: (a) the baseline's diff cost is flat (full-vector
+//! comparison) while ForkBase's grows from near-zero with the difference
+//! size (POS-Tree locates differing chunks); the curves cross.
+//! (b) column-oriented ForkBase is ~10× faster than row-oriented, which
+//! is comparable to the baseline.
+
+use bytes::Bytes;
+use fb_bench::*;
+use fb_collab::{Dataset, Layout};
+use fb_workload::DatasetGen;
+use forkbase_core::ForkBase;
+use orpheuslite::OrpheusLite;
+
+fn main() {
+    banner("Figure 17", "dataset diff and aggregation queries");
+
+    // ---- (a) version diff vs. % difference ------------------------------
+    let rows = scaled(100_000);
+    let mut gen = DatasetGen::new(6);
+    let records = gen.records(rows);
+
+    let db = ForkBase::in_memory();
+    let ds = Dataset::import(&db, "d", Layout::Row, &records).expect("import");
+    let v0 = db.head("d", None).expect("head");
+
+    let orpheus = OrpheusLite::new();
+    let ov0 = orpheus.import(
+        records
+            .iter()
+            .map(|r| (Bytes::from(r.pk.clone()), r.encode())),
+    );
+
+    println!("\n(a) version diff, {rows} records");
+    header(&["% differing", "ForkBase", "OrpheusDB"]);
+    for pct in [0usize, 1, 2, 4, 8] {
+        let mods = gen.modifications(rows, rows * pct / 100);
+
+        // Derive each comparison version directly from v0 so the pair
+        // differs by exactly `pct`% of records.
+        let map0 = db
+            .get_version("d", v0)
+            .expect("v0")
+            .value(db.store())
+            .expect("decode")
+            .as_map()
+            .expect("map");
+        let map1 = map0
+            .update(
+                db.store(),
+                db.cfg(),
+                mods.iter()
+                    .map(|(_, rec)| (Bytes::from(rec.pk.clone()), Some(rec.encode()))),
+            )
+            .expect("update");
+        let v1 = db
+            .put_conflict("d", Some(v0), forkbase_core::Value::Map(map1))
+            .expect("put");
+        let fb_time = time_once(|| {
+            let n = ds.diff_versions(&db, v0, v1).expect("diff");
+            assert_eq!(n, mods.len());
+        });
+
+        let mut copy = orpheus.checkout(ov0).expect("checkout");
+        for (i, rec) in &mods {
+            copy[*i].1 = rec.encode();
+        }
+        let ov1 = orpheus.commit(ov0, &copy).expect("commit");
+        let o_time = time_once(|| {
+            let d = orpheus.diff(ov0, ov1).expect("diff");
+            assert_eq!(d.len(), mods.len());
+        });
+
+        row(&[
+            format!("{pct}%"),
+            format!("{:.2} ms", ms(fb_time)),
+            format!("{:.2} ms", ms(o_time)),
+        ]);
+    }
+
+    // ---- (b) aggregation vs. dataset size --------------------------------
+    println!("\n(b) aggregation (sum of an integer column)");
+    header(&["#records", "FB-COL", "FB-ROW", "OrpheusDB"]);
+    for &n in &[scaled(25_000), scaled(50_000), scaled(100_000)] {
+        let mut gen = DatasetGen::new(60 + n as u64);
+        let records = gen.records(n);
+        let db = ForkBase::in_memory();
+        let row_ds = Dataset::import(&db, "r", Layout::Row, &records).expect("import");
+        let col_ds = Dataset::import(&db, "c", Layout::Column, &records).expect("import");
+        let orpheus = OrpheusLite::new();
+        let ov = orpheus.import(
+            records
+                .iter()
+                .map(|r| (Bytes::from(r.pk.clone()), r.encode())),
+        );
+
+        let reference: i64 = records.iter().map(|r| r.price).sum();
+        let col_time = time_once(|| {
+            assert_eq!(col_ds.aggregate_sum(&db, "price").expect("sum"), reference);
+        });
+        let row_time = time_once(|| {
+            assert_eq!(row_ds.aggregate_sum(&db, "price").expect("sum"), reference);
+        });
+        let parse_price = |rec: &[u8]| -> i64 {
+            std::str::from_utf8(rec)
+                .ok()
+                .and_then(|s| s.split(',').nth(2))
+                .and_then(|p| p.parse().ok())
+                .unwrap_or(0)
+        };
+        let o_time = time_once(|| {
+            assert_eq!(orpheus.aggregate(ov, parse_price).expect("sum"), reference);
+        });
+
+        row(&[
+            n.to_string(),
+            format!("{:.2} ms", ms(col_time)),
+            format!("{:.2} ms", ms(row_time)),
+            format!("{:.2} ms", ms(o_time)),
+        ]);
+    }
+
+    println!("\npaper shape check: (a) OrpheusDB diff flat, ForkBase grows with % difference");
+    println!("from near-zero (crossing at larger diffs); (b) FB-COL ~10x faster than FB-ROW,");
+    println!("FB-ROW comparable to OrpheusDB.");
+}

@@ -1,0 +1,98 @@
+//! Figure 9 — 95th-percentile latency of blockchain read / write / commit
+//! operations vs. the number of updates, for the three storage engines
+//! (b = 50, r = w = 0.5).
+//!
+//! Paper shapes to reproduce: reads and writes are orders of magnitude
+//! cheaper than commits; ForkBase writes are the cheapest (buffer only);
+//! ForkBase reads are somewhat slower than the pure-KV engines (multiple
+//! objects fetched); ForkBase-KV commits are the slowest (hashing inside
+//! *and* outside the storage layer).
+
+use fb_bench::*;
+use fb_workload::{Op, YcsbConfig, YcsbGen};
+use forkbase_core::ForkBase;
+use ledgerlite::{
+    BucketTree, ForkBaseBackend, ForkBaseKvAdapter, KvBackend, LedgerNode, StateBackend,
+    Transaction,
+};
+
+const BLOCK_SIZE: usize = 50;
+
+fn drive<B: StateBackend>(mut node: LedgerNode<B>, n_updates: usize) -> (f64, f64, f64) {
+    let mut gen = YcsbGen::new(YcsbConfig {
+        n_keys: n_updates,
+        read_ratio: 0.5,
+        value_size: 100,
+        ..Default::default()
+    });
+    // r = w = 0.5 over 2×n_updates ops gives ~n_updates writes.
+    for op in gen.batch(n_updates * 2) {
+        match op {
+            Op::Read(k) => {
+                node.submit(Transaction::get("kv", k));
+            }
+            Op::Write(k, v) => {
+                node.submit(Transaction::put("kv", k, v));
+            }
+        }
+    }
+    node.flush();
+    let t = node.timings();
+    (
+        percentile_ms(&t.reads_ns, 95.0),
+        percentile_ms(&t.writes_ns, 95.0),
+        percentile_ms(&t.commits_ns, 95.0),
+    )
+}
+
+fn main() {
+    banner("Figure 9", "p95 latency of blockchain operations (b=50, r=w=0.5)");
+    let sizes: Vec<usize> = [10_000usize, 50_000, 100_000]
+        .iter()
+        .map(|&n| scaled(n))
+        .collect();
+
+    header(&["engine", "#updates", "read p95", "write p95", "commit p95"]);
+    for &n in &sizes {
+        let dir = temp_dir("fig9");
+        let rocks = rockslite::RocksLite::open(&dir).expect("open");
+        let (r, w, c) = drive(
+            LedgerNode::new(KvBackend::new(rocks, Box::new(BucketTree::new(1024))), BLOCK_SIZE),
+            n,
+        );
+        row(&[
+            "Rocksdb".into(),
+            n.to_string(),
+            format!("{r:.4} ms"),
+            format!("{w:.4} ms"),
+            format!("{c:.3} ms"),
+        ]);
+        std::fs::remove_dir_all(dir).ok();
+
+        let fbkv = ForkBaseKvAdapter::new(ForkBase::in_memory());
+        let (r, w, c) = drive(
+            LedgerNode::new(KvBackend::new(fbkv, Box::new(BucketTree::new(1024))), BLOCK_SIZE),
+            n,
+        );
+        row(&[
+            "ForkBase-KV".into(),
+            n.to_string(),
+            format!("{r:.4} ms"),
+            format!("{w:.4} ms"),
+            format!("{c:.3} ms"),
+        ]);
+
+        let (r, w, c) = drive(LedgerNode::new(ForkBaseBackend::in_memory(), BLOCK_SIZE), n);
+        row(&[
+            "ForkBase".into(),
+            n.to_string(),
+            format!("{r:.4} ms"),
+            format!("{w:.4} ms"),
+            format!("{c:.3} ms"),
+        ]);
+        println!();
+    }
+
+    println!("paper shape check: write(ForkBase) < write(others); commit >> read/write;");
+    println!("commit(ForkBase-KV) > commit(Rocksdb) ~ commit(ForkBase).");
+}

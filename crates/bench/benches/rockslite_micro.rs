@@ -1,0 +1,72 @@
+//! Micro-benches for the LSM baseline: put/get latency across levels and
+//! batched writes (the properties the blockchain comparison relies on).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fb_bench::temp_dir;
+use rockslite::{Options, RocksLite};
+
+fn lsm_ops(c: &mut Criterion) {
+    let dir = temp_dir("rl-micro");
+    let db = RocksLite::open_with(
+        &dir,
+        Options {
+            memtable_bytes: 256 * 1024,
+            l0_compaction_trigger: 4,
+        },
+    )
+    .expect("open");
+
+    // Preload so reads traverse multiple levels.
+    for i in 0..50_000u32 {
+        db.put(format!("key-{i:08}").as_bytes(), format!("value-{i}").as_bytes())
+            .expect("put");
+    }
+
+    let mut group = c.benchmark_group("rockslite");
+    group.bench_function("put", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            db.put(format!("bench-{i:08}").as_bytes(), b"benchmark value")
+                .expect("put")
+        });
+    });
+    group.bench_function("get_hot", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 7919) % 50_000;
+            db.get(format!("key-{i:08}").as_bytes()).expect("io")
+        });
+    });
+    group.bench_function("get_missing", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i += 1;
+            db.get(format!("absent-{i:08}").as_bytes()).expect("io")
+        });
+    });
+    group.bench_function("write_batch_50", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let batch: Vec<_> = (0..50)
+                .map(|j| {
+                    (
+                        bytes::Bytes::from(format!("batch-{i}-{j}")),
+                        Some(bytes::Bytes::from_static(b"v")),
+                    )
+                })
+                .collect();
+            db.write_batch(&batch).expect("batch")
+        });
+    });
+    group.finish();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = lsm_ops
+}
+criterion_main!(benches);

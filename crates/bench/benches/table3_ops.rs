@@ -1,0 +1,134 @@
+//! Table 3 — throughput and average latency of individual ForkBase
+//! operations, for 1 KB and 20 KB values.
+//!
+//! Paper setup: one servlet, 32 remote clients; latencies there are
+//! network-dominated. Here the servlet is embedded, so latencies are
+//! compute-side; the comparisons that must hold are relative: primitive
+//! types beat chunkable types on Put (no chunking/rolling hash),
+//! Get-Meta/Track/Fork are nearly size-independent, Get-Full scales with
+//! size.
+
+use fb_bench::*;
+use forkbase_core::{ForkBase, Value};
+
+fn put_string(db: &ForkBase, n: usize, size: usize) -> (f64, f64) {
+    let payload = String::from_utf8(vec![b'x'; size]).expect("ascii");
+    let mut i = 0usize;
+    let (total, avg) = time_n(n, || {
+        db.put(format!("str-{size}-{i}"), None, Value::String(payload.clone()))
+            .expect("put");
+        i += 1;
+    });
+    (ops_per_sec(n, total), us(avg))
+}
+
+fn put_blob(db: &ForkBase, n: usize, size: usize) -> (f64, f64) {
+    let payload = random_bytes(size, 1);
+    let mut i = 0usize;
+    let (total, avg) = time_n(n, || {
+        let blob = db.new_blob(&payload);
+        db.put(format!("blob-{size}-{i}"), None, Value::Blob(blob))
+            .expect("put");
+        i += 1;
+    });
+    (ops_per_sec(n, total), us(avg))
+}
+
+fn put_map(db: &ForkBase, n: usize, size: usize) -> (f64, f64) {
+    // A map whose entries sum to `size` bytes.
+    let n_entries = (size / 100).max(1);
+    let pairs: Vec<(String, String)> = (0..n_entries)
+        .map(|e| (format!("field-{e:04}"), "v".repeat(100 - 11)))
+        .collect();
+    let mut i = 0usize;
+    let (total, avg) = time_n(n, || {
+        let map = db.new_map(pairs.iter().map(|(k, v)| (k.clone(), v.clone())));
+        db.put(format!("map-{size}-{i}"), None, Value::Map(map))
+            .expect("put");
+        i += 1;
+    });
+    (ops_per_sec(n, total), us(avg))
+}
+
+fn main() {
+    banner("Table 3", "performance of ForkBase operations");
+    let n = scaled(2000);
+
+    for &size in &[1024usize, 20 * 1024] {
+        let label = if size == 1024 { "1KB" } else { "20KB" };
+        let db = ForkBase::in_memory();
+        println!("\n--- value size {label} ---");
+        header(&["op", "throughput", "avg latency"]);
+        let fmt = |name: &str, (tput, lat): (f64, f64)| {
+            row(&[
+                name.to_string(),
+                format!("{:.1}K ops/s", tput / 1e3),
+                format!("{lat:.2} us"),
+            ]);
+        };
+
+        fmt("Put-String", put_string(&db, n, size));
+        fmt("Put-Blob", put_blob(&db, n, size));
+        fmt("Put-Map", put_map(&db, n, size));
+
+        // Reads against the populated store.
+        let mut i = 0usize;
+        let (total, avg) = time_n(n, || {
+            db.get_value(format!("str-{size}-{i}"), None).expect("get");
+            i = (i + 1) % n;
+        });
+        fmt("Get-String", (ops_per_sec(n, total), us(avg)));
+
+        let mut i = 0usize;
+        let (total, avg) = time_n(n, || {
+            // Meta only: returns the handler without fetching data chunks.
+            db.get(format!("blob-{size}-{i}"), None).expect("get");
+            i = (i + 1) % n;
+        });
+        fmt("Get-Blob-Meta", (ops_per_sec(n, total), us(avg)));
+
+        let mut i = 0usize;
+        let (total, avg) = time_n(n, || {
+            let blob = db
+                .get_value(format!("blob-{size}-{i}"), None)
+                .expect("get")
+                .as_blob()
+                .expect("blob");
+            blob.read_all(db.store()).expect("read");
+            i = (i + 1) % n;
+        });
+        fmt("Get-Blob-Full", (ops_per_sec(n, total), us(avg)));
+
+        let mut i = 0usize;
+        let (total, avg) = time_n(n, || {
+            let map = db
+                .get_value(format!("map-{size}-{i}"), None)
+                .expect("get")
+                .as_map()
+                .expect("map");
+            let _: Vec<_> = map.iter(db.store()).collect();
+            i = (i + 1) % n;
+        });
+        fmt("Get-Map-Full", (ops_per_sec(n, total), us(avg)));
+
+        // Track over a 16-version history.
+        for v in 0..16 {
+            db.put("tracked", None, Value::String(format!("v{v}-{}", "x".repeat(size))))
+                .expect("put");
+        }
+        let (total, avg) = time_n(n, || {
+            db.track("tracked", None, 0, 4).expect("track");
+        });
+        fmt("Track", (ops_per_sec(n, total), us(avg)));
+
+        let mut i = 0usize;
+        let (total, avg) = time_n(n, || {
+            db.fork("tracked", "master", &format!("branch-{size}-{i}"))
+                .expect("fork");
+            i += 1;
+        });
+        fmt("Fork", (ops_per_sec(n, total), us(avg)));
+    }
+
+    println!("\npaper shape check: Put(primitive) > Put(chunkable); Get-Meta/Track/Fork size-independent.");
+}

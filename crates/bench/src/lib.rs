@@ -1,0 +1,124 @@
+//! Shared plumbing for the benchmark harness.
+//!
+//! Every `fig*`/`table*` bench target regenerates one table or figure of
+//! the paper's evaluation (§6), printing the same rows/series the paper
+//! reports. Absolute numbers differ from the paper (different hardware,
+//! in-process instead of a networked cluster), but the *shape* — who
+//! wins, by roughly what factor, where crossovers fall — is the claim
+//! under reproduction. `EXPERIMENTS.md` records paper-vs-measured for
+//! each one.
+//!
+//! Set `FB_SCALE` (default `1.0`) to shrink/grow workload sizes, e.g.
+//! `FB_SCALE=0.1 cargo bench -p fb-bench --bench fig9_blockchain_ops`.
+
+use std::time::{Duration, Instant};
+
+/// Global workload scale factor from `FB_SCALE`.
+pub fn scale() -> f64 {
+    std::env::var("FB_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// `n` scaled by [`scale`], at least 1.
+pub fn scaled(n: usize) -> usize {
+    ((n as f64 * scale()) as usize).max(1)
+}
+
+/// Time a closure once.
+pub fn time_once<F: FnOnce()>(f: F) -> Duration {
+    let t = Instant::now();
+    f();
+    t.elapsed()
+}
+
+/// Run `f` `n` times; returns (total, per-op average).
+pub fn time_n<F: FnMut()>(n: usize, mut f: F) -> (Duration, Duration) {
+    let t = Instant::now();
+    for _ in 0..n {
+        f();
+    }
+    let total = t.elapsed();
+    (total, total / n.max(1) as u32)
+}
+
+/// Operations per second for `n` ops over `d`.
+pub fn ops_per_sec(n: usize, d: Duration) -> f64 {
+    n as f64 / d.as_secs_f64().max(1e-12)
+}
+
+/// Milliseconds as a float.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Microseconds as a float.
+pub fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+/// The p-th percentile of nanosecond samples, as milliseconds.
+pub fn percentile_ms(samples: &[u64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)] as f64 / 1e6
+}
+
+/// Print a benchmark banner.
+pub fn banner(id: &str, what: &str) {
+    println!("\n=== {id}: {what} ===");
+    println!("    (FB_SCALE={}; shapes, not absolute numbers, are the target)", scale());
+}
+
+/// Print a table header followed by a separator.
+pub fn header(cols: &[&str]) {
+    let row = cols
+        .iter()
+        .map(|c| format!("{c:>16}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    println!("{row}");
+    println!("{}", "-".repeat(row.len()));
+}
+
+/// Print one formatted row.
+pub fn row(cells: &[String]) {
+    println!(
+        "{}",
+        cells
+            .iter()
+            .map(|c| format!("{c:>16}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+}
+
+/// Deterministic pseudo-random bytes (no rand dependency needed at call
+/// sites).
+pub fn random_bytes(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        })
+        .collect()
+}
+
+/// A unique temp directory for disk-backed stores.
+pub fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "fb-bench-{tag}-{}-{}",
+        std::process::id(),
+        Instant::now().elapsed().as_nanos()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}

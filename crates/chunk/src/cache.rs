@@ -1,0 +1,215 @@
+//! LRU chunk cache, layered in front of another store.
+//!
+//! Servlets "may cache the frequently accessed remote chunks" (§4.6) and
+//! wiki clients cache data chunks so that reading consecutive versions of a
+//! page mostly hits the cache (§6.3.1, Fig. 14). Because chunks are
+//! immutable and content-addressed, caching needs no invalidation.
+
+use crate::chunk::Chunk;
+use crate::store::{ChunkStore, PutOutcome, StoreStats};
+use forkbase_crypto::fx::FxHashMap;
+use forkbase_crypto::Digest;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct LruInner {
+    map: FxHashMap<Digest, (Chunk, u64)>, // cid -> (chunk, stamp)
+    order: BTreeMap<u64, Digest>,         // stamp -> cid (oldest first)
+    next_stamp: u64,
+    bytes: usize,
+}
+
+/// A byte-capacity-bounded LRU cache over a backing [`ChunkStore`].
+pub struct CachingStore {
+    backing: Arc<dyn ChunkStore>,
+    inner: Mutex<LruInner>,
+    capacity_bytes: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CachingStore {
+    /// Wrap `backing` with a cache bounded to `capacity_bytes` of payload.
+    pub fn new(backing: Arc<dyn ChunkStore>, capacity_bytes: usize) -> Self {
+        CachingStore {
+            backing,
+            inner: Mutex::new(LruInner {
+                map: FxHashMap::default(),
+                order: BTreeMap::new(),
+                next_stamp: 0,
+                bytes: 0,
+            }),
+            capacity_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// (cache hits, cache misses) since creation.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// Current cached payload bytes.
+    pub fn cached_bytes(&self) -> usize {
+        self.inner.lock().bytes
+    }
+
+    /// Drop everything from the cache (not the backing store).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.order.clear();
+        inner.bytes = 0;
+    }
+
+    fn touch(inner: &mut LruInner, cid: Digest) {
+        if let Some((_, stamp)) = inner.map.get(&cid).map(|(c, s)| (c.clone(), *s)) {
+            inner.order.remove(&stamp);
+            let new_stamp = inner.next_stamp;
+            inner.next_stamp += 1;
+            inner.order.insert(new_stamp, cid);
+            if let Some(entry) = inner.map.get_mut(&cid) {
+                entry.1 = new_stamp;
+            }
+        }
+    }
+
+    fn insert(&self, inner: &mut LruInner, chunk: Chunk) {
+        if chunk.len() > self.capacity_bytes {
+            return; // never cache something larger than the whole cache
+        }
+        if inner.map.contains_key(&chunk.cid()) {
+            Self::touch(inner, chunk.cid());
+            return;
+        }
+        while inner.bytes + chunk.len() > self.capacity_bytes {
+            // Evict oldest.
+            let Some((&stamp, &victim)) = inner.order.iter().next() else {
+                break;
+            };
+            inner.order.remove(&stamp);
+            if let Some((evicted, _)) = inner.map.remove(&victim) {
+                inner.bytes -= evicted.len();
+            }
+        }
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        inner.bytes += chunk.len();
+        inner.order.insert(stamp, chunk.cid());
+        inner.map.insert(chunk.cid(), (chunk, stamp));
+    }
+}
+
+impl ChunkStore for CachingStore {
+    fn get(&self, cid: &Digest) -> Option<Chunk> {
+        {
+            let mut inner = self.inner.lock();
+            if let Some((chunk, _)) = inner.map.get(cid) {
+                let chunk = chunk.clone();
+                Self::touch(&mut inner, *cid);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(chunk);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let fetched = self.backing.get(cid)?;
+        let mut inner = self.inner.lock();
+        self.insert(&mut inner, fetched.clone());
+        Some(fetched)
+    }
+
+    fn put(&self, chunk: Chunk) -> PutOutcome {
+        {
+            let mut inner = self.inner.lock();
+            self.insert(&mut inner, chunk.clone());
+        }
+        self.backing.put(chunk)
+    }
+
+    fn contains(&self, cid: &Digest) -> bool {
+        if self.inner.lock().map.contains_key(cid) {
+            return true;
+        }
+        self.backing.contains(cid)
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.backing.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::ChunkType;
+    use crate::memstore::MemStore;
+
+    fn setup(capacity: usize) -> (Arc<MemStore>, CachingStore) {
+        let backing = Arc::new(MemStore::new());
+        let cache = CachingStore::new(backing.clone() as Arc<dyn ChunkStore>, capacity);
+        (backing, cache)
+    }
+
+    #[test]
+    fn read_through_populates_cache() {
+        let (backing, cache) = setup(1024);
+        let chunk = Chunk::new(ChunkType::Blob, &b"cached"[..]);
+        backing.put(chunk.clone());
+
+        assert_eq!(cache.get(&chunk.cid()), Some(chunk.clone()));
+        assert_eq!(cache.hit_miss(), (0, 1));
+        assert_eq!(cache.get(&chunk.cid()), Some(chunk));
+        assert_eq!(cache.hit_miss(), (1, 1));
+    }
+
+    #[test]
+    fn eviction_respects_capacity() {
+        let (_backing, cache) = setup(100);
+        for i in 0..20u32 {
+            let chunk = Chunk::new(ChunkType::Blob, vec![i as u8; 30]);
+            cache.put(chunk);
+        }
+        assert!(cache.cached_bytes() <= 100);
+    }
+
+    #[test]
+    fn lru_keeps_recently_used() {
+        let (_backing, cache) = setup(90); // fits 3 × 30B
+        let chunks: Vec<Chunk> = (0..4u8)
+            .map(|i| Chunk::new(ChunkType::Blob, vec![i; 30]))
+            .collect();
+        cache.put(chunks[0].clone());
+        cache.put(chunks[1].clone());
+        cache.put(chunks[2].clone());
+        // Touch chunk 0 so chunk 1 becomes the LRU victim.
+        cache.get(&chunks[0].cid());
+        cache.put(chunks[3].clone());
+
+        let inner = cache.inner.lock();
+        assert!(inner.map.contains_key(&chunks[0].cid()), "recently used survives");
+        assert!(!inner.map.contains_key(&chunks[1].cid()), "LRU victim evicted");
+    }
+
+    #[test]
+    fn oversized_chunks_bypass_cache() {
+        let (_backing, cache) = setup(10);
+        let big = Chunk::new(ChunkType::Blob, vec![0u8; 100]);
+        cache.put(big.clone());
+        assert_eq!(cache.cached_bytes(), 0);
+        // Still readable through the backing store.
+        assert_eq!(cache.get(&big.cid()), Some(big));
+    }
+
+    #[test]
+    fn clear_empties_cache_only() {
+        let (backing, cache) = setup(1000);
+        let chunk = Chunk::new(ChunkType::Blob, &b"keep me"[..]);
+        cache.put(chunk.clone());
+        cache.clear();
+        assert_eq!(cache.cached_bytes(), 0);
+        assert!(backing.contains(&chunk.cid()), "backing store unaffected");
+    }
+}

@@ -1,0 +1,132 @@
+//! Byte-level encoding helpers shared by chunk payload formats:
+//! LEB128 varints and length-prefixed byte strings.
+
+/// Append a u64 as LEB128.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 u64 from `buf` starting at `*pos`, advancing it.
+/// Returns `None` on truncation or overlong encoding.
+pub fn get_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return None; // would overflow u64
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Append a length-prefixed byte string.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_varint(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// Read a length-prefixed byte string as a slice view.
+pub fn get_bytes<'a>(buf: &'a [u8], pos: &mut usize) -> Option<&'a [u8]> {
+    let len = get_varint(buf, pos)? as usize;
+    let end = pos.checked_add(len)?;
+    if end > buf.len() {
+        return None;
+    }
+    let slice = &buf[*pos..end];
+    *pos = end;
+    Some(slice)
+}
+
+/// Encoded size of a varint.
+pub fn varint_len(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        (64 - v.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            129,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "length of {v}");
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1u64 << 40);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(get_varint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn varint_rejects_overflow() {
+        // 11 continuation bytes would exceed 64 bits.
+        let buf = [0xFFu8; 11];
+        let mut pos = 0;
+        assert_eq!(get_varint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, b"hello");
+        put_bytes(&mut buf, b"");
+        put_bytes(&mut buf, &[0u8; 300]);
+        let mut pos = 0;
+        assert_eq!(get_bytes(&buf, &mut pos), Some(&b"hello"[..]));
+        assert_eq!(get_bytes(&buf, &mut pos), Some(&b""[..]));
+        assert_eq!(get_bytes(&buf, &mut pos), Some(&[0u8; 300][..]));
+        assert_eq!(pos, buf.len());
+        assert_eq!(get_bytes(&buf, &mut pos), None, "exhausted");
+    }
+
+    #[test]
+    fn bytes_rejects_bad_length() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1000);
+        buf.extend_from_slice(b"short");
+        let mut pos = 0;
+        assert_eq!(get_bytes(&buf, &mut pos), None);
+    }
+}

@@ -1,0 +1,40 @@
+//! The chunk layer of ForkBase (§4.2, §4.4).
+//!
+//! A chunk is the basic unit of storage: a typed, immutable byte payload
+//! identified by `cid = SHA-256(type ‖ payload)`. Because cids are
+//! content-derived, the store deduplicates identical chunks automatically
+//! and can verify integrity of everything it returns (tamper evidence at
+//! the chunk level).
+//!
+//! Provided backends:
+//! * [`MemStore`] — lock-sharded in-memory store, the default for
+//!   embedded use and benchmarks.
+//! * [`LogStore`] — log-structured persistent store (chunks are immutable,
+//!   so an append-only segment file with an in-memory index is the natural
+//!   layout, §4.4); recovers from torn tails on reopen.
+//! * [`ReplicatedStore`] — k-way replication wrapper (§4.4: "there are only
+//!   k copies of any chunk").
+//! * [`PartitionedStore`] — routes chunks to one of several instances by
+//!   cid hash; the second layer of the two-layer partitioning scheme
+//!   (§4.6).
+//! * [`CachingStore`] — LRU chunk cache in front of another store,
+//!   modelling servlet/client caches (§4.6, §5.2).
+
+pub mod cache;
+pub mod chunk;
+pub mod codec;
+pub mod logstore;
+pub mod memstore;
+pub mod partitioned;
+pub mod replicated;
+pub mod store;
+
+pub use cache::CachingStore;
+pub use chunk::{Chunk, ChunkType};
+pub use logstore::LogStore;
+pub use memstore::MemStore;
+pub use partitioned::PartitionedStore;
+pub use replicated::ReplicatedStore;
+pub use store::{ChunkStore, PutOutcome, StoreStats};
+
+pub use forkbase_crypto::Digest;

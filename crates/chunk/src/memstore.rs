@@ -1,0 +1,154 @@
+//! In-memory chunk store, sharded to reduce lock contention.
+
+use crate::chunk::Chunk;
+use crate::store::{ChunkStore, PutOutcome, StatCounters, StoreStats};
+use forkbase_crypto::fx::FxHashMap;
+use forkbase_crypto::Digest;
+use parking_lot::RwLock;
+
+const SHARDS: usize = 16;
+
+/// Thread-safe in-memory chunk store with content-based deduplication.
+pub struct MemStore {
+    shards: Vec<RwLock<FxHashMap<Digest, Chunk>>>,
+    stats: StatCounters,
+}
+
+impl Default for MemStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        MemStore {
+            shards: (0..SHARDS).map(|_| RwLock::new(FxHashMap::default())).collect(),
+            stats: StatCounters::default(),
+        }
+    }
+
+    fn shard(&self, cid: &Digest) -> &RwLock<FxHashMap<Digest, Chunk>> {
+        // cids are uniform, so any byte works as a shard selector.
+        &self.shards[(cid.as_bytes()[0] as usize) % SHARDS]
+    }
+
+    /// Iterate over all cids (snapshot). Used by rebalancing reports and
+    /// tests; not part of the hot path.
+    pub fn cids(&self) -> Vec<Digest> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.read().keys().copied());
+        }
+        out
+    }
+}
+
+impl ChunkStore for MemStore {
+    fn get(&self, cid: &Digest) -> Option<Chunk> {
+        let found = self.shard(cid).read().get(cid).cloned();
+        self.stats.record_get(found.is_some());
+        found
+    }
+
+    fn put(&self, chunk: Chunk) -> PutOutcome {
+        let bytes = chunk.len() as u64;
+        let mut shard = self.shard(&chunk.cid()).write();
+        if shard.contains_key(&chunk.cid()) {
+            drop(shard);
+            self.stats.record_dedup(bytes);
+            PutOutcome::Deduplicated
+        } else {
+            shard.insert(chunk.cid(), chunk);
+            drop(shard);
+            self.stats.record_store(bytes);
+            PutOutcome::Stored
+        }
+    }
+
+    fn contains(&self, cid: &Digest) -> bool {
+        self.shard(cid).read().contains_key(cid)
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::ChunkType;
+
+    #[test]
+    fn put_get_round_trip() {
+        let store = MemStore::new();
+        let chunk = Chunk::new(ChunkType::Blob, &b"payload"[..]);
+        assert_eq!(store.put(chunk.clone()), PutOutcome::Stored);
+        assert_eq!(store.get(&chunk.cid()), Some(chunk));
+    }
+
+    #[test]
+    fn get_missing_returns_none() {
+        let store = MemStore::new();
+        assert_eq!(store.get(&Digest::ZERO), None);
+        assert!(!store.contains(&Digest::ZERO));
+    }
+
+    #[test]
+    fn duplicate_put_deduplicates() {
+        let store = MemStore::new();
+        let chunk = Chunk::new(ChunkType::Blob, &b"same"[..]);
+        assert_eq!(store.put(chunk.clone()), PutOutcome::Stored);
+        assert_eq!(store.put(chunk.clone()), PutOutcome::Deduplicated);
+        let stats = store.stats();
+        assert_eq!(stats.stored_chunks, 1);
+        assert_eq!(stats.puts, 2);
+        assert_eq!(stats.dedup_hits, 1);
+        assert_eq!(stats.dedup_bytes, 4);
+        assert_eq!(stats.stored_bytes, 4);
+    }
+
+    #[test]
+    fn stats_track_gets() {
+        let store = MemStore::new();
+        let chunk = Chunk::new(ChunkType::Blob, &b"x"[..]);
+        store.put(chunk.clone());
+        store.get(&chunk.cid());
+        store.get(&Digest::ZERO);
+        let stats = store.stats();
+        assert_eq!(stats.gets, 2);
+        assert_eq!(stats.get_hits, 1);
+    }
+
+    #[test]
+    fn concurrent_puts_are_safe() {
+        use std::sync::Arc;
+        let store = Arc::new(MemStore::new());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..500u32 {
+                        // Half the keys collide across threads.
+                        let v = if i % 2 == 0 { i } else { i + t * 1000 };
+                        let chunk =
+                            Chunk::new(ChunkType::Blob, v.to_le_bytes().to_vec());
+                        store.put(chunk);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("no panics");
+        }
+        let stats = store.stats();
+        assert_eq!(stats.puts, 8 * 500);
+        assert_eq!(
+            stats.stored_chunks as usize,
+            store.cids().len(),
+            "counter matches contents"
+        );
+    }
+}

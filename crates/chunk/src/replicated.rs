@@ -1,0 +1,144 @@
+//! k-way chunk replication (§4.4).
+//!
+//! "To improve data durability and fault tolerance, chunks can be
+//! replicated over multiple nodes … there are only k copies of any chunk in
+//! the storage."
+
+use crate::chunk::Chunk;
+use crate::store::{ChunkStore, PutOutcome, StoreStats};
+use forkbase_crypto::Digest;
+use std::sync::Arc;
+
+/// Writes every chunk to `k` of the backing stores (chosen by cid so the
+/// same chunk always lands on the same replicas); reads try those replicas
+/// in order.
+pub struct ReplicatedStore {
+    nodes: Vec<Arc<dyn ChunkStore>>,
+    k: usize,
+}
+
+impl ReplicatedStore {
+    /// Replicate over `nodes`, keeping `k` copies of each chunk.
+    pub fn new(nodes: Vec<Arc<dyn ChunkStore>>, k: usize) -> Self {
+        assert!(!nodes.is_empty(), "need at least one node");
+        assert!(k >= 1 && k <= nodes.len(), "1 <= k <= nodes");
+        ReplicatedStore { nodes, k }
+    }
+
+    /// The replica set for a cid: `k` consecutive nodes starting at the
+    /// cid's home node.
+    pub fn replicas_of(&self, cid: &Digest) -> Vec<usize> {
+        let n = self.nodes.len();
+        let home = (cid.prefix_u64() % n as u64) as usize;
+        (0..self.k).map(|i| (home + i) % n).collect()
+    }
+
+    /// Simulate a node failure by checking reads still succeed when `dead`
+    /// is skipped. Returns whether the chunk is reachable.
+    pub fn get_skipping(&self, cid: &Digest, dead: usize) -> Option<Chunk> {
+        for idx in self.replicas_of(cid) {
+            if idx == dead {
+                continue;
+            }
+            if let Some(c) = self.nodes[idx].get(cid) {
+                return Some(c);
+            }
+        }
+        None
+    }
+}
+
+impl ChunkStore for ReplicatedStore {
+    fn get(&self, cid: &Digest) -> Option<Chunk> {
+        for idx in self.replicas_of(cid) {
+            if let Some(c) = self.nodes[idx].get(cid) {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    fn put(&self, chunk: Chunk) -> PutOutcome {
+        let mut outcome = PutOutcome::Deduplicated;
+        for idx in self.replicas_of(&chunk.cid()) {
+            if self.nodes[idx].put(chunk.clone()) == PutOutcome::Stored {
+                outcome = PutOutcome::Stored;
+            }
+        }
+        outcome
+    }
+
+    fn contains(&self, cid: &Digest) -> bool {
+        self.replicas_of(cid).iter().any(|&i| self.nodes[i].contains(cid))
+    }
+
+    fn stats(&self) -> StoreStats {
+        let mut total = StoreStats::default();
+        for n in &self.nodes {
+            let s = n.stats();
+            total.stored_chunks += s.stored_chunks;
+            total.stored_bytes += s.stored_bytes;
+            total.puts += s.puts;
+            total.dedup_hits += s.dedup_hits;
+            total.dedup_bytes += s.dedup_bytes;
+            total.gets += s.gets;
+            total.get_hits += s.get_hits;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::ChunkType;
+    use crate::memstore::MemStore;
+
+    fn make(nodes: usize, k: usize) -> ReplicatedStore {
+        ReplicatedStore::new(
+            (0..nodes)
+                .map(|_| Arc::new(MemStore::new()) as Arc<dyn ChunkStore>)
+                .collect(),
+            k,
+        )
+    }
+
+    #[test]
+    fn exactly_k_copies() {
+        let store = make(5, 3);
+        for i in 0..200u32 {
+            store.put(Chunk::new(ChunkType::Blob, i.to_le_bytes().to_vec()));
+        }
+        assert_eq!(store.stats().stored_chunks, 200 * 3);
+    }
+
+    #[test]
+    fn survives_single_node_failure() {
+        let store = make(4, 2);
+        let chunk = Chunk::new(ChunkType::Blob, &b"replicated"[..]);
+        store.put(chunk.clone());
+        let replicas = store.replicas_of(&chunk.cid());
+        // Kill either replica; the chunk must still be readable.
+        for &dead in &replicas {
+            assert_eq!(store.get_skipping(&chunk.cid(), dead), Some(chunk.clone()));
+        }
+    }
+
+    #[test]
+    fn k1_is_single_copy() {
+        let store = make(3, 1);
+        let chunk = Chunk::new(ChunkType::Blob, &b"single"[..]);
+        store.put(chunk.clone());
+        assert_eq!(store.stats().stored_chunks, 1);
+        assert_eq!(store.get(&chunk.cid()), Some(chunk));
+    }
+
+    #[test]
+    fn dedup_preserved_under_replication() {
+        let store = make(4, 2);
+        let chunk = Chunk::new(ChunkType::Blob, &b"dup"[..]);
+        assert_eq!(store.put(chunk.clone()), PutOutcome::Stored);
+        assert_eq!(store.put(chunk), PutOutcome::Deduplicated);
+        assert_eq!(store.stats().stored_chunks, 2, "k copies, not 2k");
+    }
+}

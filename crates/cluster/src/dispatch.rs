@@ -1,0 +1,260 @@
+//! The request dispatcher and the cluster facade.
+
+use crate::master::{Master, Partitioning};
+use crate::servlet::Servlet;
+use bytes::Bytes;
+use forkbase_chunk::MemStore;
+use forkbase_core::{FObject, Result, Value};
+use forkbase_crypto::{ChunkerConfig, Digest};
+use forkbase_pos::builder;
+use forkbase_pos::TreeType;
+use std::sync::Arc;
+
+/// An in-process ForkBase cluster: master + dispatcher + N servlets.
+pub struct Cluster {
+    master: Master,
+    servlets: Vec<Arc<Servlet>>,
+}
+
+impl Cluster {
+    /// Spin up `n` servlets under the given partitioning policy.
+    pub fn new(n: usize, partitioning: Partitioning) -> Cluster {
+        Self::with_cfg(n, partitioning, ChunkerConfig::default())
+    }
+
+    /// Spin up with an explicit chunking configuration.
+    pub fn with_cfg(n: usize, partitioning: Partitioning, cfg: ChunkerConfig) -> Cluster {
+        let master = Master::new(n, partitioning);
+        let pool: Vec<Arc<MemStore>> = (0..n).map(|_| Arc::new(MemStore::new())).collect();
+        let servlets = (0..n)
+            .map(|id| Arc::new(Servlet::new(id, partitioning, &pool, cfg.clone())))
+            .collect();
+        Cluster { master, servlets }
+    }
+
+    /// The master's topology view.
+    pub fn master(&self) -> &Master {
+        &self.master
+    }
+
+    /// The servlet a key routes to (layer 1).
+    pub fn servlet_for(&self, key: &[u8]) -> &Arc<Servlet> {
+        &self.servlets[self.master.servlet_of(key)]
+    }
+
+    /// All servlets (for benchmark drivers that spawn one client per
+    /// servlet).
+    pub fn servlets(&self) -> &[Arc<Servlet>] {
+        &self.servlets
+    }
+
+    /// Dispatch a Put to the key's home servlet.
+    pub fn put(&self, key: impl Into<Bytes>, value: Value) -> Result<Digest> {
+        let key = key.into();
+        self.servlet_for(&key).db().put(key, None, value)
+    }
+
+    /// Dispatch a Get to the key's home servlet.
+    pub fn get(&self, key: impl Into<Bytes>) -> Result<FObject> {
+        let key = key.into();
+        self.servlet_for(&key).db().get(key, None)
+    }
+
+    /// Store a blob value for `key` (chunks placed per the partitioning
+    /// policy).
+    pub fn put_blob(&self, key: impl Into<Bytes>, data: &[u8]) -> Result<Digest> {
+        let key = key.into();
+        let servlet = self.servlet_for(&key);
+        let blob = servlet.db().new_blob(data);
+        servlet.db().put(key, None, Value::Blob(blob))
+    }
+
+    /// Read back a blob value.
+    pub fn get_blob(&self, key: impl Into<Bytes>) -> Result<Vec<u8>> {
+        let key = key.into();
+        let servlet = self.servlet_for(&key);
+        let obj = servlet.db().get(key, None)?;
+        let blob = obj.value(servlet.db().store())?.as_blob()?;
+        blob.read_all(servlet.db().store())
+            .ok_or(forkbase_core::FbError::KeyNotFound)
+    }
+
+    /// §4.6.1 — re-balanced POS-Tree construction: the home servlet is
+    /// overloaded, so a helper servlet performs the (compute-intensive)
+    /// tree construction; the home servlet then commits the FObject
+    /// referencing the built tree and updates its branch table.
+    pub fn put_blob_offloaded(
+        &self,
+        key: impl Into<Bytes>,
+        data: &[u8],
+        helper: usize,
+    ) -> Result<Digest> {
+        let key = key.into();
+        let home = self.servlet_for(&key);
+        let helper = &self.servlets[helper % self.servlets.len()];
+        // Tree construction happens with the helper's compute and store
+        // view; chunks land in the shared pool either way.
+        let root = builder::build_blob(helper.db().store(), helper.db().cfg(), data);
+        // The home servlet serializes the branch-table update.
+        let blob = forkbase_pos::Blob::from_root(root);
+        home.db().put(key, None, Value::Blob(blob))
+    }
+
+    /// Per-node local storage in bytes — the Fig. 15 distribution.
+    pub fn per_node_bytes(&self) -> Vec<u64> {
+        self.servlets.iter().map(|s| s.local_bytes()).collect()
+    }
+
+    /// Imbalance ratio: max node bytes / mean node bytes (1.0 = perfectly
+    /// even).
+    pub fn imbalance(&self) -> f64 {
+        let bytes = self.per_node_bytes();
+        let max = *bytes.iter().max().unwrap_or(&0) as f64;
+        let mean = bytes.iter().sum::<u64>() as f64 / bytes.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Build and commit a Map object at its home servlet (helper for
+    /// tests and benches).
+    pub fn put_map<I, K, V>(&self, key: impl Into<Bytes>, pairs: I) -> Result<Digest>
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: Into<Bytes>,
+        V: Into<Bytes>,
+    {
+        let key = key.into();
+        let servlet = self.servlet_for(&key);
+        let map = servlet.db().new_map(pairs);
+        servlet.db().put(key, None, Value::Map(map))
+    }
+
+    /// Total distinct chunks across the cluster (dedup works cluster-wide
+    /// under 2LP because identical chunks route to the same node).
+    pub fn total_chunks(&self) -> u64 {
+        self.servlets.iter().map(|s| s.local_chunks()).sum()
+    }
+
+    /// The empty-tree sentinel used by tests.
+    pub fn empty_blob_root(&self) -> Digest {
+        builder::build_items(
+            self.servlets[0].db().store(),
+            self.servlets[0].db().cfg(),
+            TreeType::Blob,
+            std::iter::empty(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(i: usize, len: usize) -> Vec<u8> {
+        let mut state = i as u64 + 1;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn put_get_across_servlets() {
+        let cluster = Cluster::new(4, Partitioning::TwoLayer);
+        for i in 0..50 {
+            let key = format!("key-{i}");
+            let data = payload(i, 10_000);
+            cluster.put_blob(key.clone(), &data).expect("put");
+            assert_eq!(cluster.get_blob(key).expect("get"), data, "key {i}");
+        }
+    }
+
+    #[test]
+    fn two_layer_balances_skewed_workload() {
+        // The Fig. 15 effect: a few hot keys, many versions. Under 1LP
+        // the hot keys' servlets hold all their data; under 2LP the
+        // chunks scatter.
+        let run = |p: Partitioning| {
+            let cluster = Cluster::new(8, p);
+            for version in 0..30 {
+                for hot in 0..3 {
+                    let key = format!("hot-page-{hot}");
+                    let data = payload(hot * 1000 + version, 60_000);
+                    cluster.put_blob(key, &data).expect("put");
+                }
+            }
+            cluster.imbalance()
+        };
+        let one_layer = run(Partitioning::OneLayer);
+        let two_layer = run(Partitioning::TwoLayer);
+        assert!(
+            one_layer > 2.0,
+            "1LP should be badly imbalanced, got {one_layer:.2}"
+        );
+        assert!(
+            two_layer < 1.5,
+            "2LP should be near-even, got {two_layer:.2}"
+        );
+    }
+
+    #[test]
+    fn offloaded_construction_equivalent() {
+        let cluster = Cluster::new(4, Partitioning::TwoLayer);
+        let data = payload(7, 100_000);
+        let key = "offloaded";
+        let home = cluster.master().servlet_of(key.as_bytes());
+        let helper = (home + 1) % 4;
+        cluster
+            .put_blob_offloaded(key, &data, helper)
+            .expect("offloaded put");
+        assert_eq!(cluster.get_blob(key).expect("get"), data);
+    }
+
+    #[test]
+    fn single_servlet_cluster_degenerates_to_embedded() {
+        let cluster = Cluster::new(1, Partitioning::TwoLayer);
+        cluster.put_blob("k", b"embedded mode").expect("put");
+        assert_eq!(cluster.get_blob("k").expect("get"), b"embedded mode");
+    }
+
+    #[test]
+    fn parallel_clients() {
+        let cluster = Arc::new(Cluster::new(4, Partitioning::TwoLayer));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let cluster = Arc::clone(&cluster);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let key = format!("t{t}-k{i}");
+                        cluster.put_blob(key.clone(), &payload(t * 100 + i, 2000)).expect("put");
+                        assert!(cluster.get_blob(key).is_ok());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("no panics");
+        }
+    }
+
+    #[test]
+    fn cluster_wide_dedup_under_2lp() {
+        let cluster = Cluster::new(4, Partitioning::TwoLayer);
+        let data = payload(1, 50_000);
+        // The same content written under keys homed at different
+        // servlets deduplicates because chunks route by cid.
+        cluster.put_blob("key-a", &data).expect("put");
+        let after_first = cluster.total_chunks();
+        cluster.put_blob("key-b", &data).expect("put");
+        let added = cluster.total_chunks() - after_first;
+        // Only meta chunks (and possibly nothing else) are new.
+        assert!(added <= 2, "cross-key dedup: {added} new chunks");
+    }
+}

@@ -1,0 +1,33 @@
+//! **forkbase-cluster** — the distributed deployment of §4.1/§4.6,
+//! simulated in-process.
+//!
+//! A cluster is a master (topology bookkeeping), a request dispatcher,
+//! and N servlets, each co-located with a local chunk storage. Requests
+//! are partitioned twice:
+//!
+//! 1. **dispatcher → servlet** by the request key's hash, and
+//! 2. **servlet → chunk storage** by each chunk's cid — except meta
+//!    chunks, which stay on the servlet's local storage ("meta chunks are
+//!    always stored locally, as they are not accessed by other
+//!    servlets").
+//!
+//! The second layer is what keeps storage balanced under skew (Fig. 15):
+//! a hot key's chunks scatter across all nodes because cids are uniform,
+//! whereas one-layer partitioning pins all of a key's data to its home
+//! servlet. Both policies are provided so the experiment can compare
+//! them.
+//!
+//! The paper's network is not simulated — servlets are in-process — so
+//! cross-servlet routing costs nothing here; scalability (Fig. 8) derives
+//! from the absence of cross-servlet coordination, which this model
+//! preserves faithfully.
+
+pub mod dispatch;
+pub mod master;
+pub mod servlet;
+pub mod store2l;
+
+pub use dispatch::Cluster;
+pub use master::{Master, Partitioning};
+pub use servlet::Servlet;
+pub use store2l::TwoLayerStore;

@@ -1,0 +1,73 @@
+//! The master: cluster runtime information (§4.1 — "the master maintains
+//! the cluster runtime information").
+
+/// Chunk placement policy (the Fig. 15 ablation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Partitioning {
+    /// One-layer: all of a key's chunks stay on its home servlet.
+    OneLayer,
+    /// Two-layer: data chunks are scattered by cid; meta chunks stay
+    /// local.
+    TwoLayer,
+}
+
+/// Cluster topology and policy.
+#[derive(Clone, Debug)]
+pub struct Master {
+    n_servlets: usize,
+    partitioning: Partitioning,
+}
+
+impl Master {
+    /// A master for `n_servlets` nodes under `partitioning`.
+    pub fn new(n_servlets: usize, partitioning: Partitioning) -> Master {
+        assert!(n_servlets >= 1, "need at least one servlet");
+        Master {
+            n_servlets,
+            partitioning,
+        }
+    }
+
+    /// Number of servlets.
+    pub fn n_servlets(&self) -> usize {
+        self.n_servlets
+    }
+
+    /// Active partitioning policy.
+    pub fn partitioning(&self) -> Partitioning {
+        self.partitioning
+    }
+
+    /// The home servlet of a request key (layer 1: key-hash routing).
+    pub fn servlet_of(&self, key: &[u8]) -> usize {
+        (forkbase_crypto::hash_bytes(key).prefix_u64() % self.n_servlets as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        let m = Master::new(7, Partitioning::TwoLayer);
+        for i in 0..100 {
+            let key = format!("key-{i}");
+            let s = m.servlet_of(key.as_bytes());
+            assert!(s < 7);
+            assert_eq!(s, m.servlet_of(key.as_bytes()), "stable routing");
+        }
+    }
+
+    #[test]
+    fn keys_spread_across_servlets() {
+        let m = Master::new(8, Partitioning::TwoLayer);
+        let mut counts = [0usize; 8];
+        for i in 0..8000 {
+            counts[m.servlet_of(format!("key-{i}").as_bytes())] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "balanced: {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! A servlet: one ForkBase execution unit with its co-located chunk
+//! storage (§4.1).
+
+use crate::master::Partitioning;
+use crate::store2l::TwoLayerStore;
+use forkbase_chunk::{ChunkStore, MemStore};
+use forkbase_core::ForkBase;
+use forkbase_crypto::ChunkerConfig;
+use std::sync::Arc;
+
+/// One node of the cluster: servlet + local chunk storage.
+pub struct Servlet {
+    id: usize,
+    db: ForkBase,
+    local: Arc<MemStore>,
+}
+
+impl Servlet {
+    /// Build servlet `id`. Under two-layer partitioning the servlet
+    /// writes data chunks into the whole `pool`; under one-layer it uses
+    /// only its local storage.
+    pub fn new(
+        id: usize,
+        partitioning: Partitioning,
+        pool: &[Arc<MemStore>],
+        cfg: ChunkerConfig,
+    ) -> Servlet {
+        let local = pool[id].clone();
+        let store: Arc<dyn ChunkStore> = match partitioning {
+            Partitioning::OneLayer => local.clone() as Arc<dyn ChunkStore>,
+            Partitioning::TwoLayer => {
+                Arc::new(TwoLayerStore::new(local.clone(), pool.to_vec()))
+            }
+        };
+        Servlet {
+            id,
+            db: ForkBase::with_store(store, cfg),
+            local,
+        }
+    }
+
+    /// Servlet id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The engine instance this servlet executes requests on.
+    pub fn db(&self) -> &ForkBase {
+        &self.db
+    }
+
+    /// Bytes held on this node's local storage (per-node storage
+    /// distribution, Fig. 15).
+    pub fn local_bytes(&self) -> u64 {
+        self.local.stats().stored_bytes
+    }
+
+    /// Chunks held on this node's local storage.
+    pub fn local_chunks(&self) -> u64 {
+        self.local.stats().stored_chunks
+    }
+}

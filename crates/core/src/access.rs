@@ -1,0 +1,166 @@
+//! Branch-based access control — a "semantic view" layer feature
+//! (Figure 1: "Access Control: branch-based").
+//!
+//! Rules bind a principal to (key pattern, branch pattern, permission).
+//! Patterns are exact strings or the wildcard `*`. The most specific
+//! matching rule wins (exact key+branch > exact key > exact branch >
+//! wildcard); the default policy applies when nothing matches.
+
+use forkbase_crypto::fx::FxHashMap;
+
+/// What a rule grants or denies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Permission {
+    /// Read objects (Get/Track/List).
+    Read,
+    /// Write objects (Put/Fork/Merge/Rename/Remove).
+    Write,
+}
+
+#[derive(Clone, Debug)]
+struct Rule {
+    key: Option<String>,    // None = any key
+    branch: Option<String>, // None = any branch
+    perm: Permission,
+    allow: bool,
+}
+
+impl Rule {
+    fn matches(&self, key: &str, branch: &str, perm: Permission) -> bool {
+        self.perm == perm
+            && self.key.as_deref().map(|k| k == key).unwrap_or(true)
+            && self.branch.as_deref().map(|b| b == branch).unwrap_or(true)
+    }
+
+    /// Higher is more specific.
+    fn specificity(&self) -> u8 {
+        u8::from(self.key.is_some()) * 2 + u8::from(self.branch.is_some())
+    }
+}
+
+/// Per-principal rule sets with a configurable default policy.
+#[derive(Clone, Debug)]
+pub struct AccessControl {
+    rules: FxHashMap<String, Vec<Rule>>,
+    default_allow: bool,
+}
+
+impl AccessControl {
+    /// Everything allowed unless denied (suitable for trusted teams).
+    pub fn allow_by_default() -> Self {
+        AccessControl {
+            rules: FxHashMap::default(),
+            default_allow: true,
+        }
+    }
+
+    /// Everything denied unless allowed (suitable for multi-tenant use).
+    pub fn deny_by_default() -> Self {
+        AccessControl {
+            rules: FxHashMap::default(),
+            default_allow: false,
+        }
+    }
+
+    /// Grant `perm` to `user` for the given key/branch patterns (`None` =
+    /// any).
+    pub fn allow(
+        &mut self,
+        user: &str,
+        key: Option<&str>,
+        branch: Option<&str>,
+        perm: Permission,
+    ) {
+        self.rules.entry(user.to_string()).or_default().push(Rule {
+            key: key.map(str::to_string),
+            branch: branch.map(str::to_string),
+            perm,
+            allow: true,
+        });
+    }
+
+    /// Deny `perm` to `user` for the given key/branch patterns.
+    pub fn deny(
+        &mut self,
+        user: &str,
+        key: Option<&str>,
+        branch: Option<&str>,
+        perm: Permission,
+    ) {
+        self.rules.entry(user.to_string()).or_default().push(Rule {
+            key: key.map(str::to_string),
+            branch: branch.map(str::to_string),
+            perm,
+            allow: false,
+        });
+    }
+
+    /// Check whether `user` may perform `perm` on (`key`, `branch`).
+    pub fn check(&self, user: &str, key: &str, branch: &str, perm: Permission) -> bool {
+        let Some(rules) = self.rules.get(user) else {
+            return self.default_allow;
+        };
+        rules
+            .iter()
+            .filter(|r| r.matches(key, branch, perm))
+            .max_by_key(|r| r.specificity())
+            .map(|r| r.allow)
+            .unwrap_or(self.default_allow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policies() {
+        let acl = AccessControl::allow_by_default();
+        assert!(acl.check("anyone", "k", "master", Permission::Write));
+        let acl = AccessControl::deny_by_default();
+        assert!(!acl.check("anyone", "k", "master", Permission::Read));
+    }
+
+    #[test]
+    fn branch_scoped_write() {
+        // Admin A owns master; admin B owns the experimental branch.
+        let mut acl = AccessControl::deny_by_default();
+        acl.allow("admin-a", None, Some("master"), Permission::Write);
+        acl.allow("admin-b", None, Some("experimental"), Permission::Write);
+        acl.allow("admin-a", None, None, Permission::Read);
+        acl.allow("admin-b", None, None, Permission::Read);
+
+        assert!(acl.check("admin-a", "k", "master", Permission::Write));
+        assert!(!acl.check("admin-a", "k", "experimental", Permission::Write));
+        assert!(acl.check("admin-b", "k", "experimental", Permission::Write));
+        assert!(!acl.check("admin-b", "k", "master", Permission::Write));
+        assert!(acl.check("admin-b", "k", "master", Permission::Read));
+    }
+
+    #[test]
+    fn specific_rule_overrides_wildcard() {
+        let mut acl = AccessControl::allow_by_default();
+        acl.deny("user", None, None, Permission::Write);
+        acl.allow("user", Some("own-doc"), None, Permission::Write);
+
+        assert!(!acl.check("user", "other-doc", "master", Permission::Write));
+        assert!(acl.check("user", "own-doc", "master", Permission::Write));
+    }
+
+    #[test]
+    fn key_and_branch_most_specific() {
+        let mut acl = AccessControl::deny_by_default();
+        acl.allow("u", Some("k"), None, Permission::Write);
+        acl.deny("u", Some("k"), Some("locked"), Permission::Write);
+        assert!(acl.check("u", "k", "master", Permission::Write));
+        assert!(!acl.check("u", "k", "locked", Permission::Write));
+    }
+
+    #[test]
+    fn read_write_independent() {
+        let mut acl = AccessControl::deny_by_default();
+        acl.allow("u", None, None, Permission::Read);
+        assert!(acl.check("u", "k", "master", Permission::Read));
+        assert!(!acl.check("u", "k", "master", Permission::Write));
+    }
+}

@@ -1,0 +1,180 @@
+//! Branch-table checkpoints — durable refs for the engine.
+//!
+//! The chunk store persists every version, but the branch tables (TB/UB,
+//! §4.5) live in servlet memory: after a restart the data is all there
+//! and fully verifiable by uid, yet the *names* — which uid is the head
+//! of `master` for key `k` — are gone. A checkpoint serializes every
+//! branch table into a single content-addressed [`Checkpoint`] chunk
+//! (cf. git's packed-refs). The returned cid is the only piece of state
+//! an operator must keep outside the store to reopen an instance with
+//! [`ForkBase::restore`](crate::ForkBase::restore).
+//!
+//! Checkpoints are deterministic: the same branch state always encodes to
+//! the same bytes, hence the same cid — taking a checkpoint twice costs
+//! one deduplicated chunk.
+
+use crate::error::{FbError, Result};
+use bytes::Bytes;
+use forkbase_chunk::codec::{get_bytes, get_varint, put_bytes, put_varint};
+use forkbase_chunk::{Chunk, ChunkType};
+use forkbase_crypto::Digest;
+
+/// Serializable image of every key's branch table.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BranchSnapshot {
+    /// Per key: (key, tagged branches sorted by name, untagged heads
+    /// sorted). Keys sorted, so encoding is canonical.
+    pub entries: Vec<(Bytes, Vec<(String, Digest)>, Vec<Digest>)>,
+}
+
+impl BranchSnapshot {
+    /// Number of keys captured.
+    pub fn key_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Every head (tagged and untagged) in the snapshot — the GC root
+    /// set.
+    pub fn heads(&self) -> impl Iterator<Item = Digest> + '_ {
+        self.entries.iter().flat_map(|(_, tagged, untagged)| {
+            tagged
+                .iter()
+                .map(|(_, h)| *h)
+                .chain(untagged.iter().copied())
+        })
+    }
+
+    /// Serialize into a [`ChunkType::Checkpoint`] chunk.
+    pub fn to_chunk(&self) -> Chunk {
+        let mut out = Vec::new();
+        put_varint(&mut out, self.entries.len() as u64);
+        for (key, tagged, untagged) in &self.entries {
+            put_bytes(&mut out, key);
+            put_varint(&mut out, tagged.len() as u64);
+            for (name, head) in tagged {
+                put_bytes(&mut out, name.as_bytes());
+                out.extend_from_slice(head.as_bytes());
+            }
+            put_varint(&mut out, untagged.len() as u64);
+            for head in untagged {
+                out.extend_from_slice(head.as_bytes());
+            }
+        }
+        Chunk::new(ChunkType::Checkpoint, out)
+    }
+
+    /// Decode a checkpoint chunk payload.
+    pub fn decode(payload: &[u8]) -> Result<BranchSnapshot> {
+        let corrupt = || FbError::Corrupt("bad checkpoint encoding".into());
+        let read_digest = |payload: &[u8], pos: &mut usize| -> Result<Digest> {
+            let end = pos.checked_add(32).ok_or_else(corrupt)?;
+            if payload.len() < end {
+                return Err(corrupt());
+            }
+            let d = Digest::from_slice(&payload[*pos..end]).ok_or_else(corrupt)?;
+            *pos = end;
+            Ok(d)
+        };
+
+        let mut pos = 0usize;
+        let n_keys = get_varint(payload, &mut pos).ok_or_else(corrupt)? as usize;
+        if n_keys > payload.len() {
+            return Err(corrupt());
+        }
+        let mut entries = Vec::with_capacity(n_keys);
+        for _ in 0..n_keys {
+            let key = Bytes::copy_from_slice(get_bytes(payload, &mut pos).ok_or_else(corrupt)?);
+            let n_tagged = get_varint(payload, &mut pos).ok_or_else(corrupt)? as usize;
+            if n_tagged > payload.len() {
+                return Err(corrupt());
+            }
+            let mut tagged = Vec::with_capacity(n_tagged);
+            for _ in 0..n_tagged {
+                let name = String::from_utf8(
+                    get_bytes(payload, &mut pos).ok_or_else(corrupt)?.to_vec(),
+                )
+                .map_err(|_| corrupt())?;
+                let head = read_digest(payload, &mut pos)?;
+                tagged.push((name, head));
+            }
+            let n_untagged = get_varint(payload, &mut pos).ok_or_else(corrupt)? as usize;
+            if n_untagged > payload.len() {
+                return Err(corrupt());
+            }
+            let mut untagged = Vec::with_capacity(n_untagged);
+            for _ in 0..n_untagged {
+                untagged.push(read_digest(payload, &mut pos)?);
+            }
+            entries.push((key, tagged, untagged));
+        }
+        Ok(BranchSnapshot { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forkbase_crypto::hash_bytes;
+
+    fn sample() -> BranchSnapshot {
+        BranchSnapshot {
+            entries: vec![
+                (
+                    Bytes::from("alpha"),
+                    vec![
+                        ("feature".to_string(), hash_bytes(b"f")),
+                        ("master".to_string(), hash_bytes(b"m")),
+                    ],
+                    vec![hash_bytes(b"u1"), hash_bytes(b"u2")],
+                ),
+                (Bytes::from("beta"), vec![], vec![hash_bytes(b"u3")]),
+                (Bytes::from("empty-key"), vec![], vec![]),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let snap = sample();
+        let chunk = snap.to_chunk();
+        assert_eq!(chunk.ty(), ChunkType::Checkpoint);
+        let back = BranchSnapshot::decode(chunk.payload()).expect("decode");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn canonical_encoding_is_deterministic() {
+        assert_eq!(sample().to_chunk().cid(), sample().to_chunk().cid());
+        // A different head changes the cid.
+        let mut other = sample();
+        other.entries[0].1[0].1 = hash_bytes(b"different");
+        assert_ne!(other.to_chunk().cid(), sample().to_chunk().cid());
+    }
+
+    #[test]
+    fn heads_enumerates_gc_roots() {
+        let snap = sample();
+        let heads: Vec<_> = snap.heads().collect();
+        assert_eq!(heads.len(), 5, "2 tagged + 3 untagged");
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(BranchSnapshot::decode(&[0xFF; 3]).is_err());
+        let chunk = sample().to_chunk();
+        let payload = chunk.payload();
+        for cut in [1, 5, payload.len() - 1] {
+            assert!(
+                BranchSnapshot::decode(&payload[..cut]).is_err(),
+                "truncated at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let snap = BranchSnapshot::default();
+        let back = BranchSnapshot::decode(snap.to_chunk().payload()).expect("decode");
+        assert_eq!(back.key_count(), 0);
+    }
+}

@@ -1,0 +1,942 @@
+//! The ForkBase engine: the full API surface of Table 1 (M1–M17).
+//!
+//! | Group | Methods |
+//! |-------|---------|
+//! | Get   | [`get`](ForkBase::get) (M1), [`get_version`](ForkBase::get_version) (M2) |
+//! | Put   | [`put`](ForkBase::put) (M3), [`put_guarded`](ForkBase::put_guarded), [`put_conflict`](ForkBase::put_conflict) (M4) |
+//! | Merge | [`merge_branches`](ForkBase::merge_branches) (M5), [`merge_with_version`](ForkBase::merge_with_version) (M6), [`merge_versions`](ForkBase::merge_versions) (M7) |
+//! | View  | [`list_keys`](ForkBase::list_keys) (M8), [`list_tagged_branches`](ForkBase::list_tagged_branches) (M9), [`list_untagged_branches`](ForkBase::list_untagged_branches) (M10) |
+//! | Fork  | [`fork`](ForkBase::fork) (M11), [`fork_version`](ForkBase::fork_version) (M12), [`rename_branch`](ForkBase::rename_branch) (M13), [`remove_branch`](ForkBase::remove_branch) (M14) |
+//! | Track | [`track`](ForkBase::track) (M15), [`track_version`](ForkBase::track_version) (M16), [`lca`](ForkBase::lca) (M17) |
+
+use crate::branch::BranchTable;
+use crate::checkpoint::BranchSnapshot;
+use crate::error::{FbError, Result};
+use crate::fobject::FObject;
+use crate::history;
+use crate::value::{Value, ValueType};
+use bytes::Bytes;
+use forkbase_chunk::{ChunkStore, MemStore};
+use forkbase_crypto::fx::FxHashMap;
+use forkbase_crypto::{ChunkerConfig, Digest};
+use forkbase_pos::{
+    builder, merge3_blob, merge3_sorted, Blob, List, Map, Resolver, Set, TreeType,
+};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// The branch written when no branch is given (§3.1).
+pub const DEFAULT_BRANCH: &str = "master";
+
+/// An embedded ForkBase instance: one servlet plus one chunk storage
+/// (§4.1: "when used as an embedded storage, only one servlet and one
+/// chunk storage are instantiated").
+pub struct ForkBase {
+    store: Arc<dyn ChunkStore>,
+    cfg: ChunkerConfig,
+    branches: RwLock<FxHashMap<Bytes, BranchTable>>,
+}
+
+impl ForkBase {
+    /// In-memory instance with default chunking parameters.
+    pub fn in_memory() -> ForkBase {
+        ForkBase::with_store(Arc::new(MemStore::new()), ChunkerConfig::default())
+    }
+
+    /// Instance over an arbitrary chunk store (persistent, partitioned,
+    /// replicated, …).
+    pub fn with_store(store: Arc<dyn ChunkStore>, cfg: ChunkerConfig) -> ForkBase {
+        ForkBase {
+            store,
+            cfg,
+            branches: RwLock::new(FxHashMap::default()),
+        }
+    }
+
+    /// The underlying chunk store.
+    pub fn store(&self) -> &dyn ChunkStore {
+        self.store.as_ref()
+    }
+
+    /// Shared handle to the chunk store.
+    pub fn store_arc(&self) -> Arc<dyn ChunkStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// The chunking configuration.
+    pub fn cfg(&self) -> &ChunkerConfig {
+        &self.cfg
+    }
+
+    // ---- chunkable value constructors -----------------------------------
+
+    /// Build a Blob in this instance's store.
+    pub fn new_blob(&self, data: &[u8]) -> Blob {
+        Blob::build(self.store(), &self.cfg, data)
+    }
+
+    /// Build a List in this instance's store.
+    pub fn new_list<I, B>(&self, elems: I) -> List
+    where
+        I: IntoIterator<Item = B>,
+        B: Into<Bytes>,
+    {
+        List::build(self.store(), &self.cfg, elems)
+    }
+
+    /// Build a Map in this instance's store.
+    pub fn new_map<I, K, V>(&self, pairs: I) -> Map
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: Into<Bytes>,
+        V: Into<Bytes>,
+    {
+        Map::build(self.store(), &self.cfg, pairs)
+    }
+
+    /// Build a Set in this instance's store.
+    pub fn new_set<I, K>(&self, elems: I) -> Set
+    where
+        I: IntoIterator<Item = K>,
+        K: Into<Bytes>,
+    {
+        Set::build(self.store(), &self.cfg, elems)
+    }
+
+    // ---- Put (M3, M4) ----------------------------------------------------
+
+    /// M3: write a new version to a tagged branch (default branch when
+    /// `branch` is `None`). The default branch is created implicitly;
+    /// other branches must exist (create them with [`fork`](Self::fork)).
+    pub fn put(&self, key: impl Into<Bytes>, branch: Option<&str>, value: Value) -> Result<Digest> {
+        self.put_with_context(key, branch, value, Bytes::new())
+    }
+
+    /// M3 with application metadata stored in the FObject `context` field.
+    pub fn put_with_context(
+        &self,
+        key: impl Into<Bytes>,
+        branch: Option<&str>,
+        value: Value,
+        context: impl Into<Bytes>,
+    ) -> Result<Digest> {
+        let key = key.into();
+        let branch = branch.unwrap_or(DEFAULT_BRANCH);
+        // Concurrent updates on a tagged branch are serialized by the
+        // servlet (§4.5.1): the branch-table lock is held across the whole
+        // head-read → persist → head-advance sequence. Only the meta chunk
+        // is written under the lock; chunkable payloads were already
+        // persisted when the value was built.
+        let mut tables = self.branches.write();
+        let table = tables.entry(key.clone()).or_default();
+        if !table.has_branch(branch) && branch != DEFAULT_BRANCH {
+            return Err(FbError::BranchNotFound(branch.to_string()));
+        }
+        let bases: Vec<Digest> = table.head(branch).into_iter().collect();
+        let uid = self.persist_object(&key, &value, &bases, context.into())?;
+        table.record_version(uid, &bases);
+        table.set_head(branch, uid);
+        Ok(uid)
+    }
+
+    /// Guarded put (§4.5.1): succeeds only if the branch head still equals
+    /// `guard`, protecting against lost updates.
+    pub fn put_guarded(
+        &self,
+        key: impl Into<Bytes>,
+        branch: Option<&str>,
+        value: Value,
+        guard: Digest,
+    ) -> Result<Digest> {
+        let key = key.into();
+        let branch = branch.unwrap_or(DEFAULT_BRANCH);
+        let mut tables = self.branches.write();
+        let table = tables.entry(key.clone()).or_default();
+        let head = table
+            .head(branch)
+            .ok_or_else(|| FbError::BranchNotFound(branch.to_string()))?;
+        if head != guard {
+            return Err(FbError::GuardFailed {
+                expected: guard,
+                actual: head,
+            });
+        }
+        let bases = vec![head];
+        let uid = self.persist_object(&key, &value, &bases, Bytes::new())?;
+        table.record_version(uid, &bases);
+        table.set_head(branch, uid);
+        Ok(uid)
+    }
+
+    /// M4: fork-on-conflict put — derive a new untagged version from
+    /// `base` (or start a fresh untagged lineage with `None`). Concurrent
+    /// puts against the same base create conflicting heads, visible via
+    /// [`list_untagged_branches`](Self::list_untagged_branches).
+    pub fn put_conflict(
+        &self,
+        key: impl Into<Bytes>,
+        base: Option<Digest>,
+        value: Value,
+    ) -> Result<Digest> {
+        let key = key.into();
+        if let Some(base) = base {
+            let obj = FObject::load(self.store(), base)?;
+            if obj.key != key {
+                return Err(FbError::VersionNotFound(base));
+            }
+        }
+        self.commit(&key, &value, base.into_iter().collect(), Bytes::new())
+    }
+
+    /// Build and persist the FObject meta chunk. Touches only the chunk
+    /// store — callers record the new version in the branch table
+    /// themselves, so this is safe to call with the branch lock held
+    /// (the lock is **not reentrant**).
+    fn persist_object(
+        &self,
+        key: &Bytes,
+        value: &Value,
+        bases: &[Digest],
+        context: Bytes,
+    ) -> Result<Digest> {
+        let depth = bases
+            .iter()
+            .map(|b| {
+                FObject::load(self.store(), *b)
+                    .map(|o| o.depth + 1)
+                    .unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0);
+        let obj = FObject::new(key.clone(), value, bases.to_vec(), depth, context);
+        let chunk = obj.to_chunk();
+        let uid = chunk.cid();
+        self.store.put(chunk);
+        Ok(uid)
+    }
+
+    /// Create and persist the FObject; update the UB-table. Must be called
+    /// **without** the branch lock held.
+    fn commit(
+        &self,
+        key: &Bytes,
+        value: &Value,
+        bases: Vec<Digest>,
+        context: Bytes,
+    ) -> Result<Digest> {
+        let uid = self.persist_object(key, value, &bases, context)?;
+        let mut tables = self.branches.write();
+        tables
+            .entry(key.clone())
+            .or_default()
+            .record_version(uid, &bases);
+        Ok(uid)
+    }
+
+    // ---- Get (M1, M2) ----------------------------------------------------
+
+    /// M1: read the head version of a tagged branch (default branch when
+    /// `None`).
+    pub fn get(&self, key: impl Into<Bytes>, branch: Option<&str>) -> Result<FObject> {
+        let uid = self.head(key, branch)?;
+        FObject::load(self.store(), uid)
+    }
+
+    /// The head uid of a tagged branch.
+    pub fn head(&self, key: impl Into<Bytes>, branch: Option<&str>) -> Result<Digest> {
+        let key = key.into();
+        let branch = branch.unwrap_or(DEFAULT_BRANCH);
+        let tables = self.branches.read();
+        let table = tables.get(&key).ok_or(FbError::KeyNotFound)?;
+        table
+            .head(branch)
+            .ok_or_else(|| FbError::BranchNotFound(branch.to_string()))
+    }
+
+    /// M2: read a specific version by uid (works for both tagged and
+    /// untagged lineages).
+    pub fn get_version(&self, key: impl Into<Bytes>, uid: Digest) -> Result<FObject> {
+        let key = key.into();
+        let obj = FObject::load(self.store(), uid)?;
+        if obj.key != key {
+            return Err(FbError::VersionNotFound(uid));
+        }
+        Ok(obj)
+    }
+
+    /// Convenience: decode the head value of a branch.
+    pub fn get_value(&self, key: impl Into<Bytes>, branch: Option<&str>) -> Result<Value> {
+        let obj = self.get(key, branch)?;
+        obj.value(self.store())
+    }
+
+    // ---- View (M8–M10) ---------------------------------------------------
+
+    /// M8: every key with at least one branch.
+    pub fn list_keys(&self) -> Vec<Bytes> {
+        let tables = self.branches.read();
+        let mut keys: Vec<_> = tables.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
+    /// M9: tagged branch names and head uids of a key.
+    pub fn list_tagged_branches(&self, key: impl Into<Bytes>) -> Result<Vec<(String, Digest)>> {
+        let key = key.into();
+        let tables = self.branches.read();
+        let table = tables.get(&key).ok_or(FbError::KeyNotFound)?;
+        Ok(table.tagged_branches())
+    }
+
+    /// M10: untagged (fork-on-conflict) heads of a key. A single entry
+    /// means no conflict.
+    pub fn list_untagged_branches(&self, key: impl Into<Bytes>) -> Result<Vec<Digest>> {
+        let key = key.into();
+        let tables = self.branches.read();
+        let table = tables.get(&key).ok_or(FbError::KeyNotFound)?;
+        Ok(table.untagged_heads())
+    }
+
+    // ---- Fork (M11–M14) ---------------------------------------------------
+
+    /// M11: create a tagged branch from an existing branch's head.
+    pub fn fork(&self, key: impl Into<Bytes>, from: &str, new_branch: &str) -> Result<()> {
+        let key = key.into();
+        let mut tables = self.branches.write();
+        let table = tables.get_mut(&key).ok_or(FbError::KeyNotFound)?;
+        if table.has_branch(new_branch) {
+            return Err(FbError::BranchExists(new_branch.to_string()));
+        }
+        let head = table
+            .head(from)
+            .ok_or_else(|| FbError::BranchNotFound(from.to_string()))?;
+        table.set_head(new_branch, head);
+        Ok(())
+    }
+
+    /// M12: create a tagged branch at a (possibly non-head) version,
+    /// making history modifiable (§3.3: "to change a historical version, a
+    /// new branch can be created at that version").
+    pub fn fork_version(
+        &self,
+        key: impl Into<Bytes>,
+        uid: Digest,
+        new_branch: &str,
+    ) -> Result<()> {
+        let key = key.into();
+        let obj = FObject::load(self.store(), uid)?;
+        if obj.key != key {
+            return Err(FbError::VersionNotFound(uid));
+        }
+        let mut tables = self.branches.write();
+        let table = tables.entry(key).or_default();
+        if table.has_branch(new_branch) {
+            return Err(FbError::BranchExists(new_branch.to_string()));
+        }
+        table.set_head(new_branch, uid);
+        Ok(())
+    }
+
+    /// M13: rename a tagged branch.
+    pub fn rename_branch(&self, key: impl Into<Bytes>, from: &str, to: &str) -> Result<()> {
+        let key = key.into();
+        let mut tables = self.branches.write();
+        let table = tables.get_mut(&key).ok_or(FbError::KeyNotFound)?;
+        if table.has_branch(to) {
+            return Err(FbError::BranchExists(to.to_string()));
+        }
+        if !table.rename(from, to) {
+            return Err(FbError::BranchNotFound(from.to_string()));
+        }
+        Ok(())
+    }
+
+    /// M14: remove a tagged branch. Versions stay in the store (they may
+    /// be shared with other branches and histories). If no other tagged
+    /// branch names the removed head, it is also retired from the
+    /// UB-table, so the branch's exclusive versions become unreachable
+    /// and a later [`gc`](crate::gc) pass can reclaim them. Heads created
+    /// purely by fork-on-conflict are unaffected — they are never tagged,
+    /// so this path cannot retire them.
+    pub fn remove_branch(&self, key: impl Into<Bytes>, branch: &str) -> Result<()> {
+        let key = key.into();
+        let mut tables = self.branches.write();
+        let table = tables.get_mut(&key).ok_or(FbError::KeyNotFound)?;
+        let head = table
+            .remove_branch(branch)
+            .ok_or_else(|| FbError::BranchNotFound(branch.to_string()))?;
+        let still_named = table.tagged_branches().iter().any(|(_, h)| *h == head);
+        if !still_named {
+            table.retire_untagged(head);
+        }
+        Ok(())
+    }
+
+    // ---- Track (M15–M17) --------------------------------------------------
+
+    /// M15: versions of a branch within `[min_dist, max_dist]` hops from
+    /// the head.
+    pub fn track(
+        &self,
+        key: impl Into<Bytes>,
+        branch: Option<&str>,
+        min_dist: u64,
+        max_dist: u64,
+    ) -> Result<Vec<history::TrackedVersion>> {
+        let head = self.head(key, branch)?;
+        history::track(self.store(), head, min_dist, max_dist)
+    }
+
+    /// M16: versions within a distance range from an arbitrary version.
+    pub fn track_version(
+        &self,
+        key: impl Into<Bytes>,
+        uid: Digest,
+        min_dist: u64,
+        max_dist: u64,
+    ) -> Result<Vec<history::TrackedVersion>> {
+        let key = key.into();
+        let obj = FObject::load(self.store(), uid)?;
+        if obj.key != key {
+            return Err(FbError::VersionNotFound(uid));
+        }
+        history::track(self.store(), uid, min_dist, max_dist)
+    }
+
+    /// M17: the least common ancestor of two versions of the same key.
+    pub fn lca(&self, key: impl Into<Bytes>, a: Digest, b: Digest) -> Result<Option<Digest>> {
+        let key = key.into();
+        for uid in [a, b] {
+            let obj = FObject::load(self.store(), uid)?;
+            if obj.key != key {
+                return Err(FbError::VersionNotFound(uid));
+            }
+        }
+        history::lca(self.store(), a, b)
+    }
+
+    // ---- Checkpoint / restore (engine extension) --------------------------
+
+    /// Capture every key's branch table as a canonical snapshot.
+    pub fn snapshot_branches(&self) -> BranchSnapshot {
+        let tables = self.branches.read();
+        let mut entries: Vec<_> = tables
+            .iter()
+            .map(|(key, table)| {
+                (
+                    key.clone(),
+                    table.tagged_branches(),
+                    table.untagged_heads(),
+                )
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        BranchSnapshot { entries }
+    }
+
+    /// Persist the branch tables as a checkpoint chunk and return its cid
+    /// — the one piece of state to keep outside the store (cf. git refs).
+    pub fn checkpoint(&self) -> Digest {
+        let chunk = self.snapshot_branches().to_chunk();
+        let cid = chunk.cid();
+        self.store.put(chunk);
+        cid
+    }
+
+    /// Reopen an instance from a store plus the cid of a checkpoint taken
+    /// with [`checkpoint`](Self::checkpoint). All branch heads, tagged and
+    /// untagged, are restored; the data itself was already durable.
+    pub fn restore(
+        store: Arc<dyn ChunkStore>,
+        cfg: ChunkerConfig,
+        checkpoint: Digest,
+    ) -> Result<ForkBase> {
+        let chunk = store
+            .get(&checkpoint)
+            .ok_or(FbError::VersionNotFound(checkpoint))?;
+        if chunk.ty() != forkbase_chunk::ChunkType::Checkpoint {
+            return Err(FbError::Corrupt(format!(
+                "cid {} is not a checkpoint chunk",
+                checkpoint.short_hex()
+            )));
+        }
+        let snap = BranchSnapshot::decode(chunk.payload())?;
+        let mut tables: FxHashMap<Bytes, BranchTable> = FxHashMap::default();
+        for (key, tagged, untagged) in snap.entries {
+            let table = tables.entry(key).or_default();
+            for (name, head) in tagged {
+                table.set_head(&name, head);
+            }
+            for head in untagged {
+                table.record_version(head, &[]);
+            }
+        }
+        Ok(ForkBase {
+            store,
+            cfg,
+            branches: RwLock::new(tables),
+        })
+    }
+
+    // ---- Merge (M5–M7) ----------------------------------------------------
+
+    /// M5: merge another branch into `target`; only `target`'s head moves.
+    pub fn merge_branches(
+        &self,
+        key: impl Into<Bytes>,
+        target: &str,
+        reference: &str,
+        resolver: &Resolver,
+    ) -> Result<Digest> {
+        let key = key.into();
+        let ref_head = self.head(key.clone(), Some(reference))?;
+        self.merge_with_version(key, target, ref_head, resolver)
+    }
+
+    /// M6: merge a specific version into a tagged branch.
+    pub fn merge_with_version(
+        &self,
+        key: impl Into<Bytes>,
+        target: &str,
+        ref_uid: Digest,
+        resolver: &Resolver,
+    ) -> Result<Digest> {
+        let key = key.into();
+        let tgt_head = self.head(key.clone(), Some(target))?;
+        let uid = self.merge_pair(&key, tgt_head, ref_uid, resolver)?;
+        let mut tables = self.branches.write();
+        tables.entry(key).or_default().set_head(target, uid);
+        Ok(uid)
+    }
+
+    /// M7: merge a collection of (typically untagged) heads into one new
+    /// untagged head, logically replacing the inputs.
+    pub fn merge_versions(
+        &self,
+        key: impl Into<Bytes>,
+        uids: &[Digest],
+        resolver: &Resolver,
+    ) -> Result<Digest> {
+        let key = key.into();
+        let mut iter = uids.iter();
+        let mut acc = *iter.next().ok_or(FbError::KeyNotFound)?;
+        for &next in iter {
+            acc = self.merge_pair(&key, acc, next, resolver)?;
+        }
+        Ok(acc)
+    }
+
+    /// Three-way merge of two versions; creates and records the merged
+    /// FObject (bases = both parents).
+    fn merge_pair(
+        &self,
+        key: &Bytes,
+        ours: Digest,
+        theirs: Digest,
+        resolver: &Resolver,
+    ) -> Result<Digest> {
+        if ours == theirs {
+            return Ok(ours);
+        }
+        let ours_obj = self.get_version(key.clone(), ours)?;
+        let theirs_obj = self.get_version(key.clone(), theirs)?;
+        let base_uid = history::lca(self.store(), ours, theirs)?;
+        let base_obj = match base_uid {
+            Some(uid) => Some(FObject::load(self.store(), uid)?),
+            None => None,
+        };
+
+        // Merging a version that is an ancestor of the other is a
+        // fast-forward.
+        if base_uid == Some(theirs) {
+            return Ok(ours);
+        }
+        if base_uid == Some(ours) {
+            let merged = theirs_obj.value(self.store())?;
+            return self.commit(key, &merged, vec![ours, theirs], Bytes::new());
+        }
+
+        let merged = self.merge_values(&ours_obj, &theirs_obj, base_obj.as_ref(), resolver)?;
+        self.commit(key, &merged, vec![ours, theirs], Bytes::new())
+    }
+
+    /// Type-specific three-way value merge (§4.5.2).
+    fn merge_values(
+        &self,
+        ours: &FObject,
+        theirs: &FObject,
+        base: Option<&FObject>,
+        resolver: &Resolver,
+    ) -> Result<Value> {
+        if ours.vtype != theirs.vtype {
+            return Err(FbError::TypeMismatch {
+                found: theirs.vtype.name(),
+                expected: ours.vtype.name(),
+            });
+        }
+        let store = self.store();
+        let ours_v = ours.value(store)?;
+        let theirs_v = theirs.value(store)?;
+        let base_v = match base {
+            Some(b) if b.vtype == ours.vtype => Some(b.value(store)?),
+            _ => None,
+        };
+
+        match ours.vtype {
+            ValueType::Map | ValueType::Set => {
+                let ty = if ours.vtype == ValueType::Map {
+                    TreeType::Map
+                } else {
+                    TreeType::Set
+                };
+                let base_root = match &base_v {
+                    Some(v) => v.tree_root().expect("chunkable").1,
+                    None => builder::build_items(store, &self.cfg, ty, std::iter::empty()),
+                };
+                let ours_root = ours_v.tree_root().expect("chunkable").1;
+                let theirs_root = theirs_v.tree_root().expect("chunkable").1;
+                let out =
+                    merge3_sorted(store, &self.cfg, ty, base_root, ours_root, theirs_root, resolver)
+                        .map_err(|c| FbError::MergeConflict(c.len()))?;
+                Ok(if ours.vtype == ValueType::Map {
+                    Value::Map(Map::from_root(out.root))
+                } else {
+                    Value::Set(Set::from_root(out.root))
+                })
+            }
+            ValueType::Blob => {
+                let base_root = match &base_v {
+                    Some(v) => v.tree_root().expect("chunkable").1,
+                    None => builder::build_blob(store, &self.cfg, &[]),
+                };
+                let ours_root = ours_v.tree_root().expect("chunkable").1;
+                let theirs_root = theirs_v.tree_root().expect("chunkable").1;
+                let root = merge3_blob(store, &self.cfg, base_root, ours_root, theirs_root)
+                    .map_err(|_| FbError::MergeConflict(1))?;
+                Ok(Value::Blob(Blob::from_root(root)))
+            }
+            // Whole-value merge for primitives and List.
+            _ => {
+                if ours_v == theirs_v {
+                    return Ok(ours_v);
+                }
+                if base_v.as_ref() == Some(&ours_v) {
+                    return Ok(theirs_v);
+                }
+                if base_v.as_ref() == Some(&theirs_v) {
+                    return Ok(ours_v);
+                }
+                match resolver {
+                    Resolver::TakeOurs => Ok(ours_v),
+                    Resolver::TakeTheirs => Ok(theirs_v),
+                    Resolver::Append => match (&ours_v, &theirs_v) {
+                        (Value::String(a), Value::String(b)) => {
+                            Ok(Value::String(format!("{a}{b}")))
+                        }
+                        _ => Err(FbError::MergeConflict(1)),
+                    },
+                    Resolver::Aggregate => match (&base_v, &ours_v, &theirs_v) {
+                        (Some(Value::Int(b)), Value::Int(o), Value::Int(t)) => {
+                            Ok(Value::Int(b + (o - b) + (t - b)))
+                        }
+                        (None, Value::Int(o), Value::Int(t)) => Ok(Value::Int(o + t)),
+                        _ => Err(FbError::MergeConflict(1)),
+                    },
+                    _ => Err(FbError::MergeConflict(1)),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_default_branch() {
+        let db = ForkBase::in_memory();
+        let uid = db.put("k", None, Value::String("v1".into())).expect("put");
+        let obj = db.get("k", None).expect("get");
+        assert_eq!(obj.uid(), uid);
+        assert_eq!(obj.value(db.store()).expect("value"), Value::String("v1".into()));
+        assert_eq!(obj.depth, 0);
+        assert!(obj.bases.is_empty());
+    }
+
+    #[test]
+    fn versions_chain_through_bases() {
+        let db = ForkBase::in_memory();
+        let v0 = db.put("k", None, Value::Int(0)).expect("put");
+        let v1 = db.put("k", None, Value::Int(1)).expect("put");
+        let obj1 = db.get("k", None).expect("get");
+        assert_eq!(obj1.uid(), v1);
+        assert_eq!(obj1.bases, vec![v0]);
+        assert_eq!(obj1.depth, 1);
+    }
+
+    #[test]
+    fn kv_compliance_when_only_default_branch() {
+        // §3.1: "the data model is compliant to the basic key-value model
+        // when only the default branch is used".
+        let db = ForkBase::in_memory();
+        for i in 0..20 {
+            db.put("counter", None, Value::Int(i)).expect("put");
+        }
+        assert_eq!(
+            db.get_value("counter", None).expect("get"),
+            Value::Int(19)
+        );
+    }
+
+    #[test]
+    fn missing_key_and_branch_errors() {
+        let db = ForkBase::in_memory();
+        assert_eq!(db.get("nope", None).expect_err("missing"), FbError::KeyNotFound);
+        db.put("k", None, Value::Int(1)).expect("put");
+        assert!(matches!(
+            db.get("k", Some("feature")).expect_err("missing branch"),
+            FbError::BranchNotFound(_)
+        ));
+        assert!(matches!(
+            db.put("k", Some("feature"), Value::Int(2)).expect_err("missing branch"),
+            FbError::BranchNotFound(_)
+        ));
+    }
+
+    #[test]
+    fn fork_on_demand_isolates_branches() {
+        let db = ForkBase::in_memory();
+        db.put("k", None, Value::String("base".into())).expect("put");
+        db.fork("k", DEFAULT_BRANCH, "feature").expect("fork");
+        db.put("k", Some("feature"), Value::String("feature work".into()))
+            .expect("put");
+
+        assert_eq!(
+            db.get_value("k", None).expect("get"),
+            Value::String("base".into()),
+            "master unaffected by feature work"
+        );
+        assert_eq!(
+            db.get_value("k", Some("feature")).expect("get"),
+            Value::String("feature work".into())
+        );
+        let branches = db.list_tagged_branches("k").expect("list");
+        assert_eq!(branches.len(), 2);
+    }
+
+    #[test]
+    fn fork_duplicate_name_rejected() {
+        let db = ForkBase::in_memory();
+        db.put("k", None, Value::Int(1)).expect("put");
+        db.fork("k", DEFAULT_BRANCH, "b").expect("fork");
+        assert!(matches!(
+            db.fork("k", DEFAULT_BRANCH, "b").expect_err("dup"),
+            FbError::BranchExists(_)
+        ));
+    }
+
+    #[test]
+    fn fork_version_reopens_history() {
+        let db = ForkBase::in_memory();
+        let v0 = db.put("k", None, Value::Int(0)).expect("put");
+        db.put("k", None, Value::Int(1)).expect("put");
+        db.fork_version("k", v0, "old").expect("fork");
+        assert_eq!(db.get_value("k", Some("old")).expect("get"), Value::Int(0));
+        // The historical branch is modifiable.
+        db.put("k", Some("old"), Value::Int(100)).expect("put");
+        assert_eq!(db.get_value("k", Some("old")).expect("get"), Value::Int(100));
+        assert_eq!(db.get_value("k", None).expect("get"), Value::Int(1));
+    }
+
+    #[test]
+    fn rename_and_remove_branch() {
+        let db = ForkBase::in_memory();
+        db.put("k", None, Value::Int(1)).expect("put");
+        db.fork("k", DEFAULT_BRANCH, "a").expect("fork");
+        db.rename_branch("k", "a", "b").expect("rename");
+        assert!(db.get("k", Some("a")).is_err());
+        assert!(db.get("k", Some("b")).is_ok());
+        db.remove_branch("k", "b").expect("remove");
+        assert!(db.get("k", Some("b")).is_err());
+        // Removing a branch never deletes versions.
+        assert_eq!(db.get_value("k", None).expect("get"), Value::Int(1));
+    }
+
+    #[test]
+    fn guarded_put_detects_races() {
+        let db = ForkBase::in_memory();
+        let v0 = db.put("k", None, Value::Int(0)).expect("put");
+        // Someone else writes first.
+        let v1 = db.put("k", None, Value::Int(1)).expect("put");
+        let err = db
+            .put_guarded("k", None, Value::Int(99), v0)
+            .expect_err("stale guard");
+        assert_eq!(
+            err,
+            FbError::GuardFailed {
+                expected: v0,
+                actual: v1
+            }
+        );
+        // With the current head it succeeds.
+        db.put_guarded("k", None, Value::Int(2), v1).expect("guarded put");
+        assert_eq!(db.get_value("k", None).expect("get"), Value::Int(2));
+    }
+
+    #[test]
+    fn fork_on_conflict_creates_untagged_heads() {
+        let db = ForkBase::in_memory();
+        let v0 = db.put_conflict("k", None, Value::Int(0)).expect("genesis");
+        assert_eq!(db.list_untagged_branches("k").expect("list"), vec![v0]);
+
+        // Two concurrent updates against the same base (Figure 3b).
+        let w1 = db.put_conflict("k", Some(v0), Value::Int(1)).expect("w1");
+        let w2 = db.put_conflict("k", Some(v0), Value::Int(2)).expect("w2");
+        let heads = db.list_untagged_branches("k").expect("list");
+        assert_eq!(heads.len(), 2, "conflict detected");
+        assert!(heads.contains(&w1) && heads.contains(&w2));
+
+        // Merge resolves back to a single head.
+        let merged = db
+            .merge_versions("k", &heads, &Resolver::Aggregate)
+            .expect("merge");
+        assert_eq!(db.list_untagged_branches("k").expect("list"), vec![merged]);
+        let obj = db.get_version("k", merged).expect("get");
+        assert_eq!(obj.value(db.store()).expect("value"), Value::Int(3), "0+1+2 deltas");
+        assert_eq!(obj.bases.len(), 2);
+    }
+
+    #[test]
+    fn map_branch_merge() {
+        let db = ForkBase::in_memory();
+        let m = db.new_map([("a", "1"), ("b", "2")]);
+        db.put("cfg", None, Value::Map(m)).expect("put");
+        db.fork("cfg", DEFAULT_BRANCH, "team-x").expect("fork");
+
+        // master edits key a; team-x edits key b.
+        let head = db.get("cfg", None).expect("get");
+        let m1 = head.value(db.store()).expect("v").as_map().expect("map");
+        let m1 = m1.put(db.store(), db.cfg(), "a", "master-edit");
+        db.put("cfg", None, Value::Map(m1)).expect("put");
+
+        let head = db.get("cfg", Some("team-x")).expect("get");
+        let m2 = head.value(db.store()).expect("v").as_map().expect("map");
+        let m2 = m2.put(db.store(), db.cfg(), "b", "teamx-edit");
+        db.put("cfg", Some("team-x"), Value::Map(m2)).expect("put");
+
+        let merged_uid = db
+            .merge_branches("cfg", DEFAULT_BRANCH, "team-x", &Resolver::Fail)
+            .expect("merge");
+        let obj = db.get("cfg", None).expect("get");
+        assert_eq!(obj.uid(), merged_uid);
+        let map = obj.value(db.store()).expect("v").as_map().expect("map");
+        assert_eq!(map.get(db.store(), b"a").expect("a").as_ref(), b"master-edit");
+        assert_eq!(map.get(db.store(), b"b").expect("b").as_ref(), b"teamx-edit");
+        // Reference branch head unchanged (M5: only the first branch's
+        // head is updated).
+        let ref_obj = db.get("cfg", Some("team-x")).expect("get");
+        assert_ne!(ref_obj.uid(), merged_uid);
+    }
+
+    #[test]
+    fn merge_conflict_surfaces() {
+        let db = ForkBase::in_memory();
+        db.put("k", None, Value::String("base".into())).expect("put");
+        db.fork("k", DEFAULT_BRANCH, "other").expect("fork");
+        db.put("k", None, Value::String("ours".into())).expect("put");
+        db.put("k", Some("other"), Value::String("theirs".into())).expect("put");
+        let err = db
+            .merge_branches("k", DEFAULT_BRANCH, "other", &Resolver::Fail)
+            .expect_err("conflict");
+        assert!(matches!(err, FbError::MergeConflict(_)));
+        // choose-one resolves it.
+        db.merge_branches("k", DEFAULT_BRANCH, "other", &Resolver::TakeTheirs)
+            .expect("resolved");
+        assert_eq!(
+            db.get_value("k", None).expect("get"),
+            Value::String("theirs".into())
+        );
+    }
+
+    #[test]
+    fn fast_forward_merge() {
+        let db = ForkBase::in_memory();
+        db.put("k", None, Value::Int(0)).expect("put");
+        db.fork("k", DEFAULT_BRANCH, "ahead").expect("fork");
+        db.put("k", Some("ahead"), Value::Int(1)).expect("put");
+        db.put("k", Some("ahead"), Value::Int(2)).expect("put");
+        // master hasn't moved: merging "ahead" is a fast-forward commit.
+        db.merge_branches("k", DEFAULT_BRANCH, "ahead", &Resolver::Fail)
+            .expect("ff merge");
+        assert_eq!(db.get_value("k", None).expect("get"), Value::Int(2));
+    }
+
+    #[test]
+    fn track_walks_history() {
+        let db = ForkBase::in_memory();
+        let mut uids = Vec::new();
+        for i in 0..5 {
+            uids.push(db.put("k", None, Value::Int(i)).expect("put"));
+        }
+        let all = db.track("k", None, 0, 10).expect("track");
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[0].uid, uids[4], "distance 0 is the head");
+        assert_eq!(all[4].uid, uids[0], "distance 4 is genesis");
+
+        let window = db.track("k", None, 1, 2).expect("track");
+        assert_eq!(window.len(), 2);
+        assert_eq!(window[0].uid, uids[3]);
+        assert_eq!(window[1].uid, uids[2]);
+    }
+
+    #[test]
+    fn lca_of_forked_branches() {
+        let db = ForkBase::in_memory();
+        db.put("k", None, Value::Int(0)).expect("put");
+        let fork_point = db.put("k", None, Value::Int(1)).expect("put");
+        db.fork("k", DEFAULT_BRANCH, "b").expect("fork");
+        let a_head = db.put("k", None, Value::Int(2)).expect("put");
+        let b_head = db.put("k", Some("b"), Value::Int(3)).expect("put");
+        assert_eq!(
+            db.lca("k", a_head, b_head).expect("lca"),
+            Some(fork_point)
+        );
+    }
+
+    #[test]
+    fn list_keys_sorted() {
+        let db = ForkBase::in_memory();
+        db.put("zebra", None, Value::Int(1)).expect("put");
+        db.put("apple", None, Value::Int(2)).expect("put");
+        let keys = db.list_keys();
+        assert_eq!(keys, vec![Bytes::from("apple"), Bytes::from("zebra")]);
+    }
+
+    #[test]
+    fn get_version_checks_key() {
+        let db = ForkBase::in_memory();
+        let uid = db.put("k1", None, Value::Int(1)).expect("put");
+        assert!(db.get_version("k2", uid).is_err());
+        assert!(db.get_version("k1", uid).is_ok());
+    }
+
+    #[test]
+    fn batched_updates_retain_final_version_only() {
+        // §3.5: "when multiple updates of the same object are batched,
+        // ForkBase only retains the final version" — modelled by clients
+        // chaining edits on the value before a single Put.
+        let db = ForkBase::in_memory();
+        let blob = db.new_blob(b"start");
+        let blob = blob.append(db.store(), db.cfg(), b" middle").expect("edit");
+        let blob = blob.append(db.store(), db.cfg(), b" end").expect("edit");
+        db.put("doc", None, Value::Blob(blob)).expect("put");
+        let obj = db.get("doc", None).expect("get");
+        assert_eq!(obj.depth, 0, "one committed version");
+        assert_eq!(
+            obj.value(db.store()).expect("v").as_blob().expect("b")
+                .read_all(db.store()).expect("read"),
+            b"start middle end"
+        );
+    }
+}

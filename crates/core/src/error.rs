@@ -1,0 +1,66 @@
+//! Error types for the engine API.
+
+use forkbase_crypto::Digest;
+use std::fmt;
+
+/// Everything that can go wrong at the ForkBase API surface.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FbError {
+    /// The key has never been written.
+    KeyNotFound,
+    /// The named branch does not exist for this key.
+    BranchNotFound(String),
+    /// A branch with this name already exists (Fork/Rename target).
+    BranchExists(String),
+    /// No FObject with this uid is stored.
+    VersionNotFound(Digest),
+    /// The stored object has a different type than requested
+    /// (`TypeNotMatchError` in the paper's Figure 4).
+    TypeMismatch {
+        /// Type found in storage.
+        found: &'static str,
+        /// Type the caller expected.
+        expected: &'static str,
+    },
+    /// Guarded put failed: the branch head moved.
+    GuardFailed {
+        /// Head the caller expected.
+        expected: Digest,
+        /// Actual current head.
+        actual: Digest,
+    },
+    /// Three-way merge found conflicts the resolver did not settle.
+    MergeConflict(usize),
+    /// A chunk is missing or fails integrity verification.
+    Corrupt(String),
+    /// Access control denied the request.
+    AccessDenied(String),
+}
+
+impl fmt::Display for FbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FbError::KeyNotFound => write!(f, "key not found"),
+            FbError::BranchNotFound(b) => write!(f, "branch not found: {b}"),
+            FbError::BranchExists(b) => write!(f, "branch already exists: {b}"),
+            FbError::VersionNotFound(d) => write!(f, "version not found: {}", d.short_hex()),
+            FbError::TypeMismatch { found, expected } => {
+                write!(f, "type mismatch: found {found}, expected {expected}")
+            }
+            FbError::GuardFailed { expected, actual } => write!(
+                f,
+                "guard failed: expected head {}, found {}",
+                expected.short_hex(),
+                actual.short_hex()
+            ),
+            FbError::MergeConflict(n) => write!(f, "merge produced {n} unresolved conflicts"),
+            FbError::Corrupt(what) => write!(f, "storage corruption: {what}"),
+            FbError::AccessDenied(what) => write!(f, "access denied: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FbError {}
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, FbError>;

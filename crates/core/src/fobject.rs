@@ -1,0 +1,245 @@
+//! The FObject — a node of the object derivation graph (Figure 2).
+//!
+//! ```text
+//! struct FObject {
+//!     enum type;          // object type
+//!     byte[] key;         // object key
+//!     byte[] data;        // object value
+//!     int depth;          // distance to the first version
+//!     vector<uid> bases;  // versions it derives from
+//!     byte[] context;     // reserved for application
+//! }
+//! ```
+//!
+//! An FObject serializes into a `Meta` chunk; its `uid` is that chunk's
+//! cid. Because the `bases` field embeds the uids of the versions it
+//! derives from, uids form a hash chain over the whole history — the
+//! tamper-evidence property of §3.2.
+
+use crate::error::{FbError, Result};
+use crate::value::{Value, ValueType};
+use bytes::Bytes;
+use forkbase_chunk::codec::{get_bytes, get_varint, put_bytes, put_varint};
+use forkbase_chunk::{Chunk, ChunkStore, ChunkType};
+use forkbase_crypto::Digest;
+
+/// One version of one key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FObject {
+    /// Object type.
+    pub vtype: ValueType,
+    /// Object key.
+    pub key: Bytes,
+    /// Encoded value: inline for primitives, tree root for chunkables.
+    pub data: Bytes,
+    /// Distance to the first version of this key (0 for the genesis
+    /// version).
+    pub depth: u64,
+    /// uids of the versions this one derives from: empty for genesis, one
+    /// for a normal update, two or more for a merge.
+    pub bases: Vec<Digest>,
+    /// Application metadata (commit message, nonce, timestamp, …).
+    pub context: Bytes,
+}
+
+impl FObject {
+    /// Assemble a new version of `key` holding `value`.
+    pub fn new(
+        key: impl Into<Bytes>,
+        value: &Value,
+        bases: Vec<Digest>,
+        depth: u64,
+        context: impl Into<Bytes>,
+    ) -> FObject {
+        FObject {
+            vtype: value.vtype(),
+            key: key.into(),
+            data: value.encode_data(),
+            depth,
+            bases,
+            context: context.into(),
+        }
+    }
+
+    /// Serialize into a `Meta` chunk; the chunk's cid is this version's
+    /// uid.
+    pub fn to_chunk(&self) -> Chunk {
+        let mut out = Vec::with_capacity(
+            1 + self.key.len() + self.data.len() + self.context.len() + 16 + self.bases.len() * 32,
+        );
+        out.push(self.vtype as u8);
+        put_bytes(&mut out, &self.key);
+        put_bytes(&mut out, &self.data);
+        put_varint(&mut out, self.depth);
+        put_varint(&mut out, self.bases.len() as u64);
+        for b in &self.bases {
+            out.extend_from_slice(b.as_bytes());
+        }
+        put_bytes(&mut out, &self.context);
+        Chunk::new(ChunkType::Meta, out)
+    }
+
+    /// The version identifier: the meta chunk's cid.
+    pub fn uid(&self) -> Digest {
+        self.to_chunk().cid()
+    }
+
+    /// Deserialize from a meta chunk payload.
+    pub fn decode(payload: &[u8]) -> Result<FObject> {
+        let corrupt = || FbError::Corrupt("bad FObject encoding".into());
+        let mut pos = 0usize;
+        let &tag = payload.first().ok_or_else(corrupt)?;
+        pos += 1;
+        let vtype = ValueType::from_u8(tag).ok_or_else(corrupt)?;
+        let key = Bytes::copy_from_slice(get_bytes(payload, &mut pos).ok_or_else(corrupt)?);
+        let data = Bytes::copy_from_slice(get_bytes(payload, &mut pos).ok_or_else(corrupt)?);
+        let depth = get_varint(payload, &mut pos).ok_or_else(corrupt)?;
+        let n_bases = get_varint(payload, &mut pos).ok_or_else(corrupt)? as usize;
+        if n_bases > payload.len() / 32 + 1 {
+            return Err(corrupt());
+        }
+        let mut bases = Vec::with_capacity(n_bases);
+        for _ in 0..n_bases {
+            if payload.len() < pos + 32 {
+                return Err(corrupt());
+            }
+            bases.push(Digest::from_slice(&payload[pos..pos + 32]).ok_or_else(corrupt)?);
+            pos += 32;
+        }
+        let context = Bytes::copy_from_slice(get_bytes(payload, &mut pos).ok_or_else(corrupt)?);
+        Ok(FObject {
+            vtype,
+            key,
+            data,
+            depth,
+            bases,
+            context,
+        })
+    }
+
+    /// Load the FObject with the given uid from a store.
+    pub fn load(store: &dyn ChunkStore, uid: Digest) -> Result<FObject> {
+        let chunk = store.get(&uid).ok_or(FbError::VersionNotFound(uid))?;
+        if chunk.ty() != ChunkType::Meta {
+            return Err(FbError::Corrupt(format!(
+                "uid {} is not a meta chunk",
+                uid.short_hex()
+            )));
+        }
+        if chunk.cid() != uid {
+            return Err(FbError::Corrupt(format!(
+                "chunk content does not hash to uid {}",
+                uid.short_hex()
+            )));
+        }
+        FObject::decode(chunk.payload())
+    }
+
+    /// Decode this version's value.
+    pub fn value(&self, _store: &dyn ChunkStore) -> Result<Value> {
+        Value::decode_data(self.vtype, &self.data)
+    }
+
+    /// First base (the linear-history parent), if any.
+    pub fn base(&self) -> Option<Digest> {
+        self.bases.first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forkbase_chunk::MemStore;
+    use forkbase_crypto::hash_bytes;
+
+    fn sample() -> FObject {
+        FObject::new(
+            "key-1",
+            &Value::String("v1".into()),
+            vec![hash_bytes(b"base1"), hash_bytes(b"base2")],
+            7,
+            "commit message",
+        )
+    }
+
+    #[test]
+    fn chunk_round_trip() {
+        let obj = sample();
+        let chunk = obj.to_chunk();
+        assert_eq!(chunk.ty(), ChunkType::Meta);
+        let back = FObject::decode(chunk.payload()).expect("decode");
+        assert_eq!(back, obj);
+        assert_eq!(back.uid(), obj.uid());
+    }
+
+    #[test]
+    fn uid_commits_to_everything() {
+        let base = sample();
+        let mut o = base.clone();
+        o.depth += 1;
+        assert_ne!(o.uid(), base.uid(), "depth changes uid");
+
+        let mut o = base.clone();
+        o.context = Bytes::from("different");
+        assert_ne!(o.uid(), base.uid(), "context changes uid");
+
+        let mut o = base.clone();
+        o.bases.pop();
+        assert_ne!(o.uid(), base.uid(), "bases change uid");
+
+        let mut o = base.clone();
+        o.data = Value::String("v2".into()).encode_data();
+        assert_ne!(o.uid(), base.uid(), "value changes uid");
+
+        let same = sample();
+        assert_eq!(same.uid(), base.uid(), "equal content, equal uid");
+    }
+
+    #[test]
+    fn load_round_trip() {
+        let store = MemStore::new();
+        let obj = sample();
+        let chunk = obj.to_chunk();
+        let uid = chunk.cid();
+        store.put(chunk);
+        let loaded = FObject::load(&store, uid).expect("load");
+        assert_eq!(loaded, obj);
+    }
+
+    #[test]
+    fn load_missing_version() {
+        let store = MemStore::new();
+        let err = FObject::load(&store, hash_bytes(b"nope")).expect_err("missing");
+        assert!(matches!(err, FbError::VersionNotFound(_)));
+    }
+
+    #[test]
+    fn load_rejects_non_meta_chunk() {
+        let store = MemStore::new();
+        let chunk = Chunk::new(ChunkType::Blob, &b"not meta"[..]);
+        let cid = chunk.cid();
+        store.put(chunk);
+        let err = FObject::load(&store, cid).expect_err("wrong type");
+        assert!(matches!(err, FbError::Corrupt(_)));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let obj = sample();
+        let chunk = obj.to_chunk();
+        let payload = chunk.payload();
+        for cut in [0, 1, 5, payload.len() - 1] {
+            assert!(
+                FObject::decode(&payload[..cut]).is_err(),
+                "truncated at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn genesis_has_no_bases() {
+        let obj = FObject::new("k", &Value::Int(1), vec![], 0, "");
+        assert_eq!(obj.base(), None);
+        assert_eq!(obj.depth, 0);
+    }
+}

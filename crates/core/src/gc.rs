@@ -1,0 +1,270 @@
+//! Garbage collection by copy-compaction.
+//!
+//! Chunks are immutable and content-addressed, so ForkBase never deletes
+//! in place; like git's repack, space is reclaimed by copying the *live*
+//! chunks into a fresh store and discarding the old one. A chunk is live
+//! when it is reachable from any branch head (tagged or untagged) of any
+//! key: meta chunks via the `bases` hash chain — removing a branch never
+//! truncates the history of versions still reachable elsewhere — and, for
+//! chunkable values, every node of the version's POS-Tree.
+//!
+//! Garbage arises from removed branches whose exclusive versions nothing
+//! else references (M14 keeps the versions in the store, so until a
+//! compaction they cost space), from superseded checkpoint chunks, and
+//! from objects built but never committed (e.g. abandoned client edits).
+//!
+//! ```
+//! use forkbase_core::{gc, ForkBase, Value};
+//! use forkbase_chunk::MemStore;
+//! use std::sync::Arc;
+//!
+//! let db = ForkBase::in_memory();
+//! db.put("k", None, Value::String("v".into())).unwrap();
+//! let target = Arc::new(MemStore::new());
+//! let report = gc::compact_into(&db, target.as_ref()).unwrap();
+//! assert_eq!(report.dropped_chunks, 0, "everything is reachable");
+//! ```
+
+use crate::error::{FbError, Result};
+use crate::fobject::FObject;
+use forkbase_chunk::ChunkStore;
+use forkbase_crypto::fx::FxHashSet;
+use forkbase_crypto::Digest;
+use forkbase_pos::entry::decode_index_payload;
+
+use crate::db::ForkBase;
+
+/// What a compaction pass found and did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Distinct reachable versions (meta chunks) copied.
+    pub live_versions: usize,
+    /// Total chunks copied into the target store.
+    pub live_chunks: u64,
+    /// Bytes copied into the target store.
+    pub live_bytes: u64,
+    /// Chunks left behind in the source store.
+    pub dropped_chunks: u64,
+    /// Bytes left behind in the source store.
+    pub dropped_bytes: u64,
+}
+
+/// Collect the cids of every chunk reachable from the given version:
+/// the meta chunks of the version and its whole derivation history, plus
+/// each version's value-tree chunks.
+fn mark_version(
+    store: &dyn ChunkStore,
+    head: Digest,
+    live: &mut FxHashSet<Digest>,
+    versions: &mut usize,
+) -> Result<()> {
+    let mut stack = vec![head];
+    while let Some(uid) = stack.pop() {
+        if !live.insert(uid) {
+            continue;
+        }
+        let obj = FObject::load(store, uid)?;
+        *versions += 1;
+        stack.extend(obj.bases.iter().copied());
+        let value = obj.value(store)?;
+        let Some((ty, root)) = value.tree_root() else {
+            continue;
+        };
+        let mut tree = vec![root];
+        while let Some(cid) = tree.pop() {
+            if !live.insert(cid) {
+                continue;
+            }
+            let chunk = store.get(&cid).ok_or(FbError::VersionNotFound(cid))?;
+            if chunk.ty().is_index() {
+                let (_, entries) = decode_index_payload(chunk.payload(), ty.is_sorted())
+                    .ok_or_else(|| FbError::Corrupt("bad index chunk".into()))?;
+                tree.extend(entries.iter().map(|e| e.cid));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The live set of an instance: every chunk reachable from any branch
+/// head of any key. The count of distinct live versions is returned
+/// alongside the cid set.
+pub fn live_set(db: &ForkBase) -> Result<(FxHashSet<Digest>, usize)> {
+    let snap = db.snapshot_branches();
+    let mut live = FxHashSet::default();
+    let mut versions = 0usize;
+    for head in snap.heads() {
+        // A head may appear in several branch tables; mark_version
+        // deduplicates through the `live` set.
+        if !live.contains(&head) {
+            mark_version(db.store(), head, &mut live, &mut versions)?;
+        }
+    }
+    Ok((live, versions))
+}
+
+/// Copy every live chunk of `db` into `target` and report what was kept
+/// and what was left behind. The source store is not modified; adopt the
+/// compacted store by reopening with [`ForkBase::restore`] after writing
+/// a fresh checkpoint into it.
+pub fn compact_into(db: &ForkBase, target: &dyn ChunkStore) -> Result<GcReport> {
+    let (live, live_versions) = live_set(db)?;
+    let mut report = GcReport {
+        live_versions,
+        ..Default::default()
+    };
+    for cid in &live {
+        let chunk = db
+            .store()
+            .get(cid)
+            .ok_or(FbError::VersionNotFound(*cid))?;
+        report.live_chunks += 1;
+        report.live_bytes += chunk.len() as u64;
+        target.put(chunk);
+    }
+    let src = db.store().stats();
+    report.dropped_chunks = src.stored_chunks.saturating_sub(report.live_chunks);
+    report.dropped_bytes = src.stored_bytes.saturating_sub(report.live_bytes);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::DEFAULT_BRANCH;
+    use crate::value::Value;
+    use crate::verify::verify_history;
+    use forkbase_chunk::{Chunk, ChunkType, MemStore};
+    use std::sync::Arc;
+
+    fn blob_bytes(n: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn everything_reachable_nothing_dropped() {
+        let db = ForkBase::in_memory();
+        for i in 0..10 {
+            db.put("k", None, Value::Int(i)).expect("put");
+        }
+        db.put("k2", None, Value::Blob(db.new_blob(&blob_bytes(50_000, 1))))
+            .expect("put");
+
+        let target = MemStore::new();
+        let report = compact_into(&db, &target).expect("gc");
+        assert_eq!(report.live_versions, 11, "10 versions of k + 1 of k2");
+        assert_eq!(report.dropped_chunks, 0);
+        assert_eq!(report.dropped_bytes, 0);
+        assert_eq!(target.stats().stored_chunks, report.live_chunks);
+    }
+
+    #[test]
+    fn removed_branch_versions_are_garbage() {
+        let db = ForkBase::in_memory();
+        db.put("k", None, Value::String("base".into())).expect("put");
+        db.fork("k", DEFAULT_BRANCH, "scratch").expect("fork");
+        // Exclusive work on the scratch branch: a large blob.
+        let blob = db.new_blob(&blob_bytes(100_000, 2));
+        db.put("k", Some("scratch"), Value::Blob(blob)).expect("put");
+        db.remove_branch("k", "scratch").expect("remove");
+
+        let target = MemStore::new();
+        let report = compact_into(&db, &target).expect("gc");
+        // The scratch blob (many chunks) is unreachable now.
+        assert!(
+            report.dropped_bytes > 50_000,
+            "scratch branch data must be dropped, dropped {}B",
+            report.dropped_bytes
+        );
+        // master's version survives and still verifies on the new store.
+        let head = db.head("k", None).expect("head");
+        verify_history(&target, head).expect("live history intact");
+    }
+
+    #[test]
+    fn shared_history_survives_branch_removal() {
+        let db = ForkBase::in_memory();
+        let v0 = db.put("k", None, Value::Int(0)).expect("put");
+        db.fork("k", DEFAULT_BRANCH, "b").expect("fork");
+        db.put("k", Some("b"), Value::Int(1)).expect("put");
+        db.remove_branch("k", DEFAULT_BRANCH).expect("remove master");
+
+        let target = MemStore::new();
+        compact_into(&db, &target).expect("gc");
+        // v0 is branch b's ancestor: reachable through bases even though
+        // the branch that created it is gone.
+        assert!(target.contains(&v0), "shared ancestor kept");
+        let b_head = db.head("k", Some("b")).expect("head");
+        verify_history(&target, b_head).expect("full chain intact");
+    }
+
+    #[test]
+    fn unreferenced_chunks_dropped() {
+        let db = ForkBase::in_memory();
+        db.put("k", None, Value::Int(1)).expect("put");
+        // Abandoned client-side work: chunks never referenced by a commit.
+        db.store()
+            .put(Chunk::new(ChunkType::Blob, blob_bytes(5000, 3)));
+        db.new_blob(&blob_bytes(20_000, 4)); // built, never committed
+
+        let target = MemStore::new();
+        let report = compact_into(&db, &target).expect("gc");
+        assert!(report.dropped_chunks >= 2);
+        assert!(report.dropped_bytes >= 25_000 - 100);
+    }
+
+    #[test]
+    fn untagged_heads_and_ancestors_are_roots() {
+        let db = ForkBase::in_memory();
+        let base = db.put_conflict("k", None, Value::Int(0)).expect("genesis");
+        db.put_conflict("k", Some(base), Value::Int(1)).expect("w1");
+        db.put_conflict("k", Some(base), Value::Int(2)).expect("w2");
+
+        let target = MemStore::new();
+        let report = compact_into(&db, &target).expect("gc");
+        assert_eq!(report.live_versions, 3, "base + both conflict heads");
+        assert_eq!(report.dropped_chunks, 0);
+    }
+
+    #[test]
+    fn compacted_store_round_trips_through_restore() {
+        let db = ForkBase::in_memory();
+        let data = blob_bytes(60_000, 5);
+        db.put("doc", None, Value::Blob(db.new_blob(&data))).expect("put");
+        db.fork("doc", DEFAULT_BRANCH, "draft").expect("fork");
+        db.put("doc", Some("draft"), Value::String("draft note".into()))
+            .expect("put");
+        db.remove_branch("doc", "draft").expect("remove");
+
+        // Compact, then re-checkpoint into the compacted store and reopen.
+        let target = Arc::new(MemStore::new());
+        compact_into(&db, target.as_ref()).expect("gc");
+        let db2 = ForkBase::restore(
+            target.clone(),
+            db.cfg().clone(),
+            {
+                // The checkpoint must live in the *target* store.
+                let chunk = db.snapshot_branches().to_chunk();
+                let cid = chunk.cid();
+                target.put(chunk);
+                cid
+            },
+        )
+        .expect("restore");
+
+        let blob = db2
+            .get_value("doc", None)
+            .expect("get")
+            .as_blob()
+            .expect("blob");
+        assert_eq!(blob.read_all(db2.store()).expect("read"), data);
+    }
+}

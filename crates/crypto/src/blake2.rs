@@ -1,0 +1,302 @@
+//! BLAKE2b (RFC 7693), from scratch.
+//!
+//! The paper (§4.2.1) uses SHA-256 as the default cid hash but notes that
+//! "faster alternatives, e.g., BLAKE2, can also be used to reduce
+//! computational overhead". This module provides BLAKE2b with a
+//! configurable output length (we use the 256-bit variant for cids, so a
+//! BLAKE2b digest fits the same 32-byte [`crate::Digest`]), enabling the
+//! Table-4 ablation: how much of the Put cost the CryptoHash line drops
+//! when SHA-256 is swapped out.
+//!
+//! Only the unkeyed, sequential mode is implemented — that is the mode a
+//! content-addressed store needs. Validated against the RFC 7693 appendix
+//! vector and the reference-implementation test vectors.
+
+use crate::digest::Digest;
+
+/// BLAKE2b initialization vector (the same constants as SHA-512's IV).
+const IV: [u64; 8] = [
+    0x6a09e667f3bcc908,
+    0xbb67ae8584caa73b,
+    0x3c6ef372fe94f82b,
+    0xa54ff53a5f1d36f1,
+    0x510e527fade682d1,
+    0x9b05688c2b3e6c1f,
+    0x1f83d9abfb41bd6b,
+    0x5be0cd19137e2179,
+];
+
+/// Message word schedule for the 12 rounds (rounds 10 and 11 repeat
+/// permutations 0 and 1).
+const SIGMA: [[usize; 16]; 12] = [
+    [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15],
+    [14, 10, 4, 8, 9, 15, 13, 6, 1, 12, 0, 2, 11, 7, 5, 3],
+    [11, 8, 12, 0, 5, 2, 15, 13, 10, 14, 3, 6, 7, 1, 9, 4],
+    [7, 9, 3, 1, 13, 12, 11, 14, 2, 6, 5, 10, 4, 0, 15, 8],
+    [9, 0, 5, 7, 2, 4, 10, 15, 14, 1, 11, 12, 6, 8, 3, 13],
+    [2, 12, 6, 10, 0, 11, 8, 3, 4, 13, 7, 5, 15, 14, 1, 9],
+    [12, 5, 1, 15, 14, 13, 4, 10, 0, 7, 6, 3, 9, 2, 8, 11],
+    [13, 11, 7, 14, 12, 1, 3, 9, 5, 0, 15, 4, 8, 6, 2, 10],
+    [6, 15, 14, 9, 11, 3, 0, 8, 12, 2, 13, 7, 1, 4, 10, 5],
+    [10, 2, 8, 4, 7, 6, 1, 5, 15, 11, 9, 14, 3, 12, 13, 0],
+    [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15],
+    [14, 10, 4, 8, 9, 15, 13, 6, 1, 12, 0, 2, 11, 7, 5, 3],
+];
+
+/// Streaming BLAKE2b hasher with a fixed output length of `NN` bytes
+/// (1 ≤ NN ≤ 64).
+#[derive(Clone)]
+pub struct Blake2b<const NN: usize = 32> {
+    h: [u64; 8],
+    /// 128-byte input block buffer.
+    buf: [u8; 128],
+    buf_len: usize,
+    /// Total bytes compressed so far (128-bit counter, low/high).
+    t: [u64; 2],
+}
+
+/// BLAKE2b-256: the drop-in 32-byte-digest variant used for cid ablation.
+pub type Blake2b256 = Blake2b<32>;
+
+impl<const NN: usize> Default for Blake2b<NN> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const NN: usize> Blake2b<NN> {
+    /// Start a new unkeyed hash with an `NN`-byte output.
+    pub fn new() -> Self {
+        assert!(NN >= 1 && NN <= 64, "BLAKE2b output must be 1..=64 bytes");
+        let mut h = IV;
+        // Parameter block word 0: digest length, key length 0, fanout 1,
+        // depth 1 (sequential mode, RFC 7693 §2.8).
+        h[0] ^= 0x0101_0000 ^ (NN as u64);
+        Blake2b {
+            h,
+            buf: [0u8; 128],
+            buf_len: 0,
+            t: [0, 0],
+        }
+    }
+
+    /// Absorb input bytes.
+    pub fn update(&mut self, mut input: &[u8]) {
+        // The final block must stay in the buffer (it is compressed with
+        // the finalization flag), so only compress when strictly more data
+        // follows a full buffer.
+        while !input.is_empty() {
+            if self.buf_len == 128 {
+                self.increment_counter(128);
+                self.compress(false);
+                self.buf_len = 0;
+            }
+            let take = (128 - self.buf_len).min(input.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&input[..take]);
+            self.buf_len += take;
+            input = &input[take..];
+        }
+    }
+
+    /// Finish and return the `NN`-byte digest.
+    pub fn finalize(mut self) -> [u8; NN] {
+        self.increment_counter(self.buf_len as u64);
+        // Zero-pad the final (possibly partial) block.
+        for b in &mut self.buf[self.buf_len..] {
+            *b = 0;
+        }
+        self.compress(true);
+        let mut out = [0u8; NN];
+        for (i, chunk) in out.chunks_mut(8).enumerate() {
+            let word = self.h[i].to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        out
+    }
+
+    fn increment_counter(&mut self, by: u64) {
+        let (lo, carry) = self.t[0].overflowing_add(by);
+        self.t[0] = lo;
+        if carry {
+            self.t[1] = self.t[1].wrapping_add(1);
+        }
+    }
+
+    fn compress(&mut self, last: bool) {
+        let mut m = [0u64; 16];
+        for (i, w) in m.iter_mut().enumerate() {
+            *w = u64::from_le_bytes(self.buf[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        }
+        let mut v = [0u64; 16];
+        v[..8].copy_from_slice(&self.h);
+        v[8..].copy_from_slice(&IV);
+        v[12] ^= self.t[0];
+        v[13] ^= self.t[1];
+        if last {
+            v[14] = !v[14];
+        }
+
+        #[inline(always)]
+        fn g(v: &mut [u64; 16], a: usize, b: usize, c: usize, d: usize, x: u64, y: u64) {
+            v[a] = v[a].wrapping_add(v[b]).wrapping_add(x);
+            v[d] = (v[d] ^ v[a]).rotate_right(32);
+            v[c] = v[c].wrapping_add(v[d]);
+            v[b] = (v[b] ^ v[c]).rotate_right(24);
+            v[a] = v[a].wrapping_add(v[b]).wrapping_add(y);
+            v[d] = (v[d] ^ v[a]).rotate_right(16);
+            v[c] = v[c].wrapping_add(v[d]);
+            v[b] = (v[b] ^ v[c]).rotate_right(63);
+        }
+
+        for s in &SIGMA {
+            g(&mut v, 0, 4, 8, 12, m[s[0]], m[s[1]]);
+            g(&mut v, 1, 5, 9, 13, m[s[2]], m[s[3]]);
+            g(&mut v, 2, 6, 10, 14, m[s[4]], m[s[5]]);
+            g(&mut v, 3, 7, 11, 15, m[s[6]], m[s[7]]);
+            g(&mut v, 0, 5, 10, 15, m[s[8]], m[s[9]]);
+            g(&mut v, 1, 6, 11, 12, m[s[10]], m[s[11]]);
+            g(&mut v, 2, 7, 8, 13, m[s[12]], m[s[13]]);
+            g(&mut v, 3, 4, 9, 14, m[s[14]], m[s[15]]);
+        }
+
+        for i in 0..8 {
+            self.h[i] ^= v[i] ^ v[i + 8];
+        }
+    }
+}
+
+/// Hash `bytes` with BLAKE2b-256 into the engine's 32-byte [`Digest`].
+pub fn blake2b_256(bytes: &[u8]) -> Digest {
+    let mut h = Blake2b256::new();
+    h.update(bytes);
+    Digest::from_bytes(h.finalize())
+}
+
+/// Hash several byte slices as one message (the multi-part shape used for
+/// `cid = H(type ‖ payload)`).
+pub fn blake2b_256_parts(parts: &[&[u8]]) -> Digest {
+    let mut h = Blake2b256::new();
+    for p in parts {
+        h.update(p);
+    }
+    Digest::from_bytes(h.finalize())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn b2b512(input: &[u8]) -> String {
+        let mut h = Blake2b::<64>::new();
+        h.update(input);
+        hex(&h.finalize())
+    }
+
+    /// RFC 7693 Appendix A: BLAKE2b-512("abc").
+    #[test]
+    fn rfc7693_abc_vector() {
+        assert_eq!(
+            b2b512(b"abc"),
+            "ba80a53f981c4d0d6a2797b69f12f6e94c212f14685ac4b74b12bb6fdbffa2d1\
+             7d87c5392aab792dc252d5de4533cc9518d38aa8dbf1925ab92386edd4009923"
+        );
+    }
+
+    /// Reference-implementation vector: BLAKE2b-512 of the empty string.
+    #[test]
+    fn empty_string_512() {
+        assert_eq!(
+            b2b512(b""),
+            "786a02f742015903c6c6fd852552d272912f4740e15847618a86e217f71f5419\
+             d25e1031afee585313896444934eb04b903a685b1448b755d56f701afe9be2ce"
+        );
+    }
+
+    /// Widely published vector: BLAKE2b-512 of the fox pangram.
+    #[test]
+    fn fox_512() {
+        assert_eq!(
+            b2b512(b"The quick brown fox jumps over the lazy dog"),
+            "a8add4bdddfd93e4877d2746e62817b116364a1fa7bc148d95090bc7333b3673\
+             f82401cf7aa2e4cb1ecd90296e3f14cb5413f8ed77be73045b13914cdcd6a918"
+        );
+    }
+
+    /// Reference-implementation vector: BLAKE2b-256 of the empty string.
+    #[test]
+    fn empty_string_256() {
+        assert_eq!(
+            blake2b_256(b"").to_hex(),
+            "0e5751c026e543b2e8ab2eb06099daa1d1e5df47778f7787faab45cdf12fe3a8"
+        );
+    }
+
+    /// Reference-implementation vector: BLAKE2b-256("abc").
+    #[test]
+    fn abc_256() {
+        assert_eq!(
+            blake2b_256(b"abc").to_hex(),
+            "bddd813c634239723171ef3fee98579b94964e3bb1cb3e427262c8c068d52319"
+        );
+    }
+
+    /// Streaming in odd-sized pieces must equal one-shot hashing,
+    /// including splits that straddle the 128-byte block boundary.
+    #[test]
+    fn streaming_equals_one_shot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 31 + 7) as u8).collect();
+        let whole = blake2b_256(&data);
+        for split in [1usize, 63, 64, 127, 128, 129, 255, 256, 500, 999] {
+            let mut h = Blake2b256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(Digest::from_bytes(h.finalize()), whole, "split={split}");
+        }
+        // Byte-at-a-time.
+        let mut h = Blake2b256::new();
+        for b in &data {
+            h.update(std::slice::from_ref(b));
+        }
+        assert_eq!(Digest::from_bytes(h.finalize()), whole);
+    }
+
+    /// Exactly one, and exactly two, full blocks exercise the "keep the
+    /// last block buffered" rule.
+    #[test]
+    fn block_boundary_lengths() {
+        for len in [127usize, 128, 129, 256] {
+            let data = vec![0xabu8; len];
+            let one = blake2b_256(&data);
+            let mut h = Blake2b256::new();
+            h.update(&data);
+            assert_eq!(Digest::from_bytes(h.finalize()), one, "len={len}");
+            // Different lengths of the same byte must differ.
+            let other = blake2b_256(&vec![0xabu8; len + 1]);
+            assert_ne!(one, other);
+        }
+    }
+
+    /// Output length is part of the parameter block: a 256-bit digest is
+    /// not a truncation of the 512-bit one.
+    #[test]
+    fn output_length_domain_separation() {
+        let mut h512 = Blake2b::<64>::new();
+        h512.update(b"abc");
+        let d512 = h512.finalize();
+        let d256 = blake2b_256(b"abc");
+        assert_ne!(&d512[..32], d256.as_bytes());
+    }
+
+    #[test]
+    fn parts_equal_concatenation() {
+        assert_eq!(
+            blake2b_256_parts(&[b"fork", b"base"]),
+            blake2b_256(b"forkbase")
+        );
+        assert_eq!(blake2b_256_parts(&[]), blake2b_256(b""));
+    }
+}

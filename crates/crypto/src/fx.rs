@@ -1,0 +1,119 @@
+//! A fast, non-cryptographic hasher for in-memory tables.
+//!
+//! The engine keeps many digest-keyed maps (chunk stores, branch tables,
+//! caches). SipHash's HashDoS resistance buys nothing there — keys are
+//! already uniformly distributed cids — so we use the FxHash algorithm
+//! (the rustc hasher): a single multiply-xor per word.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash word-at-a-time hasher.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let (word, rest) = bytes.split_at(8);
+            self.add_to_hash(u64::from_le_bytes(word.try_into().expect("8 bytes")));
+            bytes = rest;
+        }
+        if bytes.len() >= 4 {
+            let (word, rest) = bytes.split_at(4);
+            self.add_to_hash(u32::from_le_bytes(word.try_into().expect("4 bytes")) as u64);
+            bytes = rest;
+        }
+        for &b in bytes {
+            self.add_to_hash(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_basic_operations() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        m.insert("a".into(), 1);
+        m.insert("b".into(), 2);
+        assert_eq!(m.get("a"), Some(&1));
+        assert_eq!(m.get("b"), Some(&2));
+        assert_eq!(m.get("c"), None);
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let h = |bytes: &[u8]| {
+            let mut hasher = FxHasher::default();
+            hasher.write(bytes);
+            hasher.finish()
+        };
+        assert_eq!(h(b"hello world"), h(b"hello world"));
+        assert_ne!(h(b"hello world"), h(b"hello worle"));
+    }
+
+    #[test]
+    fn mixed_length_writes_differ() {
+        let mut a = FxHasher::default();
+        a.write(b"12345678");
+        let mut b = FxHasher::default();
+        b.write(b"1234");
+        b.write(b"5678");
+        // Not required to be equal (not a streaming hash), just both stable.
+        let _ = (a.finish(), b.finish());
+    }
+
+    #[test]
+    fn set_deduplicates() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..100 {
+            s.insert(i % 10);
+        }
+        assert_eq!(s.len(), 10);
+    }
+}

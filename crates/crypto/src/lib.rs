@@ -1,0 +1,55 @@
+//! Hash primitives underpinning the ForkBase storage engine.
+//!
+//! ForkBase (Wang et al., VLDB 2018) identifies every chunk by a
+//! cryptographic hash of its content (`cid = H(chunk.bytes)`, §4.2.1) and
+//! finds chunk boundaries with a rolling hash over the object content
+//! (§4.3.2). This crate provides both from scratch:
+//!
+//! * [`sha256`] — a FIPS 180-4 SHA-256 implementation (the paper's default
+//!   `H`). No external crypto crates are used.
+//! * [`Digest`] — the 32-byte content identifier type used across the
+//!   workspace.
+//! * [`rolling`] — the cyclic-polynomial rolling hash from the paper
+//!   (Cohen, "Recursive hashing functions for n-grams"), plus Rabin–Karp and
+//!   moving-sum alternatives behind the same [`rolling::RollingHash`] trait
+//!   so the choice can be ablated.
+//! * [`chunker`] — the pattern-detection parameters (`q`, `r`, window size,
+//!   forced-split factor α) of §4.3.2–4.3.3 packaged as a reusable
+//!   configuration, and a streaming boundary detector.
+//! * [`fx`] — a fast non-cryptographic hasher for in-memory tables (the
+//!   FxHash algorithm), used where HashDoS resistance is irrelevant.
+//! * [`blake2`] — BLAKE2b (RFC 7693), the paper's suggested faster
+//!   alternative to SHA-256, for the CryptoHash-cost ablation.
+
+pub mod blake2;
+pub mod chunker;
+pub mod digest;
+pub mod fixed;
+pub mod fx;
+pub mod rolling;
+pub mod sha256;
+
+pub use blake2::{blake2b_256, blake2b_256_parts, Blake2b, Blake2b256};
+pub use fixed::{dedup_fixed, dedup_pattern, fixed_split_positions, DedupStats};
+pub use chunker::{ChunkerConfig, LeafChunker};
+pub use digest::Digest;
+pub use rolling::{CyclicPoly, MovingSum, RabinKarp, RollingHash, RollingKind};
+pub use sha256::Sha256;
+
+/// Convenience: hash `bytes` with the engine's default hash function
+/// (SHA-256) and return the 32-byte digest.
+pub fn hash_bytes(bytes: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(bytes);
+    h.finalize()
+}
+
+/// Convenience: hash the concatenation of several byte slices without
+/// materializing it.
+pub fn hash_parts(parts: &[&[u8]]) -> Digest {
+    let mut h = Sha256::new();
+    for p in parts {
+        h.update(p);
+    }
+    h.finalize()
+}

@@ -1,0 +1,64 @@
+//! The state-backend abstraction the ledger runs on.
+
+use crate::types::Block;
+use bytes::Bytes;
+
+/// A plain key-value store a [`crate::KvBackend`] can sit on — either
+/// [`rockslite::RocksLite`] (the "Rocksdb" configuration) or ForkBase used
+/// as a pure KV store (the "ForkBase-KV" configuration).
+pub trait KvAdapter: Send + Sync {
+    /// Read a key.
+    fn kv_get(&self, key: &[u8]) -> Option<Bytes>;
+
+    /// Write a key.
+    fn kv_put(&self, key: &[u8], value: &[u8]);
+
+    /// Label for benchmark output.
+    fn label(&self) -> String;
+}
+
+impl KvAdapter for rockslite::RocksLite {
+    fn kv_get(&self, key: &[u8]) -> Option<Bytes> {
+        self.get(key).expect("rockslite io")
+    }
+
+    fn kv_put(&self, key: &[u8], value: &[u8]) {
+        self.put(key, value).expect("rockslite io");
+    }
+
+    fn label(&self) -> String {
+        "Rocksdb".to_string()
+    }
+}
+
+/// What the ledger node needs from a state implementation: execution-time
+/// reads/buffered writes, block commits, persistence, and the two
+/// analytical queries of §6.2.3.
+pub trait StateBackend: Send {
+    /// Read the *committed* value of a state key (writes are buffered
+    /// until commit, per Hyperledger's execution model, §5.1.1).
+    fn read(&self, contract: &str, key: &[u8]) -> Option<Bytes>;
+
+    /// Buffer a write; visible after the next commit.
+    fn stage(&mut self, contract: &str, key: &[u8], value: Bytes);
+
+    /// Commit all staged writes as block `height`'s state transition;
+    /// returns the state reference embedded in the block header (Merkle
+    /// root for KV backends, state-Map uid for the ForkBase backend).
+    fn commit(&mut self, height: u64) -> Bytes;
+
+    /// Persist a block.
+    fn store_block(&mut self, block: &Block);
+
+    /// Load a block by height.
+    fn load_block(&self, height: u64) -> Option<Block>;
+
+    /// State scan: the full value history of a key, newest first.
+    fn state_scan(&mut self, contract: &str, key: &[u8]) -> Vec<Bytes>;
+
+    /// Block scan: all of a contract's key/value states as of `height`.
+    fn block_scan(&mut self, contract: &str, height: u64) -> Vec<(Bytes, Bytes)>;
+
+    /// Label for benchmark output.
+    fn label(&self) -> String;
+}

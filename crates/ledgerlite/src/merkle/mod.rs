@@ -1,0 +1,33 @@
+//! Merkle state-authentication structures of Hyperledger v0.6 (§6.2.2).
+//!
+//! Hyperledger offers two implementations: a **bucket tree** whose leaf
+//! count is fixed at start-up (small bucket counts suffer severe write
+//! amplification as state grows — Fig. 11), and a **trie** with low
+//! amplification but unbalanced, longer traversals. ForkBase replaces
+//! both with its Map objects, which re-balance dynamically.
+
+pub mod bucket;
+pub mod trie;
+
+pub use bucket::BucketTree;
+pub use trie::MerkleTrie;
+
+use bytes::Bytes;
+use forkbase_crypto::Digest;
+
+/// A state-authentication structure: absorb a batch of key/value updates,
+/// produce the new authenticated root.
+pub trait MerkleTree: Send {
+    /// Apply updates and return the new root hash.
+    fn update_batch(&mut self, updates: &[(Bytes, Bytes)]) -> Digest;
+
+    /// Current root hash.
+    fn root(&self) -> Digest;
+
+    /// Hash computations performed since construction (a proxy for the
+    /// write-amplification the paper's Fig. 11 exposes).
+    fn hash_ops(&self) -> u64;
+
+    /// Descriptive name for benchmark output.
+    fn name(&self) -> String;
+}

@@ -1,0 +1,192 @@
+//! The Hyperledger trie: a nibble-wise Merkle trie over state keys.
+//!
+//! "The trie structure exhibits low amplification, but the latency is
+//! higher than ForkBase because the structure is not balanced, therefore
+//! it may require longer tree traversals during updates" (§6.2.2). Keys
+//! with long shared prefixes (like `user00000123`) produce deep paths;
+//! every update re-hashes one node per path nibble.
+
+use super::MerkleTree;
+use bytes::Bytes;
+use forkbase_crypto::{hash_bytes, Digest, Sha256};
+
+#[derive(Clone)]
+struct Node {
+    children: [Option<usize>; 16],
+    value_hash: Option<Digest>,
+    hash: Digest,
+}
+
+impl Node {
+    fn new() -> Node {
+        Node {
+            children: [None; 16],
+            value_hash: None,
+            hash: Digest::ZERO,
+        }
+    }
+}
+
+/// A 16-ary Merkle trie keyed by key nibbles.
+pub struct MerkleTrie {
+    nodes: Vec<Node>,
+    root: usize,
+    hash_ops: u64,
+}
+
+impl Default for MerkleTrie {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MerkleTrie {
+    /// Empty trie.
+    pub fn new() -> MerkleTrie {
+        MerkleTrie {
+            nodes: vec![Node::new()],
+            root: 0,
+            hash_ops: 0,
+        }
+    }
+
+    fn nibbles(key: &[u8]) -> impl Iterator<Item = usize> + '_ {
+        key.iter().flat_map(|b| [(b >> 4) as usize, (b & 0xf) as usize])
+    }
+
+    /// Path depth for a key (diagnostics: the traversal length).
+    pub fn depth_of(&self, key: &[u8]) -> usize {
+        key.len() * 2
+    }
+
+    /// Number of allocated trie nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn rehash(&mut self, idx: usize) {
+        let mut h = Sha256::new();
+        for child in self.nodes[idx].children.iter().flatten() {
+            h.update(self.nodes[*child].hash.as_bytes());
+        }
+        if let Some(vh) = &self.nodes[idx].value_hash {
+            h.update(vh.as_bytes());
+        }
+        self.nodes[idx].hash = h.finalize();
+        self.hash_ops += 1;
+    }
+}
+
+impl MerkleTree for MerkleTrie {
+    fn update_batch(&mut self, updates: &[(Bytes, Bytes)]) -> Digest {
+        for (key, value) in updates {
+            // Walk/create the path, remembering it for the re-hash pass.
+            let mut path = vec![self.root];
+            let mut cur = self.root;
+            for nib in Self::nibbles(key) {
+                let next = match self.nodes[cur].children[nib] {
+                    Some(n) => n,
+                    None => {
+                        let n = self.nodes.len();
+                        self.nodes.push(Node::new());
+                        self.nodes[cur].children[nib] = Some(n);
+                        n
+                    }
+                };
+                path.push(next);
+                cur = next;
+            }
+            self.nodes[cur].value_hash = Some(hash_bytes(value));
+            self.hash_ops += 1;
+            // Re-hash the full path bottom-up: one hash per nibble — the
+            // "longer traversals" cost.
+            for idx in path.into_iter().rev() {
+                self.rehash(idx);
+            }
+        }
+        self.root()
+    }
+
+    fn root(&self) -> Digest {
+        self.nodes[self.root].hash
+    }
+
+    fn hash_ops(&self) -> u64 {
+        self.hash_ops
+    }
+
+    fn name(&self) -> String {
+        "trie".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn updates(n: usize, tag: &str) -> Vec<(Bytes, Bytes)> {
+        (0..n)
+            .map(|i| {
+                (
+                    Bytes::from(format!("user{i:08}")),
+                    Bytes::from(format!("{tag}-{i}")),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn root_tracks_state() {
+        let mut t = MerkleTrie::new();
+        let r0 = t.root();
+        let r1 = t.update_batch(&updates(10, "a"));
+        assert_ne!(r0, r1);
+        let r2 = t.update_batch(&[(Bytes::from("user00000003"), Bytes::from("changed"))]);
+        assert_ne!(r1, r2);
+    }
+
+    #[test]
+    fn same_state_same_root() {
+        let mut a = MerkleTrie::new();
+        let mut b = MerkleTrie::new();
+        let ups = updates(50, "x");
+        a.update_batch(&ups);
+        // Reverse insertion order reaches the same state.
+        let rev: Vec<_> = ups.iter().rev().cloned().collect();
+        b.update_batch(&rev);
+        assert_eq!(a.root(), b.root());
+    }
+
+    #[test]
+    fn update_cost_scales_with_key_depth() {
+        let mut t = MerkleTrie::new();
+        t.update_batch(&updates(100, "init"));
+        let before = t.hash_ops();
+        t.update_batch(&[(Bytes::from("user00000050"), Bytes::from("edit"))]);
+        let cost = t.hash_ops() - before;
+        // 12-byte key = 24 nibbles + root + value hash.
+        assert!(cost >= 24, "one hash per path nibble, got {cost}");
+    }
+
+    #[test]
+    fn shared_prefixes_share_nodes() {
+        let mut t = MerkleTrie::new();
+        t.update_batch(&updates(100, "v"));
+        // Keys share the "user000000" prefix; far fewer nodes than
+        // 100 × 24 nibbles.
+        assert!(
+            t.node_count() < 100 * 24 / 2,
+            "prefix sharing expected, got {} nodes",
+            t.node_count()
+        );
+    }
+
+    #[test]
+    fn idempotent_rewrite_keeps_root() {
+        let mut t = MerkleTrie::new();
+        t.update_batch(&updates(10, "v"));
+        let r = t.root();
+        t.update_batch(&updates(10, "v"));
+        assert_eq!(t.root(), r);
+    }
+}

@@ -1,0 +1,249 @@
+//! The ledger node: executes transactions against a state backend and
+//! packs write transactions into hash-chained blocks.
+//!
+//! Mirrors Hyperledger's execution model (§5.1.1): reads hit storage
+//! directly, writes buffer in memory, and a commit fires when the batch
+//! reaches the block size `b`. Per-operation latencies are recorded so
+//! the harness can report Fig. 9's percentiles and Fig. 11's CDFs.
+
+use crate::backend::StateBackend;
+use crate::types::{Block, Transaction, TxOp};
+use forkbase_crypto::Digest;
+use std::time::Instant;
+
+/// Recorded operation latencies, in nanoseconds.
+#[derive(Clone, Debug, Default)]
+pub struct OpTimings {
+    /// One sample per read operation.
+    pub reads_ns: Vec<u64>,
+    /// One sample per write operation.
+    pub writes_ns: Vec<u64>,
+    /// One sample per block commit.
+    pub commits_ns: Vec<u64>,
+}
+
+impl OpTimings {
+    /// The p-th percentile (0–100) of a sample set, in nanoseconds.
+    pub fn percentile(samples: &[u64], p: f64) -> u64 {
+        if samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+}
+
+/// A single ledger node over a pluggable state backend.
+pub struct LedgerNode<B: StateBackend> {
+    backend: B,
+    block_size: usize,
+    pending: Vec<Transaction>,
+    chain: Vec<Digest>,
+    timings: OpTimings,
+    txns_committed: u64,
+}
+
+impl<B: StateBackend> LedgerNode<B> {
+    /// A node packing `block_size` write transactions per block.
+    pub fn new(backend: B, block_size: usize) -> Self {
+        LedgerNode {
+            backend,
+            block_size,
+            pending: Vec::new(),
+            chain: Vec::new(),
+            timings: OpTimings::default(),
+            txns_committed: 0,
+        }
+    }
+
+    /// Execute a transaction; commits a block when the batch fills.
+    /// Returns the block hash if this submission sealed a block.
+    pub fn submit(&mut self, txn: Transaction) -> Option<Digest> {
+        for op in &txn.ops {
+            match op {
+                TxOp::Get(key) => {
+                    let t = Instant::now();
+                    let _ = self.backend.read(&txn.contract, key);
+                    self.timings.reads_ns.push(t.elapsed().as_nanos() as u64);
+                }
+                TxOp::Put(key, value) => {
+                    let t = Instant::now();
+                    self.backend.stage(&txn.contract, key, value.clone());
+                    self.timings.writes_ns.push(t.elapsed().as_nanos() as u64);
+                }
+            }
+        }
+        // Only state-updating transactions are stored in the block
+        // (§5.1.1).
+        if txn.is_write() {
+            self.pending.push(txn);
+        }
+        if self.pending.len() >= self.block_size {
+            Some(self.commit_block())
+        } else {
+            None
+        }
+    }
+
+    /// Seal the pending batch into a block (no-op hash if empty).
+    pub fn commit_block(&mut self) -> Digest {
+        let height = self.chain.len() as u64;
+        let prev_hash = self.chain.last().copied().unwrap_or(Digest::ZERO);
+        let txns = std::mem::take(&mut self.pending);
+        self.txns_committed += txns.len() as u64;
+
+        let t = Instant::now();
+        let state_ref = self.backend.commit(height);
+        let block = Block::new(height, prev_hash, state_ref, txns);
+        self.backend.store_block(&block);
+        self.timings.commits_ns.push(t.elapsed().as_nanos() as u64);
+
+        let hash = block.hash();
+        self.chain.push(hash);
+        hash
+    }
+
+    /// Force-commit any pending transactions (the block timer firing).
+    pub fn flush(&mut self) -> Option<Digest> {
+        (!self.pending.is_empty()).then(|| self.commit_block())
+    }
+
+    /// Chain length in blocks.
+    pub fn height(&self) -> u64 {
+        self.chain.len() as u64
+    }
+
+    /// Total transactions committed into blocks.
+    pub fn txns_committed(&self) -> u64 {
+        self.txns_committed
+    }
+
+    /// Recorded latencies.
+    pub fn timings(&self) -> &OpTimings {
+        &self.timings
+    }
+
+    /// Clear recorded latencies (between benchmark phases).
+    pub fn reset_timings(&mut self) {
+        self.timings = OpTimings::default();
+    }
+
+    /// Backend access (analytics queries, verification).
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// Backend access (read-only).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Re-load every block and verify the hash chain end to end.
+    pub fn verify_chain(&self) -> bool {
+        let mut blocks = Vec::with_capacity(self.chain.len());
+        for h in 0..self.chain.len() as u64 {
+            match self.backend.load_block(h) {
+                Some(b) => blocks.push(b),
+                None => return false,
+            }
+        }
+        if Block::verify_chain(&blocks).is_some() {
+            return false;
+        }
+        // Stored hashes must match recomputed ones.
+        blocks
+            .iter()
+            .zip(&self.chain)
+            .all(|(b, h)| b.hash() == *h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fb_backend::ForkBaseBackend;
+    use crate::kv_backend::KvBackend;
+    use crate::merkle::BucketTree;
+    use bytes::Bytes;
+
+    fn run_workload<B: StateBackend>(node: &mut LedgerNode<B>, n: usize) {
+        for i in 0..n {
+            if i % 2 == 0 {
+                node.submit(Transaction::put("kv", format!("key-{}", i % 50), format!("val-{i}")));
+            } else {
+                node.submit(Transaction::get("kv", format!("key-{}", i % 50)));
+            }
+        }
+        node.flush();
+    }
+
+    #[test]
+    fn blocks_form_verified_chain_forkbase() {
+        let mut node = LedgerNode::new(ForkBaseBackend::in_memory(), 10);
+        run_workload(&mut node, 200);
+        assert_eq!(node.height(), 10, "100 writes / 10 per block");
+        assert_eq!(node.txns_committed(), 100);
+        assert!(node.verify_chain());
+    }
+
+    #[test]
+    fn blocks_form_verified_chain_kv() {
+        let dir = std::env::temp_dir().join(format!("ledger-node-kv-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let kv = rockslite::RocksLite::open(&dir).expect("open");
+        let mut node = LedgerNode::new(KvBackend::new(kv, Box::new(BucketTree::new(64))), 10);
+        run_workload(&mut node, 200);
+        assert_eq!(node.height(), 10);
+        assert!(node.verify_chain());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn committed_state_visible_across_blocks() {
+        let mut node = LedgerNode::new(ForkBaseBackend::in_memory(), 5);
+        for i in 0..5 {
+            node.submit(Transaction::put("kv", "k", format!("v{i}")));
+        }
+        // Block sealed; the value is now committed and readable.
+        assert_eq!(
+            node.backend().read("kv", b"k"),
+            Some(Bytes::from("v4")),
+            "last write in the block wins"
+        );
+    }
+
+    #[test]
+    fn timings_recorded_per_op() {
+        let mut node = LedgerNode::new(ForkBaseBackend::in_memory(), 50);
+        run_workload(&mut node, 100);
+        let t = node.timings();
+        assert_eq!(t.writes_ns.len(), 50);
+        assert_eq!(t.reads_ns.len(), 50);
+        assert_eq!(t.commits_ns.len(), 1);
+    }
+
+    #[test]
+    fn percentile_math() {
+        let samples: Vec<u64> = (1..=100).collect();
+        assert_eq!(OpTimings::percentile(&samples, 95.0), 95);
+        assert_eq!(OpTimings::percentile(&samples, 0.0), 1);
+        assert_eq!(OpTimings::percentile(&samples, 100.0), 100);
+        assert_eq!(OpTimings::percentile(&[], 95.0), 0);
+    }
+
+    #[test]
+    fn read_only_txns_not_stored_in_blocks() {
+        let mut node = LedgerNode::new(ForkBaseBackend::in_memory(), 2);
+        node.submit(Transaction::get("kv", "a"));
+        node.submit(Transaction::get("kv", "b"));
+        node.submit(Transaction::get("kv", "c"));
+        assert_eq!(node.height(), 0, "reads never seal blocks");
+        node.submit(Transaction::put("kv", "a", "1"));
+        node.submit(Transaction::put("kv", "b", "2"));
+        assert_eq!(node.height(), 1);
+        let block = node.backend().load_block(0).expect("stored");
+        assert_eq!(block.txns.len(), 2, "only writes packed");
+    }
+}

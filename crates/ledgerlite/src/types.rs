@@ -1,0 +1,261 @@
+//! Blocks, transactions and the hash chain.
+
+use bytes::Bytes;
+use forkbase_chunk::codec::{get_bytes, get_varint, put_bytes, put_varint};
+use forkbase_crypto::{hash_bytes, Digest};
+
+/// One operation inside a key-value smart-contract transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxOp {
+    /// Read a state key.
+    Get(Bytes),
+    /// Write a state key.
+    Put(Bytes, Bytes),
+}
+
+/// A smart-contract invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Transaction {
+    /// Target contract id.
+    pub contract: String,
+    /// Operations, executed in order.
+    pub ops: Vec<TxOp>,
+}
+
+impl Transaction {
+    /// A single-op write transaction.
+    pub fn put(contract: &str, key: impl Into<Bytes>, value: impl Into<Bytes>) -> Transaction {
+        Transaction {
+            contract: contract.to_string(),
+            ops: vec![TxOp::Put(key.into(), value.into())],
+        }
+    }
+
+    /// A single-op read transaction.
+    pub fn get(contract: &str, key: impl Into<Bytes>) -> Transaction {
+        Transaction {
+            contract: contract.to_string(),
+            ops: vec![TxOp::Get(key.into())],
+        }
+    }
+
+    /// True if the transaction writes state (only those are stored in
+    /// blocks, §5.1.1).
+    pub fn is_write(&self) -> bool {
+        self.ops.iter().any(|op| matches!(op, TxOp::Put(..)))
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        put_bytes(out, self.contract.as_bytes());
+        put_varint(out, self.ops.len() as u64);
+        for op in &self.ops {
+            match op {
+                TxOp::Get(k) => {
+                    out.push(0);
+                    put_bytes(out, k);
+                }
+                TxOp::Put(k, v) => {
+                    out.push(1);
+                    put_bytes(out, k);
+                    put_bytes(out, v);
+                }
+            }
+        }
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Option<Transaction> {
+        let contract = String::from_utf8(get_bytes(buf, pos)?.to_vec()).ok()?;
+        let n = get_varint(buf, pos)? as usize;
+        let mut ops = Vec::with_capacity(n);
+        for _ in 0..n {
+            let tag = *buf.get(*pos)?;
+            *pos += 1;
+            ops.push(match tag {
+                0 => TxOp::Get(Bytes::copy_from_slice(get_bytes(buf, pos)?)),
+                1 => {
+                    let k = Bytes::copy_from_slice(get_bytes(buf, pos)?);
+                    let v = Bytes::copy_from_slice(get_bytes(buf, pos)?);
+                    TxOp::Put(k, v)
+                }
+                _ => return None,
+            });
+        }
+        Some(Transaction { contract, ops })
+    }
+}
+
+/// Block header: everything the block hash commits to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// Height in the chain (0 = genesis).
+    pub height: u64,
+    /// Hash of the previous block (zero for genesis).
+    pub prev_hash: Digest,
+    /// Backend-specific state reference: the Merkle root (KV backends) or
+    /// the first-level Map uid (ForkBase backend).
+    pub state_ref: Bytes,
+    /// Hash over the serialized transactions.
+    pub txn_root: Digest,
+}
+
+/// A block: header plus the write transactions it packs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// The header.
+    pub header: BlockHeader,
+    /// Packed transactions.
+    pub txns: Vec<Transaction>,
+}
+
+impl Block {
+    /// Assemble a block, computing the transaction root.
+    pub fn new(height: u64, prev_hash: Digest, state_ref: Bytes, txns: Vec<Transaction>) -> Block {
+        let mut txn_bytes = Vec::new();
+        for t in &txns {
+            t.encode_into(&mut txn_bytes);
+        }
+        Block {
+            header: BlockHeader {
+                height,
+                prev_hash,
+                state_ref,
+                txn_root: hash_bytes(&txn_bytes),
+            },
+            txns,
+        }
+    }
+
+    /// The block hash: SHA-256 over the encoded header.
+    pub fn hash(&self) -> Digest {
+        let mut buf = Vec::with_capacity(128);
+        put_varint(&mut buf, self.header.height);
+        buf.extend_from_slice(self.header.prev_hash.as_bytes());
+        put_bytes(&mut buf, &self.header.state_ref);
+        buf.extend_from_slice(self.header.txn_root.as_bytes());
+        hash_bytes(&buf)
+    }
+
+    /// Serialize for persistence.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_varint(&mut out, self.header.height);
+        out.extend_from_slice(self.header.prev_hash.as_bytes());
+        put_bytes(&mut out, &self.header.state_ref);
+        out.extend_from_slice(self.header.txn_root.as_bytes());
+        put_varint(&mut out, self.txns.len() as u64);
+        for t in &self.txns {
+            t.encode_into(&mut out);
+        }
+        out
+    }
+
+    /// Deserialize.
+    pub fn decode(buf: &[u8]) -> Option<Block> {
+        let mut pos = 0usize;
+        let height = get_varint(buf, &mut pos)?;
+        let prev_hash = Digest::from_slice(buf.get(pos..pos + 32)?)?;
+        pos += 32;
+        let state_ref = Bytes::copy_from_slice(get_bytes(buf, &mut pos)?);
+        let txn_root = Digest::from_slice(buf.get(pos..pos + 32)?)?;
+        pos += 32;
+        let n = get_varint(buf, &mut pos)? as usize;
+        let mut txns = Vec::with_capacity(n);
+        for _ in 0..n {
+            txns.push(Transaction::decode(buf, &mut pos)?);
+        }
+        Some(Block {
+            header: BlockHeader {
+                height,
+                prev_hash,
+                state_ref,
+                txn_root,
+            },
+            txns,
+        })
+    }
+
+    /// Verify the chain linkage and txn root of `blocks` (ascending
+    /// heights). Returns the first bad height, if any.
+    pub fn verify_chain(blocks: &[Block]) -> Option<u64> {
+        let mut prev = Digest::ZERO;
+        for b in blocks {
+            if b.header.prev_hash != prev {
+                return Some(b.header.height);
+            }
+            let recomputed = Block::new(
+                b.header.height,
+                b.header.prev_hash,
+                b.header.state_ref.clone(),
+                b.txns.clone(),
+            );
+            if recomputed.header.txn_root != b.header.txn_root {
+                return Some(b.header.height);
+            }
+            prev = b.hash();
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_txns() -> Vec<Transaction> {
+        vec![
+            Transaction::put("kv", "k1", "v1"),
+            Transaction::get("kv", "k2"),
+            Transaction {
+                contract: "kv".into(),
+                ops: vec![
+                    TxOp::Get(Bytes::from("a")),
+                    TxOp::Put(Bytes::from("b"), Bytes::from("c")),
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn block_encode_round_trip() {
+        let block = Block::new(7, hash_bytes(b"prev"), Bytes::from("stateref"), sample_txns());
+        let decoded = Block::decode(&block.encode()).expect("valid");
+        assert_eq!(decoded, block);
+        assert_eq!(decoded.hash(), block.hash());
+    }
+
+    #[test]
+    fn hash_commits_to_header() {
+        let a = Block::new(1, Digest::ZERO, Bytes::from("s"), sample_txns());
+        let b = Block::new(2, Digest::ZERO, Bytes::from("s"), sample_txns());
+        let c = Block::new(1, Digest::ZERO, Bytes::from("t"), sample_txns());
+        assert_ne!(a.hash(), b.hash());
+        assert_ne!(a.hash(), c.hash());
+    }
+
+    #[test]
+    fn chain_verification() {
+        let b0 = Block::new(0, Digest::ZERO, Bytes::from("s0"), vec![]);
+        let b1 = Block::new(1, b0.hash(), Bytes::from("s1"), sample_txns());
+        let b2 = Block::new(2, b1.hash(), Bytes::from("s2"), vec![]);
+        assert_eq!(Block::verify_chain(&[b0.clone(), b1.clone(), b2.clone()]), None);
+
+        // Tamper with the middle block's state: linkage breaks at 2.
+        let mut forged = b1.clone();
+        forged.header.state_ref = Bytes::from("evil");
+        assert_eq!(
+            Block::verify_chain(&[b0.clone(), forged, b2.clone()]),
+            Some(2)
+        );
+
+        // Tamper with transactions: txn root mismatch at 1.
+        let mut forged = b1.clone();
+        forged.txns.push(Transaction::put("kv", "evil", "injected"));
+        assert_eq!(Block::verify_chain(&[b0, forged, b2]), Some(1));
+    }
+
+    #[test]
+    fn is_write_detects_puts() {
+        assert!(Transaction::put("kv", "k", "v").is_write());
+        assert!(!Transaction::get("kv", "k").is_write());
+    }
+}

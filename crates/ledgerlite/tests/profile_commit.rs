@@ -1,0 +1,86 @@
+//! Manual profiling probe for the ForkBase backend commit path.
+//! Run: cargo test --release -p ledgerlite --test profile_commit -- --ignored --nocapture
+
+use bytes::Bytes;
+use ledgerlite::{ForkBaseBackend, StateBackend};
+use std::time::Instant;
+
+#[test]
+#[ignore]
+fn commit_breakdown_at_scale() {
+    let mut b = ForkBaseBackend::in_memory();
+    let n_keys = 100_000usize;
+    // Populate: 2000 blocks of 50 writes to build a big second-level map.
+    let mut h = 0u64;
+    let t = Instant::now();
+    for block in 0..1000 {
+        for i in 0..50 {
+            let k = format!("user{:010}", (block * 50 + i) % n_keys);
+            b.stage("kv", k.as_bytes(), Bytes::from(format!("v-{block}-{i}")));
+        }
+        b.commit(h);
+        h += 1;
+    }
+    println!("populate 1000 blocks: {:?} ({:?}/commit)", t.elapsed(), t.elapsed() / 1000);
+
+    // Timed phase.
+    let t = Instant::now();
+    let rounds = 50;
+    for block in 0..rounds {
+        for i in 0..50 {
+            let k = format!("user{:010}", (block * 7919 + i * 104729) % n_keys);
+            b.stage("kv", k.as_bytes(), Bytes::from(format!("w-{block}-{i}")));
+        }
+        b.commit(h);
+        h += 1;
+    }
+    println!("steady-state: {:?}/commit", t.elapsed() / rounds as u32);
+}
+
+#[test]
+#[ignore]
+fn commit_component_breakdown() {
+    use forkbase_core::{ForkBase, Value};
+    use forkbase_crypto::ChunkerConfig;
+    let cfg = ChunkerConfig::with_leaf_bits(10);
+    let db = ForkBase::with_store(
+        std::sync::Arc::new(forkbase_chunk::MemStore::new()),
+        cfg,
+    );
+
+    // A 100K-entry map like the second-level state map.
+    let map = db.new_map((0..100_000u32).map(|i| {
+        (
+            Bytes::from(format!("user{i:010}")),
+            Bytes::copy_from_slice(&[0u8; 32]),
+        )
+    }));
+    db.put("m", None, Value::Map(map)).unwrap();
+
+    // 50 value-blob puts (fresh lineages).
+    let t = Instant::now();
+    let rounds = 20;
+    for r in 0..rounds {
+        for i in 0..50 {
+            let k = Bytes::from(format!("s/kv/user{:010}", r * 50 + i));
+            let blob = db.new_blob(format!("value-{r}-{i}").as_bytes());
+            db.put_conflict(k, None, Value::Blob(blob)).unwrap();
+        }
+    }
+    println!("50 value puts: {:?}", t.elapsed() / rounds as u32);
+
+    // 50-edit batched map update.
+    let t = Instant::now();
+    for r in 0..rounds {
+        let map = db.get_value("m", None).unwrap().as_map().unwrap();
+        let edits = (0..50u32).map(|i| {
+            (
+                Bytes::from(format!("user{:010}", (r * 7919 + i * 104729) % 100_000)),
+                Some(Bytes::copy_from_slice(&[r as u8; 32])),
+            )
+        });
+        let map = map.update(db.store(), db.cfg(), edits).unwrap();
+        db.put("m", None, Value::Map(map)).unwrap();
+    }
+    println!("50-edit map update: {:?}", t.elapsed() / rounds as u32);
+}

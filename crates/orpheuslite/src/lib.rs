@@ -1,0 +1,316 @@
+//! **orpheuslite** — a dataset-versioning system modelled on OrpheusDB
+//! (Xu et al., SIGMOD 2017), the baseline of the paper's collaborative
+//! analytics evaluation (§6.4).
+//!
+//! OrpheusDB stores a *collaborative versioned dataset* as
+//! * a record table holding every record version once, keyed by a
+//!   record id (`rid`), and
+//! * per dataset-version an **rlist**: the full vector of rids making up
+//!   that version.
+//!
+//! The behaviours the paper's comparison rests on, preserved here:
+//!
+//! * **checkout materializes a full working copy** (Fig. 16(a): ForkBase
+//!   returns a handle and fetches chunks lazily; OrpheusDB reconstructs
+//!   the whole table);
+//! * **commit stores modified records *and a complete new rlist*** —
+//!   space grows by O(|dataset|) per version regardless of the change
+//!   size (Fig. 16(b): "3× more space … from newly created sub-tables");
+//! * **diff compares full rlists** — O(|dataset|) regardless of how
+//!   little changed (Fig. 17(a): OrpheusDB's cost is "roughly
+//!   consistent");
+//! * aggregation scans the materialized records (Fig. 17(b)).
+
+use bytes::Bytes;
+use forkbase_crypto::fx::FxHashMap;
+use parking_lot::RwLock;
+
+/// A dataset version identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VersionId(pub u64);
+
+/// A materialized working copy: `(primary key, record bytes)` rows in
+/// primary-key order.
+pub type WorkingCopy = Vec<(Bytes, Bytes)>;
+
+struct Inner {
+    /// rid → (primary key, record bytes). Records are immutable.
+    records: FxHashMap<u64, (Bytes, Bytes)>,
+    /// version → rlist (rids in primary-key order).
+    rlists: FxHashMap<VersionId, Vec<u64>>,
+    next_rid: u64,
+    next_version: u64,
+    /// Bytes consumed by record payloads.
+    record_bytes: u64,
+    /// Bytes consumed by rlists (8 bytes per entry) — the "sub-table"
+    /// overhead that dominates OrpheusDB's space increment.
+    rlist_bytes: u64,
+}
+
+/// The versioned dataset store.
+pub struct OrpheusLite {
+    inner: RwLock<Inner>,
+}
+
+impl Default for OrpheusLite {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OrpheusLite {
+    /// Empty store.
+    pub fn new() -> OrpheusLite {
+        OrpheusLite {
+            inner: RwLock::new(Inner {
+                records: FxHashMap::default(),
+                rlists: FxHashMap::default(),
+                next_rid: 0,
+                next_version: 0,
+                record_bytes: 0,
+                rlist_bytes: 0,
+            }),
+        }
+    }
+
+    /// Import an initial dataset (rows sorted by primary key); returns
+    /// the first version.
+    pub fn import(&self, rows: impl IntoIterator<Item = (Bytes, Bytes)>) -> VersionId {
+        let mut inner = self.inner.write();
+        let mut rlist = Vec::new();
+        for (pk, rec) in rows {
+            let rid = inner.next_rid;
+            inner.next_rid += 1;
+            inner.record_bytes += (pk.len() + rec.len()) as u64;
+            inner.records.insert(rid, (pk, rec));
+            rlist.push(rid);
+        }
+        let vid = VersionId(inner.next_version);
+        inner.next_version += 1;
+        inner.rlist_bytes += rlist.len() as u64 * 8;
+        inner.rlists.insert(vid, rlist);
+        vid
+    }
+
+    /// Checkout: materialize the complete working copy of a version.
+    /// Deliberately a full copy — this is the cost the paper measures.
+    pub fn checkout(&self, version: VersionId) -> Option<WorkingCopy> {
+        let inner = self.inner.read();
+        let rlist = inner.rlists.get(&version)?;
+        let mut out = Vec::with_capacity(rlist.len());
+        for rid in rlist {
+            let (pk, rec) = inner.records.get(rid)?;
+            out.push((pk.clone(), rec.clone()));
+        }
+        Some(out)
+    }
+
+    /// Commit a modified working copy derived from `parent`. Unchanged
+    /// rows (same pk, same bytes) reuse their rid; changed/new rows get
+    /// fresh rids. A complete new rlist is stored either way.
+    pub fn commit(&self, parent: VersionId, copy: &WorkingCopy) -> Option<VersionId> {
+        let mut inner = self.inner.write();
+        // pk → rid of the parent version.
+        let parent_rids: FxHashMap<Bytes, u64> = inner
+            .rlists
+            .get(&parent)?
+            .iter()
+            .map(|rid| (inner.records[rid].0.clone(), *rid))
+            .collect();
+
+        let mut rlist = Vec::with_capacity(copy.len());
+        for (pk, rec) in copy {
+            let reuse = parent_rids
+                .get(pk)
+                .filter(|rid| &inner.records[rid].1 == rec)
+                .copied();
+            match reuse {
+                Some(rid) => rlist.push(rid),
+                None => {
+                    let rid = inner.next_rid;
+                    inner.next_rid += 1;
+                    inner.record_bytes += (pk.len() + rec.len()) as u64;
+                    inner.records.insert(rid, (pk.clone(), rec.clone()));
+                    rlist.push(rid);
+                }
+            }
+        }
+        let vid = VersionId(inner.next_version);
+        inner.next_version += 1;
+        inner.rlist_bytes += rlist.len() as u64 * 8;
+        inner.rlists.insert(vid, rlist);
+        Some(vid)
+    }
+
+    /// Diff two versions by full rlist comparison (position-independent:
+    /// compares the pk → rid mappings). Returns pks whose records differ.
+    pub fn diff(&self, a: VersionId, b: VersionId) -> Option<Vec<Bytes>> {
+        let inner = self.inner.read();
+        // Full-vector comparison, as in OrpheusDB: build both complete
+        // pk → rid maps and compare them.
+        let map_of = |v: VersionId| -> Option<FxHashMap<Bytes, u64>> {
+            Some(
+                inner
+                    .rlists
+                    .get(&v)?
+                    .iter()
+                    .map(|rid| (inner.records[rid].0.clone(), *rid))
+                    .collect(),
+            )
+        };
+        let ma = map_of(a)?;
+        let mb = map_of(b)?;
+        let mut out = Vec::new();
+        for (pk, rid) in &ma {
+            match mb.get(pk) {
+                Some(other) if other == rid => {}
+                _ => out.push(pk.clone()),
+            }
+        }
+        for pk in mb.keys() {
+            if !ma.contains_key(pk) {
+                out.push(pk.clone());
+            }
+        }
+        out.sort();
+        Some(out)
+    }
+
+    /// Aggregate over a version: checkout-then-scan, applying `extract`
+    /// to each record and summing.
+    pub fn aggregate<F>(&self, version: VersionId, extract: F) -> Option<i64>
+    where
+        F: Fn(&[u8]) -> i64,
+    {
+        let copy = self.checkout(version)?;
+        Some(copy.iter().map(|(_, rec)| extract(rec)).sum())
+    }
+
+    /// Total storage: record payloads + rlist vectors.
+    pub fn storage_bytes(&self) -> u64 {
+        let inner = self.inner.read();
+        inner.record_bytes + inner.rlist_bytes
+    }
+
+    /// Storage split: (record bytes, rlist bytes).
+    pub fn storage_breakdown(&self) -> (u64, u64) {
+        let inner = self.inner.read();
+        (inner.record_bytes, inner.rlist_bytes)
+    }
+
+    /// Number of versions stored.
+    pub fn version_count(&self) -> usize {
+        self.inner.read().rlists.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(n: usize) -> WorkingCopy {
+        (0..n)
+            .map(|i| {
+                (
+                    Bytes::from(format!("pk{i:06}")),
+                    Bytes::from(format!("record-data-{i}")),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn import_checkout_round_trip() {
+        let db = OrpheusLite::new();
+        let data = rows(100);
+        let v0 = db.import(data.clone());
+        assert_eq!(db.checkout(v0).expect("exists"), data);
+    }
+
+    #[test]
+    fn commit_reuses_unchanged_rids() {
+        let db = OrpheusLite::new();
+        let data = rows(1000);
+        let v0 = db.import(data.clone());
+        let (rec_before, _) = db.storage_breakdown();
+
+        let mut copy = db.checkout(v0).expect("checkout");
+        copy[500].1 = Bytes::from("MODIFIED");
+        let v1 = db.commit(v0, &copy).expect("commit");
+
+        let (rec_after, rlist_after) = db.storage_breakdown();
+        let added_records = rec_after - rec_before;
+        assert!(
+            added_records < 50,
+            "only the modified record stored again, got {added_records}B"
+        );
+        // But a FULL new rlist was stored: 1000 × 8 bytes per version.
+        assert_eq!(rlist_after, 2 * 1000 * 8);
+        assert_eq!(db.checkout(v1).expect("exists")[500].1.as_ref(), b"MODIFIED");
+        // Old version untouched.
+        assert_eq!(db.checkout(v0).expect("exists"), data);
+    }
+
+    #[test]
+    fn diff_finds_changes() {
+        let db = OrpheusLite::new();
+        let v0 = db.import(rows(50));
+        let mut copy = db.checkout(v0).expect("checkout");
+        copy[10].1 = Bytes::from("changed");
+        copy.push((Bytes::from("pk999999"), Bytes::from("new row")));
+        let v1 = db.commit(v0, &copy).expect("commit");
+
+        let diff = db.diff(v0, v1).expect("diff");
+        assert_eq!(diff.len(), 2);
+        assert!(diff.contains(&Bytes::from("pk000010")));
+        assert!(diff.contains(&Bytes::from("pk999999")));
+        assert!(db.diff(v0, v0).expect("diff").is_empty());
+    }
+
+    #[test]
+    fn aggregate_scans_records() {
+        let db = OrpheusLite::new();
+        let rows: WorkingCopy = (0..100)
+            .map(|i| {
+                (
+                    Bytes::from(format!("pk{i:03}")),
+                    Bytes::from(format!("{i}")),
+                )
+            })
+            .collect();
+        let v0 = db.import(rows);
+        let sum = db
+            .aggregate(v0, |rec| {
+                std::str::from_utf8(rec).unwrap().parse::<i64>().unwrap()
+            })
+            .expect("aggregate");
+        assert_eq!(sum, (0..100).sum::<i64>());
+    }
+
+    #[test]
+    fn missing_version_is_none() {
+        let db = OrpheusLite::new();
+        assert!(db.checkout(VersionId(99)).is_none());
+        assert!(db.diff(VersionId(0), VersionId(1)).is_none());
+    }
+
+    #[test]
+    fn space_grows_linearly_with_versions() {
+        // The defining inefficiency: each commit costs O(|dataset|) rlist
+        // space even for a single-record change.
+        let db = OrpheusLite::new();
+        let v0 = db.import(rows(1000));
+        let mut v = v0;
+        let before = db.storage_bytes();
+        for i in 0..10 {
+            let mut copy = db.checkout(v).expect("checkout");
+            copy[i].1 = Bytes::from(format!("edit-{i}"));
+            v = db.commit(v, &copy).expect("commit");
+        }
+        let grown = db.storage_bytes() - before;
+        assert!(
+            grown >= 10 * 1000 * 8,
+            "10 versions × 1000 rids × 8B expected, got {grown}"
+        );
+    }
+}

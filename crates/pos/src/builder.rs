@@ -1,0 +1,436 @@
+//! Bottom-up POS-Tree construction — Algorithm 1 of the paper.
+//!
+//! [`LeafBuilder`] streams elements into leaf chunks, cutting where the
+//! rolling-hash pattern fires (or at the forced `α·2^q` cap). The emitted
+//! leaf entries then pass through [`build_from_entries`], which builds the
+//! index levels using the cid-based pattern P′ until a single root remains.
+//!
+//! The builder also supports the two operations the splice-based update
+//! path needs (§4.3.3 "only affected nodes are reconstructed"):
+//! * [`LeafBuilder::push_reused`] — adopt an existing leaf wholesale
+//!   (copy-on-write: the chunk is shared with the previous version), and
+//! * [`LeafBuilder::seed`] — warm the rolling window with the bytes that
+//!   precede the rebuild point, so boundary decisions match a from-scratch
+//!   build exactly.
+
+use crate::entry::{encode_index_payload, IndexEntry};
+use crate::leaf::{encode_item, Item};
+use crate::types::TreeType;
+use bytes::Bytes;
+use forkbase_chunk::{Chunk, ChunkStore};
+use forkbase_crypto::{ChunkerConfig, LeafChunker};
+
+/// Streaming builder for the leaf level of a POS-Tree.
+pub struct LeafBuilder<'s> {
+    store: &'s dyn ChunkStore,
+    #[allow(dead_code)]
+    cfg: ChunkerConfig,
+    ty: TreeType,
+    chunker: LeafChunker,
+    buf: Vec<u8>,
+    count: u64,
+    last_key: Bytes,
+    entries: Vec<IndexEntry>,
+}
+
+impl<'s> LeafBuilder<'s> {
+    /// Start building leaves of type `ty` into `store`.
+    pub fn new(store: &'s dyn ChunkStore, cfg: &ChunkerConfig, ty: TreeType) -> Self {
+        LeafBuilder {
+            store,
+            cfg: cfg.clone(),
+            ty,
+            chunker: LeafChunker::new(cfg),
+            buf: Vec::new(),
+            count: 0,
+            last_key: Bytes::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// True when no partial leaf is pending, i.e. the last fed byte ended a
+    /// chunk (or nothing has been fed).
+    pub fn aligned(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Encoded bytes in the pending (uncut) leaf.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Warm the rolling window with the `bytes` that immediately precede
+    /// the position the builder will continue from. Must be called while
+    /// [`aligned`](Self::aligned); pass the last `window` bytes (or fewer
+    /// if the object is shorter) of the preceding encoded content.
+    pub fn seed(&mut self, bytes: &[u8]) {
+        debug_assert!(self.aligned(), "seed only between chunks");
+        self.chunker.reset();
+        self.chunker.feed(bytes);
+        self.chunker.cut();
+    }
+
+    /// Adopt an existing leaf without re-reading it (structural sharing).
+    /// Must be called while aligned; after one or more reuses, call
+    /// [`seed`](Self::seed) before feeding fresh elements again.
+    pub fn push_reused(&mut self, entry: IndexEntry) {
+        debug_assert!(self.aligned(), "reuse only between chunks");
+        self.entries.push(entry);
+    }
+
+    /// Append one element (List/Set/Map trees). For sorted types the caller
+    /// must append in non-decreasing key order.
+    pub fn append_item(&mut self, item: &Item) {
+        debug_assert!(self.ty != TreeType::Blob, "use append_blob for Blob trees");
+        let start = self.buf.len();
+        encode_item(self.ty, item, &mut self.buf);
+        self.chunker.feed(&self.buf[start..]);
+        self.count += 1;
+        if self.ty.is_sorted() {
+            debug_assert!(
+                self.last_key.is_empty() || self.last_key <= item.key,
+                "sorted builder fed out of order"
+            );
+            self.last_key = item.key.clone();
+        }
+        if self.chunker.boundary() {
+            self.cut();
+        }
+    }
+
+    /// Append raw bytes to a Blob tree; every byte is an element, so the
+    /// boundary is checked per byte.
+    pub fn append_blob(&mut self, data: &[u8]) {
+        debug_assert!(self.ty == TreeType::Blob);
+        for &b in data {
+            self.buf.push(b);
+            self.chunker.feed(std::slice::from_ref(&b));
+            self.count += 1;
+            if self.chunker.boundary() {
+                self.cut();
+            }
+        }
+    }
+
+    /// Flush the pending leaf (if any) and return the leaf entry list.
+    pub fn finish(mut self) -> Vec<IndexEntry> {
+        if !self.buf.is_empty() {
+            self.cut();
+        }
+        self.entries
+    }
+
+    fn cut(&mut self) {
+        let payload = std::mem::take(&mut self.buf);
+        let chunk = Chunk::new(self.ty.leaf_chunk(), payload);
+        let cid = chunk.cid();
+        self.store.put(chunk);
+        self.entries.push(IndexEntry {
+            cid,
+            count: self.count,
+            key: std::mem::take(&mut self.last_key),
+        });
+        self.count = 0;
+        self.chunker.cut();
+    }
+}
+
+/// Build the index levels over `entries` (Algorithm 1's outer loop) and
+/// return the root cid. An empty entry list produces the canonical empty
+/// leaf chunk for the type.
+pub fn build_from_entries(
+    store: &dyn ChunkStore,
+    cfg: &ChunkerConfig,
+    ty: TreeType,
+    entries: Vec<IndexEntry>,
+) -> forkbase_crypto::Digest {
+    build_from_entries_reusing(store, cfg, ty, entries, None)
+}
+
+/// One index chunk of the previous tree version: its children (by cid)
+/// and the already-computed entry that points at it.
+struct OldGroup {
+    children: Vec<forkbase_crypto::Digest>,
+    entry: IndexEntry,
+    /// True if the group ended at a P′ pattern or the fanout cap — i.e. a
+    /// from-scratch build over the same children is guaranteed to cut in
+    /// the same place. A flush-ended (final) group can only be adopted
+    /// when it is final in the new sequence too.
+    closed: bool,
+}
+
+/// Per level (1 = parents of leaves), old groups keyed by their first
+/// child's cid.
+type OldGroups = Vec<forkbase_crypto::fx::FxHashMap<forkbase_crypto::Digest, Vec<OldGroup>>>;
+
+/// Collect every index chunk of the tree at `root`, grouped by level, for
+/// structural reuse during an update.
+fn collect_old_groups(
+    store: &dyn ChunkStore,
+    cfg: &ChunkerConfig,
+    ty: TreeType,
+    root: forkbase_crypto::Digest,
+) -> Option<OldGroups> {
+    let chunk = store.get(&root)?;
+    if !chunk.ty().is_index() {
+        return Some(Vec::new());
+    }
+    let max_fanout = cfg.max_index_fanout();
+    let mut levels: OldGroups = Vec::new();
+    let mut stack = vec![(root, chunk)];
+    while let Some((cid, chunk)) = stack.pop() {
+        let (level, children) =
+            crate::entry::decode_index_payload_shared(chunk.payload(), ty.is_sorted())?;
+        let lvl = level as usize;
+        if levels.len() < lvl {
+            levels.resize_with(lvl, Default::default);
+        }
+        let last = children.last()?;
+        let closed = cfg.index_boundary(&last.cid) || children.len() >= max_fanout;
+        let entry = IndexEntry {
+            cid,
+            count: children.iter().map(|e| e.count).sum(),
+            key: last.key.clone(),
+        };
+        if level > 1 {
+            for c in &children {
+                let child = store.get(&c.cid)?;
+                stack.push((c.cid, child));
+            }
+        }
+        let first = children.first()?.cid;
+        levels[lvl - 1].entry(first).or_default().push(OldGroup {
+            children: children.into_iter().map(|e| e.cid).collect(),
+            entry,
+            closed,
+        });
+    }
+    Some(levels)
+}
+
+/// Build index levels, adopting any old-tree index chunk whose children
+/// are unchanged instead of re-encoding and re-hashing it (§4.3.3: "only
+/// affected nodes are reconstructed"). Group boundaries are pure
+/// functions of the child cid sequence, so an adopted chunk is
+/// bit-identical to what a fresh build would produce — the update paths'
+/// splice-equals-rebuild tests pin this down.
+pub(crate) fn build_from_entries_reusing(
+    store: &dyn ChunkStore,
+    cfg: &ChunkerConfig,
+    ty: TreeType,
+    mut entries: Vec<IndexEntry>,
+    old_root: Option<forkbase_crypto::Digest>,
+) -> forkbase_crypto::Digest {
+    if entries.is_empty() {
+        let chunk = Chunk::new(ty.leaf_chunk(), Bytes::new());
+        let cid = chunk.cid();
+        store.put(chunk);
+        return cid;
+    }
+    let old_levels = old_root
+        .and_then(|r| collect_old_groups(store, cfg, ty, r))
+        .unwrap_or_default();
+    let max_fanout = cfg.max_index_fanout();
+    let mut level = 1u64;
+    while entries.len() > 1 {
+        let old = old_levels.get(level as usize - 1);
+        let mut next = Vec::new();
+        let mut i = 0usize;
+        while i < entries.len() {
+            // At a group start: try to adopt an old group wholesale.
+            if let Some(groups) = old.and_then(|m| m.get(&entries[i].cid)) {
+                if let Some(g) = groups.iter().find(|g| {
+                    let k = g.children.len();
+                    (g.closed || i + k == entries.len())
+                        && i + k <= entries.len()
+                        && g.children
+                            .iter()
+                            .zip(&entries[i..i + k])
+                            .all(|(c, e)| *c == e.cid)
+                }) {
+                    next.push(g.entry.clone());
+                    i += g.children.len();
+                    continue;
+                }
+            }
+            // Fresh group: push entries until the P′ pattern or the cap.
+            let mut group: Vec<IndexEntry> = Vec::new();
+            while i < entries.len() {
+                let e = entries[i].clone();
+                i += 1;
+                let cut = cfg.index_boundary(&e.cid);
+                group.push(e);
+                if cut || group.len() >= max_fanout {
+                    break;
+                }
+            }
+            next.push(emit_index(store, ty, level, &mut group));
+        }
+        entries = next;
+        level += 1;
+    }
+    entries.pop().expect("non-empty").cid
+}
+
+fn emit_index(
+    store: &dyn ChunkStore,
+    ty: TreeType,
+    level: u64,
+    group: &mut Vec<IndexEntry>,
+) -> IndexEntry {
+    let payload = encode_index_payload(level, group, ty.is_sorted());
+    let chunk = Chunk::new(ty.index_chunk(), payload);
+    let cid = chunk.cid();
+    store.put(chunk);
+    let count = group.iter().map(|e| e.count).sum();
+    let key = group.last().map(|e| e.key.clone()).unwrap_or_default();
+    group.clear();
+    IndexEntry { cid, count, key }
+}
+
+/// Build a complete tree from an element stream.
+pub fn build_items(
+    store: &dyn ChunkStore,
+    cfg: &ChunkerConfig,
+    ty: TreeType,
+    items: impl IntoIterator<Item = Item>,
+) -> forkbase_crypto::Digest {
+    let mut lb = LeafBuilder::new(store, cfg, ty);
+    for item in items {
+        lb.append_item(&item);
+    }
+    let entries = lb.finish();
+    build_from_entries(store, cfg, ty, entries)
+}
+
+/// Build a Blob tree from raw bytes.
+pub fn build_blob(
+    store: &dyn ChunkStore,
+    cfg: &ChunkerConfig,
+    data: &[u8],
+) -> forkbase_crypto::Digest {
+    let mut lb = LeafBuilder::new(store, cfg, TreeType::Blob);
+    lb.append_blob(data);
+    build_from_entries(store, cfg, TreeType::Blob, lb.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forkbase_chunk::MemStore;
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_content_identical_root() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let data = pseudo_random(100_000, 1);
+        let r1 = build_blob(&store, &cfg, &data);
+        let r2 = build_blob(&store, &cfg, &data);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn different_content_different_root() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let data = pseudo_random(50_000, 2);
+        let mut edited = data.clone();
+        edited[25_000] ^= 1;
+        assert_ne!(build_blob(&store, &cfg, &data), build_blob(&store, &cfg, &edited));
+    }
+
+    #[test]
+    fn empty_blob_builds_canonical_root() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let r1 = build_blob(&store, &cfg, b"");
+        let r2 = build_items(&store, &cfg, TreeType::Blob, std::iter::empty());
+        assert_eq!(r1, r2);
+        assert!(store.contains(&r1));
+    }
+
+    #[test]
+    fn small_object_is_single_leaf() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let root = build_blob(&store, &cfg, b"tiny");
+        let chunk = store.get(&root).expect("stored");
+        assert_eq!(chunk.ty(), forkbase_chunk::ChunkType::Blob);
+        assert_eq!(chunk.payload().as_ref(), b"tiny");
+    }
+
+    #[test]
+    fn large_object_builds_index_levels() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::with_leaf_bits(8); // small chunks → deep tree
+        let data = pseudo_random(200_000, 3);
+        let root = build_blob(&store, &cfg, &data);
+        let chunk = store.get(&root).expect("stored");
+        assert!(chunk.ty().is_index(), "root should be an index node");
+    }
+
+    #[test]
+    fn shared_prefix_shares_chunks() {
+        let store_a = MemStore::new();
+        let store_b = MemStore::new();
+        let cfg = ChunkerConfig::with_leaf_bits(9);
+        let base = pseudo_random(100_000, 4);
+        let mut appended = base.clone();
+        appended.extend_from_slice(&pseudo_random(1000, 5));
+
+        build_blob(&store_a, &cfg, &base);
+        let before = store_a.stats().stored_chunks;
+        build_blob(&store_a, &cfg, &appended);
+        let added = store_a.stats().stored_chunks - before;
+
+        build_blob(&store_b, &cfg, &appended);
+        let solo = store_b.stats().stored_chunks;
+
+        // Appending re-uses almost all leaf chunks: only the tail leaf,
+        // the new data, and the index spine change.
+        assert!(
+            added < solo / 4,
+            "append stored {added} new chunks vs {solo} for a fresh build"
+        );
+    }
+
+    #[test]
+    fn map_build_sorted_items() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let items: Vec<Item> = (0..1000)
+            .map(|i| Item::map(format!("key{i:05}"), format!("value{i}")))
+            .collect();
+        let r1 = build_items(&store, &cfg, TreeType::Map, items.clone());
+        let r2 = build_items(&store, &cfg, TreeType::Map, items);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn leaf_sizes_respect_cap() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::with_leaf_bits(8);
+        let data = pseudo_random(300_000, 9);
+        let mut lb = LeafBuilder::new(&store, &cfg, TreeType::Blob);
+        lb.append_blob(&data);
+        let entries = lb.finish();
+        for e in &entries {
+            let chunk = store.get(&e.cid).expect("stored");
+            assert!(chunk.len() <= cfg.max_leaf_size());
+        }
+        let total: u64 = entries.iter().map(|e| e.count).sum();
+        assert_eq!(total, data.len() as u64);
+    }
+}

@@ -1,0 +1,201 @@
+//! Streaming iteration over POS-Tree elements.
+//!
+//! The iterator fetches one leaf chunk at a time through the store, so
+//! "the actual data is fetched gradually on demand" (§3.4) and any caching
+//! layer underneath sees chunk-granular accesses.
+
+use crate::entry::{decode_index_payload, IndexEntry};
+use crate::leaf::{decode_items, Item};
+use crate::types::TreeType;
+use forkbase_chunk::ChunkStore;
+use forkbase_crypto::Digest;
+
+/// Depth-first iterator over all items of a tree, in order.
+pub struct ItemIter<'s> {
+    store: &'s dyn ChunkStore,
+    ty: TreeType,
+    /// Index-node frames: (entries, next child index).
+    stack: Vec<(Vec<IndexEntry>, usize)>,
+    leaf_items: std::vec::IntoIter<Item>,
+}
+
+impl<'s> ItemIter<'s> {
+    /// Iterate the whole tree from its first element.
+    pub fn new(store: &'s dyn ChunkStore, root: Digest, ty: TreeType) -> Option<Self> {
+        let chunk = store.get(&root)?;
+        let mut it = ItemIter {
+            store,
+            ty,
+            stack: Vec::new(),
+            leaf_items: Vec::new().into_iter(),
+        };
+        if chunk.ty().is_index() {
+            let (_, entries) = decode_index_payload(chunk.payload(), ty.is_sorted())?;
+            it.stack.push((entries, 0));
+        } else {
+            it.leaf_items = decode_items(ty, chunk.payload())?.into_iter();
+        }
+        Some(it)
+    }
+
+    /// Iterate a sorted tree starting from the first item with
+    /// `item.key >= key`.
+    pub fn seek(store: &'s dyn ChunkStore, root: Digest, ty: TreeType, key: &[u8]) -> Option<Self> {
+        debug_assert!(ty.is_sorted());
+        let mut it = ItemIter {
+            store,
+            ty,
+            stack: Vec::new(),
+            leaf_items: Vec::new().into_iter(),
+        };
+        let mut cid = root;
+        loop {
+            let chunk = store.get(&cid)?;
+            if chunk.ty().is_index() {
+                let (_, entries) = decode_index_payload(chunk.payload(), true)?;
+                let idx = entries.partition_point(|e| e.key.as_ref() < key);
+                if idx == entries.len() {
+                    // Key is beyond this subtree; iterator is exhausted.
+                    return Some(it);
+                }
+                cid = entries[idx].cid;
+                it.stack.push((entries, idx + 1));
+            } else {
+                let items = decode_items(ty, chunk.payload())?;
+                let skip = items.partition_point(|i| i.key.as_ref() < key);
+                let mut iter = items.into_iter();
+                for _ in 0..skip {
+                    iter.next();
+                }
+                it.leaf_items = iter;
+                return Some(it);
+            }
+        }
+    }
+
+    /// Advance to the next leaf; returns false when exhausted or on a
+    /// storage error (missing chunk).
+    fn advance_leaf(&mut self) -> bool {
+        loop {
+            let Some((entries, idx)) = self.stack.last_mut() else {
+                return false;
+            };
+            if *idx >= entries.len() {
+                self.stack.pop();
+                continue;
+            }
+            let cid = entries[*idx].cid;
+            *idx += 1;
+            let Some(chunk) = self.store.get(&cid) else {
+                return false;
+            };
+            if chunk.ty().is_index() {
+                let Some((_, child)) = decode_index_payload(chunk.payload(), self.ty.is_sorted())
+                else {
+                    return false;
+                };
+                self.stack.push((child, 0));
+            } else {
+                let Some(items) = decode_items(self.ty, chunk.payload()) else {
+                    return false;
+                };
+                self.leaf_items = items.into_iter();
+                return true;
+            }
+        }
+    }
+}
+
+impl Iterator for ItemIter<'_> {
+    type Item = Item;
+
+    fn next(&mut self) -> Option<Item> {
+        loop {
+            if let Some(item) = self.leaf_items.next() {
+                return Some(item);
+            }
+            if !self.advance_leaf() {
+                return None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_items;
+    use forkbase_chunk::MemStore;
+    use forkbase_crypto::ChunkerConfig;
+
+    fn build_map(store: &MemStore, n: usize) -> Digest {
+        let cfg = ChunkerConfig::with_leaf_bits(7);
+        let items: Vec<Item> = (0..n)
+            .map(|i| Item::map(format!("k{i:06}"), format!("v{i}")))
+            .collect();
+        build_items(store, &cfg, TreeType::Map, items)
+    }
+
+    #[test]
+    fn iterates_all_in_order() {
+        let store = MemStore::new();
+        let root = build_map(&store, 2000);
+        let keys: Vec<_> = ItemIter::new(&store, root, TreeType::Map)
+            .expect("iter")
+            .map(|i| i.key)
+            .collect();
+        assert_eq!(keys.len(), 2000);
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "iteration order is key order");
+    }
+
+    #[test]
+    fn seek_starts_at_key() {
+        let store = MemStore::new();
+        let root = build_map(&store, 1000);
+        let it = ItemIter::seek(&store, root, TreeType::Map, b"k000500").expect("iter");
+        let items: Vec<_> = it.collect();
+        assert_eq!(items.len(), 500);
+        assert_eq!(items[0].key.as_ref(), b"k000500");
+    }
+
+    #[test]
+    fn seek_between_keys() {
+        let store = MemStore::new();
+        let root = build_map(&store, 100);
+        // "k000050x" sorts after k000050, before k000051.
+        let it = ItemIter::seek(&store, root, TreeType::Map, b"k000050x").expect("iter");
+        let first = it.take(1).next().expect("non-empty");
+        assert_eq!(first.key.as_ref(), b"k000051");
+    }
+
+    #[test]
+    fn seek_past_end_is_empty() {
+        let store = MemStore::new();
+        let root = build_map(&store, 100);
+        let it = ItemIter::seek(&store, root, TreeType::Map, b"zzz").expect("iter");
+        assert_eq!(it.count(), 0);
+    }
+
+    #[test]
+    fn empty_tree_iterates_nothing() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let root = build_items(&store, &cfg, TreeType::Map, std::iter::empty());
+        let it = ItemIter::new(&store, root, TreeType::Map).expect("iter");
+        assert_eq!(it.count(), 0);
+    }
+
+    #[test]
+    fn list_iteration_preserves_order() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::with_leaf_bits(7);
+        let items: Vec<Item> = (0..777).map(|i| Item::list(format!("item-{i}"))).collect();
+        let root = build_items(&store, &cfg, TreeType::List, items.clone());
+        let out: Vec<_> = ItemIter::new(&store, root, TreeType::List)
+            .expect("iter")
+            .collect();
+        assert_eq!(out, items);
+    }
+}

@@ -1,0 +1,256 @@
+//! Leaf-chunk payload encodings for the four chunkable types.
+//!
+//! * `Blob` — raw bytes (an element is one byte).
+//! * `List` — repeated length-prefixed values.
+//! * `Set`  — repeated length-prefixed keys, sorted.
+//! * `Map`  — repeated length-prefixed `(key, value)` pairs, sorted by key.
+//!
+//! Elements never span chunks (§4.3.2): the builder checks for a boundary
+//! only after a whole element has been fed.
+
+use crate::types::TreeType;
+use bytes::Bytes;
+use forkbase_chunk::codec::{get_bytes, put_bytes};
+
+/// One element of a chunkable object.
+///
+/// The `key`/`value` roles per type: List uses only `value`; Set uses only
+/// `key`; Map uses both; Blob elements are handled as raw bytes and never
+/// materialized as `Item`s on the fast path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Item {
+    /// Ordering key (Set, Map).
+    pub key: Bytes,
+    /// Payload value (List, Map).
+    pub value: Bytes,
+}
+
+impl Item {
+    /// A List element.
+    pub fn list(value: impl Into<Bytes>) -> Item {
+        Item {
+            key: Bytes::new(),
+            value: value.into(),
+        }
+    }
+
+    /// A Set element.
+    pub fn set(key: impl Into<Bytes>) -> Item {
+        Item {
+            key: key.into(),
+            value: Bytes::new(),
+        }
+    }
+
+    /// A Map entry.
+    pub fn map(key: impl Into<Bytes>, value: impl Into<Bytes>) -> Item {
+        Item {
+            key: key.into(),
+            value: value.into(),
+        }
+    }
+
+    /// Serialized size of this item in a leaf of type `ty`.
+    pub fn encoded_len(&self, ty: TreeType) -> usize {
+        let var = |len: usize| forkbase_chunk::codec::varint_len(len as u64) + len;
+        match ty {
+            TreeType::Blob => self.value.len(),
+            TreeType::List => var(self.value.len()),
+            TreeType::Set => var(self.key.len()),
+            TreeType::Map => var(self.key.len()) + var(self.value.len()),
+        }
+    }
+}
+
+/// Append the encoding of `item` for tree type `ty` to `out`.
+pub fn encode_item(ty: TreeType, item: &Item, out: &mut Vec<u8>) {
+    match ty {
+        TreeType::Blob => out.extend_from_slice(&item.value),
+        TreeType::List => put_bytes(out, &item.value),
+        TreeType::Set => put_bytes(out, &item.key),
+        TreeType::Map => {
+            put_bytes(out, &item.key);
+            put_bytes(out, &item.value);
+        }
+    }
+}
+
+/// Decode all items of a leaf payload. For `Blob` this produces one item
+/// per byte — use the raw payload instead on hot paths.
+pub fn decode_items(ty: TreeType, payload: &[u8]) -> Option<Vec<Item>> {
+    let mut items = Vec::new();
+    match ty {
+        TreeType::Blob => {
+            items.reserve(payload.len());
+            for &b in payload {
+                items.push(Item {
+                    key: Bytes::new(),
+                    value: Bytes::copy_from_slice(&[b]),
+                });
+            }
+        }
+        TreeType::List => {
+            let mut pos = 0;
+            while pos < payload.len() {
+                let v = get_bytes(payload, &mut pos)?;
+                items.push(Item::list(Bytes::copy_from_slice(v)));
+            }
+        }
+        TreeType::Set => {
+            let mut pos = 0;
+            while pos < payload.len() {
+                let k = get_bytes(payload, &mut pos)?;
+                items.push(Item::set(Bytes::copy_from_slice(k)));
+            }
+        }
+        TreeType::Map => {
+            let mut pos = 0;
+            while pos < payload.len() {
+                let k = Bytes::copy_from_slice(get_bytes(payload, &mut pos)?);
+                let v = Bytes::copy_from_slice(get_bytes(payload, &mut pos)?);
+                items.push(Item { key: k, value: v });
+            }
+        }
+    }
+    Some(items)
+}
+
+/// Decode all items of a leaf payload, borrowing key/value bytes from the
+/// shared `payload` buffer (no per-item allocation). The update hot path
+/// uses this; results are equal to [`decode_items`].
+pub fn decode_items_shared(ty: TreeType, payload: &Bytes) -> Option<Vec<Item>> {
+    let buf: &[u8] = payload;
+    let mut items = Vec::new();
+    // `get_bytes` returns a subslice of `buf`; re-derive its offsets to
+    // take zero-copy `Bytes` slices of the shared buffer.
+    let range_of = |sub: &[u8]| -> (usize, usize) {
+        let start = sub.as_ptr() as usize - buf.as_ptr() as usize;
+        (start, start + sub.len())
+    };
+    match ty {
+        TreeType::Blob => {
+            items.reserve(buf.len());
+            for i in 0..buf.len() {
+                items.push(Item {
+                    key: Bytes::new(),
+                    value: payload.slice(i..i + 1),
+                });
+            }
+        }
+        TreeType::List => {
+            let mut pos = 0;
+            while pos < buf.len() {
+                let (s, e) = range_of(get_bytes(buf, &mut pos)?);
+                items.push(Item::list(payload.slice(s..e)));
+            }
+        }
+        TreeType::Set => {
+            let mut pos = 0;
+            while pos < buf.len() {
+                let (s, e) = range_of(get_bytes(buf, &mut pos)?);
+                items.push(Item::set(payload.slice(s..e)));
+            }
+        }
+        TreeType::Map => {
+            let mut pos = 0;
+            while pos < buf.len() {
+                let (ks, ke) = range_of(get_bytes(buf, &mut pos)?);
+                let (vs, ve) = range_of(get_bytes(buf, &mut pos)?);
+                items.push(Item {
+                    key: payload.slice(ks..ke),
+                    value: payload.slice(vs..ve),
+                });
+            }
+        }
+    }
+    Some(items)
+}
+
+/// Number of elements in a leaf payload without materializing them.
+pub fn count_items(ty: TreeType, payload: &[u8]) -> Option<u64> {
+    match ty {
+        TreeType::Blob => Some(payload.len() as u64),
+        _ => {
+            let mut n = 0u64;
+            let mut pos = 0;
+            while pos < payload.len() {
+                get_bytes(payload, &mut pos)?;
+                if ty == TreeType::Map {
+                    get_bytes(payload, &mut pos)?;
+                }
+                n += 1;
+            }
+            Some(n)
+        }
+    }
+}
+
+/// The largest (= last) key of a sorted leaf payload, if any.
+pub fn last_key(ty: TreeType, payload: &[u8]) -> Option<Bytes> {
+    debug_assert!(ty.is_sorted());
+    let mut pos = 0;
+    let mut last: Option<&[u8]> = None;
+    while pos < payload.len() {
+        let k = get_bytes(payload, &mut pos)?;
+        if ty == TreeType::Map {
+            get_bytes(payload, &mut pos)?;
+        }
+        last = Some(k);
+    }
+    last.map(Bytes::copy_from_slice)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trip() {
+        let items = vec![Item::map("a", "1"), Item::map("b", ""), Item::map("cc", "333")];
+        let mut payload = Vec::new();
+        for i in &items {
+            encode_item(TreeType::Map, i, &mut payload);
+        }
+        assert_eq!(decode_items(TreeType::Map, &payload), Some(items.clone()));
+        assert_eq!(count_items(TreeType::Map, &payload), Some(3));
+        assert_eq!(last_key(TreeType::Map, &payload), Some(Bytes::from("cc")));
+        let total: usize = items.iter().map(|i| i.encoded_len(TreeType::Map)).sum();
+        assert_eq!(total, payload.len());
+    }
+
+    #[test]
+    fn list_round_trip() {
+        let items = vec![Item::list("one"), Item::list(""), Item::list("three")];
+        let mut payload = Vec::new();
+        for i in &items {
+            encode_item(TreeType::List, i, &mut payload);
+        }
+        assert_eq!(decode_items(TreeType::List, &payload), Some(items));
+        assert_eq!(count_items(TreeType::List, &payload), Some(3));
+    }
+
+    #[test]
+    fn set_round_trip() {
+        let items = vec![Item::set("alpha"), Item::set("beta")];
+        let mut payload = Vec::new();
+        for i in &items {
+            encode_item(TreeType::Set, i, &mut payload);
+        }
+        assert_eq!(decode_items(TreeType::Set, &payload), Some(items));
+        assert_eq!(last_key(TreeType::Set, &payload), Some(Bytes::from("beta")));
+    }
+
+    #[test]
+    fn blob_counts_bytes() {
+        assert_eq!(count_items(TreeType::Blob, b"hello"), Some(5));
+        assert_eq!(count_items(TreeType::Blob, b""), Some(0));
+    }
+
+    #[test]
+    fn corrupt_payload_rejected() {
+        // Length prefix claims more bytes than present.
+        let payload = [5u8, b'a', b'b'];
+        assert_eq!(decode_items(TreeType::List, &payload), None);
+        assert_eq!(count_items(TreeType::List, &payload), None);
+    }
+}

@@ -1,0 +1,457 @@
+//! Three-way merge (§4.5.2).
+//!
+//! "To merge two branch heads v1 and v2, three versions (v1, v2 and
+//! LCA(v1,v2)) are fed into the merge function. If the merge fails, it
+//! returns a conflict list … Simple conflicts can be resolved using
+//! built-in resolution functions (such as append, aggregate and
+//! choose-one). ForkBase allows users to hook customized resolution
+//! strategies."
+
+use crate::diff::{blob_diff_summary, sorted_diff};
+use crate::tree::Blob;
+use crate::types::TreeType;
+use crate::update::{update_sorted, Edit};
+use crate::leaf::Item;
+use bytes::Bytes;
+use forkbase_chunk::ChunkStore;
+use forkbase_crypto::{ChunkerConfig, Digest};
+use std::collections::BTreeMap;
+
+/// A key where both sides changed the base differently.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Conflict {
+    /// The conflicting key.
+    pub key: Bytes,
+    /// Value in the common ancestor.
+    pub base: Option<Bytes>,
+    /// Value on our side (`None` = deleted).
+    pub ours: Option<Bytes>,
+    /// Value on their side (`None` = deleted).
+    pub theirs: Option<Bytes>,
+}
+
+/// How to resolve conflicting changes to the same key.
+pub enum Resolver {
+    /// Report conflicts to the caller (the application resolves them).
+    Fail,
+    /// Choose-one: keep our change.
+    TakeOurs,
+    /// Choose-one: keep their change.
+    TakeTheirs,
+    /// Concatenate both values (absent sides contribute nothing).
+    Append,
+    /// Treat values as ASCII decimal integers and combine the two deltas:
+    /// `base + (ours−base) + (theirs−base)`. Falls back to unresolved if a
+    /// value does not parse.
+    Aggregate,
+    /// User hook: return `Some(new_value)` (`Some(None)` deletes the key)
+    /// or `None` to leave the conflict unresolved.
+    #[allow(clippy::type_complexity)]
+    Custom(Box<dyn Fn(&Conflict) -> Option<Option<Bytes>> + Send + Sync>),
+}
+
+impl Resolver {
+    fn resolve(&self, c: &Conflict) -> Option<Option<Bytes>> {
+        match self {
+            Resolver::Fail => None,
+            Resolver::TakeOurs => Some(c.ours.clone()),
+            Resolver::TakeTheirs => Some(c.theirs.clone()),
+            Resolver::Append => {
+                let mut v = Vec::new();
+                if let Some(o) = &c.ours {
+                    v.extend_from_slice(o);
+                }
+                if let Some(t) = &c.theirs {
+                    v.extend_from_slice(t);
+                }
+                Some(Some(Bytes::from(v)))
+            }
+            Resolver::Aggregate => {
+                let parse = |b: &Option<Bytes>| -> Option<i64> {
+                    match b {
+                        None => Some(0),
+                        Some(b) => std::str::from_utf8(b).ok()?.trim().parse().ok(),
+                    }
+                };
+                let base = parse(&c.base)?;
+                let ours = parse(&c.ours)?;
+                let theirs = parse(&c.theirs)?;
+                let merged = base + (ours - base) + (theirs - base);
+                Some(Some(Bytes::from(merged.to_string())))
+            }
+            Resolver::Custom(f) => f(c),
+        }
+    }
+}
+
+/// Result of a successful merge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MergeOutcome {
+    /// Root of the merged tree.
+    pub root: Digest,
+    /// How many conflicts the resolver settled.
+    pub resolved: usize,
+}
+
+/// Three-way merge of sorted trees. Returns the merged root, or the list
+/// of unresolved conflicts.
+pub fn merge3_sorted(
+    store: &dyn ChunkStore,
+    cfg: &ChunkerConfig,
+    ty: TreeType,
+    base: Digest,
+    ours: Digest,
+    theirs: Digest,
+    resolver: &Resolver,
+) -> Result<MergeOutcome, Vec<Conflict>> {
+    debug_assert!(ty.is_sorted());
+    // Fast paths.
+    if ours == theirs || theirs == base {
+        return Ok(MergeOutcome { root: ours, resolved: 0 });
+    }
+    if ours == base {
+        return Ok(MergeOutcome { root: theirs, resolved: 0 });
+    }
+
+    let d_ours = sorted_diff(store, ty, base, ours).ok_or_else(Vec::new)?;
+    let d_theirs = sorted_diff(store, ty, base, theirs).ok_or_else(Vec::new)?;
+
+    // key -> (base value, new value)
+    type Change = (Option<Bytes>, Option<Bytes>);
+    let to_changes = |d: Vec<crate::diff::DiffEntry>| -> BTreeMap<Bytes, Change> {
+        d.into_iter().map(|e| (e.key, (e.left, e.right))).collect()
+    };
+    let ours_ch = to_changes(d_ours);
+    let theirs_ch = to_changes(d_theirs);
+
+    let mut edits: Vec<Edit> = Vec::new();
+    let mut conflicts: Vec<Conflict> = Vec::new();
+    let mut resolved = 0usize;
+
+    let apply = |edits: &mut Vec<Edit>, key: &Bytes, value: &Option<Bytes>| match value {
+        Some(v) => edits.push(Edit::Put(Item {
+            key: key.clone(),
+            value: v.clone(),
+        })),
+        None => edits.push(Edit::Del(key.clone())),
+    };
+
+    for (key, (base_v, ours_v)) in &ours_ch {
+        match theirs_ch.get(key) {
+            None => apply(&mut edits, key, ours_v),
+            Some((_, theirs_v)) => {
+                if ours_v == theirs_v {
+                    apply(&mut edits, key, ours_v);
+                } else {
+                    let c = Conflict {
+                        key: key.clone(),
+                        base: base_v.clone(),
+                        ours: ours_v.clone(),
+                        theirs: theirs_v.clone(),
+                    };
+                    match resolver.resolve(&c) {
+                        Some(value) => {
+                            resolved += 1;
+                            apply(&mut edits, key, &value);
+                        }
+                        None => conflicts.push(c),
+                    }
+                }
+            }
+        }
+    }
+    for (key, (_, theirs_v)) in &theirs_ch {
+        if !ours_ch.contains_key(key) {
+            apply(&mut edits, key, theirs_v);
+        }
+    }
+
+    if !conflicts.is_empty() {
+        return Err(conflicts);
+    }
+    let root = update_sorted(store, cfg, ty, base, edits).ok_or_else(Vec::new)?;
+    Ok(MergeOutcome { root, resolved })
+}
+
+/// A Blob merge conflict: both sides edited overlapping byte ranges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlobConflict {
+    /// Our edit region (start, base length replaced).
+    pub ours: (u64, u64),
+    /// Their edit region.
+    pub theirs: (u64, u64),
+}
+
+/// Three-way merge of Blobs: succeeds when the two sides edited disjoint
+/// byte regions of the base.
+pub fn merge3_blob(
+    store: &dyn ChunkStore,
+    cfg: &ChunkerConfig,
+    base: Digest,
+    ours: Digest,
+    theirs: Digest,
+) -> Result<Digest, BlobConflict> {
+    if ours == theirs || theirs == base {
+        return Ok(ours);
+    }
+    if ours == base {
+        return Ok(theirs);
+    }
+    let d1 = blob_diff_summary(store, base, ours)
+        .flatten()
+        .expect("ours differs from base");
+    let d2 = blob_diff_summary(store, base, theirs)
+        .flatten()
+        .expect("theirs differs from base");
+
+    let overlap = d1.start < d2.start + d2.left_len.max(1) && d2.start < d1.start + d1.left_len.max(1);
+    if overlap {
+        return Err(BlobConflict {
+            ours: (d1.start, d1.left_len),
+            theirs: (d2.start, d2.left_len),
+        });
+    }
+
+    // Apply the higher-offset edit first so base coordinates stay valid.
+    let (hi, hi_src, lo, lo_src) = if d1.start > d2.start {
+        (d1, ours, d2, theirs)
+    } else {
+        (d2, theirs, d1, ours)
+    };
+    let hi_bytes = Blob::from_root(hi_src)
+        .read_range(store, hi.start, hi.right_len)
+        .expect("readable");
+    let merged = Blob::from_root(base)
+        .splice(store, cfg, hi.start, hi.left_len, &hi_bytes)
+        .expect("splice");
+    let lo_bytes = Blob::from_root(lo_src)
+        .read_range(store, lo.start, lo.right_len)
+        .expect("readable");
+    let merged = merged
+        .splice(store, cfg, lo.start, lo.left_len, &lo_bytes)
+        .expect("splice");
+    Ok(merged.root())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_items;
+    use crate::scan::get_by_key;
+    use crate::tree::Map;
+    use forkbase_chunk::MemStore;
+
+    fn map(store: &MemStore, cfg: &ChunkerConfig, pairs: &[(&str, &str)]) -> Digest {
+        let mut sorted: Vec<_> = pairs.to_vec();
+        sorted.sort();
+        build_items(
+            store,
+            cfg,
+            TreeType::Map,
+            sorted.into_iter().map(|(k, v)| Item::map(k.to_string(), v.to_string())),
+        )
+    }
+
+    #[test]
+    fn disjoint_edits_merge_cleanly() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let base = map(&store, &cfg, &[("a", "1"), ("b", "2"), ("c", "3")]);
+        let ours = map(&store, &cfg, &[("a", "OURS"), ("b", "2"), ("c", "3")]);
+        let theirs = map(&store, &cfg, &[("a", "1"), ("b", "2"), ("c", "THEIRS"), ("d", "4")]);
+
+        let out = merge3_sorted(&store, &cfg, TreeType::Map, base, ours, theirs, &Resolver::Fail)
+            .expect("clean merge");
+        let expected = map(
+            &store,
+            &cfg,
+            &[("a", "OURS"), ("b", "2"), ("c", "THEIRS"), ("d", "4")],
+        );
+        assert_eq!(out.root, expected);
+        assert_eq!(out.resolved, 0);
+    }
+
+    #[test]
+    fn merge_is_symmetric_for_disjoint_edits() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let base = map(&store, &cfg, &[("a", "1"), ("b", "2")]);
+        let ours = map(&store, &cfg, &[("a", "X"), ("b", "2")]);
+        let theirs = map(&store, &cfg, &[("a", "1"), ("b", "Y")]);
+        let m1 = merge3_sorted(&store, &cfg, TreeType::Map, base, ours, theirs, &Resolver::Fail)
+            .expect("merge");
+        let m2 = merge3_sorted(&store, &cfg, TreeType::Map, base, theirs, ours, &Resolver::Fail)
+            .expect("merge");
+        assert_eq!(m1.root, m2.root);
+    }
+
+    #[test]
+    fn conflicting_edits_reported() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let base = map(&store, &cfg, &[("k", "base")]);
+        let ours = map(&store, &cfg, &[("k", "ours")]);
+        let theirs = map(&store, &cfg, &[("k", "theirs")]);
+        let err = merge3_sorted(&store, &cfg, TreeType::Map, base, ours, theirs, &Resolver::Fail)
+            .expect_err("conflict");
+        assert_eq!(err.len(), 1);
+        assert_eq!(err[0].key.as_ref(), b"k");
+        assert_eq!(err[0].base.as_deref(), Some(&b"base"[..]));
+    }
+
+    #[test]
+    fn same_change_both_sides_is_not_conflict() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let base = map(&store, &cfg, &[("k", "old")]);
+        let ours = map(&store, &cfg, &[("k", "new")]);
+        let theirs = map(&store, &cfg, &[("k", "new")]);
+        let out = merge3_sorted(&store, &cfg, TreeType::Map, base, ours, theirs, &Resolver::Fail)
+            .expect("merge");
+        assert_eq!(out.root, ours);
+    }
+
+    #[test]
+    fn take_ours_resolver() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let base = map(&store, &cfg, &[("k", "base")]);
+        let ours = map(&store, &cfg, &[("k", "ours")]);
+        let theirs = map(&store, &cfg, &[("k", "theirs")]);
+        let out =
+            merge3_sorted(&store, &cfg, TreeType::Map, base, ours, theirs, &Resolver::TakeOurs)
+                .expect("merge");
+        assert_eq!(out.resolved, 1);
+        let v = get_by_key(&store, out.root, TreeType::Map, b"k").expect("present");
+        assert_eq!(v.value.as_ref(), b"ours");
+    }
+
+    #[test]
+    fn aggregate_resolver_sums_deltas() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let base = map(&store, &cfg, &[("counter", "100")]);
+        let ours = map(&store, &cfg, &[("counter", "130")]); // +30
+        let theirs = map(&store, &cfg, &[("counter", "95")]); // -5
+        let out =
+            merge3_sorted(&store, &cfg, TreeType::Map, base, ours, theirs, &Resolver::Aggregate)
+                .expect("merge");
+        let v = get_by_key(&store, out.root, TreeType::Map, b"counter").expect("present");
+        assert_eq!(v.value.as_ref(), b"125");
+    }
+
+    #[test]
+    fn append_resolver_concatenates() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let base = map(&store, &cfg, &[("log", "")]);
+        let ours = map(&store, &cfg, &[("log", "A")]);
+        let theirs = map(&store, &cfg, &[("log", "B")]);
+        let out =
+            merge3_sorted(&store, &cfg, TreeType::Map, base, ours, theirs, &Resolver::Append)
+                .expect("merge");
+        let v = get_by_key(&store, out.root, TreeType::Map, b"log").expect("present");
+        assert_eq!(v.value.as_ref(), b"AB");
+    }
+
+    #[test]
+    fn custom_resolver_hook() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let base = map(&store, &cfg, &[("k", "1")]);
+        let ours = map(&store, &cfg, &[("k", "2")]);
+        let theirs = map(&store, &cfg, &[("k", "3")]);
+        let resolver = Resolver::Custom(Box::new(|c: &Conflict| {
+            // Keep the lexicographically larger value.
+            Some(c.ours.clone().max(c.theirs.clone()))
+        }));
+        let out = merge3_sorted(&store, &cfg, TreeType::Map, base, ours, theirs, &resolver)
+            .expect("merge");
+        let v = get_by_key(&store, out.root, TreeType::Map, b"k").expect("present");
+        assert_eq!(v.value.as_ref(), b"3");
+    }
+
+    #[test]
+    fn delete_vs_edit_conflicts() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let base = map(&store, &cfg, &[("k", "v"), ("other", "x")]);
+        let ours = map(&store, &cfg, &[("other", "x")]); // deleted k
+        let theirs = map(&store, &cfg, &[("k", "edited"), ("other", "x")]);
+        let err = merge3_sorted(&store, &cfg, TreeType::Map, base, ours, theirs, &Resolver::Fail)
+            .expect_err("conflict");
+        assert_eq!(err[0].ours, None);
+        assert_eq!(err[0].theirs.as_deref(), Some(&b"edited"[..]));
+    }
+
+    #[test]
+    fn blob_merge_disjoint_regions() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let base_data = vec![b'x'; 1000];
+        let base = Blob::build(&store, &cfg, &base_data);
+        let ours = base.splice(&store, &cfg, 10, 5, b"OURS!").expect("splice");
+        let theirs = base.splice(&store, &cfg, 900, 5, b"THEIRS").expect("splice");
+
+        let merged = merge3_blob(&store, &cfg, base.root(), ours.root(), theirs.root())
+            .expect("clean merge");
+        let content = Blob::from_root(merged).read_all(&store).expect("read");
+        let mut expected = base_data.clone();
+        expected.splice(900..905, b"THEIRS".iter().copied());
+        expected.splice(10..15, b"OURS!".iter().copied());
+        assert_eq!(content, expected);
+    }
+
+    #[test]
+    fn blob_merge_overlap_conflicts() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let base = Blob::build(&store, &cfg, &vec![b'x'; 1000]);
+        let ours = base.splice(&store, &cfg, 100, 50, b"AAAA").expect("splice");
+        let theirs = base.splice(&store, &cfg, 120, 50, b"BBBB").expect("splice");
+        assert!(merge3_blob(&store, &cfg, base.root(), ours.root(), theirs.root()).is_err());
+    }
+
+    #[test]
+    fn blob_merge_one_side_unchanged() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let base = Blob::build(&store, &cfg, b"base content");
+        let ours = base.append(&store, &cfg, b" plus ours").expect("append");
+        assert_eq!(
+            merge3_blob(&store, &cfg, base.root(), ours.root(), base.root()),
+            Ok(ours.root())
+        );
+        assert_eq!(
+            merge3_blob(&store, &cfg, base.root(), base.root(), ours.root()),
+            Ok(ours.root())
+        );
+    }
+
+    #[test]
+    fn map_merge_large_disjoint() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::with_leaf_bits(8);
+        let base_map = Map::build(
+            &store,
+            &cfg,
+            (0..5000).map(|i| (format!("k{i:05}"), format!("v{i}"))),
+        );
+        let ours = base_map.put(&store, &cfg, "k00100", "OURS");
+        let theirs = base_map.put(&store, &cfg, "k04900", "THEIRS");
+        let out = merge3_sorted(
+            &store,
+            &cfg,
+            TreeType::Map,
+            base_map.root(),
+            ours.root(),
+            theirs.root(),
+            &Resolver::Fail,
+        )
+        .expect("merge");
+        let merged = Map::from_root(out.root);
+        assert_eq!(merged.get(&store, b"k00100").expect("hit").as_ref(), b"OURS");
+        assert_eq!(merged.get(&store, b"k04900").expect("hit").as_ref(), b"THEIRS");
+        assert_eq!(merged.len(&store), 5000);
+    }
+}

@@ -1,0 +1,551 @@
+//! Public handles for the four chunkable types.
+//!
+//! A handle is just a root cid (plus the type); all data lives in the
+//! chunk store. Reads fetch only the chunks they need; writes produce a
+//! *new* handle, never mutating existing chunks (copy-on-write).
+
+use crate::builder::{build_blob, build_items};
+use crate::iter::ItemIter;
+use crate::leaf::Item;
+use crate::scan::{get_by_key, get_by_pos, scan_tree, total_count};
+use crate::types::TreeType;
+use crate::update::{splice_blob, splice_list, update_sorted, Edit};
+use bytes::Bytes;
+use forkbase_chunk::ChunkStore;
+use forkbase_crypto::{ChunkerConfig, Digest};
+
+/// An untyped tree reference: root cid + element type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TreeRef {
+    /// Root chunk cid.
+    pub root: Digest,
+    /// Element type of the tree.
+    pub ty: TreeType,
+}
+
+/// A byte-sequence object backed by a POS-Tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Blob {
+    root: Digest,
+}
+
+impl Blob {
+    /// Build from raw bytes.
+    pub fn build(store: &dyn ChunkStore, cfg: &ChunkerConfig, data: &[u8]) -> Blob {
+        Blob {
+            root: build_blob(store, cfg, data),
+        }
+    }
+
+    /// Re-attach to an existing root.
+    pub fn from_root(root: Digest) -> Blob {
+        Blob { root }
+    }
+
+    /// The root cid.
+    pub fn root(&self) -> Digest {
+        self.root
+    }
+
+    /// Length in bytes.
+    pub fn len(&self, store: &dyn ChunkStore) -> u64 {
+        total_count(store, self.root, TreeType::Blob).unwrap_or(0)
+    }
+
+    /// True if the blob holds no bytes.
+    pub fn is_empty(&self, store: &dyn ChunkStore) -> bool {
+        self.len(store) == 0
+    }
+
+    /// Read the entire content.
+    pub fn read_all(&self, store: &dyn ChunkStore) -> Option<Vec<u8>> {
+        let scan = scan_tree(store, self.root, TreeType::Blob)?;
+        let mut out = Vec::with_capacity(scan.total_count() as usize);
+        for e in &scan.leaf_entries {
+            let chunk = store.get(&e.cid)?;
+            out.extend_from_slice(chunk.payload());
+        }
+        Some(out)
+    }
+
+    /// Read `len` bytes starting at `start` (clamped to the object).
+    pub fn read_range(&self, store: &dyn ChunkStore, start: u64, len: u64) -> Option<Vec<u8>> {
+        let scan = scan_tree(store, self.root, TreeType::Blob)?;
+        let total = scan.total_count();
+        let start = start.min(total);
+        let end = (start + len).min(total);
+        let mut out = Vec::with_capacity((end - start) as usize);
+        let mut cum = 0u64;
+        for e in &scan.leaf_entries {
+            let leaf_start = cum;
+            let leaf_end = cum + e.count;
+            cum = leaf_end;
+            if leaf_end <= start {
+                continue;
+            }
+            if leaf_start >= end {
+                break;
+            }
+            let chunk = store.get(&e.cid)?;
+            let from = start.saturating_sub(leaf_start) as usize;
+            let to = (end.min(leaf_end) - leaf_start) as usize;
+            out.extend_from_slice(&chunk.payload()[from..to]);
+        }
+        Some(out)
+    }
+
+    /// Replace `remove` bytes at `start` with `insert`; returns the new
+    /// blob (copy-on-write).
+    pub fn splice(
+        &self,
+        store: &dyn ChunkStore,
+        cfg: &ChunkerConfig,
+        start: u64,
+        remove: u64,
+        insert: &[u8],
+    ) -> Option<Blob> {
+        Some(Blob {
+            root: splice_blob(store, cfg, self.root, start, remove, insert)?,
+        })
+    }
+
+    /// Append bytes at the end.
+    pub fn append(&self, store: &dyn ChunkStore, cfg: &ChunkerConfig, data: &[u8]) -> Option<Blob> {
+        let len = self.len(store);
+        self.splice(store, cfg, len, 0, data)
+    }
+
+    /// Remove `len` bytes at `start`.
+    pub fn remove(
+        &self,
+        store: &dyn ChunkStore,
+        cfg: &ChunkerConfig,
+        start: u64,
+        len: u64,
+    ) -> Option<Blob> {
+        self.splice(store, cfg, start, len, &[])
+    }
+
+    /// Insert bytes at `start` without removing anything.
+    pub fn insert(
+        &self,
+        store: &dyn ChunkStore,
+        cfg: &ChunkerConfig,
+        start: u64,
+        data: &[u8],
+    ) -> Option<Blob> {
+        self.splice(store, cfg, start, 0, data)
+    }
+}
+
+/// A position-indexed sequence of byte-string elements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct List {
+    root: Digest,
+}
+
+impl List {
+    /// Build from an element sequence.
+    pub fn build<I, B>(store: &dyn ChunkStore, cfg: &ChunkerConfig, elems: I) -> List
+    where
+        I: IntoIterator<Item = B>,
+        B: Into<Bytes>,
+    {
+        List {
+            root: build_items(
+                store,
+                cfg,
+                TreeType::List,
+                elems.into_iter().map(|b| Item::list(b.into())),
+            ),
+        }
+    }
+
+    /// Re-attach to an existing root.
+    pub fn from_root(root: Digest) -> List {
+        List { root }
+    }
+
+    /// The root cid.
+    pub fn root(&self) -> Digest {
+        self.root
+    }
+
+    /// Number of elements.
+    pub fn len(&self, store: &dyn ChunkStore) -> u64 {
+        total_count(store, self.root, TreeType::List).unwrap_or(0)
+    }
+
+    /// True if no elements.
+    pub fn is_empty(&self, store: &dyn ChunkStore) -> bool {
+        self.len(store) == 0
+    }
+
+    /// Fetch the element at `idx`.
+    pub fn get(&self, store: &dyn ChunkStore, idx: u64) -> Option<Bytes> {
+        get_by_pos(store, self.root, TreeType::List, idx).map(|i| i.value)
+    }
+
+    /// Iterate all elements.
+    pub fn iter<'s>(&self, store: &'s dyn ChunkStore) -> impl Iterator<Item = Bytes> + 's {
+        ItemIter::new(store, self.root, TreeType::List)
+            .into_iter()
+            .flatten()
+            .map(|i| i.value)
+    }
+
+    /// Replace `remove` elements at `start` with `insert`.
+    pub fn splice<I, B>(
+        &self,
+        store: &dyn ChunkStore,
+        cfg: &ChunkerConfig,
+        start: u64,
+        remove: u64,
+        insert: I,
+    ) -> Option<List>
+    where
+        I: IntoIterator<Item = B>,
+        B: Into<Bytes>,
+    {
+        let items: Vec<Item> = insert.into_iter().map(|b| Item::list(b.into())).collect();
+        Some(List {
+            root: splice_list(store, cfg, self.root, start, remove, &items)?,
+        })
+    }
+
+    /// Append one element.
+    pub fn push(
+        &self,
+        store: &dyn ChunkStore,
+        cfg: &ChunkerConfig,
+        elem: impl Into<Bytes>,
+    ) -> Option<List> {
+        let len = self.len(store);
+        self.splice(store, cfg, len, 0, [elem.into()])
+    }
+}
+
+/// A sorted key → value mapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Map {
+    root: Digest,
+}
+
+impl Map {
+    /// Build from key/value pairs (any order; duplicate keys last-wins).
+    pub fn build<I, K, V>(store: &dyn ChunkStore, cfg: &ChunkerConfig, pairs: I) -> Map
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: Into<Bytes>,
+        V: Into<Bytes>,
+    {
+        let mut sorted: std::collections::BTreeMap<Bytes, Bytes> = std::collections::BTreeMap::new();
+        for (k, v) in pairs {
+            sorted.insert(k.into(), v.into());
+        }
+        Map {
+            root: build_items(
+                store,
+                cfg,
+                TreeType::Map,
+                sorted.into_iter().map(|(k, v)| Item { key: k, value: v }),
+            ),
+        }
+    }
+
+    /// Re-attach to an existing root.
+    pub fn from_root(root: Digest) -> Map {
+        Map { root }
+    }
+
+    /// The root cid.
+    pub fn root(&self) -> Digest {
+        self.root
+    }
+
+    /// Number of entries.
+    pub fn len(&self, store: &dyn ChunkStore) -> u64 {
+        total_count(store, self.root, TreeType::Map).unwrap_or(0)
+    }
+
+    /// True if no entries.
+    pub fn is_empty(&self, store: &dyn ChunkStore) -> bool {
+        self.len(store) == 0
+    }
+
+    /// Point lookup.
+    pub fn get(&self, store: &dyn ChunkStore, key: &[u8]) -> Option<Bytes> {
+        get_by_key(store, self.root, TreeType::Map, key).map(|i| i.value)
+    }
+
+    /// Iterate entries in key order.
+    pub fn iter<'s>(&self, store: &'s dyn ChunkStore) -> impl Iterator<Item = (Bytes, Bytes)> + 's {
+        ItemIter::new(store, self.root, TreeType::Map)
+            .into_iter()
+            .flatten()
+            .map(|i| (i.key, i.value))
+    }
+
+    /// Iterate entries with key ≥ `from`.
+    pub fn iter_from<'s>(
+        &self,
+        store: &'s dyn ChunkStore,
+        from: &[u8],
+    ) -> impl Iterator<Item = (Bytes, Bytes)> + 's {
+        ItemIter::seek(store, self.root, TreeType::Map, from)
+            .into_iter()
+            .flatten()
+            .map(|i| (i.key, i.value))
+    }
+
+    /// Apply a batch of edits: `Some(value)` puts, `None` deletes.
+    pub fn update<I, K>(&self, store: &dyn ChunkStore, cfg: &ChunkerConfig, edits: I) -> Option<Map>
+    where
+        I: IntoIterator<Item = (K, Option<Bytes>)>,
+        K: Into<Bytes>,
+    {
+        let edits: Vec<Edit> = edits
+            .into_iter()
+            .map(|(k, v)| match v {
+                Some(v) => Edit::Put(Item {
+                    key: k.into(),
+                    value: v,
+                }),
+                None => Edit::Del(k.into()),
+            })
+            .collect();
+        Some(Map {
+            root: update_sorted(store, cfg, TreeType::Map, self.root, edits)?,
+        })
+    }
+
+    /// Insert or replace one entry.
+    pub fn put(
+        &self,
+        store: &dyn ChunkStore,
+        cfg: &ChunkerConfig,
+        key: impl Into<Bytes>,
+        value: impl Into<Bytes>,
+    ) -> Map {
+        self.update(store, cfg, [(key.into(), Some(value.into()))])
+            .expect("store consistent")
+    }
+
+    /// Remove one entry.
+    pub fn del(&self, store: &dyn ChunkStore, cfg: &ChunkerConfig, key: impl Into<Bytes>) -> Map {
+        self.update(store, cfg, [(key.into(), None)])
+            .expect("store consistent")
+    }
+}
+
+/// A sorted set of byte-string elements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Set {
+    root: Digest,
+}
+
+impl Set {
+    /// Build from elements (any order, duplicates collapse).
+    pub fn build<I, K>(store: &dyn ChunkStore, cfg: &ChunkerConfig, elems: I) -> Set
+    where
+        I: IntoIterator<Item = K>,
+        K: Into<Bytes>,
+    {
+        let sorted: std::collections::BTreeSet<Bytes> =
+            elems.into_iter().map(Into::into).collect();
+        Set {
+            root: build_items(store, cfg, TreeType::Set, sorted.into_iter().map(Item::set)),
+        }
+    }
+
+    /// Re-attach to an existing root.
+    pub fn from_root(root: Digest) -> Set {
+        Set { root }
+    }
+
+    /// The root cid.
+    pub fn root(&self) -> Digest {
+        self.root
+    }
+
+    /// Number of elements.
+    pub fn len(&self, store: &dyn ChunkStore) -> u64 {
+        total_count(store, self.root, TreeType::Set).unwrap_or(0)
+    }
+
+    /// True if no elements.
+    pub fn is_empty(&self, store: &dyn ChunkStore) -> bool {
+        self.len(store) == 0
+    }
+
+    /// Membership test.
+    pub fn contains(&self, store: &dyn ChunkStore, key: &[u8]) -> bool {
+        get_by_key(store, self.root, TreeType::Set, key).is_some()
+    }
+
+    /// Iterate elements in order.
+    pub fn iter<'s>(&self, store: &'s dyn ChunkStore) -> impl Iterator<Item = Bytes> + 's {
+        ItemIter::new(store, self.root, TreeType::Set)
+            .into_iter()
+            .flatten()
+            .map(|i| i.key)
+    }
+
+    /// Insert an element.
+    pub fn insert(
+        &self,
+        store: &dyn ChunkStore,
+        cfg: &ChunkerConfig,
+        key: impl Into<Bytes>,
+    ) -> Set {
+        let root = update_sorted(
+            store,
+            cfg,
+            TreeType::Set,
+            self.root,
+            vec![Edit::Put(Item::set(key.into()))],
+        )
+        .expect("store consistent");
+        Set { root }
+    }
+
+    /// Remove an element.
+    pub fn remove(
+        &self,
+        store: &dyn ChunkStore,
+        cfg: &ChunkerConfig,
+        key: impl Into<Bytes>,
+    ) -> Set {
+        let root = update_sorted(
+            store,
+            cfg,
+            TreeType::Set,
+            self.root,
+            vec![Edit::Del(key.into())],
+        )
+        .expect("store consistent");
+        Set { root }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forkbase_chunk::MemStore;
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blob_read_write() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::with_leaf_bits(9);
+        let data = pseudo_random(40_000, 1);
+        let blob = Blob::build(&store, &cfg, &data);
+        assert_eq!(blob.len(&store), 40_000);
+        assert_eq!(blob.read_all(&store).expect("read"), data);
+        assert_eq!(
+            blob.read_range(&store, 10_000, 100).expect("read"),
+            &data[10_000..10_100]
+        );
+        assert_eq!(blob.read_range(&store, 39_990, 100).expect("read"), &data[39_990..]);
+    }
+
+    #[test]
+    fn blob_paper_example() {
+        // Figure 4 of the paper: remove 10 bytes from the beginning, then
+        // append.
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let blob = Blob::build(&store, &cfg, b"0123456789my value");
+        let blob = blob.remove(&store, &cfg, 0, 10).expect("remove");
+        let blob = blob.append(&store, &cfg, b" some more").expect("append");
+        assert_eq!(blob.read_all(&store).expect("read"), b"my value some more");
+    }
+
+    #[test]
+    fn map_point_ops() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let map = Map::build(&store, &cfg, [("b", "2"), ("a", "1")]);
+        assert_eq!(map.len(&store), 2);
+        assert_eq!(map.get(&store, b"a").expect("hit").as_ref(), b"1");
+
+        let map2 = map.put(&store, &cfg, "c", "3");
+        assert_eq!(map2.len(&store), 3);
+        assert_eq!(map.len(&store), 2, "previous version untouched");
+
+        let map3 = map2.del(&store, &cfg, "a");
+        assert_eq!(map3.len(&store), 2);
+        assert!(map3.get(&store, b"a").is_none());
+    }
+
+    #[test]
+    fn map_build_accepts_unsorted_with_duplicates() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let map = Map::build(&store, &cfg, [("z", "1"), ("a", "2"), ("z", "3")]);
+        assert_eq!(map.len(&store), 2);
+        assert_eq!(map.get(&store, b"z").expect("hit").as_ref(), b"3");
+    }
+
+    #[test]
+    fn map_iter_from() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::with_leaf_bits(7);
+        let map = Map::build(
+            &store,
+            &cfg,
+            (0..500).map(|i| (format!("k{i:04}"), format!("v{i}"))),
+        );
+        let tail: Vec<_> = map.iter_from(&store, b"k0490").collect();
+        assert_eq!(tail.len(), 10);
+        assert_eq!(tail[0].0.as_ref(), b"k0490");
+    }
+
+    #[test]
+    fn set_ops() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let set = Set::build(&store, &cfg, ["apple", "banana", "apple"]);
+        assert_eq!(set.len(&store), 2);
+        assert!(set.contains(&store, b"apple"));
+        assert!(!set.contains(&store, b"cherry"));
+
+        let set2 = set.insert(&store, &cfg, "cherry");
+        assert!(set2.contains(&store, b"cherry"));
+        let set3 = set2.remove(&store, &cfg, "apple");
+        assert!(!set3.contains(&store, b"apple"));
+        assert_eq!(set3.len(&store), 2);
+    }
+
+    #[test]
+    fn identical_maps_share_root() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let a = Map::build(&store, &cfg, [("x", "1"), ("y", "2")]);
+        let b = Map::build(&store, &cfg, [("y", "2"), ("x", "1")]);
+        assert_eq!(a.root(), b.root(), "same content, same identity");
+    }
+
+    #[test]
+    fn list_push_and_get() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let mut list = List::build(&store, &cfg, ["a", "b"]);
+        list = list.push(&store, &cfg, "c").expect("push");
+        assert_eq!(list.len(&store), 3);
+        assert_eq!(list.get(&store, 2).expect("hit").as_ref(), b"c");
+        let all: Vec<_> = list.iter(&store).collect();
+        assert_eq!(all.len(), 3);
+    }
+}

@@ -1,0 +1,87 @@
+//! The four chunkable object types and their chunk-type mappings.
+
+use forkbase_chunk::ChunkType;
+
+/// Which chunkable type a POS-Tree stores (paper §3.4, Table 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TreeType {
+    /// A sequence of raw bytes; elements are single bytes.
+    Blob,
+    /// A sequence of arbitrary byte-string elements, position-indexed.
+    List,
+    /// A sorted sequence of unique byte-string elements.
+    Set,
+    /// A sorted sequence of key → value pairs.
+    Map,
+}
+
+impl TreeType {
+    /// Sorted types use split keys (SIndex); unsorted use element counts
+    /// (UIndex).
+    pub fn is_sorted(self) -> bool {
+        matches!(self, TreeType::Set | TreeType::Map)
+    }
+
+    /// The chunk type of this tree's leaf nodes.
+    pub fn leaf_chunk(self) -> ChunkType {
+        match self {
+            TreeType::Blob => ChunkType::Blob,
+            TreeType::List => ChunkType::List,
+            TreeType::Set => ChunkType::Set,
+            TreeType::Map => ChunkType::Map,
+        }
+    }
+
+    /// The chunk type of this tree's index nodes.
+    pub fn index_chunk(self) -> ChunkType {
+        if self.is_sorted() {
+            ChunkType::SIndex
+        } else {
+            ChunkType::UIndex
+        }
+    }
+
+    /// Stable tag for serialization in FObjects.
+    pub fn tag(self) -> u8 {
+        match self {
+            TreeType::Blob => 0,
+            TreeType::List => 1,
+            TreeType::Set => 2,
+            TreeType::Map => 3,
+        }
+    }
+
+    /// Decode [`tag`](Self::tag).
+    pub fn from_tag(tag: u8) -> Option<TreeType> {
+        Some(match tag {
+            0 => TreeType::Blob,
+            1 => TreeType::List,
+            2 => TreeType::Set,
+            3 => TreeType::Map,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_type_mapping() {
+        assert_eq!(TreeType::Blob.leaf_chunk(), ChunkType::Blob);
+        assert_eq!(TreeType::Map.leaf_chunk(), ChunkType::Map);
+        assert_eq!(TreeType::Blob.index_chunk(), ChunkType::UIndex);
+        assert_eq!(TreeType::List.index_chunk(), ChunkType::UIndex);
+        assert_eq!(TreeType::Set.index_chunk(), ChunkType::SIndex);
+        assert_eq!(TreeType::Map.index_chunk(), ChunkType::SIndex);
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for t in [TreeType::Blob, TreeType::List, TreeType::Set, TreeType::Map] {
+            assert_eq!(TreeType::from_tag(t.tag()), Some(t));
+        }
+        assert_eq!(TreeType::from_tag(9), None);
+    }
+}

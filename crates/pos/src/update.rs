@@ -1,0 +1,661 @@
+//! Localized, copy-on-write tree updates (§4.3.3).
+//!
+//! "When updating an existing POS-Tree, only affected nodes are
+//! reconstructed … no subsequent chunks are involved during the
+//! reconstruction, because the boundary pattern of the last merged chunk is
+//! preserved."
+//!
+//! The splice algorithm:
+//! 1. Collect the leaf entry list (index-chunk metadata only).
+//! 2. Reuse every leaf strictly before the first affected position
+//!    ([`LeafBuilder::push_reused`]); warm the rolling window with the
+//!    bytes preceding the rebuild point so boundary decisions match a
+//!    from-scratch build.
+//! 3. Re-chunk through the affected region, applying the edits.
+//! 4. Once past the last edit, stop at the first chunk cut that coincides
+//!    with an old leaf boundary *and* lies at least one rolling-hash window
+//!    beyond the last edited byte — from there on, old and new boundary
+//!    decisions provably agree, so all remaining leaves are reused.
+//! 5. Rebuild the index levels from the leaf entry list. Index levels are
+//!    cheap (metadata-sized) and their chunks deduplicate in the store, so
+//!    a full index rebuild preserves both history independence and storage
+//!    sharing.
+//!
+//! Because leaf boundaries are pure functions of content, the spliced tree
+//! is bit-identical to a from-scratch build of the edited content — the
+//! property the `history_independence` proptests pin down.
+
+use crate::builder::{build_from_entries_reusing, LeafBuilder};
+use crate::entry::IndexEntry;
+use crate::leaf::{decode_items_shared, Item};
+use crate::scan::scan_tree;
+use crate::types::TreeType;
+use bytes::Bytes;
+use forkbase_chunk::ChunkStore;
+use forkbase_crypto::{ChunkerConfig, Digest};
+
+/// A keyed edit against a sorted tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Edit {
+    /// Insert or replace the item at `item.key`.
+    Put(Item),
+    /// Remove the key if present.
+    Del(Bytes),
+}
+
+impl Edit {
+    /// The key this edit addresses.
+    pub fn key(&self) -> &[u8] {
+        match self {
+            Edit::Put(item) => &item.key,
+            Edit::Del(key) => key,
+        }
+    }
+}
+
+/// Sort edits by key, last-wins on duplicates.
+pub fn normalize_edits(mut edits: Vec<Edit>) -> Vec<Edit> {
+    // Stable sort preserves input order among equal keys; keep the last.
+    edits.sort_by(|a, b| a.key().cmp(b.key()));
+    let mut out: Vec<Edit> = Vec::with_capacity(edits.len());
+    for e in edits {
+        if out.last().map(|l| l.key() == e.key()).unwrap_or(false) {
+            *out.last_mut().expect("non-empty") = e;
+        } else {
+            out.push(e);
+        }
+    }
+    out
+}
+
+/// Feed the last `window` bytes preceding leaf `first` into the builder's
+/// rolling window.
+fn seed_before(
+    store: &dyn ChunkStore,
+    leaves: &[IndexEntry],
+    first: usize,
+    window: usize,
+    lb: &mut LeafBuilder,
+) -> Option<()> {
+    if first == 0 {
+        lb.seed(&[]);
+        return Some(());
+    }
+    let mut parts: Vec<bytes::Bytes> = Vec::new();
+    let mut got = 0usize;
+    for e in leaves[..first].iter().rev() {
+        let chunk = store.get(&e.cid)?;
+        got += chunk.len();
+        parts.push(chunk.payload().clone());
+        if got >= window {
+            break;
+        }
+    }
+    let mut all = Vec::with_capacity(got);
+    for p in parts.iter().rev() {
+        all.extend_from_slice(p);
+    }
+    let start = all.len().saturating_sub(window);
+    lb.seed(&all[start..]);
+    Some(())
+}
+
+/// Treat the canonical empty leaf as zero leaves.
+fn effective_leaves(entries: &[IndexEntry]) -> &[IndexEntry] {
+    if entries.len() == 1 && entries[0].count == 0 {
+        &[]
+    } else {
+        entries
+    }
+}
+
+/// Apply a batch of keyed edits to a sorted tree; returns the new root.
+/// `None` indicates a missing/corrupt chunk.
+pub fn update_sorted(
+    store: &dyn ChunkStore,
+    cfg: &ChunkerConfig,
+    ty: TreeType,
+    root: Digest,
+    edits: Vec<Edit>,
+) -> Option<Digest> {
+    debug_assert!(ty.is_sorted());
+    if edits.is_empty() {
+        return Some(root);
+    }
+    let edits = normalize_edits(edits);
+    let scan = scan_tree(store, root, ty)?;
+    let leaves = effective_leaves(&scan.leaf_entries);
+    let window = cfg.window;
+
+    let mut lb = LeafBuilder::new(store, cfg, ty);
+    let mut leaf_i = 0usize;
+    let mut edit_i = 0usize;
+    // `dirty`: an edit has been applied and the boundary stream has not yet
+    // provably realigned with the old tree.
+    let mut dirty = false;
+    let mut bytes_since_edit = 0usize;
+
+    loop {
+        if lb.aligned() && !dirty {
+            // Reuse mode: skip unaffected leaves wholesale.
+            let target = if edit_i < edits.len() {
+                leaves
+                    .partition_point(|e| e.key.as_ref() < edits[edit_i].key())
+                    .min(leaves.len().saturating_sub(1))
+            } else {
+                leaves.len()
+            };
+            if target > leaf_i {
+                for e in &leaves[leaf_i..target] {
+                    lb.push_reused(e.clone());
+                }
+                leaf_i = target;
+            }
+            if edit_i >= edits.len() {
+                break; // no edits left, everything reused
+            }
+            seed_before(store, leaves, leaf_i, window, &mut lb)?;
+            if leaf_i >= leaves.len() {
+                // Empty tree: all edits are trailing inserts.
+                while edit_i < edits.len() {
+                    if let Edit::Put(item) = &edits[edit_i] {
+                        lb.append_item(item);
+                    }
+                    edit_i += 1;
+                }
+                break;
+            }
+        }
+
+        // Merge-apply edits through one leaf.
+        let entry = &leaves[leaf_i];
+        let chunk = store.get(&entry.cid)?;
+        let items = decode_items_shared(ty, chunk.payload())?;
+        let is_last_leaf = leaf_i + 1 == leaves.len();
+        for item in items {
+            while edit_i < edits.len() && edits[edit_i].key() < item.key.as_ref() {
+                if let Edit::Put(e) = &edits[edit_i] {
+                    lb.append_item(e);
+                }
+                dirty = true;
+                bytes_since_edit = 0;
+                edit_i += 1;
+            }
+            if edit_i < edits.len() && edits[edit_i].key() == item.key.as_ref() {
+                if let Edit::Put(e) = &edits[edit_i] {
+                    lb.append_item(e);
+                }
+                dirty = true;
+                bytes_since_edit = 0;
+                edit_i += 1;
+            } else {
+                bytes_since_edit += item.encoded_len(ty);
+                lb.append_item(&item);
+            }
+        }
+        if is_last_leaf {
+            while edit_i < edits.len() {
+                if let Edit::Put(e) = &edits[edit_i] {
+                    lb.append_item(e);
+                }
+                dirty = true;
+                edit_i += 1;
+            }
+        }
+        leaf_i += 1;
+
+        if dirty && lb.aligned() && bytes_since_edit >= window {
+            // New cut coincides with an old leaf boundary, one full window
+            // past the last edit: chunking provably realigned.
+            dirty = false;
+        }
+        if leaf_i >= leaves.len() && edit_i >= edits.len() {
+            break;
+        }
+    }
+
+    let entries = lb.finish();
+    Some(build_from_entries_reusing(store, cfg, ty, entries, Some(root)))
+}
+
+/// Replace `remove` bytes at `start` with `insert` in a Blob tree.
+/// Out-of-range `start`/`remove` are clamped to the object.
+pub fn splice_blob(
+    store: &dyn ChunkStore,
+    cfg: &ChunkerConfig,
+    root: Digest,
+    start: u64,
+    remove: u64,
+    insert: &[u8],
+) -> Option<Digest> {
+    let scan = scan_tree(store, root, TreeType::Blob)?;
+    let leaves = effective_leaves(&scan.leaf_entries);
+    let total: u64 = leaves.iter().map(|e| e.count).sum();
+    let start = start.min(total);
+    let remove = remove.min(total - start);
+    let window = cfg.window;
+
+    let mut lb = LeafBuilder::new(store, cfg, TreeType::Blob);
+
+    // First leaf containing `start`. A pure append (`start == total`) must
+    // still re-chunk the last leaf: it ends without a boundary pattern, so
+    // appended bytes merge into it.
+    let mut cum = 0u64;
+    let mut first = leaves.len();
+    for (i, e) in leaves.iter().enumerate() {
+        if start < cum + e.count {
+            first = i;
+            break;
+        }
+        cum += e.count;
+    }
+    if first == leaves.len() && !leaves.is_empty() {
+        first = leaves.len() - 1;
+        cum -= leaves[first].count;
+    }
+    for e in &leaves[..first] {
+        lb.push_reused(e.clone());
+    }
+    seed_before(store, leaves, first, window, &mut lb)?;
+
+    let mut inserted = false;
+    let mut to_remove = remove;
+    let mut dirty = false;
+    let mut bytes_since_edit = 0usize;
+    let mut li = first;
+    let mut pos = cum;
+
+    while li < leaves.len() {
+        let e = &leaves[li];
+        if inserted && to_remove >= e.count && e.count > 0 {
+            // Whole leaf falls inside the removal: drop it unread.
+            to_remove -= e.count;
+            pos += e.count;
+            li += 1;
+            dirty = true;
+            continue;
+        }
+        if inserted && to_remove == 0 && !dirty && lb.aligned() {
+            for e2 in &leaves[li..] {
+                lb.push_reused(e2.clone());
+            }
+            let _ = li;
+            break;
+        }
+        let chunk = store.get(&e.cid)?;
+        let payload = chunk.payload();
+        let mut j = 0usize;
+        if !inserted {
+            let pre = (start - pos) as usize;
+            lb.append_blob(&payload[..pre]);
+            lb.append_blob(insert);
+            inserted = true;
+            dirty = true;
+            bytes_since_edit = 0;
+            j = pre;
+            let rm = (to_remove as usize).min(payload.len() - j);
+            j += rm;
+            to_remove -= rm as u64;
+        } else if to_remove > 0 {
+            let rm = (to_remove as usize).min(payload.len());
+            j = rm;
+            to_remove -= rm as u64;
+            bytes_since_edit = 0;
+        }
+        let rest = &payload[j..];
+        lb.append_blob(rest);
+        if dirty {
+            bytes_since_edit += rest.len();
+        }
+        pos += e.count;
+        li += 1;
+        if dirty && inserted && to_remove == 0 && lb.aligned() && bytes_since_edit >= window {
+            dirty = false;
+        }
+    }
+    if !inserted {
+        // start == total: pure append.
+        lb.append_blob(insert);
+    }
+
+    let entries = lb.finish();
+    Some(build_from_entries_reusing(
+        store,
+        cfg,
+        TreeType::Blob,
+        entries,
+        Some(root),
+    ))
+}
+
+/// Replace `remove` elements at position `start` with `insert` in a List
+/// tree. Out-of-range values are clamped.
+pub fn splice_list(
+    store: &dyn ChunkStore,
+    cfg: &ChunkerConfig,
+    root: Digest,
+    start: u64,
+    remove: u64,
+    insert: &[Item],
+) -> Option<Digest> {
+    let scan = scan_tree(store, root, TreeType::List)?;
+    let leaves = effective_leaves(&scan.leaf_entries);
+    let total: u64 = leaves.iter().map(|e| e.count).sum();
+    let start = start.min(total);
+    let remove = remove.min(total - start);
+    let window = cfg.window;
+
+    let mut lb = LeafBuilder::new(store, cfg, TreeType::List);
+
+    let mut cum = 0u64;
+    let mut first = leaves.len();
+    for (i, e) in leaves.iter().enumerate() {
+        if start < cum + e.count {
+            first = i;
+            break;
+        }
+        cum += e.count;
+    }
+    if first == leaves.len() && !leaves.is_empty() {
+        // Appends re-chunk the final (pattern-less) leaf.
+        first = leaves.len() - 1;
+        cum -= leaves[first].count;
+    }
+    for e in &leaves[..first] {
+        lb.push_reused(e.clone());
+    }
+    seed_before(store, leaves, first, window, &mut lb)?;
+
+    let mut inserted = false;
+    let mut to_remove = remove;
+    let mut dirty = false;
+    let mut bytes_since_edit = 0usize;
+    let mut li = first;
+    let mut pos = cum;
+
+    while li < leaves.len() {
+        let e = &leaves[li];
+        if inserted && to_remove >= e.count && e.count > 0 {
+            to_remove -= e.count;
+            pos += e.count;
+            li += 1;
+            dirty = true;
+            continue;
+        }
+        if inserted && to_remove == 0 && !dirty && lb.aligned() {
+            for e2 in &leaves[li..] {
+                lb.push_reused(e2.clone());
+            }
+            let _ = li;
+            break;
+        }
+        let chunk = store.get(&e.cid)?;
+        let items = decode_items_shared(TreeType::List, chunk.payload())?;
+        for item in items {
+            if !inserted && pos == start {
+                for ins in insert {
+                    lb.append_item(ins);
+                }
+                inserted = true;
+                dirty = true;
+                bytes_since_edit = 0;
+            }
+            if inserted && to_remove > 0 && pos >= start {
+                to_remove -= 1;
+                bytes_since_edit = 0;
+            } else {
+                lb.append_item(&item);
+                if dirty {
+                    bytes_since_edit += item.encoded_len(TreeType::List);
+                }
+            }
+            pos += 1;
+        }
+        li += 1;
+        if dirty && inserted && to_remove == 0 && lb.aligned() && bytes_since_edit >= window {
+            dirty = false;
+        }
+    }
+    if !inserted {
+        for ins in insert {
+            lb.append_item(ins);
+        }
+    }
+
+    let entries = lb.finish();
+    Some(build_from_entries_reusing(
+        store,
+        cfg,
+        TreeType::List,
+        entries,
+        Some(root),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_blob, build_items};
+    use forkbase_chunk::MemStore;
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as u8
+            })
+            .collect()
+    }
+
+    fn map_items(n: usize) -> Vec<Item> {
+        (0..n)
+            .map(|i| Item::map(format!("k{i:06}"), format!("value-{i}")))
+            .collect()
+    }
+
+    /// The crucial invariant: a spliced tree is bit-identical to a
+    /// from-scratch build of the edited content.
+    #[test]
+    fn blob_splice_equals_rebuild() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::with_leaf_bits(9);
+        let data = pseudo_random(120_000, 1);
+        let root = build_blob(&store, &cfg, &data);
+
+        for (start, remove, insert) in [
+            (0u64, 0u64, &b"prefix!"[..]),
+            (60_000, 100, &b"middle edit"[..]),
+            (60_000, 0, &b""[..]),
+            (119_000, 5_000, &b"tail replaced"[..]), // clamped removal
+            (120_000, 0, &b"appended"[..]),
+            (0, 120_000, &b"everything replaced"[..]),
+            (0, 0, &b""[..]), // no-op
+        ] {
+            let spliced = splice_blob(&store, &cfg, root, start, remove, insert).expect("splice");
+            let mut expected = data.clone();
+            let s = (start as usize).min(expected.len());
+            let r = (remove as usize).min(expected.len() - s);
+            expected.splice(s..s + r, insert.iter().copied());
+            let rebuilt = build_blob(&store, &cfg, &expected);
+            assert_eq!(
+                spliced, rebuilt,
+                "splice(start={start}, remove={remove}) must equal rebuild"
+            );
+        }
+    }
+
+    #[test]
+    fn blob_splice_reuses_most_chunks() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::with_leaf_bits(9);
+        let data = pseudo_random(500_000, 2);
+        let root = build_blob(&store, &cfg, &data);
+        let before = store.stats().stored_chunks;
+
+        splice_blob(&store, &cfg, root, 250_000, 10, b"small edit").expect("splice");
+        let added = store.stats().stored_chunks - before;
+        let total_leaves = scan_tree(&store, root, TreeType::Blob)
+            .expect("scan")
+            .leaf_entries
+            .len() as u64;
+        assert!(
+            added < total_leaves / 10,
+            "edit added {added} chunks out of {total_leaves} leaves"
+        );
+    }
+
+    #[test]
+    fn map_update_equals_rebuild() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::with_leaf_bits(8);
+        let items = map_items(5000);
+        let root = build_items(&store, &cfg, TreeType::Map, items.clone());
+
+        // Mixed batch: replace, delete, insert (front, middle, back).
+        let edits = vec![
+            Edit::Put(Item::map("k000000", "REPLACED")),
+            Edit::Del(Bytes::from("k002500")),
+            Edit::Put(Item::map("k0025001", "INSERTED-MID")),
+            Edit::Put(Item::map("zzz-appended", "TAIL")),
+            Edit::Del(Bytes::from("not-present")),
+        ];
+        let new_root = update_sorted(&store, &cfg, TreeType::Map, root, edits).expect("update");
+
+        let mut model: std::collections::BTreeMap<Bytes, Bytes> = items
+            .into_iter()
+            .map(|i| (i.key, i.value))
+            .collect();
+        model.insert(Bytes::from("k000000"), Bytes::from("REPLACED"));
+        model.remove(&Bytes::from("k002500")[..]);
+        model.insert(Bytes::from("k0025001"), Bytes::from("INSERTED-MID"));
+        model.insert(Bytes::from("zzz-appended"), Bytes::from("TAIL"));
+        let rebuilt = build_items(
+            &store,
+            &cfg,
+            TreeType::Map,
+            model.into_iter().map(|(k, v)| Item { key: k, value: v }),
+        );
+        assert_eq!(new_root, rebuilt);
+    }
+
+    #[test]
+    fn map_update_on_empty_tree() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let empty = build_items(&store, &cfg, TreeType::Map, std::iter::empty());
+        let edits = vec![
+            Edit::Put(Item::map("b", "2")),
+            Edit::Put(Item::map("a", "1")),
+            Edit::Del(Bytes::from("c")),
+        ];
+        let root = update_sorted(&store, &cfg, TreeType::Map, empty, edits).expect("update");
+        let rebuilt = build_items(
+            &store,
+            &cfg,
+            TreeType::Map,
+            vec![Item::map("a", "1"), Item::map("b", "2")],
+        );
+        assert_eq!(root, rebuilt);
+    }
+
+    #[test]
+    fn map_delete_everything_yields_empty() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let items = map_items(50);
+        let root = build_items(&store, &cfg, TreeType::Map, items.clone());
+        let edits: Vec<Edit> = items.iter().map(|i| Edit::Del(i.key.clone())).collect();
+        let new_root = update_sorted(&store, &cfg, TreeType::Map, root, edits).expect("update");
+        let empty = build_items(&store, &cfg, TreeType::Map, std::iter::empty());
+        assert_eq!(new_root, empty);
+    }
+
+    #[test]
+    fn duplicate_edits_last_wins() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let root = build_items(&store, &cfg, TreeType::Map, map_items(10));
+        let edits = vec![
+            Edit::Put(Item::map("k000005", "first")),
+            Edit::Put(Item::map("k000005", "second")),
+        ];
+        let new_root = update_sorted(&store, &cfg, TreeType::Map, root, edits).expect("update");
+        let item =
+            crate::scan::get_by_key(&store, new_root, TreeType::Map, b"k000005").expect("found");
+        assert_eq!(item.value.as_ref(), b"second");
+    }
+
+    #[test]
+    fn list_splice_equals_rebuild() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::with_leaf_bits(8);
+        let items: Vec<Item> = (0..3000).map(|i| Item::list(format!("element-{i}"))).collect();
+        let root = build_items(&store, &cfg, TreeType::List, items.clone());
+
+        for (start, remove, insert_n) in
+            [(0u64, 0u64, 3usize), (1500, 10, 2), (2999, 1, 0), (3000, 0, 5), (0, 3000, 1)]
+        {
+            let insert: Vec<Item> =
+                (0..insert_n).map(|i| Item::list(format!("NEW-{i}"))).collect();
+            let new_root =
+                splice_list(&store, &cfg, root, start, remove, &insert).expect("splice");
+            let mut expected = items.clone();
+            let s = (start as usize).min(expected.len());
+            let r = (remove as usize).min(expected.len() - s);
+            expected.splice(s..s + r, insert);
+            let rebuilt = build_items(&store, &cfg, TreeType::List, expected);
+            assert_eq!(new_root, rebuilt, "list splice(start={start}, remove={remove})");
+        }
+    }
+
+    #[test]
+    fn spread_edits_realign_between_clusters() {
+        // Two edits far apart: the splice must skip the unaffected middle.
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::with_leaf_bits(8);
+        let items = map_items(20_000);
+        let root = build_items(&store, &cfg, TreeType::Map, items.clone());
+        let before = store.stats().stored_chunks;
+
+        let edits = vec![
+            Edit::Put(Item::map("k000100", "edit-A")),
+            Edit::Put(Item::map("k019900", "edit-B")),
+        ];
+        let new_root =
+            update_sorted(&store, &cfg, TreeType::Map, root, edits).expect("update");
+        let added = store.stats().stored_chunks - before;
+
+        // Verify correctness against rebuild.
+        let mut model: std::collections::BTreeMap<Bytes, Bytes> =
+            items.into_iter().map(|i| (i.key, i.value)).collect();
+        model.insert(Bytes::from("k000100"), Bytes::from("edit-A"));
+        model.insert(Bytes::from("k019900"), Bytes::from("edit-B"));
+        let rebuilt = build_items(
+            &store,
+            &cfg,
+            TreeType::Map,
+            model.into_iter().map(|(k, v)| Item { key: k, value: v }),
+        );
+        assert_eq!(new_root, rebuilt);
+
+        let leaves = scan_tree(&store, root, TreeType::Map).expect("scan").leaf_entries.len() as u64;
+        assert!(
+            added < leaves / 4,
+            "two point edits added {added} chunks of {leaves} leaves"
+        );
+    }
+
+    #[test]
+    fn empty_edit_batch_is_identity() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let root = build_items(&store, &cfg, TreeType::Map, map_items(100));
+        assert_eq!(
+            update_sorted(&store, &cfg, TreeType::Map, root, vec![]),
+            Some(root)
+        );
+    }
+}

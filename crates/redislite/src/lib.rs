@@ -1,0 +1,271 @@
+//! **redislite** — an in-memory object store with Redis-style `String`
+//! and `List` types, the baseline the paper's wiki engine is compared
+//! against (§5.2, §6.3).
+//!
+//! The paper implements a multi-versioned wiki over Redis by storing each
+//! page as a list and RPUSH-ing every new revision — full copies, no
+//! structural sharing. The behaviours that matter for the comparison and
+//! are preserved here:
+//!
+//! * very fast in-memory reads/writes (no chunking, no hashing), and
+//! * memory consumption proportional to the sum of all version sizes
+//!   (Fig. 13(b): ForkBase's deduplication halves storage relative to
+//!   Redis).
+//!
+//! Memory accounting tracks the payload bytes of every stored object, the
+//! metric plotted in Fig. 13(b) and Fig. 15.
+
+use bytes::Bytes;
+use forkbase_crypto::fx::FxHashMap;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A stored object: string or list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum RObject {
+    Str(Bytes),
+    List(Vec<Bytes>),
+}
+
+impl RObject {
+    fn bytes(&self) -> u64 {
+        match self {
+            RObject::Str(s) => s.len() as u64,
+            RObject::List(l) => l.iter().map(|e| e.len() as u64).sum(),
+        }
+    }
+}
+
+/// An in-memory multi-type key-value store.
+#[derive(Default)]
+pub struct RedisLite {
+    map: RwLock<FxHashMap<Bytes, RObject>>,
+    mem_bytes: AtomicU64,
+    ops: AtomicU64,
+}
+
+impl RedisLite {
+    /// Empty store.
+    pub fn new() -> RedisLite {
+        RedisLite::default()
+    }
+
+    fn account(&self, old: Option<&RObject>, new: Option<&RObject>) {
+        let old_b = old.map(|o| o.bytes()).unwrap_or(0);
+        let new_b = new.map(|o| o.bytes()).unwrap_or(0);
+        if new_b >= old_b {
+            self.mem_bytes.fetch_add(new_b - old_b, Ordering::Relaxed);
+        } else {
+            self.mem_bytes.fetch_sub(old_b - new_b, Ordering::Relaxed);
+        }
+    }
+
+    /// SET: store a string value.
+    pub fn set(&self, key: impl Into<Bytes>, value: impl Into<Bytes>) {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        let key = key.into();
+        let new = RObject::Str(value.into());
+        let mut map = self.map.write();
+        let old = map.get(&key).cloned();
+        self.account(old.as_ref(), Some(&new));
+        map.insert(key, new);
+    }
+
+    /// GET: read a string value. `None` if missing or of another type.
+    pub fn get(&self, key: &[u8]) -> Option<Bytes> {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        match self.map.read().get(key) {
+            Some(RObject::Str(s)) => Some(s.clone()),
+            _ => None,
+        }
+    }
+
+    /// RPUSH: append an element to the list at `key` (creating it),
+    /// returning the new length.
+    pub fn rpush(&self, key: impl Into<Bytes>, elem: impl Into<Bytes>) -> usize {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        let key = key.into();
+        let elem = elem.into();
+        let mut map = self.map.write();
+        let entry = map.entry(key).or_insert_with(|| RObject::List(Vec::new()));
+        match entry {
+            RObject::List(l) => {
+                self.mem_bytes.fetch_add(elem.len() as u64, Ordering::Relaxed);
+                l.push(elem);
+                l.len()
+            }
+            RObject::Str(_) => {
+                // WRONGTYPE in Redis; here we overwrite for simplicity.
+                let old_bytes = entry.bytes();
+                self.mem_bytes.fetch_sub(old_bytes, Ordering::Relaxed);
+                self.mem_bytes.fetch_add(elem.len() as u64, Ordering::Relaxed);
+                *entry = RObject::List(vec![elem]);
+                1
+            }
+        }
+    }
+
+    /// LINDEX: element at `idx` (negative = from the end, like Redis).
+    pub fn lindex(&self, key: &[u8], idx: i64) -> Option<Bytes> {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        match self.map.read().get(key) {
+            Some(RObject::List(l)) => {
+                let i = if idx < 0 {
+                    l.len().checked_sub(idx.unsigned_abs() as usize)?
+                } else {
+                    idx as usize
+                };
+                l.get(i).cloned()
+            }
+            _ => None,
+        }
+    }
+
+    /// LLEN: list length (0 for missing keys, like Redis).
+    pub fn llen(&self, key: &[u8]) -> usize {
+        match self.map.read().get(key) {
+            Some(RObject::List(l)) => l.len(),
+            _ => 0,
+        }
+    }
+
+    /// LSET: replace the element at `idx`.
+    pub fn lset(&self, key: &[u8], idx: usize, elem: impl Into<Bytes>) -> bool {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        let elem = elem.into();
+        let mut map = self.map.write();
+        match map.get_mut(key) {
+            Some(RObject::List(l)) if idx < l.len() => {
+                let old_len = l[idx].len() as u64;
+                if elem.len() as u64 >= old_len {
+                    self.mem_bytes
+                        .fetch_add(elem.len() as u64 - old_len, Ordering::Relaxed);
+                } else {
+                    self.mem_bytes
+                        .fetch_sub(old_len - elem.len() as u64, Ordering::Relaxed);
+                }
+                l[idx] = elem;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// LRANGE: elements in `[start, stop]` (inclusive, clamped).
+    pub fn lrange(&self, key: &[u8], start: usize, stop: usize) -> Vec<Bytes> {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        match self.map.read().get(key) {
+            Some(RObject::List(l)) => {
+                let stop = stop.min(l.len().saturating_sub(1));
+                if start > stop {
+                    return Vec::new();
+                }
+                l[start..=stop].to_vec()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// DEL: remove a key; returns whether it existed.
+    pub fn del(&self, key: &[u8]) -> bool {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.write();
+        match map.remove(key) {
+            Some(obj) => {
+                self.mem_bytes.fetch_sub(obj.bytes(), Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of keys.
+    pub fn dbsize(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Total payload bytes held — the storage-consumption metric of
+    /// Fig. 13(b).
+    pub fn memory_bytes(&self) -> u64 {
+        self.mem_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Operations served.
+    pub fn op_count(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_ops() {
+        let db = RedisLite::new();
+        db.set("k", "v1");
+        assert_eq!(db.get(b"k"), Some(Bytes::from("v1")));
+        db.set("k", "v2");
+        assert_eq!(db.get(b"k"), Some(Bytes::from("v2")));
+        assert_eq!(db.get(b"missing"), None);
+    }
+
+    #[test]
+    fn list_versioning_pattern() {
+        // The wiki pattern: every revision RPUSHed, LINDEX -1 = latest.
+        let db = RedisLite::new();
+        for i in 0..5 {
+            db.rpush("page", format!("revision {i}"));
+        }
+        assert_eq!(db.llen(b"page"), 5);
+        assert_eq!(db.lindex(b"page", -1), Some(Bytes::from("revision 4")));
+        assert_eq!(db.lindex(b"page", 0), Some(Bytes::from("revision 0")));
+        assert_eq!(db.lindex(b"page", -2), Some(Bytes::from("revision 3")));
+        assert_eq!(db.lindex(b"page", 99), None);
+    }
+
+    #[test]
+    fn lrange_clamps() {
+        let db = RedisLite::new();
+        for i in 0..4 {
+            db.rpush("l", format!("{i}"));
+        }
+        assert_eq!(db.lrange(b"l", 1, 2).len(), 2);
+        assert_eq!(db.lrange(b"l", 0, 100).len(), 4);
+        assert_eq!(db.lrange(b"l", 5, 10).len(), 0);
+    }
+
+    #[test]
+    fn memory_accounting_sums_all_versions() {
+        let db = RedisLite::new();
+        db.rpush("page", vec![0u8; 1000]);
+        db.rpush("page", vec![0u8; 1000]);
+        assert_eq!(db.memory_bytes(), 2000, "no dedup: every version counted");
+        db.set("s", vec![0u8; 500]);
+        assert_eq!(db.memory_bytes(), 2500);
+        db.set("s", vec![0u8; 100]);
+        assert_eq!(db.memory_bytes(), 2100, "overwrite reclaims");
+        db.del(b"page");
+        assert_eq!(db.memory_bytes(), 100);
+    }
+
+    #[test]
+    fn lset_replaces_in_place() {
+        let db = RedisLite::new();
+        db.rpush("l", "aaa");
+        db.rpush("l", "bbb");
+        assert!(db.lset(b"l", 0, "XXXXX"));
+        assert_eq!(db.lindex(b"l", 0), Some(Bytes::from("XXXXX")));
+        assert!(!db.lset(b"l", 9, "nope"));
+        assert_eq!(db.memory_bytes(), 8);
+    }
+
+    #[test]
+    fn del_missing_returns_false() {
+        let db = RedisLite::new();
+        assert!(!db.del(b"ghost"));
+        db.set("real", "x");
+        assert!(db.del(b"real"));
+        assert_eq!(db.dbsize(), 0);
+    }
+}

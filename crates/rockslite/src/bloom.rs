@@ -1,0 +1,136 @@
+//! Bloom filter for SSTable point-lookup short-circuiting.
+
+use std::hash::Hasher;
+
+/// A classic Bloom filter with double hashing (Kirsch–Mitzenmacher).
+#[derive(Clone, Debug)]
+pub struct Bloom {
+    bits: Vec<u64>,
+    n_bits: u64,
+    k: u32,
+}
+
+impl Bloom {
+    /// Size the filter for `n` expected keys at ~`bits_per_key` bits each
+    /// (10 bits/key ≈ 1% false-positive rate).
+    pub fn new(n: usize, bits_per_key: usize) -> Bloom {
+        let n_bits = ((n.max(1) * bits_per_key) as u64).next_multiple_of(64).max(64);
+        // Optimal k = ln2 · bits/key, clamped to a sane range.
+        let k = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 8);
+        Bloom {
+            bits: vec![0u64; (n_bits / 64) as usize],
+            n_bits,
+            k,
+        }
+    }
+
+    fn hashes(key: &[u8]) -> (u64, u64) {
+        let mut h1 = forkbase_crypto::fx::FxHasher::default();
+        h1.write(key);
+        let a = h1.finish();
+        // Derive an independent second hash by mixing.
+        let mut z = a.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (a, z ^ (z >> 31))
+    }
+
+    /// Insert a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        let (h1, h2) = Self::hashes(key);
+        for i in 0..self.k {
+            let bit = h1.wrapping_add(h2.wrapping_mul(i as u64)) % self.n_bits;
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+    }
+
+    /// Membership test: false means definitely absent.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let (h1, h2) = Self::hashes(key);
+        for i in 0..self.k {
+            let bit = h1.wrapping_add(h2.wrapping_mul(i as u64)) % self.n_bits;
+            if self.bits[(bit / 64) as usize] & (1 << (bit % 64)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Serialize: `[k u32][n_bits u64][words…]`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.bits.len() * 8);
+        out.extend_from_slice(&self.k.to_le_bytes());
+        out.extend_from_slice(&self.n_bits.to_le_bytes());
+        for w in &self.bits {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialize; `None` on malformed input.
+    pub fn decode(buf: &[u8]) -> Option<Bloom> {
+        if buf.len() < 12 {
+            return None;
+        }
+        let k = u32::from_le_bytes(buf[0..4].try_into().ok()?);
+        let n_bits = u64::from_le_bytes(buf[4..12].try_into().ok()?);
+        let words = (n_bits / 64) as usize;
+        if buf.len() != 12 + words * 8 || k == 0 || n_bits % 64 != 0 {
+            return None;
+        }
+        let bits = buf[12..]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect();
+        Some(Bloom { bits, n_bits, k })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bloom = Bloom::new(1000, 10);
+        for i in 0..1000u32 {
+            bloom.insert(format!("key-{i}").as_bytes());
+        }
+        for i in 0..1000u32 {
+            assert!(bloom.may_contain(format!("key-{i}").as_bytes()));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut bloom = Bloom::new(10_000, 10);
+        for i in 0..10_000u32 {
+            bloom.insert(format!("present-{i}").as_bytes());
+        }
+        let fp = (0..10_000u32)
+            .filter(|i| bloom.may_contain(format!("absent-{i}").as_bytes()))
+            .count();
+        assert!(fp < 300, "false positive rate too high: {fp}/10000");
+    }
+
+    #[test]
+    fn encode_round_trip() {
+        let mut bloom = Bloom::new(100, 10);
+        for i in 0..100u32 {
+            bloom.insert(&i.to_le_bytes());
+        }
+        let decoded = Bloom::decode(&bloom.encode()).expect("valid");
+        for i in 0..100u32 {
+            assert!(decoded.may_contain(&i.to_le_bytes()));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Bloom::decode(&[]).is_none());
+        assert!(Bloom::decode(&[1, 2, 3]).is_none());
+        let mut good = Bloom::new(10, 10).encode();
+        good.pop();
+        assert!(Bloom::decode(&good).is_none());
+    }
+}

@@ -1,0 +1,469 @@
+//! The LSM database: memtable + WAL → L0 tables → compacted L1 run.
+
+use crate::memtable::MemTable;
+use crate::sstable::SsTable;
+use crate::wal::Wal;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Tuning knobs.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Flush the memtable when it exceeds this size.
+    pub memtable_bytes: usize,
+    /// Compact L0 into L1 when this many L0 tables accumulate.
+    pub l0_compaction_trigger: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            memtable_bytes: 4 << 20, // 4 MB
+            l0_compaction_trigger: 4,
+        }
+    }
+}
+
+/// Observable state, for benchmarks and tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DbStats {
+    /// Entries in the active memtable.
+    pub memtable_entries: usize,
+    /// Number of level-0 tables.
+    pub l0_tables: usize,
+    /// Whether a level-1 run exists.
+    pub has_l1: bool,
+    /// Flushes performed.
+    pub flushes: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+    /// Total data bytes across all tables.
+    pub table_bytes: u64,
+}
+
+struct Inner {
+    memtable: MemTable,
+    wal: Wal,
+    /// Newest first.
+    l0: Vec<SsTable>,
+    l1: Option<SsTable>,
+    next_file: u64,
+}
+
+/// A from-scratch LSM-tree key-value store.
+pub struct RocksLite {
+    dir: PathBuf,
+    opts: Options,
+    inner: Mutex<Inner>,
+    flushes: AtomicU64,
+    compactions: AtomicU64,
+}
+
+impl RocksLite {
+    /// Open (or create) a database in `dir`, replaying the WAL and
+    /// reloading existing tables.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<RocksLite> {
+        Self::open_with(dir, Options::default())
+    }
+
+    /// Open with explicit options.
+    pub fn open_with(dir: impl AsRef<Path>, opts: Options) -> std::io::Result<RocksLite> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+
+        // Reload tables: names are `l0-<seq>.sst` / `l1-<seq>.sst`.
+        let mut l0_files: Vec<(u64, PathBuf)> = Vec::new();
+        let mut l1_files: Vec<(u64, PathBuf)> = Vec::new();
+        let mut next_file = 0u64;
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let parse = |prefix: &str| -> Option<u64> {
+                name.strip_prefix(prefix)?.strip_suffix(".sst")?.parse().ok()
+            };
+            if let Some(seq) = parse("l0-") {
+                next_file = next_file.max(seq + 1);
+                l0_files.push((seq, path));
+            } else if let Some(seq) = parse("l1-") {
+                next_file = next_file.max(seq + 1);
+                l1_files.push((seq, path));
+            }
+        }
+        l0_files.sort_by_key(|(seq, _)| std::cmp::Reverse(*seq)); // newest first
+        l1_files.sort_by_key(|(seq, _)| std::cmp::Reverse(*seq));
+        let l0 = l0_files
+            .into_iter()
+            .map(|(_, p)| SsTable::open(p))
+            .collect::<std::io::Result<Vec<_>>>()?;
+        // Only the newest L1 run is live; older ones are leftovers from an
+        // interrupted compaction.
+        let mut l1 = None;
+        for (i, (_, path)) in l1_files.iter().enumerate() {
+            if i == 0 {
+                l1 = Some(SsTable::open(path)?);
+            } else {
+                std::fs::remove_file(path).ok();
+            }
+        }
+
+        let (wal, recovered) = Wal::open(dir.join("wal.log"))?;
+        let mut memtable = MemTable::new();
+        for (k, v) in recovered {
+            memtable.insert(k, v);
+        }
+
+        Ok(RocksLite {
+            dir,
+            opts,
+            inner: Mutex::new(Inner {
+                memtable,
+                wal,
+                l0,
+                l1,
+                next_file,
+            }),
+            flushes: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+        })
+    }
+
+    /// Insert or overwrite a key.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> std::io::Result<()> {
+        self.write(key, Some(value))
+    }
+
+    /// Delete a key (writes a tombstone).
+    pub fn delete(&self, key: &[u8]) -> std::io::Result<()> {
+        self.write(key, None)
+    }
+
+    fn write(&self, key: &[u8], value: Option<&[u8]>) -> std::io::Result<()> {
+        let mut inner = self.inner.lock();
+        inner.wal.append(key, value)?;
+        inner.memtable.insert(
+            Bytes::copy_from_slice(key),
+            value.map(Bytes::copy_from_slice),
+        );
+        if inner.memtable.approx_bytes() >= self.opts.memtable_bytes {
+            self.flush_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Apply a batch atomically w.r.t. readers (single lock hold), like
+    /// RocksDB's WriteBatch.
+    pub fn write_batch(&self, batch: &[(Bytes, Option<Bytes>)]) -> std::io::Result<()> {
+        let mut inner = self.inner.lock();
+        for (k, v) in batch {
+            inner.wal.append(k, v.as_deref())?;
+            inner.memtable.insert(k.clone(), v.clone());
+        }
+        if inner.memtable.approx_bytes() >= self.opts.memtable_bytes {
+            self.flush_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Point lookup: memtable, then L0 newest→oldest, then L1 — the
+    /// multi-level read path whose cost the paper's Fig. 9(a) reflects.
+    pub fn get(&self, key: &[u8]) -> std::io::Result<Option<Bytes>> {
+        let inner = self.inner.lock();
+        if let Some(entry) = inner.memtable.get(key) {
+            return Ok(entry.clone());
+        }
+        for table in &inner.l0 {
+            if let Some(entry) = table.get(key)? {
+                return Ok(entry);
+            }
+        }
+        if let Some(l1) = &inner.l1 {
+            if let Some(entry) = l1.get(key)? {
+                return Ok(entry);
+            }
+        }
+        Ok(None)
+    }
+
+    /// Force the memtable to disk.
+    pub fn flush(&self) -> std::io::Result<()> {
+        let mut inner = self.inner.lock();
+        self.flush_locked(&mut inner)
+    }
+
+    fn flush_locked(&self, inner: &mut Inner) -> std::io::Result<()> {
+        if inner.memtable.is_empty() {
+            return Ok(());
+        }
+        let memtable = std::mem::take(&mut inner.memtable);
+        let entries = memtable.into_sorted();
+        let seq = inner.next_file;
+        inner.next_file += 1;
+        let path = self.dir.join(format!("l0-{seq}.sst"));
+        let table = SsTable::write(&path, &entries)?;
+        inner.l0.insert(0, table); // newest first
+        inner.wal.reset()?;
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+
+        if inner.l0.len() >= self.opts.l0_compaction_trigger {
+            self.compact_locked(inner)?;
+        }
+        Ok(())
+    }
+
+    /// Merge all L0 tables and the L1 run into a new L1 run, dropping
+    /// shadowed values and tombstones.
+    fn compact_locked(&self, inner: &mut Inner) -> std::io::Result<()> {
+        let mut merged: BTreeMap<Bytes, Option<Bytes>> = BTreeMap::new();
+        // Oldest data first so newer levels overwrite.
+        if let Some(l1) = &inner.l1 {
+            for (k, v) in l1.scan_all()? {
+                merged.insert(k, v);
+            }
+        }
+        for table in inner.l0.iter().rev() {
+            for (k, v) in table.scan_all()? {
+                merged.insert(k, v);
+            }
+        }
+        // Bottom level: tombstones can be dropped entirely.
+        let live: Vec<(Bytes, Option<Bytes>)> = merged
+            .into_iter()
+            .filter(|(_, v)| v.is_some())
+            .collect();
+
+        let old_files: Vec<PathBuf> = inner
+            .l0
+            .iter()
+            .map(|t| t.path().to_path_buf())
+            .chain(inner.l1.iter().map(|t| t.path().to_path_buf()))
+            .collect();
+
+        if live.is_empty() {
+            inner.l0.clear();
+            inner.l1 = None;
+        } else {
+            let seq = inner.next_file;
+            inner.next_file += 1;
+            let path = self.dir.join(format!("l1-{seq}.sst"));
+            let table = SsTable::write(&path, &live)?;
+            inner.l0.clear();
+            inner.l1 = Some(table);
+        }
+        for f in old_files {
+            std::fs::remove_file(f).ok();
+        }
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Full sorted scan across all levels (latest value per key,
+    /// tombstones elided).
+    pub fn scan_all(&self) -> std::io::Result<Vec<(Bytes, Bytes)>> {
+        let inner = self.inner.lock();
+        let mut merged: BTreeMap<Bytes, Option<Bytes>> = BTreeMap::new();
+        if let Some(l1) = &inner.l1 {
+            for (k, v) in l1.scan_all()? {
+                merged.insert(k, v);
+            }
+        }
+        for table in inner.l0.iter().rev() {
+            for (k, v) in table.scan_all()? {
+                merged.insert(k, v);
+            }
+        }
+        for (k, v) in inner.memtable.iter() {
+            merged.insert(k.clone(), v.clone());
+        }
+        Ok(merged
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect())
+    }
+
+    /// Stats snapshot.
+    pub fn stats(&self) -> DbStats {
+        let inner = self.inner.lock();
+        DbStats {
+            memtable_entries: inner.memtable.len(),
+            l0_tables: inner.l0.len(),
+            has_l1: inner.l1.is_some(),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            table_bytes: inner.l0.iter().map(|t| t.data_bytes()).sum::<u64>()
+                + inner.l1.as_ref().map(|t| t.data_bytes()).unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as TestCounter;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: TestCounter = TestCounter::new(0);
+        std::env::temp_dir().join(format!(
+            "rockslite-db-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn small_opts() -> Options {
+        Options {
+            memtable_bytes: 4096,
+            l0_compaction_trigger: 3,
+        }
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let dir = temp_dir("basic");
+        let db = RocksLite::open(&dir).expect("open");
+        db.put(b"k1", b"v1").expect("put");
+        assert_eq!(db.get(b"k1").expect("get"), Some(Bytes::from("v1")));
+        db.put(b"k1", b"v2").expect("put");
+        assert_eq!(db.get(b"k1").expect("get"), Some(Bytes::from("v2")));
+        db.delete(b"k1").expect("del");
+        assert_eq!(db.get(b"k1").expect("get"), None);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn reads_across_flush_and_compaction() {
+        let dir = temp_dir("levels");
+        let db = RocksLite::open_with(&dir, small_opts()).expect("open");
+        for i in 0..2000u32 {
+            db.put(
+                format!("key-{i:05}").as_bytes(),
+                format!("value-{i}").as_bytes(),
+            )
+            .expect("put");
+        }
+        let stats = db.stats();
+        assert!(stats.flushes > 0, "memtable flushed");
+        assert!(stats.compactions > 0, "compaction ran");
+        for i in (0..2000u32).step_by(97) {
+            assert_eq!(
+                db.get(format!("key-{i:05}").as_bytes()).expect("get"),
+                Some(Bytes::from(format!("value-{i}"))),
+                "key {i}"
+            );
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn tombstones_shadow_lower_levels() {
+        let dir = temp_dir("tomb");
+        let db = RocksLite::open_with(&dir, small_opts()).expect("open");
+        db.put(b"victim", b"alive").expect("put");
+        db.flush().expect("flush"); // value now in a table
+        db.delete(b"victim").expect("del"); // tombstone in memtable
+        assert_eq!(db.get(b"victim").expect("get"), None);
+        db.flush().expect("flush"); // tombstone in newer table
+        assert_eq!(db.get(b"victim").expect("get"), None);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn recovery_from_wal() {
+        let dir = temp_dir("recover");
+        {
+            let db = RocksLite::open(&dir).expect("open");
+            db.put(b"durable", b"yes").expect("put");
+            db.put(b"gone", b"soon").expect("put");
+            db.delete(b"gone").expect("del");
+            // Dropped without flush: WAL only.
+        }
+        let db = RocksLite::open(&dir).expect("reopen");
+        assert_eq!(db.get(b"durable").expect("get"), Some(Bytes::from("yes")));
+        assert_eq!(db.get(b"gone").expect("get"), None);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn recovery_from_tables() {
+        let dir = temp_dir("recover2");
+        {
+            let db = RocksLite::open_with(&dir, small_opts()).expect("open");
+            for i in 0..1000u32 {
+                db.put(format!("k{i:04}").as_bytes(), b"v").expect("put");
+            }
+            db.flush().expect("flush");
+        }
+        let db = RocksLite::open_with(&dir, small_opts()).expect("reopen");
+        for i in (0..1000u32).step_by(111) {
+            assert!(db.get(format!("k{i:04}").as_bytes()).expect("get").is_some());
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn scan_all_merges_levels() {
+        let dir = temp_dir("scan");
+        let db = RocksLite::open_with(&dir, small_opts()).expect("open");
+        for i in 0..500u32 {
+            db.put(format!("k{i:04}").as_bytes(), format!("v{i}").as_bytes())
+                .expect("put");
+        }
+        db.delete(b"k0100").expect("del");
+        let all = db.scan_all().expect("scan");
+        assert_eq!(all.len(), 499);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "sorted unique");
+        assert!(!all.iter().any(|(k, _)| k.as_ref() == b"k0100"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn write_batch_is_atomic_snapshot() {
+        let dir = temp_dir("batch");
+        let db = RocksLite::open(&dir).expect("open");
+        let batch: Vec<(Bytes, Option<Bytes>)> = (0..100)
+            .map(|i| {
+                (
+                    Bytes::from(format!("b{i:03}")),
+                    Some(Bytes::from(format!("v{i}"))),
+                )
+            })
+            .collect();
+        db.write_batch(&batch).expect("batch");
+        assert_eq!(db.get(b"b000").expect("get"), Some(Bytes::from("v0")));
+        assert_eq!(db.get(b"b099").expect("get"), Some(Bytes::from("v99")));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn model_check_against_btreemap() {
+        let dir = temp_dir("model");
+        let db = RocksLite::open_with(&dir, small_opts()).expect("open");
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let mut state = 99u64;
+        for _ in 0..3000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let k = format!("key-{:03}", (state >> 33) % 250);
+            let op = (state >> 20) % 10;
+            if op < 7 {
+                let v = format!("val-{state}");
+                model.insert(k.as_bytes().to_vec(), v.as_bytes().to_vec());
+                db.put(k.as_bytes(), v.as_bytes()).expect("put");
+            } else {
+                model.remove(k.as_bytes());
+                db.delete(k.as_bytes()).expect("del");
+            }
+        }
+        for i in 0..250 {
+            let k = format!("key-{i:03}");
+            let got = db.get(k.as_bytes()).expect("get").map(|b| b.to_vec());
+            assert_eq!(got, model.get(k.as_bytes()).cloned(), "key {k}");
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

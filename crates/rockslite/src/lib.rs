@@ -1,0 +1,36 @@
+//! **rockslite** — a compact log-structured merge-tree (LSM) key-value
+//! store, built from scratch as the RocksDB/LevelDB stand-in for the
+//! ForkBase paper's blockchain baseline (§6.2).
+//!
+//! Hyperledger v0.6 stores its state, Merkle trees and state deltas in
+//! RocksDB; the paper's comparison hinges on two LSM behaviours that this
+//! crate preserves faithfully:
+//!
+//! * **multi-level reads** — a Get may probe the memtable, several L0
+//!   tables and the L1 run ("stores data in multiple levels … and requires
+//!   traversing them to retrieve the key", §6.2.1), and
+//! * **fast batched writes** — writes hit the WAL and memtable only, with
+//!   background-style flush/compaction amortizing the sort.
+//!
+//! Architecture: a mutable memtable (skip-list stand-in: `BTreeMap`)
+//! guarded by a WAL; immutable SSTables with bloom filters and sparse
+//! indexes at level 0 (overlapping, newest first); a single sorted run at
+//! level 1 produced by merging compaction.
+//!
+//! ```
+//! let dir = std::env::temp_dir().join(format!("rockslite-doc-{}", std::process::id()));
+//! let db = rockslite::RocksLite::open(&dir).unwrap();
+//! db.put(b"k1", b"v1").unwrap();
+//! assert_eq!(db.get(b"k1").unwrap().as_deref(), Some(&b"v1"[..]));
+//! db.delete(b"k1").unwrap();
+//! assert_eq!(db.get(b"k1").unwrap(), None);
+//! # std::fs::remove_dir_all(dir).ok();
+//! ```
+
+pub mod bloom;
+pub mod db;
+pub mod memtable;
+pub mod sstable;
+pub mod wal;
+
+pub use db::{DbStats, Options, RocksLite};

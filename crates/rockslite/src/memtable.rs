@@ -1,0 +1,110 @@
+//! The in-memory write buffer.
+//!
+//! A sorted map of key → entry, where an entry is either a value or a
+//! tombstone (needed so deletes shadow older values in lower levels until
+//! compaction drops them).
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// `None` = tombstone.
+pub type Entry = Option<Bytes>;
+
+/// Sorted in-memory buffer; flushed to an SSTable when full.
+#[derive(Default)]
+pub struct MemTable {
+    map: BTreeMap<Bytes, Entry>,
+    approx_bytes: usize,
+}
+
+impl MemTable {
+    /// Empty memtable.
+    pub fn new() -> MemTable {
+        MemTable::default()
+    }
+
+    /// Insert a value or tombstone.
+    pub fn insert(&mut self, key: Bytes, value: Entry) {
+        let add = key.len() + value.as_ref().map(|v| v.len()).unwrap_or(0) + 16;
+        if let Some(old) = self.map.insert(key, value) {
+            self.approx_bytes = self
+                .approx_bytes
+                .saturating_sub(old.map(|v| v.len()).unwrap_or(0));
+        }
+        self.approx_bytes += add;
+    }
+
+    /// Look up a key. Outer `None` = not in this memtable; inner `None` =
+    /// tombstone.
+    pub fn get(&self, key: &[u8]) -> Option<&Entry> {
+        self.map.get(key)
+    }
+
+    /// Number of entries (including tombstones).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Rough memory footprint, used for flush triggering.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Iterate entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Bytes, &Entry)> {
+        self.map.iter()
+    }
+
+    /// Drain into a sorted entry list for flushing.
+    pub fn into_sorted(self) -> Vec<(Bytes, Entry)> {
+        self.map.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut mt = MemTable::new();
+        mt.insert(Bytes::from("a"), Some(Bytes::from("1")));
+        mt.insert(Bytes::from("a"), Some(Bytes::from("2")));
+        assert_eq!(mt.get(b"a"), Some(&Some(Bytes::from("2"))));
+        assert_eq!(mt.len(), 1);
+    }
+
+    #[test]
+    fn tombstones_are_entries() {
+        let mut mt = MemTable::new();
+        mt.insert(Bytes::from("a"), Some(Bytes::from("1")));
+        mt.insert(Bytes::from("a"), None);
+        assert_eq!(mt.get(b"a"), Some(&None), "tombstone visible");
+        assert_eq!(mt.get(b"b"), None, "absent key distinct from tombstone");
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut mt = MemTable::new();
+        for k in ["delta", "alpha", "charlie", "bravo"] {
+            mt.insert(Bytes::from(k), Some(Bytes::from("x")));
+        }
+        let keys: Vec<_> = mt.iter().map(|(k, _)| k.clone()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn approx_bytes_grows() {
+        let mut mt = MemTable::new();
+        let before = mt.approx_bytes();
+        mt.insert(Bytes::from("key"), Some(Bytes::from(vec![0u8; 100])));
+        assert!(mt.approx_bytes() > before + 100);
+    }
+}

@@ -1,0 +1,341 @@
+//! Immutable sorted-string tables.
+//!
+//! File layout:
+//! ```text
+//! [data block:  ([klen u32][vtag u8][vlen u32][key][value])* ]
+//! [index block: ([klen u32][key][offset u64])*  — every Nth key ]
+//! [bloom block]
+//! [footer: index_off u64, index_len u64, bloom_off u64, bloom_len u64,
+//!          count u64, magic u32]
+//! ```
+//! The sparse index and bloom filter are held in memory; point lookups
+//! read one data region from disk.
+
+use crate::bloom::Bloom;
+use bytes::Bytes;
+use std::fs::File;
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: u32 = 0x55_71_AB_1E; // "SsTable"
+const INDEX_EVERY: usize = 16;
+
+/// A written, immutable table.
+pub struct SsTable {
+    path: PathBuf,
+    /// Sparse index: (first key of region, file offset).
+    index: Vec<(Bytes, u64)>,
+    bloom: Bloom,
+    /// Offset where the data blocks end (= index block start).
+    data_end: u64,
+    /// Entry count.
+    pub count: u64,
+    /// Smallest and largest key (inclusive) — used for level placement.
+    pub key_range: (Bytes, Bytes),
+}
+
+impl SsTable {
+    /// Write a new table from sorted entries (`None` value = tombstone).
+    pub fn write(path: impl AsRef<Path>, entries: &[(Bytes, Option<Bytes>)]) -> std::io::Result<SsTable> {
+        assert!(!entries.is_empty(), "SSTables are never empty");
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "sorted unique keys");
+        let path = path.as_ref().to_path_buf();
+        let mut w = BufWriter::new(File::create(&path)?);
+
+        let mut bloom = Bloom::new(entries.len(), 10);
+        let mut index: Vec<(Bytes, u64)> = Vec::new();
+        let mut offset = 0u64;
+        for (i, (key, value)) in entries.iter().enumerate() {
+            if i % INDEX_EVERY == 0 {
+                index.push((key.clone(), offset));
+            }
+            bloom.insert(key);
+            let (vtag, vbytes): (u8, &[u8]) = match value {
+                Some(v) => (1, v),
+                None => (0, &[]),
+            };
+            w.write_all(&(key.len() as u32).to_le_bytes())?;
+            w.write_all(&[vtag])?;
+            w.write_all(&(vbytes.len() as u32).to_le_bytes())?;
+            w.write_all(key)?;
+            w.write_all(vbytes)?;
+            offset += 9 + key.len() as u64 + vbytes.len() as u64;
+        }
+        let data_end = offset;
+
+        // Index block.
+        let index_off = data_end;
+        let mut index_len = 0u64;
+        for (key, off) in &index {
+            w.write_all(&(key.len() as u32).to_le_bytes())?;
+            w.write_all(key)?;
+            w.write_all(&off.to_le_bytes())?;
+            index_len += 4 + key.len() as u64 + 8;
+        }
+
+        // Bloom block.
+        let bloom_bytes = bloom.encode();
+        let bloom_off = index_off + index_len;
+        w.write_all(&bloom_bytes)?;
+
+        // Footer.
+        w.write_all(&index_off.to_le_bytes())?;
+        w.write_all(&index_len.to_le_bytes())?;
+        w.write_all(&bloom_off.to_le_bytes())?;
+        w.write_all(&(bloom_bytes.len() as u64).to_le_bytes())?;
+        w.write_all(&(entries.len() as u64).to_le_bytes())?;
+        w.write_all(&MAGIC.to_le_bytes())?;
+        w.flush()?;
+        w.get_ref().sync_data()?;
+
+        Ok(SsTable {
+            path,
+            index,
+            bloom,
+            data_end,
+            count: entries.len() as u64,
+            key_range: (
+                entries[0].0.clone(),
+                entries[entries.len() - 1].0.clone(),
+            ),
+        })
+    }
+
+    /// Open an existing table, loading index and bloom into memory.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<SsTable> {
+        let path = path.as_ref().to_path_buf();
+        let mut f = File::open(&path)?;
+        let file_len = f.metadata()?.len();
+        let bad = |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+        if file_len < 44 {
+            return Err(bad("file too small"));
+        }
+        f.seek(SeekFrom::Start(file_len - 44))?;
+        let mut footer = [0u8; 44];
+        f.read_exact(&mut footer)?;
+        if u32::from_le_bytes(footer[40..44].try_into().expect("4")) != MAGIC {
+            return Err(bad("bad magic"));
+        }
+        let index_off = u64::from_le_bytes(footer[0..8].try_into().expect("8"));
+        let index_len = u64::from_le_bytes(footer[8..16].try_into().expect("8"));
+        let bloom_off = u64::from_le_bytes(footer[16..24].try_into().expect("8"));
+        let bloom_len = u64::from_le_bytes(footer[24..32].try_into().expect("8"));
+        let count = u64::from_le_bytes(footer[32..40].try_into().expect("8"));
+
+        f.seek(SeekFrom::Start(index_off))?;
+        let mut index_buf = vec![0u8; index_len as usize];
+        f.read_exact(&mut index_buf)?;
+        let mut index = Vec::new();
+        let mut pos = 0usize;
+        while pos < index_buf.len() {
+            if index_buf.len() - pos < 4 {
+                return Err(bad("truncated index"));
+            }
+            let klen =
+                u32::from_le_bytes(index_buf[pos..pos + 4].try_into().expect("4")) as usize;
+            pos += 4;
+            if index_buf.len() - pos < klen + 8 {
+                return Err(bad("truncated index entry"));
+            }
+            let key = Bytes::copy_from_slice(&index_buf[pos..pos + klen]);
+            pos += klen;
+            let off = u64::from_le_bytes(index_buf[pos..pos + 8].try_into().expect("8"));
+            pos += 8;
+            index.push((key, off));
+        }
+
+        f.seek(SeekFrom::Start(bloom_off))?;
+        let mut bloom_buf = vec![0u8; bloom_len as usize];
+        f.read_exact(&mut bloom_buf)?;
+        let bloom = Bloom::decode(&bloom_buf).ok_or_else(|| bad("bad bloom block"))?;
+
+        // Recover the key range from first/last data entries.
+        let entries = read_region(&mut f, 0, index_off)?;
+        let key_range = match (entries.first(), entries.last()) {
+            (Some(first), Some(last)) => (first.0.clone(), last.0.clone()),
+            _ => return Err(bad("empty table")),
+        };
+
+        Ok(SsTable {
+            path,
+            index,
+            bloom,
+            data_end: index_off,
+            count,
+            key_range,
+        })
+    }
+
+    /// Point lookup. Outer `None` = not present in this table; inner
+    /// `None` = tombstone.
+    #[allow(clippy::option_option)]
+    pub fn get(&self, key: &[u8]) -> std::io::Result<Option<Option<Bytes>>> {
+        if key < self.key_range.0.as_ref() || key > self.key_range.1.as_ref() {
+            return Ok(None);
+        }
+        if !self.bloom.may_contain(key) {
+            return Ok(None);
+        }
+        // Last index entry with first_key <= key.
+        let slot = match self.index.partition_point(|(k, _)| k.as_ref() <= key) {
+            0 => return Ok(None),
+            n => n - 1,
+        };
+        let start = self.index[slot].1;
+        let end = self
+            .index
+            .get(slot + 1)
+            .map(|(_, off)| *off)
+            .unwrap_or(self.data_end);
+        let mut f = File::open(&self.path)?;
+        let entries = read_region(&mut f, start, end)?;
+        for (k, v) in entries {
+            match k.as_ref().cmp(key) {
+                std::cmp::Ordering::Equal => return Ok(Some(v)),
+                std::cmp::Ordering::Greater => return Ok(None),
+                std::cmp::Ordering::Less => {}
+            }
+        }
+        Ok(None)
+    }
+
+    /// Read every entry (for compaction / full scans), in key order.
+    pub fn scan_all(&self) -> std::io::Result<Vec<(Bytes, Option<Bytes>)>> {
+        let mut f = File::open(&self.path)?;
+        read_region(&mut f, 0, self.data_end)
+    }
+
+    /// Backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Size of the data section in bytes.
+    pub fn data_bytes(&self) -> u64 {
+        self.data_end
+    }
+}
+
+fn read_region(
+    f: &mut File,
+    start: u64,
+    end: u64,
+) -> std::io::Result<Vec<(Bytes, Option<Bytes>)>> {
+    let bad = |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+    f.seek(SeekFrom::Start(start))?;
+    let mut buf = vec![0u8; (end - start) as usize];
+    f.read_exact(&mut buf)?;
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        if buf.len() - pos < 9 {
+            return Err(bad("truncated entry header"));
+        }
+        let klen = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4")) as usize;
+        let vtag = buf[pos + 4];
+        let vlen = u32::from_le_bytes(buf[pos + 5..pos + 9].try_into().expect("4")) as usize;
+        pos += 9;
+        let body = klen + if vtag == 1 { vlen } else { 0 };
+        if buf.len() - pos < body {
+            return Err(bad("truncated entry body"));
+        }
+        let key = Bytes::copy_from_slice(&buf[pos..pos + klen]);
+        let value = if vtag == 1 {
+            Some(Bytes::copy_from_slice(&buf[pos + klen..pos + body]))
+        } else {
+            None
+        };
+        out.push((key, value));
+        pos += body;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "rockslite-sst-{tag}-{}-{}.sst",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn entries(n: usize) -> Vec<(Bytes, Option<Bytes>)> {
+        (0..n)
+            .map(|i| {
+                let v = if i % 7 == 3 {
+                    None // sprinkle tombstones
+                } else {
+                    Some(Bytes::from(format!("value-{i}")))
+                };
+                (Bytes::from(format!("key-{i:06}")), v)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn write_then_get() {
+        let path = temp("get");
+        let data = entries(500);
+        let table = SsTable::write(&path, &data).expect("write");
+        for (k, v) in &data {
+            assert_eq!(table.get(k).expect("io").as_ref(), Some(v), "key {k:?}");
+        }
+        assert_eq!(table.get(b"missing").expect("io"), None);
+        assert_eq!(table.get(b"key-999999").expect("io"), None);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn open_round_trip() {
+        let path = temp("open");
+        let data = entries(200);
+        {
+            SsTable::write(&path, &data).expect("write");
+        }
+        let table = SsTable::open(&path).expect("open");
+        assert_eq!(table.count, 200);
+        assert_eq!(table.key_range.0.as_ref(), b"key-000000");
+        for (k, v) in data.iter().step_by(17) {
+            assert_eq!(table.get(k).expect("io").as_ref(), Some(v));
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn scan_all_returns_everything_sorted() {
+        let path = temp("scan");
+        let data = entries(300);
+        let table = SsTable::write(&path, &data).expect("write");
+        let scanned = table.scan_all().expect("scan");
+        assert_eq!(scanned, data);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn single_entry_table() {
+        let path = temp("single");
+        let data = vec![(Bytes::from("only"), Some(Bytes::from("one")))];
+        let table = SsTable::write(&path, &data).expect("write");
+        assert_eq!(
+            table.get(b"only").expect("io"),
+            Some(Some(Bytes::from("one")))
+        );
+        assert_eq!(table.get(b"a").expect("io"), None);
+        assert_eq!(table.get(b"z").expect("io"), None);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn open_rejects_corrupt_file() {
+        let path = temp("corrupt");
+        std::fs::write(&path, b"not an sstable").expect("write");
+        assert!(SsTable::open(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,183 @@
+//! Write-ahead log: every mutation is appended here before entering the
+//! memtable, so an unflushed memtable survives a crash.
+//!
+//! Record: `[crc32-like check u32][klen u32][vtag u8][vlen u32][key][value]`.
+//! The check is an FxHash of the record body truncated to 32 bits — enough
+//! to detect torn tails, which are truncated on replay.
+
+use bytes::Bytes;
+use std::fs::{File, OpenOptions};
+use std::hash::Hasher;
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+fn checksum(body: &[u8]) -> u32 {
+    let mut h = forkbase_crypto::fx::FxHasher::default();
+    h.write(body);
+    h.finish() as u32
+}
+
+/// Append-only mutation log.
+pub struct Wal {
+    path: PathBuf,
+    writer: BufWriter<File>,
+}
+
+impl Wal {
+    /// Open (creating if missing) and return the log plus all intact
+    /// records recovered from it.
+    #[allow(clippy::type_complexity)]
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<(Wal, Vec<(Bytes, Option<Bytes>)>)> {
+        let path = path.as_ref().to_path_buf();
+        let mut existing = Vec::new();
+        if path.exists() {
+            let mut buf = Vec::new();
+            File::open(&path)?.read_to_end(&mut buf)?;
+            let mut pos = 0usize;
+            let mut valid_end = 0usize;
+            while buf.len() - pos >= 13 {
+                let check = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4"));
+                let klen = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().expect("4")) as usize;
+                let vtag = buf[pos + 8];
+                let vlen = u32::from_le_bytes(buf[pos + 9..pos + 13].try_into().expect("4")) as usize;
+                let body_len = klen + if vtag == 1 { vlen } else { 0 };
+                if buf.len() - pos < 13 + body_len {
+                    break; // torn tail
+                }
+                let body = &buf[pos + 4..pos + 13 + body_len];
+                if checksum(body) != check {
+                    break;
+                }
+                let key = Bytes::copy_from_slice(&buf[pos + 13..pos + 13 + klen]);
+                let value = if vtag == 1 {
+                    Some(Bytes::copy_from_slice(
+                        &buf[pos + 13 + klen..pos + 13 + body_len],
+                    ))
+                } else {
+                    None
+                };
+                existing.push((key, value));
+                pos += 13 + body_len;
+                valid_end = pos;
+            }
+            if valid_end < buf.len() {
+                // Drop the torn tail.
+                let f = OpenOptions::new().write(true).open(&path)?;
+                f.set_len(valid_end as u64)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok((
+            Wal {
+                path,
+                writer: BufWriter::new(file),
+            },
+            existing,
+        ))
+    }
+
+    /// Append one mutation.
+    pub fn append(&mut self, key: &[u8], value: Option<&[u8]>) -> std::io::Result<()> {
+        let klen = key.len() as u32;
+        let (vtag, vlen, vbytes): (u8, u32, &[u8]) = match value {
+            Some(v) => (1, v.len() as u32, v),
+            None => (0, 0, &[]),
+        };
+        let mut body = Vec::with_capacity(9 + key.len() + vbytes.len());
+        body.extend_from_slice(&klen.to_le_bytes());
+        body.push(vtag);
+        body.extend_from_slice(&vlen.to_le_bytes());
+        body.extend_from_slice(key);
+        body.extend_from_slice(vbytes);
+        self.writer.write_all(&checksum(&body).to_le_bytes())?;
+        self.writer.write_all(&body)
+    }
+
+    /// Flush buffered appends.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Truncate after a successful memtable flush.
+    pub fn reset(&mut self) -> std::io::Result<()> {
+        self.writer.flush()?;
+        let f = OpenOptions::new().write(true).open(&self.path)?;
+        f.set_len(0)?;
+        let file = OpenOptions::new().append(true).open(&self.path)?;
+        self.writer = BufWriter::new(file);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "rockslite-wal-{tag}-{}-{}.log",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn replay_recovers_records() {
+        let path = temp("replay");
+        {
+            let (mut wal, existing) = Wal::open(&path).expect("open");
+            assert!(existing.is_empty());
+            wal.append(b"k1", Some(b"v1")).expect("append");
+            wal.append(b"k2", None).expect("append");
+            wal.flush().expect("flush");
+        }
+        let (_, recovered) = Wal::open(&path).expect("reopen");
+        assert_eq!(
+            recovered,
+            vec![
+                (Bytes::from("k1"), Some(Bytes::from("v1"))),
+                (Bytes::from("k2"), None),
+            ]
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn torn_tail_truncated() {
+        let path = temp("torn");
+        {
+            let (mut wal, _) = Wal::open(&path).expect("open");
+            wal.append(b"good", Some(b"record")).expect("append");
+            wal.flush().expect("flush");
+        }
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).expect("raw");
+            f.write_all(&[1, 2, 3, 4, 5]).expect("garbage");
+        }
+        let (mut wal, recovered) = Wal::open(&path).expect("recover");
+        assert_eq!(recovered.len(), 1);
+        // Appendable after recovery.
+        wal.append(b"after", Some(b"crash")).expect("append");
+        wal.flush().expect("flush");
+        drop(wal);
+        let (_, recovered) = Wal::open(&path).expect("reopen");
+        assert_eq!(recovered.len(), 2);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn reset_empties_log() {
+        let path = temp("reset");
+        let (mut wal, _) = Wal::open(&path).expect("open");
+        wal.append(b"k", Some(b"v")).expect("append");
+        wal.reset().expect("reset");
+        wal.append(b"k2", Some(b"v2")).expect("append");
+        wal.flush().expect("flush");
+        drop(wal);
+        let (_, recovered) = Wal::open(&path).expect("reopen");
+        assert_eq!(recovered, vec![(Bytes::from("k2"), Some(Bytes::from("v2")))]);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests: rockslite behaves like a `BTreeMap` under arbitrary
+//! operation sequences, across flushes, compactions and reopens.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use rockslite::{Options, RocksLite};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "rockslite-prop-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Small limits so flush/compaction trigger constantly.
+fn tiny_opts() -> Options {
+    Options {
+        memtable_bytes: 512,
+        l0_compaction_trigger: 2,
+    }
+}
+
+#[derive(Clone, Debug)]
+enum DbOp {
+    Put(String, String),
+    Del(String),
+    Flush,
+}
+
+fn op_strategy() -> impl Strategy<Value = DbOp> {
+    prop_oneof![
+        4 => ("[a-d]{1,4}", "[a-z]{0,16}").prop_map(|(k, v)| DbOp::Put(k, v)),
+        2 => "[a-d]{1,4}".prop_map(DbOp::Del),
+        1 => Just(DbOp::Flush),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn matches_btreemap_model(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let dir = temp_dir("model");
+        let db = RocksLite::open_with(&dir, tiny_opts()).expect("open");
+        let mut model: BTreeMap<String, String> = BTreeMap::new();
+
+        for op in &ops {
+            match op {
+                DbOp::Put(k, v) => {
+                    db.put(k.as_bytes(), v.as_bytes()).expect("put");
+                    model.insert(k.clone(), v.clone());
+                }
+                DbOp::Del(k) => {
+                    db.delete(k.as_bytes()).expect("del");
+                    model.remove(k);
+                }
+                DbOp::Flush => db.flush().expect("flush"),
+            }
+        }
+
+        // Point lookups agree.
+        for k in model.keys() {
+            let got = db.get(k.as_bytes()).expect("get");
+            prop_assert_eq!(got.as_deref(), model.get(k).map(|v| v.as_bytes()));
+        }
+        // Scans agree (sorted, tombstones elided).
+        let scanned: Vec<(Bytes, Bytes)> = db.scan_all().expect("scan");
+        let expected: Vec<(Bytes, Bytes)> = model
+            .iter()
+            .map(|(k, v)| (Bytes::from(k.clone()), Bytes::from(v.clone())))
+            .collect();
+        prop_assert_eq!(scanned, expected);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn survives_reopen(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let dir = temp_dir("reopen");
+        let mut model: BTreeMap<String, String> = BTreeMap::new();
+        {
+            let db = RocksLite::open_with(&dir, tiny_opts()).expect("open");
+            for op in &ops {
+                match op {
+                    DbOp::Put(k, v) => {
+                        db.put(k.as_bytes(), v.as_bytes()).expect("put");
+                        model.insert(k.clone(), v.clone());
+                    }
+                    DbOp::Del(k) => {
+                        db.delete(k.as_bytes()).expect("del");
+                        model.remove(k);
+                    }
+                    DbOp::Flush => db.flush().expect("flush"),
+                }
+            }
+            // No explicit flush at the end: the WAL must carry the tail.
+        }
+        let db = RocksLite::open_with(&dir, tiny_opts()).expect("reopen");
+        for k in model.keys() {
+            let got = db.get(k.as_bytes()).expect("get");
+            prop_assert_eq!(got.as_deref(), model.get(k).map(|v| v.as_bytes()));
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

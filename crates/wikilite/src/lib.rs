@@ -1,0 +1,352 @@
+//! **wikilite** — the paper's wiki engine (§5.2), with two backends:
+//!
+//! * [`ForkBaseWiki`]: each page is a ForkBase key holding a `Blob`; every
+//!   revision is one Put on the default branch, so the version chain *is*
+//!   the page history. Edits splice the Blob (only changed chunks are
+//!   stored — §6.3.1's 50% storage saving), diffs use the POS-Tree, and
+//!   reads can go through a client-side chunk cache (Fig. 14).
+//! * [`RedisWiki`]: the baseline — each page is a list, every revision is
+//!   a full copy RPUSHed to it.
+//!
+//! Both implement [`WikiEngine`], and a differential test drives them with
+//! the same edit stream to prove they agree on content while diverging on
+//! storage exactly as the paper reports.
+
+use fb_workload::EditKind;
+use forkbase_chunk::{CachingStore, ChunkStore, MemStore};
+use forkbase_core::{ForkBase, Value};
+use forkbase_crypto::ChunkerConfig;
+use forkbase_pos::{blob_diff_summary, RangeDiff};
+use std::sync::Arc;
+
+/// A multi-versioned wiki.
+pub trait WikiEngine {
+    /// Create a page with initial content (revision 0).
+    fn create_page(&self, title: &str, content: &str);
+
+    /// Apply one edit, producing a new revision.
+    fn edit_page(&self, title: &str, edit: &EditKind);
+
+    /// Latest revision content.
+    fn read_latest(&self, title: &str) -> Option<String>;
+
+    /// Content `back` revisions before the latest (0 = latest).
+    fn read_version(&self, title: &str, back: usize) -> Option<String>;
+
+    /// Number of revisions of a page.
+    fn revision_count(&self, title: &str) -> usize;
+
+    /// Bytes consumed by page storage.
+    fn storage_bytes(&self) -> u64;
+
+    /// Backend label for benchmark output.
+    fn label(&self) -> String;
+}
+
+/// Wiki on ForkBase: pages are Blobs, history is the version chain.
+pub struct ForkBaseWiki {
+    db: ForkBase,
+    cache: Option<Arc<CachingStore>>,
+}
+
+impl Default for ForkBaseWiki {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ForkBaseWiki {
+    /// In-memory wiki without a client cache.
+    pub fn new() -> ForkBaseWiki {
+        ForkBaseWiki {
+            db: ForkBase::in_memory(),
+            cache: None,
+        }
+    }
+
+    /// Wiki whose reads go through a client-side LRU chunk cache of
+    /// `cache_bytes` (§6.3.1: "data chunks composing a Blob value can be
+    /// cached at the clients").
+    pub fn with_client_cache(cache_bytes: usize) -> ForkBaseWiki {
+        let backing: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
+        let cache = Arc::new(CachingStore::new(backing, cache_bytes));
+        ForkBaseWiki {
+            db: ForkBase::with_store(cache.clone() as Arc<dyn ChunkStore>, ChunkerConfig::default()),
+            cache: Some(cache),
+        }
+    }
+
+    /// The underlying engine.
+    pub fn db(&self) -> &ForkBase {
+        &self.db
+    }
+
+    /// (hits, misses) of the client cache, if configured.
+    pub fn cache_stats(&self) -> Option<(u64, u64)> {
+        self.cache.as_ref().map(|c| c.hit_miss())
+    }
+
+    /// Drop the client cache contents (start of a cold read phase).
+    pub fn clear_cache(&self) {
+        if let Some(c) = &self.cache {
+            c.clear();
+        }
+    }
+
+    /// Diff two revisions of a page via the POS-Tree (byte-precise
+    /// changed region).
+    pub fn diff(&self, title: &str, back_a: usize, back_b: usize) -> Option<Option<RangeDiff>> {
+        let blob_at = |back: usize| {
+            let versions = self
+                .db
+                .track(title.to_string(), None, back as u64, back as u64)
+                .ok()?;
+            let obj = &versions.first()?.object;
+            obj.value(self.db.store()).ok()?.as_blob().ok()
+        };
+        let a = blob_at(back_a)?;
+        let b = blob_at(back_b)?;
+        blob_diff_summary(self.db.store(), a.root(), b.root())
+    }
+}
+
+impl WikiEngine for ForkBaseWiki {
+    fn create_page(&self, title: &str, content: &str) {
+        let blob = self.db.new_blob(content.as_bytes());
+        self.db
+            .put(title.to_string(), None, Value::Blob(blob))
+            .expect("create page");
+    }
+
+    fn edit_page(&self, title: &str, edit: &EditKind) {
+        let obj = self.db.get(title.to_string(), None).expect("page exists");
+        let blob = obj
+            .value(self.db.store())
+            .expect("decodes")
+            .as_blob()
+            .expect("blob page");
+        let edited = match edit {
+            EditKind::InPlace { at, text } => blob.splice(
+                self.db.store(),
+                self.db.cfg(),
+                *at as u64,
+                text.len() as u64,
+                text.as_bytes(),
+            ),
+            EditKind::Insert { at, text } => {
+                blob.insert(self.db.store(), self.db.cfg(), *at as u64, text.as_bytes())
+            }
+        }
+        .expect("splice");
+        self.db
+            .put(title.to_string(), None, Value::Blob(edited))
+            .expect("store revision");
+    }
+
+    fn read_latest(&self, title: &str) -> Option<String> {
+        self.read_version(title, 0)
+    }
+
+    fn read_version(&self, title: &str, back: usize) -> Option<String> {
+        let versions = self
+            .db
+            .track(title.to_string(), None, back as u64, back as u64)
+            .ok()?;
+        let obj = &versions.first()?.object;
+        let blob = obj.value(self.db.store()).ok()?.as_blob().ok()?;
+        let bytes = blob.read_all(self.db.store())?;
+        String::from_utf8(bytes).ok()
+    }
+
+    fn revision_count(&self, title: &str) -> usize {
+        self.db
+            .track(title.to_string(), None, 0, u64::MAX)
+            .map(|v| v.len())
+            .unwrap_or(0)
+    }
+
+    fn storage_bytes(&self) -> u64 {
+        self.db.store().stored_bytes()
+    }
+
+    fn label(&self) -> String {
+        "ForkBase".to_string()
+    }
+}
+
+/// Wiki on redislite: pages are lists, every revision a full copy.
+#[derive(Default)]
+pub struct RedisWiki {
+    db: redislite::RedisLite,
+}
+
+impl RedisWiki {
+    /// Empty wiki.
+    pub fn new() -> RedisWiki {
+        RedisWiki::default()
+    }
+}
+
+impl WikiEngine for RedisWiki {
+    fn create_page(&self, title: &str, content: &str) {
+        self.db.rpush(title.to_string(), content.to_string());
+    }
+
+    fn edit_page(&self, title: &str, edit: &EditKind) {
+        let latest = self
+            .db
+            .lindex(title.as_bytes(), -1)
+            .expect("page exists");
+        let mut page = String::from_utf8(latest.to_vec()).expect("utf8 page");
+        fb_workload::PageEditGen::apply(&mut page, edit);
+        self.db.rpush(title.to_string(), page);
+    }
+
+    fn read_latest(&self, title: &str) -> Option<String> {
+        self.read_version(title, 0)
+    }
+
+    fn read_version(&self, title: &str, back: usize) -> Option<String> {
+        let content = self.db.lindex(title.as_bytes(), -1 - back as i64)?;
+        String::from_utf8(content.to_vec()).ok()
+    }
+
+    fn revision_count(&self, title: &str) -> usize {
+        self.db.llen(title.as_bytes())
+    }
+
+    fn storage_bytes(&self) -> u64 {
+        self.db.memory_bytes()
+    }
+
+    fn label(&self) -> String {
+        "Redis".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fb_workload::PageEditGen;
+
+    fn engines() -> (ForkBaseWiki, RedisWiki) {
+        (ForkBaseWiki::new(), RedisWiki::new())
+    }
+
+    #[test]
+    fn create_and_read() {
+        let (fb, redis) = engines();
+        for engine in [&fb as &dyn WikiEngine, &redis] {
+            engine.create_page("Home", "welcome to the wiki");
+            assert_eq!(engine.read_latest("Home").expect("page"), "welcome to the wiki");
+            assert_eq!(engine.revision_count("Home"), 1);
+        }
+    }
+
+    #[test]
+    fn both_backends_agree_on_content() {
+        // Differential test: identical edit streams must give identical
+        // page content and history on both backends.
+        let (fb, redis) = engines();
+        let mut gen = PageEditGen::new(7, 0.8, 64);
+        let initial = gen.initial_page(4096);
+        fb.create_page("p", &initial);
+        redis.create_page("p", &initial);
+
+        let mut reference = initial;
+        for _ in 0..30 {
+            let edit = gen.next_edit(reference.len());
+            fb.edit_page("p", &edit);
+            redis.edit_page("p", &edit);
+            PageEditGen::apply(&mut reference, &edit);
+            assert_eq!(fb.read_latest("p").expect("fb"), reference);
+            assert_eq!(redis.read_latest("p").expect("redis"), reference);
+        }
+        assert_eq!(fb.revision_count("p"), 31);
+        assert_eq!(redis.revision_count("p"), 31);
+        // Historical versions agree too.
+        for back in [1usize, 5, 30] {
+            assert_eq!(
+                fb.read_version("p", back),
+                redis.read_version("p", back),
+                "version {back} back"
+            );
+        }
+    }
+
+    #[test]
+    fn forkbase_deduplicates_versions() {
+        let (fb, redis) = engines();
+        let mut gen = PageEditGen::new(9, 1.0, 32);
+        let initial = gen.initial_page(15 * 1024); // the paper's page size
+        fb.create_page("p", &initial);
+        redis.create_page("p", &initial);
+        let mut page_len = initial.len();
+        for _ in 0..50 {
+            let edit = gen.next_edit(page_len);
+            if let EditKind::Insert { text, .. } = &edit {
+                page_len += text.len();
+            }
+            fb.edit_page("p", &edit);
+            redis.edit_page("p", &edit);
+        }
+        let (fb_bytes, redis_bytes) = (fb.storage_bytes(), redis.storage_bytes());
+        assert!(
+            fb_bytes * 2 < redis_bytes,
+            "dedup should save >50%: ForkBase {fb_bytes}B vs Redis {redis_bytes}B"
+        );
+    }
+
+    #[test]
+    fn client_cache_accelerates_version_reads() {
+        let fb = ForkBaseWiki::with_client_cache(64 << 20);
+        let mut gen = PageEditGen::new(11, 1.0, 64);
+        fb.create_page("p", &gen.initial_page(15 * 1024));
+        for _ in 0..5 {
+            let edit = gen.next_edit(15 * 1024);
+            fb.edit_page("p", &edit);
+        }
+        fb.clear_cache();
+        // First read warms the cache; consecutive-version reads mostly
+        // hit it because versions share chunks.
+        fb.read_version("p", 0);
+        let (_, cold_misses) = fb.cache_stats().expect("cache");
+        for back in 1..=5 {
+            fb.read_version("p", back);
+        }
+        let (hits, misses) = fb.cache_stats().expect("cache");
+        let warm_misses = misses - cold_misses;
+        assert!(
+            hits > warm_misses,
+            "old versions served mostly from cache: {hits} hits vs {warm_misses} new misses"
+        );
+    }
+
+    #[test]
+    fn diff_locates_edit_region() {
+        let fb = ForkBaseWiki::new();
+        fb.create_page("p", &"x".repeat(10_000));
+        fb.edit_page(
+            "p",
+            &EditKind::InPlace {
+                at: 5000,
+                text: "EDITED".to_string(),
+            },
+        );
+        let diff = fb.diff("p", 0, 1).expect("both versions").expect("differ");
+        assert_eq!(diff.start, 5000);
+        assert_eq!(diff.left_len, 6);
+        assert_eq!(diff.right_len, 6);
+        // Same revision: no difference.
+        assert_eq!(fb.diff("p", 0, 0), Some(None));
+    }
+
+    #[test]
+    fn missing_page_and_version() {
+        let (fb, redis) = engines();
+        assert_eq!(fb.read_latest("ghost"), None);
+        assert_eq!(redis.read_latest("ghost"), None);
+        fb.create_page("p", "v0");
+        assert_eq!(fb.read_version("p", 5), None, "only one revision exists");
+    }
+}

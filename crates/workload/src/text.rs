@@ -1,0 +1,145 @@
+//! Wiki page content and edit-stream generation (§6.3).
+//!
+//! The paper's wiki experiment: 32 clients edit 3200 pages whose initial
+//! size is 15 KB; each request loads a page, edits or appends text, and
+//! uploads the revision. `xU` denotes the ratio of in-place updates to
+//! insertions (100U = all edits in place).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What a single edit does to a page.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EditKind {
+    /// Replace `len` bytes at `at` with same-length new text.
+    InPlace {
+        /// Byte offset of the replaced region.
+        at: usize,
+        /// New text (replaces an equal number of bytes).
+        text: String,
+    },
+    /// Insert new text at `at` (page grows).
+    Insert {
+        /// Byte offset of the insertion.
+        at: usize,
+        /// Inserted text.
+        text: String,
+    },
+}
+
+/// Deterministic page/edit generator.
+pub struct PageEditGen {
+    rng: StdRng,
+    /// Probability that an edit is in-place (vs. insertion).
+    update_ratio: f64,
+    /// Size of the edited/inserted span.
+    edit_size: usize,
+}
+
+impl PageEditGen {
+    /// `update_ratio` ∈ [0,1]: 1.0 = 100U (all in-place).
+    pub fn new(seed: u64, update_ratio: f64, edit_size: usize) -> PageEditGen {
+        PageEditGen {
+            rng: StdRng::seed_from_u64(seed),
+            update_ratio,
+            edit_size,
+        }
+    }
+
+    fn words(&mut self, len: usize) -> String {
+        const WORDS: &[&str] = &[
+            "storage", "engine", "version", "branch", "merge", "fork", "chunk", "tree",
+            "tamper", "evidence", "ledger", "index", "pattern", "hash", "block", "commit",
+        ];
+        let mut s = String::with_capacity(len + 8);
+        while s.len() < len {
+            s.push_str(WORDS[self.rng.gen_range(0..WORDS.len())]);
+            s.push(' ');
+        }
+        s.truncate(len);
+        s
+    }
+
+    /// An initial page body of `size` bytes.
+    pub fn initial_page(&mut self, size: usize) -> String {
+        self.words(size)
+    }
+
+    /// One edit against a page of `page_len` bytes.
+    pub fn next_edit(&mut self, page_len: usize) -> EditKind {
+        let text = self.words(self.edit_size);
+        if self.rng.gen_bool(self.update_ratio) && page_len >= self.edit_size {
+            let at = self.rng.gen_range(0..=page_len - self.edit_size);
+            EditKind::InPlace { at, text }
+        } else {
+            let at = self.rng.gen_range(0..=page_len);
+            EditKind::Insert { at, text }
+        }
+    }
+
+    /// Apply an edit to a page string (the reference semantics both wiki
+    /// backends must follow).
+    pub fn apply(page: &mut String, edit: &EditKind) {
+        match edit {
+            EditKind::InPlace { at, text } => {
+                page.replace_range(*at..*at + text.len(), text);
+            }
+            EditKind::Insert { at, text } => {
+                page.insert_str(*at, text);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_page_size() {
+        let mut g = PageEditGen::new(1, 1.0, 64);
+        assert_eq!(g.initial_page(15 * 1024).len(), 15 * 1024);
+    }
+
+    #[test]
+    fn in_place_preserves_length() {
+        let mut g = PageEditGen::new(2, 1.0, 64);
+        let mut page = g.initial_page(4096);
+        for _ in 0..50 {
+            let edit = g.next_edit(page.len());
+            assert!(matches!(edit, EditKind::InPlace { .. }), "100U is all in-place");
+            PageEditGen::apply(&mut page, &edit);
+            assert_eq!(page.len(), 4096);
+        }
+    }
+
+    #[test]
+    fn insert_grows_page() {
+        let mut g = PageEditGen::new(3, 0.0, 64);
+        let mut page = g.initial_page(1024);
+        for i in 1..=20 {
+            let edit = g.next_edit(page.len());
+            assert!(matches!(edit, EditKind::Insert { .. }), "0U is all inserts");
+            PageEditGen::apply(&mut page, &edit);
+            assert_eq!(page.len(), 1024 + i * 64);
+        }
+    }
+
+    #[test]
+    fn mixed_ratio_roughly_respected() {
+        let mut g = PageEditGen::new(4, 0.8, 16);
+        let inplace = (0..5000)
+            .filter(|_| matches!(g.next_edit(10_000), EditKind::InPlace { .. }))
+            .count();
+        assert!((3700..4300).contains(&inplace), "got {inplace} in-place of 5000");
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = PageEditGen::new(7, 0.9, 32);
+        let mut b = PageEditGen::new(7, 0.9, 32);
+        for _ in 0..100 {
+            assert_eq!(a.next_edit(5000), b.next_edit(5000));
+        }
+    }
+}

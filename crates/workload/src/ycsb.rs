@@ -1,0 +1,194 @@
+//! YCSB-style key-value operations, mirroring what Blockbench feeds the
+//! Hyperledger key-value smart contract (§6.2: "Transactions for this
+//! contract are generated based on YCSB workloads. We varied the number
+//! of keys, the number and ratio of read and write operations").
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One generated operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Read the current value of a key.
+    Read(Bytes),
+    /// Write a new value to a key.
+    Write(Bytes, Bytes),
+}
+
+impl Op {
+    /// The key this operation touches.
+    pub fn key(&self) -> &Bytes {
+        match self {
+            Op::Read(k) => k,
+            Op::Write(k, _) => k,
+        }
+    }
+}
+
+/// Workload shape.
+#[derive(Clone, Debug)]
+pub struct YcsbConfig {
+    /// Size of the key space.
+    pub n_keys: usize,
+    /// Fraction of reads (`r` in the paper; `w = 1 - r`).
+    pub read_ratio: f64,
+    /// Bytes per written value.
+    pub value_size: usize,
+    /// Zipf exponent for key selection (0 = uniform).
+    pub zipf: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for YcsbConfig {
+    fn default() -> Self {
+        YcsbConfig {
+            n_keys: 10_000,
+            read_ratio: 0.5,
+            value_size: 100,
+            zipf: 0.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Deterministic YCSB operation stream.
+pub struct YcsbGen {
+    cfg: YcsbConfig,
+    rng: StdRng,
+    zipf: Option<crate::zipf::Zipf>,
+    counter: u64,
+}
+
+impl YcsbGen {
+    /// A generator for `cfg`.
+    pub fn new(cfg: YcsbConfig) -> YcsbGen {
+        let zipf = (cfg.zipf > 0.0).then(|| crate::zipf::Zipf::new(cfg.n_keys, cfg.zipf));
+        YcsbGen {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            zipf,
+            cfg,
+            counter: 0,
+        }
+    }
+
+    /// The canonical key string for an index.
+    pub fn key(idx: usize) -> Bytes {
+        Bytes::from(format!("user{idx:010}"))
+    }
+
+    fn pick_key(&mut self) -> Bytes {
+        let idx = match &self.zipf {
+            Some(z) => z.sample(&mut self.rng),
+            None => self.rng.gen_range(0..self.cfg.n_keys),
+        };
+        Self::key(idx)
+    }
+
+    /// A value payload; embeds a counter so successive writes differ.
+    pub fn value(&mut self) -> Bytes {
+        self.counter += 1;
+        let mut v = Vec::with_capacity(self.cfg.value_size);
+        v.extend_from_slice(format!("v{:016}-", self.counter).as_bytes());
+        while v.len() < self.cfg.value_size {
+            v.push(b'a' + (self.rng.gen_range(0..26u8)));
+        }
+        v.truncate(self.cfg.value_size);
+        Bytes::from(v)
+    }
+
+    /// Next operation.
+    pub fn next_op(&mut self) -> Op {
+        if self.rng.gen_bool(self.cfg.read_ratio) {
+            Op::Read(self.pick_key())
+        } else {
+            let key = self.pick_key();
+            let value = self.value();
+            Op::Write(key, value)
+        }
+    }
+
+    /// A batch of `n` operations (one "transaction" worth of ops, or a
+    /// block's worth of transactions — caller's choice of granularity).
+    pub fn batch(&mut self, n: usize) -> Vec<Op> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+
+    /// Write-only load phase touching every key once.
+    pub fn load_phase(&mut self) -> Vec<Op> {
+        (0..self.cfg.n_keys)
+            .map(|i| {
+                let v = self.value();
+                Op::Write(Self::key(i), v)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = YcsbGen::new(YcsbConfig::default());
+        let mut b = YcsbGen::new(YcsbConfig::default());
+        assert_eq!(a.batch(100), b.batch(100));
+    }
+
+    #[test]
+    fn read_ratio_respected() {
+        let mut g = YcsbGen::new(YcsbConfig {
+            read_ratio: 0.8,
+            ..Default::default()
+        });
+        let reads = g
+            .batch(10_000)
+            .iter()
+            .filter(|op| matches!(op, Op::Read(_)))
+            .count();
+        assert!((7500..8500).contains(&reads), "got {reads} reads");
+    }
+
+    #[test]
+    fn values_have_requested_size() {
+        let mut g = YcsbGen::new(YcsbConfig {
+            read_ratio: 0.0,
+            value_size: 237,
+            ..Default::default()
+        });
+        for op in g.batch(50) {
+            match op {
+                Op::Write(_, v) => assert_eq!(v.len(), 237),
+                Op::Read(_) => panic!("write-only workload"),
+            }
+        }
+    }
+
+    #[test]
+    fn load_phase_covers_key_space() {
+        let mut g = YcsbGen::new(YcsbConfig {
+            n_keys: 100,
+            ..Default::default()
+        });
+        let ops = g.load_phase();
+        assert_eq!(ops.len(), 100);
+        let keys: std::collections::HashSet<_> = ops.iter().map(|o| o.key().clone()).collect();
+        assert_eq!(keys.len(), 100);
+    }
+
+    #[test]
+    fn successive_writes_differ() {
+        let mut g = YcsbGen::new(YcsbConfig {
+            read_ratio: 0.0,
+            n_keys: 1,
+            ..Default::default()
+        });
+        let ops = g.batch(2);
+        match (&ops[0], &ops[1]) {
+            (Op::Write(_, v1), Op::Write(_, v2)) => assert_ne!(v1, v2),
+            _ => panic!("write-only workload"),
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Zipf-distributed sampling over `{0, …, n-1}` (rank 0 most popular),
+//! used for the skewed wiki workload of Fig. 15 (zipf = 0.5).
+
+use rand::Rng;
+
+/// Inverse-CDF zipf sampler with a precomputed cumulative table.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A sampler over `n` items with exponent `s` (`s = 0` is uniform).
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "need at least one item");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw one rank.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let zipf = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((8000..12000).contains(&c), "uniform-ish: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_s_positive() {
+        let zipf = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] * 5, "rank 0 dominates: {}", counts[0]);
+        assert!(counts[0] > counts[99] * 20);
+    }
+
+    #[test]
+    fn all_ranks_in_range() {
+        let zipf = Zipf::new(5, 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 5);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Collaborative analytics example (§5.3): a shared relational dataset
+//! that analysts fork, transform and merge, with row- and column-oriented
+//! layouts, CSV import/export, versioned updates, POS-Tree diff, and the
+//! OrpheusDB-style baseline for comparison.
+//!
+//! Run with `cargo run --release --example collaborative_analytics`.
+
+use forkbase::collab::{Dataset, Layout};
+use forkbase::workload::DatasetGen;
+use forkbase::{ForkBase, Resolver, Value};
+use orpheuslite::OrpheusLite;
+
+const ROWS: usize = 20_000;
+
+fn main() {
+    let db = ForkBase::in_memory();
+    let mut gen = DatasetGen::new(7);
+    let records = gen.records(ROWS);
+
+    // --- Import in both layouts -------------------------------------------
+    let row_ds = Dataset::import(&db, "sales-row", Layout::Row, &records).expect("import");
+    let col_ds = Dataset::import(&db, "sales-col", Layout::Column, &records).expect("import");
+    println!("imported {ROWS} records in row and column layouts");
+
+    // --- Aggregation: both layouts agree; column layout reads one List ----
+    let t = std::time::Instant::now();
+    let row_sum = row_ds.aggregate_sum(&db, "price").expect("sum");
+    let row_time = t.elapsed();
+    let t = std::time::Instant::now();
+    let col_sum = col_ds.aggregate_sum(&db, "price").expect("sum");
+    let col_time = t.elapsed();
+    assert_eq!(row_sum, col_sum);
+    println!(
+        "sum(price) = {row_sum} | row layout {row_time:?}, column layout {col_time:?}"
+    );
+
+    // --- Versioned modification (1% of records) -----------------------------
+    let v0 = db.head("sales-row", None).expect("head");
+    let mods = gen.modifications(ROWS, ROWS / 100);
+    let v1 = row_ds.update(&db, &mods).expect("update");
+    println!(
+        "modified {} records: version {} -> {}",
+        mods.len(),
+        v0.short_hex(),
+        v1.short_hex()
+    );
+
+    // --- Diff between versions via the POS-Tree -----------------------------
+    let changed = row_ds.diff_versions(&db, v0, v1).expect("diff");
+    println!("diff(v0, v1) finds {changed} changed records");
+    assert_eq!(changed, mods.len());
+
+    // --- Collaborative workflow: fork, clean, merge --------------------------
+    db.fork("sales-row", "master", "cleaning").expect("fork");
+    let clean_mods = gen.modifications(ROWS, 50);
+    let map = db
+        .get_value("sales-row", Some("cleaning"))
+        .expect("branch")
+        .as_map()
+        .expect("map");
+    let edits = clean_mods
+        .iter()
+        .map(|(_, r)| (bytes::Bytes::from(r.pk.clone()), Some(r.encode())));
+    let map = map.update(db.store(), db.cfg(), edits).expect("update");
+    db.put("sales-row", Some("cleaning"), Value::Map(map)).expect("put");
+    let merged = db
+        .merge_branches("sales-row", "master", "cleaning", &Resolver::TakeTheirs)
+        .expect("merge");
+    println!("cleaning branch merged into master: {}", merged.short_hex());
+
+    // --- Compare against the OrpheusDB-style baseline ------------------------
+    let orpheus = OrpheusLite::new();
+    let ov0 = orpheus.import(records.iter().map(|r| (bytes::Bytes::from(r.pk.clone()), r.encode())));
+    let mut copy = orpheus.checkout(ov0).expect("checkout");
+    for (i, rec) in &mods {
+        copy[*i].1 = rec.encode();
+    }
+    let ov1 = orpheus.commit(ov0, &copy).expect("commit");
+    let odiff = orpheus.diff(ov0, ov1).expect("diff");
+    assert_eq!(odiff.len(), mods.len(), "baselines agree on the diff");
+
+    let fb_bytes = db.store().stats().stored_bytes;
+    let orpheus_bytes = orpheus.storage_bytes();
+    println!(
+        "storage after one 1% modification: ForkBase {:.2} MB (both layouts + 3 versions) vs OrpheusDB-style {:.2} MB",
+        fb_bytes as f64 / 1e6,
+        orpheus_bytes as f64 / 1e6
+    );
+
+    // --- CSV export round trip ------------------------------------------------
+    let csv = col_ds.export_csv(&db).expect("export");
+    assert_eq!(DatasetGen::from_csv(&csv).len(), ROWS);
+    println!("CSV export round-trips {ROWS} records");
+
+    println!("ok");
+}

@@ -1,0 +1,161 @@
+//! Integration: wiki and collaborative-analytics applications against
+//! their baselines, and the cluster under application workloads.
+
+use forkbase::cluster::{Cluster, Partitioning};
+use forkbase::collab::{Dataset, Layout};
+use forkbase::wiki::{ForkBaseWiki, RedisWiki, WikiEngine};
+use forkbase::workload::{DatasetGen, PageEditGen, Zipf};
+use forkbase::ForkBase;
+use orpheuslite::OrpheusLite;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn wiki_backends_agree_under_mixed_workload() {
+    let fb = ForkBaseWiki::new();
+    let redis = RedisWiki::new();
+    let mut gen = PageEditGen::new(5, 0.8, 48);
+
+    let mut reference: Vec<String> = Vec::new();
+    for p in 0..10 {
+        let initial = gen.initial_page(2048);
+        let title = format!("p{p}");
+        fb.create_page(&title, &initial);
+        redis.create_page(&title, &initial);
+        reference.push(initial);
+    }
+    for round in 0..40 {
+        let p = round % 10;
+        let title = format!("p{p}");
+        let edit = gen.next_edit(reference[p].len());
+        fb.edit_page(&title, &edit);
+        redis.edit_page(&title, &edit);
+        PageEditGen::apply(&mut reference[p], &edit);
+    }
+    for p in 0..10 {
+        let title = format!("p{p}");
+        assert_eq!(fb.read_latest(&title).expect("fb"), reference[p]);
+        assert_eq!(redis.read_latest(&title).expect("redis"), reference[p]);
+        assert_eq!(fb.revision_count(&title), redis.revision_count(&title));
+    }
+    assert!(
+        fb.storage_bytes() < redis.storage_bytes(),
+        "dedup beats full copies"
+    );
+}
+
+#[test]
+fn collab_matches_orpheus_baseline() {
+    // Same dataset, same modifications: both systems must agree on
+    // contents, aggregates and diffs.
+    let db = ForkBase::in_memory();
+    let mut gen = DatasetGen::new(3);
+    let records = gen.records(3000);
+
+    let ds = Dataset::import(&db, "d", Layout::Row, &records).expect("import");
+    let orpheus = OrpheusLite::new();
+    let ov0 = orpheus.import(
+        records
+            .iter()
+            .map(|r| (bytes::Bytes::from(r.pk.clone()), r.encode())),
+    );
+
+    let fb_v0 = db.head("d", None).expect("head");
+    let mods = gen.modifications(3000, 60);
+    let fb_v1 = ds.update(&db, &mods).expect("update");
+
+    let mut copy = orpheus.checkout(ov0).expect("checkout");
+    for (i, rec) in &mods {
+        copy[*i].1 = rec.encode();
+    }
+    let ov1 = orpheus.commit(ov0, &copy).expect("commit");
+
+    // Diffs agree.
+    let fb_diff = ds.diff_versions(&db, fb_v0, fb_v1).expect("diff");
+    let o_diff = orpheus.diff(ov0, ov1).expect("diff");
+    assert_eq!(fb_diff, o_diff.len());
+    assert_eq!(fb_diff, mods.len());
+
+    // Aggregates agree (on the price column of the new version).
+    let parse_price = |rec: &[u8]| -> i64 {
+        std::str::from_utf8(rec)
+            .ok()
+            .and_then(|s| s.split(',').nth(2))
+            .and_then(|p| p.parse().ok())
+            .unwrap_or(0)
+    };
+    let fb_sum = ds.aggregate_sum(&db, "price").expect("sum");
+    let o_sum = orpheus.aggregate(ov1, parse_price).expect("sum");
+    assert_eq!(fb_sum, o_sum);
+
+    // Storage: ForkBase stores deltas in chunks; the rlist model pays
+    // O(dataset) per version.
+    let (_, rlist_bytes) = orpheus.storage_breakdown();
+    assert_eq!(rlist_bytes, 2 * 3000 * 8, "full rlist per version");
+}
+
+#[test]
+fn cluster_runs_wiki_workload_balanced() {
+    // A zipf-skewed wiki workload on a 8-node cluster stays
+    // storage-balanced under two-layer partitioning.
+    let cluster = Cluster::new(8, Partitioning::TwoLayer);
+    let mut gen = PageEditGen::new(11, 0.9, 64);
+    let zipf = Zipf::new(40, 0.5);
+    let mut rng = StdRng::seed_from_u64(17);
+
+    let mut pages: Vec<String> = (0..40).map(|_| gen.initial_page(8 * 1024)).collect();
+    for (i, page) in pages.iter().enumerate() {
+        cluster
+            .put_blob(format!("page-{i}"), page.as_bytes())
+            .expect("put");
+    }
+    for _ in 0..200 {
+        let p = zipf.sample(&mut rng);
+        let edit = gen.next_edit(pages[p].len());
+        PageEditGen::apply(&mut pages[p], &edit);
+        cluster
+            .put_blob(format!("page-{p}"), pages[p].as_bytes())
+            .expect("put");
+    }
+    // All contents correct.
+    for (i, page) in pages.iter().enumerate() {
+        assert_eq!(
+            cluster.get_blob(format!("page-{i}")).expect("get"),
+            page.as_bytes(),
+            "page {i}"
+        );
+    }
+    let imbalance = cluster.imbalance();
+    assert!(
+        imbalance < 1.6,
+        "2LP keeps skewed storage balanced, got {imbalance:.2}"
+    );
+}
+
+#[test]
+fn column_layout_equivalent_to_row_layout() {
+    let db = ForkBase::in_memory();
+    let mut gen = DatasetGen::new(21);
+    let records = gen.records(800);
+    let row = Dataset::import(&db, "row", Layout::Row, &records).expect("import");
+    let col = Dataset::import(&db, "col", Layout::Column, &records).expect("import");
+
+    assert_eq!(
+        row.aggregate_sum(&db, "price").expect("sum"),
+        col.aggregate_sum(&db, "price").expect("sum")
+    );
+    assert_eq!(
+        row.aggregate_sum(&db, "qty").expect("sum"),
+        col.aggregate_sum(&db, "qty").expect("sum")
+    );
+
+    let mods = gen.modifications(800, 10);
+    row.update(&db, &mods).expect("row update");
+    col.update(&db, &mods).expect("col update");
+    assert_eq!(
+        row.aggregate_sum(&db, "price").expect("sum"),
+        col.aggregate_sum(&db, "price").expect("sum"),
+        "layouts agree after updates"
+    );
+    assert_eq!(row.export_csv(&db).expect("csv"), col.export_csv(&db).expect("csv"));
+}

@@ -1,0 +1,164 @@
+//! Integration: the three blockchain state backends must agree on every
+//! observable behaviour (state reads, scan queries, chain integrity)
+//! while differing exactly in the internals the paper measures.
+
+use forkbase::ledger::{
+    BucketTree, ForkBaseBackend, ForkBaseKvAdapter, KvBackend, LedgerNode, MerkleTrie,
+    StateBackend, Transaction,
+};
+use forkbase::workload::{Op, YcsbConfig, YcsbGen};
+use forkbase::ForkBase;
+
+fn drive<B: StateBackend>(node: &mut LedgerNode<B>, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Read(key) => {
+                node.submit(Transaction::get("kv", key.clone()));
+            }
+            Op::Write(key, value) => {
+                node.submit(Transaction::put("kv", key.clone(), value.clone()));
+            }
+        }
+    }
+    node.flush();
+}
+
+fn workload(n: usize) -> Vec<Op> {
+    let mut gen = YcsbGen::new(YcsbConfig {
+        n_keys: 60,
+        read_ratio: 0.3,
+        value_size: 64,
+        seed: 99,
+        ..Default::default()
+    });
+    gen.batch(n)
+}
+
+#[test]
+fn all_backends_agree_on_state_and_scans() {
+    let ops = workload(600);
+
+    let dir = std::env::temp_dir().join(format!("bc-int-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let rocks = rockslite::RocksLite::open(&dir).expect("open");
+    let mut rocks_node = LedgerNode::new(KvBackend::new(rocks, Box::new(BucketTree::new(256))), 25);
+    let mut fbkv_node = LedgerNode::new(
+        KvBackend::new(
+            ForkBaseKvAdapter::new(ForkBase::in_memory()),
+            Box::new(MerkleTrie::new()),
+        ),
+        25,
+    );
+    let mut fb_node = LedgerNode::new(ForkBaseBackend::in_memory(), 25);
+
+    drive(&mut rocks_node, &ops);
+    drive(&mut fbkv_node, &ops);
+    drive(&mut fb_node, &ops);
+
+    // Same chain shape.
+    assert_eq!(rocks_node.height(), fb_node.height());
+    assert_eq!(fbkv_node.height(), fb_node.height());
+    assert!(rocks_node.verify_chain());
+    assert!(fbkv_node.verify_chain());
+    assert!(fb_node.verify_chain());
+
+    // Same committed state for every key.
+    for i in 0..60 {
+        let key = YcsbGen::key(i);
+        let r = rocks_node.backend().read("kv", &key);
+        let f = fb_node.backend().read("kv", &key);
+        let fk = fbkv_node.backend().read("kv", &key);
+        assert_eq!(r, f, "key {i}");
+        assert_eq!(fk, f, "key {i}");
+    }
+
+    // Same state-scan histories.
+    for i in (0..60).step_by(13) {
+        let key = YcsbGen::key(i);
+        let r = rocks_node.backend_mut().state_scan("kv", &key);
+        let f = fb_node.backend_mut().state_scan("kv", &key);
+        assert_eq!(r, f, "history of key {i}");
+    }
+
+    // Same block-scan snapshots at several heights.
+    let top = fb_node.height();
+    for h in [0, top / 2, top - 1] {
+        let r = rocks_node.backend_mut().block_scan("kv", h);
+        let f = fb_node.backend_mut().block_scan("kv", h);
+        assert_eq!(r, f, "state at block {h}");
+    }
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn forkbase_state_scan_is_chain_scan_free() {
+    // The headline analytics win: ForkBase's state scan touches only the
+    // key's version chain; the KV backend must parse the whole chain
+    // first.
+    let ops = workload(400);
+    let mut fb_node = LedgerNode::new(ForkBaseBackend::in_memory(), 20);
+    drive(&mut fb_node, &ops);
+
+    let key = YcsbGen::key(3);
+    let gets_before = fb_node.backend().db().store().stats().gets;
+    let history = fb_node.backend_mut().state_scan("kv", &key);
+    let gets = fb_node.backend().db().store().stats().gets - gets_before;
+    assert!(!history.is_empty());
+    // A handful of fetches per version (meta chunk + blob), nothing like
+    // a full chain parse.
+    assert!(
+        gets <= history.len() as u64 * 4 + 4,
+        "state scan fetched {gets} chunks for {} versions",
+        history.len()
+    );
+}
+
+#[test]
+fn block_scan_snapshots_are_consistent_over_time() {
+    // Writing key K at block h must not change what block_scan(h-1)
+    // reports — historical snapshots are immutable.
+    let mut node = LedgerNode::new(ForkBaseBackend::in_memory(), 2);
+    node.submit(Transaction::put("kv", "a", "a-block0"));
+    node.submit(Transaction::put("kv", "b", "b-block0"));
+    let snapshot0: Vec<_> = node.backend_mut().block_scan("kv", 0);
+
+    node.submit(Transaction::put("kv", "a", "a-block1"));
+    node.submit(Transaction::put("kv", "c", "c-block1"));
+    assert_eq!(node.height(), 2);
+
+    assert_eq!(
+        node.backend_mut().block_scan("kv", 0),
+        snapshot0,
+        "block 0 snapshot unchanged by later blocks"
+    );
+    let snapshot1 = node.backend_mut().block_scan("kv", 1);
+    assert_eq!(snapshot1.len(), 3);
+}
+
+#[test]
+fn merkle_choice_does_not_change_semantics() {
+    // Bucket trees of any size and the trie must all produce the same
+    // ledger contents (only commit cost differs — Fig. 11).
+    let ops = workload(300);
+    let mut reference: Option<Vec<(bytes::Bytes, Option<bytes::Bytes>)>> = None;
+    for merkle in [
+        Box::new(BucketTree::new(8)) as Box<dyn forkbase::ledger::MerkleTree>,
+        Box::new(BucketTree::new(4096)),
+        Box::new(MerkleTrie::new()),
+    ] {
+        let adapter = ForkBaseKvAdapter::new(ForkBase::in_memory());
+        let mut node = LedgerNode::new(KvBackend::new(adapter, merkle), 30);
+        drive(&mut node, &ops);
+        let state: Vec<_> = (0..60)
+            .map(|i| {
+                let key = YcsbGen::key(i);
+                (key.clone(), node.backend().read("kv", &key))
+            })
+            .collect();
+        match &reference {
+            None => reference = Some(state),
+            Some(r) => assert_eq!(&state, r),
+        }
+    }
+}
