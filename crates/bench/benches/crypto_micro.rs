@@ -2,10 +2,20 @@
 //! the three rolling-hash candidates for the chunker (the paper reports
 //! the rolling hash at ~20% of POS-Tree build cost, motivating the P′
 //! cid-pattern for index nodes).
+//!
+//! The `rolling_scan` and `chunker_split` groups compare the retained
+//! naive baseline (per-byte calls through `Box<dyn RollingHash>`) against
+//! the devirtualized block scanner — the ≥2× acceptance bar of the
+//! hot-path optimization lives there. `sha256_compress` compares the
+//! unrolled compression function against the retained straight-line one.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fb_bench::random_bytes;
-use forkbase_crypto::{blake2b_256, hash_bytes, CyclicPoly, MovingSum, RabinKarp, RollingHash};
+use forkbase_crypto::chunker::{split_positions, split_positions_reference};
+use forkbase_crypto::{
+    blake2b_256, hash_bytes, sha256_naive, ChunkerConfig, CyclicPoly, MovingSum, RabinKarp,
+    RollingHash, RollingKind,
+};
 
 fn sha256_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("sha256");
@@ -16,6 +26,17 @@ fn sha256_throughput(c: &mut Criterion) {
             b.iter(|| hash_bytes(data));
         });
     }
+    group.finish();
+}
+
+/// Optimized (SHA-NI when available, else unrolled scalar) vs
+/// retained-naive SHA-256 compression, same 64 KB input.
+fn sha256_compress_ablation(c: &mut Criterion) {
+    let data = random_bytes(64 * 1024, 1);
+    let mut group = c.benchmark_group("sha256_compress");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("optimized", |b| b.iter(|| hash_bytes(&data)));
+    group.bench_function("naive", |b| b.iter(|| sha256_naive(&data)));
     group.finish();
 }
 
@@ -76,9 +97,68 @@ fn rolling_hashes(c: &mut Criterion) {
     group.finish();
 }
 
+/// The acceptance-bar comparison: one full boundary scan over 256 KB with
+/// the leaf pattern mask, through each execution tier.
+fn rolling_scan_tiers(c: &mut Criterion) {
+    let data = random_bytes(256 * 1024, 2);
+    let mask = (1u64 << 12) - 1; // default leaf pattern
+    let mut group = c.benchmark_group("rolling_scan");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+
+    for kind in [
+        RollingKind::CyclicPoly,
+        RollingKind::RabinKarp,
+        RollingKind::MovingSum,
+    ] {
+        // Tier 0 — the retained naive baseline: virtual call per byte.
+        group.bench_function(BenchmarkId::new("dyn_per_byte", format!("{kind:?}")), |b| {
+            let mut h = kind.build(48);
+            b.iter(|| {
+                h.reset();
+                let mut hits = 0u32;
+                for &byte in &data {
+                    let v = h.roll(byte);
+                    hits += (h.primed() && v & mask == 0) as u32;
+                }
+                hits
+            });
+        });
+        // Tier 1 — devirtualized block scan through RollingScanner.
+        group.bench_function(BenchmarkId::new("block", format!("{kind:?}")), |b| {
+            let mut s = kind.scanner(48);
+            b.iter(|| {
+                s.reset();
+                let mut hits = 0u32;
+                let mut off = 0usize;
+                while let Some(n) = s.scan_boundary(&data[off..], mask) {
+                    hits += 1;
+                    off += n;
+                }
+                hits
+            });
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end chunking (boundary positions over 1 MB): optimized entry
+/// point vs the retained reference pipeline.
+fn chunker_split(c: &mut Criterion) {
+    let data = random_bytes(1024 * 1024, 3);
+    let cfg = ChunkerConfig::default();
+    let mut group = c.benchmark_group("chunker_split");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("block", |b| b.iter(|| split_positions(&data, &cfg)));
+    group.bench_function("naive_dyn", |b| {
+        b.iter(|| split_positions_reference(&data, &cfg))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = sha256_throughput, blake2b_throughput, rolling_hashes
+    targets = sha256_throughput, sha256_compress_ablation, blake2b_throughput,
+              rolling_hashes, rolling_scan_tiers, chunker_split
 }
 criterion_main!(benches);

@@ -39,7 +39,10 @@ fn drive<B: StateBackend>(mut node: LedgerNode<B>, n_updates: usize) -> f64 {
 }
 
 fn main() {
-    banner("Figure 10", "client-perceived throughput (txns/s, b=50, r=w=0.5)");
+    banner(
+        "Figure 10",
+        "client-perceived throughput (txns/s, b=50, r=w=0.5)",
+    );
     let sizes: Vec<usize> = [1usize << 10, 1 << 12, 1 << 14, 1 << 16]
         .iter()
         .map(|&n| scaled(n))
@@ -50,14 +53,20 @@ fn main() {
         let dir = temp_dir("fig10");
         let rocks = rockslite::RocksLite::open(&dir).expect("open");
         let t_rocks = drive(
-            LedgerNode::new(KvBackend::new(rocks, Box::new(BucketTree::new(1024))), BLOCK_SIZE),
+            LedgerNode::new(
+                KvBackend::new(rocks, Box::new(BucketTree::new(1024))),
+                BLOCK_SIZE,
+            ),
             n,
         );
         std::fs::remove_dir_all(dir).ok();
 
         let fbkv = ForkBaseKvAdapter::new(ForkBase::in_memory());
         let t_fbkv = drive(
-            LedgerNode::new(KvBackend::new(fbkv, Box::new(BucketTree::new(1024))), BLOCK_SIZE),
+            LedgerNode::new(
+                KvBackend::new(fbkv, Box::new(BucketTree::new(1024))),
+                BLOCK_SIZE,
+            ),
             n,
         );
         let t_fb = drive(LedgerNode::new(ForkBaseBackend::in_memory(), BLOCK_SIZE), n);

@@ -74,17 +74,32 @@ fn print_cdf(name: &str, samples: &[u64]) {
 }
 
 fn main() {
-    banner("Figure 11", "commit latency CDF with different Merkle trees (ms)");
+    banner(
+        "Figure 11",
+        "commit latency CDF with different Merkle trees (ms)",
+    );
     let blocks = scaled(400);
 
     header(&["structure", "p10", "p25", "p50", "p75", "p90", "p99"]);
     print_cdf("ForkBase", &run_forkbase(blocks));
     // The paper's 1M-bucket case is scaled to 64K to fit laptop memory;
     // the comparison (more buckets → less amplification) is unchanged.
-    print_cdf("Rocksdb_10", &run_merkle(Box::new(BucketTree::new(10)), blocks));
-    print_cdf("Rocksdb_1K", &run_merkle(Box::new(BucketTree::new(1_000)), blocks));
-    print_cdf("Rocksdb_64K", &run_merkle(Box::new(BucketTree::new(65_536)), blocks));
-    print_cdf("Rocksdb_trie", &run_merkle(Box::new(MerkleTrie::new()), blocks));
+    print_cdf(
+        "Rocksdb_10",
+        &run_merkle(Box::new(BucketTree::new(10)), blocks),
+    );
+    print_cdf(
+        "Rocksdb_1K",
+        &run_merkle(Box::new(BucketTree::new(1_000)), blocks),
+    );
+    print_cdf(
+        "Rocksdb_64K",
+        &run_merkle(Box::new(BucketTree::new(65_536)), blocks),
+    );
+    print_cdf(
+        "Rocksdb_trie",
+        &run_merkle(Box::new(MerkleTrie::new()), blocks),
+    );
 
     println!("\npaper shape check: latency(bucket-10) > latency(bucket-1K) > latency(bucket-64K);");
     println!("trie slower than ForkBase; ForkBase distribution tight.");

@@ -11,9 +11,7 @@
 
 use fb_bench::*;
 use fb_workload::{YcsbConfig, YcsbGen};
-use ledgerlite::{
-    BucketTree, ForkBaseBackend, KvBackend, LedgerNode, StateBackend, Transaction,
-};
+use ledgerlite::{BucketTree, ForkBaseBackend, KvBackend, LedgerNode, StateBackend, Transaction};
 
 const BLOCK_SIZE: usize = 50;
 
@@ -38,12 +36,17 @@ fn main() {
     let n_updates = scaled(60_000);
 
     for &n_keys in &[1usize << 10, 1 << 14] {
-        println!("\n--- {n_keys} keys, {n_updates} updates, {} blocks ---", n_updates / BLOCK_SIZE);
+        println!(
+            "\n--- {n_keys} keys, {n_updates} updates, {} blocks ---",
+            n_updates / BLOCK_SIZE
+        );
 
         let dir = temp_dir("fig12");
         let rocks = rockslite::RocksLite::open(&dir).expect("open");
-        let mut rocks_node =
-            LedgerNode::new(KvBackend::new(rocks, Box::new(BucketTree::new(4096))), BLOCK_SIZE);
+        let mut rocks_node = LedgerNode::new(
+            KvBackend::new(rocks, Box::new(BucketTree::new(4096))),
+            BLOCK_SIZE,
+        );
         populate(&mut rocks_node, n_keys, n_updates);
 
         let mut fb_node = LedgerNode::new(ForkBaseBackend::in_memory(), BLOCK_SIZE);

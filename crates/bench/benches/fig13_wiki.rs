@@ -13,7 +13,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wikilite::{ForkBaseWiki, RedisWiki, WikiEngine};
 
-fn run(engine: &dyn WikiEngine, update_ratio: f64, pages: usize, requests: usize, report_every: usize) -> Vec<(usize, f64, u64)> {
+fn run(
+    engine: &dyn WikiEngine,
+    update_ratio: f64,
+    pages: usize,
+    requests: usize,
+    report_every: usize,
+) -> Vec<(usize, f64, u64)> {
     let mut gen = PageEditGen::new(77, update_ratio, 64);
     let zipf = Zipf::new(pages, 0.0); // uniform page choice, as in Fig. 13
     let mut rng = StdRng::seed_from_u64(7);
@@ -39,7 +45,11 @@ fn run(engine: &dyn WikiEngine, update_ratio: f64, pages: usize, requests: usize
             engine.edit_page(&format!("page-{p:05}"), &edit);
         }
         done += batch;
-        out.push((done, ops_per_sec(batch, t.elapsed()), engine.storage_bytes()));
+        out.push((
+            done,
+            ops_per_sec(batch, t.elapsed()),
+            engine.storage_bytes(),
+        ));
     }
     out
 }

@@ -12,7 +12,10 @@ use wikilite::{ForkBaseWiki, RedisWiki, WikiEngine};
 const VERSIONS: usize = 8;
 
 fn main() {
-    banner("Figure 14", "throughput of reading consecutive page versions");
+    banner(
+        "Figure 14",
+        "throughput of reading consecutive page versions",
+    );
     let pages = scaled(64);
     let explorations = scaled(400);
 

@@ -38,7 +38,10 @@ fn run(partitioning: Partitioning, pages: usize, edits: usize) -> Vec<u64> {
 }
 
 fn main() {
-    banner("Figure 15", "storage distribution under skew (zipf=0.5, 16 nodes)");
+    banner(
+        "Figure 15",
+        "storage distribution under skew (zipf=0.5, 16 nodes)",
+    );
     let pages = scaled(160);
     let edits = scaled(1200);
 

@@ -15,7 +15,10 @@ use forkbase_core::ForkBase;
 use orpheuslite::OrpheusLite;
 
 fn main() {
-    banner("Figure 16", "dataset modification latency and space increment");
+    banner(
+        "Figure 16",
+        "dataset modification latency and space increment",
+    );
     // Scaled from the paper's 5M-record dataset.
     let rows = scaled(100_000);
     let mut gen = DatasetGen::new(5);
@@ -40,7 +43,13 @@ fn main() {
         orpheus.storage_bytes() as f64 / 1e6
     );
 
-    header(&["% updated", "FB latency", "FB +MB", "Orph latency", "Orph +MB"]);
+    header(&[
+        "% updated",
+        "FB latency",
+        "FB +MB",
+        "Orph latency",
+        "Orph +MB",
+    ]);
     for pct in 1..=5usize {
         // Batch transformations touch contiguous ranges (a cleansing pass
         // over a region of the table), which is where chunk-level dedup

@@ -46,7 +46,10 @@ fn drive<B: StateBackend>(mut node: LedgerNode<B>, n_updates: usize) -> (f64, f6
 }
 
 fn main() {
-    banner("Figure 9", "p95 latency of blockchain operations (b=50, r=w=0.5)");
+    banner(
+        "Figure 9",
+        "p95 latency of blockchain operations (b=50, r=w=0.5)",
+    );
     let sizes: Vec<usize> = [10_000usize, 50_000, 100_000]
         .iter()
         .map(|&n| scaled(n))
@@ -57,7 +60,10 @@ fn main() {
         let dir = temp_dir("fig9");
         let rocks = rockslite::RocksLite::open(&dir).expect("open");
         let (r, w, c) = drive(
-            LedgerNode::new(KvBackend::new(rocks, Box::new(BucketTree::new(1024))), BLOCK_SIZE),
+            LedgerNode::new(
+                KvBackend::new(rocks, Box::new(BucketTree::new(1024))),
+                BLOCK_SIZE,
+            ),
             n,
         );
         row(&[
@@ -71,7 +77,10 @@ fn main() {
 
         let fbkv = ForkBaseKvAdapter::new(ForkBase::in_memory());
         let (r, w, c) = drive(
-            LedgerNode::new(KvBackend::new(fbkv, Box::new(BucketTree::new(1024))), BLOCK_SIZE),
+            LedgerNode::new(
+                KvBackend::new(fbkv, Box::new(BucketTree::new(1024))),
+                BLOCK_SIZE,
+            ),
             n,
         );
         row(&[

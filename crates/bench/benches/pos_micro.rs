@@ -16,7 +16,11 @@ fn build_blob(c: &mut Criterion) {
     let data = random_bytes(1024 * 1024, 3);
     let mut group = c.benchmark_group("pos_build_blob_1MB");
     group.throughput(Throughput::Bytes(data.len() as u64));
-    for kind in [RollingKind::CyclicPoly, RollingKind::RabinKarp, RollingKind::MovingSum] {
+    for kind in [
+        RollingKind::CyclicPoly,
+        RollingKind::RabinKarp,
+        RollingKind::MovingSum,
+    ] {
         let cfg = ChunkerConfig {
             rolling: kind,
             ..Default::default()
@@ -97,15 +101,25 @@ fn map_ops(c: &mut Criterion) {
         let mut i = 0usize;
         b.iter(|| {
             i += 1;
-            map.put(&store, &cfg, format!("k{:08}", i % 100_000), format!("updated-{i}"))
+            map.put(
+                &store,
+                &cfg,
+                format!("k{:08}", i % 100_000),
+                format!("updated-{i}"),
+            )
         });
     });
 
     let edited = map.put(&store, &cfg, "k00050000", "EDITED");
     group.bench_function("diff_one_change", |b| {
         b.iter(|| {
-            forkbase_pos::sorted_diff(&store, forkbase_pos::TreeType::Map, map.root(), edited.root())
-                .expect("diff")
+            forkbase_pos::sorted_diff(
+                &store,
+                forkbase_pos::TreeType::Map,
+                map.root(),
+                edited.root(),
+            )
+            .expect("diff")
         });
     });
     group.finish();

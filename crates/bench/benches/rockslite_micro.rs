@@ -18,8 +18,11 @@ fn lsm_ops(c: &mut Criterion) {
 
     // Preload so reads traverse multiple levels.
     for i in 0..50_000u32 {
-        db.put(format!("key-{i:08}").as_bytes(), format!("value-{i}").as_bytes())
-            .expect("put");
+        db.put(
+            format!("key-{i:08}").as_bytes(),
+            format!("value-{i}").as_bytes(),
+        )
+        .expect("put");
     }
 
     let mut group = c.benchmark_group("rockslite");

@@ -15,8 +15,12 @@ fn put_string(db: &ForkBase, n: usize, size: usize) -> (f64, f64) {
     let payload = String::from_utf8(vec![b'x'; size]).expect("ascii");
     let mut i = 0usize;
     let (total, avg) = time_n(n, || {
-        db.put(format!("str-{size}-{i}"), None, Value::String(payload.clone()))
-            .expect("put");
+        db.put(
+            format!("str-{size}-{i}"),
+            None,
+            Value::String(payload.clone()),
+        )
+        .expect("put");
         i += 1;
     });
     (ops_per_sec(n, total), us(avg))
@@ -113,8 +117,12 @@ fn main() {
 
         // Track over a 16-version history.
         for v in 0..16 {
-            db.put("tracked", None, Value::String(format!("v{v}-{}", "x".repeat(size))))
-                .expect("put");
+            db.put(
+                "tracked",
+                None,
+                Value::String(format!("v{v}-{}", "x".repeat(size))),
+            )
+            .expect("put");
         }
         let (total, avg) = time_n(n, || {
             db.track("tracked", None, 0, 4).expect("track");

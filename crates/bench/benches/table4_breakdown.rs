@@ -16,7 +16,13 @@ fn main() {
     let n = scaled(3000);
     let cfg = ChunkerConfig::default();
 
-    header(&["phase", "String 1KB", "String 20KB", "Blob 1KB", "Blob 20KB"]);
+    header(&[
+        "phase",
+        "String 1KB",
+        "String 20KB",
+        "Blob 1KB",
+        "Blob 20KB",
+    ]);
 
     let sizes = [1024usize, 20 * 1024];
     let payloads: Vec<Vec<u8>> = sizes.iter().map(|s| random_bytes(*s, 7)).collect();
@@ -24,7 +30,9 @@ fn main() {
     // --- Serialization: value -> meta-chunk bytes -----------------------
     let mut cells = vec!["Serialization".to_string()];
     for p in &payloads {
-        let value = Value::String(String::from_utf8(p.iter().map(|b| b % 26 + 97).collect()).expect("ascii"));
+        let value = Value::String(
+            String::from_utf8(p.iter().map(|b| b % 26 + 97).collect()).expect("ascii"),
+        );
         let (_, avg) = time_n(n, || {
             let obj = FObject::new("key", &value, vec![], 0, "");
             std::hint::black_box(obj.to_chunk());
@@ -46,7 +54,9 @@ fn main() {
     // --- Deserialization: chunk bytes -> FObject/value -------------------
     let mut cells = vec!["Deserialization".to_string()];
     for p in &payloads {
-        let value = Value::String(String::from_utf8(p.iter().map(|b| b % 26 + 97).collect()).expect("ascii"));
+        let value = Value::String(
+            String::from_utf8(p.iter().map(|b| b % 26 + 97).collect()).expect("ascii"),
+        );
         let chunk = FObject::new("key", &value, vec![], 0, "").to_chunk();
         let (_, avg) = time_n(n, || {
             let obj = FObject::decode(chunk.payload()).expect("decode");
@@ -81,10 +91,14 @@ fn main() {
     for p in &payloads {
         let (_, avg) = time_n(n, || {
             let mut chunker = LeafChunker::new(&cfg);
-            for &b in p.iter() {
-                chunker.feed(std::slice::from_ref(&b));
-                if chunker.boundary() {
-                    chunker.cut();
+            let mut off = 0usize;
+            while off < p.len() {
+                match chunker.feed_bytewise(&p[off..]) {
+                    Some(cut) => {
+                        off += cut;
+                        chunker.cut();
+                    }
+                    None => break,
                 }
             }
             std::hint::black_box(chunker.current_len());

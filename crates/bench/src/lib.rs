@@ -72,7 +72,10 @@ pub fn percentile_ms(samples: &[u64], p: f64) -> f64 {
 /// Print a benchmark banner.
 pub fn banner(id: &str, what: &str) {
     println!("\n=== {id}: {what} ===");
-    println!("    (FB_SCALE={}; shapes, not absolute numbers, are the target)", scale());
+    println!(
+        "    (FB_SCALE={}; shapes, not absolute numbers, are the target)",
+        scale()
+    );
 }
 
 /// Print a table header followed by a separator.

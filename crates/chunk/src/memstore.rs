@@ -55,15 +55,18 @@ impl ChunkStore for MemStore {
     fn put(&self, chunk: Chunk) -> PutOutcome {
         let bytes = chunk.len() as u64;
         let mut shard = self.shard(&chunk.cid()).write();
-        if shard.contains_key(&chunk.cid()) {
-            drop(shard);
-            self.stats.record_dedup(bytes);
-            PutOutcome::Deduplicated
-        } else {
-            shard.insert(chunk.cid(), chunk);
-            drop(shard);
-            self.stats.record_store(bytes);
-            PutOutcome::Stored
+        match shard.entry(chunk.cid()) {
+            std::collections::hash_map::Entry::Occupied(_) => {
+                drop(shard);
+                self.stats.record_dedup(bytes);
+                PutOutcome::Deduplicated
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(chunk);
+                drop(shard);
+                self.stats.record_store(bytes);
+                PutOutcome::Stored
+            }
         }
     }
 

@@ -19,12 +19,15 @@ use forkbase_chunk::codec::{get_bytes, get_varint, put_bytes, put_varint};
 use forkbase_chunk::{Chunk, ChunkType};
 use forkbase_crypto::Digest;
 
+/// One key's branch table: (key, tagged branches sorted by name,
+/// untagged heads sorted).
+pub type BranchEntry = (Bytes, Vec<(String, Digest)>, Vec<Digest>);
+
 /// Serializable image of every key's branch table.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BranchSnapshot {
-    /// Per key: (key, tagged branches sorted by name, untagged heads
-    /// sorted). Keys sorted, so encoding is canonical.
-    pub entries: Vec<(Bytes, Vec<(String, Digest)>, Vec<Digest>)>,
+    /// Per key; keys sorted, so encoding is canonical.
+    pub entries: Vec<BranchEntry>,
 }
 
 impl BranchSnapshot {

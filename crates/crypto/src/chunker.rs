@@ -7,9 +7,21 @@
 //! therefore deduplicatable. To bound node size, a chunk is forcefully cut
 //! once it grows to `α ×` the expected size (probability of a forced cut is
 //! `(1/e)^α`, §4.3.3).
+//!
+//! # Fast and reference paths
+//!
+//! [`LeafChunker::new`] routes pattern detection through the devirtualized
+//! block scanner ([`crate::rolling::RollingScanner`]): the rolling-hash
+//! implementation is selected once at construction, and whole slices are
+//! scanned per call with a bounds-check-free inner loop.
+//! [`LeafChunker::new_reference`] retains the original per-byte
+//! `Box<dyn RollingHash>` pipeline; it is the baseline the equivalence
+//! proptests and the `crypto_micro` benches compare against, and the
+//! `naive-baseline` cargo feature makes [`new`](LeafChunker::new) produce
+//! it so whole-system A/B runs need no code changes.
 
 use crate::digest::Digest;
-use crate::rolling::{RollingHash, RollingKind};
+use crate::rolling::{RollingHash, RollingKind, RollingScanner};
 
 /// Parameters controlling pattern detection for both tree levels.
 #[derive(Clone, Debug)]
@@ -73,10 +85,21 @@ impl ChunkerConfig {
     /// The index-node split pattern P′ (§4.3.3): fires when the child cid's
     /// low `r` bits are zero. A pure function of the entry, so index-node
     /// boundaries are content-defined too.
+    #[inline]
     pub fn index_boundary(&self, cid: &Digest) -> bool {
         let mask = (1u64 << self.index_bits) - 1;
         cid.prefix_u64() & mask == 0
     }
+}
+
+/// Pattern-detection backend: the devirtualized block scanner, or the
+/// retained per-byte-through-a-vtable reference pipeline. The scanner is
+/// boxed to keep the variants similar in size (its lookup tables are 4 KB
+/// inline); the indirection is paid once per slice-level call, never per
+/// byte.
+enum Detector {
+    Fast(Box<RollingScanner>),
+    Reference(Box<dyn RollingHash + Send>),
 }
 
 /// Streaming leaf-boundary detector.
@@ -84,14 +107,16 @@ impl ChunkerConfig {
 /// The POS-Tree builder appends one element at a time ([`feed`](Self::feed))
 /// and asks [`boundary`](Self::boundary) afterwards, which implements the
 /// rule that a pattern occurring *inside* an element extends the chunk to
-/// the element end (elements never span chunks, §4.3.2).
+/// the element end (elements never span chunks, §4.3.2). Byte-granular
+/// streams (Blob trees) should use [`feed_bytewise`](Self::feed_bytewise),
+/// which scans whole slices and reports the exact cut position.
 ///
 /// The rolling window is deliberately **not** reset at a cut: the pattern at
 /// any byte position is a function of the trailing `window` bytes only,
 /// independent of where the previous cut fell. This is what localizes the
 /// effect of an edit to O(1) chunks.
 pub struct LeafChunker {
-    hash: Box<dyn RollingHash + Send>,
+    detector: Detector,
     q_mask: u64,
     max_len: usize,
     cur_len: usize,
@@ -103,10 +128,30 @@ pub struct LeafChunker {
 }
 
 impl LeafChunker {
-    /// Build a detector from `cfg`.
+    /// Build a detector from `cfg`, using the devirtualized block scanner
+    /// (unless the `naive-baseline` feature routes it to the reference
+    /// pipeline).
     pub fn new(cfg: &ChunkerConfig) -> Self {
+        if cfg!(feature = "naive-baseline") {
+            Self::new_reference(cfg)
+        } else {
+            Self::with_detector(
+                cfg,
+                Detector::Fast(Box::new(cfg.rolling.scanner(cfg.window))),
+            )
+        }
+    }
+
+    /// Build a detector running the retained naive pipeline: one virtual
+    /// [`RollingHash::roll`] call per byte. Kept as the provably-unchanged
+    /// baseline for equivalence tests and benchmarks.
+    pub fn new_reference(cfg: &ChunkerConfig) -> Self {
+        Self::with_detector(cfg, Detector::Reference(cfg.rolling.build(cfg.window)))
+    }
+
+    fn with_detector(cfg: &ChunkerConfig, detector: Detector) -> Self {
         LeafChunker {
-            hash: cfg.rolling.build(cfg.window),
+            detector,
             q_mask: (1u64 << cfg.leaf_bits) - 1,
             max_len: cfg.max_leaf_size(),
             cur_len: 0,
@@ -116,14 +161,74 @@ impl LeafChunker {
 
     /// Roll `bytes` (one element) into the detector, remembering whether
     /// the pattern fired at any byte of the element.
+    #[inline]
     pub fn feed(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            let h = self.hash.roll(b);
-            if self.hash.primed() && (h & self.q_mask) == 0 {
+        let fired = match &mut self.detector {
+            Detector::Fast(s) => s.feed_detect(bytes, self.q_mask),
+            Detector::Reference(h) => {
+                let mut fired = false;
+                for &b in bytes {
+                    let v = h.roll(b);
+                    fired |= h.primed() && v & self.q_mask == 0;
+                }
+                fired
+            }
+        };
+        self.pattern_pending |= fired;
+        self.cur_len += bytes.len();
+    }
+
+    /// Feed a byte-granular stream (every byte is an element, Blob
+    /// semantics): consume bytes from `data` until the first boundary —
+    /// pattern hit or forced `α·2^q` cap — and return `Some(n)` with `n`
+    /// bytes consumed and the boundary falling exactly after them. The
+    /// caller should then [`cut`](Self::cut) and re-feed the remainder.
+    /// Returns `None` with all of `data` consumed and no boundary.
+    #[inline]
+    pub fn feed_bytewise(&mut self, data: &[u8]) -> Option<usize> {
+        if data.is_empty() {
+            return None;
+        }
+        // Fail loudly on contract misuse (calling again without `cut`, or
+        // mixing with an oversized `feed`) instead of returning `Some(0)`
+        // forever or underflowing `room`.
+        assert!(
+            self.cur_len < self.max_len,
+            "feed_bytewise called at an uncut boundary (len {} >= max {})",
+            self.cur_len,
+            self.max_len
+        );
+        let room = self.max_len - self.cur_len;
+        let take = data.len().min(room);
+        let hit = match &mut self.detector {
+            Detector::Fast(s) => s.scan_boundary(&data[..take], self.q_mask),
+            Detector::Reference(h) => {
+                let mut hit = None;
+                for (i, &b) in data[..take].iter().enumerate() {
+                    let v = h.roll(b);
+                    if h.primed() && v & self.q_mask == 0 {
+                        hit = Some(i + 1);
+                        break;
+                    }
+                }
+                hit
+            }
+        };
+        match hit {
+            Some(n) => {
+                self.cur_len += n;
                 self.pattern_pending = true;
+                Some(n)
+            }
+            None => {
+                self.cur_len += take;
+                if self.cur_len >= self.max_len && !data.is_empty() {
+                    Some(take)
+                } else {
+                    None
+                }
             }
         }
-        self.cur_len += bytes.len();
     }
 
     /// True if the current position ends a chunk: either the pattern
@@ -158,7 +263,10 @@ impl LeafChunker {
 
     /// Full reset (new object).
     pub fn reset(&mut self) {
-        self.hash.reset();
+        match &mut self.detector {
+            Detector::Fast(s) => s.reset(),
+            Detector::Reference(h) => h.reset(),
+        }
         self.cur_len = 0;
         self.pattern_pending = false;
     }
@@ -167,13 +275,28 @@ impl LeafChunker {
 /// Split `data` byte-wise (Blob semantics) and return the chunk end
 /// positions (exclusive). The final position is always `data.len()`.
 pub fn split_positions(data: &[u8], cfg: &ChunkerConfig) -> Vec<usize> {
-    let mut chunker = LeafChunker::new(cfg);
+    split_with(LeafChunker::new(cfg), data)
+}
+
+/// [`split_positions`] through the retained naive per-byte pipeline —
+/// the equivalence oracle for the block scanner.
+pub fn split_positions_reference(data: &[u8], cfg: &ChunkerConfig) -> Vec<usize> {
+    split_with(LeafChunker::new_reference(cfg), data)
+}
+
+fn split_with(mut chunker: LeafChunker, data: &[u8]) -> Vec<usize> {
     let mut cuts = Vec::new();
-    for (i, &b) in data.iter().enumerate() {
-        chunker.feed(std::slice::from_ref(&b));
-        if chunker.boundary() {
-            cuts.push(i + 1);
-            chunker.cut();
+    let mut off = 0usize;
+    while off < data.len() {
+        match chunker.feed_bytewise(&data[off..]) {
+            Some(n) => {
+                off += n;
+                cuts.push(off);
+                chunker.cut();
+            }
+            None => {
+                off = data.len();
+            }
         }
     }
     if cuts.last() != Some(&data.len()) && !data.is_empty() {
@@ -216,6 +339,27 @@ mod tests {
         let cfg = ChunkerConfig::default();
         let data = pseudo_random(200_000, 99);
         assert_eq!(split_positions(&data, &cfg), split_positions(&data, &cfg));
+    }
+
+    #[test]
+    fn split_matches_reference_pipeline() {
+        for (bits, window, seed) in [(8u32, 48usize, 1u64), (10, 7, 2), (12, 64, 3), (9, 1, 4)] {
+            let mut cfg = ChunkerConfig::with_leaf_bits(bits);
+            cfg.window = window;
+            for kind in [
+                RollingKind::CyclicPoly,
+                RollingKind::RabinKarp,
+                RollingKind::MovingSum,
+            ] {
+                cfg.rolling = kind;
+                let data = pseudo_random(150_000, seed);
+                assert_eq!(
+                    split_positions(&data, &cfg),
+                    split_positions_reference(&data, &cfg),
+                    "bits={bits} window={window} {kind:?}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -294,7 +438,10 @@ mod tests {
         }
         let expected = n as f64 / 64.0;
         let ratio = hits as f64 / expected;
-        assert!((0.6..1.4).contains(&ratio), "hits {hits}, expected {expected}");
+        assert!(
+            (0.6..1.4).contains(&ratio),
+            "hits {hits}, expected {expected}"
+        );
     }
 
     #[test]
@@ -318,6 +465,58 @@ mod tests {
         for l in lens {
             assert_eq!(l % 37, 0, "chunk length must be a multiple of element size");
         }
+    }
+
+    #[test]
+    fn element_feed_matches_reference() {
+        let cfg = ChunkerConfig::with_leaf_bits(7);
+        let mut fast = LeafChunker::new(&cfg);
+        let mut reference = LeafChunker::new_reference(&cfg);
+        let data = pseudo_random(60_000, 31);
+        let mut off = 0usize;
+        let mut len = 1usize;
+        while off < data.len() {
+            let end = (off + len).min(data.len());
+            fast.feed(&data[off..end]);
+            reference.feed(&data[off..end]);
+            assert_eq!(fast.boundary(), reference.boundary(), "at {off}");
+            assert_eq!(fast.current_len(), reference.current_len());
+            if fast.boundary() {
+                fast.cut();
+                reference.cut();
+            }
+            off = end;
+            len = len % 97 + 13;
+        }
+    }
+
+    #[test]
+    fn bytewise_feed_respects_forced_cap_exactly() {
+        let cfg = ChunkerConfig::with_leaf_bits(6);
+        let mut chunker = LeafChunker::new(&cfg);
+        // Content that never fires the pattern: forced cuts only.
+        let data = vec![0xAAu8; 4 * cfg.max_leaf_size() + 5];
+        let mut off = 0;
+        let mut cuts = Vec::new();
+        while off < data.len() {
+            match chunker.feed_bytewise(&data[off..]) {
+                Some(n) => {
+                    off += n;
+                    cuts.push(off);
+                    chunker.cut();
+                }
+                None => break,
+            }
+        }
+        assert_eq!(
+            cuts,
+            vec![
+                cfg.max_leaf_size(),
+                2 * cfg.max_leaf_size(),
+                3 * cfg.max_leaf_size(),
+                4 * cfg.max_leaf_size()
+            ]
+        );
     }
 
     #[test]

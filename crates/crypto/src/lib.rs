@@ -30,11 +30,11 @@ pub mod rolling;
 pub mod sha256;
 
 pub use blake2::{blake2b_256, blake2b_256_parts, Blake2b, Blake2b256};
-pub use fixed::{dedup_fixed, dedup_pattern, fixed_split_positions, DedupStats};
-pub use chunker::{ChunkerConfig, LeafChunker};
+pub use chunker::{split_positions, split_positions_reference, ChunkerConfig, LeafChunker};
 pub use digest::Digest;
-pub use rolling::{CyclicPoly, MovingSum, RabinKarp, RollingHash, RollingKind};
-pub use sha256::Sha256;
+pub use fixed::{dedup_fixed, dedup_pattern, fixed_split_positions, DedupStats};
+pub use rolling::{CyclicPoly, MovingSum, RabinKarp, RollingHash, RollingKind, RollingScanner};
+pub use sha256::{sha256, sha256_naive, Sha256, Sha256Naive};
 
 /// Convenience: hash `bytes` with the engine's default hash function
 /// (SHA-256) and return the 32-byte digest.
@@ -45,9 +45,20 @@ pub fn hash_bytes(bytes: &[u8]) -> Digest {
 }
 
 /// Convenience: hash the concatenation of several byte slices without
-/// materializing it.
+/// materializing it. `update` consumes whole 64-byte blocks directly from
+/// each part, so nothing beyond a partial trailing block is ever copied.
 pub fn hash_parts(parts: &[&[u8]]) -> Digest {
     let mut h = Sha256::new();
+    for p in parts {
+        h.update(p);
+    }
+    h.finalize()
+}
+
+/// [`hash_parts`] through the retained naive SHA-256 — the equivalence
+/// oracle for the optimized compression function.
+pub fn hash_parts_naive(parts: &[&[u8]]) -> Digest {
+    let mut h = Sha256Naive::new();
     for p in parts {
         h.update(p);
     }

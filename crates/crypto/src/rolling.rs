@@ -8,12 +8,36 @@
 //! the paper's cyclic polynomial plus the two alternatives it mentions
 //! (Rabin–Karp and moving sum) behind a single trait so the choice can be
 //! benchmarked (`crypto_micro` ablation bench).
+//!
+//! # Two execution tiers
+//!
+//! * **Reference tier** — [`RollingHash::roll`], one byte per call,
+//!   usually through `Box<dyn RollingHash>` ([`RollingKind::build`]).
+//!   This is the naive baseline the optimized path is validated against
+//!   (`--features naive-baseline` routes production through it).
+//! * **Block tier** — [`RollingHash::scan_boundary`] /
+//!   [`RollingHash::feed_detect`] consume whole slices. Concrete types
+//!   are reached through the [`RollingScanner`] enum, so the
+//!   implementation choice is decided **once per slice** (and the enum is
+//!   constructed once per chunker), never per byte. Inside a slice the
+//!   scan splits into a short warm-up region (outgoing bytes come from
+//!   the ring buffer) and a steady-state loop in which both the incoming
+//!   and the outgoing byte are read from the input slice itself — no ring
+//!   buffer writes, no modulo, no bounds checks (paired slice iterators),
+//!   and a precomputed outgoing-byte table that folds the per-byte
+//!   `rotate`/`multiply` of the retiring byte into one lookup.
+//!
+//! Both tiers produce bit-identical hash sequences; the equivalence
+//! proptests in `tests/equivalence.rs` pin that down.
 
 /// A rolling hash over a fixed-size window of bytes.
 ///
 /// Implementations are fed one byte at a time with [`roll`](Self::roll);
 /// once at least `window` bytes have been consumed the oldest byte falls out
-/// of the active set automatically.
+/// of the active set automatically. Slice-at-a-time consumers should prefer
+/// [`scan_boundary`](Self::scan_boundary) and
+/// [`feed_detect`](Self::feed_detect), which concrete implementations
+/// override with block-oriented loops.
 pub trait RollingHash {
     /// Reset to the empty state (no bytes consumed).
     fn reset(&mut self);
@@ -32,6 +56,44 @@ pub trait RollingHash {
     fn primed(&self) -> bool {
         self.consumed() >= self.window()
     }
+
+    /// Consume bytes from `data` until the first position where the hash
+    /// is primed and `hash & mask == 0`. Returns `Some(n)` — `n` bytes
+    /// consumed, the pattern firing on the `n`-th — or `None` with the
+    /// whole slice consumed and no hit.
+    ///
+    /// The default is the per-byte reference loop (monomorphized when
+    /// called on a concrete type); implementations override it with a
+    /// block-oriented scan.
+    fn scan_boundary(&mut self, data: &[u8], mask: u64) -> Option<usize>
+    where
+        Self: Sized,
+    {
+        for (i, &b) in data.iter().enumerate() {
+            let h = self.roll(b);
+            if self.primed() && h & mask == 0 {
+                return Some(i + 1);
+            }
+        }
+        None
+    }
+
+    /// Consume **all** of `data`, returning whether the pattern
+    /// (`primed && hash & mask == 0`) fired at any byte. Unlike
+    /// [`scan_boundary`](Self::scan_boundary) this never stops early —
+    /// it backs the element-at-a-time feed, where a mid-element hit only
+    /// extends the chunk to the element end (§4.3.2).
+    fn feed_detect(&mut self, data: &[u8], mask: u64) -> bool
+    where
+        Self: Sized,
+    {
+        let mut fired = false;
+        for &b in data {
+            let h = self.roll(b);
+            fired |= self.primed() && h & mask == 0;
+        }
+        fired
+    }
 }
 
 /// Which rolling hash to use; an ablation knob for the chunker.
@@ -46,13 +108,78 @@ pub enum RollingKind {
 }
 
 impl RollingKind {
-    /// Instantiate the selected hash with window size `k`.
+    /// Instantiate the selected hash behind a trait object. This is the
+    /// retained naive-baseline construction: every [`roll`]
+    /// (RollingHash::roll) goes through a virtual call. Production code
+    /// uses [`scanner`](Self::scanner) instead.
     pub fn build(self, k: usize) -> Box<dyn RollingHash + Send> {
         match self {
             RollingKind::CyclicPoly => Box::new(CyclicPoly::new(k)),
             RollingKind::RabinKarp => Box::new(RabinKarp::new(k)),
             RollingKind::MovingSum => Box::new(MovingSum::new(k)),
         }
+    }
+
+    /// Instantiate the selected hash as a [`RollingScanner`]: enum
+    /// dispatch happens here (and once per slice call), after which every
+    /// inner loop runs monomorphized on the concrete type.
+    pub fn scanner(self, k: usize) -> RollingScanner {
+        match self {
+            RollingKind::CyclicPoly => RollingScanner::CyclicPoly(CyclicPoly::new(k)),
+            RollingKind::RabinKarp => RollingScanner::RabinKarp(RabinKarp::new(k)),
+            RollingKind::MovingSum => RollingScanner::MovingSum(MovingSum::new(k)),
+        }
+    }
+}
+
+/// Devirtualized rolling-hash dispatcher. One `match` per *slice-level*
+/// operation selects the concrete implementation; the per-byte inner
+/// loops below it are fully monomorphized.
+pub enum RollingScanner {
+    /// Cyclic polynomial ("buzhash").
+    CyclicPoly(CyclicPoly),
+    /// Rabin–Karp polynomial hash.
+    RabinKarp(RabinKarp),
+    /// Moving sum.
+    MovingSum(MovingSum),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $h:ident => $e:expr) => {
+        match $self {
+            RollingScanner::CyclicPoly($h) => $e,
+            RollingScanner::RabinKarp($h) => $e,
+            RollingScanner::MovingSum($h) => $e,
+        }
+    };
+}
+
+impl RollingScanner {
+    /// See [`RollingHash::reset`].
+    pub fn reset(&mut self) {
+        dispatch!(self, h => h.reset())
+    }
+
+    /// See [`RollingHash::window`].
+    pub fn window(&self) -> usize {
+        dispatch!(self, h => h.window())
+    }
+
+    /// See [`RollingHash::consumed`].
+    pub fn consumed(&self) -> usize {
+        dispatch!(self, h => h.consumed())
+    }
+
+    /// See [`RollingHash::scan_boundary`].
+    #[inline]
+    pub fn scan_boundary(&mut self, data: &[u8], mask: u64) -> Option<usize> {
+        dispatch!(self, h => h.scan_boundary(data, mask))
+    }
+
+    /// See [`RollingHash::feed_detect`].
+    #[inline]
+    pub fn feed_detect(&mut self, data: &[u8], mask: u64) -> bool {
+        dispatch!(self, h => h.feed_detect(data, mask))
     }
 }
 
@@ -75,6 +202,94 @@ fn byte_table() -> [u64; 256] {
     table
 }
 
+// ---------------------------------------------------------------------------
+// Shared block-scan engine
+// ---------------------------------------------------------------------------
+
+/// Internal hook set letting the three hashes share one block-scan engine.
+///
+/// `combine` folds one steady-state step: `table_out` already carries the
+/// full contribution of the retiring byte (`s^k(h(b))` for cyclic poly,
+/// `h(b)·B^k` for Rabin–Karp), so a step is one lookup per byte end plus
+/// the combine arithmetic — no ring-buffer access, no rotation of the
+/// outgoing value.
+trait BlockScan: RollingHash + Sized {
+    /// Incoming-byte randomization `h(b)`.
+    fn tbl_in(&self, b: u8) -> u64;
+    /// Retiring-byte contribution, fully precomputed.
+    fn tbl_out(&self, b: u8) -> u64;
+    /// One steady-state update.
+    fn combine(hash: u64, out: u64, inc: u64) -> u64;
+    /// Current hash value.
+    fn hash(&self) -> u64;
+    /// Commit block-scan results: `processed` steady-state bytes were
+    /// consumed and `tail` holds the final window content (length `k`,
+    /// oldest byte first).
+    fn commit(&mut self, hash: u64, processed: usize, tail: &[u8]);
+}
+
+/// Block implementation of [`RollingHash::scan_boundary`].
+///
+/// Phase 1 handles the first `min(k, len)` bytes through the reference
+/// per-byte step (the retiring byte, if any, lives in the ring buffer).
+/// Phase 2 walks paired slice iterators `(data[j], data[j+k])`, which the
+/// compiler turns into a bounds-check-free loop; the scanner is provably
+/// primed throughout phase 2 because at least `k` bytes precede it.
+#[inline]
+fn scan_boundary_block<H: BlockScan>(h: &mut H, data: &[u8], mask: u64) -> Option<usize> {
+    let k = h.window();
+    let warm = data.len().min(k);
+    for (i, &b) in data[..warm].iter().enumerate() {
+        let v = h.roll(b);
+        if h.primed() && v & mask == 0 {
+            return Some(i + 1);
+        }
+    }
+    if data.len() <= k {
+        return None;
+    }
+    let mut hash = h.hash();
+    let mut hit = None;
+    for (j, (&out, &inc)) in data[..data.len() - k].iter().zip(&data[k..]).enumerate() {
+        hash = H::combine(hash, h.tbl_out(out), h.tbl_in(inc));
+        if hash & mask == 0 {
+            hit = Some(k + j + 1);
+            break;
+        }
+    }
+    let end = hit.unwrap_or(data.len());
+    h.commit(hash, end - k, &data[end - k..end]);
+    hit
+}
+
+/// Block implementation of [`RollingHash::feed_detect`]: same two-phase
+/// structure but always consumes the whole slice, OR-accumulating the
+/// pattern hit branchlessly.
+#[inline]
+fn feed_detect_block<H: BlockScan>(h: &mut H, data: &[u8], mask: u64) -> bool {
+    let k = h.window();
+    let warm = data.len().min(k);
+    let mut fired = false;
+    for &b in &data[..warm] {
+        let v = h.roll(b);
+        fired |= h.primed() && v & mask == 0;
+    }
+    if data.len() <= k {
+        return fired;
+    }
+    let mut hash = h.hash();
+    for (&out, &inc) in data[..data.len() - k].iter().zip(&data[k..]) {
+        hash = H::combine(hash, h.tbl_out(out), h.tbl_in(inc));
+        fired |= hash & mask == 0;
+    }
+    h.commit(hash, data.len() - k, &data[data.len() - k..]);
+    fired
+}
+
+// ---------------------------------------------------------------------------
+// Cyclic polynomial
+// ---------------------------------------------------------------------------
+
 /// Cyclic polynomial rolling hash (buzhash).
 ///
 /// `P(b₁…b_k) = s^{k−1}(h(b₁)) ⊕ … ⊕ s⁰(h(b_k))` where `s` is a 1-bit left
@@ -82,6 +297,9 @@ fn byte_table() -> [u64; 256] {
 /// `P(b₁…b_k) = s(P(b₀…b_{k−1})) ⊕ s^k(h(b₀)) ⊕ h(b_k)`.
 pub struct CyclicPoly {
     table: [u64; 256],
+    /// `table[b].rotate_left(k mod 64)` — the retiring byte's full
+    /// contribution, precomputed for the steady-state block loop.
+    table_out: [u64; 256],
     window: usize,
     buf: Vec<u8>,
     /// Next slot in the circular buffer.
@@ -96,14 +314,21 @@ impl CyclicPoly {
     /// Create with window size `k` (must be ≥ 1).
     pub fn new(k: usize) -> Self {
         assert!(k >= 1, "window must be at least 1 byte");
+        let table = byte_table();
+        let k_rot = (k % 64) as u32;
+        let mut table_out = [0u64; 256];
+        for (out, &t) in table_out.iter_mut().zip(table.iter()) {
+            *out = t.rotate_left(k_rot);
+        }
         CyclicPoly {
-            table: byte_table(),
+            table,
+            table_out,
             window: k,
             buf: vec![0u8; k],
             pos: 0,
             consumed: 0,
             hash: 0,
-            k_rot: (k % 64) as u32,
+            k_rot,
         }
     }
 }
@@ -138,11 +363,57 @@ impl RollingHash for CyclicPoly {
     fn window(&self) -> usize {
         self.window
     }
+
+    #[inline]
+    fn scan_boundary(&mut self, data: &[u8], mask: u64) -> Option<usize> {
+        scan_boundary_block(self, data, mask)
+    }
+
+    #[inline]
+    fn feed_detect(&mut self, data: &[u8], mask: u64) -> bool {
+        feed_detect_block(self, data, mask)
+    }
 }
+
+impl BlockScan for CyclicPoly {
+    #[inline]
+    fn tbl_in(&self, b: u8) -> u64 {
+        self.table[b as usize]
+    }
+
+    #[inline]
+    fn tbl_out(&self, b: u8) -> u64 {
+        self.table_out[b as usize]
+    }
+
+    #[inline]
+    fn combine(hash: u64, out: u64, inc: u64) -> u64 {
+        hash.rotate_left(1) ^ out ^ inc
+    }
+
+    #[inline]
+    fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn commit(&mut self, hash: u64, processed: usize, tail: &[u8]) {
+        self.hash = hash;
+        self.consumed += processed;
+        self.buf.copy_from_slice(tail);
+        self.pos = 0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rabin–Karp
+// ---------------------------------------------------------------------------
 
 /// Rabin–Karp rolling hash: `P = Σ h(bᵢ)·B^{k−i} (mod 2^64)`.
 pub struct RabinKarp {
     table: [u64; 256],
+    /// `table[b]·B^k` — the retiring byte's contribution, precomputed.
+    table_out: [u64; 256],
     window: usize,
     buf: Vec<u8>,
     pos: usize,
@@ -163,8 +434,14 @@ impl RabinKarp {
         for _ in 0..k {
             b_pow_k = b_pow_k.wrapping_mul(RK_BASE);
         }
+        let table = byte_table();
+        let mut table_out = [0u64; 256];
+        for (out, &t) in table_out.iter_mut().zip(table.iter()) {
+            *out = t.wrapping_mul(b_pow_k);
+        }
         RabinKarp {
-            table: byte_table(),
+            table,
+            table_out,
             window: k,
             buf: vec![0u8; k],
             pos: 0,
@@ -209,7 +486,53 @@ impl RollingHash for RabinKarp {
     fn window(&self) -> usize {
         self.window
     }
+
+    #[inline]
+    fn scan_boundary(&mut self, data: &[u8], mask: u64) -> Option<usize> {
+        scan_boundary_block(self, data, mask)
+    }
+
+    #[inline]
+    fn feed_detect(&mut self, data: &[u8], mask: u64) -> bool {
+        feed_detect_block(self, data, mask)
+    }
 }
+
+impl BlockScan for RabinKarp {
+    #[inline]
+    fn tbl_in(&self, b: u8) -> u64 {
+        self.table[b as usize]
+    }
+
+    #[inline]
+    fn tbl_out(&self, b: u8) -> u64 {
+        self.table_out[b as usize]
+    }
+
+    #[inline]
+    fn combine(hash: u64, out: u64, inc: u64) -> u64 {
+        hash.wrapping_mul(RK_BASE)
+            .wrapping_sub(out)
+            .wrapping_add(inc)
+    }
+
+    #[inline]
+    fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn commit(&mut self, hash: u64, processed: usize, tail: &[u8]) {
+        self.hash = hash;
+        self.consumed += processed;
+        self.buf.copy_from_slice(tail);
+        self.pos = 0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Moving sum
+// ---------------------------------------------------------------------------
 
 /// Moving sum rolling hash: `P = Σ h(bᵢ) (mod 2^64)`. The cheapest update
 /// but boundary positions correlate with byte values, so its chunk-size
@@ -268,6 +591,47 @@ impl RollingHash for MovingSum {
     fn window(&self) -> usize {
         self.window
     }
+
+    #[inline]
+    fn scan_boundary(&mut self, data: &[u8], mask: u64) -> Option<usize> {
+        scan_boundary_block(self, data, mask)
+    }
+
+    #[inline]
+    fn feed_detect(&mut self, data: &[u8], mask: u64) -> bool {
+        feed_detect_block(self, data, mask)
+    }
+}
+
+impl BlockScan for MovingSum {
+    #[inline]
+    fn tbl_in(&self, b: u8) -> u64 {
+        self.table[b as usize]
+    }
+
+    #[inline]
+    fn tbl_out(&self, b: u8) -> u64 {
+        // The retiring contribution is the plain table value.
+        self.table[b as usize]
+    }
+
+    #[inline]
+    fn combine(hash: u64, out: u64, inc: u64) -> u64 {
+        hash.wrapping_sub(out).wrapping_add(inc)
+    }
+
+    #[inline]
+    fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn commit(&mut self, hash: u64, processed: usize, tail: &[u8]) {
+        self.hash = hash;
+        self.consumed += processed;
+        self.buf.copy_from_slice(tail);
+        self.pos = 0;
+    }
 }
 
 #[cfg(test)]
@@ -280,7 +644,10 @@ mod tests {
         let tail: Vec<u8> = (0..window as u32).map(|i| (i * 31 + 7) as u8).collect();
 
         let mut v1 = 0;
-        for &b in b"some long irrelevant prefix data .......".iter().chain(&tail) {
+        for &b in b"some long irrelevant prefix data ......."
+            .iter()
+            .chain(&tail)
+        {
             v1 = h.roll(b);
         }
 
@@ -358,7 +725,9 @@ mod tests {
             let mut hits = 0usize;
             let mut state: u64 = 42;
             for _ in 0..n {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let byte = (state >> 33) as u8;
                 let v = h.roll(byte);
                 if h.primed() && v & mask == 0 {
@@ -382,5 +751,107 @@ mod tests {
         let t = byte_table();
         assert_ne!(t[0], t[1]);
         assert_ne!(t[0], 0);
+    }
+
+    /// Reference per-byte scan, for comparing against block scans.
+    fn scan_per_byte(h: &mut dyn RollingHash, data: &[u8], mask: u64) -> Option<usize> {
+        for (i, &b) in data.iter().enumerate() {
+            let v = h.roll(b);
+            if h.primed() && v & mask == 0 {
+                return Some(i + 1);
+            }
+        }
+        None
+    }
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn block_scan_matches_per_byte_scan() {
+        let mask = (1u64 << 9) - 1;
+        for kind in [
+            RollingKind::CyclicPoly,
+            RollingKind::RabinKarp,
+            RollingKind::MovingSum,
+        ] {
+            for window in [1usize, 7, 48, 64, 65] {
+                let data = pseudo_random(20_000, window as u64 * 31 + 5);
+                let mut naive = kind.build(window);
+                let mut fast = kind.scanner(window);
+
+                // Drive both through the same sequence of chunk scans.
+                let mut off_naive = 0usize;
+                let mut off_fast = 0usize;
+                loop {
+                    let a = scan_per_byte(naive.as_mut(), &data[off_naive..], mask);
+                    let b = fast.scan_boundary(&data[off_fast..], mask);
+                    assert_eq!(a, b, "{kind:?} w={window} at {off_naive}");
+                    match a {
+                        Some(n) => {
+                            off_naive += n;
+                            off_fast += n;
+                        }
+                        None => break,
+                    }
+                }
+                assert_eq!(naive.consumed(), fast.consumed());
+            }
+        }
+    }
+
+    #[test]
+    fn feed_detect_matches_per_byte_feed() {
+        let mask = (1u64 << 7) - 1;
+        for kind in [
+            RollingKind::CyclicPoly,
+            RollingKind::RabinKarp,
+            RollingKind::MovingSum,
+        ] {
+            let data = pseudo_random(30_000, 77);
+            let mut naive = kind.build(48);
+            let mut fast = kind.scanner(48);
+            // Feed in uneven element-sized pieces.
+            let mut off = 0usize;
+            let mut piece = 1usize;
+            while off < data.len() {
+                let end = (off + piece).min(data.len());
+                let slice = &data[off..end];
+                let mut fired_naive = false;
+                for &b in slice {
+                    let v = naive.roll(b);
+                    fired_naive |= naive.primed() && v & mask == 0;
+                }
+                let fired_fast = fast.feed_detect(slice, mask);
+                assert_eq!(fired_naive, fired_fast, "{kind:?} off={off} len={piece}");
+                off = end;
+                piece = piece % 193 + 17; // vary element sizes
+            }
+        }
+    }
+
+    #[test]
+    fn block_scan_handles_tiny_and_empty_slices() {
+        let mask = (1u64 << 4) - 1;
+        let mut s = RollingKind::CyclicPoly.scanner(48);
+        assert_eq!(s.scan_boundary(&[], mask), None);
+        assert!(!s.feed_detect(&[], mask));
+        // Singles across the warm boundary.
+        let data = pseudo_random(200, 3);
+        let mut naive = RollingKind::CyclicPoly.build(48);
+        for &b in &data {
+            let a = scan_per_byte(naive.as_mut(), std::slice::from_ref(&b), mask);
+            let f = s.scan_boundary(std::slice::from_ref(&b), mask);
+            assert_eq!(a, f);
+        }
     }
 }

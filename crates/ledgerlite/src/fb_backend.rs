@@ -204,10 +204,7 @@ impl StateBackend for ForkBaseBackend {
         };
         let vk = value_key(contract, key);
         let mut out = Vec::new();
-        loop {
-            let Ok(obj) = self.db.get_version(vk.clone(), uid) else {
-                break;
-            };
+        while let Ok(obj) = self.db.get_version(vk.clone(), uid) {
             if let Some(v) = self.read_blob_version(&vk, uid) {
                 out.push(v);
             }

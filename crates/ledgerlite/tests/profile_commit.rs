@@ -67,7 +67,7 @@ fn commit_component_breakdown() {
             db.put_conflict(k, None, Value::Blob(blob)).unwrap();
         }
     }
-    println!("50 value puts: {:?}", t.elapsed() / rounds as u32);
+    println!("50 value puts: {:?}", t.elapsed() / rounds);
 
     // 50-edit batched map update.
     let t = Instant::now();
@@ -82,5 +82,5 @@ fn commit_component_breakdown() {
         let map = map.update(db.store(), db.cfg(), edits).unwrap();
         db.put("m", None, Value::Map(map)).unwrap();
     }
-    println!("50-edit map update: {:?}", t.elapsed() / rounds as u32);
+    println!("50-edit map update: {:?}", t.elapsed() / rounds);
 }

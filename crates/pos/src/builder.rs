@@ -98,15 +98,21 @@ impl<'s> LeafBuilder<'s> {
         }
     }
 
-    /// Append raw bytes to a Blob tree; every byte is an element, so the
-    /// boundary is checked per byte.
+    /// Append raw bytes to a Blob tree; every byte is an element, so a
+    /// boundary can fall on any byte. The chunker scans `data` slice-at-a-
+    /// time ([`LeafChunker::feed_bytewise`]) and reports the exact cut
+    /// position, so the whole input is processed by block instead of one
+    /// `feed` call per byte.
     pub fn append_blob(&mut self, data: &[u8]) {
         debug_assert!(self.ty == TreeType::Blob);
-        for &b in data {
-            self.buf.push(b);
-            self.chunker.feed(std::slice::from_ref(&b));
-            self.count += 1;
-            if self.chunker.boundary() {
+        let mut off = 0usize;
+        while off < data.len() {
+            let hit = self.chunker.feed_bytewise(&data[off..]);
+            let n = hit.unwrap_or(data.len() - off);
+            self.buf.extend_from_slice(&data[off..off + n]);
+            self.count += n as u64;
+            off += n;
+            if hit.is_some() {
                 self.cut();
             }
         }

@@ -1,0 +1,82 @@
+//! Golden root cids captured from the seed implementation, before the
+//! chunking/hashing hot path was devirtualized and block-vectorized.
+//! These pin the whole pipeline end to end: rolling-hash boundaries,
+//! leaf/index encoding, and SHA-256 cids. If any layer's output drifts,
+//! every stored object's identity silently changes — this test makes
+//! that loud.
+
+use forkbase_chunk::MemStore;
+use forkbase_crypto::{ChunkerConfig, RollingKind};
+use forkbase_pos::tree::{Blob, Map};
+
+fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        })
+        .collect()
+}
+
+#[test]
+fn golden_blob_roots() {
+    for (bits, kind, seed, len, expect) in [
+        (
+            12u32,
+            RollingKind::CyclicPoly,
+            1u64,
+            300_000usize,
+            "854984d9858e092db45655d95b768e282d0f0fc536a4c60afc3e8a4fef640b94",
+        ),
+        (
+            8,
+            RollingKind::CyclicPoly,
+            2,
+            100_000,
+            "c93e57fdb75359b7d3722bda073caefe054c53ef87f839c7d358d46ddeb9238c",
+        ),
+        (
+            10,
+            RollingKind::RabinKarp,
+            3,
+            150_000,
+            "2a3233cd8f326e712c7668f9240c46171f4ecdad1edc4a0d2016c64800dd5494",
+        ),
+        (
+            9,
+            RollingKind::MovingSum,
+            4,
+            120_000,
+            "fcd4feffe2911019ae296e9c015a91fa63e1296aa1cae7b28a87d6c6646e2d93",
+        ),
+    ] {
+        let store = MemStore::new();
+        let mut cfg = ChunkerConfig::with_leaf_bits(bits);
+        cfg.rolling = kind;
+        let data = pseudo_random(len, seed);
+        let blob = Blob::build(&store, &cfg, &data);
+        assert_eq!(
+            blob.root().to_hex(),
+            expect,
+            "blob root drifted: bits={bits} kind={kind:?}"
+        );
+    }
+}
+
+#[test]
+fn golden_map_root() {
+    let store = MemStore::new();
+    let cfg = ChunkerConfig::with_leaf_bits(7);
+    let map = Map::build(
+        &store,
+        &cfg,
+        (0..5000).map(|i| (format!("k{i:06}"), format!("v-{i}"))),
+    );
+    assert_eq!(
+        map.root().to_hex(),
+        "cbfa7a412addc8ae8d1985d6fabfb95265fcd761b9ff238ef539cf98d7b5b132"
+    );
+}

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Run the chunking/crypto micro benches through both pipelines (optimized
+# and --features naive-baseline) and assemble BENCH_chunking.json: raw
+# criterion results (ops/s, MB/s per bench) plus derived speedups for the
+# per-phase breakdown (rolling scan, SHA-256, end-to-end chunking and
+# POS-Tree build).
+#
+# Usage: scripts/bench.sh [output.json]
+# Knobs: CRITERION_SAMPLE_MS (per-bench budget, default 300).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_chunking.json}"
+opt_json="$(mktemp)"
+naive_json="$(mktemp)"
+trap 'rm -f "$opt_json" "$naive_json"' EXIT
+
+export CRITERION_SAMPLE_MS="${CRITERION_SAMPLE_MS:-300}"
+
+echo "== optimized pipeline: crypto_micro + pos_micro" >&2
+CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench crypto_micro
+CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench pos_micro
+
+echo "== naive-baseline pipeline: pos_micro (end-to-end A/B)" >&2
+CRITERION_JSON="$naive_json" cargo bench -q -p fb-bench --bench pos_micro \
+    --features forkbase-crypto/naive-baseline
+
+# Median ns/iter for one bench name in one results file.
+median() {
+    grep -F "\"bench\":\"$2\"" "$1" | head -1 \
+        | sed 's/.*"median_ns_per_iter":\([0-9.]*\).*/\1/'
+}
+
+# a/b as a fixed-point ratio, or null when either side is missing.
+ratio() {
+    awk -v a="${1:-0}" -v b="${2:-0}" \
+        'BEGIN { if (a > 0 && b > 0) printf "%.2f", a / b; else printf "null" }'
+}
+
+# Join JSON-object lines into a JSON array body.
+array_body() {
+    awk 'NR > 1 { print prev "," } { prev = $0 } END { if (NR) print prev }' "$1"
+}
+
+scan_naive=$(median "$opt_json" "rolling_scan/dyn_per_byte/CyclicPoly")
+scan_block=$(median "$opt_json" "rolling_scan/block/CyclicPoly")
+split_naive=$(median "$opt_json" "chunker_split/naive_dyn")
+split_block=$(median "$opt_json" "chunker_split/block")
+sha_naive=$(median "$opt_json" "sha256_compress/naive")
+sha_opt=$(median "$opt_json" "sha256_compress/optimized")
+build_naive=$(median "$naive_json" "pos_build_blob_1MB/CyclicPoly")
+build_opt=$(median "$opt_json" "pos_build_blob_1MB/CyclicPoly")
+
+{
+    echo '{'
+    echo '  "bench": "chunking",'
+    echo "  \"date_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"host\": \"$(uname -srm)\","
+    echo "  \"rustc\": \"$(rustc --version)\","
+    echo "  \"sample_ms\": ${CRITERION_SAMPLE_MS},"
+    echo '  "derived_speedups": {'
+    echo "    \"rolling_scan_cyclic_poly\": $(ratio "$scan_naive" "$scan_block"),"
+    echo "    \"chunker_split_end_to_end\": $(ratio "$split_naive" "$split_block"),"
+    echo "    \"sha256_compress\": $(ratio "$sha_naive" "$sha_opt"),"
+    echo "    \"pos_build_blob_1mb_cyclic_poly\": $(ratio "$build_naive" "$build_opt")"
+    echo '  },'
+    echo '  "optimized": ['
+    array_body "$opt_json" | sed 's/^/    /'
+    echo '  ],'
+    echo '  "naive_baseline": ['
+    array_body "$naive_json" | sed 's/^/    /'
+    echo '  ]'
+    echo '}'
+} > "$out"
+
+echo "wrote $out" >&2
+grep -A5 'derived_speedups' "$out" >&2

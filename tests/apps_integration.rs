@@ -32,10 +32,10 @@ fn wiki_backends_agree_under_mixed_workload() {
         redis.edit_page(&title, &edit);
         PageEditGen::apply(&mut reference[p], &edit);
     }
-    for p in 0..10 {
+    for (p, expected) in reference.iter().enumerate() {
         let title = format!("p{p}");
-        assert_eq!(fb.read_latest(&title).expect("fb"), reference[p]);
-        assert_eq!(redis.read_latest(&title).expect("redis"), reference[p]);
+        assert_eq!(&fb.read_latest(&title).expect("fb"), expected);
+        assert_eq!(&redis.read_latest(&title).expect("redis"), expected);
         assert_eq!(fb.revision_count(&title), redis.revision_count(&title));
     }
     assert!(

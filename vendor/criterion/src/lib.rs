@@ -1,0 +1,373 @@
+//! Hermetic shim of [`criterion`](https://docs.rs/criterion): same macro
+//! and builder surface, real wall-clock measurement, no statistics engine.
+//!
+//! Each benchmark is warmed up, then measured over `sample_size` samples
+//! with an adaptive per-sample iteration count, reporting the **median**
+//! sample (robust to scheduler noise). Environment knobs:
+//!
+//! * `CRITERION_SAMPLE_MS` — per-benchmark measurement budget in
+//!   milliseconds (default 300).
+//! * `CRITERION_JSON` — append one JSON line per result to this path, for
+//!   `scripts/bench.sh` to assemble into `BENCH_*.json`.
+
+use std::fmt::Display;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation: converts measured time into MB/s or Melem/s.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier, optionally `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Just the parameter (grouped benches already carry the group name).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Drives the measured closure; handed to `bench_function` callbacks.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<f64>,
+    budget: Duration,
+    sample_size: usize,
+}
+
+impl Bencher<'_> {
+    /// Measure `f`, recording ns/iteration samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up & calibration: find an iteration count that runs long
+        // enough for the clock to resolve (~1/5 of one sample budget).
+        let sample_budget = self.budget.as_secs_f64() / self.sample_size as f64;
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed().as_secs_f64();
+            if elapsed >= sample_budget / 5.0 || iters >= 1 << 40 {
+                break elapsed / iters as f64;
+            }
+            iters = iters.saturating_mul(4);
+        };
+        let iters_per_sample = ((sample_budget / per_iter.max(1e-12)) as u64).max(1);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = t.elapsed().as_secs_f64();
+            self.samples.push(elapsed * 1e9 / iters_per_sample as f64);
+        }
+    }
+
+    /// `iter` variant that times only the closure, rebuilding its input
+    /// each sample via `setup` (setup time excluded).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut f: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size.max(1) {
+            let input = setup();
+            let t = Instant::now();
+            black_box(f(input));
+            self.samples.push(t.elapsed().as_secs_f64() * 1e9);
+        }
+    }
+}
+
+/// Batch sizing hint for `iter_batched`; the shim ignores it.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let ms = std::env::var("CRITERION_SAMPLE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Criterion {
+            sample_size: 10,
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.budget = d;
+        self
+    }
+
+    /// Configure-from-CLI hook; the shim takes configuration from the
+    /// environment instead and returns `self` unchanged.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(self, name, None, f);
+        self
+    }
+
+    /// End-of-run hook (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benches with per-iteration work volume.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Override the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.budget = d;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(self.criterion, &full, self.throughput, f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(self.criterion, &full, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (prints nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(
+    c: &mut Criterion,
+    name: &str,
+    throughput: Option<Throughput>,
+    f: F,
+) {
+    let mut samples = Vec::with_capacity(c.sample_size);
+    let mut b = Bencher {
+        samples: &mut samples,
+        budget: c.budget,
+        sample_size: c.sample_size,
+    };
+    f(&mut b);
+    if samples.is_empty() {
+        // The callback never called iter(); nothing to report.
+        return;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let median_ns = samples[samples.len() / 2];
+    let min_ns = samples[0];
+    let max_ns = samples[samples.len() - 1];
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => (n as f64 / (median_ns * 1e-9)) / 1e6, // MB/s
+        Throughput::Elements(n) => (n as f64 / (median_ns * 1e-9)) / 1e6, // Melem/s
+    });
+    let rate_str = match (throughput, rate) {
+        (Some(Throughput::Bytes(_)), Some(r)) => format!("  {r:10.1} MB/s"),
+        (Some(Throughput::Elements(_)), Some(r)) => format!("  {r:10.2} Melem/s"),
+        _ => String::new(),
+    };
+    println!(
+        "{name:<48} {:>14}/iter  (min {}, max {}){rate_str}",
+        fmt_ns(median_ns),
+        fmt_ns(min_ns),
+        fmt_ns(max_ns),
+    );
+
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        let (unit, per_iter_units) = match throughput {
+            Some(Throughput::Bytes(n)) => ("bytes", n),
+            Some(Throughput::Elements(n)) => ("elements", n),
+            None => ("iters", 1),
+        };
+        let line = format!(
+            concat!(
+                "{{\"bench\":\"{}\",\"median_ns_per_iter\":{:.1},",
+                "\"min_ns_per_iter\":{:.1},\"max_ns_per_iter\":{:.1},",
+                "\"ops_per_sec\":{:.1},\"unit\":\"{}\",\"units_per_iter\":{},",
+                "\"throughput_mb_per_s\":{}}}\n"
+            ),
+            name.replace('"', "'"),
+            median_ns,
+            min_ns,
+            max_ns,
+            1e9 / median_ns,
+            unit,
+            per_iter_units,
+            match (throughput, rate) {
+                (Some(Throughput::Bytes(_)), Some(r)) => format!("{r:.1}"),
+                _ => "null".to_string(),
+            },
+        );
+        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            let _ = file.write_all(line.as_bytes());
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Define a benchmark group function. Both criterion forms are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20));
+        let mut group = c.benchmark_group("shim_smoke");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("sum", |b| {
+            let data = vec![1u8; 1024];
+            b.iter(|| data.iter().map(|&x| x as u64).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,215 @@
+//! Hermetic shim of [`proptest`](https://docs.rs/proptest) providing the
+//! subset this workspace uses: the [`proptest!`] macro, the [`Strategy`]
+//! trait with `prop_map`, regex-like string strategies restricted to
+//! character classes (`"[a-f]{1,6}"`), integer ranges, tuples,
+//! `prop::collection::vec`, `prop::option::of`, [`prop_oneof!`], `Just`,
+//! and `any::<T>()`.
+//!
+//! Differences from the real crate: cases are generated from a
+//! deterministic per-test RNG (seeded from the test name) and failures are
+//! **not shrunk** — the failing case's inputs are printed instead. That
+//! trade keeps the shim small while preserving the regression-catching
+//! power of the property suites.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror of `proptest::prop`.
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        pub use crate::strategy::{vec, SizeRange};
+    }
+    /// Option strategies (`prop::option::of`).
+    pub mod option {
+        pub use crate::strategy::of;
+    }
+}
+
+/// Namespace mirror of `proptest::arbitrary`.
+pub mod arbitrary {
+    pub use crate::strategy::{any, Arbitrary};
+}
+
+/// The glob-imported prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Weighted choice between strategies producing the same value type:
+/// `prop_oneof![3 => a, 1 => b]` picks `a` three times as often as `b`.
+/// Unweighted entries default to weight 1.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Define property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(xs in prop::collection::vec(any::<u8>(), 0..100)) {
+///         prop_assert!(xs.len() < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::from_name(stringify!($name));
+            for __case in 0..__config.cases {
+                // Snapshot the RNG so a failing case's inputs can be
+                // regenerated for the report — passing cases pay no
+                // Debug-formatting cost.
+                let __snapshot = __rng.clone();
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )*
+                let __result = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| { $body })
+                );
+                if let Err(__panic) = __result {
+                    let mut __replay = __snapshot;
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut __replay,
+                        );
+                    )*
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed with inputs: {}",
+                        __case + 1,
+                        __config.cases,
+                        stringify!($name),
+                        format!(
+                            concat!($(stringify!($arg), " = {:?}, ",)* ""),
+                            $(&$arg),*
+                        ),
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn key() -> impl Strategy<Value = String> {
+        "[a-c]{1,4}"
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Op {
+        Put(String, String),
+        Del(String),
+        Nop,
+    }
+
+    fn op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            4 => (key(), "[a-z]{0,6}").prop_map(|(k, v)| Op::Put(k, v)),
+            2 => key().prop_map(Op::Del),
+            1 => Just(Op::Nop),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn strings_match_pattern(s in "[a-f]{1,6}") {
+            prop_assert!((1..=6).contains(&s.len()), "{s}");
+            prop_assert!(s.bytes().all(|b| (b'a'..=b'f').contains(&b)));
+        }
+
+        #[test]
+        fn vec_sizes_in_range(v in prop::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+        }
+
+        #[test]
+        fn tuples_and_options(
+            pair in (any::<u16>(), prop::option::of("[a-z]{1,3}")),
+            n in 2usize..6,
+        ) {
+            let (_x, o) = pair;
+            if let Some(s) = o {
+                prop_assert!(!s.is_empty());
+            }
+            prop_assert!((2..6).contains(&n));
+        }
+
+        #[test]
+        fn oneof_covers_variants(ops in prop::collection::vec(op(), 30..60)) {
+            // With 30+ draws at weight 4:2:1, a Put is virtually certain.
+            prop_assert!(ops.iter().any(|o| matches!(o, Op::Put(..))));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let strat = prop::collection::vec(any::<u64>(), 3..10);
+        let mut r1 = crate::test_runner::TestRng::from_name("t");
+        let mut r2 = crate::test_runner::TestRng::from_name("t");
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+    }
+}

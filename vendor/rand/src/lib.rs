@@ -1,0 +1,282 @@
+//! Hermetic shim of [`rand`](https://docs.rs/rand): the `Rng` /
+//! `SeedableRng` / `StdRng` subset this workspace uses, backed by a
+//! xoshiro256++ generator. Statistical quality is ample for workload
+//! generation; nothing here is cryptographic.
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+/// Types that can be sampled uniformly from their full range.
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Integer types usable as `gen_range` endpoints.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Widen to u64 preserving order via an offset (two's-complement bias
+    /// for signed types).
+    fn to_ordered_u64(self) -> u64;
+    /// Inverse of [`to_ordered_u64`](Self::to_ordered_u64).
+    fn from_ordered_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_ordered_u64(self) -> u64 { self as u64 }
+            fn from_ordered_u64(v: u64) -> $t { v as $t }
+        }
+    )*};
+}
+impl_uniform_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_ordered_u64(self) -> u64 {
+                (self as $u ^ (1 << (<$u>::BITS - 1))) as u64
+            }
+            fn from_ordered_u64(v: u64) -> $t {
+                ((v as $u) ^ (1 << (<$u>::BITS - 1))) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform draw from `[0, n)` by rejection, avoiding modulo bias.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    if n.is_power_of_two() {
+        return rng.next_u64() & (n - 1);
+    }
+    let zone = u64::MAX - (u64::MAX % n) - 1;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % n;
+        }
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let lo = self.start.to_ordered_u64();
+        let hi = self.end.to_ordered_u64();
+        assert!(lo < hi, "cannot sample empty range");
+        T::from_ordered_u64(lo + uniform_below(rng, hi - lo))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let lo = self.start().to_ordered_u64();
+        let hi = self.end().to_ordered_u64();
+        assert!(lo <= hi, "cannot sample empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return T::from_ordered_u64(rng.next_u64());
+        }
+        T::from_ordered_u64(lo + uniform_below(rng, span + 1))
+    }
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::sample_standard(rng) * (self.end - self.start)
+    }
+}
+
+/// The user-facing sampling interface, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draw a value uniformly over the type's full range (`[0, 1)` for
+    /// floats).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Draw uniformly from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generators constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Build from a 64-bit seed (deterministic across platforms).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Namespace mirror of `rand::rngs`.
+pub mod rngs {
+    /// xoshiro256++ — the shim's `StdRng`. Deterministic per seed.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // Expand the seed with splitmix64, as the xoshiro authors
+            // recommend.
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl super::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(0..=5u8);
+            assert!(w <= 5);
+            let s = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        for c in counts {
+            assert!((8000..12000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "{hits}");
+    }
+}
