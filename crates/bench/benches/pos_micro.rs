@@ -11,6 +11,7 @@ use fb_bench::random_bytes;
 use forkbase_chunk::MemStore;
 use forkbase_crypto::{ChunkerConfig, RollingKind};
 use forkbase_pos::tree::{Blob, Map};
+use forkbase_pos::WriteBatch;
 
 fn build_blob(c: &mut Criterion) {
     let data = random_bytes(1024 * 1024, 3);
@@ -97,6 +98,11 @@ fn map_ops(c: &mut Criterion) {
             map.get(&store, format!("k{i:08}").as_bytes())
         });
     });
+    // Write benches cycle their values so steady-state iterations
+    // deduplicate against earlier rounds: chunking/hashing/splicing cost
+    // is all still paid, but the store stops growing — measurements
+    // reflect the write path, not allocator aging under unbounded
+    // retained garbage.
     group.bench_function("put_one", |b| {
         let mut i = 0usize;
         b.iter(|| {
@@ -105,12 +111,38 @@ fn map_ops(c: &mut Criterion) {
                 &store,
                 &cfg,
                 format!("k{:08}", i % 100_000),
-                format!("updated-{i}"),
+                format!("updated-{}", i % 512),
             )
+            .expect("put")
         });
     });
 
-    let edited = map.put(&store, &cfg, "k00050000", "EDITED");
+    // Batched writes: the same per-edit work as `put_one`, amortized into
+    // a single multi-range splice per batch. Keys stride through the map
+    // so edits spread across many leaves (the worst case for reuse).
+    for (label, batch) in [
+        ("put_batch_10", 10usize),
+        ("put_batch_1k", 1_000),
+        ("put_batch_100k", 100_000),
+    ] {
+        group.bench_function(label, |b| {
+            let stride = 100_000 / batch;
+            let mut round = 0usize;
+            b.iter(|| {
+                round += 1;
+                let mut wb = WriteBatch::with_capacity(batch);
+                for j in 0..batch {
+                    wb.put(
+                        format!("k{:08}", (j * stride) % 100_000),
+                        format!("updated-{}-{j}", round % 4),
+                    );
+                }
+                map.apply(&store, &cfg, wb).expect("apply")
+            });
+        });
+    }
+
+    let edited = map.put(&store, &cfg, "k00050000", "EDITED").expect("put");
     group.bench_function("diff_one_change", |b| {
         b.iter(|| {
             forkbase_pos::sorted_diff(

@@ -49,7 +49,10 @@ impl CachingStore {
 
     /// (cache hits, cache misses) since creation.
     pub fn hit_miss(&self) -> (u64, u64) {
-        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Current cached payload bytes.
@@ -189,8 +192,14 @@ mod tests {
         cache.put(chunks[3].clone());
 
         let inner = cache.inner.lock();
-        assert!(inner.map.contains_key(&chunks[0].cid()), "recently used survives");
-        assert!(!inner.map.contains_key(&chunks[1].cid()), "LRU victim evicted");
+        assert!(
+            inner.map.contains_key(&chunks[0].cid()),
+            "recently used survives"
+        );
+        assert!(
+            !inner.map.contains_key(&chunks[1].cid()),
+            "LRU victim evicted"
+        );
     }
 
     #[test]

@@ -84,6 +84,20 @@ impl Chunk {
         Chunk { ty, payload, cid }
     }
 
+    /// Create many chunks of one type at once, computing their independent
+    /// cids in parallel when the batch is large enough to amortize the
+    /// fan-out (see [`forkbase_crypto::hash_tagged_batch`]). Identical to
+    /// mapping [`Chunk::new`] over `payloads`, in order.
+    pub fn new_batch(ty: ChunkType, payloads: Vec<Bytes>) -> Vec<Chunk> {
+        let inputs: Vec<(u8, &[u8])> = payloads.iter().map(|p| (ty as u8, p.as_ref())).collect();
+        let cids = forkbase_crypto::hash_tagged_batch(&inputs);
+        payloads
+            .into_iter()
+            .zip(cids)
+            .map(|(payload, cid)| Chunk { ty, payload, cid })
+            .collect()
+    }
+
     /// The chunk type.
     pub fn ty(&self) -> ChunkType {
         self.ty
@@ -156,6 +170,21 @@ mod tests {
         assert_ne!(a.cid(), c.cid());
         let a2 = Chunk::new(ChunkType::Blob, &b"hello"[..]);
         assert_eq!(a.cid(), a2.cid());
+    }
+
+    #[test]
+    fn new_batch_matches_new() {
+        let payloads: Vec<Bytes> = (0..50)
+            .map(|i| Bytes::from(vec![i as u8; 100 + i * 37]))
+            .collect();
+        let batch = Chunk::new_batch(ChunkType::Map, payloads.clone());
+        assert_eq!(batch.len(), payloads.len());
+        for (chunk, payload) in batch.iter().zip(&payloads) {
+            let solo = Chunk::new(ChunkType::Map, payload.clone());
+            assert_eq!(chunk.cid(), solo.cid());
+            assert_eq!(chunk.payload(), payload);
+            assert!(chunk.verify());
+        }
     }
 
     #[test]

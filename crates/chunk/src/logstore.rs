@@ -76,7 +76,10 @@ impl LogStore {
             if chunk.cid() != stored_cid {
                 break; // corruption: stop at the last intact prefix
             }
-            if index.insert(stored_cid, (pos as u64, plen as u32)).is_none() {
+            if index
+                .insert(stored_cid, (pos as u64, plen as u32))
+                .is_none()
+            {
                 stats.record_store(plen as u64);
             }
             pos += rec_len;
@@ -90,9 +93,10 @@ impl LogStore {
         // Reset request counters: recovery scans are not client traffic.
         let recovered = stats.snapshot();
         let stats = StatCounters::default();
-        stats
-            .stored_chunks
-            .store(recovered.stored_chunks, std::sync::atomic::Ordering::Relaxed);
+        stats.stored_chunks.store(
+            recovered.stored_chunks,
+            std::sync::atomic::Ordering::Relaxed,
+        );
         stats
             .stored_bytes
             .store(recovered.stored_bytes, std::sync::atomic::Ordering::Relaxed);
@@ -247,7 +251,10 @@ mod tests {
         }
         // Simulate a crash mid-append: append garbage half-record.
         {
-            let mut f = OpenOptions::new().append(true).open(&path).expect("open raw");
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .expect("open raw");
             f.write_all(&MAGIC.to_le_bytes()).expect("write");
             f.write_all(&100u32.to_le_bytes()).expect("write");
             f.write_all(&[3, 1, 2, 3]).expect("write"); // truncated payload

@@ -24,7 +24,9 @@ impl MemStore {
     /// Create an empty store.
     pub fn new() -> Self {
         MemStore {
-            shards: (0..SHARDS).map(|_| RwLock::new(FxHashMap::default())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| RwLock::new(FxHashMap::default()))
+                .collect(),
             stats: StatCounters::default(),
         }
     }
@@ -136,8 +138,7 @@ mod tests {
                     for i in 0..500u32 {
                         // Half the keys collide across threads.
                         let v = if i % 2 == 0 { i } else { i + t * 1000 };
-                        let chunk =
-                            Chunk::new(ChunkType::Blob, v.to_le_bytes().to_vec());
+                        let chunk = Chunk::new(ChunkType::Blob, v.to_le_bytes().to_vec());
                         store.put(chunk);
                     }
                 })

@@ -124,7 +124,11 @@ mod tests {
             store.put(Chunk::new(ChunkType::Blob, i.to_le_bytes().to_vec()));
         }
         assert_eq!(store.stats().stored_chunks, 30);
-        let per: u64 = store.per_partition_stats().iter().map(|s| s.stored_chunks).sum();
+        let per: u64 = store
+            .per_partition_stats()
+            .iter()
+            .map(|s| s.stored_chunks)
+            .sum();
         assert_eq!(per, 30);
     }
 }

@@ -69,7 +69,9 @@ impl ChunkStore for ReplicatedStore {
     }
 
     fn contains(&self, cid: &Digest) -> bool {
-        self.replicas_of(cid).iter().any(|&i| self.nodes[i].contains(cid))
+        self.replicas_of(cid)
+            .iter()
+            .any(|&i| self.nodes[i].contains(cid))
     }
 
     fn stats(&self) -> StoreStats {

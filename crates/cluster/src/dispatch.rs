@@ -233,7 +233,9 @@ mod tests {
                 std::thread::spawn(move || {
                     for i in 0..50 {
                         let key = format!("t{t}-k{i}");
-                        cluster.put_blob(key.clone(), &payload(t * 100 + i, 2000)).expect("put");
+                        cluster
+                            .put_blob(key.clone(), &payload(t * 100 + i, 2000))
+                            .expect("put");
                         assert!(cluster.get_blob(key).is_ok());
                     }
                 })

@@ -28,9 +28,7 @@ impl Servlet {
         let local = pool[id].clone();
         let store: Arc<dyn ChunkStore> = match partitioning {
             Partitioning::OneLayer => local.clone() as Arc<dyn ChunkStore>,
-            Partitioning::TwoLayer => {
-                Arc::new(TwoLayerStore::new(local.clone(), pool.to_vec()))
-            }
+            Partitioning::TwoLayer => Arc::new(TwoLayerStore::new(local.clone(), pool.to_vec())),
         };
         Servlet {
             id,

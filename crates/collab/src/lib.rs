@@ -54,7 +54,12 @@ pub struct Dataset {
 
 impl Dataset {
     /// Import records as version 0 on the default branch.
-    pub fn import(db: &ForkBase, name: &str, layout: Layout, records: &[Record]) -> Result<Dataset> {
+    pub fn import(
+        db: &ForkBase,
+        name: &str,
+        layout: Layout,
+        records: &[Record],
+    ) -> Result<Dataset> {
         let ds = Dataset {
             key: Bytes::from(name.to_string()),
             layout,
@@ -123,9 +128,7 @@ impl Dataset {
                 let edits = mods
                     .iter()
                     .map(|(_, rec)| (Bytes::from(rec.pk.clone()), Some(rec.encode())));
-                let map = map
-                    .update(db.store(), db.cfg(), edits)
-                    .ok_or_else(|| FbError::Corrupt("map update".into()))?;
+                let map = map.update(db.store(), db.cfg(), edits)?;
                 Value::Map(map)
             }
             Layout::Column => {
@@ -148,9 +151,7 @@ impl Dataset {
                         Some(Bytes::copy_from_slice(list.root().as_bytes())),
                     ));
                 }
-                let map = map
-                    .update(db.store(), db.cfg(), col_edits)
-                    .ok_or_else(|| FbError::Corrupt("column map update".into()))?;
+                let map = map.update(db.store(), db.cfg(), col_edits)?;
                 Value::Map(map)
             }
         };
@@ -218,7 +219,11 @@ impl Dataset {
     /// Count differing records between two committed versions (row layout
     /// only — the layout the paper's Fig. 17(a) diff experiment uses).
     pub fn diff_versions(&self, db: &ForkBase, a: Digest, b: Digest) -> Result<usize> {
-        assert_eq!(self.layout, Layout::Row, "diff is defined on the row layout");
+        assert_eq!(
+            self.layout,
+            Layout::Row,
+            "diff is defined on the row layout"
+        );
         let root_of = |uid: Digest| -> Result<Digest> {
             let obj = db.get_version(self.key.clone(), uid)?;
             let map = obj.value(db.store())?.as_map()?;
@@ -337,7 +342,10 @@ mod tests {
 
         // New values visible, untouched records unchanged.
         let (idx, rec) = &mods[0];
-        let got = ds.get_record(&db, &rec.pk, *idx).expect("io").expect("present");
+        let got = ds
+            .get_record(&db, &rec.pk, *idx)
+            .expect("io")
+            .expect("present");
         assert_eq!(&got, rec);
         let untouched = (0..1000)
             .find(|i| mods.iter().all(|(mi, _)| mi != i))
@@ -356,7 +364,10 @@ mod tests {
         let mods = gen.modifications(300, 5);
         ds.update(&db, &mods).expect("update");
         for (idx, rec) in &mods {
-            let got = ds.get_record(&db, &rec.pk, *idx).expect("io").expect("present");
+            let got = ds
+                .get_record(&db, &rec.pk, *idx)
+                .expect("io")
+                .expect("present");
             assert_eq!(&got, rec);
         }
     }
@@ -418,7 +429,8 @@ mod tests {
             .iter()
             .map(|(_, rec)| (Bytes::from(rec.pk.clone()), Some(rec.encode())));
         let map = map.update(db.store(), db.cfg(), edits).expect("update");
-        db.put("sales", Some("cleaning"), Value::Map(map)).expect("put");
+        db.put("sales", Some("cleaning"), Value::Map(map))
+            .expect("put");
 
         let main_sum = ds.aggregate_sum(&db, "price").expect("sum");
         let mut g2 = DatasetGen::new(42);

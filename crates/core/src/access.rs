@@ -64,13 +64,7 @@ impl AccessControl {
 
     /// Grant `perm` to `user` for the given key/branch patterns (`None` =
     /// any).
-    pub fn allow(
-        &mut self,
-        user: &str,
-        key: Option<&str>,
-        branch: Option<&str>,
-        perm: Permission,
-    ) {
+    pub fn allow(&mut self, user: &str, key: Option<&str>, branch: Option<&str>, perm: Permission) {
         self.rules.entry(user.to_string()).or_default().push(Rule {
             key: key.map(str::to_string),
             branch: branch.map(str::to_string),
@@ -80,13 +74,7 @@ impl AccessControl {
     }
 
     /// Deny `perm` to `user` for the given key/branch patterns.
-    pub fn deny(
-        &mut self,
-        user: &str,
-        key: Option<&str>,
-        branch: Option<&str>,
-        perm: Permission,
-    ) {
+    pub fn deny(&mut self, user: &str, key: Option<&str>, branch: Option<&str>, perm: Permission) {
         self.rules.entry(user.to_string()).or_default().push(Rule {
             key: key.map(str::to_string),
             branch: branch.map(str::to_string),

@@ -93,10 +93,9 @@ impl BranchSnapshot {
             }
             let mut tagged = Vec::with_capacity(n_tagged);
             for _ in 0..n_tagged {
-                let name = String::from_utf8(
-                    get_bytes(payload, &mut pos).ok_or_else(corrupt)?.to_vec(),
-                )
-                .map_err(|_| corrupt())?;
+                let name =
+                    String::from_utf8(get_bytes(payload, &mut pos).ok_or_else(corrupt)?.to_vec())
+                        .map_err(|_| corrupt())?;
                 let head = read_digest(payload, &mut pos)?;
                 tagged.push((name, head));
             }

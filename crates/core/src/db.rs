@@ -19,9 +19,7 @@ use bytes::Bytes;
 use forkbase_chunk::{ChunkStore, MemStore};
 use forkbase_crypto::fx::FxHashMap;
 use forkbase_crypto::{ChunkerConfig, Digest};
-use forkbase_pos::{
-    builder, merge3_blob, merge3_sorted, Blob, List, Map, Resolver, Set, TreeType,
-};
+use forkbase_pos::{builder, merge3_blob, merge3_sorted, Blob, List, Map, Resolver, Set, TreeType};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -137,6 +135,98 @@ impl ForkBase {
         table.record_version(uid, &bases);
         table.set_head(branch, uid);
         Ok(uid)
+    }
+
+    /// Batched M3: write one new version for **each** of `entries` under a
+    /// single branch-table lock hold. The batch is transactional with
+    /// respect to branch heads: every entry is validated first (a missing
+    /// non-default branch fails the whole batch), and readers observe
+    /// either none or all of the head advances. Returns the new uids in
+    /// entry order; duplicate keys chain onto the version written earlier
+    /// in the same batch.
+    pub fn put_many<I, K>(&self, branch: Option<&str>, entries: I) -> Result<Vec<Digest>>
+    where
+        I: IntoIterator<Item = (K, Value)>,
+        K: Into<Bytes>,
+    {
+        let branch = branch.unwrap_or(DEFAULT_BRANCH);
+        let entries: Vec<(Bytes, Value)> =
+            entries.into_iter().map(|(k, v)| (k.into(), v)).collect();
+        let mut tables = self.branches.write();
+        // Validate every key before any head moves.
+        for (key, _) in &entries {
+            let exists = tables
+                .get(key)
+                .map(|t| t.has_branch(branch))
+                .unwrap_or(false);
+            if !exists && branch != DEFAULT_BRANCH {
+                return Err(FbError::BranchNotFound(branch.to_string()));
+            }
+        }
+        let mut uids = Vec::with_capacity(entries.len());
+        for (key, value) in entries {
+            let table = tables.entry(key.clone()).or_default();
+            let bases: Vec<Digest> = table.head(branch).into_iter().collect();
+            let uid = self.persist_object(&key, &value, &bases, Bytes::new())?;
+            table.record_version(uid, &bases);
+            table.set_head(branch, uid);
+            uids.push(uid);
+        }
+        Ok(uids)
+    }
+
+    /// Transactional Map batch commit: load the branch head of `key`
+    /// (which must hold a Map), apply `batch` as one multi-range splice,
+    /// and commit the result as a new version. A missing key starts from
+    /// an empty map on the default branch.
+    ///
+    /// The splice (chunking + hashing + chunk-store writes) runs
+    /// **outside** the branch-table lock — a large batch must not stall
+    /// readers of unrelated keys. Publication is optimistic: the head is
+    /// re-checked under the write lock, and if a concurrent writer moved
+    /// it the splice is redone against the new head. Chunks written by an
+    /// abandoned attempt deduplicate or become garbage for a later
+    /// [`gc`](crate::gc) pass, exactly like an abandoned
+    /// fork-on-conflict lineage.
+    pub fn commit_map_batch(
+        &self,
+        key: impl Into<Bytes>,
+        branch: Option<&str>,
+        batch: forkbase_pos::WriteBatch,
+    ) -> Result<Digest> {
+        let key = key.into();
+        let branch = branch.unwrap_or(DEFAULT_BRANCH);
+        loop {
+            let head = {
+                let tables = self.branches.read();
+                tables.get(&key).and_then(|t| t.head(branch))
+            };
+            if head.is_none() && branch != DEFAULT_BRANCH {
+                return Err(FbError::BranchNotFound(branch.to_string()));
+            }
+            let map = match head {
+                Some(uid) => {
+                    let obj = FObject::load(self.store(), uid)?;
+                    obj.value(self.store())?.as_map()?
+                }
+                None => Map::build(
+                    self.store(),
+                    &self.cfg,
+                    std::iter::empty::<(Bytes, Bytes)>(),
+                ),
+            };
+            let map = map.apply(self.store(), &self.cfg, batch.clone())?;
+            let bases: Vec<Digest> = head.into_iter().collect();
+            let uid = self.persist_object(&key, &Value::Map(map), &bases, Bytes::new())?;
+            let mut tables = self.branches.write();
+            let table = tables.entry(key.clone()).or_default();
+            if table.head(branch) != head {
+                continue; // lost the race — redo against the new head
+            }
+            table.record_version(uid, &bases);
+            table.set_head(branch, uid);
+            return Ok(uid);
+        }
     }
 
     /// Guarded put (§4.5.1): succeeds only if the branch head still equals
@@ -317,12 +407,7 @@ impl ForkBase {
     /// M12: create a tagged branch at a (possibly non-head) version,
     /// making history modifiable (§3.3: "to change a historical version, a
     /// new branch can be created at that version").
-    pub fn fork_version(
-        &self,
-        key: impl Into<Bytes>,
-        uid: Digest,
-        new_branch: &str,
-    ) -> Result<()> {
+    pub fn fork_version(&self, key: impl Into<Bytes>, uid: Digest, new_branch: &str) -> Result<()> {
         let key = key.into();
         let obj = FObject::load(self.store(), uid)?;
         if obj.key != key {
@@ -422,13 +507,7 @@ impl ForkBase {
         let tables = self.branches.read();
         let mut entries: Vec<_> = tables
             .iter()
-            .map(|(key, table)| {
-                (
-                    key.clone(),
-                    table.tagged_branches(),
-                    table.untagged_heads(),
-                )
-            })
+            .map(|(key, table)| (key.clone(), table.tagged_branches(), table.untagged_heads()))
             .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         BranchSnapshot { entries }
@@ -595,9 +674,19 @@ impl ForkBase {
                 };
                 let ours_root = ours_v.tree_root().expect("chunkable").1;
                 let theirs_root = theirs_v.tree_root().expect("chunkable").1;
-                let out =
-                    merge3_sorted(store, &self.cfg, ty, base_root, ours_root, theirs_root, resolver)
-                        .map_err(|c| FbError::MergeConflict(c.len()))?;
+                let out = merge3_sorted(
+                    store,
+                    &self.cfg,
+                    ty,
+                    base_root,
+                    ours_root,
+                    theirs_root,
+                    resolver,
+                )
+                .map_err(|e| match e {
+                    forkbase_pos::MergeError::Conflicts(c) => FbError::MergeConflict(c.len()),
+                    forkbase_pos::MergeError::Corrupt(t) => FbError::from(t),
+                })?;
                 Ok(if ours.vtype == ValueType::Map {
                     Value::Map(Map::from_root(out.root))
                 } else {
@@ -659,7 +748,10 @@ mod tests {
         let uid = db.put("k", None, Value::String("v1".into())).expect("put");
         let obj = db.get("k", None).expect("get");
         assert_eq!(obj.uid(), uid);
-        assert_eq!(obj.value(db.store()).expect("value"), Value::String("v1".into()));
+        assert_eq!(
+            obj.value(db.store()).expect("value"),
+            Value::String("v1".into())
+        );
         assert_eq!(obj.depth, 0);
         assert!(obj.bases.is_empty());
     }
@@ -683,23 +775,24 @@ mod tests {
         for i in 0..20 {
             db.put("counter", None, Value::Int(i)).expect("put");
         }
-        assert_eq!(
-            db.get_value("counter", None).expect("get"),
-            Value::Int(19)
-        );
+        assert_eq!(db.get_value("counter", None).expect("get"), Value::Int(19));
     }
 
     #[test]
     fn missing_key_and_branch_errors() {
         let db = ForkBase::in_memory();
-        assert_eq!(db.get("nope", None).expect_err("missing"), FbError::KeyNotFound);
+        assert_eq!(
+            db.get("nope", None).expect_err("missing"),
+            FbError::KeyNotFound
+        );
         db.put("k", None, Value::Int(1)).expect("put");
         assert!(matches!(
             db.get("k", Some("feature")).expect_err("missing branch"),
             FbError::BranchNotFound(_)
         ));
         assert!(matches!(
-            db.put("k", Some("feature"), Value::Int(2)).expect_err("missing branch"),
+            db.put("k", Some("feature"), Value::Int(2))
+                .expect_err("missing branch"),
             FbError::BranchNotFound(_)
         ));
     }
@@ -707,7 +800,8 @@ mod tests {
     #[test]
     fn fork_on_demand_isolates_branches() {
         let db = ForkBase::in_memory();
-        db.put("k", None, Value::String("base".into())).expect("put");
+        db.put("k", None, Value::String("base".into()))
+            .expect("put");
         db.fork("k", DEFAULT_BRANCH, "feature").expect("fork");
         db.put("k", Some("feature"), Value::String("feature work".into()))
             .expect("put");
@@ -745,7 +839,10 @@ mod tests {
         assert_eq!(db.get_value("k", Some("old")).expect("get"), Value::Int(0));
         // The historical branch is modifiable.
         db.put("k", Some("old"), Value::Int(100)).expect("put");
-        assert_eq!(db.get_value("k", Some("old")).expect("get"), Value::Int(100));
+        assert_eq!(
+            db.get_value("k", Some("old")).expect("get"),
+            Value::Int(100)
+        );
         assert_eq!(db.get_value("k", None).expect("get"), Value::Int(1));
     }
 
@@ -780,7 +877,8 @@ mod tests {
             }
         );
         // With the current head it succeeds.
-        db.put_guarded("k", None, Value::Int(2), v1).expect("guarded put");
+        db.put_guarded("k", None, Value::Int(2), v1)
+            .expect("guarded put");
         assert_eq!(db.get_value("k", None).expect("get"), Value::Int(2));
     }
 
@@ -803,7 +901,11 @@ mod tests {
             .expect("merge");
         assert_eq!(db.list_untagged_branches("k").expect("list"), vec![merged]);
         let obj = db.get_version("k", merged).expect("get");
-        assert_eq!(obj.value(db.store()).expect("value"), Value::Int(3), "0+1+2 deltas");
+        assert_eq!(
+            obj.value(db.store()).expect("value"),
+            Value::Int(3),
+            "0+1+2 deltas"
+        );
         assert_eq!(obj.bases.len(), 2);
     }
 
@@ -817,12 +919,16 @@ mod tests {
         // master edits key a; team-x edits key b.
         let head = db.get("cfg", None).expect("get");
         let m1 = head.value(db.store()).expect("v").as_map().expect("map");
-        let m1 = m1.put(db.store(), db.cfg(), "a", "master-edit");
+        let m1 = m1
+            .put(db.store(), db.cfg(), "a", "master-edit")
+            .expect("put");
         db.put("cfg", None, Value::Map(m1)).expect("put");
 
         let head = db.get("cfg", Some("team-x")).expect("get");
         let m2 = head.value(db.store()).expect("v").as_map().expect("map");
-        let m2 = m2.put(db.store(), db.cfg(), "b", "teamx-edit");
+        let m2 = m2
+            .put(db.store(), db.cfg(), "b", "teamx-edit")
+            .expect("put");
         db.put("cfg", Some("team-x"), Value::Map(m2)).expect("put");
 
         let merged_uid = db
@@ -831,8 +937,14 @@ mod tests {
         let obj = db.get("cfg", None).expect("get");
         assert_eq!(obj.uid(), merged_uid);
         let map = obj.value(db.store()).expect("v").as_map().expect("map");
-        assert_eq!(map.get(db.store(), b"a").expect("a").as_ref(), b"master-edit");
-        assert_eq!(map.get(db.store(), b"b").expect("b").as_ref(), b"teamx-edit");
+        assert_eq!(
+            map.get(db.store(), b"a").expect("a").as_ref(),
+            b"master-edit"
+        );
+        assert_eq!(
+            map.get(db.store(), b"b").expect("b").as_ref(),
+            b"teamx-edit"
+        );
         // Reference branch head unchanged (M5: only the first branch's
         // head is updated).
         let ref_obj = db.get("cfg", Some("team-x")).expect("get");
@@ -842,10 +954,13 @@ mod tests {
     #[test]
     fn merge_conflict_surfaces() {
         let db = ForkBase::in_memory();
-        db.put("k", None, Value::String("base".into())).expect("put");
+        db.put("k", None, Value::String("base".into()))
+            .expect("put");
         db.fork("k", DEFAULT_BRANCH, "other").expect("fork");
-        db.put("k", None, Value::String("ours".into())).expect("put");
-        db.put("k", Some("other"), Value::String("theirs".into())).expect("put");
+        db.put("k", None, Value::String("ours".into()))
+            .expect("put");
+        db.put("k", Some("other"), Value::String("theirs".into()))
+            .expect("put");
         let err = db
             .merge_branches("k", DEFAULT_BRANCH, "other", &Resolver::Fail)
             .expect_err("conflict");
@@ -898,10 +1013,7 @@ mod tests {
         db.fork("k", DEFAULT_BRANCH, "b").expect("fork");
         let a_head = db.put("k", None, Value::Int(2)).expect("put");
         let b_head = db.put("k", Some("b"), Value::Int(3)).expect("put");
-        assert_eq!(
-            db.lca("k", a_head, b_head).expect("lca"),
-            Some(fork_point)
-        );
+        assert_eq!(db.lca("k", a_head, b_head).expect("lca"), Some(fork_point));
     }
 
     #[test]
@@ -922,6 +1034,101 @@ mod tests {
     }
 
     #[test]
+    fn put_many_advances_all_heads_atomically() {
+        let db = ForkBase::in_memory();
+        let uids = db
+            .put_many(None, (0..10).map(|i| (format!("key-{i}"), Value::Int(i))))
+            .expect("put_many");
+        assert_eq!(uids.len(), 10);
+        for i in 0..10 {
+            assert_eq!(
+                db.get_value(format!("key-{i}"), None).expect("get"),
+                Value::Int(i)
+            );
+        }
+        // Duplicate keys in one batch chain versions.
+        let uids = db
+            .put_many(None, [("dup", Value::Int(1)), ("dup", Value::Int(2))])
+            .expect("put_many");
+        let obj = db.get("dup", None).expect("get");
+        assert_eq!(obj.uid(), uids[1]);
+        assert_eq!(obj.bases, vec![uids[0]]);
+        assert_eq!(db.get_value("dup", None).expect("get"), Value::Int(2));
+    }
+
+    #[test]
+    fn put_many_missing_branch_moves_no_heads() {
+        let db = ForkBase::in_memory();
+        db.put("a", None, Value::Int(0)).expect("put");
+        let err = db
+            .put_many(
+                Some("nope"),
+                [("a", Value::Int(1)), ("never-written", Value::Int(2))],
+            )
+            .expect_err("missing branch");
+        assert!(matches!(err, FbError::BranchNotFound(_)));
+        assert_eq!(db.get_value("a", None).expect("get"), Value::Int(0));
+        assert_eq!(
+            db.get("never-written", None).expect_err("untouched"),
+            FbError::KeyNotFound
+        );
+    }
+
+    #[test]
+    fn commit_map_batch_single_splice_version() {
+        let db = ForkBase::in_memory();
+        let m = db.new_map([("a", "1"), ("b", "2")]);
+        db.put("cfg", None, Value::Map(m)).expect("put");
+
+        let mut wb = forkbase_pos::WriteBatch::new();
+        wb.put("c", "3").delete("a").put("b", "2-edited");
+        let uid = db.commit_map_batch("cfg", None, wb).expect("commit");
+
+        let obj = db.get("cfg", None).expect("get");
+        assert_eq!(obj.uid(), uid);
+        assert_eq!(obj.depth, 1, "one committed version for the whole batch");
+        let map = obj.value(db.store()).expect("v").as_map().expect("map");
+        assert!(map.get(db.store(), b"a").is_none());
+        assert_eq!(map.get(db.store(), b"b").expect("b").as_ref(), b"2-edited");
+        assert_eq!(map.get(db.store(), b"c").expect("c").as_ref(), b"3");
+    }
+
+    #[test]
+    fn commit_map_batch_creates_key_on_default_branch() {
+        let db = ForkBase::in_memory();
+        let mut wb = forkbase_pos::WriteBatch::new();
+        wb.put("x", "1");
+        db.commit_map_batch("fresh", None, wb).expect("commit");
+        let map = db
+            .get_value("fresh", None)
+            .expect("get")
+            .as_map()
+            .expect("map");
+        assert_eq!(map.get(db.store(), b"x").expect("x").as_ref(), b"1");
+
+        let mut wb = forkbase_pos::WriteBatch::new();
+        wb.put("y", "2");
+        assert!(matches!(
+            db.commit_map_batch("fresh", Some("ghost"), wb)
+                .expect_err("branch"),
+            FbError::BranchNotFound(_)
+        ));
+    }
+
+    #[test]
+    fn commit_map_batch_rejects_non_map() {
+        let db = ForkBase::in_memory();
+        db.put("s", None, Value::String("text".into()))
+            .expect("put");
+        let mut wb = forkbase_pos::WriteBatch::new();
+        wb.put("k", "v");
+        assert!(matches!(
+            db.commit_map_batch("s", None, wb).expect_err("type"),
+            FbError::TypeMismatch { .. }
+        ));
+    }
+
+    #[test]
     fn batched_updates_retain_final_version_only() {
         // §3.5: "when multiple updates of the same object are batched,
         // ForkBase only retains the final version" — modelled by clients
@@ -934,8 +1141,12 @@ mod tests {
         let obj = db.get("doc", None).expect("get");
         assert_eq!(obj.depth, 0, "one committed version");
         assert_eq!(
-            obj.value(db.store()).expect("v").as_blob().expect("b")
-                .read_all(db.store()).expect("read"),
+            obj.value(db.store())
+                .expect("v")
+                .as_blob()
+                .expect("b")
+                .read_all(db.store())
+                .expect("read"),
             b"start middle end"
         );
     }

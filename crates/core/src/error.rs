@@ -62,5 +62,11 @@ impl fmt::Display for FbError {
 
 impl std::error::Error for FbError {}
 
+impl From<forkbase_pos::TreeError> for FbError {
+    fn from(e: forkbase_pos::TreeError) -> FbError {
+        FbError::Corrupt(e.to_string())
+    }
+}
+
 /// Result alias for engine operations.
 pub type Result<T> = std::result::Result<T, FbError>;

@@ -114,10 +114,7 @@ pub fn compact_into(db: &ForkBase, target: &dyn ChunkStore) -> Result<GcReport> 
         ..Default::default()
     };
     for cid in &live {
-        let chunk = db
-            .store()
-            .get(cid)
-            .ok_or(FbError::VersionNotFound(*cid))?;
+        let chunk = db.store().get(cid).ok_or(FbError::VersionNotFound(*cid))?;
         report.live_chunks += 1;
         report.live_bytes += chunk.len() as u64;
         target.put(chunk);
@@ -169,11 +166,13 @@ mod tests {
     #[test]
     fn removed_branch_versions_are_garbage() {
         let db = ForkBase::in_memory();
-        db.put("k", None, Value::String("base".into())).expect("put");
+        db.put("k", None, Value::String("base".into()))
+            .expect("put");
         db.fork("k", DEFAULT_BRANCH, "scratch").expect("fork");
         // Exclusive work on the scratch branch: a large blob.
         let blob = db.new_blob(&blob_bytes(100_000, 2));
-        db.put("k", Some("scratch"), Value::Blob(blob)).expect("put");
+        db.put("k", Some("scratch"), Value::Blob(blob))
+            .expect("put");
         db.remove_branch("k", "scratch").expect("remove");
 
         let target = MemStore::new();
@@ -195,7 +194,8 @@ mod tests {
         let v0 = db.put("k", None, Value::Int(0)).expect("put");
         db.fork("k", DEFAULT_BRANCH, "b").expect("fork");
         db.put("k", Some("b"), Value::Int(1)).expect("put");
-        db.remove_branch("k", DEFAULT_BRANCH).expect("remove master");
+        db.remove_branch("k", DEFAULT_BRANCH)
+            .expect("remove master");
 
         let target = MemStore::new();
         compact_into(&db, &target).expect("gc");
@@ -238,7 +238,8 @@ mod tests {
     fn compacted_store_round_trips_through_restore() {
         let db = ForkBase::in_memory();
         let data = blob_bytes(60_000, 5);
-        db.put("doc", None, Value::Blob(db.new_blob(&data))).expect("put");
+        db.put("doc", None, Value::Blob(db.new_blob(&data)))
+            .expect("put");
         db.fork("doc", DEFAULT_BRANCH, "draft").expect("fork");
         db.put("doc", Some("draft"), Value::String("draft note".into()))
             .expect("put");
@@ -247,17 +248,13 @@ mod tests {
         // Compact, then re-checkpoint into the compacted store and reopen.
         let target = Arc::new(MemStore::new());
         compact_into(&db, target.as_ref()).expect("gc");
-        let db2 = ForkBase::restore(
-            target.clone(),
-            db.cfg().clone(),
-            {
-                // The checkpoint must live in the *target* store.
-                let chunk = db.snapshot_branches().to_chunk();
-                let cid = chunk.cid();
-                target.put(chunk);
-                cid
-            },
-        )
+        let db2 = ForkBase::restore(target.clone(), db.cfg().clone(), {
+            // The checkpoint must live in the *target* store.
+            let chunk = db.snapshot_branches().to_chunk();
+            let cid = chunk.cid();
+            target.put(chunk);
+            cid
+        })
         .expect("restore");
 
         let blob = db2

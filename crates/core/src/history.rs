@@ -176,10 +176,16 @@ mod tests {
         let left2 = mk(101, vec![left], 4);
         let right = mk(200, vec![fork_point], 3);
 
-        assert_eq!(lca(store.as_ref(), left2, right).expect("lca"), Some(fork_point));
+        assert_eq!(
+            lca(store.as_ref(), left2, right).expect("lca"),
+            Some(fork_point)
+        );
         assert_eq!(lca(store.as_ref(), left, left).expect("lca"), Some(left));
         // Ancestor relationship: LCA is the ancestor itself.
-        assert_eq!(lca(store.as_ref(), left2, fork_point).expect("lca"), Some(fork_point));
+        assert_eq!(
+            lca(store.as_ref(), left2, fork_point).expect("lca"),
+            Some(fork_point)
+        );
     }
 
     #[test]

@@ -58,8 +58,8 @@ pub use fobject::FObject;
 pub use gc::{compact_into, GcReport};
 pub use history::TrackedVersion;
 pub use value::{Value, ValueType};
-pub use verify::{verify_object, verify_history, TamperEvidence};
+pub use verify::{verify_history, verify_object, TamperEvidence};
 
 pub use forkbase_chunk::{ChunkStore, MemStore};
 pub use forkbase_crypto::{ChunkerConfig, Digest};
-pub use forkbase_pos::{Blob, List, Map, Resolver, Set};
+pub use forkbase_pos::{Blob, List, Map, Resolver, Set, TreeError, WriteBatch};

@@ -135,9 +135,9 @@ impl Value {
         let corrupt = || FbError::Corrupt(format!("bad {} payload", vtype.name()));
         Ok(match vtype {
             ValueType::Bool => Value::Bool(*data.first().ok_or_else(corrupt)? != 0),
-            ValueType::Int => Value::Int(i64::from_le_bytes(
-                data.try_into().map_err(|_| corrupt())?,
-            )),
+            ValueType::Int => {
+                Value::Int(i64::from_le_bytes(data.try_into().map_err(|_| corrupt())?))
+            }
             ValueType::String => {
                 Value::String(String::from_utf8(data.to_vec()).map_err(|_| corrupt())?)
             }

@@ -25,10 +25,7 @@ pub struct TamperEvidence {
 
 /// Fetch a chunk and check its content hashes to the cid it was requested
 /// by.
-fn fetch_verified(
-    store: &dyn ChunkStore,
-    cid: Digest,
-) -> Result<forkbase_chunk::Chunk> {
+fn fetch_verified(store: &dyn ChunkStore, cid: Digest) -> Result<forkbase_chunk::Chunk> {
     let chunk = store.get(&cid).ok_or(FbError::VersionNotFound(cid))?;
     // `Chunk` recomputes its cid from content, so inequality here means
     // the store returned substituted bytes.
@@ -214,8 +211,12 @@ mod tests {
         let evil = Arc::new(EvilStore::new(mem.clone()));
         let db = ForkBase::with_store(evil.clone() as Arc<dyn ChunkStore>, Default::default());
 
-        let v0 = db.put("k", None, Value::String("genesis".into())).expect("put");
-        let v1 = db.put("k", None, Value::String("second".into())).expect("put");
+        let v0 = db
+            .put("k", None, Value::String("genesis".into()))
+            .expect("put");
+        let v1 = db
+            .put("k", None, Value::String("second".into()))
+            .expect("put");
         assert!(verify_history(db.store(), v1).is_ok());
 
         // The store rewrites history: serves a forged genesis version.
@@ -250,7 +251,12 @@ mod tests {
         db.put("k", None, Value::Int(1)).expect("put");
         db.put("k", Some("b"), Value::Int(2)).expect("put");
         let merged = db
-            .merge_branches("k", crate::db::DEFAULT_BRANCH, "b", &forkbase_pos::Resolver::TakeOurs)
+            .merge_branches(
+                "k",
+                crate::db::DEFAULT_BRANCH,
+                "b",
+                &forkbase_pos::Resolver::TakeOurs,
+            )
             .expect("merge");
         let report = verify_history(db.store(), merged).expect("verify");
         assert_eq!(report.verified_versions, 4, "genesis + 2 branches + merge");

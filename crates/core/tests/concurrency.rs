@@ -124,7 +124,8 @@ fn concurrent_foc_puts_all_become_heads() {
 #[test]
 fn concurrent_forks_and_puts_across_branches() {
     with_deadline(120, |db| {
-        db.put("doc", None, Value::String("base".into())).expect("put");
+        db.put("doc", None, Value::String("base".into()))
+            .expect("put");
         let handles: Vec<_> = (0..8)
             .map(|t| {
                 let db = Arc::clone(&db);
@@ -153,7 +154,8 @@ fn concurrent_forks_and_puts_across_branches() {
         );
         for t in 0..8 {
             assert_eq!(
-                db.get_value("doc", Some(&format!("user-{t}"))).expect("get"),
+                db.get_value("doc", Some(&format!("user-{t}")))
+                    .expect("get"),
                 Value::String(format!("u{t} v19"))
             );
         }

@@ -26,6 +26,7 @@ pub mod chunker;
 pub mod digest;
 pub mod fixed;
 pub mod fx;
+pub mod parallel;
 pub mod rolling;
 pub mod sha256;
 
@@ -33,6 +34,7 @@ pub use blake2::{blake2b_256, blake2b_256_parts, Blake2b, Blake2b256};
 pub use chunker::{split_positions, split_positions_reference, ChunkerConfig, LeafChunker};
 pub use digest::Digest;
 pub use fixed::{dedup_fixed, dedup_pattern, fixed_split_positions, DedupStats};
+pub use parallel::hash_tagged_batch;
 pub use rolling::{CyclicPoly, MovingSum, RabinKarp, RollingHash, RollingKind, RollingScanner};
 pub use sha256::{sha256, sha256_naive, Sha256, Sha256Naive};
 

@@ -20,7 +20,7 @@
 use crate::backend::StateBackend;
 use crate::types::Block;
 use bytes::Bytes;
-use forkbase_core::{FbError, ForkBase, Value};
+use forkbase_core::{FbError, ForkBase, Value, WriteBatch};
 use forkbase_crypto::fx::FxHashMap;
 use forkbase_crypto::Digest;
 use std::collections::BTreeMap;
@@ -118,18 +118,24 @@ impl StateBackend for ForkBaseBackend {
 
         for ((contract, key), value) in staged {
             let vk = value_key(&contract, &key);
-            let base = self.latest_value.get(&(contract.clone(), key.clone())).copied();
+            let base = self
+                .latest_value
+                .get(&(contract.clone(), key.clone()))
+                .copied();
             let blob = self.db.new_blob(&value);
             let uid = self
                 .db
                 .put_conflict(vk, base, Value::Blob(blob))
                 .expect("value commit");
-            self.latest_value.insert((contract.clone(), key.clone()), uid);
+            self.latest_value
+                .insert((contract.clone(), key.clone()), uid);
             per_contract.entry(contract).or_default().push((key, uid));
         }
 
-        // Second-level maps: key -> value uid.
-        let mut first_edits: Vec<(Bytes, Option<Bytes>)> = Vec::new();
+        // Second-level maps: key -> value uid. All of a contract's state
+        // writes for the block land in one WriteBatch, applied as a
+        // single multi-range splice over the contract map.
+        let mut first_batch = WriteBatch::new();
         for (contract, entries) in per_contract {
             let mk = map_key(&contract);
             let prev_uid = self.latest_map.get(&contract).copied();
@@ -142,24 +148,25 @@ impl StateBackend for ForkBaseBackend {
                     .expect("previous map intact"),
                 None => self.db.new_map(std::iter::empty::<(Bytes, Bytes)>()),
             };
-            let edits = entries.into_iter().map(|(key, uid)| {
-                (key, Some(Bytes::copy_from_slice(uid.as_bytes())))
-            });
+            let mut batch = WriteBatch::with_capacity(entries.len());
+            for (key, uid) in entries {
+                batch.put(key, Bytes::copy_from_slice(uid.as_bytes()));
+            }
             let map = map
-                .update(self.db.store(), self.db.cfg(), edits)
-                .expect("map update");
+                .apply(self.db.store(), self.db.cfg(), batch)
+                .expect("contract map chunk missing");
             let map_uid = self
                 .db
                 .put_conflict(mk, prev_uid, Value::Map(map))
                 .expect("map commit");
             self.latest_map.insert(contract.clone(), map_uid);
-            first_edits.push((
+            first_batch.put(
                 Bytes::from(contract),
-                Some(Bytes::copy_from_slice(map_uid.as_bytes())),
-            ));
+                Bytes::copy_from_slice(map_uid.as_bytes()),
+            );
         }
 
-        // First-level map: contract -> map uid.
+        // First-level map: contract -> map uid, again one batch splice.
         let prev_state = self.latest_state;
         let first = match prev_state {
             Some(uid) => self
@@ -171,8 +178,8 @@ impl StateBackend for ForkBaseBackend {
             None => self.db.new_map(std::iter::empty::<(Bytes, Bytes)>()),
         };
         let first = first
-            .update(self.db.store(), self.db.cfg(), first_edits)
-            .expect("state map update");
+            .apply(self.db.store(), self.db.cfg(), first_batch)
+            .expect("state map chunk missing");
         let state_uid = self
             .db
             .put_conflict(Bytes::from_static(STATE_KEY), prev_state, Value::Map(first))
@@ -280,7 +287,12 @@ mod tests {
     use super::*;
     use crate::types::Transaction;
 
-    fn commit_block(backend: &mut ForkBaseBackend, h: u64, prev: Digest, writes: &[(&str, &str)]) -> Block {
+    fn commit_block(
+        backend: &mut ForkBaseBackend,
+        h: u64,
+        prev: Digest,
+        writes: &[(&str, &str)],
+    ) -> Block {
         let txns: Vec<Transaction> = writes
             .iter()
             .map(|(k, v)| Transaction::put("kv", k.to_string(), v.to_string()))
@@ -343,7 +355,10 @@ mod tests {
         let at_1 = b.block_scan("kv", 1);
         assert_eq!(at_1.len(), 3);
         assert!(at_1.contains(&(Bytes::from("a"), Bytes::from("a1"))));
-        assert!(at_1.contains(&(Bytes::from("b"), Bytes::from("b0"))), "b carried forward");
+        assert!(
+            at_1.contains(&(Bytes::from("b"), Bytes::from("b0"))),
+            "b carried forward"
+        );
 
         let at_2 = b.block_scan("kv", 2);
         assert!(at_2.contains(&(Bytes::from("a"), Bytes::from("a2"))));

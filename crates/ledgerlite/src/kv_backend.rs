@@ -164,10 +164,7 @@ impl<K: KvAdapter> KvBackend<K> {
             };
             // Parse the delta too, as real Hyperledger pre-processing
             // must (it holds the authoritative old values).
-            let _delta = self
-                .kv
-                .kv_get(&delta_key(h))
-                .and_then(|d| decode_delta(&d));
+            let _delta = self.kv.kv_get(&delta_key(h)).and_then(|d| decode_delta(&d));
             for txn in &block.txns {
                 for op in &txn.ops {
                     if let crate::types::TxOp::Put(k, v) = op {
@@ -232,7 +229,8 @@ impl<K: KvAdapter> StateBackend for KvBackend<K> {
     }
 
     fn store_block(&mut self, block: &Block) {
-        self.kv.kv_put(&block_key(block.header.height), &block.encode());
+        self.kv
+            .kv_put(&block_key(block.header.height), &block.encode());
         self.height = self.height.max(block.header.height + 1);
     }
 
@@ -243,7 +241,10 @@ impl<K: KvAdapter> StateBackend for KvBackend<K> {
     fn state_scan(&mut self, contract: &str, key: &[u8]) -> Vec<Bytes> {
         self.ensure_index();
         let index = self.index.as_ref().expect("just built");
-        match index.history.get(&(contract.to_string(), Bytes::copy_from_slice(key))) {
+        match index
+            .history
+            .get(&(contract.to_string(), Bytes::copy_from_slice(key)))
+        {
             Some(versions) => versions.iter().rev().map(|(_, v)| v.clone()).collect(),
             None => Vec::new(),
         }
@@ -370,7 +371,10 @@ mod tests {
         let at_2 = b.block_scan("kv", 2);
         // keys: hot, key-0, key-1, key-2
         assert_eq!(at_2.len(), 4);
-        let hot = at_2.iter().find(|(k, _)| k.as_ref() == b"hot").expect("hot");
+        let hot = at_2
+            .iter()
+            .find(|(k, _)| k.as_ref() == b"hot")
+            .expect("hot");
         assert_eq!(hot.1.as_ref(), b"hot-2");
 
         std::fs::remove_dir_all(dir).ok();

@@ -51,7 +51,8 @@ impl MerkleTrie {
     }
 
     fn nibbles(key: &[u8]) -> impl Iterator<Item = usize> + '_ {
-        key.iter().flat_map(|b| [(b >> 4) as usize, (b & 0xf) as usize])
+        key.iter()
+            .flat_map(|b| [(b >> 4) as usize, (b & 0xf) as usize])
     }
 
     /// Path depth for a key (diagnostics: the traversal length).

@@ -153,10 +153,7 @@ impl<B: StateBackend> LedgerNode<B> {
             return false;
         }
         // Stored hashes must match recomputed ones.
-        blocks
-            .iter()
-            .zip(&self.chain)
-            .all(|(b, h)| b.hash() == *h)
+        blocks.iter().zip(&self.chain).all(|(b, h)| b.hash() == *h)
     }
 }
 
@@ -171,7 +168,11 @@ mod tests {
     fn run_workload<B: StateBackend>(node: &mut LedgerNode<B>, n: usize) {
         for i in 0..n {
             if i % 2 == 0 {
-                node.submit(Transaction::put("kv", format!("key-{}", i % 50), format!("val-{i}")));
+                node.submit(Transaction::put(
+                    "kv",
+                    format!("key-{}", i % 50),
+                    format!("val-{i}"),
+                ));
             } else {
                 node.submit(Transaction::get("kv", format!("key-{}", i % 50)));
             }

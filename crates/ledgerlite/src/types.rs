@@ -217,7 +217,12 @@ mod tests {
 
     #[test]
     fn block_encode_round_trip() {
-        let block = Block::new(7, hash_bytes(b"prev"), Bytes::from("stateref"), sample_txns());
+        let block = Block::new(
+            7,
+            hash_bytes(b"prev"),
+            Bytes::from("stateref"),
+            sample_txns(),
+        );
         let decoded = Block::decode(&block.encode()).expect("valid");
         assert_eq!(decoded, block);
         assert_eq!(decoded.hash(), block.hash());
@@ -237,7 +242,10 @@ mod tests {
         let b0 = Block::new(0, Digest::ZERO, Bytes::from("s0"), vec![]);
         let b1 = Block::new(1, b0.hash(), Bytes::from("s1"), sample_txns());
         let b2 = Block::new(2, b1.hash(), Bytes::from("s2"), vec![]);
-        assert_eq!(Block::verify_chain(&[b0.clone(), b1.clone(), b2.clone()]), None);
+        assert_eq!(
+            Block::verify_chain(&[b0.clone(), b1.clone(), b2.clone()]),
+            None
+        );
 
         // Tamper with the middle block's state: linkage breaks at 2.
         let mut forged = b1.clone();

@@ -21,7 +21,11 @@ fn commit_breakdown_at_scale() {
         b.commit(h);
         h += 1;
     }
-    println!("populate 1000 blocks: {:?} ({:?}/commit)", t.elapsed(), t.elapsed() / 1000);
+    println!(
+        "populate 1000 blocks: {:?} ({:?}/commit)",
+        t.elapsed(),
+        t.elapsed() / 1000
+    );
 
     // Timed phase.
     let t = Instant::now();
@@ -43,10 +47,7 @@ fn commit_component_breakdown() {
     use forkbase_core::{ForkBase, Value};
     use forkbase_crypto::ChunkerConfig;
     let cfg = ChunkerConfig::with_leaf_bits(10);
-    let db = ForkBase::with_store(
-        std::sync::Arc::new(forkbase_chunk::MemStore::new()),
-        cfg,
-    );
+    let db = ForkBase::with_store(std::sync::Arc::new(forkbase_chunk::MemStore::new()), cfg);
 
     // A 100K-entry map like the second-level state map.
     let map = db.new_map((0..100_000u32).map(|i| {

@@ -246,7 +246,10 @@ mod tests {
         );
         // But a FULL new rlist was stored: 1000 × 8 bytes per version.
         assert_eq!(rlist_after, 2 * 1000 * 8);
-        assert_eq!(db.checkout(v1).expect("exists")[500].1.as_ref(), b"MODIFIED");
+        assert_eq!(
+            db.checkout(v1).expect("exists")[500].1.as_ref(),
+            b"MODIFIED"
+        );
         // Old version untouched.
         assert_eq!(db.checkout(v0).expect("exists"), data);
     }

@@ -232,7 +232,8 @@ pub fn blob_diff_summary(
         head += 1;
     }
     let mut tail = 0usize;
-    while tail < mid_l.len() - head && tail < mid_r.len() - head
+    while tail < mid_l.len() - head
+        && tail < mid_r.len() - head
         && mid_l[mid_l.len() - 1 - tail] == mid_r[mid_r.len() - 1 - tail]
     {
         tail += 1;
@@ -284,7 +285,9 @@ mod tests {
             store,
             &cfg,
             TreeType::Map,
-            sorted.into_iter().map(|(k, v)| Item::map(k.to_string(), v.to_string())),
+            sorted
+                .into_iter()
+                .map(|(k, v)| Item::map(k.to_string(), v.to_string())),
         )
     }
 
@@ -294,7 +297,9 @@ mod tests {
         let a = build_map(&store, &[("a", "1"), ("b", "2")]);
         let b = build_map(&store, &[("a", "1"), ("b", "2")]);
         assert_eq!(a, b);
-        assert!(sorted_diff(&store, TreeType::Map, a, b).expect("diff").is_empty());
+        assert!(sorted_diff(&store, TreeType::Map, a, b)
+            .expect("diff")
+            .is_empty());
     }
 
     #[test]
@@ -333,7 +338,10 @@ mod tests {
         assert_eq!(diff[0].key.as_ref(), b"k010000");
         // A point edit should touch only the index spine and the edited
         // leaf — far fewer fetches than the ~hundreds of leaves.
-        assert!(gets < 60, "diff fetched {gets} chunks; expected chunk-local work");
+        assert!(
+            gets < 60,
+            "diff fetched {gets} chunks; expected chunk-local work"
+        );
     }
 
     #[test]
@@ -346,7 +354,9 @@ mod tests {
 
         let a = build_blob(&store, &cfg, &data);
         let b = build_blob(&store, &cfg, &edited);
-        let d = blob_diff_summary(&store, a, b).expect("diff").expect("differs");
+        let d = blob_diff_summary(&store, a, b)
+            .expect("diff")
+            .expect("differs");
         assert_eq!(d.start, 30_000);
         assert_eq!(d.left_len, 1);
         assert_eq!(d.right_len, 1);
@@ -362,7 +372,9 @@ mod tests {
 
         let a = build_blob(&store, &cfg, &data);
         let b = build_blob(&store, &cfg, &longer);
-        let d = blob_diff_summary(&store, a, b).expect("diff").expect("differs");
+        let d = blob_diff_summary(&store, a, b)
+            .expect("diff")
+            .expect("differs");
         assert_eq!(d.start, 20_000);
         assert_eq!(d.left_len, 0);
         assert_eq!(d.right_len, 8);

@@ -1,0 +1,36 @@
+//! Error type for tree operations that read existing chunks.
+//!
+//! Update paths walk the previous version of a tree; a chunk that is
+//! absent from the store (or fails to decode) means the store is corrupt
+//! or incomplete. Callers must see that as an error, not a panic.
+
+use forkbase_crypto::Digest;
+use std::fmt;
+
+/// A tree operation failed because the stored tree could not be read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TreeError {
+    /// A chunk reachable from `root` is missing from the store or failed
+    /// to decode — the tree is corrupt or the store incomplete.
+    MissingChunk {
+        /// Root of the tree being read when the missing chunk was hit.
+        root: Digest,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::MissingChunk { root } => write!(
+                f,
+                "missing or corrupt chunk while reading tree {}",
+                root.short_hex()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// Result alias for fallible tree operations.
+pub type TreeResult<T> = Result<T, TreeError>;

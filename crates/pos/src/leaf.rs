@@ -166,6 +166,77 @@ pub fn decode_items_shared(ty: TreeType, payload: &Bytes) -> Option<Vec<Item>> {
     Some(items)
 }
 
+/// One element of a leaf payload as byte ranges into that payload —
+/// nothing is materialized.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RawItem {
+    /// The item's full encoded bytes: `payload[span.0..span.1]`.
+    pub span: (usize, usize),
+    /// The key bytes within the payload (empty range for List).
+    pub key: (usize, usize),
+}
+
+/// Streaming decoder over an item-leaf payload (List/Set/Map) yielding
+/// byte spans instead of materialized [`Item`]s. The update hot path
+/// walks old leaves with this: untouched elements are compared by key
+/// slice and copied verbatim, with no per-item allocation or `Bytes`
+/// refcount traffic (cf. [`decode_items_shared`]).
+pub struct RawItemCursor<'a> {
+    ty: TreeType,
+    data: &'a [u8],
+    pos: usize,
+    corrupt: bool,
+}
+
+impl<'a> RawItemCursor<'a> {
+    /// Walk `data`, a leaf payload of type `ty` (not Blob — blob leaves
+    /// are raw bytes).
+    pub fn new(ty: TreeType, data: &'a [u8]) -> RawItemCursor<'a> {
+        debug_assert!(ty != TreeType::Blob, "blob leaves are raw bytes");
+        RawItemCursor {
+            ty,
+            data,
+            pos: 0,
+            corrupt: false,
+        }
+    }
+
+    /// Next element, or `None` at the end of the payload. A `None` can
+    /// also mean truncated/corrupt data — check
+    /// [`finished_clean`](Self::finished_clean).
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<RawItem> {
+        if self.pos >= self.data.len() || self.corrupt {
+            return None;
+        }
+        let start = self.pos;
+        let mut pos = self.pos;
+        let Some(first) = get_bytes(self.data, &mut pos) else {
+            self.corrupt = true;
+            return None;
+        };
+        let fs = first.as_ptr() as usize - self.data.as_ptr() as usize;
+        let key = match self.ty {
+            TreeType::List => (0, 0),
+            _ => (fs, fs + first.len()),
+        };
+        if self.ty == TreeType::Map && get_bytes(self.data, &mut pos).is_none() {
+            self.corrupt = true;
+            return None;
+        }
+        self.pos = pos;
+        Some(RawItem {
+            span: (start, pos),
+            key,
+        })
+    }
+
+    /// True once the whole payload has decoded without error.
+    pub fn finished_clean(&self) -> bool {
+        !self.corrupt && self.pos == self.data.len()
+    }
+}
+
 /// Number of elements in a leaf payload without materializing them.
 pub fn count_items(ty: TreeType, payload: &[u8]) -> Option<u64> {
     match ty {
@@ -206,7 +277,11 @@ mod tests {
 
     #[test]
     fn map_round_trip() {
-        let items = vec![Item::map("a", "1"), Item::map("b", ""), Item::map("cc", "333")];
+        let items = vec![
+            Item::map("a", "1"),
+            Item::map("b", ""),
+            Item::map("cc", "333"),
+        ];
         let mut payload = Vec::new();
         for i in &items {
             encode_item(TreeType::Map, i, &mut payload);
@@ -252,5 +327,56 @@ mod tests {
         let payload = [5u8, b'a', b'b'];
         assert_eq!(decode_items(TreeType::List, &payload), None);
         assert_eq!(count_items(TreeType::List, &payload), None);
+    }
+
+    #[test]
+    fn raw_cursor_matches_decode() {
+        for ty in [TreeType::List, TreeType::Set, TreeType::Map] {
+            let items = vec![
+                Item {
+                    key: Bytes::from("k-one"),
+                    value: Bytes::from("value one"),
+                },
+                Item {
+                    key: Bytes::from(""),
+                    value: Bytes::from(""),
+                },
+                Item {
+                    key: Bytes::from("k-three"),
+                    value: Bytes::from(vec![9u8; 300]),
+                },
+            ];
+            let mut payload = Vec::new();
+            for i in &items {
+                encode_item(ty, i, &mut payload);
+            }
+            let decoded = decode_items(ty, &payload).expect("decode");
+            let mut cursor = RawItemCursor::new(ty, &payload);
+            let mut at = 0usize;
+            let mut got = 0usize;
+            while let Some(raw) = cursor.next() {
+                assert_eq!(raw.span.0, at, "spans tile the payload");
+                let key = &payload[raw.key.0..raw.key.1];
+                if ty != TreeType::List {
+                    assert_eq!(key, decoded[got].key.as_ref());
+                }
+                // Re-encoding the decoded item reproduces the span bytes.
+                let mut re = Vec::new();
+                encode_item(ty, &decoded[got], &mut re);
+                assert_eq!(&payload[raw.span.0..raw.span.1], &re[..]);
+                at = raw.span.1;
+                got += 1;
+            }
+            assert_eq!(got, items.len());
+            assert!(cursor.finished_clean());
+        }
+    }
+
+    #[test]
+    fn raw_cursor_flags_corruption() {
+        let payload = [5u8, b'a', b'b'];
+        let mut cursor = RawItemCursor::new(TreeType::List, &payload);
+        assert!(cursor.next().is_none());
+        assert!(!cursor.finished_clean());
     }
 }

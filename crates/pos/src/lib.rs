@@ -32,14 +32,22 @@
 //! let cfg = ChunkerConfig::default();
 //! let map = Map::build(&store, &cfg, [("k1", "v1"), ("k2", "v2")]);
 //! assert_eq!(map.get(&store, b"k1").unwrap().as_ref(), b"v1");
-//! let map2 = map.put(&store, &cfg, "k3", "v3");
+//! let map2 = map.put(&store, &cfg, "k3", "v3").unwrap();
 //! assert_eq!(map2.len(&store), 3);
 //! assert_eq!(map.len(&store), 2, "old version is untouched");
+//!
+//! // Many edits amortize into a single splice via a WriteBatch:
+//! let mut wb = forkbase_pos::WriteBatch::new();
+//! wb.put("k4", "v4").put("k5", "v5").delete("k1");
+//! let map3 = map2.apply(&store, &cfg, wb).unwrap();
+//! assert_eq!(map3.len(&store), 4);
 //! ```
 
+pub mod batch;
 pub mod builder;
 pub mod diff;
 pub mod entry;
+pub mod error;
 pub mod iter;
 pub mod leaf;
 pub mod merge;
@@ -48,14 +56,18 @@ pub mod tree;
 pub mod types;
 pub mod update;
 
+pub use batch::WriteBatch;
 pub use diff::{blob_diff_summary, sorted_diff, DiffEntry, RangeDiff};
 pub use entry::IndexEntry;
+pub use error::{TreeError, TreeResult};
 pub use iter::ItemIter;
 pub use leaf::Item;
-pub use merge::{merge3_blob, merge3_sorted, BlobConflict, Conflict, MergeOutcome, Resolver};
-pub use update::{splice_blob, splice_list, update_sorted, Edit};
+pub use merge::{
+    merge3_blob, merge3_sorted, BlobConflict, Conflict, MergeError, MergeOutcome, Resolver,
+};
 pub use tree::{Blob, List, Map, Set, TreeRef};
 pub use types::TreeType;
+pub use update::{normalize_edits, splice_blob, splice_list, update_sorted, Edit};
 
 pub use forkbase_chunk::{Chunk, ChunkStore, ChunkType};
 pub use forkbase_crypto::{ChunkerConfig, Digest};

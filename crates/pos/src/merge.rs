@@ -8,14 +8,27 @@
 //! strategies."
 
 use crate::diff::{blob_diff_summary, sorted_diff};
+use crate::error::TreeError;
+use crate::leaf::Item;
 use crate::tree::Blob;
 use crate::types::TreeType;
 use crate::update::{update_sorted, Edit};
-use crate::leaf::Item;
 use bytes::Bytes;
 use forkbase_chunk::ChunkStore;
 use forkbase_crypto::{ChunkerConfig, Digest};
 use std::collections::BTreeMap;
+
+/// Why a sorted three-way merge failed. Conflicts are the application's
+/// problem to resolve; corruption means one of the three input trees
+/// could not be read and must **not** be presented as a resolvable
+/// conflict.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MergeError {
+    /// Keys both sides changed differently and the resolver declined.
+    Conflicts(Vec<Conflict>),
+    /// A chunk of one of the input trees is missing or corrupt.
+    Corrupt(TreeError),
+}
 
 /// A key where both sides changed the base differently.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -103,18 +116,25 @@ pub fn merge3_sorted(
     ours: Digest,
     theirs: Digest,
     resolver: &Resolver,
-) -> Result<MergeOutcome, Vec<Conflict>> {
+) -> Result<MergeOutcome, MergeError> {
     debug_assert!(ty.is_sorted());
     // Fast paths.
     if ours == theirs || theirs == base {
-        return Ok(MergeOutcome { root: ours, resolved: 0 });
+        return Ok(MergeOutcome {
+            root: ours,
+            resolved: 0,
+        });
     }
     if ours == base {
-        return Ok(MergeOutcome { root: theirs, resolved: 0 });
+        return Ok(MergeOutcome {
+            root: theirs,
+            resolved: 0,
+        });
     }
 
-    let d_ours = sorted_diff(store, ty, base, ours).ok_or_else(Vec::new)?;
-    let d_theirs = sorted_diff(store, ty, base, theirs).ok_or_else(Vec::new)?;
+    let corrupt = |root| MergeError::Corrupt(TreeError::MissingChunk { root });
+    let d_ours = sorted_diff(store, ty, base, ours).ok_or(corrupt(ours))?;
+    let d_theirs = sorted_diff(store, ty, base, theirs).ok_or(corrupt(theirs))?;
 
     // key -> (base value, new value)
     type Change = (Option<Bytes>, Option<Bytes>);
@@ -167,9 +187,9 @@ pub fn merge3_sorted(
     }
 
     if !conflicts.is_empty() {
-        return Err(conflicts);
+        return Err(MergeError::Conflicts(conflicts));
     }
-    let root = update_sorted(store, cfg, ty, base, edits).ok_or_else(Vec::new)?;
+    let root = update_sorted(store, cfg, ty, base, edits).map_err(MergeError::Corrupt)?;
     Ok(MergeOutcome { root, resolved })
 }
 
@@ -204,7 +224,8 @@ pub fn merge3_blob(
         .flatten()
         .expect("theirs differs from base");
 
-    let overlap = d1.start < d2.start + d2.left_len.max(1) && d2.start < d1.start + d1.left_len.max(1);
+    let overlap =
+        d1.start < d2.start + d2.left_len.max(1) && d2.start < d1.start + d1.left_len.max(1);
     if overlap {
         return Err(BlobConflict {
             ours: (d1.start, d1.left_len),
@@ -248,7 +269,9 @@ mod tests {
             store,
             cfg,
             TreeType::Map,
-            sorted.into_iter().map(|(k, v)| Item::map(k.to_string(), v.to_string())),
+            sorted
+                .into_iter()
+                .map(|(k, v)| Item::map(k.to_string(), v.to_string())),
         )
     }
 
@@ -258,10 +281,22 @@ mod tests {
         let cfg = ChunkerConfig::default();
         let base = map(&store, &cfg, &[("a", "1"), ("b", "2"), ("c", "3")]);
         let ours = map(&store, &cfg, &[("a", "OURS"), ("b", "2"), ("c", "3")]);
-        let theirs = map(&store, &cfg, &[("a", "1"), ("b", "2"), ("c", "THEIRS"), ("d", "4")]);
+        let theirs = map(
+            &store,
+            &cfg,
+            &[("a", "1"), ("b", "2"), ("c", "THEIRS"), ("d", "4")],
+        );
 
-        let out = merge3_sorted(&store, &cfg, TreeType::Map, base, ours, theirs, &Resolver::Fail)
-            .expect("clean merge");
+        let out = merge3_sorted(
+            &store,
+            &cfg,
+            TreeType::Map,
+            base,
+            ours,
+            theirs,
+            &Resolver::Fail,
+        )
+        .expect("clean merge");
         let expected = map(
             &store,
             &cfg,
@@ -278,10 +313,26 @@ mod tests {
         let base = map(&store, &cfg, &[("a", "1"), ("b", "2")]);
         let ours = map(&store, &cfg, &[("a", "X"), ("b", "2")]);
         let theirs = map(&store, &cfg, &[("a", "1"), ("b", "Y")]);
-        let m1 = merge3_sorted(&store, &cfg, TreeType::Map, base, ours, theirs, &Resolver::Fail)
-            .expect("merge");
-        let m2 = merge3_sorted(&store, &cfg, TreeType::Map, base, theirs, ours, &Resolver::Fail)
-            .expect("merge");
+        let m1 = merge3_sorted(
+            &store,
+            &cfg,
+            TreeType::Map,
+            base,
+            ours,
+            theirs,
+            &Resolver::Fail,
+        )
+        .expect("merge");
+        let m2 = merge3_sorted(
+            &store,
+            &cfg,
+            TreeType::Map,
+            base,
+            theirs,
+            ours,
+            &Resolver::Fail,
+        )
+        .expect("merge");
         assert_eq!(m1.root, m2.root);
     }
 
@@ -292,8 +343,19 @@ mod tests {
         let base = map(&store, &cfg, &[("k", "base")]);
         let ours = map(&store, &cfg, &[("k", "ours")]);
         let theirs = map(&store, &cfg, &[("k", "theirs")]);
-        let err = merge3_sorted(&store, &cfg, TreeType::Map, base, ours, theirs, &Resolver::Fail)
-            .expect_err("conflict");
+        let err = merge3_sorted(
+            &store,
+            &cfg,
+            TreeType::Map,
+            base,
+            ours,
+            theirs,
+            &Resolver::Fail,
+        )
+        .expect_err("conflict");
+        let MergeError::Conflicts(err) = err else {
+            panic!("expected conflicts, got {err:?}");
+        };
         assert_eq!(err.len(), 1);
         assert_eq!(err[0].key.as_ref(), b"k");
         assert_eq!(err[0].base.as_deref(), Some(&b"base"[..]));
@@ -306,8 +368,16 @@ mod tests {
         let base = map(&store, &cfg, &[("k", "old")]);
         let ours = map(&store, &cfg, &[("k", "new")]);
         let theirs = map(&store, &cfg, &[("k", "new")]);
-        let out = merge3_sorted(&store, &cfg, TreeType::Map, base, ours, theirs, &Resolver::Fail)
-            .expect("merge");
+        let out = merge3_sorted(
+            &store,
+            &cfg,
+            TreeType::Map,
+            base,
+            ours,
+            theirs,
+            &Resolver::Fail,
+        )
+        .expect("merge");
         assert_eq!(out.root, ours);
     }
 
@@ -318,9 +388,16 @@ mod tests {
         let base = map(&store, &cfg, &[("k", "base")]);
         let ours = map(&store, &cfg, &[("k", "ours")]);
         let theirs = map(&store, &cfg, &[("k", "theirs")]);
-        let out =
-            merge3_sorted(&store, &cfg, TreeType::Map, base, ours, theirs, &Resolver::TakeOurs)
-                .expect("merge");
+        let out = merge3_sorted(
+            &store,
+            &cfg,
+            TreeType::Map,
+            base,
+            ours,
+            theirs,
+            &Resolver::TakeOurs,
+        )
+        .expect("merge");
         assert_eq!(out.resolved, 1);
         let v = get_by_key(&store, out.root, TreeType::Map, b"k").expect("present");
         assert_eq!(v.value.as_ref(), b"ours");
@@ -333,9 +410,16 @@ mod tests {
         let base = map(&store, &cfg, &[("counter", "100")]);
         let ours = map(&store, &cfg, &[("counter", "130")]); // +30
         let theirs = map(&store, &cfg, &[("counter", "95")]); // -5
-        let out =
-            merge3_sorted(&store, &cfg, TreeType::Map, base, ours, theirs, &Resolver::Aggregate)
-                .expect("merge");
+        let out = merge3_sorted(
+            &store,
+            &cfg,
+            TreeType::Map,
+            base,
+            ours,
+            theirs,
+            &Resolver::Aggregate,
+        )
+        .expect("merge");
         let v = get_by_key(&store, out.root, TreeType::Map, b"counter").expect("present");
         assert_eq!(v.value.as_ref(), b"125");
     }
@@ -347,9 +431,16 @@ mod tests {
         let base = map(&store, &cfg, &[("log", "")]);
         let ours = map(&store, &cfg, &[("log", "A")]);
         let theirs = map(&store, &cfg, &[("log", "B")]);
-        let out =
-            merge3_sorted(&store, &cfg, TreeType::Map, base, ours, theirs, &Resolver::Append)
-                .expect("merge");
+        let out = merge3_sorted(
+            &store,
+            &cfg,
+            TreeType::Map,
+            base,
+            ours,
+            theirs,
+            &Resolver::Append,
+        )
+        .expect("merge");
         let v = get_by_key(&store, out.root, TreeType::Map, b"log").expect("present");
         assert_eq!(v.value.as_ref(), b"AB");
     }
@@ -378,8 +469,19 @@ mod tests {
         let base = map(&store, &cfg, &[("k", "v"), ("other", "x")]);
         let ours = map(&store, &cfg, &[("other", "x")]); // deleted k
         let theirs = map(&store, &cfg, &[("k", "edited"), ("other", "x")]);
-        let err = merge3_sorted(&store, &cfg, TreeType::Map, base, ours, theirs, &Resolver::Fail)
-            .expect_err("conflict");
+        let err = merge3_sorted(
+            &store,
+            &cfg,
+            TreeType::Map,
+            base,
+            ours,
+            theirs,
+            &Resolver::Fail,
+        )
+        .expect_err("conflict");
+        let MergeError::Conflicts(err) = err else {
+            panic!("expected conflicts, got {err:?}");
+        };
         assert_eq!(err[0].ours, None);
         assert_eq!(err[0].theirs.as_deref(), Some(&b"edited"[..]));
     }
@@ -391,7 +493,9 @@ mod tests {
         let base_data = vec![b'x'; 1000];
         let base = Blob::build(&store, &cfg, &base_data);
         let ours = base.splice(&store, &cfg, 10, 5, b"OURS!").expect("splice");
-        let theirs = base.splice(&store, &cfg, 900, 5, b"THEIRS").expect("splice");
+        let theirs = base
+            .splice(&store, &cfg, 900, 5, b"THEIRS")
+            .expect("splice");
 
         let merged = merge3_blob(&store, &cfg, base.root(), ours.root(), theirs.root())
             .expect("clean merge");
@@ -437,8 +541,8 @@ mod tests {
             &cfg,
             (0..5000).map(|i| (format!("k{i:05}"), format!("v{i}"))),
         );
-        let ours = base_map.put(&store, &cfg, "k00100", "OURS");
-        let theirs = base_map.put(&store, &cfg, "k04900", "THEIRS");
+        let ours = base_map.put(&store, &cfg, "k00100", "OURS").expect("put");
+        let theirs = base_map.put(&store, &cfg, "k04900", "THEIRS").expect("put");
         let out = merge3_sorted(
             &store,
             &cfg,
@@ -450,8 +554,14 @@ mod tests {
         )
         .expect("merge");
         let merged = Map::from_root(out.root);
-        assert_eq!(merged.get(&store, b"k00100").expect("hit").as_ref(), b"OURS");
-        assert_eq!(merged.get(&store, b"k04900").expect("hit").as_ref(), b"THEIRS");
+        assert_eq!(
+            merged.get(&store, b"k00100").expect("hit").as_ref(),
+            b"OURS"
+        );
+        assert_eq!(
+            merged.get(&store, b"k04900").expect("hit").as_ref(),
+            b"THEIRS"
+        );
         assert_eq!(merged.len(&store), 5000);
     }
 }

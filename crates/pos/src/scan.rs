@@ -39,8 +39,7 @@ impl TreeScan {
     /// trees): the first leaf with `last_key >= key`. Returns
     /// `leaf_entries.len()` if `key` is beyond every leaf.
     pub fn leaf_of_key(&self, key: &[u8]) -> usize {
-        self.leaf_entries
-            .partition_point(|e| e.key.as_ref() < key)
+        self.leaf_entries.partition_point(|e| e.key.as_ref() < key)
     }
 
     /// Cumulative element offset of leaf `idx`.
@@ -63,7 +62,11 @@ pub fn scan_tree(store: &dyn ChunkStore, root: Digest, ty: TreeType) -> Option<T
             Bytes::new()
         };
         return Some(TreeScan {
-            leaf_entries: vec![IndexEntry { cid: root, count, key }],
+            leaf_entries: vec![IndexEntry {
+                cid: root,
+                count,
+                key,
+            }],
             height: 0,
         });
     }

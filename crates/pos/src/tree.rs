@@ -4,7 +4,9 @@
 //! chunk store. Reads fetch only the chunks they need; writes produce a
 //! *new* handle, never mutating existing chunks (copy-on-write).
 
+use crate::batch::WriteBatch;
 use crate::builder::{build_blob, build_items};
+use crate::error::TreeResult;
 use crate::iter::ItemIter;
 use crate::leaf::Item;
 use crate::scan::{get_by_key, get_by_pos, scan_tree, total_count};
@@ -239,7 +241,8 @@ impl Map {
         K: Into<Bytes>,
         V: Into<Bytes>,
     {
-        let mut sorted: std::collections::BTreeMap<Bytes, Bytes> = std::collections::BTreeMap::new();
+        let mut sorted: std::collections::BTreeMap<Bytes, Bytes> =
+            std::collections::BTreeMap::new();
         for (k, v) in pairs {
             sorted.insert(k.into(), v.into());
         }
@@ -299,7 +302,14 @@ impl Map {
     }
 
     /// Apply a batch of edits: `Some(value)` puts, `None` deletes.
-    pub fn update<I, K>(&self, store: &dyn ChunkStore, cfg: &ChunkerConfig, edits: I) -> Option<Map>
+    /// Duplicate keys collapse last-wins; the whole batch is one
+    /// multi-range splice.
+    pub fn update<I, K>(
+        &self,
+        store: &dyn ChunkStore,
+        cfg: &ChunkerConfig,
+        edits: I,
+    ) -> TreeResult<Map>
     where
         I: IntoIterator<Item = (K, Option<Bytes>)>,
         K: Into<Bytes>,
@@ -314,8 +324,22 @@ impl Map {
                 None => Edit::Del(k.into()),
             })
             .collect();
-        Some(Map {
+        Ok(Map {
             root: update_sorted(store, cfg, TreeType::Map, self.root, edits)?,
+        })
+    }
+
+    /// Apply a [`WriteBatch`] in a single splice, returning the new map
+    /// (copy-on-write). Bit-identical to folding the batch's edits through
+    /// sequential [`put`](Self::put)/[`del`](Self::del) calls.
+    pub fn apply(
+        &self,
+        store: &dyn ChunkStore,
+        cfg: &ChunkerConfig,
+        batch: WriteBatch,
+    ) -> TreeResult<Map> {
+        Ok(Map {
+            root: update_sorted(store, cfg, TreeType::Map, self.root, batch.into_edits())?,
         })
     }
 
@@ -326,15 +350,18 @@ impl Map {
         cfg: &ChunkerConfig,
         key: impl Into<Bytes>,
         value: impl Into<Bytes>,
-    ) -> Map {
+    ) -> TreeResult<Map> {
         self.update(store, cfg, [(key.into(), Some(value.into()))])
-            .expect("store consistent")
     }
 
     /// Remove one entry.
-    pub fn del(&self, store: &dyn ChunkStore, cfg: &ChunkerConfig, key: impl Into<Bytes>) -> Map {
+    pub fn del(
+        &self,
+        store: &dyn ChunkStore,
+        cfg: &ChunkerConfig,
+        key: impl Into<Bytes>,
+    ) -> TreeResult<Map> {
         self.update(store, cfg, [(key.into(), None)])
-            .expect("store consistent")
     }
 }
 
@@ -351,8 +378,7 @@ impl Set {
         I: IntoIterator<Item = K>,
         K: Into<Bytes>,
     {
-        let sorted: std::collections::BTreeSet<Bytes> =
-            elems.into_iter().map(Into::into).collect();
+        let sorted: std::collections::BTreeSet<Bytes> = elems.into_iter().map(Into::into).collect();
         Set {
             root: build_items(store, cfg, TreeType::Set, sorted.into_iter().map(Item::set)),
         }
@@ -391,22 +417,35 @@ impl Set {
             .map(|i| i.key)
     }
 
+    /// Apply a [`WriteBatch`] (built with
+    /// [`insert`](WriteBatch::insert)/[`delete`](WriteBatch::delete)) in a
+    /// single splice, returning the new set (copy-on-write).
+    pub fn apply(
+        &self,
+        store: &dyn ChunkStore,
+        cfg: &ChunkerConfig,
+        batch: WriteBatch,
+    ) -> TreeResult<Set> {
+        Ok(Set {
+            root: update_sorted(store, cfg, TreeType::Set, self.root, batch.into_edits())?,
+        })
+    }
+
     /// Insert an element.
     pub fn insert(
         &self,
         store: &dyn ChunkStore,
         cfg: &ChunkerConfig,
         key: impl Into<Bytes>,
-    ) -> Set {
+    ) -> TreeResult<Set> {
         let root = update_sorted(
             store,
             cfg,
             TreeType::Set,
             self.root,
             vec![Edit::Put(Item::set(key.into()))],
-        )
-        .expect("store consistent");
-        Set { root }
+        )?;
+        Ok(Set { root })
     }
 
     /// Remove an element.
@@ -415,16 +454,15 @@ impl Set {
         store: &dyn ChunkStore,
         cfg: &ChunkerConfig,
         key: impl Into<Bytes>,
-    ) -> Set {
+    ) -> TreeResult<Set> {
         let root = update_sorted(
             store,
             cfg,
             TreeType::Set,
             self.root,
             vec![Edit::Del(key.into())],
-        )
-        .expect("store consistent");
-        Set { root }
+        )?;
+        Ok(Set { root })
     }
 }
 
@@ -457,7 +495,10 @@ mod tests {
             blob.read_range(&store, 10_000, 100).expect("read"),
             &data[10_000..10_100]
         );
-        assert_eq!(blob.read_range(&store, 39_990, 100).expect("read"), &data[39_990..]);
+        assert_eq!(
+            blob.read_range(&store, 39_990, 100).expect("read"),
+            &data[39_990..]
+        );
     }
 
     #[test]
@@ -480,11 +521,11 @@ mod tests {
         assert_eq!(map.len(&store), 2);
         assert_eq!(map.get(&store, b"a").expect("hit").as_ref(), b"1");
 
-        let map2 = map.put(&store, &cfg, "c", "3");
+        let map2 = map.put(&store, &cfg, "c", "3").expect("put");
         assert_eq!(map2.len(&store), 3);
         assert_eq!(map.len(&store), 2, "previous version untouched");
 
-        let map3 = map2.del(&store, &cfg, "a");
+        let map3 = map2.del(&store, &cfg, "a").expect("del");
         assert_eq!(map3.len(&store), 2);
         assert!(map3.get(&store, b"a").is_none());
     }
@@ -521,11 +562,59 @@ mod tests {
         assert!(set.contains(&store, b"apple"));
         assert!(!set.contains(&store, b"cherry"));
 
-        let set2 = set.insert(&store, &cfg, "cherry");
+        let set2 = set.insert(&store, &cfg, "cherry").expect("insert");
         assert!(set2.contains(&store, b"cherry"));
-        let set3 = set2.remove(&store, &cfg, "apple");
+        let set3 = set2.remove(&store, &cfg, "apple").expect("remove");
         assert!(!set3.contains(&store, b"apple"));
         assert_eq!(set3.len(&store), 2);
+    }
+
+    #[test]
+    fn map_apply_batch_equals_sequential_edits() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::with_leaf_bits(7);
+        let map = Map::build(
+            &store,
+            &cfg,
+            (0..500).map(|i| (format!("k{i:04}"), format!("v{i}"))),
+        );
+
+        let mut wb = WriteBatch::new();
+        wb.put("k0000", "overwritten")
+            .delete("k0250")
+            .put("k0250", "resurrected")
+            .put("zzz", "appended")
+            .delete("k0499")
+            .delete("not-present");
+        let batched = map.apply(&store, &cfg, wb).expect("apply");
+
+        let sequential = map
+            .put(&store, &cfg, "k0000", "overwritten")
+            .and_then(|m| m.del(&store, &cfg, "k0250"))
+            .and_then(|m| m.put(&store, &cfg, "k0250", "resurrected"))
+            .and_then(|m| m.put(&store, &cfg, "zzz", "appended"))
+            .and_then(|m| m.del(&store, &cfg, "k0499"))
+            .and_then(|m| m.del(&store, &cfg, "not-present"))
+            .expect("sequential");
+        assert_eq!(batched.root(), sequential.root());
+        assert_eq!(
+            batched.get(&store, b"k0250").expect("hit").as_ref(),
+            b"resurrected",
+            "last edit on the key wins"
+        );
+    }
+
+    #[test]
+    fn set_apply_batch() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let set = Set::build(&store, &cfg, ["a", "b", "c"]);
+        let mut wb = WriteBatch::new();
+        wb.insert("d").delete("a").insert("a");
+        let set2 = set.apply(&store, &cfg, wb).expect("apply");
+        assert!(set2.contains(&store, b"a"), "re-inserted after delete");
+        assert!(set2.contains(&store, b"d"));
+        assert_eq!(set2.len(&store), 4);
     }
 
     #[test]

@@ -21,13 +21,41 @@
 //!    a full index rebuild preserves both history independence and storage
 //!    sharing.
 //!
+//! # Multi-range splice
+//!
+//! [`update_sorted`] is a **multi-range** splice: one call applies an
+//! arbitrary batch of keyed edits, re-chunking each affected region
+//! exactly once. The batch is first normalized ([`normalize_edits`]:
+//! sorted by key, duplicate keys last-wins), then the splice alternates
+//! between two modes:
+//!
+//! * **reuse mode** — while the chunk stream is aligned with the old tree
+//!   and no un-realigned edit is pending, whole leaves up to the next
+//!   edit's key are adopted by entry (a `partition_point` over the leaf
+//!   list, no chunk reads);
+//! * **re-chunk mode** — leaves overlapping a run of consecutive edits are
+//!   decoded and merge-applied; once the boundary stream provably realigns
+//!   (step 4 above) the splice falls back to reuse mode and skips ahead to
+//!   the next edit cluster.
+//!
+//! So a batch with `k` well-separated edit clusters touches `O(k)` leaf
+//! regions and walks the in-between leaves only as metadata — the tree is
+//! spliced **once** per batch, never once per edit. Fresh leaves produced
+//! across all regions are hashed as a single batch at
+//! [`LeafBuilder::finish`] (parallel cid computation on multi-core hosts),
+//! and the index levels are rebuilt once at the end. This is what makes
+//! [`WriteBatch`](crate::batch::WriteBatch) application orders of
+//! magnitude cheaper per edit than a `put` loop.
+//!
 //! Because leaf boundaries are pure functions of content, the spliced tree
 //! is bit-identical to a from-scratch build of the edited content — the
-//! property the `history_independence` proptests pin down.
+//! property the `history_independence` and batch-equivalence proptests pin
+//! down.
 
 use crate::builder::{build_from_entries_reusing, LeafBuilder};
 use crate::entry::IndexEntry;
-use crate::leaf::{decode_items_shared, Item};
+use crate::error::{TreeError, TreeResult};
+use crate::leaf::{decode_items_shared, Item, RawItemCursor};
 use crate::scan::scan_tree;
 use crate::types::TreeType;
 use bytes::Bytes;
@@ -109,9 +137,20 @@ fn effective_leaves(entries: &[IndexEntry]) -> &[IndexEntry] {
     }
 }
 
-/// Apply a batch of keyed edits to a sorted tree; returns the new root.
-/// `None` indicates a missing/corrupt chunk.
+/// Apply a batch of keyed edits to a sorted tree in one multi-range
+/// splice; returns the new root. [`TreeError::MissingChunk`] indicates a
+/// missing/corrupt chunk in the tree being updated.
 pub fn update_sorted(
+    store: &dyn ChunkStore,
+    cfg: &ChunkerConfig,
+    ty: TreeType,
+    root: Digest,
+    edits: Vec<Edit>,
+) -> TreeResult<Digest> {
+    update_sorted_inner(store, cfg, ty, root, edits).ok_or(TreeError::MissingChunk { root })
+}
+
+fn update_sorted_inner(
     store: &dyn ChunkStore,
     cfg: &ChunkerConfig,
     ty: TreeType,
@@ -134,6 +173,8 @@ pub fn update_sorted(
     // provably realigned with the old tree.
     let mut dirty = false;
     let mut bytes_since_edit = 0usize;
+    // Scratch for the current leaf's element spans, reused across leaves.
+    let mut raw_items: Vec<crate::leaf::RawItem> = Vec::new();
 
     loop {
         if lb.aligned() && !dirty {
@@ -167,13 +208,28 @@ pub fn update_sorted(
             }
         }
 
-        // Merge-apply edits through one leaf.
+        // Merge-apply edits through one leaf. The old payload is walked
+        // as raw byte spans: untouched elements are compared by key slice
+        // and adopted in whole runs ([`LeafBuilder::append_encoded_run`])
+        // — no per-item decode/re-encode, `Bytes` refcounting, or
+        // per-element chunker calls.
         let entry = &leaves[leaf_i];
         let chunk = store.get(&entry.cid)?;
-        let items = decode_items_shared(ty, chunk.payload())?;
+        let payload = chunk.payload();
+        raw_items.clear();
+        let mut cursor = RawItemCursor::new(ty, payload);
+        while let Some(raw) = cursor.next() {
+            raw_items.push(raw);
+        }
+        if !cursor.finished_clean() {
+            return None; // corrupt leaf payload
+        }
+        let key_of = |r: &crate::leaf::RawItem| &payload[r.key.0..r.key.1];
         let is_last_leaf = leaf_i + 1 == leaves.len();
-        for item in items {
-            while edit_i < edits.len() && edits[edit_i].key() < item.key.as_ref() {
+        let mut i = 0usize;
+        while i < raw_items.len() {
+            let item_key = key_of(&raw_items[i]);
+            while edit_i < edits.len() && edits[edit_i].key() < item_key {
                 if let Edit::Put(e) = &edits[edit_i] {
                     lb.append_item(e);
                 }
@@ -181,17 +237,25 @@ pub fn update_sorted(
                 bytes_since_edit = 0;
                 edit_i += 1;
             }
-            if edit_i < edits.len() && edits[edit_i].key() == item.key.as_ref() {
+            if edit_i < edits.len() && edits[edit_i].key() == item_key {
                 if let Edit::Put(e) = &edits[edit_i] {
                     lb.append_item(e);
                 }
                 dirty = true;
                 bytes_since_edit = 0;
                 edit_i += 1;
-            } else {
-                bytes_since_edit += item.encoded_len(ty);
-                lb.append_item(&item);
+                i += 1;
+                continue;
             }
+            // Untouched run: every element strictly before the next
+            // edit's key.
+            let run_end = match edits.get(edit_i) {
+                Some(e) => i + raw_items[i..].partition_point(|r| key_of(r) < e.key()),
+                None => raw_items.len(),
+            };
+            bytes_since_edit += raw_items[run_end - 1].span.1 - raw_items[i].span.0;
+            lb.append_encoded_run(payload, &raw_items[i..run_end]);
+            i = run_end;
         }
         if is_last_leaf {
             while edit_i < edits.len() {
@@ -215,7 +279,13 @@ pub fn update_sorted(
     }
 
     let entries = lb.finish();
-    Some(build_from_entries_reusing(store, cfg, ty, entries, Some(root)))
+    Some(build_from_entries_reusing(
+        store,
+        cfg,
+        ty,
+        entries,
+        Some(root),
+    ))
 }
 
 /// Replace `remove` bytes at `start` with `insert` in a Blob tree.
@@ -524,10 +594,8 @@ mod tests {
         ];
         let new_root = update_sorted(&store, &cfg, TreeType::Map, root, edits).expect("update");
 
-        let mut model: std::collections::BTreeMap<Bytes, Bytes> = items
-            .into_iter()
-            .map(|i| (i.key, i.value))
-            .collect();
+        let mut model: std::collections::BTreeMap<Bytes, Bytes> =
+            items.into_iter().map(|i| (i.key, i.value)).collect();
         model.insert(Bytes::from("k000000"), Bytes::from("REPLACED"));
         model.remove(&Bytes::from("k002500")[..]);
         model.insert(Bytes::from("k0025001"), Bytes::from("INSERTED-MID"));
@@ -592,22 +660,31 @@ mod tests {
     fn list_splice_equals_rebuild() {
         let store = MemStore::new();
         let cfg = ChunkerConfig::with_leaf_bits(8);
-        let items: Vec<Item> = (0..3000).map(|i| Item::list(format!("element-{i}"))).collect();
+        let items: Vec<Item> = (0..3000)
+            .map(|i| Item::list(format!("element-{i}")))
+            .collect();
         let root = build_items(&store, &cfg, TreeType::List, items.clone());
 
-        for (start, remove, insert_n) in
-            [(0u64, 0u64, 3usize), (1500, 10, 2), (2999, 1, 0), (3000, 0, 5), (0, 3000, 1)]
-        {
-            let insert: Vec<Item> =
-                (0..insert_n).map(|i| Item::list(format!("NEW-{i}"))).collect();
-            let new_root =
-                splice_list(&store, &cfg, root, start, remove, &insert).expect("splice");
+        for (start, remove, insert_n) in [
+            (0u64, 0u64, 3usize),
+            (1500, 10, 2),
+            (2999, 1, 0),
+            (3000, 0, 5),
+            (0, 3000, 1),
+        ] {
+            let insert: Vec<Item> = (0..insert_n)
+                .map(|i| Item::list(format!("NEW-{i}")))
+                .collect();
+            let new_root = splice_list(&store, &cfg, root, start, remove, &insert).expect("splice");
             let mut expected = items.clone();
             let s = (start as usize).min(expected.len());
             let r = (remove as usize).min(expected.len() - s);
             expected.splice(s..s + r, insert);
             let rebuilt = build_items(&store, &cfg, TreeType::List, expected);
-            assert_eq!(new_root, rebuilt, "list splice(start={start}, remove={remove})");
+            assert_eq!(
+                new_root, rebuilt,
+                "list splice(start={start}, remove={remove})"
+            );
         }
     }
 
@@ -624,8 +701,7 @@ mod tests {
             Edit::Put(Item::map("k000100", "edit-A")),
             Edit::Put(Item::map("k019900", "edit-B")),
         ];
-        let new_root =
-            update_sorted(&store, &cfg, TreeType::Map, root, edits).expect("update");
+        let new_root = update_sorted(&store, &cfg, TreeType::Map, root, edits).expect("update");
         let added = store.stats().stored_chunks - before;
 
         // Verify correctness against rebuild.
@@ -641,11 +717,31 @@ mod tests {
         );
         assert_eq!(new_root, rebuilt);
 
-        let leaves = scan_tree(&store, root, TreeType::Map).expect("scan").leaf_entries.len() as u64;
+        let leaves = scan_tree(&store, root, TreeType::Map)
+            .expect("scan")
+            .leaf_entries
+            .len() as u64;
         assert!(
             added < leaves / 4,
             "two point edits added {added} chunks of {leaves} leaves"
         );
+    }
+
+    #[test]
+    fn missing_chunk_surfaces_as_error() {
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::default();
+        let root = build_items(&store, &cfg, TreeType::Map, map_items(100));
+        // Same root against an empty store: every chunk is missing.
+        let empty_store = MemStore::new();
+        let result = update_sorted(
+            &empty_store,
+            &cfg,
+            TreeType::Map,
+            root,
+            vec![Edit::Del(Bytes::from("k000001"))],
+        );
+        assert_eq!(result, Err(TreeError::MissingChunk { root }));
     }
 
     #[test]
@@ -655,7 +751,7 @@ mod tests {
         let root = build_items(&store, &cfg, TreeType::Map, map_items(100));
         assert_eq!(
             update_sorted(&store, &cfg, TreeType::Map, root, vec![]),
-            Some(root)
+            Ok(root)
         );
     }
 }

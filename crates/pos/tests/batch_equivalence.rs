@@ -1,0 +1,178 @@
+//! Batch-equivalence proptests: applying a [`WriteBatch`] in one
+//! multi-range splice is **bit-identical** (same root cid) to folding the
+//! same edits through sequential `put`/`del` calls — including duplicate
+//! keys (last buffered edit wins) and deletes interleaved with puts.
+//!
+//! Sequential folding must also collapse duplicates last-wins for the
+//! comparison to be meaningful, which is exactly what replaying edits in
+//! buffer order does: a later edit on the same key overwrites the earlier
+//! one's effect.
+
+use forkbase_chunk::MemStore;
+use forkbase_crypto::ChunkerConfig;
+use forkbase_pos::tree::{Map, Set};
+use forkbase_pos::WriteBatch;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Small chunks so even modest inputs span multiple leaves and levels.
+fn cfg() -> ChunkerConfig {
+    let mut cfg = ChunkerConfig::with_leaf_bits(6);
+    cfg.index_bits = 3;
+    cfg
+}
+
+fn key_strategy() -> impl Strategy<Value = String> {
+    // A narrow key space on purpose: duplicate keys and delete-then-put
+    // interleavings show up in almost every generated batch.
+    "[a-d]{1,4}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn map_batch_equals_sequential_fold(
+        initial in prop::collection::vec((key_strategy(), "[a-z]{0,10}"), 0..50),
+        script in prop::collection::vec(
+            (key_strategy(), prop::option::of("[a-z]{0,10}")),
+            1..40
+        ),
+    ) {
+        let store = MemStore::new();
+        let cfg = cfg();
+        let base = Map::build(&store, &cfg, initial.iter().map(|(k, v)| (k.clone(), v.clone())));
+
+        // One WriteBatch, one splice.
+        let mut wb = WriteBatch::new();
+        for (k, v) in &script {
+            match v {
+                Some(v) => { wb.put(k.clone(), v.clone()); }
+                None => { wb.delete(k.clone()); }
+            }
+        }
+        let batched = base.apply(&store, &cfg, wb).expect("apply");
+
+        // The same edits folded through sequential point writes, in
+        // buffer order — later duplicates overwrite earlier ones.
+        let mut sequential = base;
+        for (k, v) in &script {
+            sequential = match v {
+                Some(v) => sequential.put(&store, &cfg, k.clone(), v.clone()).expect("put"),
+                None => sequential.del(&store, &cfg, k.clone()).expect("del"),
+            };
+        }
+        prop_assert_eq!(batched.root(), sequential.root());
+
+        // And both agree with the model.
+        let mut model: BTreeMap<String, String> = initial.iter().cloned().collect();
+        for (k, v) in &script {
+            match v {
+                Some(v) => { model.insert(k.clone(), v.clone()); }
+                None => { model.remove(k); }
+            }
+        }
+        let rebuilt = Map::build(&store, &cfg, model.iter().map(|(k, v)| (k.clone(), v.clone())));
+        prop_assert_eq!(batched.root(), rebuilt.root());
+    }
+
+    #[test]
+    fn map_duplicate_keys_last_wins(
+        key in key_strategy(),
+        values in prop::collection::vec(prop::option::of("[a-z]{0,10}"), 2..8),
+        base in prop::collection::vec((key_strategy(), "[a-z]{0,8}"), 0..30),
+    ) {
+        // Every edit in the batch hits the SAME key; only the last one
+        // may survive.
+        let store = MemStore::new();
+        let cfg = cfg();
+        let map = Map::build(&store, &cfg, base.iter().map(|(k, v)| (k.clone(), v.clone())));
+
+        let mut wb = WriteBatch::new();
+        for v in &values {
+            match v {
+                Some(v) => { wb.put(key.clone(), v.clone()); }
+                None => { wb.delete(key.clone()); }
+            }
+        }
+        let batched = map.apply(&store, &cfg, wb).expect("apply");
+
+        let last = values.last().expect("non-empty");
+        let expected = match last {
+            Some(v) => map.put(&store, &cfg, key.clone(), v.clone()).expect("put"),
+            None => map.del(&store, &cfg, key.clone()).expect("del"),
+        };
+        prop_assert_eq!(batched.root(), expected.root());
+        prop_assert_eq!(
+            batched.get(&store, key.as_bytes()).map(|b| b.to_vec()),
+            last.clone().map(String::into_bytes)
+        );
+    }
+
+    #[test]
+    fn set_batch_equals_sequential_fold(
+        initial in prop::collection::vec(key_strategy(), 0..40),
+        script in prop::collection::vec((key_strategy(), any::<bool>()), 1..30),
+    ) {
+        let store = MemStore::new();
+        let cfg = cfg();
+        let base = Set::build(&store, &cfg, initial.iter().cloned());
+
+        let mut wb = WriteBatch::new();
+        for (k, insert) in &script {
+            if *insert {
+                wb.insert(k.clone());
+            } else {
+                wb.delete(k.clone());
+            }
+        }
+        let batched = base.apply(&store, &cfg, wb).expect("apply");
+
+        let mut sequential = base;
+        for (k, insert) in &script {
+            sequential = if *insert {
+                sequential.insert(&store, &cfg, k.clone()).expect("insert")
+            } else {
+                sequential.remove(&store, &cfg, k.clone()).expect("remove")
+            };
+        }
+        prop_assert_eq!(batched.root(), sequential.root());
+    }
+
+    #[test]
+    fn large_spread_batch_equals_rebuild(
+        seed in any::<u64>(),
+        edits in 1usize..400,
+    ) {
+        // Batches striding across a larger map: the multi-range splice
+        // must reuse the untouched regions and still land bit-identically
+        // on the from-scratch build.
+        let store = MemStore::new();
+        let cfg = ChunkerConfig::with_leaf_bits(8);
+        let n = 3000u64;
+        let items: Vec<(String, String)> =
+            (0..n).map(|i| (format!("k{i:06}"), format!("v{i}"))).collect();
+        let map = Map::build(&store, &cfg, items.iter().map(|(k, v)| (k.clone(), v.clone())));
+
+        let mut model: BTreeMap<String, String> = items.into_iter().collect();
+        let mut wb = WriteBatch::new();
+        let mut state = seed | 1;
+        for e in 0..edits {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = format!("k{:06}", (state >> 33) % (n + 50)); // some misses
+            if state.is_multiple_of(3) {
+                wb.delete(key.clone());
+                model.remove(&key);
+            } else {
+                let val = format!("edit-{e}");
+                wb.put(key.clone(), val.clone());
+                model.insert(key, val);
+            }
+        }
+        let batched = map.apply(&store, &cfg, wb).expect("apply");
+        let rebuilt = Map::build(&store, &cfg, model.iter().map(|(k, v)| (k.clone(), v.clone())));
+        prop_assert_eq!(batched.root(), rebuilt.root());
+    }
+}

@@ -36,6 +36,32 @@ impl RObject {
     }
 }
 
+/// One pipelined command (the subset the workloads use).
+#[derive(Clone, Debug)]
+pub enum Cmd {
+    /// SET key value.
+    Set(Bytes, Bytes),
+    /// GET key.
+    Get(Bytes),
+    /// RPUSH key elem.
+    Rpush(Bytes, Bytes),
+    /// DEL key.
+    Del(Bytes),
+}
+
+/// Reply to one pipelined command.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// Write acknowledged.
+    Ok,
+    /// Key missing or wrong type.
+    Nil,
+    /// A value.
+    Value(Bytes),
+    /// A length/count (RPUSH, DEL).
+    Len(usize),
+}
+
 /// An in-memory multi-type key-value store.
 #[derive(Default)]
 pub struct RedisLite {
@@ -60,15 +86,68 @@ impl RedisLite {
         }
     }
 
-    /// SET: store a string value.
-    pub fn set(&self, key: impl Into<Bytes>, value: impl Into<Bytes>) {
-        self.ops.fetch_add(1, Ordering::Relaxed);
-        let key = key.into();
-        let new = RObject::Str(value.into());
-        let mut map = self.map.write();
+    // Locked op bodies, shared between the single-op methods, MSET and
+    // the pipeline so the accounting logic exists exactly once.
+
+    fn set_locked(&self, map: &mut FxHashMap<Bytes, RObject>, key: Bytes, value: Bytes) {
+        let new = RObject::Str(value);
         let old = map.get(&key).cloned();
         self.account(old.as_ref(), Some(&new));
         map.insert(key, new);
+    }
+
+    fn rpush_locked(&self, map: &mut FxHashMap<Bytes, RObject>, key: Bytes, elem: Bytes) -> usize {
+        let entry = map.entry(key).or_insert_with(|| RObject::List(Vec::new()));
+        match entry {
+            RObject::List(l) => {
+                self.mem_bytes
+                    .fetch_add(elem.len() as u64, Ordering::Relaxed);
+                l.push(elem);
+                l.len()
+            }
+            RObject::Str(_) => {
+                // WRONGTYPE in Redis; here we overwrite for simplicity.
+                let old_bytes = entry.bytes();
+                self.mem_bytes.fetch_sub(old_bytes, Ordering::Relaxed);
+                self.mem_bytes
+                    .fetch_add(elem.len() as u64, Ordering::Relaxed);
+                *entry = RObject::List(vec![elem]);
+                1
+            }
+        }
+    }
+
+    fn del_locked(&self, map: &mut FxHashMap<Bytes, RObject>, key: &[u8]) -> bool {
+        match map.remove(key) {
+            Some(obj) => {
+                self.mem_bytes.fetch_sub(obj.bytes(), Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// SET: store a string value.
+    pub fn set(&self, key: impl Into<Bytes>, value: impl Into<Bytes>) {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.write();
+        self.set_locked(&mut map, key.into(), value.into());
+    }
+
+    /// MSET: store many string values under one lock hold — readers see
+    /// either none or all of the batch, and per-op lock traffic is paid
+    /// once.
+    pub fn mset<I, K, V>(&self, pairs: I)
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: Into<Bytes>,
+        V: Into<Bytes>,
+    {
+        let mut map = self.map.write();
+        for (key, value) in pairs {
+            self.ops.fetch_add(1, Ordering::Relaxed);
+            self.set_locked(&mut map, key.into(), value.into());
+        }
     }
 
     /// GET: read a string value. `None` if missing or of another type.
@@ -84,25 +163,8 @@ impl RedisLite {
     /// returning the new length.
     pub fn rpush(&self, key: impl Into<Bytes>, elem: impl Into<Bytes>) -> usize {
         self.ops.fetch_add(1, Ordering::Relaxed);
-        let key = key.into();
-        let elem = elem.into();
         let mut map = self.map.write();
-        let entry = map.entry(key).or_insert_with(|| RObject::List(Vec::new()));
-        match entry {
-            RObject::List(l) => {
-                self.mem_bytes.fetch_add(elem.len() as u64, Ordering::Relaxed);
-                l.push(elem);
-                l.len()
-            }
-            RObject::Str(_) => {
-                // WRONGTYPE in Redis; here we overwrite for simplicity.
-                let old_bytes = entry.bytes();
-                self.mem_bytes.fetch_sub(old_bytes, Ordering::Relaxed);
-                self.mem_bytes.fetch_add(elem.len() as u64, Ordering::Relaxed);
-                *entry = RObject::List(vec![elem]);
-                1
-            }
-        }
+        self.rpush_locked(&mut map, key.into(), elem.into())
     }
 
     /// LINDEX: element at `idx` (negative = from the end, like Redis).
@@ -170,13 +232,30 @@ impl RedisLite {
     pub fn del(&self, key: &[u8]) -> bool {
         self.ops.fetch_add(1, Ordering::Relaxed);
         let mut map = self.map.write();
-        match map.remove(key) {
-            Some(obj) => {
-                self.mem_bytes.fetch_sub(obj.bytes(), Ordering::Relaxed);
-                true
-            }
-            None => false,
-        }
+        self.del_locked(&mut map, key)
+    }
+
+    /// Execute a command pipeline: all commands run back-to-back without
+    /// per-command lock round-trips, and the replies come back in order —
+    /// the Redis pipelining model the paper's baselines rely on for
+    /// write-heavy workloads.
+    pub fn pipeline(&self, cmds: Vec<Cmd>) -> Vec<Reply> {
+        let mut map = self.map.write();
+        self.ops.fetch_add(cmds.len() as u64, Ordering::Relaxed);
+        cmds.into_iter()
+            .map(|cmd| match cmd {
+                Cmd::Set(key, value) => {
+                    self.set_locked(&mut map, key, value);
+                    Reply::Ok
+                }
+                Cmd::Get(key) => match map.get(&key) {
+                    Some(RObject::Str(s)) => Reply::Value(s.clone()),
+                    _ => Reply::Nil,
+                },
+                Cmd::Rpush(key, elem) => Reply::Len(self.rpush_locked(&mut map, key, elem)),
+                Cmd::Del(key) => Reply::Len(usize::from(self.del_locked(&mut map, &key))),
+            })
+            .collect()
     }
 
     /// Number of keys.
@@ -258,6 +337,43 @@ mod tests {
         assert_eq!(db.lindex(b"l", 0), Some(Bytes::from("XXXXX")));
         assert!(!db.lset(b"l", 9, "nope"));
         assert_eq!(db.memory_bytes(), 8);
+    }
+
+    #[test]
+    fn mset_matches_sequential_sets() {
+        let db = RedisLite::new();
+        db.set("a", "old");
+        db.mset([("a", "1"), ("b", "2"), ("c", "3")]);
+        assert_eq!(db.get(b"a"), Some(Bytes::from("1")));
+        assert_eq!(db.get(b"c"), Some(Bytes::from("3")));
+        assert_eq!(db.dbsize(), 3);
+        assert_eq!(db.memory_bytes(), 3, "overwrite accounted like SET");
+    }
+
+    #[test]
+    fn pipeline_replies_in_order() {
+        let db = RedisLite::new();
+        let replies = db.pipeline(vec![
+            Cmd::Set(Bytes::from("k"), Bytes::from("v")),
+            Cmd::Get(Bytes::from("k")),
+            Cmd::Rpush(Bytes::from("l"), Bytes::from("e1")),
+            Cmd::Rpush(Bytes::from("l"), Bytes::from("e2")),
+            Cmd::Del(Bytes::from("k")),
+            Cmd::Get(Bytes::from("k")),
+        ]);
+        assert_eq!(
+            replies,
+            vec![
+                Reply::Ok,
+                Reply::Value(Bytes::from("v")),
+                Reply::Len(1),
+                Reply::Len(2),
+                Reply::Len(1),
+                Reply::Nil,
+            ]
+        );
+        assert_eq!(db.llen(b"l"), 2);
+        assert_eq!(db.memory_bytes(), 4, "k reclaimed, e1+e2 counted");
     }
 
     #[test]

@@ -14,7 +14,9 @@ impl Bloom {
     /// Size the filter for `n` expected keys at ~`bits_per_key` bits each
     /// (10 bits/key ≈ 1% false-positive rate).
     pub fn new(n: usize, bits_per_key: usize) -> Bloom {
-        let n_bits = ((n.max(1) * bits_per_key) as u64).next_multiple_of(64).max(64);
+        let n_bits = ((n.max(1) * bits_per_key) as u64)
+            .next_multiple_of(64)
+            .max(64);
         // Optimal k = ln2 · bits/key, clamped to a sane range.
         let k = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 8);
         Bloom {

@@ -84,7 +84,10 @@ impl RocksLite {
                 continue;
             };
             let parse = |prefix: &str| -> Option<u64> {
-                name.strip_prefix(prefix)?.strip_suffix(".sst")?.parse().ok()
+                name.strip_prefix(prefix)?
+                    .strip_suffix(".sst")?
+                    .parse()
+                    .ok()
             };
             if let Some(seq) = parse("l0-") {
                 next_file = next_file.max(seq + 1);
@@ -156,11 +159,12 @@ impl RocksLite {
     }
 
     /// Apply a batch atomically w.r.t. readers (single lock hold), like
-    /// RocksDB's WriteBatch.
+    /// RocksDB's WriteBatch. The whole batch is encoded into one WAL
+    /// write instead of one append per key.
     pub fn write_batch(&self, batch: &[(Bytes, Option<Bytes>)]) -> std::io::Result<()> {
         let mut inner = self.inner.lock();
+        inner.wal.append_batch(batch)?;
         for (k, v) in batch {
-            inner.wal.append(k, v.as_deref())?;
             inner.memtable.insert(k.clone(), v.clone());
         }
         if inner.memtable.approx_bytes() >= self.opts.memtable_bytes {
@@ -231,10 +235,8 @@ impl RocksLite {
             }
         }
         // Bottom level: tombstones can be dropped entirely.
-        let live: Vec<(Bytes, Option<Bytes>)> = merged
-            .into_iter()
-            .filter(|(_, v)| v.is_some())
-            .collect();
+        let live: Vec<(Bytes, Option<Bytes>)> =
+            merged.into_iter().filter(|(_, v)| v.is_some()).collect();
 
         let old_files: Vec<PathBuf> = inner
             .l0
@@ -399,7 +401,10 @@ mod tests {
         }
         let db = RocksLite::open_with(&dir, small_opts()).expect("reopen");
         for i in (0..1000u32).step_by(111) {
-            assert!(db.get(format!("k{i:04}").as_bytes()).expect("get").is_some());
+            assert!(db
+                .get(format!("k{i:04}").as_bytes())
+                .expect("get")
+                .is_some());
         }
         std::fs::remove_dir_all(dir).ok();
     }

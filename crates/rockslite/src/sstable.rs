@@ -36,9 +36,15 @@ pub struct SsTable {
 
 impl SsTable {
     /// Write a new table from sorted entries (`None` value = tombstone).
-    pub fn write(path: impl AsRef<Path>, entries: &[(Bytes, Option<Bytes>)]) -> std::io::Result<SsTable> {
+    pub fn write(
+        path: impl AsRef<Path>,
+        entries: &[(Bytes, Option<Bytes>)],
+    ) -> std::io::Result<SsTable> {
         assert!(!entries.is_empty(), "SSTables are never empty");
-        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "sorted unique keys");
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "sorted unique keys"
+        );
         let path = path.as_ref().to_path_buf();
         let mut w = BufWriter::new(File::create(&path)?);
 
@@ -94,10 +100,7 @@ impl SsTable {
             bloom,
             data_end,
             count: entries.len() as u64,
-            key_range: (
-                entries[0].0.clone(),
-                entries[entries.len() - 1].0.clone(),
-            ),
+            key_range: (entries[0].0.clone(), entries[entries.len() - 1].0.clone()),
         })
     }
 
@@ -106,7 +109,8 @@ impl SsTable {
         let path = path.as_ref().to_path_buf();
         let mut f = File::open(&path)?;
         let file_len = f.metadata()?.len();
-        let bad = |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+        let bad =
+            |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
         if file_len < 44 {
             return Err(bad("file too small"));
         }
@@ -131,8 +135,7 @@ impl SsTable {
             if index_buf.len() - pos < 4 {
                 return Err(bad("truncated index"));
             }
-            let klen =
-                u32::from_le_bytes(index_buf[pos..pos + 4].try_into().expect("4")) as usize;
+            let klen = u32::from_le_bytes(index_buf[pos..pos + 4].try_into().expect("4")) as usize;
             pos += 4;
             if index_buf.len() - pos < klen + 8 {
                 return Err(bad("truncated index entry"));
@@ -216,11 +219,7 @@ impl SsTable {
     }
 }
 
-fn read_region(
-    f: &mut File,
-    start: u64,
-    end: u64,
-) -> std::io::Result<Vec<(Bytes, Option<Bytes>)>> {
+fn read_region(f: &mut File, start: u64, end: u64) -> std::io::Result<Vec<(Bytes, Option<Bytes>)>> {
     let bad = |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
     f.seek(SeekFrom::Start(start))?;
     let mut buf = vec![0u8; (end - start) as usize];

@@ -71,7 +71,10 @@ impl ForkBaseWiki {
         let backing: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
         let cache = Arc::new(CachingStore::new(backing, cache_bytes));
         ForkBaseWiki {
-            db: ForkBase::with_store(cache.clone() as Arc<dyn ChunkStore>, ChunkerConfig::default()),
+            db: ForkBase::with_store(
+                cache.clone() as Arc<dyn ChunkStore>,
+                ChunkerConfig::default(),
+            ),
             cache: Some(cache),
         }
     }
@@ -193,10 +196,7 @@ impl WikiEngine for RedisWiki {
     }
 
     fn edit_page(&self, title: &str, edit: &EditKind) {
-        let latest = self
-            .db
-            .lindex(title.as_bytes(), -1)
-            .expect("page exists");
+        let latest = self.db.lindex(title.as_bytes(), -1).expect("page exists");
         let mut page = String::from_utf8(latest.to_vec()).expect("utf8 page");
         fb_workload::PageEditGen::apply(&mut page, edit);
         self.db.rpush(title.to_string(), page);
@@ -238,7 +238,10 @@ mod tests {
         let (fb, redis) = engines();
         for engine in [&fb as &dyn WikiEngine, &redis] {
             engine.create_page("Home", "welcome to the wiki");
-            assert_eq!(engine.read_latest("Home").expect("page"), "welcome to the wiki");
+            assert_eq!(
+                engine.read_latest("Home").expect("page"),
+                "welcome to the wiki"
+            );
             assert_eq!(engine.revision_count("Home"), 1);
         }
     }

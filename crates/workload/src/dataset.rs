@@ -66,8 +66,8 @@ impl DatasetGen {
 
     fn text(&mut self, min: usize, max: usize) -> String {
         const FRAGMENTS: &[&str] = &[
-            "acme", "widget", "gadget", "prime", "ultra", "mega", "eco", "smart", "pro",
-            "basic", "deluxe", "classic",
+            "acme", "widget", "gadget", "prime", "ultra", "mega", "eco", "smart", "pro", "basic",
+            "deluxe", "classic",
         ];
         let target = self.rng.gen_range(min..=max);
         let mut s = String::with_capacity(target + 8);
@@ -113,10 +113,7 @@ impl DatasetGen {
 
     /// Parse a CSV produced by [`to_csv`](Self::to_csv).
     pub fn from_csv(csv: &str) -> Vec<Record> {
-        csv.lines()
-            .skip(1)
-            .filter_map(Record::from_csv)
-            .collect()
+        csv.lines().skip(1).filter_map(Record::from_csv).collect()
     }
 
     /// Pick `count` distinct record indices to modify, and a mutation for

@@ -48,8 +48,8 @@ impl PageEditGen {
 
     fn words(&mut self, len: usize) -> String {
         const WORDS: &[&str] = &[
-            "storage", "engine", "version", "branch", "merge", "fork", "chunk", "tree",
-            "tamper", "evidence", "ledger", "index", "pattern", "hash", "block", "commit",
+            "storage", "engine", "version", "branch", "merge", "fork", "chunk", "tree", "tamper",
+            "evidence", "ledger", "index", "pattern", "hash", "block", "commit",
         ];
         let mut s = String::with_capacity(len + 8);
         while s.len() < len {
@@ -107,7 +107,10 @@ mod tests {
         let mut page = g.initial_page(4096);
         for _ in 0..50 {
             let edit = g.next_edit(page.len());
-            assert!(matches!(edit, EditKind::InPlace { .. }), "100U is all in-place");
+            assert!(
+                matches!(edit, EditKind::InPlace { .. }),
+                "100U is all in-place"
+            );
             PageEditGen::apply(&mut page, &edit);
             assert_eq!(page.len(), 4096);
         }
@@ -131,7 +134,10 @@ mod tests {
         let inplace = (0..5000)
             .filter(|_| matches!(g.next_edit(10_000), EditKind::InPlace { .. }))
             .count();
-        assert!((3700..4300).contains(&inplace), "got {inplace} in-place of 5000");
+        assert!(
+            (3700..4300).contains(&inplace),
+            "got {inplace} in-place of 5000"
+        );
     }
 
     #[test]

@@ -59,7 +59,11 @@ mod tests {
         for _ in 0..100_000 {
             counts[zipf.sample(&mut rng)] += 1;
         }
-        assert!(counts[0] > counts[10] * 5, "rank 0 dominates: {}", counts[0]);
+        assert!(
+            counts[0] > counts[10] * 5,
+            "rank 0 dominates: {}",
+            counts[0]
+        );
         assert!(counts[0] > counts[99] * 20);
     }
 

@@ -48,7 +48,10 @@ fn main() {
     let dir = std::env::temp_dir().join(format!("ledger-example-{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
     let kv = rockslite::RocksLite::open(&dir).expect("open rockslite");
-    let mut rocks_node = LedgerNode::new(KvBackend::new(kv, Box::new(BucketTree::new(1024))), BLOCK_SIZE);
+    let mut rocks_node = LedgerNode::new(
+        KvBackend::new(kv, Box::new(BucketTree::new(1024))),
+        BLOCK_SIZE,
+    );
     drive(&mut rocks_node, "Rocksdb (bucket-1024)");
 
     // --- Backend 2: same design, ForkBase as pure KV ---------------------
@@ -65,14 +68,20 @@ fn main() {
 
     // --- Analytics: state scan (history of one key) -----------------------
     let probe = YcsbGen::key(7);
-    println!("\nstate scan of {:?}:", std::str::from_utf8(&probe).expect("ascii"));
+    println!(
+        "\nstate scan of {:?}:",
+        std::str::from_utf8(&probe).expect("ascii")
+    );
     let hist_rocks = rocks_node.backend_mut().state_scan("kv", &probe);
     let hist_fb = fb_node.backend_mut().state_scan("kv", &probe);
     println!(
         "  Rocksdb: {} versions (via full-chain pre-processing index)",
         hist_rocks.len()
     );
-    println!("  ForkBase: {} versions (by following base-version uids)", hist_fb.len());
+    println!(
+        "  ForkBase: {} versions (by following base-version uids)",
+        hist_fb.len()
+    );
     assert_eq!(hist_rocks, hist_fb, "both backends agree on the history");
 
     // --- Analytics: block scan (state as of one block) ---------------------

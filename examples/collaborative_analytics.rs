@@ -30,9 +30,7 @@ fn main() {
     let col_sum = col_ds.aggregate_sum(&db, "price").expect("sum");
     let col_time = t.elapsed();
     assert_eq!(row_sum, col_sum);
-    println!(
-        "sum(price) = {row_sum} | row layout {row_time:?}, column layout {col_time:?}"
-    );
+    println!("sum(price) = {row_sum} | row layout {row_time:?}, column layout {col_time:?}");
 
     // --- Versioned modification (1% of records) -----------------------------
     let v0 = db.head("sales-row", None).expect("head");
@@ -62,7 +60,8 @@ fn main() {
         .iter()
         .map(|(_, r)| (bytes::Bytes::from(r.pk.clone()), Some(r.encode())));
     let map = map.update(db.store(), db.cfg(), edits).expect("update");
-    db.put("sales-row", Some("cleaning"), Value::Map(map)).expect("put");
+    db.put("sales-row", Some("cleaning"), Value::Map(map))
+        .expect("put");
     let merged = db
         .merge_branches("sales-row", "master", "cleaning", &Resolver::TakeTheirs)
         .expect("merge");
@@ -70,7 +69,11 @@ fn main() {
 
     // --- Compare against the OrpheusDB-style baseline ------------------------
     let orpheus = OrpheusLite::new();
-    let ov0 = orpheus.import(records.iter().map(|r| (bytes::Bytes::from(r.pk.clone()), r.encode())));
+    let ov0 = orpheus.import(
+        records
+            .iter()
+            .map(|r| (bytes::Bytes::from(r.pk.clone()), r.encode())),
+    );
     let mut copy = orpheus.checkout(ov0).expect("checkout");
     for (i, rec) in &mods {
         copy[*i].1 = rec.encode();

@@ -35,19 +35,26 @@ fn main() {
                 .wrapping_add(1442695040888963407);
             draft.extend_from_slice(&state.to_le_bytes());
         }
-        db.put("report", Some("draft-ideas"), Value::Blob(db.new_blob(&draft)))
-            .expect("put");
+        db.put(
+            "report",
+            Some("draft-ideas"),
+            Value::Blob(db.new_blob(&draft)),
+        )
+        .expect("put");
 
         let cid = db.checkpoint();
         store.sync().expect("sync");
-        println!("session 1: wrote 2 branches, checkpoint = {}", cid.short_hex());
+        println!(
+            "session 1: wrote 2 branches, checkpoint = {}",
+            cid.short_hex()
+        );
         cid
     }; // <- everything in memory is dropped here: the "crash"
 
     // ---- 2. reopen from disk + the checkpoint cid ------------------------
     let store = Arc::new(LogStore::open(&log_path).expect("reopen log"));
-    let db = ForkBase::restore(store.clone(), ChunkerConfig::default(), checkpoint)
-        .expect("restore");
+    let db =
+        ForkBase::restore(store.clone(), ChunkerConfig::default(), checkpoint).expect("restore");
     let branches = db.list_tagged_branches("report").expect("list");
     println!(
         "session 2: recovered {} branches of 'report': {:?}",
@@ -90,7 +97,10 @@ fn main() {
         .expect("blob")
         .read_all(db2.store())
         .expect("read");
-    println!("compacted store serves: {:?}", String::from_utf8_lossy(&text));
+    println!(
+        "compacted store serves: {:?}",
+        String::from_utf8_lossy(&text)
+    );
 
     std::fs::remove_dir_all(dir).ok();
 }

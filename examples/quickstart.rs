@@ -15,7 +15,8 @@ fn main() {
     println!("v0 committed, uid = {}", v0.short_hex());
 
     // --- Fork to a new branch -------------------------------------------
-    db.fork("my key", DEFAULT_BRANCH, "new branch").expect("fork");
+    db.fork("my key", DEFAULT_BRANCH, "new branch")
+        .expect("fork");
 
     // --- Get the blob, check its type, edit, and commit ------------------
     let value = db.get("my key", Some("new branch")).expect("get");
@@ -26,7 +27,9 @@ fn main() {
         .expect("blob");
     // Remove 3 bytes from the beginning and append some more.
     let blob = blob.remove(db.store(), db.cfg(), 0, 3).expect("remove");
-    let blob = blob.append(db.store(), db.cfg(), b" and some more").expect("append");
+    let blob = blob
+        .append(db.store(), db.cfg(), b" and some more")
+        .expect("append");
     let v1 = db
         .put("my key", Some("new branch"), Value::Blob(blob))
         .expect("put");
@@ -52,11 +55,19 @@ fn main() {
         .expect("blob")
         .read_all(db.store())
         .expect("read");
-    println!("master still reads {:?}", String::from_utf8(master).expect("utf8"));
+    println!(
+        "master still reads {:?}",
+        String::from_utf8(master).expect("utf8")
+    );
 
     // --- Merge the branch back into master --------------------------------
     let merged = db
-        .merge_branches("my key", DEFAULT_BRANCH, "new branch", &Resolver::TakeTheirs)
+        .merge_branches(
+            "my key",
+            DEFAULT_BRANCH,
+            "new branch",
+            &Resolver::TakeTheirs,
+        )
         .expect("merge");
     println!("merged into master, uid = {}", merged.short_hex());
 

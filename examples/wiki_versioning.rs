@@ -52,8 +52,10 @@ fn main() {
         fb.storage_bytes() as f64 / 1e6,
         redis.storage_bytes() as f64 / 1e6,
     );
-    println!("storage: ForkBase {fb_mb:.2} MB vs Redis {redis_mb:.2} MB ({:.0}% saved)",
-        100.0 * (1.0 - fb_mb / redis_mb));
+    println!(
+        "storage: ForkBase {fb_mb:.2} MB vs Redis {redis_mb:.2} MB ({:.0}% saved)",
+        100.0 * (1.0 - fb_mb / redis_mb)
+    );
 
     // Reading consecutive versions hits the client chunk cache.
     fb.clear_cache();

@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
 # Run the chunking/crypto micro benches through both pipelines (optimized
-# and --features naive-baseline) and assemble BENCH_chunking.json: raw
-# criterion results (ops/s, MB/s per bench) plus derived speedups for the
-# per-phase breakdown (rolling scan, SHA-256, end-to-end chunking and
-# POS-Tree build).
+# and --features naive-baseline) and assemble two result files:
 #
-# Usage: scripts/bench.sh [output.json]
+# * BENCH_chunking.json — raw criterion results (ops/s, MB/s per bench)
+#   plus derived speedups for the per-phase breakdown (rolling scan,
+#   SHA-256, end-to-end chunking and POS-Tree build).
+# * BENCH_map_batch.json — the batched write path: per-edit cost of
+#   pos_map_100k/put_batch_{10,1k,100k} vs the sequential put_one loop,
+#   with derived per-edit speedups.
+#
+# Usage: scripts/bench.sh [chunking.json] [map_batch.json]
 # Knobs: CRITERION_SAMPLE_MS (per-bench budget, default 300).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_chunking.json}"
+batch_out="${2:-BENCH_map_batch.json}"
 opt_json="$(mktemp)"
 naive_json="$(mktemp)"
 trap 'rm -f "$opt_json" "$naive_json"' EXIT
@@ -75,3 +80,51 @@ build_opt=$(median "$opt_json" "pos_build_blob_1MB/CyclicPoly")
 
 echo "wrote $out" >&2
 grep -A5 'derived_speedups' "$out" >&2
+
+# ---- BENCH_map_batch.json: batched vs sequential map writes ------------
+
+put_one=$(median "$opt_json" "pos_map_100k/put_one")
+batch_10=$(median "$opt_json" "pos_map_100k/put_batch_10")
+batch_1k=$(median "$opt_json" "pos_map_100k/put_batch_1k")
+batch_100k=$(median "$opt_json" "pos_map_100k/put_batch_100k")
+
+# Per-edit ns for a batch bench: median ns/iter divided by batch size.
+per_edit() {
+    awk -v ns="${1:-0}" -v n="$2" \
+        'BEGIN { if (ns > 0) printf "%.1f", ns / n; else printf "null" }'
+}
+
+pe_10=$(per_edit "$batch_10" 10)
+pe_1k=$(per_edit "$batch_1k" 1000)
+pe_100k=$(per_edit "$batch_100k" 100000)
+
+{
+    echo '{'
+    echo '  "bench": "map_batch",'
+    echo "  \"date_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"host\": \"$(uname -srm)\","
+    echo "  \"rustc\": \"$(rustc --version)\","
+    echo "  \"sample_ms\": ${CRITERION_SAMPLE_MS},"
+    echo '  "map_entries": 100000,'
+    echo "  \"put_one_ns\": ${put_one:-null},"
+    echo '  "per_edit_ns": {'
+    echo "    \"put_one\": ${put_one:-null},"
+    echo "    \"put_batch_10\": ${pe_10},"
+    echo "    \"put_batch_1k\": ${pe_1k},"
+    echo "    \"put_batch_100k\": ${pe_100k}"
+    echo '  },'
+    echo '  "derived_speedups_per_edit": {'
+    echo "    \"put_batch_10\": $(ratio "$put_one" "$pe_10"),"
+    echo "    \"put_batch_1k\": $(ratio "$put_one" "$pe_1k"),"
+    echo "    \"put_batch_100k\": $(ratio "$put_one" "$pe_100k")"
+    echo '  },'
+    echo '  "raw": ['
+    grep -F '"bench":"pos_map_100k/put' "$opt_json" \
+        | awk 'NR > 1 { print prev "," } { prev = $0 } END { if (NR) print prev }' \
+        | sed 's/^/    /'
+    echo '  ]'
+    echo '}'
+} > "$batch_out"
+
+echo "wrote $batch_out" >&2
+grep -A4 'derived_speedups_per_edit' "$batch_out" >&2

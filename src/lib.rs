@@ -57,4 +57,4 @@ pub use forkbase_core::{
     ValueType, DEFAULT_BRANCH,
 };
 pub use forkbase_crypto::{ChunkerConfig, Digest};
-pub use forkbase_pos::{Blob, List, Map, Resolver, Set};
+pub use forkbase_pos::{Blob, List, Map, Resolver, Set, TreeError, WriteBatch};

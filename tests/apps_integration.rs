@@ -157,5 +157,8 @@ fn column_layout_equivalent_to_row_layout() {
         col.aggregate_sum(&db, "price").expect("sum"),
         "layouts agree after updates"
     );
-    assert_eq!(row.export_csv(&db).expect("csv"), col.export_csv(&db).expect("csv"));
+    assert_eq!(
+        row.export_csv(&db).expect("csv"),
+        col.export_csv(&db).expect("csv")
+    );
 }

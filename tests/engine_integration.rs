@@ -3,7 +3,7 @@
 
 use forkbase::chunk::LogStore;
 use forkbase::core::{verify_history, FObject};
-use forkbase::{ChunkerConfig, ForkBase, Resolver, Value, DEFAULT_BRANCH};
+use forkbase::{ChunkerConfig, ForkBase, Resolver, Value, WriteBatch, DEFAULT_BRANCH};
 use std::sync::Arc;
 
 fn temp_path(tag: &str) -> std::path::PathBuf {
@@ -52,13 +52,18 @@ fn full_restart_with_checkpoint() {
     let checkpoint = {
         let store = Arc::new(LogStore::open(&path).expect("open"));
         let db = ForkBase::with_store(store.clone(), ChunkerConfig::default());
-        db.put("doc", None, Value::String("v1".into())).expect("put");
+        db.put("doc", None, Value::String("v1".into()))
+            .expect("put");
         db.fork("doc", DEFAULT_BRANCH, "feature").expect("fork");
         db.put("doc", Some("feature"), Value::String("feature work".into()))
             .expect("put");
-        let base = db.put_conflict("counter", None, Value::Int(0)).expect("genesis");
-        db.put_conflict("counter", Some(base), Value::Int(1)).expect("w1");
-        db.put_conflict("counter", Some(base), Value::Int(2)).expect("w2");
+        let base = db
+            .put_conflict("counter", None, Value::Int(0))
+            .expect("genesis");
+        db.put_conflict("counter", Some(base), Value::Int(1))
+            .expect("w1");
+        db.put_conflict("counter", Some(base), Value::Int(2))
+            .expect("w2");
         let cid = db.checkpoint();
         store.sync().expect("sync");
         cid
@@ -72,7 +77,10 @@ fn full_restart_with_checkpoint() {
         db.get_value("doc", Some("feature")).expect("get"),
         Value::String("feature work".into())
     );
-    assert_eq!(db.get_value("doc", None).expect("get"), Value::String("v1".into()));
+    assert_eq!(
+        db.get_value("doc", None).expect("get"),
+        Value::String("v1".into())
+    );
     // Untagged (fork-on-conflict) heads recovered, conflict still visible.
     assert_eq!(db.list_untagged_branches("counter").expect("list").len(), 2);
     // The instance accepts new work continuing the recovered history.
@@ -92,8 +100,11 @@ fn gc_reclaims_only_unreachable_data() {
 
     let db = ForkBase::in_memory();
     let keep: Vec<u8> = (0..150_000u32).flat_map(|i| i.to_le_bytes()).collect();
-    let scrap: Vec<u8> = (0..150_000u32).flat_map(|i| (i ^ 0xDEAD_BEEF).to_le_bytes()).collect();
-    db.put("data", None, Value::Blob(db.new_blob(&keep))).expect("put");
+    let scrap: Vec<u8> = (0..150_000u32)
+        .flat_map(|i| (i ^ 0xDEAD_BEEF).to_le_bytes())
+        .collect();
+    db.put("data", None, Value::Blob(db.new_blob(&keep)))
+        .expect("put");
     db.fork("data", DEFAULT_BRANCH, "experiment").expect("fork");
     db.put("data", Some("experiment"), Value::Blob(db.new_blob(&scrap)))
         .expect("put");
@@ -131,8 +142,11 @@ fn collaborative_fork_merge_workflow() {
             .expect("get")
             .as_map()
             .expect("map");
-        let map = map.put(db.store(), db.cfg(), key.to_string(), value.to_string());
-        db.put("config", Some(branch), Value::Map(map)).expect("put");
+        let map = map
+            .put(db.store(), db.cfg(), key.to_string(), value.to_string())
+            .expect("map put");
+        db.put("config", Some(branch), Value::Map(map))
+            .expect("put");
     };
     edit("team-a", "timeout", "60");
     edit("team-b", "retries", "5");
@@ -148,7 +162,10 @@ fn collaborative_fork_merge_workflow() {
         .expect("get")
         .as_map()
         .expect("map");
-    let get = |k: &str| String::from_utf8(merged.get(db.store(), k.as_bytes()).expect("hit").to_vec()).expect("utf8");
+    let get = |k: &str| {
+        String::from_utf8(merged.get(db.store(), k.as_bytes()).expect("hit").to_vec())
+            .expect("utf8")
+    };
     assert_eq!(get("timeout"), "60");
     assert_eq!(get("retries"), "5");
     assert_eq!(get("pool"), "16");
@@ -205,11 +222,16 @@ fn dedup_across_keys_and_branches() {
     let db = ForkBase::in_memory();
     let content: Vec<u8> = (0..200_000u32).flat_map(|i| i.to_le_bytes()).collect();
 
-    db.put("copy-1", None, Value::Blob(db.new_blob(&content))).expect("put");
+    db.put("copy-1", None, Value::Blob(db.new_blob(&content)))
+        .expect("put");
     let after_one = db.store().stats().stored_bytes;
     for i in 2..=5 {
-        db.put(format!("copy-{i}"), None, Value::Blob(db.new_blob(&content)))
-            .expect("put");
+        db.put(
+            format!("copy-{i}"),
+            None,
+            Value::Blob(db.new_blob(&content)),
+        )
+        .expect("put");
     }
     let after_five = db.store().stats().stored_bytes;
     let overhead = after_five - after_one;
@@ -233,9 +255,15 @@ fn access_control_gates_branch_writes() {
     // Application-side enforcement (the view layer of Fig. 1).
     let guarded_put = |user: &str, branch: &str, value: Value| -> forkbase::Result<()> {
         if !acl.check(user, "doc", branch, Permission::Write) {
-            return Err(forkbase::FbError::AccessDenied(format!("{user} on {branch}")));
+            return Err(forkbase::FbError::AccessDenied(format!(
+                "{user} on {branch}"
+            )));
         }
-        let b = if branch == DEFAULT_BRANCH { None } else { Some(branch) };
+        let b = if branch == DEFAULT_BRANCH {
+            None
+        } else {
+            Some(branch)
+        };
         db.put("doc", b, value).map(|_| ())
     };
 
@@ -267,4 +295,91 @@ fn primitive_types_round_trip_through_engine() {
     let gets_before = db.store().stats().gets;
     db.get_value("t", None).expect("get");
     assert_eq!(db.store().stats().gets - gets_before, 1);
+}
+
+#[test]
+fn batched_map_commit_end_to_end() {
+    // The batch write path through the facade: a WriteBatch applied as
+    // one splice and committed as one version, equal in root cid to the
+    // sequential put/del fold, with history verifiable afterwards.
+    let db = ForkBase::in_memory();
+    let base = db.new_map((0..2000).map(|i| (format!("k{i:05}"), format!("v{i}"))));
+    db.put("ledger", None, Value::Map(base)).expect("put");
+
+    let mut wb = WriteBatch::new();
+    for i in (0..2000).step_by(7) {
+        wb.put(format!("k{i:05}"), format!("batched-{i}"));
+    }
+    wb.delete("k00003").put("zzz", "tail").delete("k00003");
+    let uid = db.commit_map_batch("ledger", None, wb).expect("commit");
+
+    // Same edits, folded sequentially over the same base map.
+    let mut seq = db
+        .get_version("ledger", db.get("ledger", None).expect("head").bases[0])
+        .expect("base version")
+        .value(db.store())
+        .expect("value")
+        .as_map()
+        .expect("map");
+    for i in (0..2000).step_by(7) {
+        seq = seq
+            .put(
+                db.store(),
+                db.cfg(),
+                format!("k{i:05}"),
+                format!("batched-{i}"),
+            )
+            .expect("put");
+    }
+    seq = seq.del(db.store(), db.cfg(), "k00003").expect("del");
+    seq = seq.put(db.store(), db.cfg(), "zzz", "tail").expect("put");
+    seq = seq.del(db.store(), db.cfg(), "k00003").expect("del");
+
+    let committed = db
+        .get_value("ledger", None)
+        .expect("get")
+        .as_map()
+        .expect("map");
+    assert_eq!(committed.root(), seq.root(), "batch == sequential fold");
+    assert_eq!(
+        committed.get(db.store(), b"zzz").expect("tail").as_ref(),
+        b"tail"
+    );
+    assert!(committed.get(db.store(), b"k00003").is_none());
+
+    // The committed version chains onto the previous head and verifies.
+    let obj = db.get("ledger", None).expect("get");
+    assert_eq!(obj.uid(), uid);
+    assert_eq!(obj.depth, 1);
+    verify_history(db.store(), uid).expect("tamper-evident history");
+}
+
+#[test]
+fn put_many_over_persistent_store() {
+    let path = temp_path("put-many");
+    {
+        let store = Arc::new(LogStore::open(&path).expect("open"));
+        let db = ForkBase::with_store(store.clone(), ChunkerConfig::default());
+        db.put_many(
+            None,
+            (0..50).map(|i| (format!("key-{i:02}"), Value::Int(i))),
+        )
+        .expect("put_many");
+        store.sync().expect("sync");
+        let cp = db.checkpoint();
+        store.sync().expect("sync");
+        std::fs::write(path.with_extension("cp"), cp.as_bytes()).expect("save cp");
+    }
+    let store = Arc::new(LogStore::open(&path).expect("reopen"));
+    let cp_bytes = std::fs::read(path.with_extension("cp")).expect("read cp");
+    let cp = forkbase::Digest::from_slice(&cp_bytes).expect("digest");
+    let db = ForkBase::restore(store, ChunkerConfig::default(), cp).expect("restore");
+    for i in (0..50).step_by(9) {
+        assert_eq!(
+            db.get_value(format!("key-{i:02}"), None).expect("get"),
+            Value::Int(i)
+        );
+    }
+    std::fs::remove_file(path.with_extension("cp")).ok();
+    std::fs::remove_file(path).ok();
 }

@@ -82,7 +82,10 @@ impl Bytes {
             Bound::Excluded(&n) => n,
             Bound::Unbounded => len,
         };
-        assert!(begin <= end, "slice index starts at {begin} but ends at {end}");
+        assert!(
+            begin <= end,
+            "slice index starts at {begin} but ends at {end}"
+        );
         assert!(end <= len, "range end {end} out of bounds for length {len}");
         if begin == end {
             return Bytes::new();

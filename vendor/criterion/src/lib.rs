@@ -217,12 +217,7 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Run one benchmark parameterized by `input`.
-    pub fn bench_with_input<I: ?Sized, F>(
-        &mut self,
-        id: BenchmarkId,
-        input: &I,
-        f: F,
-    ) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
     where
         F: FnOnce(&mut Bencher, &I),
     {
@@ -298,7 +293,11 @@ fn run_one<F: FnOnce(&mut Bencher)>(
                 _ => "null".to_string(),
             },
         );
-        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
             let _ = file.write_all(line.as_bytes());
         }
     }

@@ -255,9 +255,9 @@ fn parse_pattern(pattern: &str) -> Vec<Atom> {
                     }
                     if chars.peek() == Some(&'-') {
                         chars.next();
-                        let hi = chars.next().unwrap_or_else(|| {
-                            panic!("dangling '-' in pattern {pattern:?}")
-                        });
+                        let hi = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("dangling '-' in pattern {pattern:?}"));
                         assert!(c <= hi, "inverted range {c}-{hi} in {pattern:?}");
                         set.extend(c..=hi);
                     } else {
@@ -411,8 +411,7 @@ pub struct VecStrategy<S> {
 impl<S: Strategy> Strategy for VecStrategy<S> {
     type Value = Vec<S::Value>;
     fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
-        let n = self.size.min
-            + rng.below((self.size.max - self.size.min) as u64) as usize;
+        let n = self.size.min + rng.below((self.size.max - self.size.min) as u64) as usize;
         (0..n).map(|_| self.element.generate(rng)).collect()
     }
 }
@@ -474,10 +473,7 @@ mod tests {
 
     #[test]
     fn union_respects_zero_weight_absence() {
-        let u = Union::new(vec![
-            (1, Just(1u8).boxed()),
-            (0, Just(2u8).boxed()),
-        ]);
+        let u = Union::new(vec![(1, Just(1u8).boxed()), (0, Just(2u8).boxed())]);
         let mut r = rng();
         for _ in 0..100 {
             assert_eq!(u.generate(&mut r), 1);
