@@ -1,0 +1,103 @@
+//! From-scratch build micro-benches: the run-scanning, copy-free build
+//! path (`build_items`/`build_blob_bytes`) against the retained
+//! element-at-a-time baseline (`build_items_itemwise`/
+//! `build_blob_itemwise`) — the PR-2-era path that fed the chunker one
+//! element at a time and copied every leaf payload through the builder's
+//! buffer. `scripts/bench.sh` derives the speedups into
+//! `BENCH_build.json`.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fb_bench::random_bytes;
+use forkbase_chunk::MemStore;
+use forkbase_crypto::ChunkerConfig;
+use forkbase_pos::builder::{
+    build_blob_bytes, build_blob_itemwise, build_items, build_items_itemwise,
+};
+use forkbase_pos::leaf::Item;
+use forkbase_pos::tree::Blob;
+use forkbase_pos::TreeType;
+
+const BLOB_LEN: usize = 8 * 1024 * 1024;
+const MAP_ENTRIES: usize = 100_000;
+
+fn build_blob_scratch(c: &mut Criterion) {
+    let data = random_bytes(BLOB_LEN, 11);
+    let shared = Bytes::from(data.clone());
+    let cfg = ChunkerConfig::default();
+    let mut group = c.benchmark_group("pos_build_scratch_blob_8MB");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("run_scan", |b| {
+        b.iter(|| {
+            let store = MemStore::new();
+            build_blob_bytes(&store, &cfg, shared.clone())
+        });
+    });
+    group.bench_function("itemwise", |b| {
+        b.iter(|| {
+            let store = MemStore::new();
+            build_blob_itemwise(&store, &cfg, &data)
+        });
+    });
+    // The public `&[u8]` entry point (one up-front copy, then zero-copy).
+    group.bench_function("api_borrowed", |b| {
+        b.iter(|| {
+            let store = MemStore::new();
+            Blob::build(&store, &cfg, &data)
+        });
+    });
+    group.finish();
+}
+
+fn build_map_scratch(c: &mut Criterion) {
+    let items: Vec<Item> = (0..MAP_ENTRIES)
+        .map(|i| Item::map(format!("k{i:08}"), format!("value-{i:08}")))
+        .collect();
+    let encoded: usize = items.iter().map(|i| i.encoded_len(TreeType::Map)).sum();
+    let cfg = ChunkerConfig::default();
+    let mut group = c.benchmark_group("pos_build_scratch_map_100k");
+    group.throughput(Throughput::Bytes(encoded as u64));
+    group.bench_function("run_scan", |b| {
+        b.iter(|| {
+            let store = MemStore::new();
+            build_items(&store, &cfg, TreeType::Map, items.iter().cloned())
+        });
+    });
+    group.bench_function("itemwise", |b| {
+        b.iter(|| {
+            let store = MemStore::new();
+            build_items_itemwise(&store, &cfg, TreeType::Map, items.iter().cloned())
+        });
+    });
+    group.finish();
+}
+
+fn build_set_scratch(c: &mut Criterion) {
+    let items: Vec<Item> = (0..MAP_ENTRIES)
+        .map(|i| Item::set(format!("set-member-{i:08}")))
+        .collect();
+    let encoded: usize = items.iter().map(|i| i.encoded_len(TreeType::Set)).sum();
+    let cfg = ChunkerConfig::default();
+    let mut group = c.benchmark_group("pos_build_scratch_set_100k");
+    group.throughput(Throughput::Bytes(encoded as u64));
+    group.bench_function("run_scan", |b| {
+        b.iter(|| {
+            let store = MemStore::new();
+            build_items(&store, &cfg, TreeType::Set, items.iter().cloned())
+        });
+    });
+    group.bench_function("itemwise", |b| {
+        b.iter(|| {
+            let store = MemStore::new();
+            build_items_itemwise(&store, &cfg, TreeType::Set, items.iter().cloned())
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = build_blob_scratch, build_map_scratch, build_set_scratch
+}
+criterion_main!(benches);

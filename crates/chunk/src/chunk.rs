@@ -89,13 +89,62 @@ impl Chunk {
     /// fan-out (see [`forkbase_crypto::hash_tagged_batch`]). Identical to
     /// mapping [`Chunk::new`] over `payloads`, in order.
     pub fn new_batch(ty: ChunkType, payloads: Vec<Bytes>) -> Vec<Chunk> {
-        let inputs: Vec<(u8, &[u8])> = payloads.iter().map(|p| (ty as u8, p.as_ref())).collect();
-        let cids = forkbase_crypto::hash_tagged_batch(&inputs);
-        payloads
+        // One construction path: a contiguous payload is a one-span rope
+        // (which `new_batch_ropes` passes through without copying).
+        Self::new_batch_ropes(ty, payloads.into_iter().map(|p| vec![p]).collect())
+    }
+
+    /// Create many chunks of one type from *rope* payloads — each payload
+    /// a sequence of byte spans (typically zero-copy slices of input
+    /// buffers or of previous-version leaves, plus small stitch
+    /// segments). The cid is computed straight over the spans
+    /// ([`forkbase_crypto::hash_tagged_parts_batch`]); nothing is
+    /// concatenated for hashing. A single-span rope becomes the chunk
+    /// payload as-is (no copy at all); multi-span ropes are materialized
+    /// exactly once, after hashing. Identical to concatenating each rope
+    /// and mapping [`Chunk::new`], in order.
+    pub fn new_batch_ropes(ty: ChunkType, ropes: Vec<Vec<Bytes>>) -> Vec<Chunk> {
+        let parts: Vec<Vec<&[u8]>> = ropes
+            .iter()
+            .map(|rope| rope.iter().map(|span| span.as_ref()).collect())
+            .collect();
+        let inputs: Vec<(u8, &[&[u8]])> = parts.iter().map(|p| (ty as u8, p.as_slice())).collect();
+        let cids = forkbase_crypto::hash_tagged_parts_batch(&inputs);
+        drop(inputs);
+        drop(parts);
+        ropes
             .into_iter()
             .zip(cids)
-            .map(|(payload, cid)| Chunk { ty, payload, cid })
+            .map(|(mut rope, cid)| {
+                let payload = if rope.len() == 1 {
+                    rope.pop().expect("one span")
+                } else {
+                    let len = rope.iter().map(|s| s.len()).sum();
+                    let mut buf = Vec::with_capacity(len);
+                    for span in &rope {
+                        buf.extend_from_slice(span);
+                    }
+                    Bytes::from(buf)
+                };
+                Chunk { ty, payload, cid }
+            })
             .collect()
+    }
+
+    /// A copy of this chunk whose payload owns its own allocation.
+    ///
+    /// Zero-copy construction ([`new_batch_ropes`](Self::new_batch_ropes)
+    /// leaves built from slices of a large input or of old-version
+    /// leaves) can leave a payload pinning a much larger backing buffer.
+    /// Unsharing at a retention boundary — e.g. GC copy-compaction —
+    /// drops that pin. The content is byte-identical, so the cid is
+    /// reused, not recomputed.
+    pub fn unshared(&self) -> Chunk {
+        Chunk {
+            ty: self.ty,
+            payload: Bytes::copy_from_slice(&self.payload),
+            cid: self.cid,
+        }
     }
 
     /// The chunk type.
@@ -185,6 +234,56 @@ mod tests {
             assert_eq!(chunk.payload(), payload);
             assert!(chunk.verify());
         }
+    }
+
+    #[test]
+    fn new_batch_ropes_matches_new() {
+        // Ropes of 0, 1 and many spans; cid and payload must equal the
+        // concatenated single-buffer construction.
+        let bodies: Vec<Vec<u8>> = (0..30).map(|i| vec![i as u8; 50 + i * 91]).collect();
+        let ropes: Vec<Vec<Bytes>> = bodies
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let body = Bytes::copy_from_slice(b);
+                match i % 3 {
+                    0 => vec![body],
+                    1 => {
+                        let cut = body.len() / 3;
+                        vec![body.slice(..cut), body.slice(cut..)]
+                    }
+                    _ => vec![Bytes::new(), body.slice(..1), body.slice(1..), Bytes::new()],
+                }
+            })
+            .collect();
+        let batch = Chunk::new_batch_ropes(ChunkType::List, ropes);
+        assert_eq!(batch.len(), bodies.len());
+        for (chunk, body) in batch.iter().zip(&bodies) {
+            let solo = Chunk::new(ChunkType::List, Bytes::copy_from_slice(body));
+            assert_eq!(chunk.cid(), solo.cid());
+            assert_eq!(chunk.payload().as_ref(), &body[..]);
+            assert!(chunk.verify());
+        }
+        assert!(Chunk::new_batch_ropes(ChunkType::Blob, vec![]).is_empty());
+        let empty = Chunk::new_batch_ropes(ChunkType::Blob, vec![vec![]]);
+        assert_eq!(
+            empty[0].cid(),
+            Chunk::new(ChunkType::Blob, Bytes::new()).cid()
+        );
+    }
+
+    #[test]
+    fn unshared_detaches_from_backing_buffer() {
+        let big = Bytes::from(vec![7u8; 4096]);
+        let sliced = Chunk::new_batch_ropes(ChunkType::Blob, vec![vec![big.slice(100..200)]])
+            .pop()
+            .expect("one chunk");
+        let owned = sliced.unshared();
+        assert_eq!(owned, sliced);
+        assert_eq!(owned.cid(), sliced.cid());
+        assert!(owned.verify());
+        // The unshared payload no longer aliases the 4 KB buffer.
+        assert_ne!(owned.payload().as_ptr(), sliced.payload().as_ptr());
     }
 
     #[test]

@@ -136,15 +136,13 @@ impl Dataset {
                 for (c, name) in COLUMNS.iter().enumerate() {
                     let mut list = self.column_list(db, &map, name)?;
                     for (idx, rec) in mods {
-                        list = list
-                            .splice(
-                                db.store(),
-                                db.cfg(),
-                                *idx as u64,
-                                1,
-                                [Bytes::from(column_values(rec)[c].clone())],
-                            )
-                            .ok_or_else(|| FbError::Corrupt("list splice".into()))?;
+                        list = list.splice(
+                            db.store(),
+                            db.cfg(),
+                            *idx as u64,
+                            1,
+                            [Bytes::from(column_values(rec)[c].clone())],
+                        )?;
                     }
                     col_edits.push((
                         Bytes::from(name.to_string()),

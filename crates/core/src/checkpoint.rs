@@ -4,7 +4,8 @@
 //! §4.5) live in servlet memory: after a restart the data is all there
 //! and fully verifiable by uid, yet the *names* — which uid is the head
 //! of `master` for key `k` — are gone. A checkpoint serializes every
-//! branch table into a single content-addressed [`Checkpoint`] chunk
+//! branch table into a single content-addressed
+//! [`Checkpoint`](forkbase_chunk::ChunkType::Checkpoint) chunk
 //! (cf. git's packed-refs). The returned cid is the only piece of state
 //! an operator must keep outside the store to reopen an instance with
 //! [`ForkBase::restore`](crate::ForkBase::restore).

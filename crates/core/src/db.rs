@@ -73,6 +73,13 @@ impl ForkBase {
         Blob::build(self.store(), &self.cfg, data)
     }
 
+    /// Build a Blob from an owned/shared buffer: leaf payloads are
+    /// zero-copy slices of `data`, skipping the up-front copy
+    /// [`new_blob`](Self::new_blob) pays for borrowed input.
+    pub fn new_blob_bytes(&self, data: impl Into<Bytes>) -> Blob {
+        Blob::build_bytes(self.store(), &self.cfg, data)
+    }
+
     /// Build a List in this instance's store.
     pub fn new_list<I, B>(&self, elems: I) -> List
     where
@@ -701,7 +708,10 @@ impl ForkBase {
                 let ours_root = ours_v.tree_root().expect("chunkable").1;
                 let theirs_root = theirs_v.tree_root().expect("chunkable").1;
                 let root = merge3_blob(store, &self.cfg, base_root, ours_root, theirs_root)
-                    .map_err(|_| FbError::MergeConflict(1))?;
+                    .map_err(|e| match e {
+                        forkbase_pos::BlobMergeError::Conflict(_) => FbError::MergeConflict(1),
+                        forkbase_pos::BlobMergeError::Corrupt(t) => FbError::from(t),
+                    })?;
                 Ok(Value::Blob(Blob::from_root(root)))
             }
             // Whole-value merge for primitives and List.

@@ -117,7 +117,11 @@ pub fn compact_into(db: &ForkBase, target: &dyn ChunkStore) -> Result<GcReport> 
         let chunk = db.store().get(cid).ok_or(FbError::VersionNotFound(*cid))?;
         report.live_chunks += 1;
         report.live_bytes += chunk.len() as u64;
-        target.put(chunk);
+        // Unshare payloads: a leaf built zero-copy is a slice of a larger
+        // buffer (whole-blob input, old-version leaves), and carrying
+        // that slice into the compacted store would pin the entire
+        // backing allocation — the opposite of what compaction is for.
+        target.put(chunk.unshared());
     }
     let src = db.store().stats();
     report.dropped_chunks = src.stored_chunks.saturating_sub(report.live_chunks);

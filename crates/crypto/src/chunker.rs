@@ -278,6 +278,101 @@ pub fn split_positions(data: &[u8], cfg: &ChunkerConfig) -> Vec<usize> {
     split_with(LeafChunker::new(cfg), data)
 }
 
+/// Minimum input size before [`split_positions_parallel`] fans the hit
+/// scan out over the worker pool; below this the serial scan wins.
+const PARALLEL_SCAN_MIN: usize = 512 * 1024;
+
+/// [`split_positions`], with the pattern scan parallelized across the
+/// persistent worker pool — bit-identical results.
+///
+/// This exploits a structural property of the chunker: the rolling window
+/// is **never reset at a cut** (see [`LeafChunker::cut`]), so whether the
+/// pattern fires at byte `p` depends only on the `window` bytes ending at
+/// `p` — not on where any previous cut fell. The input is therefore split
+/// into segments, each lane warms a private scanner with the `window`
+/// bytes preceding its segment and collects every pattern-hit position,
+/// and the cut positions (pattern hits interleaved with forced `α·2^q`
+/// cuts, which *do* depend on the previous cut) are derived from the
+/// merged hit list in one cheap sequential walk.
+pub fn split_positions_parallel(data: &[u8], cfg: &ChunkerConfig) -> Vec<usize> {
+    let window = cfg.window;
+    // Size/config gates first: a below-threshold input must not be the
+    // thing that materializes the worker pool.
+    if cfg!(feature = "naive-baseline") || data.len() < PARALLEL_SCAN_MIN || window == 0 {
+        return split_positions(data, cfg);
+    }
+    let lanes = crate::pool::parallelism();
+    if lanes <= 1 {
+        return split_positions(data, cfg);
+    }
+    let mask = (1u64 << cfg.leaf_bits) - 1;
+    let seg = data.len().div_ceil(lanes).max(window);
+    let bounds: Vec<(usize, usize)> = (0..lanes)
+        .map(|i| (i * seg, ((i + 1) * seg).min(data.len())))
+        .filter(|(s, e)| s < e)
+        .collect();
+
+    let mut hit_lists: Vec<Vec<usize>> = vec![Vec::new(); bounds.len()];
+    {
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = hit_lists
+            .iter_mut()
+            .zip(&bounds)
+            .map(|(hits, &(s, e))| {
+                Box::new(move || {
+                    let mut scanner = cfg.rolling.scanner(window);
+                    // Warm the window with the bytes preceding the
+                    // segment (empty for the first): hashes — and the
+                    // primed condition — then match the streaming scan
+                    // exactly. Warm-up hits belong to the previous lane.
+                    let warm_from = s.saturating_sub(window);
+                    scanner.feed_detect(&data[warm_from..s], mask);
+                    let mut pos = s;
+                    while pos < e {
+                        match scanner.scan_boundary(&data[pos..e], mask) {
+                            Some(n) => {
+                                pos += n;
+                                hits.push(pos);
+                            }
+                            None => break,
+                        }
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        crate::pool::run_scoped(tasks);
+    }
+
+    // Derive cuts: scanning from `prev`, the boundary is the first
+    // pattern hit within `max` bytes, else a forced cut at `prev + max`,
+    // else the end-of-input flush.
+    let max = cfg.max_leaf_size();
+    let hits: Vec<usize> = hit_lists.concat();
+    let mut cuts = Vec::with_capacity(hits.len() + data.len() / max + 1);
+    let mut prev = 0usize;
+    let mut hi = 0usize;
+    while prev < data.len() {
+        while hi < hits.len() && hits[hi] <= prev {
+            hi += 1;
+        }
+        match hits.get(hi) {
+            Some(&h) if h - prev <= max => {
+                cuts.push(h);
+                prev = h;
+            }
+            _ => {
+                if data.len() - prev <= max {
+                    cuts.push(data.len());
+                    prev = data.len();
+                } else {
+                    cuts.push(prev + max);
+                    prev += max;
+                }
+            }
+        }
+    }
+    cuts
+}
+
 /// [`split_positions`] through the retained naive per-byte pipeline —
 /// the equivalence oracle for the block scanner.
 pub fn split_positions_reference(data: &[u8], cfg: &ChunkerConfig) -> Vec<usize> {
@@ -332,6 +427,35 @@ mod tests {
             assert!(c > prev, "cut positions strictly increase");
             prev = c;
         }
+    }
+
+    #[test]
+    fn parallel_split_matches_serial() {
+        for (bits, window, len, seed) in [
+            (8u32, 48usize, 2_000_000usize, 41u64),
+            (12, 48, 3_000_000, 42),
+            (10, 7, 1_500_000, 43),
+            (9, 64, 600_000, 44),
+            (12, 48, 100_000, 45), // below the parallel threshold
+        ] {
+            let mut cfg = ChunkerConfig::with_leaf_bits(bits);
+            cfg.window = window;
+            let data = pseudo_random(len, seed);
+            assert_eq!(
+                split_positions_parallel(&data, &cfg),
+                split_positions(&data, &cfg),
+                "bits={bits} window={window} len={len}"
+            );
+        }
+        // Zero-entropy input: forced cuts only, exercising the
+        // hits-interleaved-with-forced derivation walk.
+        let cfg = ChunkerConfig::with_leaf_bits(8);
+        let data = vec![0xAAu8; 2_000_000];
+        assert_eq!(
+            split_positions_parallel(&data, &cfg),
+            split_positions(&data, &cfg)
+        );
+        assert!(split_positions_parallel(&[], &cfg).is_empty());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! finds chunk boundaries with a rolling hash over the object content
 //! (§4.3.2). This crate provides both from scratch:
 //!
-//! * [`sha256`] — a FIPS 180-4 SHA-256 implementation (the paper's default
+//! * [`sha256`](mod@sha256) — a FIPS 180-4 SHA-256 implementation (the paper's default
 //!   `H`). No external crypto crates are used.
 //! * [`Digest`] — the 32-byte content identifier type used across the
 //!   workspace.
@@ -27,14 +27,18 @@ pub mod digest;
 pub mod fixed;
 pub mod fx;
 pub mod parallel;
+pub(crate) mod pool;
 pub mod rolling;
 pub mod sha256;
 
 pub use blake2::{blake2b_256, blake2b_256_parts, Blake2b, Blake2b256};
-pub use chunker::{split_positions, split_positions_reference, ChunkerConfig, LeafChunker};
+pub use chunker::{
+    split_positions, split_positions_parallel, split_positions_reference, ChunkerConfig,
+    LeafChunker,
+};
 pub use digest::Digest;
 pub use fixed::{dedup_fixed, dedup_pattern, fixed_split_positions, DedupStats};
-pub use parallel::hash_tagged_batch;
+pub use parallel::{hash_tagged_batch, hash_tagged_parts_batch};
 pub use rolling::{CyclicPoly, MovingSum, RabinKarp, RollingHash, RollingKind, RollingScanner};
 pub use sha256::{sha256, sha256_naive, Sha256, Sha256Naive};
 

@@ -1,27 +1,37 @@
 //! Batched cid computation over independent inputs.
 //!
-//! A batched write produces many leaf chunks whose cids are independent of
-//! one another, so unlike the streaming hash inside one chunk they can be
-//! computed in parallel. [`hash_tagged_batch`] hashes `tag ‖ payload` for
-//! every input (the chunk-cid preimage of `forkbase-chunk`), fanning the
-//! batch out over `std::thread::scope` workers when the total work is
-//! large enough to amortize thread spawn. Small batches — and machines
-//! that report a single hardware thread — take the serial path, which is
-//! bit-for-bit the same computation.
+//! A batched write or a from-scratch build produces many leaf chunks whose
+//! cids are independent of one another, so unlike the streaming hash
+//! inside one chunk they can be computed in parallel.
+//! [`hash_tagged_batch`] hashes `tag ‖ payload` for every input (the
+//! chunk-cid preimage of `forkbase-chunk`); [`hash_tagged_parts_batch`]
+//! does the same for payloads assembled from multiple spans (a rope), so
+//! a leaf stitched together from borrowed runs is hashed without ever
+//! being materialized into one buffer.
+//!
+//! Parallel batches run on the persistent worker pool (`crate::pool`):
+//! the spawn cost the old `std::thread::scope` fan-out paid on every call
+//! is gone, so mid-size batches (one tree build's worth of leaves) now
+//! benefit too. Small batches — and machines that report a single
+//! hardware thread — take the serial path, which is bit-for-bit the same
+//! computation.
 //!
 //! Splitting is by *bytes*, not by input count: a batch of one 4 MB leaf
 //! and a thousand 100 B leaves still balances across workers.
 
 use crate::digest::Digest;
+use crate::pool;
 use crate::Sha256;
 
-/// Minimum total payload bytes before threads are spawned. Hashing runs at
-/// several GB/s with SHA-NI, so below ~256 KB the spawn overhead (tens of
-/// microseconds per thread) eats the win.
-const PARALLEL_THRESHOLD_BYTES: usize = 256 * 1024;
+/// Minimum total payload bytes before the batch is split across the
+/// worker pool. With persistent workers the per-batch overhead is one
+/// channel send + wakeup per worker (a few microseconds), so the
+/// break-even sits far below the 256 KB the old spawn-per-call fan-out
+/// needed.
+const PARALLEL_THRESHOLD_BYTES: usize = 64 * 1024;
 
-/// Most workers a single batch will spawn, independent of core count.
-const MAX_WORKERS: usize = 8;
+/// Most lanes a single batch will use, independent of core count.
+const MAX_LANES: usize = 8;
 
 fn hash_tagged(tag: u8, payload: &[u8]) -> Digest {
     let mut h = Sha256::new();
@@ -30,31 +40,44 @@ fn hash_tagged(tag: u8, payload: &[u8]) -> Digest {
     h.finalize()
 }
 
-/// Hash `tag ‖ payload` for every input, in order.
-///
-/// Equivalent to `inputs.iter().map(|(t, p)| hash_parts(&[&[*t], p]))` but
-/// free to compute the digests concurrently. The result order always
-/// matches the input order.
-pub fn hash_tagged_batch(inputs: &[(u8, &[u8])]) -> Vec<Digest> {
-    let total: usize = inputs.iter().map(|(_, p)| p.len()).sum();
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let workers = cores.min(MAX_WORKERS).min(inputs.len());
-    if workers <= 1 || total < PARALLEL_THRESHOLD_BYTES {
-        return inputs.iter().map(|(t, p)| hash_tagged(*t, p)).collect();
+fn hash_tagged_parts(tag: u8, parts: &[&[u8]]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&[tag]);
+    for p in parts {
+        h.update(p);
+    }
+    h.finalize()
+}
+
+/// Shared batching core: hash every input with `hash_one`, splitting the
+/// batch into contiguous spans of roughly equal payload bytes (`size`)
+/// and fanning the spans out over the worker pool when the total work is
+/// large enough. Result order always matches input order.
+fn hash_batch_with<T, S, H>(inputs: &[T], size: S, hash_one: H) -> Vec<Digest>
+where
+    T: Sync,
+    S: Fn(&T) -> usize,
+    H: Fn(&T) -> Digest + Send + Sync + Copy,
+{
+    let total: usize = inputs.iter().map(&size).sum();
+    // Size gate first: a small batch must not be the thing that
+    // materializes the worker pool.
+    if total < PARALLEL_THRESHOLD_BYTES || inputs.len() <= 1 {
+        return inputs.iter().map(hash_one).collect();
+    }
+    let lanes = pool::parallelism().min(MAX_LANES).min(inputs.len());
+    if lanes <= 1 {
+        return inputs.iter().map(hash_one).collect();
     }
 
-    // Partition the batch into contiguous spans of roughly equal payload
-    // bytes; each worker hashes one span into its slot of the output.
     let mut out: Vec<Digest> = vec![Digest::ZERO; inputs.len()];
-    let per_worker = total / workers + 1;
-    let mut spans: Vec<(usize, usize)> = Vec::with_capacity(workers);
+    let per_lane = total / lanes + 1;
+    let mut spans: Vec<(usize, usize)> = Vec::with_capacity(lanes);
     let mut start = 0usize;
     let mut acc = 0usize;
-    for (i, (_, p)) in inputs.iter().enumerate() {
-        acc += p.len();
-        if acc >= per_worker && i + 1 < inputs.len() {
+    for (i, input) in inputs.iter().enumerate() {
+        acc += size(input);
+        if acc >= per_lane && i + 1 < inputs.len() {
             spans.push((start, i + 1));
             start = i + 1;
             acc = 0;
@@ -62,22 +85,43 @@ pub fn hash_tagged_batch(inputs: &[(u8, &[u8])]) -> Vec<Digest> {
     }
     spans.push((start, inputs.len()));
 
-    std::thread::scope(|s| {
-        let mut rest: &mut [Digest] = &mut out;
-        let mut offset = 0usize;
-        for &(lo, hi) in &spans {
-            let (slot, tail) = rest.split_at_mut(hi - offset);
-            rest = tail;
-            offset = hi;
-            let span = &inputs[lo..hi];
-            s.spawn(move || {
-                for (d, (t, p)) in slot.iter_mut().zip(span) {
-                    *d = hash_tagged(*t, p);
-                }
-            });
-        }
-    });
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(spans.len());
+    let mut rest: &mut [Digest] = &mut out;
+    let mut offset = 0usize;
+    for &(lo, hi) in &spans {
+        let (slot, tail) = rest.split_at_mut(hi - offset);
+        rest = tail;
+        offset = hi;
+        let span = &inputs[lo..hi];
+        tasks.push(Box::new(move || {
+            for (d, input) in slot.iter_mut().zip(span) {
+                *d = hash_one(input);
+            }
+        }));
+    }
+    pool::run_scoped(tasks);
     out
+}
+
+/// Hash `tag ‖ payload` for every input, in order.
+///
+/// Equivalent to `inputs.iter().map(|(t, p)| hash_parts(&[&[*t], p]))` but
+/// free to compute the digests concurrently. The result order always
+/// matches the input order.
+pub fn hash_tagged_batch(inputs: &[(u8, &[u8])]) -> Vec<Digest> {
+    hash_batch_with(inputs, |(_, p)| p.len(), |(t, p)| hash_tagged(*t, p))
+}
+
+/// Hash `tag ‖ part₀ ‖ part₁ ‖ …` for every input, in order — the
+/// rope-payload variant of [`hash_tagged_batch`]. A chunk assembled from
+/// borrowed spans is hashed straight out of those spans; nothing is
+/// concatenated first.
+pub fn hash_tagged_parts_batch(inputs: &[(u8, &[&[u8]])]) -> Vec<Digest> {
+    hash_batch_with(
+        inputs,
+        |(_, parts)| parts.iter().map(|p| p.len()).sum(),
+        |(t, parts)| hash_tagged_parts(*t, parts),
+    )
 }
 
 #[cfg(test)]
@@ -123,7 +167,7 @@ mod tests {
 
     #[test]
     fn large_batch_forces_parallel_path() {
-        // Enough bytes that multi-core machines take the threaded path;
+        // Enough bytes that multi-core machines take the pooled path;
         // the result must be identical either way.
         let payloads: Vec<Vec<u8>> = (0..40).map(|i| pseudo_random(20_000, 100 + i)).collect();
         let inputs: Vec<(u8, &[u8])> = payloads.iter().map(|p| (4u8, p.as_slice())).collect();
@@ -133,5 +177,43 @@ mod tests {
             .map(|(t, p)| hash_parts(&[&[*t], p]))
             .collect();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn parts_batch_matches_concatenation() {
+        // Each input split into spans at awkward offsets; the rope hash
+        // must equal the hash of the concatenation.
+        let payloads: Vec<Vec<u8>> = (0..48)
+            .map(|i| pseudo_random(3_000 + i * 97, i as u64))
+            .collect();
+        let parts: Vec<Vec<&[u8]>> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let cut1 = (i * 13 + 1) % p.len();
+                let cut2 = cut1 + (p.len() - cut1) / 2;
+                vec![&p[..cut1], &p[cut1..cut2], &p[cut2..]]
+            })
+            .collect();
+        let inputs: Vec<(u8, &[&[u8]])> = parts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| ((i % 5) as u8, p.as_slice()))
+            .collect();
+        let got = hash_tagged_parts_batch(&inputs);
+        for ((tag, _), (digest, payload)) in inputs.iter().zip(got.iter().zip(&payloads)) {
+            assert_eq!(*digest, hash_parts(&[&[*tag], payload]));
+        }
+    }
+
+    #[test]
+    fn parts_batch_handles_empty_spans() {
+        let body = pseudo_random(100_000, 9);
+        let parts: Vec<&[u8]> = vec![&[], &body[..], &[]];
+        let inputs: Vec<(u8, &[&[u8]])> = (0..8).map(|_| (6u8, parts.as_slice())).collect();
+        let got = hash_tagged_parts_batch(&inputs);
+        for d in got {
+            assert_eq!(d, hash_parts(&[&[6u8], &body]));
+        }
     }
 }

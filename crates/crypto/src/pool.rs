@@ -1,0 +1,276 @@
+//! A lazily-initialized pool of persistent hashing workers.
+//!
+//! The batched cid computation in [`crate::parallel`] used to fan out over
+//! `std::thread::scope`, paying thread spawn (tens of microseconds per
+//! worker) on *every* batch. A from-scratch build or a batched update
+//! hashes one mid-size batch per tree, so the spawn cost never amortized.
+//! This module keeps a fixed set of workers parked on a channel for the
+//! lifetime of the process: a batch now costs one channel send and one
+//! wakeup per worker, so parallel hashing pays off for much smaller
+//! batches (the threshold in `parallel.rs` dropped 256 KB → 64 KB).
+//!
+//! The pool is started on first use and sized to
+//! `available_parallelism - 1` (capped) — the submitting thread always
+//! executes one share of the batch itself, so all cores are busy without
+//! a handoff for the caller's share. Machines reporting a single hardware
+//! thread never start the pool and run everything serially.
+//!
+//! # Scoped execution
+//!
+//! [`run_scoped`] executes closures that borrow the caller's stack. The
+//! closures are transmuted to `'static` to cross the channel; safety comes
+//! from the completion latch — `run_scoped` does not return until every
+//! submitted closure has finished running, so the borrows outlive every
+//! use. This is the same contract `std::thread::scope` enforces, with the
+//! spawn replaced by a channel send. A panicking task is caught in the
+//! worker (keeping the pool alive) and re-raised on the submitting thread
+//! once the batch drains.
+
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    /// Senders are cheap to clone but `!Sync`; the mutex makes the pool
+    /// shareable across submitting threads. Held only to enqueue.
+    sender: Mutex<Sender<Job>>,
+    workers: usize,
+}
+
+/// Completion latch for one scoped batch.
+struct Latch {
+    done: Mutex<usize>,
+    cv: Condvar,
+    /// First caught panic payload, re-raised on the submitting thread.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Latch {
+    fn new() -> Latch {
+        Latch {
+            done: Mutex::new(0),
+            cv: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn signal(&self, task_panic: Option<Box<dyn std::any::Any + Send>>) {
+        if let Some(payload) = task_panic {
+            let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+            slot.get_or_insert(payload);
+        }
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        *done += 1;
+        self.cv.notify_one();
+    }
+
+    fn wait(&self, target: usize) {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        while *done < target {
+            done = self
+                .cv
+                .wait(done)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+/// Most pool workers, independent of core count: hashing saturates memory
+/// bandwidth well before this on every host we care about.
+const MAX_POOL_WORKERS: usize = 7;
+
+static POOL: OnceLock<Option<Pool>> = OnceLock::new();
+
+fn pool() -> Option<&'static Pool> {
+    POOL.get_or_init(|| {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        // The submitting thread is worker zero; the pool adds the rest.
+        let workers = cores.saturating_sub(1).min(MAX_POOL_WORKERS);
+        if workers == 0 {
+            return None;
+        }
+        let (sender, receiver) = channel::<Job>();
+        let receiver = std::sync::Arc::new(Mutex::new(receiver));
+        for i in 0..workers {
+            let receiver = std::sync::Arc::clone(&receiver);
+            std::thread::Builder::new()
+                .name(format!("fb-hash-{i}"))
+                .spawn(move || loop {
+                    let job = {
+                        let guard = receiver.lock().unwrap_or_else(|e| e.into_inner());
+                        guard.recv()
+                    };
+                    match job {
+                        Ok(job) => job(),
+                        Err(_) => break, // channel closed: process exit
+                    }
+                })
+                .expect("spawn hash worker");
+        }
+        Some(Pool {
+            sender: Mutex::new(sender),
+            workers,
+        })
+    })
+    .as_ref()
+}
+
+/// Number of shares a batch should be split into to use every available
+/// lane: the pool workers plus the submitting thread. Returns 1 when the
+/// pool is disabled (single-core hosts).
+pub(crate) fn parallelism() -> usize {
+    pool().map(|p| p.workers + 1).unwrap_or(1)
+}
+
+/// Blocks until every job enqueued so far has signalled the latch, even
+/// if `run_scoped` unwinds before reaching its normal wait. The `'env`
+/// borrows inside submitted jobs are only safe while the caller's frame
+/// is alive, so an early unwind must drain the latch first — the same
+/// join-on-unwind guarantee `std::thread::scope` gives.
+struct LatchGuard<'a> {
+    latch: &'a Latch,
+    submitted: usize,
+}
+
+impl Drop for LatchGuard<'_> {
+    fn drop(&mut self) {
+        self.latch.wait(self.submitted);
+    }
+}
+
+/// Run `tasks` to completion, using the worker pool for all but the first
+/// task, which runs on the calling thread. Returns only after every task
+/// has finished; panics if any task panicked.
+///
+/// With no pool (single hardware thread), the tasks run serially in order.
+pub(crate) fn run_scoped<'env>(mut tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+    let Some(pool) = pool() else {
+        for t in tasks {
+            t();
+        }
+        return;
+    };
+    if tasks.len() <= 1 {
+        for t in tasks {
+            t();
+        }
+        return;
+    }
+    let first = tasks.remove(0);
+    let latch = Latch::new();
+    let latch_ref: &Latch = &latch;
+    // Armed before the first send: from here on, any unwind out of this
+    // function first blocks until every successfully submitted job has
+    // finished (Latch::wait is idempotent once the count is reached).
+    let mut guard = LatchGuard {
+        latch: &latch,
+        submitted: 0,
+    };
+    {
+        let sender = pool.sender.lock().unwrap_or_else(|e| e.into_inner());
+        for t in tasks {
+            // SAFETY: the latch is always drained before this frame is
+            // torn down — on the normal path below, and on unwind via
+            // `LatchGuard::drop` — so the `'env` borrows captured by `t`
+            // (and the `latch` reference) are live for the whole
+            // execution, the same guarantee `std::thread::scope`
+            // provides structurally.
+            let wrapper: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(t));
+                latch_ref.signal(outcome.err());
+            });
+            let job: Job = unsafe { std::mem::transmute(wrapper) };
+            sender.send(job).expect("hash pool alive");
+            guard.submitted += 1;
+        }
+    }
+    // The caller contributes its own share while the pool works.
+    let first_outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(first));
+    latch.wait(guard.submitted);
+    // Re-raise with the original payload (like std::thread::scope's join):
+    // the caller's own share first, then the first worker panic.
+    if let Err(payload) = first_outcome {
+        std::panic::resume_unwind(payload);
+    }
+    let worker_panic = latch.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+    if let Some(payload) = worker_panic {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_all_tasks_with_stack_borrows() {
+        let counter = AtomicUsize::new(0);
+        let mut out = vec![0usize; 16];
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| {
+                let counter = &counter;
+                Box::new(move || {
+                    *slot = i + 1;
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        run_scoped(tasks);
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+        assert_eq!(out, (1..=16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reusable_across_batches() {
+        for round in 0..32 {
+            let sum = AtomicUsize::new(0);
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+                .map(|i| {
+                    let sum = &sum;
+                    Box::new(move || {
+                        sum.fetch_add(i + round, Ordering::SeqCst);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            run_scoped(tasks);
+            assert_eq!(sum.load(Ordering::SeqCst), 6 + 4 * round);
+        }
+    }
+
+    #[test]
+    fn task_panic_propagates_and_pool_survives() {
+        let result = std::panic::catch_unwind(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+                .map(|i| {
+                    Box::new(move || {
+                        if i == 2 {
+                            panic!("boom");
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            run_scoped(tasks);
+        });
+        if parallelism() > 1 {
+            assert!(result.is_err(), "panic must propagate to the caller");
+        }
+        // The pool must still execute subsequent batches.
+        let ok = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+            .map(|_| {
+                let ok = &ok;
+                Box::new(move || {
+                    ok.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        run_scoped(tasks);
+        assert_eq!(ok.load(Ordering::SeqCst), 4);
+    }
+}

@@ -109,8 +109,8 @@ pub enum RollingKind {
 
 impl RollingKind {
     /// Instantiate the selected hash behind a trait object. This is the
-    /// retained naive-baseline construction: every [`roll`]
-    /// (RollingHash::roll) goes through a virtual call. Production code
+    /// retained naive-baseline construction: every
+    /// [`roll`](RollingHash::roll) goes through a virtual call. Production code
     /// uses [`scanner`](Self::scanner) instead.
     pub fn build(self, k: usize) -> Box<dyn RollingHash + Send> {
         match self {
@@ -228,22 +228,48 @@ trait BlockScan: RollingHash + Sized {
     fn commit(&mut self, hash: u64, processed: usize, tail: &[u8]);
 }
 
-/// Block implementation of [`RollingHash::scan_boundary`].
-///
-/// Phase 1 handles the first `min(k, len)` bytes through the reference
-/// per-byte step (the retiring byte, if any, lives in the ring buffer).
-/// Phase 2 walks paired slice iterators `(data[j], data[j+k])`, which the
-/// compiler turns into a bounds-check-free loop; the scanner is provably
-/// primed throughout phase 2 because at least `k` bytes precede it.
+/// Shared warm-up prologue of the boundary scans: roll the first
+/// `min(k, len)` bytes through the reference per-byte step (the retiring
+/// byte, if any, lives in the ring buffer), returning an early hit.
 #[inline]
-fn scan_boundary_block<H: BlockScan>(h: &mut H, data: &[u8], mask: u64) -> Option<usize> {
-    let k = h.window();
-    let warm = data.len().min(k);
+fn scan_warm_up<H: BlockScan>(h: &mut H, data: &[u8], mask: u64) -> Option<usize> {
+    let warm = data.len().min(h.window());
     for (i, &b) in data[..warm].iter().enumerate() {
         let v = h.roll(b);
         if h.primed() && v & mask == 0 {
             return Some(i + 1);
         }
+    }
+    None
+}
+
+/// Shared epilogue of the boundary scans: commit the steady-state result
+/// (final hash, bytes consumed, final window content) back into the
+/// scanner and pass the hit through.
+#[inline]
+fn scan_commit<H: BlockScan>(
+    h: &mut H,
+    hash: u64,
+    hit: Option<usize>,
+    data: &[u8],
+) -> Option<usize> {
+    let k = h.window();
+    let end = hit.unwrap_or(data.len());
+    h.commit(hash, end - k, &data[end - k..end]);
+    hit
+}
+
+/// Block implementation of [`RollingHash::scan_boundary`].
+///
+/// Phase 1 is the shared warm-up ([`scan_warm_up`]). Phase 2 walks paired
+/// slice iterators `(data[j], data[j+k])`, which the compiler turns into
+/// a bounds-check-free loop; the scanner is provably primed throughout
+/// phase 2 because at least `k` bytes precede it.
+#[inline]
+fn scan_boundary_block<H: BlockScan>(h: &mut H, data: &[u8], mask: u64) -> Option<usize> {
+    let k = h.window();
+    if let Some(hit) = scan_warm_up(h, data, mask) {
+        return Some(hit);
     }
     if data.len() <= k {
         return None;
@@ -257,9 +283,7 @@ fn scan_boundary_block<H: BlockScan>(h: &mut H, data: &[u8], mask: u64) -> Optio
             break;
         }
     }
-    let end = hit.unwrap_or(data.len());
-    h.commit(hash, end - k, &data[end - k..end]);
-    hit
+    scan_commit(h, hash, hit, data)
 }
 
 /// Block implementation of [`RollingHash::feed_detect`]: same two-phase
@@ -351,7 +375,10 @@ impl RollingHash for CyclicPoly {
             self.hash = self.hash.rotate_left(1) ^ incoming;
         }
         self.buf[self.pos] = byte;
-        self.pos = (self.pos + 1) % self.window;
+        self.pos += 1;
+        if self.pos == self.window {
+            self.pos = 0;
+        }
         self.consumed += 1;
         self.hash
     }
@@ -366,13 +393,92 @@ impl RollingHash for CyclicPoly {
 
     #[inline]
     fn scan_boundary(&mut self, data: &[u8], mask: u64) -> Option<usize> {
-        scan_boundary_block(self, data, mask)
+        scan_boundary_cyclic4(self, data, mask)
     }
 
     #[inline]
     fn feed_detect(&mut self, data: &[u8], mask: u64) -> bool {
         feed_detect_block(self, data, mask)
     }
+}
+
+/// 4-way unrolled steady-state scan for the cyclic polynomial.
+///
+/// The generic block loop's throughput is bounded by its loop-carried
+/// dependency: `h_j = s(h_{j-1}) ^ a_j` (with `a_j` the combined
+/// retiring/incoming contribution) chains one rotate and one xor per
+/// byte. Because the 1-bit rotation `s` distributes over xor, four steps
+/// collapse algebraically:
+///
+/// ```text
+/// h_{j+4} = s⁴(h_j) ^ s³(a_{j+1}) ^ s²(a_{j+2}) ^ s(a_{j+3}) ^ a_{j+4}
+/// ```
+///
+/// so the carried chain becomes one `rotate_left(4)` plus a xor-tree per
+/// **four** bytes, with the intermediate hashes `h_{j+1..j+3}` (needed
+/// for the boundary check) computed off the critical path. Produces
+/// bit-identical hash sequences — the equivalence proptests and golden
+/// cid pins cover this path.
+#[inline]
+fn scan_boundary_cyclic4(h: &mut CyclicPoly, data: &[u8], mask: u64) -> Option<usize> {
+    let k = h.window;
+    if let Some(hit) = scan_warm_up(h, data, mask) {
+        return Some(hit);
+    }
+    if data.len() <= k {
+        return None;
+    }
+    let n = data.len() - k;
+    let out = &data[..n];
+    let inc = &data[k..];
+    let mut hash = h.hash;
+    let mut hit = None;
+    let mut j = 0usize;
+    let blocks = n & !3;
+    for (o, i) in out[..blocks]
+        .chunks_exact(4)
+        .zip(inc[..blocks].chunks_exact(4))
+    {
+        let o: [u8; 4] = o.try_into().expect("chunk of 4");
+        let i: [u8; 4] = i.try_into().expect("chunk of 4");
+        let a1 = h.table_out[o[0] as usize] ^ h.table[i[0] as usize];
+        let a2 = h.table_out[o[1] as usize] ^ h.table[i[1] as usize];
+        let a3 = h.table_out[o[2] as usize] ^ h.table[i[2] as usize];
+        let a4 = h.table_out[o[3] as usize] ^ h.table[i[3] as usize];
+        let h1 = hash.rotate_left(1) ^ a1;
+        let h2 = hash.rotate_left(2) ^ a1.rotate_left(1) ^ a2;
+        let h3 = hash.rotate_left(3) ^ (a1.rotate_left(2) ^ a2.rotate_left(1)) ^ a3;
+        let h4 = hash.rotate_left(4)
+            ^ (a1.rotate_left(3) ^ a2.rotate_left(2))
+            ^ (a3.rotate_left(1) ^ a4);
+        if (h1 & mask == 0) | (h2 & mask == 0) | (h3 & mask == 0) | (h4 & mask == 0) {
+            let (step, at_hash) = if h1 & mask == 0 {
+                (1, h1)
+            } else if h2 & mask == 0 {
+                (2, h2)
+            } else if h3 & mask == 0 {
+                (3, h3)
+            } else {
+                (4, h4)
+            };
+            hash = at_hash;
+            hit = Some(k + j + step);
+            break;
+        }
+        hash = h4;
+        j += 4;
+    }
+    if hit.is_none() {
+        for (&o, &i) in out[j..].iter().zip(&inc[j..n]) {
+            hash = hash.rotate_left(1) ^ h.table_out[o as usize] ^ h.table[i as usize];
+            j += 1;
+            if hash & mask == 0 {
+                hit = Some(k + j);
+                break;
+            }
+        }
+    }
+    scan_commit(h, hash, hit, data)
 }
 
 impl BlockScan for CyclicPoly {
@@ -474,7 +580,10 @@ impl RollingHash for RabinKarp {
             self.hash = self.hash.wrapping_mul(RK_BASE).wrapping_add(incoming);
         }
         self.buf[self.pos] = byte;
-        self.pos = (self.pos + 1) % self.window;
+        self.pos += 1;
+        if self.pos == self.window {
+            self.pos = 0;
+        }
         self.consumed += 1;
         self.hash
     }
@@ -579,7 +688,10 @@ impl RollingHash for MovingSum {
             self.hash = self.hash.wrapping_add(incoming);
         }
         self.buf[self.pos] = byte;
-        self.pos = (self.pos + 1) % self.window;
+        self.pos += 1;
+        if self.pos == self.window {
+            self.pos = 0;
+        }
         self.consumed += 1;
         self.hash
     }

@@ -11,11 +11,11 @@
 //!   instructions, selected at runtime when the CPU reports the `sha`
 //!   feature. Processes any number of blocks per call with the state held
 //!   in registers throughout.
-//! * [`compress_fast`] — fully unrolled 64 rounds with a rolling 16-word
+//! * `compress_fast` — fully unrolled 64 rounds with a rolling 16-word
 //!   message schedule computed on the fly and no register shuffling (the
 //!   round macro permutes its arguments instead). The portable fallback
 //!   for [`Sha256`].
-//! * [`compress_naive`] — the original straight-line loop, retained as
+//! * `compress_naive` — the original straight-line loop, retained as
 //!   the reference implementation ([`Sha256Naive`]); the `naive-baseline`
 //!   feature swaps it back into [`Sha256`] for whole-system A/B runs.
 //!
@@ -290,7 +290,7 @@ unsafe fn compress_blocks_shani(state: &mut [u32; 8], blocks: &[u8]) {
 
 /// Incremental SHA-256 hasher, monomorphized over the compression
 /// function (`NAIVE = false` → SHA-NI when available, else
-/// [`compress_fast`]; `true` → [`compress_naive`]).
+/// `compress_fast`; `true` → `compress_naive`).
 ///
 /// Use through the [`Sha256`] / [`Sha256Naive`] aliases:
 ///
@@ -441,7 +441,7 @@ pub fn sha256(data: &[u8]) -> Digest {
 }
 
 /// One-shot SHA-256 through the retained naive compression function —
-/// the equivalence oracle for [`compress_fast`].
+/// the equivalence oracle for `compress_fast`.
 pub fn sha256_naive(data: &[u8]) -> Digest {
     let mut h = Sha256Naive::new();
     h.update(data);

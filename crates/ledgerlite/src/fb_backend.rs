@@ -122,7 +122,7 @@ impl StateBackend for ForkBaseBackend {
                 .latest_value
                 .get(&(contract.clone(), key.clone()))
                 .copied();
-            let blob = self.db.new_blob(&value);
+            let blob = self.db.new_blob_bytes(value);
             let uid = self
                 .db
                 .put_conflict(vk, base, Value::Blob(blob))
@@ -189,7 +189,7 @@ impl StateBackend for ForkBaseBackend {
     }
 
     fn store_block(&mut self, block: &Block) {
-        let blob = self.db.new_blob(&block.encode());
+        let blob = self.db.new_blob_bytes(block.encode());
         self.db
             .put(block_key(block.header.height), None, Value::Blob(blob))
             .expect("block commit");

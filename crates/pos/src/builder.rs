@@ -5,6 +5,18 @@
 //! leaf entries then pass through [`build_from_entries`], which builds the
 //! index levels using the cid-based pattern P′ until a single root remains.
 //!
+//! # Copy-free leaf assembly
+//!
+//! A pending leaf is a **rope**: a list of `Bytes` spans. Content adopted
+//! from an existing buffer — an encoded input run during a from-scratch
+//! build ([`append_encoded_run`](LeafBuilder::append_encoded_run)), an old
+//! leaf's untouched region during a splice
+//! ([`append_blob_shared`](LeafBuilder::append_blob_shared)) — enters the
+//! rope as a zero-copy slice of that buffer. Only freshly encoded
+//! elements pass through a small stitch buffer. The ropes are handed to
+//! [`Chunk::new_batch_ropes`], which hashes straight over the spans, so a
+//! leaf whose content is one borrowed run is never copied at all.
+//!
 //! The builder also supports the two operations the splice-based update
 //! path needs (§4.3.3 "only affected nodes are reconstructed"):
 //! * [`LeafBuilder::push_reused`] — adopt an existing leaf wholesale
@@ -24,31 +36,44 @@ use forkbase_crypto::{ChunkerConfig, LeafChunker};
 /// A leaf the builder has settled on but not necessarily hashed yet.
 ///
 /// Reused leaves arrive with their entry (cid included) ready; fresh
-/// leaves carry only their payload — their cids are independent of each
-/// other, so [`LeafBuilder::finish`] computes them all in one batch
+/// leaves carry only their payload rope — their cids are independent of
+/// each other, so [`LeafBuilder::finish`] computes them all in one batch
 /// (parallel on multi-core hosts) instead of once per cut.
 enum PendingLeaf {
     Reused(IndexEntry),
     Fresh {
-        payload: Bytes,
+        rope: Vec<Bytes>,
         count: u64,
         key: Bytes,
     },
 }
 
+/// Where the pending leaf's last key currently lives. Keys inside the
+/// open stitch buffer are tracked as plain offsets (no `Bytes` refcount
+/// per item); they are resolved to a zero-copy slice when the stitch
+/// segment freezes.
+enum LastKey {
+    None,
+    /// Byte range within the open stitch buffer.
+    Stitch(usize, usize),
+    /// Already-frozen bytes (a slice of a rope span).
+    Frozen(Bytes),
+}
+
 /// Streaming builder for the leaf level of a POS-Tree.
 pub struct LeafBuilder<'s> {
     store: &'s dyn ChunkStore,
-    #[allow(dead_code)]
-    cfg: ChunkerConfig,
     ty: TreeType,
     chunker: LeafChunker,
-    buf: Vec<u8>,
+    /// Frozen rope spans of the pending (uncut) leaf, in content order.
+    spans: Vec<Bytes>,
+    /// Open segment receiving freshly encoded elements; frozen into
+    /// `spans` when a borrowed span arrives or the leaf cuts.
+    stitch: Vec<u8>,
+    /// Total encoded bytes pending (spans + stitch).
+    pending_len: usize,
     count: u64,
-    /// Byte range of the pending leaf's last key **within `buf`** —
-    /// materialized only at cut time, so per-item appends never touch a
-    /// `Bytes` refcount.
-    last_key_span: (usize, usize),
+    last_key: LastKey,
     entries: Vec<PendingLeaf>,
 }
 
@@ -57,12 +82,13 @@ impl<'s> LeafBuilder<'s> {
     pub fn new(store: &'s dyn ChunkStore, cfg: &ChunkerConfig, ty: TreeType) -> Self {
         LeafBuilder {
             store,
-            cfg: cfg.clone(),
             ty,
             chunker: LeafChunker::new(cfg),
-            buf: Vec::new(),
+            spans: Vec::new(),
+            stitch: Vec::new(),
+            pending_len: 0,
             count: 0,
-            last_key_span: (0, 0),
+            last_key: LastKey::None,
             entries: Vec::new(),
         }
     }
@@ -70,12 +96,32 @@ impl<'s> LeafBuilder<'s> {
     /// True when no partial leaf is pending, i.e. the last fed byte ended a
     /// chunk (or nothing has been fed).
     pub fn aligned(&self) -> bool {
-        self.buf.is_empty()
+        self.pending_len == 0
     }
 
     /// Encoded bytes in the pending (uncut) leaf.
     pub fn pending_bytes(&self) -> usize {
-        self.buf.len()
+        self.pending_len
+    }
+
+    /// Freeze the open stitch segment into a rope span, resolving a
+    /// stitch-relative key to a zero-copy slice of the frozen bytes.
+    fn freeze_stitch(&mut self) {
+        if self.stitch.is_empty() {
+            return;
+        }
+        let frozen = Bytes::from(std::mem::take(&mut self.stitch));
+        if let LastKey::Stitch(s, e) = self.last_key {
+            self.last_key = LastKey::Frozen(frozen.slice(s..e));
+        }
+        self.spans.push(frozen);
+    }
+
+    /// Append a borrowed span to the pending leaf's rope.
+    fn push_span(&mut self, span: Bytes) {
+        self.freeze_stitch();
+        self.pending_len += span.len();
+        self.spans.push(span);
     }
 
     /// Warm the rolling window with the `bytes` that immediately precede
@@ -101,9 +147,10 @@ impl<'s> LeafBuilder<'s> {
     /// must append in non-decreasing key order.
     pub fn append_item(&mut self, item: &Item) {
         debug_assert!(self.ty != TreeType::Blob, "use append_blob for Blob trees");
-        let start = self.buf.len();
-        encode_item(self.ty, item, &mut self.buf);
-        self.chunker.feed(&self.buf[start..]);
+        let start = self.stitch.len();
+        encode_item(self.ty, item, &mut self.stitch);
+        self.chunker.feed(&self.stitch[start..]);
+        self.pending_len += self.stitch.len() - start;
         self.count += 1;
         if self.ty.is_sorted() {
             debug_assert!(
@@ -113,7 +160,7 @@ impl<'s> LeafBuilder<'s> {
             // The key's bytes sit right behind its length varint in the
             // encoding just written.
             let koff = start + varint_len(item.key.len() as u64);
-            self.last_key_span = (koff, koff + item.key.len());
+            self.last_key = LastKey::Stitch(koff, koff + item.key.len());
         }
         if self.chunker.boundary() {
             self.cut();
@@ -121,28 +168,31 @@ impl<'s> LeafBuilder<'s> {
     }
 
     /// Append a run of elements that are **already encoded** for this tree
-    /// type, copied verbatim out of `src` (typically an old leaf payload).
-    /// `items` are the run's elements in order, as spans into `src`
-    /// (contiguous — each span starts where the previous one ended).
+    /// type, adopted as zero-copy slices of `src` (an old leaf payload
+    /// during a splice, or the pre-encoded input buffer of a from-scratch
+    /// build). `items` are the run's elements in order, as spans into
+    /// `src` (contiguous — each span starts where the previous one ended).
     ///
     /// Bit-identical to decoding every element and calling
-    /// [`append_item`], but the whole run goes through the slice-level
+    /// [`append_item`](Self::append_item), but the whole run goes through the slice-level
     /// boundary scanner ([`LeafChunker::feed_bytewise`]) instead of one
     /// `feed` per element: a pattern hit inside element `j` is mapped to
     /// `j`'s end (elements never span chunks) and the scan resumes after
     /// the cut. For the ~22-byte elements of a metadata map this is ~5×
-    /// less chunker overhead — the difference between a batched update
-    /// paying per *byte* and paying per *element*.
-    pub fn append_encoded_run(&mut self, src: &[u8], items: &[RawItem]) {
+    /// less chunker overhead — the difference between paying per *byte*
+    /// and paying per *element*. The adopted bytes enter the leaf rope as
+    /// slices of `src`; they are not copied.
+    pub fn append_encoded_run(&mut self, src: &Bytes, items: &[RawItem]) {
         debug_assert!(self.ty != TreeType::Blob, "use append_blob for Blob trees");
         let run_end = match items.last() {
             Some(last) => last.span.1,
             None => return,
         };
+        let buf: &[u8] = src;
         let mut i = 0usize;
         while i < items.len() {
             let start = items[i].span.0;
-            match self.chunker.feed_bytewise(&src[start..run_end]) {
+            match self.chunker.feed_bytewise(&buf[start..run_end]) {
                 Some(n) => {
                     // Boundary (pattern or size cap) after `n` bytes:
                     // extend it to the end of the element containing it
@@ -150,12 +200,11 @@ impl<'s> LeafBuilder<'s> {
                     let p = start + n;
                     let j = i + items[i..].partition_point(|r| r.span.1 < p);
                     let item = &items[j];
-                    self.chunker.feed(&src[p..item.span.1]);
-                    self.buf.extend_from_slice(&src[start..item.span.1]);
+                    self.chunker.feed(&buf[p..item.span.1]);
+                    self.push_span(src.slice(start..item.span.1));
                     self.count += (j - i + 1) as u64;
                     if self.ty.is_sorted() {
-                        let off = self.buf.len() - (item.span.1 - item.key.0);
-                        self.last_key_span = (off, off + (item.key.1 - item.key.0));
+                        self.last_key = LastKey::Frozen(src.slice(item.key.0..item.key.1));
                     }
                     self.cut();
                     i = j + 1;
@@ -163,11 +212,10 @@ impl<'s> LeafBuilder<'s> {
                 None => {
                     // No boundary in the rest of the run: adopt it whole.
                     let item = items[items.len() - 1];
-                    self.buf.extend_from_slice(&src[start..run_end]);
+                    self.push_span(src.slice(start..run_end));
                     self.count += (items.len() - i) as u64;
                     if self.ty.is_sorted() {
-                        let off = self.buf.len() - (item.span.1 - item.key.0);
-                        self.last_key_span = (off, off + (item.key.1 - item.key.0));
+                        self.last_key = LastKey::Frozen(src.slice(item.key.0..item.key.1));
                     }
                     i = items.len();
                 }
@@ -177,21 +225,48 @@ impl<'s> LeafBuilder<'s> {
 
     /// The pending leaf's current last key (empty when nothing pending).
     fn pending_last_key(&self) -> &[u8] {
-        &self.buf[self.last_key_span.0..self.last_key_span.1]
+        match &self.last_key {
+            LastKey::None => &[],
+            LastKey::Stitch(s, e) => &self.stitch[*s..*e],
+            LastKey::Frozen(b) => b,
+        }
     }
 
     /// Append raw bytes to a Blob tree; every byte is an element, so a
     /// boundary can fall on any byte. The chunker scans `data` slice-at-a-
     /// time ([`LeafChunker::feed_bytewise`]) and reports the exact cut
     /// position, so the whole input is processed by block instead of one
-    /// `feed` call per byte.
+    /// `feed` call per byte. The bytes are copied through the stitch
+    /// buffer — use [`append_blob_shared`](Self::append_blob_shared) when
+    /// the source is already a shared buffer.
     pub fn append_blob(&mut self, data: &[u8]) {
         debug_assert!(self.ty == TreeType::Blob);
         let mut off = 0usize;
         while off < data.len() {
             let hit = self.chunker.feed_bytewise(&data[off..]);
             let n = hit.unwrap_or(data.len() - off);
-            self.buf.extend_from_slice(&data[off..off + n]);
+            self.stitch.extend_from_slice(&data[off..off + n]);
+            self.pending_len += n;
+            self.count += n as u64;
+            off += n;
+            if hit.is_some() {
+                self.cut();
+            }
+        }
+    }
+
+    /// [`append_blob`](Self::append_blob), but the consumed bytes enter
+    /// the leaf ropes as zero-copy slices of `data` — a whole-blob build
+    /// from a shared buffer, or the untouched regions of an old leaf
+    /// during a splice, never copy their payload bytes.
+    pub fn append_blob_shared(&mut self, data: &Bytes) {
+        debug_assert!(self.ty == TreeType::Blob);
+        let buf: &[u8] = data;
+        let mut off = 0usize;
+        while off < buf.len() {
+            let hit = self.chunker.feed_bytewise(&buf[off..]);
+            let n = hit.unwrap_or(buf.len() - off);
+            self.push_span(data.slice(off..off + n));
             self.count += n as u64;
             off += n;
             if hit.is_some() {
@@ -202,21 +277,23 @@ impl<'s> LeafBuilder<'s> {
 
     /// Flush the pending leaf (if any), hash and store every fresh leaf,
     /// and return the leaf entry list. Fresh-leaf cids are computed as one
-    /// batch ([`Chunk::new_batch`]): a batched update that touched many
-    /// leaves pays for thread fan-out once instead of hashing serially.
+    /// batch straight over the payload ropes ([`Chunk::new_batch_ropes`],
+    /// parallel on multi-core hosts): a build or batched update that
+    /// produced many leaves pays for hashing fan-out once instead of
+    /// hashing serially, and single-span leaves are never re-materialized.
     pub fn finish(mut self) -> Vec<IndexEntry> {
-        if !self.buf.is_empty() {
+        if self.pending_len > 0 {
             self.cut();
         }
-        let payloads: Vec<Bytes> = self
+        let ropes: Vec<Vec<Bytes>> = self
             .entries
-            .iter()
+            .iter_mut()
             .filter_map(|p| match p {
-                PendingLeaf::Fresh { payload, .. } => Some(payload.clone()),
+                PendingLeaf::Fresh { rope, .. } => Some(std::mem::take(rope)),
                 PendingLeaf::Reused(_) => None,
             })
             .collect();
-        let mut chunks = Chunk::new_batch(self.ty.leaf_chunk(), payloads).into_iter();
+        let mut chunks = Chunk::new_batch_ropes(self.ty.leaf_chunk(), ropes).into_iter();
         self.entries
             .into_iter()
             .map(|p| match p {
@@ -232,20 +309,21 @@ impl<'s> LeafBuilder<'s> {
     }
 
     fn cut(&mut self) {
-        let payload = Bytes::from(std::mem::take(&mut self.buf));
-        let (ks, ke) = self.last_key_span;
-        let key = if ke > ks {
-            payload.slice(ks..ke)
-        } else {
-            Bytes::new()
+        self.freeze_stitch();
+        let rope = std::mem::take(&mut self.spans);
+        let key = match std::mem::replace(&mut self.last_key, LastKey::None) {
+            LastKey::Frozen(b) => b,
+            // freeze_stitch resolved any stitch-relative key above.
+            LastKey::Stitch(..) => unreachable!("stitch key resolved at freeze"),
+            LastKey::None => Bytes::new(),
         };
-        self.last_key_span = (0, 0);
         self.entries.push(PendingLeaf::Fresh {
-            payload,
+            rope,
             count: self.count,
             key,
         });
         self.count = 0;
+        self.pending_len = 0;
         self.chunker.cut();
     }
 }
@@ -404,22 +482,145 @@ fn emit_index(
 }
 
 /// Build a complete tree from an element stream.
+///
+/// The whole input is pre-encoded into one contiguous buffer (for sorted
+/// types the caller supplies elements in key order, exactly as
+/// [`LeafBuilder::append_item`] requires), then the buffer is run through
+/// the slice-level boundary scanner as a **single encoded run**
+/// ([`LeafBuilder::append_encoded_run`]): boundary detection pays per
+/// byte instead of per element, and every leaf payload is a zero-copy
+/// slice of the encode buffer. Bit-identical to the retained
+/// element-at-a-time path ([`build_items_itemwise`]) — the
+/// `build_equivalence` proptests pin that down.
 pub fn build_items(
     store: &dyn ChunkStore,
     cfg: &ChunkerConfig,
     ty: TreeType,
     items: impl IntoIterator<Item = Item>,
 ) -> forkbase_crypto::Digest {
-    let mut lb = LeafBuilder::new(store, cfg, ty);
+    if ty == TreeType::Blob {
+        // Blob "items" are byte runs; concatenate and take the blob path.
+        let mut buf = Vec::new();
+        for item in items {
+            buf.extend_from_slice(&item.value);
+        }
+        return build_blob_bytes(store, cfg, Bytes::from(buf));
+    }
+    let mut buf = Vec::new();
+    let mut raw: Vec<RawItem> = Vec::new();
+    #[cfg(debug_assertions)]
+    let mut prev_key = Bytes::new();
     for item in items {
-        lb.append_item(&item);
+        #[cfg(debug_assertions)]
+        if ty.is_sorted() {
+            debug_assert!(prev_key <= item.key, "sorted build fed out of order");
+            prev_key = item.key.clone();
+        }
+        let start = buf.len();
+        encode_item(ty, &item, &mut buf);
+        let koff = start + varint_len(item.key.len() as u64);
+        raw.push(RawItem {
+            span: (start, buf.len()),
+            key: if ty.is_sorted() {
+                (koff, koff + item.key.len())
+            } else {
+                (0, 0)
+            },
+        });
+    }
+    let src = Bytes::from(buf);
+    let mut lb = LeafBuilder::new(store, cfg, ty);
+    lb.append_encoded_run(&src, &raw);
+    build_from_entries(store, cfg, ty, lb.finish())
+}
+
+/// The retained element-at-a-time build path: one chunker feed per
+/// element, payloads copied through the stitch buffer. This is the
+/// provably-unchanged baseline the run-scanning path
+/// ([`build_items`]) is benchmarked and equivalence-tested against.
+pub fn build_items_itemwise(
+    store: &dyn ChunkStore,
+    cfg: &ChunkerConfig,
+    ty: TreeType,
+    items: impl IntoIterator<Item = Item>,
+) -> forkbase_crypto::Digest {
+    let mut lb = LeafBuilder::new(store, cfg, ty);
+    if ty == TreeType::Blob {
+        for item in items {
+            lb.append_blob(&item.value);
+        }
+    } else {
+        for item in items {
+            lb.append_item(&item);
+        }
     }
     let entries = lb.finish();
     build_from_entries(store, cfg, ty, entries)
 }
 
 /// Build a Blob tree from raw bytes.
+///
+/// The borrowed input is copied into a shared buffer once up front and
+/// then takes the zero-copy path — prefer [`build_blob_bytes`] when the
+/// caller already owns a `Bytes`.
 pub fn build_blob(
+    store: &dyn ChunkStore,
+    cfg: &ChunkerConfig,
+    data: &[u8],
+) -> forkbase_crypto::Digest {
+    build_blob_bytes(store, cfg, Bytes::copy_from_slice(data))
+}
+
+/// Build a Blob tree from a shared buffer. Every leaf payload is a
+/// zero-copy slice of `data`, and the two byte-level passes of the build
+/// both run parallel on multi-core hosts: the boundary scan through
+/// [`split_positions_parallel`](forkbase_crypto::split_positions_parallel)
+/// (pattern hits are independent of cut positions because the rolling
+/// window never resets at a cut) and the leaf cids as one rope batch.
+///
+/// Memory tradeoff: stored leaves alias `data`'s allocation. For fresh
+/// content the slices sum to the buffer, so nothing extra is pinned; a
+/// *highly deduplicated* build (most chunks already in the store) can
+/// leave a few retained leaves pinning the whole input buffer until a GC
+/// compaction, which unshares payloads ([`Chunk::unshared`]).
+pub fn build_blob_bytes(
+    store: &dyn ChunkStore,
+    cfg: &ChunkerConfig,
+    data: Bytes,
+) -> forkbase_crypto::Digest {
+    let cuts = forkbase_crypto::split_positions_parallel(&data, cfg);
+    let ropes: Vec<Vec<Bytes>> = {
+        let mut prev = 0usize;
+        cuts.iter()
+            .map(|&c| {
+                let span = data.slice(prev..c);
+                prev = c;
+                vec![span]
+            })
+            .collect()
+    };
+    let mut prev = 0usize;
+    let entries: Vec<IndexEntry> = Chunk::new_batch_ropes(TreeType::Blob.leaf_chunk(), ropes)
+        .into_iter()
+        .zip(&cuts)
+        .map(|(chunk, &c)| {
+            let cid = chunk.cid();
+            store.put(chunk);
+            let count = (c - prev) as u64;
+            prev = c;
+            IndexEntry {
+                cid,
+                count,
+                key: Bytes::new(),
+            }
+        })
+        .collect();
+    build_from_entries(store, cfg, TreeType::Blob, entries)
+}
+
+/// The retained copy-through-the-stitch-buffer Blob build — the baseline
+/// [`build_blob_bytes`] is benchmarked and equivalence-tested against.
+pub fn build_blob_itemwise(
     store: &dyn ChunkStore,
     cfg: &ChunkerConfig,
     data: &[u8],

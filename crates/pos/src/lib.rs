@@ -63,7 +63,8 @@ pub use error::{TreeError, TreeResult};
 pub use iter::ItemIter;
 pub use leaf::Item;
 pub use merge::{
-    merge3_blob, merge3_sorted, BlobConflict, Conflict, MergeError, MergeOutcome, Resolver,
+    merge3_blob, merge3_sorted, BlobConflict, BlobMergeError, Conflict, MergeError, MergeOutcome,
+    Resolver,
 };
 pub use tree::{Blob, List, Map, Set, TreeRef};
 pub use types::TreeType;

@@ -133,8 +133,18 @@ pub fn merge3_sorted(
     }
 
     let corrupt = |root| MergeError::Corrupt(TreeError::MissingChunk { root });
-    let d_ours = sorted_diff(store, ty, base, ours).ok_or(corrupt(ours))?;
-    let d_theirs = sorted_diff(store, ty, base, theirs).ok_or(corrupt(theirs))?;
+    // A failed diff means *either* side of the pair is unreadable; only
+    // then re-scan the shared base so the error names the tree that is
+    // actually broken (no extra reads on the success path).
+    let blame = |side| {
+        if crate::scan::scan_tree(store, base, ty).is_none() {
+            corrupt(base)
+        } else {
+            corrupt(side)
+        }
+    };
+    let d_ours = sorted_diff(store, ty, base, ours).ok_or_else(|| blame(ours))?;
+    let d_theirs = sorted_diff(store, ty, base, theirs).ok_or_else(|| blame(theirs))?;
 
     // key -> (base value, new value)
     type Change = (Option<Bytes>, Option<Bytes>);
@@ -202,6 +212,18 @@ pub struct BlobConflict {
     pub theirs: (u64, u64),
 }
 
+/// Why a Blob three-way merge failed — the Blob-side analogue of
+/// [`MergeError`]: overlapping edits are the application's problem,
+/// unreadable input trees are a storage error and must not be presented
+/// as a resolvable conflict.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BlobMergeError {
+    /// Both sides edited overlapping byte regions.
+    Conflict(BlobConflict),
+    /// A chunk of one of the input trees is missing or corrupt.
+    Corrupt(TreeError),
+}
+
 /// Three-way merge of Blobs: succeeds when the two sides edited disjoint
 /// byte regions of the base.
 pub fn merge3_blob(
@@ -210,27 +232,40 @@ pub fn merge3_blob(
     base: Digest,
     ours: Digest,
     theirs: Digest,
-) -> Result<Digest, BlobConflict> {
+) -> Result<Digest, BlobMergeError> {
     if ours == theirs || theirs == base {
         return Ok(ours);
     }
     if ours == base {
         return Ok(theirs);
     }
+    // Identical content means identical roots (history independence), so
+    // differing roots guarantee a non-empty diff; a missing summary can
+    // only mean an unreadable tree. On failure, re-scan the shared base
+    // so the error names the tree that is actually broken (no extra
+    // reads on the success path).
+    let corrupt = |root| BlobMergeError::Corrupt(TreeError::MissingChunk { root });
+    let blame = |side| {
+        if crate::scan::scan_tree(store, base, crate::types::TreeType::Blob).is_none() {
+            corrupt(base)
+        } else {
+            corrupt(side)
+        }
+    };
     let d1 = blob_diff_summary(store, base, ours)
         .flatten()
-        .expect("ours differs from base");
+        .ok_or_else(|| blame(ours))?;
     let d2 = blob_diff_summary(store, base, theirs)
         .flatten()
-        .expect("theirs differs from base");
+        .ok_or_else(|| blame(theirs))?;
 
     let overlap =
         d1.start < d2.start + d2.left_len.max(1) && d2.start < d1.start + d1.left_len.max(1);
     if overlap {
-        return Err(BlobConflict {
+        return Err(BlobMergeError::Conflict(BlobConflict {
             ours: (d1.start, d1.left_len),
             theirs: (d2.start, d2.left_len),
-        });
+        }));
     }
 
     // Apply the higher-offset edit first so base coordinates stay valid.
@@ -241,16 +276,16 @@ pub fn merge3_blob(
     };
     let hi_bytes = Blob::from_root(hi_src)
         .read_range(store, hi.start, hi.right_len)
-        .expect("readable");
+        .ok_or(corrupt(hi_src))?;
     let merged = Blob::from_root(base)
         .splice(store, cfg, hi.start, hi.left_len, &hi_bytes)
-        .expect("splice");
+        .map_err(BlobMergeError::Corrupt)?;
     let lo_bytes = Blob::from_root(lo_src)
         .read_range(store, lo.start, lo.right_len)
-        .expect("readable");
+        .ok_or(corrupt(lo_src))?;
     let merged = merged
         .splice(store, cfg, lo.start, lo.left_len, &lo_bytes)
-        .expect("splice");
+        .map_err(BlobMergeError::Corrupt)?;
     Ok(merged.root())
 }
 

@@ -39,6 +39,19 @@ impl Blob {
         }
     }
 
+    /// Build from a shared buffer: every leaf payload is a zero-copy
+    /// slice of `data`, so the build's only byte-level work is the
+    /// boundary scan and the cid hashing.
+    pub fn build_bytes(
+        store: &dyn ChunkStore,
+        cfg: &ChunkerConfig,
+        data: impl Into<Bytes>,
+    ) -> Blob {
+        Blob {
+            root: crate::builder::build_blob_bytes(store, cfg, data.into()),
+        }
+    }
+
     /// Re-attach to an existing root.
     pub fn from_root(root: Digest) -> Blob {
         Blob { root }
@@ -97,7 +110,8 @@ impl Blob {
     }
 
     /// Replace `remove` bytes at `start` with `insert`; returns the new
-    /// blob (copy-on-write).
+    /// blob (copy-on-write). [`crate::TreeError::MissingChunk`] indicates
+    /// a missing/corrupt chunk in the version being spliced.
     pub fn splice(
         &self,
         store: &dyn ChunkStore,
@@ -105,14 +119,19 @@ impl Blob {
         start: u64,
         remove: u64,
         insert: &[u8],
-    ) -> Option<Blob> {
-        Some(Blob {
+    ) -> TreeResult<Blob> {
+        Ok(Blob {
             root: splice_blob(store, cfg, self.root, start, remove, insert)?,
         })
     }
 
     /// Append bytes at the end.
-    pub fn append(&self, store: &dyn ChunkStore, cfg: &ChunkerConfig, data: &[u8]) -> Option<Blob> {
+    pub fn append(
+        &self,
+        store: &dyn ChunkStore,
+        cfg: &ChunkerConfig,
+        data: &[u8],
+    ) -> TreeResult<Blob> {
         let len = self.len(store);
         self.splice(store, cfg, len, 0, data)
     }
@@ -124,7 +143,7 @@ impl Blob {
         cfg: &ChunkerConfig,
         start: u64,
         len: u64,
-    ) -> Option<Blob> {
+    ) -> TreeResult<Blob> {
         self.splice(store, cfg, start, len, &[])
     }
 
@@ -135,7 +154,7 @@ impl Blob {
         cfg: &ChunkerConfig,
         start: u64,
         data: &[u8],
-    ) -> Option<Blob> {
+    ) -> TreeResult<Blob> {
         self.splice(store, cfg, start, 0, data)
     }
 }
@@ -197,6 +216,8 @@ impl List {
     }
 
     /// Replace `remove` elements at `start` with `insert`.
+    /// [`crate::TreeError::MissingChunk`] indicates a missing/corrupt
+    /// chunk in the version being spliced.
     pub fn splice<I, B>(
         &self,
         store: &dyn ChunkStore,
@@ -204,13 +225,13 @@ impl List {
         start: u64,
         remove: u64,
         insert: I,
-    ) -> Option<List>
+    ) -> TreeResult<List>
     where
         I: IntoIterator<Item = B>,
         B: Into<Bytes>,
     {
         let items: Vec<Item> = insert.into_iter().map(|b| Item::list(b.into())).collect();
-        Some(List {
+        Ok(List {
             root: splice_list(store, cfg, self.root, start, remove, &items)?,
         })
     }
@@ -221,7 +242,7 @@ impl List {
         store: &dyn ChunkStore,
         cfg: &ChunkerConfig,
         elem: impl Into<Bytes>,
-    ) -> Option<List> {
+    ) -> TreeResult<List> {
         let len = self.len(store);
         self.splice(store, cfg, len, 0, [elem.into()])
     }

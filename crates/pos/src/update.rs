@@ -290,7 +290,21 @@ fn update_sorted_inner(
 
 /// Replace `remove` bytes at `start` with `insert` in a Blob tree.
 /// Out-of-range `start`/`remove` are clamped to the object.
+/// [`TreeError::MissingChunk`] indicates a missing/corrupt chunk in the
+/// tree being spliced.
 pub fn splice_blob(
+    store: &dyn ChunkStore,
+    cfg: &ChunkerConfig,
+    root: Digest,
+    start: u64,
+    remove: u64,
+    insert: &[u8],
+) -> TreeResult<Digest> {
+    splice_blob_inner(store, cfg, root, start, remove, insert)
+        .ok_or(TreeError::MissingChunk { root })
+}
+
+fn splice_blob_inner(
     store: &dyn ChunkStore,
     cfg: &ChunkerConfig,
     root: Digest,
@@ -357,7 +371,7 @@ pub fn splice_blob(
         let mut j = 0usize;
         if !inserted {
             let pre = (start - pos) as usize;
-            lb.append_blob(&payload[..pre]);
+            lb.append_blob_shared(&payload.slice(..pre));
             lb.append_blob(insert);
             inserted = true;
             dirty = true;
@@ -372,10 +386,10 @@ pub fn splice_blob(
             to_remove -= rm as u64;
             bytes_since_edit = 0;
         }
-        let rest = &payload[j..];
-        lb.append_blob(rest);
+        let rest_len = payload.len() - j;
+        lb.append_blob_shared(&payload.slice(j..));
         if dirty {
-            bytes_since_edit += rest.len();
+            bytes_since_edit += rest_len;
         }
         pos += e.count;
         li += 1;
@@ -400,7 +414,21 @@ pub fn splice_blob(
 
 /// Replace `remove` elements at position `start` with `insert` in a List
 /// tree. Out-of-range values are clamped.
+/// [`TreeError::MissingChunk`] indicates a missing/corrupt chunk in the
+/// tree being spliced.
 pub fn splice_list(
+    store: &dyn ChunkStore,
+    cfg: &ChunkerConfig,
+    root: Digest,
+    start: u64,
+    remove: u64,
+    insert: &[Item],
+) -> TreeResult<Digest> {
+    splice_list_inner(store, cfg, root, start, remove, insert)
+        .ok_or(TreeError::MissingChunk { root })
+}
+
+fn splice_list_inner(
     store: &dyn ChunkStore,
     cfg: &ChunkerConfig,
     root: Digest,

@@ -7,7 +7,7 @@
 
 use forkbase_chunk::MemStore;
 use forkbase_crypto::{ChunkerConfig, RollingKind};
-use forkbase_pos::tree::{Blob, Map};
+use forkbase_pos::tree::{Blob, List, Map, Set};
 
 fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
     let mut state = seed;
@@ -78,5 +78,42 @@ fn golden_map_root() {
     assert_eq!(
         map.root().to_hex(),
         "cbfa7a412addc8ae8d1985d6fabfb95265fcd761b9ff238ef539cf98d7b5b132"
+    );
+}
+
+/// From-scratch Set/List pins, captured from the element-at-a-time build
+/// path before from-scratch builds were routed through the run-scanning
+/// encoder — together with the Blob/Map pins above, all four chunkable
+/// types' full build pipelines (encoding, boundaries, cids) are nailed
+/// down.
+#[test]
+fn golden_set_and_list_roots() {
+    let store = MemStore::new();
+    let cfg = ChunkerConfig::with_leaf_bits(7);
+    let set = Set::build(&store, &cfg, (0..4000).map(|i| format!("member-{i:05}")));
+    assert_eq!(
+        set.root().to_hex(),
+        "d07e3893310636a24f2c4f87a44cb90199a2654d4e0bdb3a2ba010e55659b332"
+    );
+    let list = List::build(
+        &store,
+        &cfg,
+        (0..4000).map(|i| format!("list-element-{i:05}")),
+    );
+    assert_eq!(
+        list.root().to_hex(),
+        "233226312b764d7e6848fd3c77dd034af849b4bfad8d38f7f2fc98f06bfb8470"
+    );
+
+    let cfg2 = ChunkerConfig::with_leaf_bits(9);
+    let set2 = Set::build(&store, &cfg2, (0..20_000).map(|i| format!("s{i:07}")));
+    assert_eq!(
+        set2.root().to_hex(),
+        "e0843cb95aa6a591a45292975138e7eadb52f4aadac706193be653a37fa7da5a"
+    );
+    let list2 = List::build(&store, &cfg2, (0..20_000).map(|i| format!("v{i:07}")));
+    assert_eq!(
+        list2.root().to_hex(),
+        "c4dbbc8922bb837541b77c806b737b32fa1422db373cc72dc880be8b389a294c"
     );
 }

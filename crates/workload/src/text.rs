@@ -37,7 +37,7 @@ pub struct PageEditGen {
 }
 
 impl PageEditGen {
-    /// `update_ratio` ∈ [0,1]: 1.0 = 100U (all in-place).
+    /// `update_ratio` ∈ \[0,1\]: 1.0 = 100U (all in-place).
     pub fn new(seed: u64, update_ratio: f64, edit_size: usize) -> PageEditGen {
         PageEditGen {
             rng: StdRng::seed_from_u64(seed),

@@ -8,23 +8,27 @@
 # * BENCH_map_batch.json — the batched write path: per-edit cost of
 #   pos_map_100k/put_batch_{10,1k,100k} vs the sequential put_one loop,
 #   with derived per-edit speedups.
+# * BENCH_build.json — from-scratch builds: the run-scanning copy-free
+#   path vs the retained element-at-a-time path, for Blob/Map/Set.
 #
-# Usage: scripts/bench.sh [chunking.json] [map_batch.json]
+# Usage: scripts/bench.sh [chunking.json] [map_batch.json] [build.json]
 # Knobs: CRITERION_SAMPLE_MS (per-bench budget, default 300).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_chunking.json}"
 batch_out="${2:-BENCH_map_batch.json}"
+build_out="${3:-BENCH_build.json}"
 opt_json="$(mktemp)"
 naive_json="$(mktemp)"
 trap 'rm -f "$opt_json" "$naive_json"' EXIT
 
 export CRITERION_SAMPLE_MS="${CRITERION_SAMPLE_MS:-300}"
 
-echo "== optimized pipeline: crypto_micro + pos_micro" >&2
+echo "== optimized pipeline: crypto_micro + pos_micro + pos_build" >&2
 CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench crypto_micro
 CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench pos_micro
+CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench pos_build
 
 echo "== naive-baseline pipeline: pos_micro (end-to-end A/B)" >&2
 CRITERION_JSON="$naive_json" cargo bench -q -p fb-bench --bench pos_micro \
@@ -128,3 +132,37 @@ pe_100k=$(per_edit "$batch_100k" 100000)
 
 echo "wrote $batch_out" >&2
 grep -A4 'derived_speedups_per_edit' "$batch_out" >&2
+
+# ---- BENCH_build.json: run-scanning vs element-at-a-time builds --------
+
+blob_rs=$(median "$opt_json" "pos_build_scratch_blob_8MB/run_scan")
+blob_iw=$(median "$opt_json" "pos_build_scratch_blob_8MB/itemwise")
+map_rs=$(median "$opt_json" "pos_build_scratch_map_100k/run_scan")
+map_iw=$(median "$opt_json" "pos_build_scratch_map_100k/itemwise")
+set_rs=$(median "$opt_json" "pos_build_scratch_set_100k/run_scan")
+set_iw=$(median "$opt_json" "pos_build_scratch_set_100k/itemwise")
+
+{
+    echo '{'
+    echo '  "bench": "build",'
+    echo "  \"date_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"host\": \"$(uname -srm)\","
+    echo "  \"host_cores\": $(nproc),"
+    echo "  \"rustc\": \"$(rustc --version)\","
+    echo "  \"sample_ms\": ${CRITERION_SAMPLE_MS},"
+    echo '  "note": "itemwise = the retained element-at-a-time build path (the PR-2 technique) benched in the current tree. It also gained from this PR'"'"'s roll() and hashing improvements, so the vs_itemwise ratios understate the total gain over the committed PR-2 tree; EXPERIMENTS.md records the direct A/B against a PR-2 checkout. The boundary-scan and leaf-cid fan-outs are inert on single-core hosts (see host_cores).",'
+    echo '  "derived_speedups_vs_itemwise": {'
+    echo "    \"blob_8mb\": $(ratio "$blob_iw" "$blob_rs"),"
+    echo "    \"map_100k\": $(ratio "$map_iw" "$map_rs"),"
+    echo "    \"set_100k\": $(ratio "$set_iw" "$set_rs")"
+    echo '  },'
+    echo '  "raw": ['
+    grep -F '"bench":"pos_build_scratch' "$opt_json" \
+        | awk 'NR > 1 { print prev "," } { prev = $0 } END { if (NR) print prev }' \
+        | sed 's/^/    /'
+    echo '  ]'
+    echo '}'
+} > "$build_out"
+
+echo "wrote $build_out" >&2
+grep -A4 'derived_speedups_vs_itemwise' "$build_out" >&2

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Bench-regression gate: validate a freshly generated bench JSON against
+# the committed reference of the same kind.
+#
+#   scripts/check_bench.sh <fresh.json> <committed.json>
+#
+# This is a *structural* check, not a performance check (CI runs the
+# benches with a tiny budget, so absolute numbers are meaningless there).
+# It fails when a perf-facing refactor silently drops coverage:
+#
+#   * the "bench" kind tag differs,
+#   * a bench id present in the committed file is missing/renamed in the
+#     fresh run,
+#   * a raw result line has a non-positive median or ops/s, or a
+#     throughput unit other than bytes/elements/iters.
+#
+# Exit 0 = gate passed. Implemented with grep/awk/sed only (no jq).
+set -euo pipefail
+
+fresh="${1:?usage: check_bench.sh <fresh.json> <committed.json>}"
+committed="${2:?usage: check_bench.sh <fresh.json> <committed.json>}"
+
+fail=0
+
+# Criterion result lines look like {"bench":"<id>","median_ns_per_iter":...}.
+# The `|| true` guards keep `set -e`/pipefail from aborting the gate on
+# malformed input before a FAIL diagnostic can print.
+bench_ids() {
+    { grep -oE '"bench":"[^"]+"' "$1" || true; } | sed 's/"bench":"//; s/"$//' | sort -u
+}
+
+# The file-level kind tag: "bench": "<kind>" (note the space).
+kind_of() {
+    { grep -oE '"bench": "[^"]+"' "$1" || true; } | head -1 | sed 's/.*: "//; s/"$//'
+}
+
+fresh_kind="$(kind_of "$fresh")"
+committed_kind="$(kind_of "$committed")"
+if [ -z "$fresh_kind" ] || [ "$fresh_kind" != "$committed_kind" ]; then
+    echo "FAIL: kind tag mismatch: fresh='$fresh_kind' committed='$committed_kind'" >&2
+    fail=1
+fi
+
+# Every committed bench id must still be produced by the fresh run.
+missing=$(comm -23 <(bench_ids "$committed") <(bench_ids "$fresh") || true)
+if [ -n "$missing" ]; then
+    echo "FAIL: bench ids present in $committed but missing from $fresh:" >&2
+    echo "$missing" | sed 's/^/  - /' >&2
+    fail=1
+fi
+
+# Sanity of every fresh raw result line: positive median and ops/s, and a
+# known throughput unit.
+bad=$({ grep -oE '"bench":"[^"]+","median_ns_per_iter":[-0-9.e]+[^}]*' "$fresh" || true; } | awk '
+    {
+        line = $0
+        id = line; sub(/.*"bench":"/, "", id); sub(/".*/, "", id)
+        median = line; sub(/.*"median_ns_per_iter":/, "", median); sub(/,.*/, "", median)
+        ops = line; sub(/.*"ops_per_sec":/, "", ops); sub(/,.*/, "", ops)
+        unit = ""
+        if (line ~ /"unit":"/) { unit = line; sub(/.*"unit":"/, "", unit); sub(/".*/, "", unit) }
+        if (median + 0 <= 0) print id ": non-positive median_ns_per_iter " median
+        else if (line ~ /"ops_per_sec":/ && ops + 0 <= 0) print id ": non-positive ops_per_sec " ops
+        else if (unit != "" && unit != "bytes" && unit != "elements" && unit != "iters") print id ": unexpected unit \"" unit "\""
+    }
+')
+if [ -n "$bad" ]; then
+    echo "FAIL: insane raw results in $fresh:" >&2
+    echo "$bad" | sed 's/^/  - /' >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "OK: $fresh covers all $(bench_ids "$committed" | wc -l) bench ids of $committed with sane units"

@@ -1,5 +1,5 @@
 //! Hermetic shim of [`proptest`](https://docs.rs/proptest) providing the
-//! subset this workspace uses: the [`proptest!`] macro, the [`Strategy`]
+//! subset this workspace uses: the [`proptest!`] macro, the [`Strategy`](strategy::Strategy)
 //! trait with `prop_map`, regex-like string strategies restricted to
 //! character classes (`"[a-f]{1,6}"`), integer ranges, tuples,
 //! `prop::collection::vec`, `prop::option::of`, [`prop_oneof!`], `Just`,
