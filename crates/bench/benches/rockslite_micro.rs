@@ -12,6 +12,7 @@ fn lsm_ops(c: &mut Criterion) {
         Options {
             memtable_bytes: 256 * 1024,
             l0_compaction_trigger: 4,
+            ..Options::default()
         },
     )
     .expect("open");

@@ -1,0 +1,220 @@
+//! Chunk-store micro benches: the durable write path (group commit vs
+//! fsync-per-put vs MemStore), the group-commit batch sweep, durable
+//! reads, and reopen cost with/without an index snapshot.
+//! `scripts/bench.sh` assembles the results into `BENCH_store.json`.
+//!
+//! Chunks are pre-built (cids precomputed), so the numbers isolate store
+//! cost from hashing. Every durable variant runs in a fresh directory
+//! per iteration and ends with the store fully synced, so the policies
+//! are compared at equal durability of the *final* state; what differs
+//! is how many fsyncs the policy pays to get there.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use forkbase_chunk::{Chunk, ChunkStore, ChunkType, Durability, LogConfig, LogStore, MemStore};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const N_PUT: usize = 256;
+const PAYLOAD: usize = 1024;
+const N_REOPEN_CHUNKS: u32 = 4096;
+
+fn bench_root() -> PathBuf {
+    let root = std::env::temp_dir().join(format!("forkbase-bench-store-{}", std::process::id()));
+    std::fs::create_dir_all(&root).expect("bench root");
+    root
+}
+
+fn fresh_dir() -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    bench_root().join(format!("run-{}", N.fetch_add(1, Ordering::Relaxed)))
+}
+
+fn chunks(n: usize) -> Vec<Chunk> {
+    (0..n)
+        .map(|i| {
+            let mut payload = vec![0u8; PAYLOAD];
+            let mut state = i as u64 + 1;
+            for b in payload.iter_mut() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                *b = (state >> 33) as u8;
+            }
+            Chunk::new(ChunkType::Blob, payload)
+        })
+        .collect()
+}
+
+fn log_cfg() -> LogConfig {
+    LogConfig {
+        segment_bytes: 8 << 20,
+        snapshot_bytes: u64::MAX, // keep snapshot cost out of the put path
+    }
+}
+
+/// One durable run: open, put everything, drain + fsync, tear down.
+fn durable_round(batch: &[Chunk], durability: Durability) {
+    let dir = fresh_dir();
+    let store = LogStore::open_with(&dir, log_cfg(), durability).expect("open");
+    for c in batch {
+        store.put(c.clone());
+    }
+    store.sync().expect("sync");
+    drop(store);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+fn durable_put(c: &mut Criterion) {
+    let batch = chunks(N_PUT);
+    let mut group = c.benchmark_group(format!("store_put_{N_PUT}x1k"));
+    group.throughput(Throughput::Elements(N_PUT as u64));
+    group.bench_function("memstore", |b| {
+        b.iter(|| {
+            let store = MemStore::new();
+            for chunk in &batch {
+                store.put(chunk.clone());
+            }
+        });
+    });
+    group.bench_function("logstore_group_commit", |b| {
+        b.iter(|| {
+            durable_round(
+                &batch,
+                Durability::Batch {
+                    max_records: 512,
+                    interval: Duration::from_millis(10),
+                },
+            )
+        });
+    });
+    // The pre-rewrite LogStore behavior: one fsync per acknowledged put.
+    group.bench_function("logstore_fsync_each", |b| {
+        b.iter(|| durable_round(&batch, Durability::Always));
+    });
+    group.bench_function("logstore_os", |b| {
+        b.iter(|| durable_round(&batch, Durability::Os));
+    });
+    group.finish();
+}
+
+fn group_commit_sweep(c: &mut Criterion) {
+    let batch = chunks(N_PUT);
+    let mut group = c.benchmark_group("group_commit_sweep");
+    group.throughput(Throughput::Elements(N_PUT as u64));
+    for max_records in [8usize, 32, 128, 512] {
+        group.bench_function(format!("batch_{max_records}"), |b| {
+            b.iter(|| {
+                durable_round(
+                    &batch,
+                    Durability::Batch {
+                        max_records,
+                        interval: Duration::from_secs(3600),
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn durable_get(c: &mut Criterion) {
+    let batch = chunks(1024);
+    let mem = MemStore::new();
+    for chunk in &batch {
+        mem.put(chunk.clone());
+    }
+    let dir = fresh_dir();
+    let log = LogStore::open_with(&dir, log_cfg(), Durability::default()).expect("open");
+    for chunk in &batch {
+        log.put(chunk.clone());
+    }
+    log.sync().expect("sync"); // reads go to the segment files, not the queue
+
+    let mut group = c.benchmark_group("store_get_1k");
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    group.bench_function("memstore", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for chunk in &batch {
+                hits += usize::from(mem.get(&chunk.cid()).is_some());
+            }
+            hits
+        });
+    });
+    group.bench_function("logstore", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for chunk in &batch {
+                hits += usize::from(log.get(&chunk.cid()).is_some());
+            }
+            hits
+        });
+    });
+    group.finish();
+    drop(log);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// Prepare a ~4 MB store; returns its directory. `with_snapshot` leaves
+/// a snapshot covering everything (clean close), otherwise the snapshot
+/// is deleted so reopen must scan the whole log.
+fn reopen_fixture(with_snapshot: bool) -> PathBuf {
+    let dir = fresh_dir();
+    let cfg = LogConfig {
+        segment_bytes: 1 << 20,
+        snapshot_bytes: u64::MAX,
+    };
+    {
+        let store = LogStore::open_with(&dir, cfg, Durability::Os).expect("open");
+        for i in 0..N_REOPEN_CHUNKS {
+            let mut payload = vec![0u8; PAYLOAD];
+            payload[..4].copy_from_slice(&i.to_le_bytes());
+            store.put(Chunk::new(ChunkType::Blob, payload));
+        }
+        store.sync().expect("sync");
+    } // clean close writes the snapshot
+    if !with_snapshot {
+        std::fs::remove_file(dir.join("snapshot.idx")).expect("rm snapshot");
+    }
+    dir
+}
+
+fn reopen(c: &mut Criterion) {
+    let full_dir = reopen_fixture(false);
+    let snap_dir = reopen_fixture(true);
+    let cfg = LogConfig {
+        segment_bytes: 1 << 20,
+        snapshot_bytes: u64::MAX,
+    };
+    let mut group = c.benchmark_group("store_reopen_4k_chunks");
+    group.throughput(Throughput::Elements(N_REOPEN_CHUNKS as u64));
+    group.bench_function("full_scan", |b| {
+        b.iter(|| {
+            let store = LogStore::open_with(&full_dir, cfg, Durability::Os).expect("open");
+            assert!(!store.reopen_stats().used_snapshot);
+            store.chunk_count()
+        });
+    });
+    group.bench_function("snapshot", |b| {
+        b.iter(|| {
+            let store = LogStore::open_with(&snap_dir, cfg, Durability::Os).expect("open");
+            assert!(store.reopen_stats().used_snapshot);
+            store.chunk_count()
+        });
+    });
+    group.finish();
+    std::fs::remove_dir_all(full_dir).ok();
+    std::fs::remove_dir_all(snap_dir).ok();
+}
+
+fn teardown(_c: &mut Criterion) {
+    std::fs::remove_dir_all(bench_root()).ok();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = durable_put, group_commit_sweep, durable_get, reopen, teardown
+}
+criterion_main!(benches);

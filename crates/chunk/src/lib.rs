@@ -9,9 +9,11 @@
 //! Provided backends:
 //! * [`MemStore`] — lock-sharded in-memory store, the default for
 //!   embedded use and benchmarks.
-//! * [`LogStore`] — log-structured persistent store (chunks are immutable,
-//!   so an append-only segment file with an in-memory index is the natural
-//!   layout, §4.4); recovers from torn tails on reopen.
+//! * [`LogStore`] — segmented log-structured persistent store (chunks
+//!   are immutable, so an append-only log with an in-memory index is the
+//!   natural layout, §4.4): group-committed writes with a
+//!   [`Durability`] knob, index snapshots so reopen replays only the
+//!   tail, torn-tail recovery, and in-place compaction.
 //! * [`ReplicatedStore`] — k-way replication wrapper (§4.4: "there are only
 //!   k copies of any chunk").
 //! * [`PartitionedStore`] — routes chunks to one of several instances by
@@ -31,7 +33,7 @@ pub mod store;
 
 pub use cache::CachingStore;
 pub use chunk::{Chunk, ChunkType};
-pub use logstore::LogStore;
+pub use logstore::{CompactStats, Durability, LogConfig, LogStore, ReopenStats};
 pub use memstore::MemStore;
 pub use partitioned::PartitionedStore;
 pub use replicated::ReplicatedStore;

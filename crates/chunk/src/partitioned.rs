@@ -69,6 +69,7 @@ impl ChunkStore for PartitionedStore {
             total.dedup_bytes += s.dedup_bytes;
             total.gets += s.gets;
             total.get_hits += s.get_hits;
+            total.io_errors += s.io_errors;
         }
         total
     }

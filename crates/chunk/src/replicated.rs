@@ -85,6 +85,7 @@ impl ChunkStore for ReplicatedStore {
             total.dedup_bytes += s.dedup_bytes;
             total.gets += s.gets;
             total.get_hits += s.get_hits;
+            total.io_errors += s.io_errors;
         }
         total
     }

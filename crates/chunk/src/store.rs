@@ -56,6 +56,10 @@ pub struct StoreStats {
     pub gets: u64,
     /// Gets that found the chunk.
     pub get_hits: u64,
+    /// Reads or commits that failed with an I/O error (or an on-disk cid
+    /// mismatch). Persistent stores surface failures here instead of
+    /// silently reporting a present chunk as absent.
+    pub io_errors: u64,
 }
 
 /// Shared atomic counters backing [`StoreStats`].
@@ -68,6 +72,7 @@ pub struct StatCounters {
     pub dedup_bytes: AtomicU64,
     pub gets: AtomicU64,
     pub get_hits: AtomicU64,
+    pub io_errors: AtomicU64,
 }
 
 impl StatCounters {
@@ -81,6 +86,7 @@ impl StatCounters {
             dedup_bytes: self.dedup_bytes.load(Ordering::Relaxed),
             gets: self.gets.load(Ordering::Relaxed),
             get_hits: self.get_hits.load(Ordering::Relaxed),
+            io_errors: self.io_errors.load(Ordering::Relaxed),
         }
     }
 
@@ -104,6 +110,11 @@ impl StatCounters {
         if hit {
             self.get_hits.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Record a failed read/commit.
+    pub fn record_io_error(&self) {
+        self.io_errors.fetch_add(1, Ordering::Relaxed);
     }
 }
 

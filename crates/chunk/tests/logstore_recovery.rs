@@ -1,0 +1,397 @@
+//! Crash-recovery properties of the segmented [`LogStore`]:
+//!
+//! 1. **Torn-tail sweep** — truncating the log at *every* byte offset
+//!    within the tail record (including a tail record that starts a
+//!    fresh segment) recovers exactly the fully-committed prefix.
+//! 2. **Group-commit equivalence** — concurrent writers through the
+//!    commit queue leave the same durable contents as a sequential
+//!    writer, across a reopen.
+//! 3. **Snapshot-bounded reopen** — after an index snapshot, reopen
+//!    replays only the tail records, not the whole log (asserted by
+//!    counting bytes read).
+
+use forkbase_chunk::{Chunk, ChunkStore, ChunkType, Durability, LogConfig, LogStore};
+use forkbase_crypto::Digest;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "forkbase-lsrec-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn tiny_cfg() -> LogConfig {
+    LogConfig {
+        segment_bytes: 512,
+        snapshot_bytes: u64::MAX,
+    }
+}
+
+/// A deterministic chunk whose payload length we control exactly.
+fn chunk_of(i: u32, payload_len: usize) -> Chunk {
+    let mut payload = vec![0u8; payload_len];
+    payload[..4.min(payload_len)].copy_from_slice(&i.to_le_bytes()[..4.min(payload_len)]);
+    if payload_len > 4 {
+        let mut state = i as u64 + 1;
+        for b in payload[4..].iter_mut() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *b = (state >> 33) as u8;
+        }
+    }
+    Chunk::new(ChunkType::Blob, payload)
+}
+
+/// Segment files of a store directory, ascending.
+fn segments(dir: &Path) -> Vec<PathBuf> {
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("read_dir")
+        .filter_map(|e| {
+            let p = e.expect("entry").path();
+            p.file_name()?.to_str()?.starts_with("seg-").then_some(p)
+        })
+        .collect();
+    segs.sort();
+    segs
+}
+
+fn copy_store(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).expect("mkdir");
+    for entry in std::fs::read_dir(src).expect("ls") {
+        let p = entry.expect("entry").path();
+        if p.is_file() {
+            std::fs::copy(&p, dst.join(p.file_name().expect("name"))).expect("copy");
+        }
+    }
+}
+
+/// Write `payload_lens.len()` records with `Durability::Always`, then
+/// for every byte offset within the tail record: copy the store,
+/// truncate the last segment there, reopen, and assert exactly the
+/// committed prefix is recovered. Returns the tail record's offset in
+/// its segment so callers can assert the boundary case they meant to
+/// exercise.
+fn sweep_tail_truncations(tag: &str, payload_lens: &[usize]) -> u64 {
+    let dir = temp_dir(tag);
+    let mut cids: Vec<Digest> = Vec::new();
+    {
+        let store = LogStore::open_with(&dir, tiny_cfg(), Durability::Always).expect("open");
+        for (i, len) in payload_lens.iter().enumerate() {
+            let c = chunk_of(i as u32, *len);
+            cids.push(c.cid());
+            store.put(c);
+        }
+        // "Crash": skip the clean-close snapshot so reopen actually
+        // scans the tail.
+        std::mem::forget(store);
+    }
+    std::fs::remove_file(dir.join("snapshot.idx")).ok();
+
+    let segs = segments(&dir);
+    let last_seg = segs.last().expect("segments").clone();
+    let last_len = std::fs::metadata(&last_seg).expect("meta").len();
+    let tail_rec_len = (4 + 4 + 1 + 32 + payload_lens.last().expect("records")) as u64;
+    assert!(
+        last_len >= tail_rec_len,
+        "tail record fits the last segment"
+    );
+    let tail_start = last_len - tail_rec_len;
+
+    for cut in tail_start..last_len {
+        let scratch = temp_dir(&format!("{tag}-cut"));
+        copy_store(&dir, &scratch);
+        let scratch_last = segments(&scratch).into_iter().next_back().expect("segs");
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&scratch_last)
+            .expect("open")
+            .set_len(cut)
+            .expect("truncate");
+
+        let store = LogStore::open_with(&scratch, tiny_cfg(), Durability::Always).expect("recover");
+        assert_eq!(
+            store.chunk_count(),
+            cids.len() - 1,
+            "cut at byte {cut} of [{tail_start}, {last_len}): exactly the committed prefix"
+        );
+        for (i, cid) in cids[..cids.len() - 1].iter().enumerate() {
+            let c = store
+                .get(cid)
+                .unwrap_or_else(|| panic!("committed record {i} lost after cut at {cut}"));
+            assert_eq!(c.payload().len(), payload_lens[i]);
+        }
+        assert!(
+            !store.contains(cids.last().expect("tail")),
+            "torn tail gone"
+        );
+        // The recovered store stays appendable.
+        let extra = chunk_of(0xFFFF_FFFF, 20);
+        store.put(extra.clone());
+        assert_eq!(store.get(&extra.cid()), Some(extra));
+        drop(store);
+        std::fs::remove_dir_all(&scratch).ok();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    tail_start
+}
+
+#[test]
+fn torn_tail_sweep_mid_segment() {
+    // 150-byte payloads → ~191-byte records, two per 512-byte segment:
+    // an odd count puts the tail record mid-segment.
+    let tail_off = sweep_tail_truncations("mid", &[150; 4]);
+    assert!(tail_off > 0, "tail record mid-segment: offset {tail_off}");
+}
+
+#[test]
+fn torn_tail_sweep_across_segment_boundary() {
+    // An even count of the same records puts the tail record first in a
+    // fresh segment — the crash window that spans the rotation.
+    let tail_off = sweep_tail_truncations("boundary", &[150; 5]);
+    assert_eq!(
+        tail_off, 0,
+        "tail record must start its own segment to cover the boundary case"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random record counts and sizes: the tail-truncation sweep holds
+    /// regardless of how records pack into segments.
+    #[test]
+    fn torn_tail_sweep_random_layout(
+        lens in prop::collection::vec(1usize..300, 2..8)
+    ) {
+        sweep_tail_truncations("prop", &lens);
+    }
+}
+
+#[test]
+fn concurrent_group_commit_matches_sequential() {
+    const THREADS: u32 = 8;
+    const PER_THREAD: u32 = 40;
+    let seq_dir = temp_dir("seq");
+    let con_dir = temp_dir("con");
+    let chunk_for = |t: u32, i: u32| chunk_of(t * 10_000 + i, 30 + ((t * 7 + i) % 90) as usize);
+
+    // Sequential reference.
+    {
+        let store = LogStore::open_with(&seq_dir, tiny_cfg(), Durability::Always).expect("open");
+        for t in 0..THREADS {
+            for i in 0..PER_THREAD {
+                store.put(chunk_for(t, i));
+            }
+        }
+    }
+    // Concurrent writers sharing group commits.
+    {
+        let store =
+            Arc::new(LogStore::open_with(&con_dir, tiny_cfg(), Durability::Always).expect("open"));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        store.put(chunk_for(t, i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("no panics");
+        }
+        assert!(!store.poisoned());
+    }
+
+    // Equivalence across reopen: identical durable contents.
+    let seq = LogStore::open_with(&seq_dir, tiny_cfg(), Durability::Always).expect("reopen");
+    let con = LogStore::open_with(&con_dir, tiny_cfg(), Durability::Always).expect("reopen");
+    assert_eq!(seq.chunk_count(), (THREADS * PER_THREAD) as usize);
+    assert_eq!(con.chunk_count(), seq.chunk_count());
+    for t in 0..THREADS {
+        for i in 0..PER_THREAD {
+            let c = chunk_for(t, i);
+            assert_eq!(seq.get(&c.cid()).as_ref(), Some(&c));
+            assert_eq!(con.get(&c.cid()).as_ref(), Some(&c), "chunk {t}/{i}");
+        }
+    }
+    assert_eq!(seq.stats().stored_chunks, con.stats().stored_chunks);
+    assert_eq!(seq.stats().stored_bytes, con.stats().stored_bytes);
+    drop(seq);
+    drop(con);
+    std::fs::remove_dir_all(seq_dir).ok();
+    std::fs::remove_dir_all(con_dir).ok();
+}
+
+#[test]
+fn concurrent_duplicate_puts_store_once() {
+    let dir = temp_dir("dup");
+    let store = Arc::new(LogStore::open_with(&dir, tiny_cfg(), Durability::Always).expect("open"));
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                for i in 0..50u32 {
+                    store.put(chunk_of(i, 40)); // same 50 chunks per thread
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no panics");
+    }
+    assert_eq!(store.chunk_count(), 50, "dedup under concurrency");
+    drop(store);
+    let store = LogStore::open_with(&dir, tiny_cfg(), Durability::Always).expect("reopen");
+    assert_eq!(
+        store.chunk_count(),
+        50,
+        "no duplicate records were appended"
+    );
+    drop(store);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn snapshot_reopen_replays_only_the_tail() {
+    let dir = temp_dir("snaptail");
+    let mut cids = Vec::new();
+    {
+        let store = LogStore::open_with(&dir, tiny_cfg(), Durability::Always).expect("open");
+        for i in 0..100u32 {
+            let c = chunk_of(i, 120);
+            cids.push(c.cid());
+            store.put(c);
+        }
+        store.snapshot().expect("snapshot");
+        // Five more records past the snapshot, then "crash" (no clean
+        // close, so no fresh snapshot).
+        for i in 100..105u32 {
+            let c = chunk_of(i, 120);
+            cids.push(c.cid());
+            store.put(c);
+        }
+        std::mem::forget(store);
+    }
+
+    let total_log_bytes: u64 = segments(&dir)
+        .iter()
+        .map(|p| std::fs::metadata(p).expect("meta").len())
+        .sum();
+    let store = LogStore::open_with(&dir, tiny_cfg(), Durability::Always).expect("reopen");
+    let stats = store.reopen_stats();
+    assert!(stats.used_snapshot, "snapshot loaded: {stats:?}");
+    assert_eq!(stats.snapshot_chunks, 100);
+    assert_eq!(stats.replayed_chunks, 5, "only the tail replayed");
+    // 5 records ≈ 5 × (41 + 120) bytes; the scan may also touch the
+    // partially-filled segment the snapshot position points into, but it
+    // must be nowhere near the full log.
+    let tail_budget = 6 * (41 + 120) as u64;
+    assert!(
+        stats.bytes_scanned <= tail_budget,
+        "scanned {} of {} log bytes (budget {tail_budget})",
+        stats.bytes_scanned,
+        total_log_bytes
+    );
+    assert!(stats.bytes_scanned < total_log_bytes / 4);
+    for cid in &cids {
+        assert!(store.get(cid).is_some(), "all chunks served after reopen");
+    }
+    drop(store);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn automatic_snapshots_bound_tail_replay() {
+    // snapshot_bytes small → the store snapshots on its own as it syncs;
+    // a crashed store still reopens with a bounded tail scan.
+    let dir = temp_dir("autosnap");
+    let cfg = LogConfig {
+        segment_bytes: 2048,
+        snapshot_bytes: 4096,
+    };
+    {
+        let store = LogStore::open_with(&dir, cfg, Durability::Always).expect("open");
+        for i in 0..200u32 {
+            store.put(chunk_of(i, 100));
+        }
+        std::mem::forget(store); // crash without the clean-close snapshot
+    }
+    let total_log_bytes: u64 = segments(&dir)
+        .iter()
+        .map(|p| std::fs::metadata(p).expect("meta").len())
+        .sum();
+    let store = LogStore::open_with(&dir, cfg, Durability::Always).expect("reopen");
+    let stats = store.reopen_stats();
+    assert!(
+        stats.used_snapshot,
+        "an automatic snapshot exists: {stats:?}"
+    );
+    assert_eq!(
+        stats.snapshot_chunks + stats.replayed_chunks,
+        200,
+        "{stats:?}"
+    );
+    assert!(
+        stats.bytes_scanned < total_log_bytes / 2,
+        "tail scan bounded by the snapshot cadence: scanned {} of {}",
+        stats.bytes_scanned,
+        total_log_bytes
+    );
+    assert_eq!(store.chunk_count(), 200);
+    drop(store);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn batch_durability_bounds_loss_to_the_window() {
+    // With Batch(n, ∞), a crash after a sync loses at most the unsynced
+    // window — and never anything before the last sync.
+    let dir = temp_dir("window");
+    let mut synced_cids = Vec::new();
+    let mut tail_cids = Vec::new();
+    {
+        let store = LogStore::open_with(
+            &dir,
+            tiny_cfg(),
+            Durability::Batch {
+                max_records: 1_000_000,
+                interval: std::time::Duration::from_secs(3600),
+            },
+        )
+        .expect("open");
+        for i in 0..40u32 {
+            let c = chunk_of(i, 80);
+            synced_cids.push(c.cid());
+            store.put(c);
+        }
+        store.sync().expect("sync");
+        for i in 40..60u32 {
+            let c = chunk_of(i, 80);
+            tail_cids.push(c.cid());
+            store.put(c);
+        }
+        std::mem::forget(store); // crash with an unsynced window
+    }
+    std::fs::remove_file(dir.join("snapshot.idx")).ok();
+    let store = LogStore::open_with(&dir, tiny_cfg(), Durability::Always).expect("recover");
+    for cid in &synced_cids {
+        assert!(store.get(cid).is_some(), "synced record survives");
+    }
+    // The unsynced window may or may not have reached the OS before the
+    // simulated crash (mem::forget leaves OS-buffered writes intact, so
+    // here it mostly survives) — what recovery guarantees is a clean
+    // prefix: whatever is present verifies and the store works.
+    assert!(store.chunk_count() >= synced_cids.len());
+    assert!(!store.poisoned());
+    drop(store);
+    std::fs::remove_dir_all(dir).ok();
+}

@@ -3,16 +3,18 @@
 
 use crate::master::Partitioning;
 use crate::store2l::TwoLayerStore;
-use forkbase_chunk::{ChunkStore, MemStore};
+use forkbase_chunk::ChunkStore;
 use forkbase_core::ForkBase;
 use forkbase_crypto::ChunkerConfig;
 use std::sync::Arc;
 
-/// One node of the cluster: servlet + local chunk storage.
+/// One node of the cluster: servlet + local chunk storage. The storage
+/// is any [`ChunkStore`], so a node can run in memory or on disk
+/// (e.g. a [`LogStore`](forkbase_chunk::LogStore) per node).
 pub struct Servlet {
     id: usize,
     db: ForkBase,
-    local: Arc<MemStore>,
+    local: Arc<dyn ChunkStore>,
 }
 
 impl Servlet {
@@ -22,12 +24,12 @@ impl Servlet {
     pub fn new(
         id: usize,
         partitioning: Partitioning,
-        pool: &[Arc<MemStore>],
+        pool: &[Arc<dyn ChunkStore>],
         cfg: ChunkerConfig,
     ) -> Servlet {
         let local = pool[id].clone();
         let store: Arc<dyn ChunkStore> = match partitioning {
-            Partitioning::OneLayer => local.clone() as Arc<dyn ChunkStore>,
+            Partitioning::OneLayer => local.clone(),
             Partitioning::TwoLayer => Arc::new(TwoLayerStore::new(local.clone(), pool.to_vec())),
         };
         Servlet {
@@ -45,6 +47,11 @@ impl Servlet {
     /// The engine instance this servlet executes requests on.
     pub fn db(&self) -> &ForkBase {
         &self.db
+    }
+
+    /// This node's co-located storage.
+    pub fn local_store(&self) -> &Arc<dyn ChunkStore> {
+        &self.local
     }
 
     /// Bytes held on this node's local storage (per-node storage

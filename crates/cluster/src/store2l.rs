@@ -2,21 +2,24 @@
 //! scheme: meta chunks pinned to the local node, data chunks routed by
 //! cid across the whole pool (§4.6).
 
-use forkbase_chunk::{Chunk, ChunkStore, ChunkType, MemStore, PutOutcome, StoreStats};
+use forkbase_chunk::{Chunk, ChunkStore, ChunkType, PutOutcome, StoreStats};
 use forkbase_crypto::Digest;
 use std::sync::Arc;
 
-/// A view over the cluster-wide chunk pool from one servlet.
+/// A view over the cluster-wide chunk pool from one servlet. The pool
+/// entries are abstract [`ChunkStore`]s, so a node can run on anything —
+/// in-memory ([`MemStore`](forkbase_chunk::MemStore)), on disk
+/// ([`LogStore`](forkbase_chunk::LogStore)), cached, replicated, …
 pub struct TwoLayerStore {
     /// This servlet's co-located storage (meta chunks live here).
-    local: Arc<MemStore>,
+    local: Arc<dyn ChunkStore>,
     /// All nodes' storages, indexable by cid hash.
-    pool: Vec<Arc<MemStore>>,
+    pool: Vec<Arc<dyn ChunkStore>>,
 }
 
 impl TwoLayerStore {
     /// A view with `local` as the co-located storage.
-    pub fn new(local: Arc<MemStore>, pool: Vec<Arc<MemStore>>) -> TwoLayerStore {
+    pub fn new(local: Arc<dyn ChunkStore>, pool: Vec<Arc<dyn ChunkStore>>) -> TwoLayerStore {
         assert!(!pool.is_empty());
         TwoLayerStore { local, pool }
     }
@@ -59,9 +62,12 @@ impl ChunkStore for TwoLayerStore {
 mod tests {
     use super::*;
     use bytes::Bytes;
+    use forkbase_chunk::{LogStore, MemStore};
 
-    fn pool(n: usize) -> Vec<Arc<MemStore>> {
-        (0..n).map(|_| Arc::new(MemStore::new())).collect()
+    fn pool(n: usize) -> Vec<Arc<dyn ChunkStore>> {
+        (0..n)
+            .map(|_| Arc::new(MemStore::new()) as Arc<dyn ChunkStore>)
+            .collect()
     }
 
     #[test]
@@ -98,5 +104,43 @@ mod tests {
         let chunk = Chunk::new(ChunkType::Map, Bytes::from_static(b"shared"));
         view_a.put(chunk.clone());
         assert_eq!(view_b.get(&chunk.cid()), Some(chunk), "pool is shared");
+    }
+
+    #[test]
+    fn mixed_pool_of_mem_and_log_nodes() {
+        // One node of the pool is a durable LogStore: chunks routed to it
+        // land on disk, everything stays mutually visible.
+        let dir = std::env::temp_dir().join(format!(
+            "forkbase-2l-mixed-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock")
+                .subsec_nanos()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let durable = Arc::new(LogStore::open(&dir).expect("open"));
+        let nodes: Vec<Arc<dyn ChunkStore>> = vec![
+            Arc::new(MemStore::new()),
+            durable.clone() as Arc<dyn ChunkStore>,
+        ];
+        let store = TwoLayerStore::new(nodes[0].clone(), nodes.clone());
+        let mut cids = Vec::new();
+        for i in 0..100u32 {
+            let c = Chunk::new(ChunkType::Blob, i.to_le_bytes().to_vec());
+            cids.push(c.cid());
+            store.put(c);
+        }
+        for cid in &cids {
+            assert!(store.get(cid).is_some());
+        }
+        assert!(
+            durable.stats().stored_chunks > 20,
+            "the durable node holds its share"
+        );
+        drop(store);
+        drop(nodes);
+        drop(durable);
+        std::fs::remove_dir_all(dir).ok();
     }
 }

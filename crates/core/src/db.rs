@@ -16,11 +16,12 @@ use crate::fobject::FObject;
 use crate::history;
 use crate::value::{Value, ValueType};
 use bytes::Bytes;
-use forkbase_chunk::{ChunkStore, MemStore};
+use forkbase_chunk::{ChunkStore, Durability, LogConfig, LogStore, MemStore};
 use forkbase_crypto::fx::FxHashMap;
 use forkbase_crypto::{ChunkerConfig, Digest};
 use forkbase_pos::{builder, merge3_blob, merge3_sorted, Blob, List, Map, Resolver, Set, TreeType};
 use parking_lot::RwLock;
+use std::path::Path;
 use std::sync::Arc;
 
 /// The branch written when no branch is given (§3.1).
@@ -33,7 +34,15 @@ pub struct ForkBase {
     store: Arc<dyn ChunkStore>,
     cfg: ChunkerConfig,
     branches: RwLock<FxHashMap<Bytes, BranchTable>>,
+    /// Typed handle to the backing [`LogStore`] when this instance was
+    /// opened durably — used by [`commit_checkpoint`](Self::commit_checkpoint)
+    /// and in-place GC ([`gc::compact_in_place`](crate::gc::compact_in_place)).
+    durable: Option<Arc<LogStore>>,
 }
+
+/// Name of the checkpoint-cid ref file inside a durable instance's
+/// directory (cf. git's `HEAD`).
+const HEAD_FILE: &str = "HEAD";
 
 impl ForkBase {
     /// In-memory instance with default chunking parameters.
@@ -48,7 +57,78 @@ impl ForkBase {
             store,
             cfg,
             branches: RwLock::new(FxHashMap::default()),
+            durable: None,
         }
+    }
+
+    /// Open (or create) a durable instance in directory `path` over a
+    /// segmented [`LogStore`] with default chunking, sizing, and
+    /// [`Durability`]. If a previous session left a checkpoint ref
+    /// (written by [`commit_checkpoint`](Self::commit_checkpoint)), all
+    /// branch heads are restored from it.
+    pub fn open(path: impl AsRef<Path>) -> Result<ForkBase> {
+        Self::open_with(path, ChunkerConfig::default(), Durability::default())
+    }
+
+    /// [`open`](Self::open) with explicit chunking configuration and
+    /// durability policy.
+    pub fn open_with(
+        path: impl AsRef<Path>,
+        cfg: ChunkerConfig,
+        durability: Durability,
+    ) -> Result<ForkBase> {
+        let path = path.as_ref();
+        let store = Arc::new(LogStore::open_with(path, LogConfig::default(), durability)?);
+        let head_path = path.join(HEAD_FILE);
+        let mut db = match std::fs::read_to_string(&head_path) {
+            Ok(hex) => {
+                let cid = Digest::from_hex(hex.trim()).ok_or_else(|| {
+                    FbError::Corrupt(format!("unparseable checkpoint ref in {HEAD_FILE}"))
+                })?;
+                Self::restore(store.clone() as Arc<dyn ChunkStore>, cfg, cid)?
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Self::with_store(store.clone() as Arc<dyn ChunkStore>, cfg)
+            }
+            Err(e) => return Err(e.into()),
+        };
+        db.durable = Some(store);
+        Ok(db)
+    }
+
+    /// Checkpoint the branch tables into the store **and** make it the
+    /// recovery point: the chunk log is fsynced and the checkpoint cid
+    /// is written to the `HEAD` ref file (atomic rename), so a later
+    /// [`open`](Self::open) of the same directory restores every branch
+    /// head. Requires a durable instance.
+    pub fn commit_checkpoint(&self) -> Result<Digest> {
+        let store = self
+            .durable
+            .as_ref()
+            .ok_or_else(|| FbError::Io("not a durable instance (use ForkBase::open)".into()))?;
+        let cid = self.checkpoint();
+        store.sync()?;
+        let tmp = store.dir().join("HEAD.tmp");
+        {
+            // fsync before the rename: a crash must never promote a
+            // HEAD whose data blocks were still in the page cache.
+            use std::io::Write;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(cid.to_hex().as_bytes())?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, store.dir().join(HEAD_FILE))?;
+        // Make the rename itself durable (best effort — not every
+        // filesystem supports fsync on a directory handle).
+        if let Ok(d) = std::fs::File::open(store.dir()) {
+            let _ = d.sync_data();
+        }
+        Ok(cid)
+    }
+
+    /// The backing [`LogStore`] when this instance was opened durably.
+    pub fn durable_store(&self) -> Option<&Arc<LogStore>> {
+        self.durable.as_ref()
     }
 
     /// The underlying chunk store.
@@ -561,6 +641,7 @@ impl ForkBase {
             store,
             cfg,
             branches: RwLock::new(tables),
+            durable: None,
         })
     }
 
@@ -1136,6 +1217,82 @@ mod tests {
             db.commit_map_batch("s", None, wb).expect_err("type"),
             FbError::TypeMismatch { .. }
         ));
+    }
+
+    #[test]
+    fn open_restores_checkpointed_branches() {
+        let dir = std::env::temp_dir().join(format!(
+            "forkbase-db-open-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock")
+                .subsec_nanos()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let db = ForkBase::open_with(
+                &dir,
+                ChunkerConfig::default(),
+                forkbase_chunk::Durability::Always,
+            )
+            .expect("open");
+            assert!(db.durable_store().is_some());
+            db.put("k", None, Value::String("v1".into())).expect("put");
+            db.fork("k", DEFAULT_BRANCH, "feature").expect("fork");
+            db.put("k", Some("feature"), Value::Int(7)).expect("put");
+            db.commit_checkpoint().expect("checkpoint");
+        }
+        let db = ForkBase::open(&dir).expect("reopen");
+        assert_eq!(
+            db.get_value("k", None).expect("get"),
+            Value::String("v1".into())
+        );
+        assert_eq!(
+            db.get_value("k", Some("feature")).expect("get"),
+            Value::Int(7)
+        );
+        drop(db);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn open_without_checkpoint_starts_empty_but_keeps_chunks() {
+        let dir = std::env::temp_dir().join(format!(
+            "forkbase-db-nockpt-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock")
+                .subsec_nanos()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let uid = {
+            let db = ForkBase::open(&dir).expect("open");
+            let uid = db.put("k", None, Value::Int(1)).expect("put");
+            db.durable_store().expect("durable").sync().expect("sync");
+            uid
+        };
+        // No commit_checkpoint: branch heads are gone, but versions are
+        // still reachable by uid (chunk durability is independent).
+        let db = ForkBase::open(&dir).expect("reopen");
+        assert_eq!(
+            db.get("k", None).expect_err("no heads"),
+            FbError::KeyNotFound
+        );
+        assert_eq!(
+            db.get_version("k", uid)
+                .expect("version durable")
+                .value(db.store())
+                .expect("value"),
+            Value::Int(1)
+        );
+        assert!(matches!(
+            ForkBase::in_memory().commit_checkpoint().expect_err("mem"),
+            FbError::Io(_)
+        ));
+        drop(db);
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

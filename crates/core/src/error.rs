@@ -35,6 +35,9 @@ pub enum FbError {
     Corrupt(String),
     /// Access control denied the request.
     AccessDenied(String),
+    /// The persistent store failed at the I/O level (open, write, fsync,
+    /// compaction).
+    Io(String),
 }
 
 impl fmt::Display for FbError {
@@ -56,6 +59,7 @@ impl fmt::Display for FbError {
             FbError::MergeConflict(n) => write!(f, "merge produced {n} unresolved conflicts"),
             FbError::Corrupt(what) => write!(f, "storage corruption: {what}"),
             FbError::AccessDenied(what) => write!(f, "access denied: {what}"),
+            FbError::Io(what) => write!(f, "storage I/O error: {what}"),
         }
     }
 }
@@ -65,6 +69,12 @@ impl std::error::Error for FbError {}
 impl From<forkbase_pos::TreeError> for FbError {
     fn from(e: forkbase_pos::TreeError) -> FbError {
         FbError::Corrupt(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for FbError {
+    fn from(e: std::io::Error) -> FbError {
+        FbError::Io(e.to_string())
     }
 }
 

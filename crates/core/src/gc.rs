@@ -103,6 +103,44 @@ pub fn live_set(db: &ForkBase) -> Result<(FxHashSet<Digest>, usize)> {
     Ok((live, versions))
 }
 
+/// Compact a durable instance **in place**: rewrite every live chunk
+/// into fresh [`LogStore`](forkbase_chunk::LogStore) segments and delete
+/// the old segment files, reclaiming the space of unreachable versions
+/// without copying to a second store or reopening. The instance stays
+/// fully usable afterwards; a fresh checkpoint is committed first so the
+/// recovery point (and its chunk) survive the compaction.
+///
+/// **Quiesce writers first.** The live set is computed from the branch
+/// heads *before* the rewrite; a put that commits between the walk and
+/// the segment swap would store chunks the compaction then deletes —
+/// unlike [`compact_into`], which only copies and can never destroy
+/// data. Run this like any offline repack: no concurrent writers (a
+/// read racing the swap can at worst observe a spurious, counted read
+/// error).
+///
+/// Errors with [`FbError::Io`] when `db` was not opened durably
+/// ([`ForkBase::open`]/[`ForkBase::open_with`]).
+pub fn compact_in_place(db: &ForkBase) -> Result<GcReport> {
+    let store = db
+        .durable_store()
+        .cloned()
+        .ok_or_else(|| FbError::Io("not a durable instance (use ForkBase::open)".into()))?;
+    // The checkpoint chunk is a GC root the branch walk cannot see (it
+    // is referenced by the HEAD file, not by any version), so commit it
+    // first and pin it explicitly.
+    let checkpoint = db.commit_checkpoint()?;
+    let (mut live, live_versions) = live_set(db)?;
+    live.insert(checkpoint);
+    let stats = store.compact_retain(&live)?;
+    Ok(GcReport {
+        live_versions,
+        live_chunks: stats.kept_chunks,
+        live_bytes: stats.kept_bytes,
+        dropped_chunks: stats.dropped_chunks,
+        dropped_bytes: stats.dropped_bytes,
+    })
+}
+
 /// Copy every live chunk of `db` into `target` and report what was kept
 /// and what was left behind. The source store is not modified; adopt the
 /// compacted store by reopening with [`ForkBase::restore`] after writing
@@ -236,6 +274,66 @@ mod tests {
         let report = compact_into(&db, &target).expect("gc");
         assert_eq!(report.live_versions, 3, "base + both conflict heads");
         assert_eq!(report.dropped_chunks, 0);
+    }
+
+    #[test]
+    fn in_place_compaction_reclaims_and_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!(
+            "forkbase-gc-inplace-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock")
+                .subsec_nanos()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let data = blob_bytes(60_000, 9);
+        {
+            let db = ForkBase::open(&dir).expect("open");
+            db.put("doc", None, Value::Blob(db.new_blob(&data)))
+                .expect("put");
+            db.fork("doc", DEFAULT_BRANCH, "scratch").expect("fork");
+            db.put(
+                "doc",
+                Some("scratch"),
+                Value::Blob(db.new_blob(&blob_bytes(120_000, 10))),
+            )
+            .expect("put");
+            db.remove_branch("doc", "scratch").expect("remove");
+
+            let report = compact_in_place(&db).expect("gc");
+            assert!(
+                report.dropped_bytes > 60_000,
+                "scratch blob reclaimed: {report:?}"
+            );
+            // Everything still serves from the compacted segments.
+            let head = db.head("doc", None).expect("head");
+            verify_history(db.store(), head).expect("intact after compaction");
+            // And new writes land fine.
+            db.put("doc", None, Value::String("post-gc".into()))
+                .expect("put");
+            db.commit_checkpoint().expect("checkpoint");
+        }
+        // Reopen: the compacted store + checkpoint restore the state.
+        let db = ForkBase::open(&dir).expect("reopen");
+        assert_eq!(
+            db.get_value("doc", None).expect("get"),
+            Value::String("post-gc".into())
+        );
+        let store = db.durable_store().expect("durable").clone();
+        assert!(!store.poisoned());
+        drop(db);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn in_place_compaction_requires_durable_instance() {
+        let db = ForkBase::in_memory();
+        db.put("k", None, Value::Int(1)).expect("put");
+        assert!(matches!(
+            compact_in_place(&db).expect_err("not durable"),
+            FbError::Io(_)
+        ));
     }
 
     #[test]

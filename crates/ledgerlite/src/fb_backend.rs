@@ -70,6 +70,26 @@ impl ForkBaseBackend {
         ))
     }
 
+    /// Over a durable ForkBase in directory `path` (segmented
+    /// [`LogStore`](forkbase_chunk::LogStore)), with the same
+    /// ledger-tuned chunking as [`in_memory`](Self::in_memory). The
+    /// default group-commit durability batches fsyncs across a block's
+    /// writes; pass [`Durability::Always`](forkbase_chunk::Durability)
+    /// to fsync every chunk.
+    pub fn open_durable(path: impl AsRef<std::path::Path>) -> forkbase_core::Result<Self> {
+        Self::open_durable_with(path, forkbase_chunk::Durability::default())
+    }
+
+    /// [`open_durable`](Self::open_durable) with an explicit durability
+    /// policy.
+    pub fn open_durable_with(
+        path: impl AsRef<std::path::Path>,
+        durability: forkbase_chunk::Durability,
+    ) -> forkbase_core::Result<Self> {
+        let cfg = forkbase_crypto::ChunkerConfig::with_leaf_bits(10);
+        Ok(Self::new(ForkBase::open_with(path, cfg, durability)?))
+    }
+
     /// Over an existing ForkBase instance.
     pub fn new(db: ForkBase) -> Self {
         ForkBaseBackend {
@@ -308,6 +328,40 @@ mod tests {
         let block = Block::new(h, prev, state_ref, txns);
         backend.store_block(&block);
         block
+    }
+
+    #[test]
+    fn durable_ledger_blocks_survive_restart() {
+        let dir = std::env::temp_dir().join(format!(
+            "ledgerlite-durable-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock")
+                .subsec_nanos()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let (hash0, hash1) = {
+            let mut b =
+                ForkBaseBackend::open_durable_with(&dir, forkbase_chunk::Durability::Always)
+                    .expect("open");
+            let blk0 = commit_block(&mut b, 0, Digest::ZERO, &[("a", "1"), ("b", "2")]);
+            let blk1 = commit_block(&mut b, 1, blk0.hash(), &[("a", "3")]);
+            b.db().commit_checkpoint().expect("checkpoint");
+            (blk0.hash(), blk1.hash())
+        }; // ledger node restarts here
+
+        let b = ForkBaseBackend::open_durable(&dir).expect("reopen");
+        let blk0 = b.load_block(0).expect("block 0 durable");
+        let blk1 = b.load_block(1).expect("block 1 durable");
+        assert_eq!(blk0.hash(), hash0);
+        assert_eq!(blk1.hash(), hash1);
+        assert!(
+            Block::verify_chain(&[blk0, blk1]).is_none(),
+            "hash chain intact after restart"
+        );
+        drop(b);
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

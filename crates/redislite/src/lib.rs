@@ -14,10 +14,23 @@
 //!
 //! Memory accounting tracks the payload bytes of every stored object, the
 //! metric plotted in Fig. 13(b) and Fig. 15.
+//!
+//! # Durable mode
+//!
+//! [`RedisLite::open_durable`] attaches a Redis-style **append-only
+//! file** (AOF): every mutation (`SET`/`RPUSH`/`LSET`/`DEL`, including
+//! batched/pipelined forms) is appended as a checksummed record and
+//! replayed on open; a torn tail is truncated. Appends are buffered —
+//! call [`sync`](RedisLite::sync) (or drop the store) to flush, matching
+//! Redis's `appendfsync everysec`-ish default rather than `always`.
 
 use bytes::Bytes;
 use forkbase_crypto::fx::FxHashMap;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
+use std::fs::{File, OpenOptions};
+use std::hash::Hasher;
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A stored object: string or list.
@@ -62,18 +75,170 @@ pub enum Reply {
     Len(usize),
 }
 
-/// An in-memory multi-type key-value store.
+/// An in-memory multi-type key-value store, optionally backed by an
+/// append-only file.
 #[derive(Default)]
 pub struct RedisLite {
     map: RwLock<FxHashMap<Bytes, RObject>>,
     mem_bytes: AtomicU64,
     ops: AtomicU64,
+    /// Append-only persistence log (durable mode only).
+    aof: Option<Mutex<BufWriter<File>>>,
+    /// AOF appends that failed (writes are not failable at the Redis API
+    /// surface, so errors surface here instead of being swallowed).
+    aof_errors: AtomicU64,
+    /// Latched on the first failed append: a partial record may sit at
+    /// the log tail, so appending past it would write records that
+    /// replay can never reach. Once set, appends stop and
+    /// [`sync`](RedisLite::sync) errors.
+    aof_poisoned: std::sync::atomic::AtomicBool,
+}
+
+/// AOF record op tags.
+const AOF_SET: u8 = 0;
+const AOF_RPUSH: u8 = 1;
+const AOF_DEL: u8 = 2;
+const AOF_LSET: u8 = 3;
+
+fn aof_checksum(body: &[u8]) -> u32 {
+    let mut h = forkbase_crypto::fx::FxHasher::default();
+    h.write(body);
+    h.finish() as u32
+}
+
+/// `[check u32][op u8][klen u32][vlen u32][idx u64][key][value]`; the
+/// check is an FxHash of everything after it, truncated to 32 bits —
+/// enough to detect a torn tail.
+fn encode_aof(out: &mut Vec<u8>, op: u8, key: &[u8], value: &[u8], idx: u64) {
+    let body_start = out.len() + 4;
+    out.extend_from_slice(&[0u8; 4]);
+    out.push(op);
+    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    out.extend_from_slice(&idx.to_le_bytes());
+    out.extend_from_slice(key);
+    out.extend_from_slice(value);
+    let check = aof_checksum(&out[body_start..]);
+    out[body_start - 4..body_start].copy_from_slice(&check.to_le_bytes());
 }
 
 impl RedisLite {
     /// Empty store.
     pub fn new() -> RedisLite {
         RedisLite::default()
+    }
+
+    /// Open a durable store: replay the append-only file at `path`
+    /// (creating it when missing, truncating a torn tail) and log every
+    /// further mutation to it. The replay streams one record at a time
+    /// through a reusable buffer — memory is bounded by the largest
+    /// record, not the log size.
+    pub fn open_durable(path: impl AsRef<Path>) -> std::io::Result<RedisLite> {
+        let path = path.as_ref();
+        let db = RedisLite::new();
+        if path.exists() {
+            let file = File::open(path)?;
+            let len = file.metadata()?.len();
+            let mut reader = std::io::BufReader::new(file);
+            let mut header = [0u8; 21];
+            let mut body = Vec::new();
+            let mut pos = 0u64;
+            let mut valid_end = 0u64;
+            while len - pos >= 21 {
+                reader.read_exact(&mut header)?;
+                let check = u32::from_le_bytes(header[0..4].try_into().expect("4"));
+                let op = header[4];
+                let klen = u32::from_le_bytes(header[5..9].try_into().expect("4")) as usize;
+                let vlen = u32::from_le_bytes(header[9..13].try_into().expect("4")) as usize;
+                let idx = u64::from_le_bytes(header[13..21].try_into().expect("8"));
+                if len - pos < 21 + (klen + vlen) as u64 {
+                    break; // torn tail
+                }
+                body.resize(klen + vlen, 0);
+                reader.read_exact(&mut body)?;
+                let mut checked = header[4..].to_vec();
+                checked.extend_from_slice(&body);
+                if aof_checksum(&checked) != check {
+                    break;
+                }
+                let key = Bytes::copy_from_slice(&body[..klen]);
+                let value = Bytes::copy_from_slice(&body[klen..]);
+                let mut map = db.map.write();
+                match op {
+                    AOF_SET => db.set_locked(&mut map, key, value),
+                    AOF_RPUSH => {
+                        db.rpush_locked(&mut map, key, value);
+                    }
+                    AOF_DEL => {
+                        db.del_locked(&mut map, &key);
+                    }
+                    AOF_LSET => {
+                        db.lset_locked(&mut map, &key, idx as usize, value);
+                    }
+                    _ => break, // unknown op: stop at the intact prefix
+                }
+                drop(map);
+                pos += 21 + (klen + vlen) as u64;
+                valid_end = pos;
+            }
+            if valid_end < len {
+                OpenOptions::new()
+                    .write(true)
+                    .open(path)?
+                    .set_len(valid_end)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(RedisLite {
+            aof: Some(Mutex::new(BufWriter::new(file))),
+            ..db
+        })
+    }
+
+    /// Flush buffered AOF appends and fsync them. Errors if any earlier
+    /// append failed — from that point the log tail is unreliable and
+    /// pretending the store is durable would silently lose every later
+    /// mutation at replay.
+    pub fn sync(&self) -> std::io::Result<()> {
+        if self.aof_poisoned.load(Ordering::Relaxed) {
+            return Err(std::io::Error::other(
+                "append-only file poisoned by an earlier write error",
+            ));
+        }
+        if let Some(aof) = &self.aof {
+            let mut w = aof.lock();
+            w.flush()?;
+            w.get_ref().sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// AOF appends that failed with an I/O error (0 when healthy or
+    /// in-memory). Non-zero means the in-memory state is ahead of what a
+    /// reopen will recover.
+    pub fn aof_error_count(&self) -> u64 {
+        self.aof_errors.load(Ordering::Relaxed)
+    }
+
+    /// Append one mutation record; called with the map lock held so the
+    /// log order matches the apply order. After a failed append the log
+    /// is poisoned: a partial record may sit at the tail, so later
+    /// records would be unreachable at replay — stop appending and count
+    /// instead.
+    fn log(&self, op: u8, key: &[u8], value: &[u8], idx: u64) {
+        let Some(aof) = &self.aof else { return };
+        if self.aof_poisoned.load(Ordering::Relaxed) {
+            self.aof_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut rec = Vec::with_capacity(21 + key.len() + value.len());
+        encode_aof(&mut rec, op, key, value, idx);
+        if let Err(e) = aof.lock().write_all(&rec) {
+            self.aof_errors.fetch_add(1, Ordering::Relaxed);
+            if !self.aof_poisoned.swap(true, Ordering::Relaxed) {
+                eprintln!("redislite: AOF append failed (log poisoned): {e}");
+            }
+        }
     }
 
     fn account(&self, old: Option<&RObject>, new: Option<&RObject>) {
@@ -127,11 +292,37 @@ impl RedisLite {
         }
     }
 
+    fn lset_locked(
+        &self,
+        map: &mut FxHashMap<Bytes, RObject>,
+        key: &[u8],
+        idx: usize,
+        elem: Bytes,
+    ) -> bool {
+        match map.get_mut(key) {
+            Some(RObject::List(l)) if idx < l.len() => {
+                let old_len = l[idx].len() as u64;
+                if elem.len() as u64 >= old_len {
+                    self.mem_bytes
+                        .fetch_add(elem.len() as u64 - old_len, Ordering::Relaxed);
+                } else {
+                    self.mem_bytes
+                        .fetch_sub(old_len - elem.len() as u64, Ordering::Relaxed);
+                }
+                l[idx] = elem;
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// SET: store a string value.
     pub fn set(&self, key: impl Into<Bytes>, value: impl Into<Bytes>) {
         self.ops.fetch_add(1, Ordering::Relaxed);
+        let (key, value) = (key.into(), value.into());
         let mut map = self.map.write();
-        self.set_locked(&mut map, key.into(), value.into());
+        self.log(AOF_SET, &key, &value, 0);
+        self.set_locked(&mut map, key, value);
     }
 
     /// MSET: store many string values under one lock hold — readers see
@@ -146,7 +337,9 @@ impl RedisLite {
         let mut map = self.map.write();
         for (key, value) in pairs {
             self.ops.fetch_add(1, Ordering::Relaxed);
-            self.set_locked(&mut map, key.into(), value.into());
+            let (key, value) = (key.into(), value.into());
+            self.log(AOF_SET, &key, &value, 0);
+            self.set_locked(&mut map, key, value);
         }
     }
 
@@ -163,8 +356,10 @@ impl RedisLite {
     /// returning the new length.
     pub fn rpush(&self, key: impl Into<Bytes>, elem: impl Into<Bytes>) -> usize {
         self.ops.fetch_add(1, Ordering::Relaxed);
+        let (key, elem) = (key.into(), elem.into());
         let mut map = self.map.write();
-        self.rpush_locked(&mut map, key.into(), elem.into())
+        self.log(AOF_RPUSH, &key, &elem, 0);
+        self.rpush_locked(&mut map, key, elem)
     }
 
     /// LINDEX: element at `idx` (negative = from the end, like Redis).
@@ -196,21 +391,11 @@ impl RedisLite {
         self.ops.fetch_add(1, Ordering::Relaxed);
         let elem = elem.into();
         let mut map = self.map.write();
-        match map.get_mut(key) {
-            Some(RObject::List(l)) if idx < l.len() => {
-                let old_len = l[idx].len() as u64;
-                if elem.len() as u64 >= old_len {
-                    self.mem_bytes
-                        .fetch_add(elem.len() as u64 - old_len, Ordering::Relaxed);
-                } else {
-                    self.mem_bytes
-                        .fetch_sub(old_len - elem.len() as u64, Ordering::Relaxed);
-                }
-                l[idx] = elem;
-                true
-            }
-            _ => false,
+        let ok = self.lset_locked(&mut map, key, idx, elem.clone());
+        if ok {
+            self.log(AOF_LSET, key, &elem, idx as u64);
         }
+        ok
     }
 
     /// LRANGE: elements in `[start, stop]` (inclusive, clamped).
@@ -232,6 +417,7 @@ impl RedisLite {
     pub fn del(&self, key: &[u8]) -> bool {
         self.ops.fetch_add(1, Ordering::Relaxed);
         let mut map = self.map.write();
+        self.log(AOF_DEL, key, &[], 0);
         self.del_locked(&mut map, key)
     }
 
@@ -245,6 +431,7 @@ impl RedisLite {
         cmds.into_iter()
             .map(|cmd| match cmd {
                 Cmd::Set(key, value) => {
+                    self.log(AOF_SET, &key, &value, 0);
                     self.set_locked(&mut map, key, value);
                     Reply::Ok
                 }
@@ -252,8 +439,14 @@ impl RedisLite {
                     Some(RObject::Str(s)) => Reply::Value(s.clone()),
                     _ => Reply::Nil,
                 },
-                Cmd::Rpush(key, elem) => Reply::Len(self.rpush_locked(&mut map, key, elem)),
-                Cmd::Del(key) => Reply::Len(usize::from(self.del_locked(&mut map, &key))),
+                Cmd::Rpush(key, elem) => {
+                    self.log(AOF_RPUSH, &key, &elem, 0);
+                    Reply::Len(self.rpush_locked(&mut map, key, elem))
+                }
+                Cmd::Del(key) => {
+                    self.log(AOF_DEL, &key, &[], 0);
+                    Reply::Len(usize::from(self.del_locked(&mut map, &key)))
+                }
             })
             .collect()
     }
@@ -278,6 +471,71 @@ impl RedisLite {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn temp_aof(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "redislite-aof-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock")
+                .subsec_nanos()
+        ))
+    }
+
+    #[test]
+    fn aof_replays_all_mutation_kinds() {
+        let path = temp_aof("replay");
+        {
+            let db = RedisLite::open_durable(&path).expect("open");
+            db.set("s", "v1");
+            db.set("gone", "x");
+            db.del(b"gone");
+            for i in 0..3 {
+                db.rpush("page", format!("rev {i}"));
+            }
+            db.lset(b"page", 1, "rev 1 edited");
+            db.pipeline(vec![
+                Cmd::Set(Bytes::from("p"), Bytes::from("pipelined")),
+                Cmd::Rpush(Bytes::from("page"), Bytes::from("rev 3")),
+            ]);
+            db.sync().expect("sync");
+            assert_eq!(db.aof_error_count(), 0);
+        }
+        let db = RedisLite::open_durable(&path).expect("reopen");
+        assert_eq!(db.get(b"s"), Some(Bytes::from("v1")));
+        assert_eq!(db.get(b"gone"), None);
+        assert_eq!(db.get(b"p"), Some(Bytes::from("pipelined")));
+        assert_eq!(db.llen(b"page"), 4);
+        assert_eq!(db.lindex(b"page", 1), Some(Bytes::from("rev 1 edited")));
+        assert_eq!(db.lindex(b"page", -1), Some(Bytes::from("rev 3")));
+        // Memory accounting was rebuilt by the replay.
+        assert!(db.memory_bytes() > 0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn aof_torn_tail_truncated() {
+        let path = temp_aof("torn");
+        {
+            let db = RedisLite::open_durable(&path).expect("open");
+            db.set("k", "v");
+            db.sync().expect("sync");
+        }
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).expect("raw");
+            f.write_all(&[9, 9, 9, 9, 9]).expect("garbage");
+        }
+        let db = RedisLite::open_durable(&path).expect("recover");
+        assert_eq!(db.get(b"k"), Some(Bytes::from("v")));
+        // Appendable after recovery.
+        db.set("k2", "v2");
+        db.sync().expect("sync");
+        drop(db);
+        let db = RedisLite::open_durable(&path).expect("reopen");
+        assert_eq!(db.dbsize(), 2);
+        std::fs::remove_file(path).ok();
+    }
 
     #[test]
     fn string_ops() {

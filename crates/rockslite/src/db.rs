@@ -16,6 +16,11 @@ pub struct Options {
     pub memtable_bytes: usize,
     /// Compact L0 into L1 when this many L0 tables accumulate.
     pub l0_compaction_trigger: usize,
+    /// fsync the WAL after every `put`/`delete`/`write_batch` (RocksDB's
+    /// `WriteOptions::sync`). Off by default: the WAL still survives a
+    /// process crash (buffered writes reach the OS), but a power loss
+    /// may drop the unsynced tail.
+    pub sync_writes: bool,
 }
 
 impl Default for Options {
@@ -23,6 +28,7 @@ impl Default for Options {
         Options {
             memtable_bytes: 4 << 20, // 4 MB
             l0_compaction_trigger: 4,
+            sync_writes: false,
         }
     }
 }
@@ -148,6 +154,9 @@ impl RocksLite {
     fn write(&self, key: &[u8], value: Option<&[u8]>) -> std::io::Result<()> {
         let mut inner = self.inner.lock();
         inner.wal.append(key, value)?;
+        if self.opts.sync_writes {
+            inner.wal.sync()?;
+        }
         inner.memtable.insert(
             Bytes::copy_from_slice(key),
             value.map(Bytes::copy_from_slice),
@@ -164,6 +173,9 @@ impl RocksLite {
     pub fn write_batch(&self, batch: &[(Bytes, Option<Bytes>)]) -> std::io::Result<()> {
         let mut inner = self.inner.lock();
         inner.wal.append_batch(batch)?;
+        if self.opts.sync_writes {
+            inner.wal.sync()?;
+        }
         for (k, v) in batch {
             inner.memtable.insert(k.clone(), v.clone());
         }
@@ -320,7 +332,36 @@ mod tests {
         Options {
             memtable_bytes: 4096,
             l0_compaction_trigger: 3,
+            ..Options::default()
         }
+    }
+
+    #[test]
+    fn sync_writes_survive_unflushed_drop() {
+        let dir = temp_dir("syncw");
+        {
+            let db = RocksLite::open_with(
+                &dir,
+                Options {
+                    sync_writes: true,
+                    ..Options::default()
+                },
+            )
+            .expect("open");
+            // No flush(): sync_writes must make every put durable on its
+            // own.
+            db.put(b"k1", b"v1").expect("put");
+            db.write_batch(&[
+                (Bytes::from("k2"), Some(Bytes::from("v2"))),
+                (Bytes::from("k1"), None),
+            ])
+            .expect("batch");
+        }
+        let db = RocksLite::open(&dir).expect("reopen");
+        assert_eq!(db.get(b"k1").expect("get"), None, "tombstone replayed");
+        assert_eq!(db.get(b"k2").expect("get"), Some(Bytes::from("v2")));
+        drop(db);
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

@@ -123,6 +123,13 @@ impl Wal {
         self.writer.flush()
     }
 
+    /// Flush and fsync: the appended records survive a power loss, not
+    /// just a process crash.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()
+    }
+
     /// Truncate after a successful memtable flush.
     pub fn reset(&mut self) -> std::io::Result<()> {
         self.writer.flush()?;

@@ -21,6 +21,7 @@ fn tiny_opts() -> Options {
     Options {
         memtable_bytes: 512,
         l0_compaction_trigger: 2,
+        ..Options::default()
     }
 }
 

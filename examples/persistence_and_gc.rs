@@ -1,26 +1,32 @@
 //! Durability and space reclamation, end to end:
 //!
-//! 1. run an engine over the persistent log-structured chunk store,
-//! 2. checkpoint the branch tables (durable refs, like git's packed-refs),
-//! 3. "crash" and reopen the instance from disk + the checkpoint cid,
-//! 4. abandon a branch, then reclaim its space by copy-compaction.
+//! 1. open a durable engine (`ForkBase::open`: a segmented, group-commit
+//!    log-structured chunk store),
+//! 2. commit a checkpoint (durable branch refs, like git's packed-refs +
+//!    HEAD),
+//! 3. "crash" and reopen the instance from the directory alone — branch
+//!    heads and data both recover,
+//! 4. abandon a branch, then reclaim its space by **in-place** GC
+//!    compaction (live chunks rewritten into fresh segments, dead
+//!    segments deleted).
 //!
 //! Run with: `cargo run --example persistence_and_gc`
 
-use forkbase::chunk::{ChunkStore, LogStore};
+use forkbase::chunk::Durability;
 use forkbase::core::{gc, verify_history};
 use forkbase::{ChunkerConfig, ForkBase, Value};
-use std::sync::Arc;
 
 fn main() {
     let dir = std::env::temp_dir().join(format!("forkbase-example-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).expect("mkdir");
-    let log_path = dir.join("chunks.log");
+    std::fs::remove_dir_all(&dir).ok();
 
-    // ---- 1. a session over persistent storage ---------------------------
-    let checkpoint = {
-        let store = Arc::new(LogStore::open(&log_path).expect("open log"));
-        let db = ForkBase::with_store(store.clone(), ChunkerConfig::default());
+    // ---- 1. a session over durable storage ------------------------------
+    {
+        // Durability::Always: every acknowledged put is fsynced (group
+        // commit shares the fsyncs), so even an abrupt kill loses
+        // nothing acknowledged.
+        let db = ForkBase::open_with(&dir, ChunkerConfig::default(), Durability::Always)
+            .expect("open durable engine");
 
         let report = db.new_blob(b"Q3 results: revenue up 4%, churn down 0.5%");
         db.put("report", None, Value::Blob(report)).expect("put");
@@ -42,24 +48,28 @@ fn main() {
         )
         .expect("put");
 
-        let cid = db.checkpoint();
-        store.sync().expect("sync");
+        // Checkpoint: branch tables into the store, cid into the HEAD
+        // ref file. This is the whole recovery point.
+        let cid = db.commit_checkpoint().expect("checkpoint");
         println!(
             "session 1: wrote 2 branches, checkpoint = {}",
             cid.short_hex()
         );
-        cid
-    }; // <- everything in memory is dropped here: the "crash"
+    } // <- everything in memory is dropped here: the "crash"
 
-    // ---- 2. reopen from disk + the checkpoint cid ------------------------
-    let store = Arc::new(LogStore::open(&log_path).expect("reopen log"));
-    let db =
-        ForkBase::restore(store.clone(), ChunkerConfig::default(), checkpoint).expect("restore");
+    // ---- 2. reopen from the directory alone ------------------------------
+    let db = ForkBase::open(&dir).expect("reopen");
     let branches = db.list_tagged_branches("report").expect("list");
     println!(
         "session 2: recovered {} branches of 'report': {:?}",
         branches.len(),
         branches.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>()
+    );
+    let store = db.durable_store().expect("durable").clone();
+    let reopen = store.reopen_stats();
+    println!(
+        "           reopen replayed {} chunks ({} bytes scanned); {} came from the index snapshot",
+        reopen.replayed_chunks, reopen.bytes_scanned, reopen.snapshot_chunks
     );
     let head = db.head("report", None).expect("head");
     let evidence = verify_history(db.store(), head).expect("verify");
@@ -68,12 +78,11 @@ fn main() {
         evidence.verified_versions, evidence.verified_chunks
     );
 
-    // ---- 3. abandon the draft branch and compact --------------------------
+    // ---- 3. abandon the draft branch and compact in place ----------------
     db.remove_branch("report", "draft-ideas").expect("remove");
-    let compacted = Arc::new(forkbase::chunk::MemStore::new());
-    let report = gc::compact_into(&db, compacted.as_ref()).expect("gc");
+    let report = gc::compact_in_place(&db).expect("gc");
     println!(
-        "gc: kept {} versions / {} chunks ({} KB); reclaimed {} chunks ({} KB)",
+        "gc (in place): kept {} versions / {} chunks ({} KB); reclaimed {} chunks ({} KB)",
         report.live_versions,
         report.live_chunks,
         report.live_bytes / 1024,
@@ -82,25 +91,33 @@ fn main() {
     );
     assert!(report.dropped_bytes > 150_000, "the draft was reclaimed");
 
-    // The live data is intact on the compacted store.
-    let db2 = ForkBase::restore(compacted.clone(), ChunkerConfig::default(), {
-        let chunk = db.snapshot_branches().to_chunk();
-        let cid = chunk.cid();
-        compacted.put(chunk);
-        cid
-    })
-    .expect("reopen compacted");
-    let text = db2
+    // The same open store keeps serving after its segments were rewritten.
+    let text = db
         .get_value("report", None)
         .expect("get")
         .as_blob()
         .expect("blob")
-        .read_all(db2.store())
+        .read_all(db.store())
         .expect("read");
     println!(
         "compacted store serves: {:?}",
         String::from_utf8_lossy(&text)
     );
 
+    // And one more restart proves the compacted layout reopens clean.
+    drop(db);
+    let db = ForkBase::open(&dir).expect("reopen compacted");
+    assert_eq!(
+        db.get_value("report", None)
+            .expect("get")
+            .as_blob()
+            .expect("blob")
+            .read_all(db.store())
+            .expect("read"),
+        text
+    );
+    println!("session 3: compacted store reopened clean");
+
+    drop(db);
     std::fs::remove_dir_all(dir).ok();
 }

@@ -10,8 +10,11 @@
 #   with derived per-edit speedups.
 # * BENCH_build.json — from-scratch builds: the run-scanning copy-free
 #   path vs the retained element-at-a-time path, for Blob/Map/Set.
+# * BENCH_store.json — the durable chunk store: group-commit LogStore
+#   put/get/reopen vs MemStore and vs fsync-per-put, the group-commit
+#   batch sweep, and snapshot-vs-full-scan reopen.
 #
-# Usage: scripts/bench.sh [chunking.json] [map_batch.json] [build.json]
+# Usage: scripts/bench.sh [chunking.json] [map_batch.json] [build.json] [store.json]
 # Knobs: CRITERION_SAMPLE_MS (per-bench budget, default 300).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -19,16 +22,18 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_chunking.json}"
 batch_out="${2:-BENCH_map_batch.json}"
 build_out="${3:-BENCH_build.json}"
+store_out="${4:-BENCH_store.json}"
 opt_json="$(mktemp)"
 naive_json="$(mktemp)"
 trap 'rm -f "$opt_json" "$naive_json"' EXIT
 
 export CRITERION_SAMPLE_MS="${CRITERION_SAMPLE_MS:-300}"
 
-echo "== optimized pipeline: crypto_micro + pos_micro + pos_build" >&2
+echo "== optimized pipeline: crypto_micro + pos_micro + pos_build + store" >&2
 CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench crypto_micro
 CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench pos_micro
 CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench pos_build
+CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench store
 
 echo "== naive-baseline pipeline: pos_micro (end-to-end A/B)" >&2
 CRITERION_JSON="$naive_json" cargo bench -q -p fb-bench --bench pos_micro \
@@ -166,3 +171,43 @@ set_iw=$(median "$opt_json" "pos_build_scratch_set_100k/itemwise")
 
 echo "wrote $build_out" >&2
 grep -A4 'derived_speedups_vs_itemwise' "$build_out" >&2
+
+# ---- BENCH_store.json: the durable chunk store -------------------------
+
+mem_put=$(median "$opt_json" "store_put_256x1k/memstore")
+gc_put=$(median "$opt_json" "store_put_256x1k/logstore_group_commit")
+fsync_put=$(median "$opt_json" "store_put_256x1k/logstore_fsync_each")
+os_put=$(median "$opt_json" "store_put_256x1k/logstore_os")
+reopen_full=$(median "$opt_json" "store_reopen_4k_chunks/full_scan")
+reopen_snap=$(median "$opt_json" "store_reopen_4k_chunks/snapshot")
+mem_get=$(median "$opt_json" "store_get_1k/memstore")
+log_get=$(median "$opt_json" "store_get_1k/logstore")
+
+{
+    echo '{'
+    echo '  "bench": "store",'
+    echo "  \"date_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"host\": \"$(uname -srm)\","
+    echo "  \"rustc\": \"$(rustc --version)\","
+    echo "  \"sample_ms\": ${CRITERION_SAMPLE_MS},"
+    echo '  "put_batch": 256,'
+    echo '  "payload_bytes": 1024,'
+    echo '  "note": "put variants open a fresh store per iteration and end fully fsynced; logstore_fsync_each is the pre-segmented per-put-fsync policy (Durability::Always, single writer), logstore_group_commit is Durability::Batch(512, 10ms). The acceptance metric is group_commit_vs_fsync_each (MemStore-relative ratios divide out the common per-iteration overhead).",'
+    echo '  "derived": {'
+    echo "    \"group_commit_vs_fsync_each\": $(ratio "$fsync_put" "$gc_put"),"
+    echo "    \"memstore_cost_ratio_group_commit\": $(ratio "$gc_put" "$mem_put"),"
+    echo "    \"memstore_cost_ratio_fsync_each\": $(ratio "$fsync_put" "$mem_put"),"
+    echo "    \"os_vs_group_commit\": $(ratio "$gc_put" "$os_put"),"
+    echo "    \"reopen_snapshot_vs_full_scan\": $(ratio "$reopen_full" "$reopen_snap"),"
+    echo "    \"get_memstore_vs_logstore\": $(ratio "$log_get" "$mem_get")"
+    echo '  },'
+    echo '  "raw": ['
+    grep -E '"bench":"(store_put_256x1k|group_commit_sweep|store_get_1k|store_reopen_4k_chunks)/' "$opt_json" \
+        | awk 'NR > 1 { print prev "," } { prev = $0 } END { if (NR) print prev }' \
+        | sed 's/^/    /'
+    echo '  ]'
+    echo '}'
+} > "$store_out"
+
+echo "wrote $store_out" >&2
+grep -A6 '"derived"' "$store_out" >&2

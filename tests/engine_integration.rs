@@ -40,7 +40,7 @@ fn versions_survive_store_reopen() {
     assert_eq!(blob.read_all(store.as_ref()).expect("read"), blob_content);
     // Full tamper-evidence verification passes on the recovered store.
     verify_history(store.as_ref(), uid).expect("verifies");
-    std::fs::remove_file(path).ok();
+    std::fs::remove_dir_all(path).ok();
 }
 
 #[test]
@@ -90,7 +90,7 @@ fn full_restart_with_checkpoint() {
     assert_eq!(obj.depth, 2, "history depth continues across restart");
     // And the whole recovered + extended history verifies.
     verify_history(db.store(), obj.uid()).expect("verifies");
-    std::fs::remove_file(path).ok();
+    std::fs::remove_dir_all(path).ok();
 }
 
 #[test]
@@ -381,5 +381,5 @@ fn put_many_over_persistent_store() {
         );
     }
     std::fs::remove_file(path.with_extension("cp")).ok();
-    std::fs::remove_file(path).ok();
+    std::fs::remove_dir_all(path).ok();
 }
