@@ -1,0 +1,196 @@
+//! The concurrent read tier, measured: YCSB-C (100% reads) with zipfian
+//! key choice — the workload §6.2 derives from Blockbench's YCSB driver
+//! — against three chunk-store configurations:
+//!
+//! * `memstore` — the in-memory ceiling,
+//! * `logstore` — bare durable reads (index lock + pread + cid verify
+//!   per get; the 28× gap PR 4 documented),
+//! * `logstore_cached` — the same store behind the default sharded
+//!   clock cache ([`ShardedCache`]), plus a `get_many` batched variant.
+//!
+//! A capacity sweep (cache sized to 10% / 35% / 100% of the working
+//! set) shows how the zipfian skew keeps the hit rate high well below
+//! full residency; per-config hit rates are printed to stderr and
+//! recorded in EXPERIMENTS.md. `scripts/bench.sh` assembles everything
+//! into `BENCH_read.json`, which the CI bench gate enforces.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fb_workload::zipf::Zipf;
+use forkbase_chunk::{
+    CacheConfig, Chunk, ChunkStore, ChunkType, Durability, LogConfig, LogStore, MemStore,
+    ShardedCache,
+};
+use forkbase_crypto::Digest;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// YCSB-C shape: 10k keys, 1 KiB values, zipf 0.99 (the YCSB default
+/// skew), 8192 reads per measured iteration.
+const N_KEYS: usize = 10_000;
+const PAYLOAD: usize = 1024;
+const READS_PER_ITER: usize = 8192;
+const ZIPF_S: f64 = 0.99;
+
+fn bench_root() -> PathBuf {
+    let root = std::env::temp_dir().join(format!("forkbase-bench-read-{}", std::process::id()));
+    std::fs::create_dir_all(&root).expect("bench root");
+    root
+}
+
+fn fresh_dir() -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    bench_root().join(format!("run-{}", N.fetch_add(1, Ordering::Relaxed)))
+}
+
+/// The stored chunk for YCSB key index `i` (key text embedded so the
+/// working set matches what an engine-level load phase would write).
+fn value_chunk(i: usize) -> Chunk {
+    let key = fb_workload::YcsbGen::key(i);
+    let mut payload = vec![0u8; PAYLOAD];
+    payload[..key.len()].copy_from_slice(&key);
+    let mut state = i as u64 + 1;
+    for b in payload.iter_mut().skip(key.len()) {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *b = (state >> 33) as u8;
+    }
+    Chunk::new(ChunkType::Blob, payload)
+}
+
+/// The zipfian read schedule: one deterministic cid sequence shared by
+/// every store variant, so they serve byte-identical request streams.
+fn zipf_schedule(cids: &[Digest]) -> Vec<Digest> {
+    let zipf = Zipf::new(N_KEYS, ZIPF_S);
+    let mut rng = StdRng::seed_from_u64(42);
+    (0..READS_PER_ITER)
+        .map(|_| cids[zipf.sample(&mut rng)])
+        .collect()
+}
+
+fn load<S: ChunkStore + ?Sized>(store: &S) -> Vec<Digest> {
+    (0..N_KEYS)
+        .map(|i| {
+            let c = value_chunk(i);
+            let cid = c.cid();
+            store.put(c);
+            cid
+        })
+        .collect()
+}
+
+fn open_log(dir: &PathBuf) -> LogStore {
+    LogStore::open_with(
+        dir,
+        LogConfig {
+            segment_bytes: 64 << 20,
+            snapshot_bytes: u64::MAX,
+        },
+        Durability::Os,
+    )
+    .expect("open")
+}
+
+fn run_reads<S: ChunkStore + ?Sized>(store: &S, schedule: &[Digest]) -> usize {
+    let mut hits = 0usize;
+    for cid in schedule {
+        hits += usize::from(store.get(cid).is_some());
+    }
+    hits
+}
+
+fn ycsbc_zipf(c: &mut Criterion) {
+    let mem = MemStore::new();
+    let cids = load(&mem);
+    let schedule = zipf_schedule(&cids);
+
+    let dir = fresh_dir();
+    let log = open_log(&dir);
+    load(&log);
+    log.sync().expect("sync"); // reads come from segments, not the queue
+
+    let cached_dir = fresh_dir();
+    let cached = ShardedCache::new(
+        Arc::new(open_log(&cached_dir)) as Arc<dyn ChunkStore>,
+        CacheConfig::default(),
+    );
+    load(&cached);
+
+    // Warm pass so the measured iterations see the steady-state cache
+    // (one zipfian pass touches ~every hot key).
+    run_reads(&cached, &schedule);
+
+    let mut group = c.benchmark_group("ycsbc_zipf_10k");
+    group.throughput(Throughput::Elements(READS_PER_ITER as u64));
+    group.bench_function("memstore", |b| b.iter(|| run_reads(&mem, &schedule)));
+    group.bench_function("logstore", |b| b.iter(|| run_reads(&log, &schedule)));
+    group.bench_function("logstore_cached", |b| {
+        b.iter(|| run_reads(&cached, &schedule))
+    });
+    group.bench_function("logstore_cached_get_many", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for batch in schedule.chunks(64) {
+                hits += cached.get_many(batch).iter().flatten().count();
+            }
+            hits
+        })
+    });
+    group.finish();
+
+    let (hits, misses) = cached.hit_miss();
+    eprintln!(
+        "read-bench: full-size cache hit rate {:.2}% ({hits} hits / {misses} misses)",
+        100.0 * hits as f64 / (hits + misses) as f64
+    );
+
+    drop(log);
+    drop(cached);
+    std::fs::remove_dir_all(dir).ok();
+    std::fs::remove_dir_all(cached_dir).ok();
+}
+
+/// Hit-rate sweep: the cache sized to a fraction of the ~10 MB working
+/// set. Zipf 0.99 concentrates mass on the head of the key ranking, so
+/// even a 10% cache absorbs most reads.
+fn capacity_sweep(c: &mut Criterion) {
+    let working_set = N_KEYS * PAYLOAD;
+    let mut group = c.benchmark_group("read_cache_capacity_sweep");
+    group.throughput(Throughput::Elements(READS_PER_ITER as u64));
+    for pct in [10usize, 35, 100] {
+        let dir = fresh_dir();
+        let cached = ShardedCache::new(
+            Arc::new(open_log(&dir)) as Arc<dyn ChunkStore>,
+            CacheConfig::with_capacity(working_set * pct / 100),
+        );
+        let cids = load(&cached);
+        let schedule = zipf_schedule(&cids);
+        run_reads(&cached, &schedule); // warm
+        let (h0, m0) = cached.hit_miss();
+        group.bench_function(format!("capacity_{pct}pct"), |b| {
+            b.iter(|| run_reads(&cached, &schedule))
+        });
+        let (h1, m1) = cached.hit_miss();
+        eprintln!(
+            "read-bench: {pct}% cache steady-state hit rate {:.2}%",
+            100.0 * (h1 - h0) as f64 / ((h1 - h0) + (m1 - m0)) as f64
+        );
+        drop(cached);
+        std::fs::remove_dir_all(dir).ok();
+    }
+    group.finish();
+}
+
+fn teardown(_c: &mut Criterion) {
+    std::fs::remove_dir_all(bench_root()).ok();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ycsbc_zipf, capacity_sweep, teardown
+}
+criterion_main!(benches);

@@ -1,53 +1,255 @@
-//! LRU chunk cache, layered in front of another store.
+//! Sharded, concurrency-first chunk cache.
 //!
-//! Servlets "may cache the frequently accessed remote chunks" (§4.6) and
-//! wiki clients cache data chunks so that reading consecutive versions of a
-//! page mostly hits the cache (§6.3.1, Fig. 14). Because chunks are
-//! immutable and content-addressed, caching needs no invalidation.
+//! Servlets "cache the frequently accessed remote chunks" (§4.6) and
+//! wiki clients cache data chunks so that reading consecutive versions of
+//! a page mostly hits the cache (§6.3.1, Fig. 14). Chunks are immutable
+//! and content-addressed, so a cache needs **no invalidation** — an entry
+//! can only ever be absent or byte-identical to the store's copy — which
+//! buys a lot of concurrency headroom:
+//!
+//! * The key space is split across N power-of-two **shards** selected by
+//!   cid bits, so readers of different chunks rarely touch the same lock.
+//! * Each shard is a **second-chance FIFO ring** (CLOCK): a hit only
+//!   takes the shard's *read* lock and sets an atomic reference bit —
+//!   readers never serialize behind each other the way an LRU's
+//!   recency-list update forces them to. Eviction is approximate LRU,
+//!   which is exactly as good for immutable content (no stale entry can
+//!   exist, so an imperfect victim costs one refetch, never correctness).
+//! * Budgets are **per shard** (`capacity_bytes / shards`), so eviction
+//!   in one shard never blocks reads in another.
+//!
+//! Two types are provided: [`ChunkCache`], the bare cache (embedded by
+//! the cluster's `TwoLayerStore` for remote chunks), and
+//! [`ShardedCache`], a [`ChunkStore`] wrapper layering the cache over a
+//! backing store with read-through fills and a batched
+//! [`get_many`](ChunkStore::get_many) miss path.
 
 use crate::chunk::Chunk;
 use crate::store::{ChunkStore, PutOutcome, StoreStats};
 use forkbase_crypto::fx::FxHashMap;
 use forkbase_crypto::Digest;
-use parking_lot::Mutex;
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use parking_lot::RwLock;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-struct LruInner {
-    map: FxHashMap<Digest, (Chunk, u64)>, // cid -> (chunk, stamp)
-    order: BTreeMap<u64, Digest>,         // stamp -> cid (oldest first)
-    next_stamp: u64,
-    bytes: usize,
+/// Sizing knobs for the sharded chunk cache.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Master switch: `false` means no cache is constructed at all.
+    pub enabled: bool,
+    /// Total payload-byte budget across all shards.
+    pub capacity_bytes: usize,
+    /// Shard count; rounded up to a power of two. `0` picks a power of
+    /// two near the host's available parallelism (at least 8), clamped
+    /// so each shard's byte budget stays at least 64 KiB — twice the
+    /// default chunker's forced-split maximum, so small caches never
+    /// silently reject ordinary leaves. An explicit non-zero count is
+    /// used verbatim (a chunk larger than `capacity_bytes / shards` is
+    /// not cached).
+    pub shards: usize,
 }
 
-/// A byte-capacity-bounded LRU cache over a backing [`ChunkStore`].
-pub struct CachingStore {
-    backing: Arc<dyn ChunkStore>,
-    inner: Mutex<LruInner>,
-    capacity_bytes: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
+/// Auto-sharding keeps at least this much budget per shard (2× the
+/// default chunker's 32 KiB forced-split leaf maximum).
+const MIN_AUTO_SHARD_BUDGET: usize = 64 << 10;
+
+impl Default for CacheConfig {
+    /// On, 64 MiB, shard count sized to the host.
+    fn default() -> Self {
+        CacheConfig {
+            enabled: true,
+            capacity_bytes: 64 << 20,
+            shards: 0,
+        }
+    }
 }
 
-impl CachingStore {
-    /// Wrap `backing` with a cache bounded to `capacity_bytes` of payload.
-    pub fn new(backing: Arc<dyn ChunkStore>, capacity_bytes: usize) -> Self {
-        CachingStore {
-            backing,
-            inner: Mutex::new(LruInner {
-                map: FxHashMap::default(),
-                order: BTreeMap::new(),
-                next_stamp: 0,
-                bytes: 0,
-            }),
-            capacity_bytes,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+impl CacheConfig {
+    /// A disabled cache (reads go straight to the backing store).
+    pub fn disabled() -> Self {
+        CacheConfig {
+            enabled: false,
+            ..Default::default()
         }
     }
 
-    /// (cache hits, cache misses) since creation.
+    /// Enabled with an explicit byte budget (auto shard count).
+    pub fn with_capacity(capacity_bytes: usize) -> Self {
+        CacheConfig {
+            enabled: true,
+            capacity_bytes,
+            shards: 0,
+        }
+    }
+
+    /// The resolved (power-of-two, non-zero) shard count.
+    pub fn shard_count(&self) -> usize {
+        let n = if self.shards == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(8)
+                .max(8)
+        } else {
+            self.shards
+        };
+        n.next_power_of_two().min(1 << 16)
+    }
+}
+
+struct CacheEntry {
+    chunk: Chunk,
+    /// CLOCK reference bit: set on every hit, cleared (once) before the
+    /// entry may be evicted. Atomic so hits need only the read lock.
+    referenced: AtomicBool,
+}
+
+#[derive(Default)]
+struct ShardInner {
+    map: FxHashMap<Digest, CacheEntry>,
+    /// Insertion-ordered ring the clock hand sweeps (front = oldest).
+    ring: VecDeque<Digest>,
+    bytes: usize,
+}
+
+/// The bare sharded clock cache: `cid → Chunk`, byte-budgeted,
+/// approximate-LRU eviction, atomic hit/miss/eviction counters.
+pub struct ChunkCache {
+    shards: Box<[RwLock<ShardInner>]>,
+    shard_mask: u64,
+    shard_budget: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ChunkCache {
+    /// Build a cache per `cfg` (its `enabled` flag is the caller's to
+    /// honor — a constructed cache always caches).
+    pub fn new(cfg: &CacheConfig) -> ChunkCache {
+        let mut n = cfg.shard_count();
+        if cfg.shards == 0 {
+            // Auto mode: fewer, larger shards for small capacities, so
+            // the per-shard budget never drops below what a single
+            // ordinary chunk needs.
+            while n > 1 && cfg.capacity_bytes / n < MIN_AUTO_SHARD_BUDGET {
+                n /= 2;
+            }
+        }
+        ChunkCache {
+            shards: (0..n).map(|_| RwLock::new(ShardInner::default())).collect(),
+            shard_mask: (n - 1) as u64,
+            shard_budget: cfg.capacity_bytes / n,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, cid: &Digest) -> &RwLock<ShardInner> {
+        // Deliberately *not* the prefix bytes: those route chunks to
+        // cluster nodes (`prefix_u64 % pool`), and reusing them would
+        // correlate shard choice with node placement. cids are uniform,
+        // so any other 8 bytes work.
+        let b = &cid.as_bytes()[8..16];
+        let sel = u64::from_le_bytes(b.try_into().expect("8 bytes"));
+        &self.shards[(sel & self.shard_mask) as usize]
+    }
+
+    /// Look up a chunk; counts a hit or a miss.
+    pub fn get(&self, cid: &Digest) -> Option<Chunk> {
+        let found = {
+            let inner = self.shard(cid).read();
+            inner.map.get(cid).map(|e| {
+                e.referenced.store(true, Ordering::Relaxed);
+                e.chunk.clone()
+            })
+        };
+        match found {
+            Some(chunk) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(chunk)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a chunk, evicting via the clock sweep until the shard is
+    /// back under budget. A chunk larger than one shard's budget is not
+    /// cached (it would evict the whole shard for one entry).
+    pub fn insert(&self, chunk: Chunk) {
+        let len = chunk.len();
+        if len > self.shard_budget {
+            return;
+        }
+        let cid = chunk.cid();
+        let mut evicted = 0u64;
+        {
+            let mut inner = self.shard(&cid).write();
+            if let Some(e) = inner.map.get(&cid) {
+                e.referenced.store(true, Ordering::Relaxed);
+                return;
+            }
+            inner.bytes += len;
+            inner.ring.push_back(cid);
+            inner.map.insert(
+                cid,
+                CacheEntry {
+                    chunk,
+                    referenced: AtomicBool::new(false),
+                },
+            );
+            while inner.bytes > self.shard_budget {
+                let Some(victim) = inner.ring.pop_front() else {
+                    break;
+                };
+                let second_chance = inner
+                    .map
+                    .get(&victim)
+                    .is_some_and(|e| e.referenced.swap(false, Ordering::Relaxed));
+                if second_chance {
+                    inner.ring.push_back(victim);
+                } else if let Some(e) = inner.map.remove(&victim) {
+                    inner.bytes -= e.chunk.len();
+                    evicted += 1;
+                }
+            }
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Membership probe; does not count as a hit/miss and does not touch
+    /// the reference bit.
+    pub fn contains(&self, cid: &Digest) -> bool {
+        self.shard(cid).read().map.contains_key(cid)
+    }
+
+    /// Drop every entry (counters keep running).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            let mut inner = shard.write();
+            inner.map.clear();
+            inner.ring.clear();
+            inner.bytes = 0;
+        }
+    }
+
+    /// Current cached payload bytes across all shards.
+    pub fn cached_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.read().bytes).sum()
+    }
+
+    /// Current cached chunk count across all shards.
+    pub fn cached_chunks(&self) -> usize {
+        self.shards.iter().map(|s| s.read().map.len()).sum()
+    }
+
+    /// (hits, misses) since creation.
     pub fn hit_miss(&self) -> (u64, u64) {
         (
             self.hits.load(Ordering::Relaxed),
@@ -55,92 +257,128 @@ impl CachingStore {
         )
     }
 
+    /// Entries evicted by the clock sweep since creation.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Fold this cache's counters into a [`StoreStats`] snapshot, for a
+    /// cache layered **in front of** the snapshotted store (every
+    /// lookup either hit here or reached the store): cache hits are
+    /// gets the store never saw, so they are added to the request
+    /// counters too. Cache counters accumulate (`+=`) so a cached store
+    /// nested underneath is not masked. Side-tier caches whose lookups
+    /// do not subsume the store's gets (e.g. the cluster's remote-chunk
+    /// cache) must add only the `cache_*` fields themselves.
+    pub fn fold_stats(&self, mut stats: StoreStats) -> StoreStats {
+        let (hits, misses) = self.hit_miss();
+        stats.gets += hits;
+        stats.get_hits += hits;
+        stats.cache_hits += hits;
+        stats.cache_misses += misses;
+        stats.cache_evictions += self.evictions();
+        stats
+    }
+}
+
+/// A sharded chunk cache layered over a backing [`ChunkStore`]:
+/// read-through on miss, write-through on put, batched miss fetches via
+/// [`get_many`](ChunkStore::get_many).
+pub struct ShardedCache {
+    backing: Arc<dyn ChunkStore>,
+    cache: ChunkCache,
+}
+
+impl ShardedCache {
+    /// Wrap `backing` with a cache sized by `cfg`. (`cfg.enabled` is
+    /// ignored here — callers that want no cache should not build one.)
+    pub fn new(backing: Arc<dyn ChunkStore>, cfg: CacheConfig) -> ShardedCache {
+        ShardedCache {
+            backing,
+            cache: ChunkCache::new(&cfg),
+        }
+    }
+
+    /// The embedded cache (stats, clear, …).
+    pub fn cache(&self) -> &ChunkCache {
+        &self.cache
+    }
+
+    /// The backing store.
+    pub fn backing(&self) -> &Arc<dyn ChunkStore> {
+        &self.backing
+    }
+
+    /// (cache hits, cache misses) since creation.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        self.cache.hit_miss()
+    }
+
     /// Current cached payload bytes.
     pub fn cached_bytes(&self) -> usize {
-        self.inner.lock().bytes
+        self.cache.cached_bytes()
     }
 
     /// Drop everything from the cache (not the backing store).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
-        inner.map.clear();
-        inner.order.clear();
-        inner.bytes = 0;
-    }
-
-    fn touch(inner: &mut LruInner, cid: Digest) {
-        if let Some((_, stamp)) = inner.map.get(&cid).map(|(c, s)| (c.clone(), *s)) {
-            inner.order.remove(&stamp);
-            let new_stamp = inner.next_stamp;
-            inner.next_stamp += 1;
-            inner.order.insert(new_stamp, cid);
-            if let Some(entry) = inner.map.get_mut(&cid) {
-                entry.1 = new_stamp;
-            }
-        }
-    }
-
-    fn insert(&self, inner: &mut LruInner, chunk: Chunk) {
-        if chunk.len() > self.capacity_bytes {
-            return; // never cache something larger than the whole cache
-        }
-        if inner.map.contains_key(&chunk.cid()) {
-            Self::touch(inner, chunk.cid());
-            return;
-        }
-        while inner.bytes + chunk.len() > self.capacity_bytes {
-            // Evict oldest.
-            let Some((&stamp, &victim)) = inner.order.iter().next() else {
-                break;
-            };
-            inner.order.remove(&stamp);
-            if let Some((evicted, _)) = inner.map.remove(&victim) {
-                inner.bytes -= evicted.len();
-            }
-        }
-        let stamp = inner.next_stamp;
-        inner.next_stamp += 1;
-        inner.bytes += chunk.len();
-        inner.order.insert(stamp, chunk.cid());
-        inner.map.insert(chunk.cid(), (chunk, stamp));
+        self.cache.clear()
     }
 }
 
-impl ChunkStore for CachingStore {
+impl ChunkStore for ShardedCache {
     fn get(&self, cid: &Digest) -> Option<Chunk> {
-        {
-            let mut inner = self.inner.lock();
-            if let Some((chunk, _)) = inner.map.get(cid) {
-                let chunk = chunk.clone();
-                Self::touch(&mut inner, *cid);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Some(chunk);
-            }
+        if let Some(chunk) = self.cache.get(cid) {
+            return Some(chunk);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
         let fetched = self.backing.get(cid)?;
-        let mut inner = self.inner.lock();
-        self.insert(&mut inner, fetched.clone());
+        self.cache.insert(fetched.clone());
         Some(fetched)
     }
 
-    fn put(&self, chunk: Chunk) -> PutOutcome {
-        {
-            let mut inner = self.inner.lock();
-            self.insert(&mut inner, chunk.clone());
+    /// Batched read: cache lookups first, then **one** backing
+    /// [`get_many`](ChunkStore::get_many) for all misses (stores with a
+    /// native batch path resolve them under one index pass).
+    fn get_many(&self, cids: &[Digest]) -> Vec<Option<Chunk>> {
+        let mut out: Vec<Option<Chunk>> = cids.iter().map(|cid| self.cache.get(cid)).collect();
+        let missing: Vec<(usize, Digest)> = out
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_none())
+            .map(|(i, _)| (i, cids[i]))
+            .collect();
+        if missing.is_empty() {
+            return out;
         }
-        self.backing.put(chunk)
+        let miss_cids: Vec<Digest> = missing.iter().map(|(_, c)| *c).collect();
+        let fetched = self.backing.get_many(&miss_cids);
+        for ((slot, _), chunk) in missing.into_iter().zip(fetched) {
+            if let Some(chunk) = &chunk {
+                self.cache.insert(chunk.clone());
+            }
+            out[slot] = chunk;
+        }
+        out
+    }
+
+    fn put(&self, chunk: Chunk) -> PutOutcome {
+        // Backing first: the cache must never hold a chunk the backing
+        // store has not accepted.
+        let outcome = self.backing.put(chunk.clone());
+        self.cache.insert(chunk);
+        outcome
     }
 
     fn contains(&self, cid: &Digest) -> bool {
-        if self.inner.lock().map.contains_key(cid) {
-            return true;
-        }
-        self.backing.contains(cid)
+        self.cache.contains(cid) || self.backing.contains(cid)
     }
 
     fn stats(&self) -> StoreStats {
-        self.backing.stats()
+        self.cache.fold_stats(self.backing.stats())
     }
 }
 
@@ -150,9 +388,18 @@ mod tests {
     use crate::chunk::ChunkType;
     use crate::memstore::MemStore;
 
-    fn setup(capacity: usize) -> (Arc<MemStore>, CachingStore) {
+    fn cfg(capacity: usize, shards: usize) -> CacheConfig {
+        CacheConfig {
+            enabled: true,
+            capacity_bytes: capacity,
+            shards,
+        }
+    }
+
+    fn setup(capacity: usize) -> (Arc<MemStore>, ShardedCache) {
         let backing = Arc::new(MemStore::new());
-        let cache = CachingStore::new(backing.clone() as Arc<dyn ChunkStore>, capacity);
+        // One shard so byte-budget assertions are exact.
+        let cache = ShardedCache::new(backing.clone() as Arc<dyn ChunkStore>, cfg(capacity, 1));
         (backing, cache)
     }
 
@@ -176,10 +423,11 @@ mod tests {
             cache.put(chunk);
         }
         assert!(cache.cached_bytes() <= 100);
+        assert!(cache.cache().evictions() >= 17);
     }
 
     #[test]
-    fn lru_keeps_recently_used() {
+    fn clock_keeps_recently_used() {
         let (_backing, cache) = setup(90); // fits 3 × 30B
         let chunks: Vec<Chunk> = (0..4u8)
             .map(|i| Chunk::new(ChunkType::Blob, vec![i; 30]))
@@ -187,19 +435,21 @@ mod tests {
         cache.put(chunks[0].clone());
         cache.put(chunks[1].clone());
         cache.put(chunks[2].clone());
-        // Touch chunk 0 so chunk 1 becomes the LRU victim.
+        // Touch chunk 0: its reference bit grants a second chance, so
+        // chunk 1 (oldest unreferenced) is the clock victim.
         cache.get(&chunks[0].cid());
         cache.put(chunks[3].clone());
 
-        let inner = cache.inner.lock();
         assert!(
-            inner.map.contains_key(&chunks[0].cid()),
+            cache.cache().contains(&chunks[0].cid()),
             "recently used survives"
         );
         assert!(
-            !inner.map.contains_key(&chunks[1].cid()),
-            "LRU victim evicted"
+            !cache.cache().contains(&chunks[1].cid()),
+            "oldest unreferenced evicted"
         );
+        // Evicted ≠ lost: the backing store still serves it.
+        assert_eq!(cache.get(&chunks[1].cid()), Some(chunks[1].clone()));
     }
 
     #[test]
@@ -220,5 +470,147 @@ mod tests {
         cache.clear();
         assert_eq!(cache.cached_bytes(), 0);
         assert!(backing.contains(&chunk.cid()), "backing store unaffected");
+    }
+
+    #[test]
+    fn sharding_spreads_entries() {
+        let backing = Arc::new(MemStore::new());
+        let cache = ShardedCache::new(backing as Arc<dyn ChunkStore>, cfg(1 << 20, 8));
+        assert_eq!(cache.cache().shard_count(), 8);
+        for i in 0..256u32 {
+            cache.put(Chunk::new(ChunkType::Blob, i.to_le_bytes().to_vec()));
+        }
+        let populated = cache
+            .cache()
+            .shards
+            .iter()
+            .filter(|s| !s.read().map.is_empty())
+            .count();
+        assert!(populated >= 6, "cids spread across shards: {populated}/8");
+        assert_eq!(cache.cache().cached_chunks(), 256);
+    }
+
+    #[test]
+    fn auto_sharding_never_rejects_ordinary_chunks() {
+        // A small cache with auto shard count must collapse shards
+        // until one ordinary (≤ 32 KiB forced-split) chunk fits —
+        // matching the old LRU, which cached anything up to the whole
+        // capacity.
+        let backing = Arc::new(MemStore::new());
+        let cache = ShardedCache::new(
+            backing as Arc<dyn ChunkStore>,
+            CacheConfig::with_capacity(64 << 10),
+        );
+        assert_eq!(cache.cache().shard_count(), 1, "clamped for budget");
+        let leaf = Chunk::new(ChunkType::Blob, vec![7u8; 32 << 10]);
+        cache.put(leaf.clone());
+        assert_eq!(cache.cached_bytes(), leaf.len(), "leaf cached");
+        assert_eq!(cache.get(&leaf.cid()), Some(leaf));
+        assert_eq!(cache.hit_miss(), (1, 0));
+        // An explicit shard count is taken verbatim, budget and all.
+        let explicit = ChunkCache::new(&CacheConfig {
+            enabled: true,
+            capacity_bytes: 64 << 10,
+            shards: 16,
+        });
+        assert_eq!(explicit.shard_count(), 16);
+    }
+
+    #[test]
+    fn get_many_equals_sequential_gets() {
+        let (backing, cache) = setup(1 << 16);
+        let present: Vec<Chunk> = (0..40u32)
+            .map(|i| Chunk::new(ChunkType::Blob, i.to_le_bytes().to_vec()))
+            .collect();
+        for c in &present {
+            backing.put(c.clone());
+        }
+        let absent = Chunk::new(ChunkType::Blob, &b"never stored"[..]);
+        let mut cids: Vec<Digest> = present.iter().map(|c| c.cid()).collect();
+        cids.insert(7, absent.cid());
+        cids.push(present[3].cid()); // duplicate in one batch
+
+        let batched = cache.get_many(&cids);
+        let sequential: Vec<Option<Chunk>> = cids.iter().map(|c| cache.get(c)).collect();
+        assert_eq!(batched, sequential);
+        assert_eq!(batched[7], None);
+        assert_eq!(batched.last().unwrap().as_ref(), Some(&present[3]));
+    }
+
+    #[test]
+    fn get_many_batches_misses_and_fills_cache() {
+        let (backing, cache) = setup(1 << 16);
+        let chunks: Vec<Chunk> = (0..10u32)
+            .map(|i| Chunk::new(ChunkType::Blob, i.to_le_bytes().to_vec()))
+            .collect();
+        for c in &chunks {
+            backing.put(c.clone());
+        }
+        let cids: Vec<Digest> = chunks.iter().map(|c| c.cid()).collect();
+        let got = cache.get_many(&cids);
+        assert!(got.iter().all(|c| c.is_some()));
+        assert_eq!(cache.hit_miss(), (0, 10));
+        // Second batch is all cache hits.
+        let again = cache.get_many(&cids);
+        assert_eq!(again, got);
+        assert_eq!(cache.hit_miss(), (10, 10));
+    }
+
+    #[test]
+    fn stats_roll_up_cache_counters() {
+        let (backing, cache) = setup(1 << 16);
+        let chunk = Chunk::new(ChunkType::Blob, &b"stats"[..]);
+        backing.put(chunk.clone());
+        cache.get(&chunk.cid()); // miss + backing get
+        cache.get(&chunk.cid()); // hit
+        cache.get(&Digest::ZERO); // miss + backing miss
+        let stats = cache.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 2);
+        assert_eq!(stats.gets, 3, "hits count as get requests too");
+        assert_eq!(stats.get_hits, 2);
+        // The plain backing store reports no cache activity.
+        assert_eq!(backing.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let backing = Arc::new(MemStore::new());
+        let cache = Arc::new(ShardedCache::new(
+            backing.clone() as Arc<dyn ChunkStore>,
+            cfg(64 << 10, 0),
+        ));
+        let chunks: Arc<Vec<Chunk>> = Arc::new(
+            (0..200u32)
+                .map(|i| Chunk::new(ChunkType::Blob, vec![(i % 251) as u8; 128]))
+                .collect(),
+        );
+        for c in chunks.iter() {
+            backing.put(c.clone());
+        }
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                let chunks = Arc::clone(&chunks);
+                std::thread::spawn(move || {
+                    for round in 0..300usize {
+                        let c = &chunks[(round * 7 + t * 31) % chunks.len()];
+                        if t % 2 == 0 {
+                            assert_eq!(cache.get(&c.cid()).expect("present"), *c);
+                        } else {
+                            cache.put(c.clone());
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("no panics");
+        }
+        // Only the 4 reader threads issue gets; puts never touch the
+        // hit/miss counters.
+        let (hits, misses) = cache.hit_miss();
+        assert_eq!(hits + misses, 4 * 300, "every get counted exactly once");
+        assert!(cache.cached_bytes() <= 64 << 10);
     }
 }

@@ -19,8 +19,9 @@
 //! * [`PartitionedStore`] — routes chunks to one of several instances by
 //!   cid hash; the second layer of the two-layer partitioning scheme
 //!   (§4.6).
-//! * [`CachingStore`] — LRU chunk cache in front of another store,
-//!   modelling servlet/client caches (§4.6, §5.2).
+//! * [`ShardedCache`] — sharded clock chunk cache in front of another
+//!   store, modelling servlet/client caches (§4.6, §5.2); the bare
+//!   [`ChunkCache`] is embeddable where a wrapper store does not fit.
 
 pub mod cache;
 pub mod chunk;
@@ -31,7 +32,7 @@ pub mod partitioned;
 pub mod replicated;
 pub mod store;
 
-pub use cache::CachingStore;
+pub use cache::{CacheConfig, ChunkCache, ShardedCache};
 pub use chunk::{Chunk, ChunkType};
 pub use logstore::{CompactStats, Durability, LogConfig, LogStore, ReopenStats};
 pub use memstore::MemStore;

@@ -47,9 +47,11 @@
 //!   write+fsync, and wakes the waiters — N threads share one fsync.
 //! * [`Batch`](Durability::Batch) — a `put` returns once its record is
 //!   queued; the queue is written and fsynced when it reaches
-//!   `max_records` or `interval` has elapsed (both evaluated at
-//!   `put`/[`sync`](LogStore::sync) time — there is no timer thread). A
-//!   crash loses at most that window.
+//!   `max_records` or `interval` has elapsed. Deadlines are evaluated on
+//!   `put`/[`sync`](LogStore::sync) **and** by a background flusher
+//!   thread, so an idle store's window is bounded by wall-clock (~the
+//!   interval), not by the arrival of the next call. The flusher is
+//!   joined on close. A crash loses at most that window.
 //! * [`Os`](Durability::Os) — records are handed to the OS page cache;
 //!   fsync happens only on [`sync`](LogStore::sync) and close.
 //!
@@ -273,8 +275,9 @@ struct CommitState {
     synced_off: u64,
 }
 
-/// Append-only segmented persistent chunk store with group commit.
-pub struct LogStore {
+/// Shared store state: everything the API surface and the background
+/// flusher thread both need.
+struct LogInner {
     dir: PathBuf,
     cfg: LogConfig,
     durability: Durability,
@@ -288,6 +291,20 @@ pub struct LogStore {
     stats: StatCounters,
     poisoned: AtomicBool,
     reopen: ReopenStats,
+    /// Shutdown protocol for the `Batch` flusher thread.
+    flush_stop: Mutex<bool>,
+    flush_cv: Condvar,
+}
+
+/// Append-only segmented persistent chunk store with group commit.
+///
+/// The handle owns the shared store state plus, under
+/// [`Durability::Batch`], the background flusher thread that bounds an
+/// idle store's unsynced window by wall-clock. Dropping the store stops
+/// and joins the flusher, then flushes and snapshots.
+pub struct LogStore {
+    inner: Arc<LogInner>,
+    flusher: Option<std::thread::JoinHandle<()>>,
 }
 
 fn segment_path(dir: &Path, seg: u32) -> PathBuf {
@@ -334,6 +351,114 @@ impl LogStore {
         cfg: LogConfig,
         durability: Durability,
     ) -> io::Result<LogStore> {
+        let inner = Arc::new(LogInner::open_with(path, cfg, durability)?);
+        let flusher = LogInner::spawn_flusher(&inner);
+        Ok(LogStore { inner, flusher })
+    }
+
+    /// Directory holding the segments and snapshot.
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
+    }
+
+    /// What the last open had to replay.
+    pub fn reopen_stats(&self) -> ReopenStats {
+        self.inner.reopen
+    }
+
+    /// True once any read or commit has failed with an I/O error or a
+    /// cid mismatch; counts are in [`StoreStats::io_errors`].
+    pub fn poisoned(&self) -> bool {
+        self.inner.poisoned.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct chunks indexed.
+    pub fn chunk_count(&self) -> usize {
+        self.inner.index.read().len()
+    }
+
+    /// The configured durability policy.
+    pub fn durability(&self) -> Durability {
+        self.inner.durability
+    }
+
+    /// Acknowledged puts not yet covered by an fsync (the records a
+    /// crash right now would lose, queue and written-but-unsynced alike).
+    /// Under `Batch` the background flusher drives this back to zero
+    /// within roughly one interval even when no call arrives.
+    pub fn pending_unsynced(&self) -> u64 {
+        let state = self.inner.commit.lock().expect("commit lock");
+        state.seq_enqueued - state.seq_synced.max(state.seq_failed)
+    }
+
+    /// Drain the commit queue and fsync: after this, every acknowledged
+    /// `put` is on disk regardless of durability mode.
+    pub fn sync(&self) -> io::Result<()> {
+        self.inner.sync()
+    }
+
+    /// Force an index snapshot now (they normally happen every
+    /// `snapshot_bytes` of appends and on clean close). Implies
+    /// [`sync`](Self::sync).
+    pub fn snapshot(&self) -> io::Result<()> {
+        self.inner.snapshot()
+    }
+
+    /// Rewrite exactly the chunks in `live` into fresh segments, delete
+    /// every old segment, and write a new snapshot covering the result.
+    /// The store stays open throughout; the index swap redirects reads.
+    /// (A reader that resolved a location *before* the swap may race the
+    /// old segment's deletion and observe a spurious read error — run
+    /// compaction on a quiesced instance when that matters.)
+    pub fn compact_retain(&self, live: &FxHashSet<Digest>) -> io::Result<CompactStats> {
+        self.inner.compact_retain(live)
+    }
+}
+
+impl Drop for LogStore {
+    /// Clean close: stop and join the flusher thread, then flush + fsync
+    /// everything acknowledged and leave a fresh snapshot so the next
+    /// open replays nothing. The snapshot is skipped when nothing was
+    /// appended since the last one — a read-only session must not
+    /// rewrite store metadata.
+    fn drop(&mut self) {
+        if let Some(handle) = self.flusher.take() {
+            *self.inner.flush_stop.lock().expect("flush lock") = true;
+            self.inner.flush_cv.notify_all();
+            let _ = handle.join();
+        }
+        self.inner.close();
+    }
+}
+
+impl ChunkStore for LogStore {
+    fn get(&self, cid: &Digest) -> Option<Chunk> {
+        self.inner.get(cid)
+    }
+
+    fn get_many(&self, cids: &[Digest]) -> Vec<Option<Chunk>> {
+        self.inner.get_many(cids)
+    }
+
+    fn put(&self, chunk: Chunk) -> PutOutcome {
+        self.inner.put(chunk)
+    }
+
+    fn contains(&self, cid: &Digest) -> bool {
+        self.inner.index.read().contains_key(cid)
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.stats.snapshot()
+    }
+}
+
+impl LogInner {
+    fn open_with(
+        path: impl AsRef<Path>,
+        cfg: LogConfig,
+        durability: Durability,
+    ) -> io::Result<LogInner> {
         let dir = path.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
 
@@ -436,7 +561,7 @@ impl LogStore {
         // directory entry before any record relies on it.
         fsync_dir(&dir);
 
-        Ok(LogStore {
+        Ok(LogInner {
             dir,
             cfg,
             durability,
@@ -468,38 +593,70 @@ impl LogStore {
             stats,
             poisoned: AtomicBool::new(false),
             reopen,
+            flush_stop: Mutex::new(false),
+            flush_cv: Condvar::new(),
         })
     }
 
-    /// Directory holding the segments and snapshot.
-    pub fn dir(&self) -> &Path {
-        &self.dir
+    /// Start the `Batch` flusher thread: it wakes every half interval
+    /// and drains the queue whenever the commit policy says a sync is
+    /// due, so an idle store's unsynced window is bounded by wall-clock.
+    /// `Always`/`Os` stores need no thread (nothing is time-driven).
+    fn spawn_flusher(inner: &Arc<LogInner>) -> Option<std::thread::JoinHandle<()>> {
+        let Durability::Batch { interval, .. } = inner.durability else {
+            return None;
+        };
+        let tick = (interval / 2).max(Duration::from_millis(1));
+        let inner = Arc::clone(inner);
+        let handle = std::thread::Builder::new()
+            .name("logstore-flusher".into())
+            .spawn(move || {
+                let mut stop = inner.flush_stop.lock().expect("flush lock");
+                loop {
+                    if *stop {
+                        return;
+                    }
+                    let (guard, _) = inner.flush_cv.wait_timeout(stop, tick).expect("flush lock");
+                    stop = guard;
+                    if *stop {
+                        return;
+                    }
+                    drop(stop);
+                    inner.flush_if_due();
+                    stop = inner.flush_stop.lock().expect("flush lock");
+                }
+            })
+            .expect("spawn logstore flusher");
+        Some(handle)
     }
 
-    /// What the last open had to replay.
-    pub fn reopen_stats(&self) -> ReopenStats {
-        self.reopen
+    /// One flusher wake-up: become the commit leader iff a sync is due
+    /// and nobody else is writing. I/O errors latch the poisoned flag
+    /// and `io_errors` exactly as a put-driven round would.
+    fn flush_if_due(&self) {
+        let state = self.commit.lock().expect("commit lock");
+        if !state.writing && self.wants_sync(&state, false) {
+            let (_state, _verdict) = self.drain_as_leader(state, false);
+        }
     }
 
-    /// True once any read or commit has failed with an I/O error or a
-    /// cid mismatch; counts are in [`StoreStats::io_errors`].
-    pub fn poisoned(&self) -> bool {
-        self.poisoned.load(Ordering::Relaxed)
+    /// Clean-close body shared by [`LogStore::drop`].
+    fn close(&self) {
+        let dirty = {
+            let state = self.commit.lock().expect("commit lock");
+            !state.queue.is_empty()
+                || state.unsynced_records > 0
+                || !state.dirty_segs.is_empty()
+                || state.bytes_since_snapshot > 0
+        };
+        if dirty && self.sync().is_ok() {
+            let mut state = self.commit.lock().expect("commit lock");
+            let _ = self.write_snapshot(&mut state);
+        }
     }
 
-    /// Number of distinct chunks indexed.
-    pub fn chunk_count(&self) -> usize {
-        self.index.read().len()
-    }
-
-    /// The configured durability policy.
-    pub fn durability(&self) -> Durability {
-        self.durability
-    }
-
-    /// Drain the commit queue and fsync: after this, every acknowledged
-    /// `put` is on disk regardless of durability mode.
-    pub fn sync(&self) -> io::Result<()> {
+    /// Drain the commit queue and fsync; see [`LogStore::sync`].
+    fn sync(&self) -> io::Result<()> {
         let mut state = self.commit.lock().expect("commit lock");
         loop {
             if state.writing {
@@ -516,10 +673,8 @@ impl LogStore {
         }
     }
 
-    /// Force an index snapshot now (they normally happen every
-    /// `snapshot_bytes` of appends and on clean close). Implies
-    /// [`sync`](Self::sync).
-    pub fn snapshot(&self) -> io::Result<()> {
+    /// Force an index snapshot now; see [`LogStore::snapshot`].
+    fn snapshot(&self) -> io::Result<()> {
         self.sync()?;
         let mut state = self.commit.lock().expect("commit lock");
         self.write_snapshot(&mut state)
@@ -885,13 +1040,8 @@ impl LogStore {
 
     // ---- compaction ------------------------------------------------------
 
-    /// Rewrite exactly the chunks in `live` into fresh segments, delete
-    /// every old segment, and write a new snapshot covering the result.
-    /// The store stays open throughout; the index swap redirects reads.
-    /// (A reader that resolved a location *before* the swap may race the
-    /// old segment's deletion and observe a spurious read error — run
-    /// compaction on a quiesced instance when that matters.)
-    pub fn compact_retain(&self, live: &FxHashSet<Digest>) -> io::Result<CompactStats> {
+    /// In-place compaction body; see [`LogStore::compact_retain`].
+    fn compact_retain(&self, live: &FxHashSet<Digest>) -> io::Result<CompactStats> {
         // Quiesce the write path: drain + fsync, then keep the commit
         // lock so nothing lands mid-compaction.
         self.sync()?;
@@ -976,9 +1126,9 @@ impl LogStore {
         self.write_snapshot(&mut state)?;
         Ok(stats)
     }
-}
 
-impl ChunkStore for LogStore {
+    // ---- ChunkStore bodies (called through the LogStore facade) ----------
+
     fn get(&self, cid: &Digest) -> Option<Chunk> {
         let loc = self.index.read().get(cid).copied();
         let found = match loc {
@@ -999,6 +1149,45 @@ impl ChunkStore for LogStore {
         };
         self.stats.record_get(found.is_some());
         found
+    }
+
+    /// Batched get: all locations are resolved under **one** index
+    /// read-lock acquisition and all still-queued chunks under one
+    /// pending-map acquisition; only the positioned segment reads remain
+    /// per-chunk. Equivalent to mapping [`get`](Self::get), including
+    /// per-request stats.
+    fn get_many(&self, cids: &[Digest]) -> Vec<Option<Chunk>> {
+        let locs: Vec<Option<Loc>> = {
+            let index = self.index.read();
+            cids.iter().map(|cid| index.get(cid).copied()).collect()
+        };
+        let mut out: Vec<Option<Chunk>> = vec![None; cids.len()];
+        let mut disk: Vec<usize> = Vec::new();
+        {
+            let pending = self.pending.read();
+            for (i, loc) in locs.iter().enumerate() {
+                if loc.is_none() {
+                    continue;
+                }
+                match pending.get(&cids[i]) {
+                    Some(chunk) => out[i] = Some(chunk.clone()),
+                    None => disk.push(i),
+                }
+            }
+        }
+        for i in disk {
+            out[i] = match self.read_record(&cids[i], locs[i].expect("resolved loc")) {
+                Ok(chunk) => Some(chunk),
+                Err(e) => {
+                    self.note_read_error(&e);
+                    None
+                }
+            };
+        }
+        for found in &out {
+            self.stats.record_get(found.is_some());
+        }
+        out
     }
 
     fn put(&self, chunk: Chunk) -> PutOutcome {
@@ -1055,34 +1244,6 @@ impl ChunkStore for LogStore {
         }
         drop(state);
         PutOutcome::Stored
-    }
-
-    fn contains(&self, cid: &Digest) -> bool {
-        self.index.read().contains_key(cid)
-    }
-
-    fn stats(&self) -> StoreStats {
-        self.stats.snapshot()
-    }
-}
-
-impl Drop for LogStore {
-    /// Clean close: flush + fsync everything acknowledged and leave a
-    /// fresh snapshot so the next open replays nothing. Skipped when
-    /// nothing was appended since the last snapshot — a read-only
-    /// session must not rewrite store metadata.
-    fn drop(&mut self) {
-        let dirty = {
-            let state = self.commit.lock().expect("commit lock");
-            !state.queue.is_empty()
-                || state.unsynced_records > 0
-                || !state.dirty_segs.is_empty()
-                || state.bytes_since_snapshot > 0
-        };
-        if dirty && self.sync().is_ok() {
-            let mut state = self.commit.lock().expect("commit lock");
-            let _ = self.write_snapshot(&mut state);
-        }
     }
 }
 

@@ -61,15 +61,7 @@ impl ChunkStore for PartitionedStore {
         // Aggregate across partitions.
         let mut total = StoreStats::default();
         for p in &self.parts {
-            let s = p.stats();
-            total.stored_chunks += s.stored_chunks;
-            total.stored_bytes += s.stored_bytes;
-            total.puts += s.puts;
-            total.dedup_hits += s.dedup_hits;
-            total.dedup_bytes += s.dedup_bytes;
-            total.gets += s.gets;
-            total.get_hits += s.get_hits;
-            total.io_errors += s.io_errors;
+            total.merge(&p.stats());
         }
         total
     }

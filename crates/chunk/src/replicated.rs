@@ -77,15 +77,7 @@ impl ChunkStore for ReplicatedStore {
     fn stats(&self) -> StoreStats {
         let mut total = StoreStats::default();
         for n in &self.nodes {
-            let s = n.stats();
-            total.stored_chunks += s.stored_chunks;
-            total.stored_bytes += s.stored_bytes;
-            total.puts += s.puts;
-            total.dedup_hits += s.dedup_hits;
-            total.dedup_bytes += s.dedup_bytes;
-            total.gets += s.gets;
-            total.get_hits += s.get_hits;
-            total.io_errors += s.io_errors;
+            total.merge(&n.stats());
         }
         total
     }

@@ -23,6 +23,15 @@ pub trait ChunkStore: Send + Sync {
     /// Fetch a chunk by cid.
     fn get(&self, cid: &Digest) -> Option<Chunk>;
 
+    /// Fetch many chunks at once; element `i` answers `cids[i]`.
+    /// Semantically identical to mapping [`get`](Self::get), but
+    /// implementations with per-request overhead (index locks, cache
+    /// probes, remote nodes) batch it — the cache tier resolves all of a
+    /// batch's misses with **one** backing call.
+    fn get_many(&self, cids: &[Digest]) -> Vec<Option<Chunk>> {
+        cids.iter().map(|cid| self.get(cid)).collect()
+    }
+
     /// Store a chunk; dedups on existing cid.
     fn put(&self, chunk: Chunk) -> PutOutcome;
 
@@ -60,6 +69,31 @@ pub struct StoreStats {
     /// mismatch). Persistent stores surface failures here instead of
     /// silently reporting a present chunk as absent.
     pub io_errors: u64,
+    /// Gets answered by a chunk cache tier without touching the backing
+    /// store. Zero for stores without a cache in front.
+    pub cache_hits: u64,
+    /// Gets the cache tier had to forward to the backing store.
+    pub cache_misses: u64,
+    /// Entries the cache tier evicted to stay under its byte budget.
+    pub cache_evictions: u64,
+}
+
+impl StoreStats {
+    /// Add `other`'s counters into `self` (aggregation across
+    /// partitions, replicas, or cluster nodes).
+    pub fn merge(&mut self, other: &StoreStats) {
+        self.stored_chunks += other.stored_chunks;
+        self.stored_bytes += other.stored_bytes;
+        self.puts += other.puts;
+        self.dedup_hits += other.dedup_hits;
+        self.dedup_bytes += other.dedup_bytes;
+        self.gets += other.gets;
+        self.get_hits += other.get_hits;
+        self.io_errors += other.io_errors;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+    }
 }
 
 /// Shared atomic counters backing [`StoreStats`].
@@ -87,6 +121,7 @@ impl StatCounters {
             gets: self.gets.load(Ordering::Relaxed),
             get_hits: self.get_hits.load(Ordering::Relaxed),
             io_errors: self.io_errors.load(Ordering::Relaxed),
+            ..StoreStats::default()
         }
     }
 
@@ -122,6 +157,10 @@ impl StatCounters {
 impl<S: ChunkStore + ?Sized> ChunkStore for Arc<S> {
     fn get(&self, cid: &Digest) -> Option<Chunk> {
         (**self).get(cid)
+    }
+
+    fn get_many(&self, cids: &[Digest]) -> Vec<Option<Chunk>> {
+        (**self).get_many(cids)
     }
 
     fn put(&self, chunk: Chunk) -> PutOutcome {

@@ -395,3 +395,75 @@ fn batch_durability_bounds_loss_to_the_window() {
     drop(store);
     std::fs::remove_dir_all(dir).ok();
 }
+
+/// The `Batch` flusher thread bounds an *idle* store's unsynced window
+/// by wall-clock: after a put, with no further put/sync call, the
+/// backlog must reach disk within a small multiple of the interval.
+#[test]
+fn batch_flusher_bounds_idle_staleness() {
+    let dir = temp_dir("flusher");
+    let interval = std::time::Duration::from_millis(25);
+    let store = LogStore::open_with(
+        &dir,
+        tiny_cfg(),
+        Durability::Batch {
+            max_records: 1_000_000, // never record-triggered
+            interval,
+        },
+    )
+    .expect("open");
+    let chunk = chunk_of(1, 64);
+    store.put(chunk.clone());
+    // No sync, no further puts: only the background flusher can commit.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while store.pending_unsynced() > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "flusher never drained the idle backlog"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert!(!store.poisoned());
+    // The record is genuinely on disk: a crash-style reopen (no clean
+    // close) replays it.
+    std::mem::forget(store);
+    let store = LogStore::open_with(&dir, tiny_cfg(), Durability::Always).expect("reopen");
+    assert_eq!(store.get(&chunk.cid()), Some(chunk), "fsynced by flusher");
+    drop(store);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// Dropping a `Batch` store stops and joins the flusher thread; the
+/// directory stays quiescent afterwards (nothing keeps writing).
+#[test]
+fn batch_flusher_joined_on_close() {
+    let dir = temp_dir("flusher-close");
+    {
+        let store = LogStore::open_with(&dir, tiny_cfg(), Durability::default()).expect("open");
+        store.put(chunk_of(2, 64));
+    } // drop joins the flusher and leaves a clean snapshot
+    let before: Vec<(PathBuf, u64)> = std::fs::read_dir(&dir)
+        .expect("ls")
+        .map(|e| {
+            let e = e.expect("entry");
+            (e.path(), e.metadata().expect("meta").len())
+        })
+        .collect();
+    std::thread::sleep(std::time::Duration::from_millis(60));
+    let after: Vec<(PathBuf, u64)> = std::fs::read_dir(&dir)
+        .expect("ls")
+        .map(|e| {
+            let e = e.expect("entry");
+            (e.path(), e.metadata().expect("meta").len())
+        })
+        .collect();
+    let mut before = before;
+    let mut after = after;
+    before.sort();
+    after.sort();
+    assert_eq!(before, after, "no thread writes after close");
+    let store = LogStore::open_with(&dir, tiny_cfg(), Durability::default()).expect("reopen");
+    assert_eq!(store.chunk_count(), 1);
+    drop(store);
+    std::fs::remove_dir_all(dir).ok();
+}

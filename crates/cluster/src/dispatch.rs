@@ -33,16 +33,43 @@ impl Cluster {
     /// Spin up over caller-provided per-node chunk stores — one per
     /// servlet. This is how a cluster runs on disk: hand it one
     /// [`LogStore`](forkbase_chunk::LogStore) per node (or any mix of
-    /// backends).
+    /// backends). Each servlet's pool view gets the default remote-chunk
+    /// cache (§4.6).
     pub fn with_stores(
         pool: Vec<Arc<dyn ChunkStore>>,
         partitioning: Partitioning,
         cfg: ChunkerConfig,
     ) -> Cluster {
+        Self::with_stores_cached(
+            pool,
+            partitioning,
+            cfg,
+            forkbase_chunk::CacheConfig::default(),
+        )
+    }
+
+    /// [`with_stores`](Self::with_stores) with explicit per-servlet
+    /// remote-cache sizing
+    /// ([`CacheConfig::disabled`](forkbase_chunk::CacheConfig::disabled)
+    /// for uncached pool reads).
+    pub fn with_stores_cached(
+        pool: Vec<Arc<dyn ChunkStore>>,
+        partitioning: Partitioning,
+        cfg: ChunkerConfig,
+        cache: forkbase_chunk::CacheConfig,
+    ) -> Cluster {
         let n = pool.len();
         let master = Master::new(n, partitioning);
         let servlets = (0..n)
-            .map(|id| Arc::new(Servlet::new(id, partitioning, &pool, cfg.clone())))
+            .map(|id| {
+                Arc::new(Servlet::with_cache(
+                    id,
+                    partitioning,
+                    &pool,
+                    cfg.clone(),
+                    cache,
+                ))
+            })
             .collect();
         Cluster { master, servlets }
     }

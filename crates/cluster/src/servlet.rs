@@ -3,40 +3,73 @@
 
 use crate::master::Partitioning;
 use crate::store2l::TwoLayerStore;
-use forkbase_chunk::ChunkStore;
+use forkbase_chunk::{CacheConfig, ChunkStore};
 use forkbase_core::ForkBase;
 use forkbase_crypto::ChunkerConfig;
 use std::sync::Arc;
 
 /// One node of the cluster: servlet + local chunk storage. The storage
 /// is any [`ChunkStore`], so a node can run in memory or on disk
-/// (e.g. a [`LogStore`](forkbase_chunk::LogStore) per node).
+/// (e.g. a [`LogStore`](forkbase_chunk::LogStore) per node). Under
+/// two-layer partitioning the servlet's pool view caches remote chunks
+/// (§4.6) by default.
 pub struct Servlet {
     id: usize,
     db: ForkBase,
     local: Arc<dyn ChunkStore>,
+    /// Typed handle to the two-layer view (remote-cache stats); `None`
+    /// under one-layer partitioning.
+    view2l: Option<Arc<TwoLayerStore>>,
 }
 
 impl Servlet {
-    /// Build servlet `id`. Under two-layer partitioning the servlet
-    /// writes data chunks into the whole `pool`; under one-layer it uses
-    /// only its local storage.
+    /// Build servlet `id` with the default remote-chunk cache. Under
+    /// two-layer partitioning the servlet writes data chunks into the
+    /// whole `pool`; under one-layer it uses only its local storage.
     pub fn new(
         id: usize,
         partitioning: Partitioning,
         pool: &[Arc<dyn ChunkStore>],
         cfg: ChunkerConfig,
     ) -> Servlet {
+        Self::with_cache(id, partitioning, pool, cfg, CacheConfig::default())
+    }
+
+    /// [`new`](Self::new) with explicit remote-cache sizing
+    /// ([`CacheConfig::disabled`] for uncached pool reads).
+    pub fn with_cache(
+        id: usize,
+        partitioning: Partitioning,
+        pool: &[Arc<dyn ChunkStore>],
+        cfg: ChunkerConfig,
+        cache: CacheConfig,
+    ) -> Servlet {
         let local = pool[id].clone();
+        let mut view2l = None;
         let store: Arc<dyn ChunkStore> = match partitioning {
             Partitioning::OneLayer => local.clone(),
-            Partitioning::TwoLayer => Arc::new(TwoLayerStore::new(local.clone(), pool.to_vec())),
+            Partitioning::TwoLayer => {
+                let view = Arc::new(TwoLayerStore::with_cache(
+                    local.clone(),
+                    pool.to_vec(),
+                    cache,
+                ));
+                view2l = Some(view.clone());
+                view
+            }
         };
         Servlet {
             id,
             db: ForkBase::with_store(store, cfg),
             local,
+            view2l,
         }
+    }
+
+    /// (hits, misses) of this servlet's remote-chunk cache, when running
+    /// two-layer partitioning with the cache enabled.
+    pub fn remote_cache_stats(&self) -> Option<(u64, u64)> {
+        self.view2l.as_ref().and_then(|v| v.remote_cache_stats())
     }
 
     /// Servlet id.

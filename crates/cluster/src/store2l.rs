@@ -1,8 +1,12 @@
 //! The servlet-side chunk store implementing layer 2 of the partitioning
 //! scheme: meta chunks pinned to the local node, data chunks routed by
-//! cid across the whole pool (§4.6).
+//! cid across the whole pool, and a servlet-local cache for the chunks
+//! fetched from *remote* nodes — "each servlet may cache the frequently
+//! accessed remote chunks" (§4.6).
 
-use forkbase_chunk::{Chunk, ChunkStore, ChunkType, PutOutcome, StoreStats};
+use forkbase_chunk::{
+    CacheConfig, Chunk, ChunkCache, ChunkStore, ChunkType, PutOutcome, StoreStats,
+};
 use forkbase_crypto::Digest;
 use std::sync::Arc;
 
@@ -15,17 +19,69 @@ pub struct TwoLayerStore {
     local: Arc<dyn ChunkStore>,
     /// All nodes' storages, indexable by cid hash.
     pool: Vec<Arc<dyn ChunkStore>>,
+    /// Which pool entry is `local` (cache decisions need to know whether
+    /// a routed chunk is remote).
+    local_idx: Option<usize>,
+    /// Sharded cache over chunks fetched from remote nodes. Local chunks
+    /// are never cached — they are already one local read away.
+    remote_cache: Option<ChunkCache>,
 }
 
 impl TwoLayerStore {
-    /// A view with `local` as the co-located storage.
+    /// A view with `local` as the co-located storage and the default
+    /// remote-chunk cache.
     pub fn new(local: Arc<dyn ChunkStore>, pool: Vec<Arc<dyn ChunkStore>>) -> TwoLayerStore {
+        Self::with_cache(local, pool, CacheConfig::default())
+    }
+
+    /// A view with explicit remote-cache sizing
+    /// ([`CacheConfig::disabled`] turns caching off).
+    pub fn with_cache(
+        local: Arc<dyn ChunkStore>,
+        pool: Vec<Arc<dyn ChunkStore>>,
+        cache: CacheConfig,
+    ) -> TwoLayerStore {
         assert!(!pool.is_empty());
-        TwoLayerStore { local, pool }
+        let local_idx = pool.iter().position(|n| Arc::ptr_eq(n, &local));
+        TwoLayerStore {
+            local,
+            pool,
+            local_idx,
+            remote_cache: cache.enabled.then(|| ChunkCache::new(&cache)),
+        }
     }
 
     fn node_of(&self, cid: &Digest) -> usize {
         (cid.prefix_u64() % self.pool.len() as u64) as usize
+    }
+
+    fn is_remote(&self, node: usize) -> bool {
+        self.local_idx != Some(node)
+    }
+
+    /// (hits, misses) of the remote-chunk cache, if enabled.
+    pub fn remote_cache_stats(&self) -> Option<(u64, u64)> {
+        self.remote_cache.as_ref().map(|c| c.hit_miss())
+    }
+
+    /// Drop every cached remote chunk (the nodes are unaffected).
+    pub fn clear_remote_cache(&self) {
+        if let Some(cache) = &self.remote_cache {
+            cache.clear();
+        }
+    }
+
+    /// Fetch from the owning node, filling the remote cache when the
+    /// owner is not this servlet's node.
+    fn fetch_routed(&self, cid: &Digest) -> Option<Chunk> {
+        let node = self.node_of(cid);
+        let chunk = self.pool[node].get(cid)?;
+        if self.is_remote(node) {
+            if let Some(cache) = &self.remote_cache {
+                cache.insert(chunk.clone());
+            }
+        }
+        Some(chunk)
     }
 }
 
@@ -36,25 +92,97 @@ impl ChunkStore for TwoLayerStore {
         if let Some(chunk) = self.local.get(cid) {
             return Some(chunk);
         }
-        self.pool[self.node_of(cid)].get(cid)
+        if let Some(cache) = &self.remote_cache {
+            if let Some(chunk) = cache.get(cid) {
+                return Some(chunk);
+            }
+        }
+        self.fetch_routed(cid)
+    }
+
+    /// Batched get: local probes first, then the remote cache, then one
+    /// [`get_many`](ChunkStore::get_many) per owning node for whatever
+    /// is left (a cross-node fetch is the expensive step §4.6 caches —
+    /// batching amortizes it the same way).
+    fn get_many(&self, cids: &[Digest]) -> Vec<Option<Chunk>> {
+        let mut out: Vec<Option<Chunk>> = Vec::with_capacity(cids.len());
+        let mut missing: Vec<usize> = Vec::new();
+        for (i, cid) in cids.iter().enumerate() {
+            let found = self
+                .local
+                .get(cid)
+                .or_else(|| self.remote_cache.as_ref().and_then(|cache| cache.get(cid)));
+            if found.is_none() {
+                missing.push(i);
+            }
+            out.push(found);
+        }
+        // Group the leftovers by owning node: one batched call each.
+        let mut by_node: Vec<Vec<usize>> = vec![Vec::new(); self.pool.len()];
+        for &i in &missing {
+            by_node[self.node_of(&cids[i])].push(i);
+        }
+        for (node, slots) in by_node.into_iter().enumerate() {
+            if slots.is_empty() {
+                continue;
+            }
+            let node_cids: Vec<Digest> = slots.iter().map(|&i| cids[i]).collect();
+            let fetched = self.pool[node].get_many(&node_cids);
+            for (slot, chunk) in slots.into_iter().zip(fetched) {
+                if let Some(chunk) = &chunk {
+                    if self.is_remote(node) {
+                        if let Some(cache) = &self.remote_cache {
+                            cache.insert(chunk.clone());
+                        }
+                    }
+                }
+                out[slot] = chunk;
+            }
+        }
+        out
     }
 
     fn put(&self, chunk: Chunk) -> PutOutcome {
         if chunk.ty() == ChunkType::Meta {
             self.local.put(chunk)
         } else {
-            self.pool[self.node_of(&chunk.cid())].put(chunk)
+            let node = self.node_of(&chunk.cid());
+            let outcome = self.pool[node].put(chunk.clone());
+            // Write-through for remote-routed chunks: this servlet just
+            // built them, so it is the likeliest next reader.
+            if self.is_remote(node) {
+                if let Some(cache) = &self.remote_cache {
+                    cache.insert(chunk);
+                }
+            }
+            outcome
         }
     }
 
     fn contains(&self, cid: &Digest) -> bool {
-        self.local.contains(cid) || self.pool[self.node_of(cid)].contains(cid)
+        self.local.contains(cid)
+            || self
+                .remote_cache
+                .as_ref()
+                .is_some_and(|cache| cache.contains(cid))
+            || self.pool[self.node_of(cid)].contains(cid)
     }
 
     fn stats(&self) -> StoreStats {
         // The servlet's view: its local storage (pool-wide stats are the
-        // cluster's to aggregate).
-        self.local.stats()
+        // cluster's to aggregate), plus this view's remote-cache tier.
+        // Only the cache_* fields are added: every view-level get was
+        // already counted by the local probe, so folding cache hits
+        // into `gets`/`get_hits` (what `fold_stats` does for a cache
+        // layered in front of one store) would double-count requests.
+        let mut stats = self.local.stats();
+        if let Some(cache) = &self.remote_cache {
+            let (hits, misses) = cache.hit_miss();
+            stats.cache_hits += hits;
+            stats.cache_misses += misses;
+            stats.cache_evictions += cache.evictions();
+        }
+        stats
     }
 }
 
@@ -104,6 +232,76 @@ mod tests {
         let chunk = Chunk::new(ChunkType::Map, Bytes::from_static(b"shared"));
         view_a.put(chunk.clone());
         assert_eq!(view_b.get(&chunk.cid()), Some(chunk), "pool is shared");
+    }
+
+    #[test]
+    fn remote_chunks_cached_after_first_fetch() {
+        let nodes = pool(4);
+        let store = TwoLayerStore::new(nodes[0].clone(), nodes.clone());
+        // Find a chunk that routes to a *remote* node.
+        let chunk = (0u32..)
+            .map(|i| Chunk::new(ChunkType::Blob, i.to_le_bytes().to_vec()))
+            .find(|c| (c.cid().prefix_u64() % 4) != 0)
+            .expect("remote-routed chunk");
+        let owner = (chunk.cid().prefix_u64() % 4) as usize;
+        // Insert via the owner directly (another servlet wrote it), so
+        // this view's first read is a genuine remote fetch.
+        nodes[owner].put(chunk.clone());
+
+        let gets_before = nodes[owner].stats().gets;
+        assert_eq!(store.get(&chunk.cid()), Some(chunk.clone()));
+        assert_eq!(store.get(&chunk.cid()), Some(chunk.clone()));
+        assert_eq!(store.get(&chunk.cid()), Some(chunk));
+        assert_eq!(
+            nodes[owner].stats().gets,
+            gets_before + 1,
+            "only the first read crossed to the remote node"
+        );
+        let (hits, _misses) = store.remote_cache_stats().expect("cache on");
+        assert_eq!(hits, 2);
+        // The cache tier shows up in the servlet-view stats — without
+        // inflating the request counters (each of the 3 view gets was
+        // already counted once by the local-store probe).
+        let stats = store.stats();
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.gets, 3, "no double-counted get requests");
+    }
+
+    #[test]
+    fn local_chunks_are_never_cached() {
+        let nodes = pool(2);
+        let store = TwoLayerStore::new(nodes[1].clone(), nodes.clone());
+        let chunk = (0u32..)
+            .map(|i| Chunk::new(ChunkType::Blob, i.to_le_bytes().to_vec()))
+            .find(|c| (c.cid().prefix_u64() % 2) == 1)
+            .expect("locally-routed chunk");
+        store.put(chunk.clone());
+        assert_eq!(store.get(&chunk.cid()), Some(chunk));
+        let (hits, _) = store.remote_cache_stats().expect("cache on");
+        assert_eq!(hits, 0, "local reads bypass the remote cache");
+    }
+
+    #[test]
+    fn get_many_equals_sequential_gets() {
+        let nodes = pool(3);
+        let store = TwoLayerStore::new(nodes[0].clone(), nodes.clone());
+        let uncached =
+            TwoLayerStore::with_cache(nodes[0].clone(), nodes.clone(), CacheConfig::disabled());
+        let mut cids = Vec::new();
+        for i in 0..60u32 {
+            let c = Chunk::new(ChunkType::Blob, i.to_le_bytes().to_vec());
+            cids.push(c.cid());
+            store.put(c);
+        }
+        let meta = Chunk::new(ChunkType::Meta, Bytes::from_static(b"local meta"));
+        cids.push(meta.cid());
+        store.put(meta);
+        cids.push(Chunk::new(ChunkType::Blob, Bytes::from_static(b"absent")).cid());
+
+        let batched = store.get_many(&cids);
+        let sequential: Vec<_> = cids.iter().map(|c| uncached.get(c)).collect();
+        assert_eq!(batched, sequential);
+        assert_eq!(batched.iter().filter(|c| c.is_none()).count(), 1);
     }
 
     #[test]

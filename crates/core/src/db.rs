@@ -16,7 +16,9 @@ use crate::fobject::FObject;
 use crate::history;
 use crate::value::{Value, ValueType};
 use bytes::Bytes;
-use forkbase_chunk::{ChunkStore, Durability, LogConfig, LogStore, MemStore};
+use forkbase_chunk::{
+    CacheConfig, ChunkStore, Durability, LogConfig, LogStore, MemStore, ShardedCache,
+};
 use forkbase_crypto::fx::FxHashMap;
 use forkbase_crypto::{ChunkerConfig, Digest};
 use forkbase_pos::{builder, merge3_blob, merge3_sorted, Blob, List, Map, Resolver, Set, TreeType};
@@ -38,6 +40,10 @@ pub struct ForkBase {
     /// opened durably — used by [`commit_checkpoint`](Self::commit_checkpoint)
     /// and in-place GC ([`gc::compact_in_place`](crate::gc::compact_in_place)).
     durable: Option<Arc<LogStore>>,
+    /// The read-tier chunk cache when one was configured at open —
+    /// gives callers (and GC) stats/clear access without downcasting
+    /// `store`.
+    cache: Option<Arc<ShardedCache>>,
 }
 
 /// Name of the checkpoint-cid ref file inside a durable instance's
@@ -58,41 +64,58 @@ impl ForkBase {
             cfg,
             branches: RwLock::new(FxHashMap::default()),
             durable: None,
+            cache: None,
         }
     }
 
     /// Open (or create) a durable instance in directory `path` over a
-    /// segmented [`LogStore`] with default chunking, sizing, and
-    /// [`Durability`]. If a previous session left a checkpoint ref
-    /// (written by [`commit_checkpoint`](Self::commit_checkpoint)), all
-    /// branch heads are restored from it.
+    /// segmented [`LogStore`] with default chunking, sizing,
+    /// [`Durability`], and the default read-tier chunk cache
+    /// ([`CacheConfig::default`] — on). If a previous session left a
+    /// checkpoint ref (written by
+    /// [`commit_checkpoint`](Self::commit_checkpoint)), all branch heads
+    /// are restored from it.
     pub fn open(path: impl AsRef<Path>) -> Result<ForkBase> {
-        Self::open_with(path, ChunkerConfig::default(), Durability::default())
+        Self::open_with(
+            path,
+            ChunkerConfig::default(),
+            Durability::default(),
+            CacheConfig::default(),
+        )
     }
 
-    /// [`open`](Self::open) with explicit chunking configuration and
-    /// durability policy.
+    /// [`open`](Self::open) with explicit chunking configuration,
+    /// durability policy, and read-tier cache sizing (pass
+    /// [`CacheConfig::disabled`] for raw `LogStore` reads).
     pub fn open_with(
         path: impl AsRef<Path>,
         cfg: ChunkerConfig,
         durability: Durability,
+        cache: CacheConfig,
     ) -> Result<ForkBase> {
         let path = path.as_ref();
-        let store = Arc::new(LogStore::open_with(path, LogConfig::default(), durability)?);
+        let log = Arc::new(LogStore::open_with(path, LogConfig::default(), durability)?);
+        let mut cache_handle = None;
+        let store: Arc<dyn ChunkStore> = if cache.enabled {
+            let wrapped = Arc::new(ShardedCache::new(log.clone() as Arc<dyn ChunkStore>, cache));
+            cache_handle = Some(wrapped.clone());
+            wrapped
+        } else {
+            log.clone()
+        };
         let head_path = path.join(HEAD_FILE);
         let mut db = match std::fs::read_to_string(&head_path) {
             Ok(hex) => {
                 let cid = Digest::from_hex(hex.trim()).ok_or_else(|| {
                     FbError::Corrupt(format!("unparseable checkpoint ref in {HEAD_FILE}"))
                 })?;
-                Self::restore(store.clone() as Arc<dyn ChunkStore>, cfg, cid)?
+                Self::restore(store, cfg, cid)?
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                Self::with_store(store.clone() as Arc<dyn ChunkStore>, cfg)
-            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Self::with_store(store, cfg),
             Err(e) => return Err(e.into()),
         };
-        db.durable = Some(store);
+        db.durable = Some(log);
+        db.cache = cache_handle;
         Ok(db)
     }
 
@@ -129,6 +152,16 @@ impl ForkBase {
     /// The backing [`LogStore`] when this instance was opened durably.
     pub fn durable_store(&self) -> Option<&Arc<LogStore>> {
         self.durable.as_ref()
+    }
+
+    /// The read-tier chunk cache when one was configured at open.
+    pub fn chunk_cache(&self) -> Option<&Arc<ShardedCache>> {
+        self.cache.as_ref()
+    }
+
+    /// (cache hits, cache misses) of the read tier, if caching is on.
+    pub fn cache_stats(&self) -> Option<(u64, u64)> {
+        self.cache.as_ref().map(|c| c.hit_miss())
     }
 
     /// The underlying chunk store.
@@ -642,6 +675,7 @@ impl ForkBase {
             cfg,
             branches: RwLock::new(tables),
             durable: None,
+            cache: None,
         })
     }
 
@@ -1235,9 +1269,11 @@ mod tests {
                 &dir,
                 ChunkerConfig::default(),
                 forkbase_chunk::Durability::Always,
+                CacheConfig::default(),
             )
             .expect("open");
             assert!(db.durable_store().is_some());
+            assert!(db.chunk_cache().is_some(), "cache defaults on");
             db.put("k", None, Value::String("v1".into())).expect("put");
             db.fork("k", DEFAULT_BRANCH, "feature").expect("fork");
             db.put("k", Some("feature"), Value::Int(7)).expect("put");

@@ -132,6 +132,12 @@ pub fn compact_in_place(db: &ForkBase) -> Result<GcReport> {
     let (mut live, live_versions) = live_set(db)?;
     live.insert(checkpoint);
     let stats = store.compact_retain(&live)?;
+    // Reclaimed chunks must not linger in the read tier: a cached dead
+    // chunk would keep serving (harmless for correctness — content is
+    // immutable — but it would misreport reclamation and pin memory).
+    if let Some(cache) = db.chunk_cache() {
+        cache.clear();
+    }
     Ok(GcReport {
         live_versions,
         live_chunks: stats.kept_chunks,

@@ -75,7 +75,9 @@ impl ForkBaseBackend {
     /// ledger-tuned chunking as [`in_memory`](Self::in_memory). The
     /// default group-commit durability batches fsyncs across a block's
     /// writes; pass [`Durability::Always`](forkbase_chunk::Durability)
-    /// to fsync every chunk.
+    /// to fsync every chunk. Reads go through the engine's default
+    /// sharded chunk cache — block verification re-reads hot state-map
+    /// chunks constantly, so the ledger picks the read tier up for free.
     pub fn open_durable(path: impl AsRef<std::path::Path>) -> forkbase_core::Result<Self> {
         Self::open_durable_with(path, forkbase_chunk::Durability::default())
     }
@@ -87,7 +89,12 @@ impl ForkBaseBackend {
         durability: forkbase_chunk::Durability,
     ) -> forkbase_core::Result<Self> {
         let cfg = forkbase_crypto::ChunkerConfig::with_leaf_bits(10);
-        Ok(Self::new(ForkBase::open_with(path, cfg, durability)?))
+        Ok(Self::new(ForkBase::open_with(
+            path,
+            cfg,
+            durability,
+            forkbase_chunk::CacheConfig::default(),
+        )?))
     }
 
     /// Over an existing ForkBase instance.

@@ -13,7 +13,7 @@
 //! storage exactly as the paper reports.
 
 use fb_workload::EditKind;
-use forkbase_chunk::{CachingStore, ChunkStore, MemStore};
+use forkbase_chunk::{CacheConfig, ChunkStore, MemStore, ShardedCache};
 use forkbase_core::{ForkBase, Value};
 use forkbase_crypto::ChunkerConfig;
 use forkbase_pos::{blob_diff_summary, RangeDiff};
@@ -46,7 +46,7 @@ pub trait WikiEngine {
 /// Wiki on ForkBase: pages are Blobs, history is the version chain.
 pub struct ForkBaseWiki {
     db: ForkBase,
-    cache: Option<Arc<CachingStore>>,
+    cache: Option<Arc<ShardedCache>>,
 }
 
 impl Default for ForkBaseWiki {
@@ -64,12 +64,15 @@ impl ForkBaseWiki {
         }
     }
 
-    /// Wiki whose reads go through a client-side LRU chunk cache of
+    /// Wiki whose reads go through a client-side sharded chunk cache of
     /// `cache_bytes` (§6.3.1: "data chunks composing a Blob value can be
     /// cached at the clients").
     pub fn with_client_cache(cache_bytes: usize) -> ForkBaseWiki {
         let backing: Arc<dyn ChunkStore> = Arc::new(MemStore::new());
-        let cache = Arc::new(CachingStore::new(backing, cache_bytes));
+        let cache = Arc::new(ShardedCache::new(
+            backing,
+            CacheConfig::with_capacity(cache_bytes),
+        ));
         ForkBaseWiki {
             db: ForkBase::with_store(
                 cache.clone() as Arc<dyn ChunkStore>,

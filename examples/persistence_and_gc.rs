@@ -12,7 +12,7 @@
 //!
 //! Run with: `cargo run --example persistence_and_gc`
 
-use forkbase::chunk::Durability;
+use forkbase::chunk::{CacheConfig, Durability};
 use forkbase::core::{gc, verify_history};
 use forkbase::{ChunkerConfig, ForkBase, Value};
 
@@ -25,8 +25,13 @@ fn main() {
         // Durability::Always: every acknowledged put is fsynced (group
         // commit shares the fsyncs), so even an abrupt kill loses
         // nothing acknowledged.
-        let db = ForkBase::open_with(&dir, ChunkerConfig::default(), Durability::Always)
-            .expect("open durable engine");
+        let db = ForkBase::open_with(
+            &dir,
+            ChunkerConfig::default(),
+            Durability::Always,
+            CacheConfig::default(),
+        )
+        .expect("open durable engine");
 
         let report = db.new_blob(b"Q3 results: revenue up 4%, churn down 0.5%");
         db.put("report", None, Value::Blob(report)).expect("put");

@@ -13,8 +13,11 @@
 # * BENCH_store.json — the durable chunk store: group-commit LogStore
 #   put/get/reopen vs MemStore and vs fsync-per-put, the group-commit
 #   batch sweep, and snapshot-vs-full-scan reopen.
+# * BENCH_read.json — the read tier: YCSB-C zipfian reads on MemStore vs
+#   bare LogStore vs the sharded-cache LogStore, plus the cache-capacity
+#   sweep.
 #
-# Usage: scripts/bench.sh [chunking.json] [map_batch.json] [build.json] [store.json]
+# Usage: scripts/bench.sh [chunking.json] [map_batch.json] [build.json] [store.json] [read.json]
 # Knobs: CRITERION_SAMPLE_MS (per-bench budget, default 300).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -23,17 +26,19 @@ out="${1:-BENCH_chunking.json}"
 batch_out="${2:-BENCH_map_batch.json}"
 build_out="${3:-BENCH_build.json}"
 store_out="${4:-BENCH_store.json}"
+read_out="${5:-BENCH_read.json}"
 opt_json="$(mktemp)"
 naive_json="$(mktemp)"
 trap 'rm -f "$opt_json" "$naive_json"' EXIT
 
 export CRITERION_SAMPLE_MS="${CRITERION_SAMPLE_MS:-300}"
 
-echo "== optimized pipeline: crypto_micro + pos_micro + pos_build + store" >&2
+echo "== optimized pipeline: crypto_micro + pos_micro + pos_build + store + read" >&2
 CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench crypto_micro
 CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench pos_micro
 CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench pos_build
 CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench store
+CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench read
 
 echo "== naive-baseline pipeline: pos_micro (end-to-end A/B)" >&2
 CRITERION_JSON="$naive_json" cargo bench -q -p fb-bench --bench pos_micro \
@@ -211,3 +216,39 @@ log_get=$(median "$opt_json" "store_get_1k/logstore")
 
 echo "wrote $store_out" >&2
 grep -A6 '"derived"' "$store_out" >&2
+
+# ---- BENCH_read.json: the cached read tier (YCSB-C zipfian) ------------
+
+read_mem=$(median "$opt_json" "ycsbc_zipf_10k/memstore")
+read_log=$(median "$opt_json" "ycsbc_zipf_10k/logstore")
+read_cached=$(median "$opt_json" "ycsbc_zipf_10k/logstore_cached")
+read_cached_many=$(median "$opt_json" "ycsbc_zipf_10k/logstore_cached_get_many")
+
+{
+    echo '{'
+    echo '  "bench": "read",'
+    echo "  \"date_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"host\": \"$(uname -srm)\","
+    echo "  \"rustc\": \"$(rustc --version)\","
+    echo "  \"sample_ms\": ${CRITERION_SAMPLE_MS},"
+    echo '  "n_keys": 10000,'
+    echo '  "payload_bytes": 1024,'
+    echo '  "reads_per_iter": 8192,'
+    echo '  "zipf_s": 0.99,'
+    echo '  "note": "YCSB-C (100% reads), one shared zipfian cid schedule per variant; logstore_cached is the default ShardedCache (sharded clock, 64 MiB) over a fully synced LogStore, warmed by one schedule pass. The acceptance metric is cached_vs_bare_logstore (>= 8). The capacity sweep sizes the cache to 10/35/100% of the ~10 MB working set; steady-state hit rates are printed by the bench and recorded in EXPERIMENTS.md.",'
+    echo '  "derived_speedups": {'
+    echo "    \"cached_vs_bare_logstore\": $(ratio "$read_log" "$read_cached"),"
+    echo "    \"bare_logstore_vs_memstore_slowdown\": $(ratio "$read_log" "$read_mem"),"
+    echo "    \"cached_vs_memstore\": $(ratio "$read_mem" "$read_cached"),"
+    echo "    \"get_many_vs_sequential_cached\": $(ratio "$read_cached" "$read_cached_many")"
+    echo '  },'
+    echo '  "raw": ['
+    grep -E '"bench":"(ycsbc_zipf_10k|read_cache_capacity_sweep)/' "$opt_json" \
+        | awk 'NR > 1 { print prev "," } { prev = $0 } END { if (NR) print prev }' \
+        | sed 's/^/    /'
+    echo '  ]'
+    echo '}'
+} > "$read_out"
+
+echo "wrote $read_out" >&2
+grep -A4 '"derived_speedups"' "$read_out" >&2

@@ -3,6 +3,7 @@
 # the committed reference of the same kind.
 #
 #   scripts/check_bench.sh <fresh.json> <committed.json>
+#   scripts/check_bench.sh --orphans <committed...> -- <fresh...>
 #
 # This is a *structural* check, not a performance check (CI runs the
 # benches with a tiny budget, so absolute numbers are meaningless there).
@@ -14,8 +15,53 @@
 #   * a raw result line has a non-positive median or ops/s, or a
 #     throughput unit other than bytes/elements/iters.
 #
+# The --orphans mode is the inverse direction: every *committed*
+# BENCH_*.json must have a fresh smoke-run counterpart of the same kind
+# tag. It catches the silent failure where a bench file is committed but
+# never wired into scripts/bench.sh / CI — the pairwise gate would simply
+# never run for it, and its numbers would rot unchecked.
+#
 # Exit 0 = gate passed. Implemented with grep/awk/sed only (no jq).
 set -euo pipefail
+
+# The file-level kind tag: "bench": "<kind>" (note the space).
+kind_of() {
+    { grep -oE '"bench": "[^"]+"' "$1" || true; } | head -1 | sed 's/.*: "//; s/"$//'
+}
+
+if [ "${1:-}" = "--orphans" ]; then
+    shift
+    committed_files=()
+    while [ $# -gt 0 ] && [ "$1" != "--" ]; do
+        committed_files+=("$1")
+        shift
+    done
+    [ "${1:-}" = "--" ] || { echo "usage: check_bench.sh --orphans <committed...> -- <fresh...>" >&2; exit 2; }
+    shift
+    fresh_kinds=""
+    for f in "$@"; do
+        fresh_kinds="$fresh_kinds $(kind_of "$f")"
+    done
+    fail=0
+    for c in "${committed_files[@]}"; do
+        kind="$(kind_of "$c")"
+        if [ -z "$kind" ]; then
+            echo "FAIL: committed $c has no \"bench\" kind tag" >&2
+            fail=1
+            continue
+        fi
+        case " $fresh_kinds " in
+            *" $kind "*) ;;
+            *)
+                echo "FAIL: orphaned bench file $c (kind '$kind'): no fresh smoke output produced it" >&2
+                fail=1
+                ;;
+        esac
+    done
+    [ "$fail" -eq 0 ] || exit 1
+    echo "OK: all ${#committed_files[@]} committed bench files were produced by the smoke run"
+    exit 0
+fi
 
 fresh="${1:?usage: check_bench.sh <fresh.json> <committed.json>}"
 committed="${2:?usage: check_bench.sh <fresh.json> <committed.json>}"
@@ -27,11 +73,6 @@ fail=0
 # malformed input before a FAIL diagnostic can print.
 bench_ids() {
     { grep -oE '"bench":"[^"]+"' "$1" || true; } | sed 's/"bench":"//; s/"$//' | sort -u
-}
-
-# The file-level kind tag: "bench": "<kind>" (note the space).
-kind_of() {
-    { grep -oE '"bench": "[^"]+"' "$1" || true; } | head -1 | sed 's/.*: "//; s/"$//'
 }
 
 fresh_kind="$(kind_of "$fresh")"
