@@ -1,0 +1,108 @@
+//! Write scaling across cores: YCSB-A (50% reads / 50% updates,
+//! zipfian key choice — the update-heavy workload of the YCSB suite)
+//! driven by closed-loop client threads against **one shared ForkBase
+//! instance**, sweeping 1 → 8 threads.
+//!
+//! This is the workload the concurrent commit pipeline exists for: every
+//! update is an M3 put that snapshots the key's head, encodes the meta
+//! chunk outside any lock, and publishes through the key's own branch
+//! slot ([`ShardedBranchMap`]) — writers to disjoint keys never contend,
+//! so aggregate commit throughput grows with the thread count on a
+//! multi-core host. The per-iteration element count is the total op
+//! count, so `ops_per_sec` in the JSON is aggregate throughput and the
+//! thread-N / thread-1 ratio is the scaling factor `scripts/bench.sh`
+//! reports. Per-op latency percentiles from the closed loops are printed
+//! to stderr and recorded in EXPERIMENTS.md.
+//!
+//! NOTE: on a single-core host (like the CI container) the sweep
+//! degenerates to ~1× — the committed `BENCH_write_scaling.json` records
+//! `host_cores` so readers can tell which regime produced it.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fb_workload::{run_closed_loop, Op, YcsbConfig, YcsbGen};
+use forkbase_core::{ForkBase, Value};
+
+/// YCSB-A shape: 4096 keys, 128 B values, zipf 0.99, 50/50 read/update.
+const N_KEYS: usize = 4096;
+const VALUE_SIZE: usize = 128;
+const OPS_PER_THREAD: usize = 2048;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// One deterministic op stream per client thread (distinct seeds so the
+/// threads don't replay identical key sequences in lockstep).
+fn schedules(threads: usize) -> Vec<Vec<Op>> {
+    (0..threads)
+        .map(|t| {
+            YcsbGen::new(YcsbConfig {
+                n_keys: N_KEYS,
+                read_ratio: 0.5,
+                value_size: VALUE_SIZE,
+                zipf: 0.99,
+                seed: 0xA5C3 + t as u64,
+            })
+            .batch(OPS_PER_THREAD)
+        })
+        .collect()
+}
+
+/// A fresh in-memory instance with every key pre-loaded, so reads always
+/// hit and the sweep measures steady-state commit traffic.
+fn loaded_db() -> ForkBase {
+    let db = ForkBase::in_memory();
+    db.put_many(
+        None,
+        (0..N_KEYS).map(|i| {
+            (
+                YcsbGen::key(i),
+                Value::Tuple(vec![vec![0u8; VALUE_SIZE].into()]),
+            )
+        }),
+    )
+    .expect("load");
+    db
+}
+
+/// One full closed-loop pass: every thread drains its schedule against
+/// the shared instance.
+fn run_pass(db: &ForkBase, scheds: &[Vec<Op>]) -> fb_workload::DriverReport {
+    run_closed_loop(scheds.len(), OPS_PER_THREAD, |t, i| match &scheds[t][i] {
+        Op::Read(key) => {
+            let _ = db.get_value(key.clone(), None);
+        }
+        Op::Write(key, value) => {
+            db.put(key.clone(), None, Value::Tuple(vec![value.clone()]))
+                .expect("put");
+        }
+    })
+}
+
+fn ycsba_write_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ycsba_write_scaling");
+    for &threads in &THREADS {
+        let scheds = schedules(threads);
+        let db = loaded_db();
+        group.throughput(Throughput::Elements((threads * OPS_PER_THREAD) as u64));
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| run_pass(&db, &scheds))
+        });
+        // One extra pass for the latency report (criterion timings are
+        // aggregate only).
+        let r = run_pass(&db, &scheds);
+        eprintln!(
+            "write-scaling: threads={threads} {:.0} ops/s p50={}us p95={}us p99={}us max={}us",
+            r.ops_per_sec,
+            r.p50_ns / 1000,
+            r.p95_ns / 1000,
+            r.p99_ns / 1000,
+            r.max_ns / 1000,
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ycsba_write_scaling
+}
+criterion_main!(benches);

@@ -373,6 +373,17 @@ impl ChunkStore for ShardedCache {
         outcome
     }
 
+    /// Batched write-through: **one** backing
+    /// [`put_many`](ChunkStore::put_many) (one group-commit round on a
+    /// durable store), then the accepted chunks are cached.
+    fn put_many(&self, chunks: Vec<Chunk>) -> Vec<PutOutcome> {
+        let outcomes = self.backing.put_many(chunks.clone());
+        for chunk in chunks {
+            self.cache.insert(chunk);
+        }
+        outcomes
+    }
+
     fn contains(&self, cid: &Digest) -> bool {
         self.cache.contains(cid) || self.backing.contains(cid)
     }
@@ -413,6 +424,25 @@ mod tests {
         assert_eq!(cache.hit_miss(), (0, 1));
         assert_eq!(cache.get(&chunk.cid()), Some(chunk));
         assert_eq!(cache.hit_miss(), (1, 1));
+    }
+
+    #[test]
+    fn put_many_writes_through_and_caches() {
+        let (backing, cache) = setup(4096);
+        let chunks: Vec<Chunk> = (0..5u32)
+            .map(|i| Chunk::new(ChunkType::Blob, i.to_le_bytes().to_vec()))
+            .collect();
+        let outcomes = cache.put_many(chunks.clone());
+        assert!(outcomes.iter().all(|o| *o == PutOutcome::Stored));
+        // Backing store accepted everything…
+        for c in &chunks {
+            assert!(backing.contains(&c.cid()));
+        }
+        // …and reads are answered by the cache tier without a miss.
+        for c in &chunks {
+            assert_eq!(cache.get(&c.cid()), Some(c.clone()));
+        }
+        assert_eq!(cache.hit_miss(), (5, 0));
     }
 
     #[test]

@@ -35,6 +35,16 @@ pub trait ChunkStore: Send + Sync {
     /// Store a chunk; dedups on existing cid.
     fn put(&self, chunk: Chunk) -> PutOutcome;
 
+    /// Store many chunks at once; element `i` answers `chunks[i]`.
+    /// Semantically identical to mapping [`put`](Self::put), but
+    /// implementations with per-request overhead batch it — the durable
+    /// log store enqueues the whole batch under **one** commit-lock
+    /// acquisition and acknowledges it with one group-commit round, so
+    /// N batched puts pay one fsync instead of up to N.
+    fn put_many(&self, chunks: Vec<Chunk>) -> Vec<PutOutcome> {
+        chunks.into_iter().map(|c| self.put(c)).collect()
+    }
+
     /// Membership test without fetching the payload.
     fn contains(&self, cid: &Digest) -> bool;
 
@@ -165,6 +175,10 @@ impl<S: ChunkStore + ?Sized> ChunkStore for Arc<S> {
 
     fn put(&self, chunk: Chunk) -> PutOutcome {
         (**self).put(chunk)
+    }
+
+    fn put_many(&self, chunks: Vec<Chunk>) -> Vec<PutOutcome> {
+        (**self).put_many(chunks)
     }
 
     fn contains(&self, cid: &Digest) -> bool {

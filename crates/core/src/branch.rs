@@ -6,8 +6,11 @@
 //! UB-table … UB-table essentially maintains all the leaf nodes in the
 //! object derivation graph."
 
+use bytes::Bytes;
 use forkbase_crypto::fx::{FxHashMap, FxHashSet};
 use forkbase_crypto::Digest;
+use parking_lot::RwLock;
+use std::sync::Arc;
 
 /// Branch heads of a single key.
 #[derive(Clone, Debug, Default)]
@@ -104,6 +107,93 @@ impl BranchTable {
     }
 }
 
+/// A key's branch-table slot: one `BranchTable` behind its own lock.
+/// Handles are cloned out of the [`ShardedBranchMap`] so commit paths
+/// hold only this key's lock, never the map's.
+pub type BranchSlot = Arc<RwLock<BranchTable>>;
+
+/// Striped-lock shard count. Power of two so slot selection is a mask;
+/// 64 stripes keep the collision probability negligible for any
+/// realistic writer count while costing ~only a cache line each.
+const SHARDS: usize = 64;
+
+/// Branch-head state for a whole instance: per-key [`BranchTable`] slots
+/// behind striped locks, replacing the old instance-global branch lock.
+///
+/// Writers resolve their key to a `BranchSlot` (a brief shard-lock
+/// probe) and then serialize only on that slot — commits to disjoint
+/// keys never contend, which is what lets the commit pipeline scale
+/// across cores. The shard write lock is held only to insert a missing
+/// slot, never across a commit.
+pub struct ShardedBranchMap {
+    shards: Box<[RwLock<FxHashMap<Bytes, BranchSlot>>]>,
+}
+
+impl Default for ShardedBranchMap {
+    fn default() -> Self {
+        ShardedBranchMap {
+            shards: (0..SHARDS)
+                .map(|_| RwLock::new(FxHashMap::default()))
+                .collect(),
+        }
+    }
+}
+
+impl ShardedBranchMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// FNV-1a over the key bytes; independent of the per-table hasher so
+    /// shard skew cannot correlate with in-shard collisions.
+    fn shard_of(&self, key: &[u8]) -> usize {
+        let h = key.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+        });
+        (h as usize) & (self.shards.len() - 1)
+    }
+
+    /// The key's slot, created empty if absent.
+    pub fn slot(&self, key: &Bytes) -> BranchSlot {
+        let shard = &self.shards[self.shard_of(key)];
+        if let Some(slot) = shard.read().get(key) {
+            return Arc::clone(slot);
+        }
+        let mut shard = shard.write();
+        Arc::clone(shard.entry(key.clone()).or_default())
+    }
+
+    /// The key's slot if it exists.
+    pub fn get(&self, key: &Bytes) -> Option<BranchSlot> {
+        self.shards[self.shard_of(key)].read().get(key).cloned()
+    }
+
+    /// Every key with a slot, sorted.
+    pub fn keys(&self) -> Vec<Bytes> {
+        let mut keys: Vec<Bytes> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().keys().cloned().collect::<Vec<_>>())
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Visit every (key, table) pair. Per-slot reads are individually
+    /// consistent; the traversal as a whole is not a point-in-time
+    /// snapshot under concurrent writers (quiesce before checkpointing
+    /// when that matters, as the old global lock forced anyway).
+    pub fn for_each(&self, mut f: impl FnMut(&Bytes, &BranchTable)) {
+        for shard in self.shards.iter() {
+            let shard = shard.read();
+            for (key, slot) in shard.iter() {
+                f(key, &slot.read());
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +256,34 @@ mod tests {
         t.record_version(v1, &[]);
         t.record_version(v1, &[]);
         assert_eq!(t.untagged_count(), 1);
+    }
+
+    #[test]
+    fn sharded_map_slots_are_shared_handles() {
+        let m = ShardedBranchMap::new();
+        let k = Bytes::from("k");
+        let a = m.slot(&k);
+        a.write().set_head("master", hash_bytes(b"v"));
+        let b = m.get(&k).expect("slot exists");
+        assert_eq!(b.read().head("master"), Some(hash_bytes(b"v")));
+        assert!(m.get(&Bytes::from("other")).is_none());
+        assert_eq!(m.keys(), vec![k]);
+    }
+
+    #[test]
+    fn sharded_map_visits_every_key_across_shards() {
+        let m = ShardedBranchMap::new();
+        for i in 0..200u8 {
+            let k = Bytes::from(format!("key-{i}"));
+            m.slot(&k).write().set_head("b", hash_bytes(&[i]));
+        }
+        let mut n = 0;
+        m.for_each(|_, t| {
+            assert!(t.has_branch("b"));
+            n += 1;
+        });
+        assert_eq!(n, 200);
+        assert_eq!(m.keys().len(), 200);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! | Fork  | [`fork`](ForkBase::fork) (M11), [`fork_version`](ForkBase::fork_version) (M12), [`rename_branch`](ForkBase::rename_branch) (M13), [`remove_branch`](ForkBase::remove_branch) (M14) |
 //! | Track | [`track`](ForkBase::track) (M15), [`track_version`](ForkBase::track_version) (M16), [`lca`](ForkBase::lca) (M17) |
 
-use crate::branch::BranchTable;
+use crate::branch::{BranchSlot, ShardedBranchMap};
 use crate::checkpoint::BranchSnapshot;
 use crate::error::{FbError, Result};
 use crate::fobject::FObject;
@@ -17,12 +17,11 @@ use crate::history;
 use crate::value::{Value, ValueType};
 use bytes::Bytes;
 use forkbase_chunk::{
-    CacheConfig, ChunkStore, Durability, LogConfig, LogStore, MemStore, ShardedCache,
+    CacheConfig, Chunk, ChunkStore, Durability, LogConfig, LogStore, MemStore, ShardedCache,
 };
 use forkbase_crypto::fx::FxHashMap;
 use forkbase_crypto::{ChunkerConfig, Digest};
 use forkbase_pos::{builder, merge3_blob, merge3_sorted, Blob, List, Map, Resolver, Set, TreeType};
-use parking_lot::RwLock;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -35,7 +34,11 @@ pub const DEFAULT_BRANCH: &str = "master";
 pub struct ForkBase {
     store: Arc<dyn ChunkStore>,
     cfg: ChunkerConfig,
-    branches: RwLock<FxHashMap<Bytes, BranchTable>>,
+    /// Per-key branch-head slots behind striped locks (§4.5 branch
+    /// tables). Commits serialize per key, never across keys — the
+    /// multi-writer commit pipeline scales because disjoint-key writers
+    /// take disjoint locks.
+    branches: ShardedBranchMap,
     /// Typed handle to the backing [`LogStore`] when this instance was
     /// opened durably — used by [`commit_checkpoint`](Self::commit_checkpoint)
     /// and in-place GC ([`gc::compact_in_place`](crate::gc::compact_in_place)).
@@ -62,7 +65,7 @@ impl ForkBase {
         ForkBase {
             store,
             cfg,
-            branches: RwLock::new(FxHashMap::default()),
+            branches: ShardedBranchMap::new(),
             durable: None,
             cache: None,
         }
@@ -241,12 +244,13 @@ impl ForkBase {
         let key = key.into();
         let branch = branch.unwrap_or(DEFAULT_BRANCH);
         // Concurrent updates on a tagged branch are serialized by the
-        // servlet (§4.5.1): the branch-table lock is held across the whole
-        // head-read → persist → head-advance sequence. Only the meta chunk
+        // servlet (§4.5.1) — but only per key: the key's branch slot is
+        // held across the head-read → persist → head-advance sequence,
+        // so writers to disjoint keys never contend. Only the meta chunk
         // is written under the lock; chunkable payloads were already
         // persisted when the value was built.
-        let mut tables = self.branches.write();
-        let table = tables.entry(key.clone()).or_default();
+        let slot = self.branches.slot(&key);
+        let mut table = slot.write();
         if !table.has_branch(branch) && branch != DEFAULT_BRANCH {
             return Err(FbError::BranchNotFound(branch.to_string()));
         }
@@ -257,13 +261,28 @@ impl ForkBase {
         Ok(uid)
     }
 
-    /// Batched M3: write one new version for **each** of `entries` under a
-    /// single branch-table lock hold. The batch is transactional with
-    /// respect to branch heads: every entry is validated first (a missing
-    /// non-default branch fails the whole batch), and readers observe
-    /// either none or all of the head advances. Returns the new uids in
-    /// entry order; duplicate keys chain onto the version written earlier
-    /// in the same batch.
+    /// Batched M3: write one new version for **each** of `entries` as one
+    /// commit-pipeline pass. Every entry is validated first (a missing
+    /// non-default branch fails the whole batch before any head moves),
+    /// then the pipeline runs in three overlapped stages:
+    ///
+    /// 1. **encode** — every meta chunk is built outside all branch
+    ///    locks, against a snapshot of each key's head (duplicate keys
+    ///    chain onto the version built earlier in the same batch);
+    /// 2. **store I/O** — all meta chunks land with one
+    ///    [`ChunkStore::put_many`], i.e. one group-commit round on a
+    ///    durable store instead of one fsync wait per entry;
+    /// 3. **publish** — each key's head advances under its own branch
+    ///    slot via optimistic CAS. A key whose head moved since the
+    ///    snapshot is **rebased**: its chain is re-encoded against the
+    ///    new head under the slot lock (meta chunks only — the value
+    ///    payloads are already in the store and content addressing
+    ///    dedups them).
+    ///
+    /// Returns the new uids in entry order. Unlike the retired
+    /// global-lock path, head advances of *different* keys are published
+    /// independently — a reader racing the batch may observe some keys
+    /// advanced and others not yet (per-key atomicity is unchanged).
     pub fn put_many<I, K>(&self, branch: Option<&str>, entries: I) -> Result<Vec<Digest>>
     where
         I: IntoIterator<Item = (K, Value)>,
@@ -272,27 +291,109 @@ impl ForkBase {
         let branch = branch.unwrap_or(DEFAULT_BRANCH);
         let entries: Vec<(Bytes, Value)> =
             entries.into_iter().map(|(k, v)| (k.into(), v)).collect();
-        let mut tables = self.branches.write();
         // Validate every key before any head moves.
-        for (key, _) in &entries {
-            let exists = tables
-                .get(key)
-                .map(|t| t.has_branch(branch))
-                .unwrap_or(false);
-            if !exists && branch != DEFAULT_BRANCH {
-                return Err(FbError::BranchNotFound(branch.to_string()));
+        if branch != DEFAULT_BRANCH {
+            for (key, _) in &entries {
+                let exists = self
+                    .branches
+                    .get(key)
+                    .map(|slot| slot.read().has_branch(branch))
+                    .unwrap_or(false);
+                if !exists {
+                    return Err(FbError::BranchNotFound(branch.to_string()));
+                }
             }
         }
-        let mut uids = Vec::with_capacity(entries.len());
-        for (key, value) in entries {
-            let table = tables.entry(key.clone()).or_default();
-            let bases: Vec<Digest> = table.head(branch).into_iter().collect();
-            let uid = self.persist_object(&key, &value, &bases, Bytes::new())?;
-            table.record_version(uid, &bases);
-            table.set_head(branch, uid);
-            uids.push(uid);
+
+        // Stage 1: snapshot heads and encode every meta chunk outside
+        // the branch locks. Entries are grouped per key in batch order.
+        struct KeyPlan {
+            slot: BranchSlot,
+            snapshot: Option<Digest>,
+            /// Depth of the next version appended to this key's chain.
+            next_depth: u64,
+            /// (entry index, uid, bases) in batch order for this key.
+            chain: Vec<(usize, Digest, Vec<Digest>)>,
+        }
+        let mut plans: FxHashMap<Bytes, KeyPlan> = FxHashMap::default();
+        let mut order: Vec<Bytes> = Vec::new();
+        let mut chunks: Vec<Chunk> = Vec::with_capacity(entries.len());
+        for (i, (key, value)) in entries.iter().enumerate() {
+            if !plans.contains_key(key) {
+                let slot = self.branches.slot(key);
+                let snapshot = slot.read().head(branch);
+                let (_, next_depth) = self.chain_link(snapshot)?;
+                plans.insert(
+                    key.clone(),
+                    KeyPlan {
+                        slot,
+                        snapshot,
+                        next_depth,
+                        chain: Vec::new(),
+                    },
+                );
+                order.push(key.clone());
+            }
+            let plan = plans.get_mut(key).expect("plan just inserted");
+            let prev = plan.chain.last().map(|(_, uid, _)| *uid).or(plan.snapshot);
+            let bases: Vec<Digest> = prev.into_iter().collect();
+            let obj = FObject::new(
+                key.clone(),
+                value,
+                bases.clone(),
+                plan.next_depth,
+                Bytes::new(),
+            );
+            plan.next_depth += 1;
+            let chunk = obj.to_chunk();
+            plan.chain.push((i, chunk.cid(), bases));
+            chunks.push(chunk);
+        }
+
+        // Stage 2: one batched store commit for every meta chunk.
+        self.store.put_many(chunks);
+
+        // Stage 3: per-key optimistic publish; rebase on a moved head.
+        let mut uids: Vec<Digest> = vec![Digest::ZERO; entries.len()];
+        for key in order {
+            let plan = plans.remove(&key).expect("planned key");
+            let mut table = plan.slot.write();
+            if table.head(branch) == plan.snapshot {
+                for (i, uid, bases) in &plan.chain {
+                    table.record_version(*uid, bases);
+                    uids[*i] = *uid;
+                }
+                let (_, last, _) = plan.chain.last().expect("non-empty chain");
+                table.set_head(branch, *last);
+                continue;
+            }
+            // Lost the CAS: a concurrent writer advanced this key. Re-link
+            // the chain onto the current head under the slot lock; only
+            // the cheap meta chunks are re-encoded and re-put.
+            let mut prev = table.head(branch);
+            for (i, _, _) in &plan.chain {
+                let bases: Vec<Digest> = prev.into_iter().collect();
+                let uid = self.persist_object(&key, &entries[*i].1, &bases, Bytes::new())?;
+                table.record_version(uid, &bases);
+                uids[*i] = uid;
+                prev = Some(uid);
+            }
+            table.set_head(branch, prev.expect("chain published at least one version"));
         }
         Ok(uids)
+    }
+
+    /// `(bases, depth)` for a version derived from `prev`.
+    fn chain_link(&self, prev: Option<Digest>) -> Result<(Vec<Digest>, u64)> {
+        match prev {
+            Some(uid) => {
+                let depth = FObject::load(self.store(), uid)
+                    .map(|o| o.depth + 1)
+                    .unwrap_or(0);
+                Ok((vec![uid], depth))
+            }
+            None => Ok((Vec::new(), 0)),
+        }
     }
 
     /// Transactional Map batch commit: load the branch head of `key`
@@ -302,9 +403,16 @@ impl ForkBase {
     ///
     /// The splice (chunking + hashing + chunk-store writes) runs
     /// **outside** the branch-table lock — a large batch must not stall
-    /// readers of unrelated keys. Publication is optimistic: the head is
-    /// re-checked under the write lock, and if a concurrent writer moved
-    /// it the splice is redone against the new head. Chunks written by an
+    /// writers of unrelated keys. Publication is optimistic: the head is
+    /// re-checked under the key's slot lock, and if a concurrent writer
+    /// moved it the batch is **merged onto the new head** with
+    /// [`merge3_sorted`] (base = the head we spliced against, ours = our
+    /// spliced map, theirs = the observed head; batch edits win on
+    /// subkeys both sides touched) — the paper's merge machinery is the
+    /// contention resolver, so only conflicting tree regions are
+    /// re-walked instead of redoing the whole splice. If the observed
+    /// head is not mergeable (type changed under us, or the branch
+    /// vanished) the splice is redone from scratch. Chunks written by an
     /// abandoned attempt deduplicate or become garbage for a later
     /// [`gc`](crate::gc) pass, exactly like an abandoned
     /// fork-on-conflict lineage.
@@ -316,37 +424,81 @@ impl ForkBase {
     ) -> Result<Digest> {
         let key = key.into();
         let branch = branch.unwrap_or(DEFAULT_BRANCH);
-        loop {
-            let head = {
-                let tables = self.branches.read();
-                tables.get(&key).and_then(|t| t.head(branch))
-            };
-            if head.is_none() && branch != DEFAULT_BRANCH {
-                return Err(FbError::BranchNotFound(branch.to_string()));
-            }
-            let map = match head {
-                Some(uid) => {
-                    let obj = FObject::load(self.store(), uid)?;
-                    obj.value(self.store())?.as_map()?
-                }
-                None => Map::build(
-                    self.store(),
-                    &self.cfg,
-                    std::iter::empty::<(Bytes, Bytes)>(),
-                ),
-            };
-            let map = map.apply(self.store(), &self.cfg, batch.clone())?;
-            let bases: Vec<Digest> = head.into_iter().collect();
-            let uid = self.persist_object(&key, &Value::Map(map), &bases, Bytes::new())?;
-            let mut tables = self.branches.write();
-            let table = tables.entry(key.clone()).or_default();
-            if table.head(branch) != head {
-                continue; // lost the race — redo against the new head
-            }
-            table.record_version(uid, &bases);
-            table.set_head(branch, uid);
-            return Ok(uid);
+        let slot = self.branches.slot(&key);
+        let mut base = slot.read().head(branch);
+        if base.is_none() && branch != DEFAULT_BRANCH {
+            return Err(FbError::BranchNotFound(branch.to_string()));
         }
+        let mut ours = self
+            .map_at(base)?
+            .apply(self.store(), &self.cfg, batch.clone())?;
+        loop {
+            let bases: Vec<Digest> = base.into_iter().collect();
+            let uid = self.persist_object(&key, &Value::Map(ours), &bases, Bytes::new())?;
+            let observed = {
+                let mut table = slot.write();
+                let observed = table.head(branch);
+                if observed == base {
+                    table.record_version(uid, &bases);
+                    table.set_head(branch, uid);
+                    return Ok(uid);
+                }
+                observed
+            };
+            // Lost the CAS. Re-splice against a vanished/retyped head,
+            // merge against anything else.
+            ours = match observed {
+                Some(theirs_uid) => match self.merge_map_onto(base, &ours, theirs_uid) {
+                    Some(merged) => merged,
+                    None => self
+                        .map_at(observed)?
+                        .apply(self.store(), &self.cfg, batch.clone())?,
+                },
+                None => {
+                    if branch != DEFAULT_BRANCH {
+                        return Err(FbError::BranchNotFound(branch.to_string()));
+                    }
+                    self.map_at(None)?
+                        .apply(self.store(), &self.cfg, batch.clone())?
+                }
+            };
+            base = observed;
+        }
+    }
+
+    /// The Map at a branch head, or the canonical empty Map for `None`.
+    fn map_at(&self, head: Option<Digest>) -> Result<Map> {
+        match head {
+            Some(uid) => {
+                let obj = FObject::load(self.store(), uid)?;
+                obj.value(self.store())?.as_map()
+            }
+            None => Ok(Map::build(
+                self.store(),
+                &self.cfg,
+                std::iter::empty::<(Bytes, Bytes)>(),
+            )),
+        }
+    }
+
+    /// Three-way merge `ours` (spliced off `base`) onto the concurrently
+    /// published head `theirs`, our edits winning where both sides
+    /// touched a subkey. `None` when `theirs` is not a mergeable Map —
+    /// the caller falls back to a full re-splice.
+    fn merge_map_onto(&self, base: Option<Digest>, ours: &Map, theirs: Digest) -> Option<Map> {
+        let theirs_root = self.map_at(Some(theirs)).ok()?.root();
+        let base_root = self.map_at(base).ok()?.root();
+        let out = merge3_sorted(
+            self.store(),
+            &self.cfg,
+            TreeType::Map,
+            base_root,
+            ours.root(),
+            theirs_root,
+            &Resolver::TakeOurs,
+        )
+        .ok()?;
+        Some(Map::from_root(out.root))
     }
 
     /// Guarded put (§4.5.1): succeeds only if the branch head still equals
@@ -360,8 +512,8 @@ impl ForkBase {
     ) -> Result<Digest> {
         let key = key.into();
         let branch = branch.unwrap_or(DEFAULT_BRANCH);
-        let mut tables = self.branches.write();
-        let table = tables.entry(key.clone()).or_default();
+        let slot = self.branches.slot(&key);
+        let mut table = slot.write();
         let head = table
             .head(branch)
             .ok_or_else(|| FbError::BranchNotFound(branch.to_string()))?;
@@ -435,12 +587,49 @@ impl ForkBase {
         context: Bytes,
     ) -> Result<Digest> {
         let uid = self.persist_object(key, value, &bases, context)?;
-        let mut tables = self.branches.write();
-        tables
-            .entry(key.clone())
-            .or_default()
-            .record_version(uid, &bases);
+        self.branches.slot(key).write().record_version(uid, &bases);
         Ok(uid)
+    }
+
+    /// Batched M4: one fork-on-conflict put per `(key, base, value)`
+    /// entry, all meta chunks landing with a single
+    /// [`ChunkStore::put_many`] group-commit round. Every base is
+    /// validated before anything is written; UB-tables are updated per
+    /// key under that key's own slot lock. Returns the new uids in entry
+    /// order.
+    pub fn put_conflict_many<I, K>(&self, entries: I) -> Result<Vec<Digest>>
+    where
+        I: IntoIterator<Item = (K, Option<Digest>, Value)>,
+        K: Into<Bytes>,
+    {
+        let entries: Vec<(Bytes, Option<Digest>, Value)> = entries
+            .into_iter()
+            .map(|(k, b, v)| (k.into(), b, v))
+            .collect();
+        for (key, base, _) in &entries {
+            if let Some(base) = base {
+                let obj = FObject::load(self.store(), *base)?;
+                if obj.key != *key {
+                    return Err(FbError::VersionNotFound(*base));
+                }
+            }
+        }
+        let mut chunks: Vec<Chunk> = Vec::with_capacity(entries.len());
+        let mut metas: Vec<(Bytes, Digest, Vec<Digest>)> = Vec::with_capacity(entries.len());
+        for (key, base, value) in &entries {
+            let (bases, depth) = self.chain_link(*base)?;
+            let obj = FObject::new(key.clone(), value, bases.clone(), depth, Bytes::new());
+            let chunk = obj.to_chunk();
+            metas.push((key.clone(), chunk.cid(), bases));
+            chunks.push(chunk);
+        }
+        self.store.put_many(chunks);
+        let mut uids = Vec::with_capacity(metas.len());
+        for (key, uid, bases) in metas {
+            self.branches.slot(&key).write().record_version(uid, &bases);
+            uids.push(uid);
+        }
+        Ok(uids)
     }
 
     // ---- Get (M1, M2) ----------------------------------------------------
@@ -456,11 +645,9 @@ impl ForkBase {
     pub fn head(&self, key: impl Into<Bytes>, branch: Option<&str>) -> Result<Digest> {
         let key = key.into();
         let branch = branch.unwrap_or(DEFAULT_BRANCH);
-        let tables = self.branches.read();
-        let table = tables.get(&key).ok_or(FbError::KeyNotFound)?;
-        table
-            .head(branch)
-            .ok_or_else(|| FbError::BranchNotFound(branch.to_string()))
+        let slot = self.branches.get(&key).ok_or(FbError::KeyNotFound)?;
+        let head = slot.read().head(branch);
+        head.ok_or_else(|| FbError::BranchNotFound(branch.to_string()))
     }
 
     /// M2: read a specific version by uid (works for both tagged and
@@ -484,27 +671,24 @@ impl ForkBase {
 
     /// M8: every key with at least one branch.
     pub fn list_keys(&self) -> Vec<Bytes> {
-        let tables = self.branches.read();
-        let mut keys: Vec<_> = tables.keys().cloned().collect();
-        keys.sort();
-        keys
+        self.branches.keys()
     }
 
     /// M9: tagged branch names and head uids of a key.
     pub fn list_tagged_branches(&self, key: impl Into<Bytes>) -> Result<Vec<(String, Digest)>> {
         let key = key.into();
-        let tables = self.branches.read();
-        let table = tables.get(&key).ok_or(FbError::KeyNotFound)?;
-        Ok(table.tagged_branches())
+        let slot = self.branches.get(&key).ok_or(FbError::KeyNotFound)?;
+        let out = slot.read().tagged_branches();
+        Ok(out)
     }
 
     /// M10: untagged (fork-on-conflict) heads of a key. A single entry
     /// means no conflict.
     pub fn list_untagged_branches(&self, key: impl Into<Bytes>) -> Result<Vec<Digest>> {
         let key = key.into();
-        let tables = self.branches.read();
-        let table = tables.get(&key).ok_or(FbError::KeyNotFound)?;
-        Ok(table.untagged_heads())
+        let slot = self.branches.get(&key).ok_or(FbError::KeyNotFound)?;
+        let out = slot.read().untagged_heads();
+        Ok(out)
     }
 
     // ---- Fork (M11–M14) ---------------------------------------------------
@@ -512,8 +696,8 @@ impl ForkBase {
     /// M11: create a tagged branch from an existing branch's head.
     pub fn fork(&self, key: impl Into<Bytes>, from: &str, new_branch: &str) -> Result<()> {
         let key = key.into();
-        let mut tables = self.branches.write();
-        let table = tables.get_mut(&key).ok_or(FbError::KeyNotFound)?;
+        let slot = self.branches.get(&key).ok_or(FbError::KeyNotFound)?;
+        let mut table = slot.write();
         if table.has_branch(new_branch) {
             return Err(FbError::BranchExists(new_branch.to_string()));
         }
@@ -533,8 +717,8 @@ impl ForkBase {
         if obj.key != key {
             return Err(FbError::VersionNotFound(uid));
         }
-        let mut tables = self.branches.write();
-        let table = tables.entry(key).or_default();
+        let slot = self.branches.slot(&key);
+        let mut table = slot.write();
         if table.has_branch(new_branch) {
             return Err(FbError::BranchExists(new_branch.to_string()));
         }
@@ -545,8 +729,8 @@ impl ForkBase {
     /// M13: rename a tagged branch.
     pub fn rename_branch(&self, key: impl Into<Bytes>, from: &str, to: &str) -> Result<()> {
         let key = key.into();
-        let mut tables = self.branches.write();
-        let table = tables.get_mut(&key).ok_or(FbError::KeyNotFound)?;
+        let slot = self.branches.get(&key).ok_or(FbError::KeyNotFound)?;
+        let mut table = slot.write();
         if table.has_branch(to) {
             return Err(FbError::BranchExists(to.to_string()));
         }
@@ -565,8 +749,8 @@ impl ForkBase {
     /// so this path cannot retire them.
     pub fn remove_branch(&self, key: impl Into<Bytes>, branch: &str) -> Result<()> {
         let key = key.into();
-        let mut tables = self.branches.write();
-        let table = tables.get_mut(&key).ok_or(FbError::KeyNotFound)?;
+        let slot = self.branches.get(&key).ok_or(FbError::KeyNotFound)?;
+        let mut table = slot.write();
         let head = table
             .remove_branch(branch)
             .ok_or_else(|| FbError::BranchNotFound(branch.to_string()))?;
@@ -622,13 +806,15 @@ impl ForkBase {
 
     // ---- Checkpoint / restore (engine extension) --------------------------
 
-    /// Capture every key's branch table as a canonical snapshot.
+    /// Capture every key's branch table as a canonical snapshot. Each
+    /// slot is read consistently; under concurrent writers the snapshot
+    /// as a whole is some interleaving of their per-key publishes (the
+    /// same guarantee readers get).
     pub fn snapshot_branches(&self) -> BranchSnapshot {
-        let tables = self.branches.read();
-        let mut entries: Vec<_> = tables
-            .iter()
-            .map(|(key, table)| (key.clone(), table.tagged_branches(), table.untagged_heads()))
-            .collect();
+        let mut entries: Vec<_> = Vec::new();
+        self.branches.for_each(|key, table| {
+            entries.push((key.clone(), table.tagged_branches(), table.untagged_heads()));
+        });
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         BranchSnapshot { entries }
     }
@@ -660,9 +846,10 @@ impl ForkBase {
             )));
         }
         let snap = BranchSnapshot::decode(chunk.payload())?;
-        let mut tables: FxHashMap<Bytes, BranchTable> = FxHashMap::default();
+        let branches = ShardedBranchMap::new();
         for (key, tagged, untagged) in snap.entries {
-            let table = tables.entry(key).or_default();
+            let slot = branches.slot(&key);
+            let mut table = slot.write();
             for (name, head) in tagged {
                 table.set_head(&name, head);
             }
@@ -673,7 +860,7 @@ impl ForkBase {
         Ok(ForkBase {
             store,
             cfg,
-            branches: RwLock::new(tables),
+            branches,
             durable: None,
             cache: None,
         })
@@ -705,8 +892,7 @@ impl ForkBase {
         let key = key.into();
         let tgt_head = self.head(key.clone(), Some(target))?;
         let uid = self.merge_pair(&key, tgt_head, ref_uid, resolver)?;
-        let mut tables = self.branches.write();
-        tables.entry(key).or_default().set_head(target, uid);
+        self.branches.slot(&key).write().set_head(target, uid);
         Ok(uid)
     }
 

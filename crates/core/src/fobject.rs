@@ -120,6 +120,13 @@ impl FObject {
     /// Load the FObject with the given uid from a store.
     pub fn load(store: &dyn ChunkStore, uid: Digest) -> Result<FObject> {
         let chunk = store.get(&uid).ok_or(FbError::VersionNotFound(uid))?;
+        FObject::decode_verified(&chunk, uid)
+    }
+
+    /// Decode an already-fetched meta chunk, verifying type and that the
+    /// content hashes to `uid` — the counterpart of [`load`](Self::load)
+    /// for callers that batch their chunk fetches.
+    pub fn decode_verified(chunk: &forkbase_chunk::Chunk, uid: Digest) -> Result<FObject> {
         if chunk.ty() != ChunkType::Meta {
             return Err(FbError::Corrupt(format!(
                 "uid {} is not a meta chunk",

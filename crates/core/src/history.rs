@@ -22,6 +22,11 @@ pub struct TrackedVersion {
 /// `bases` links, returning versions whose distance lies in
 /// `[min_dist, max_dist]`. Results are ordered by distance (then uid for
 /// determinism).
+///
+/// The walk is level-batched: every version at distance *d* is fetched
+/// with one [`get_many`](ChunkStore::get_many), so a cache/backing tier
+/// with per-request overhead answers each BFS frontier in a single
+/// round instead of one `get` per version.
 pub fn track(
     store: &dyn ChunkStore,
     start: Digest,
@@ -30,29 +35,34 @@ pub fn track(
 ) -> Result<Vec<TrackedVersion>> {
     let mut out = Vec::new();
     let mut seen: FxHashSet<Digest> = FxHashSet::default();
-    let mut queue: VecDeque<(Digest, u64)> = VecDeque::new();
-    queue.push_back((start, 0));
+    let mut frontier: Vec<Digest> = vec![start];
     seen.insert(start);
+    let mut dist = 0u64;
 
-    while let Some((uid, dist)) = queue.pop_front() {
-        if dist > max_dist {
-            continue;
-        }
-        let obj = FObject::load(store, uid)?;
-        if dist >= min_dist {
-            out.push(TrackedVersion {
-                uid,
-                distance: dist,
-                object: obj.clone(),
-            });
-        }
-        if dist < max_dist {
-            for &base in &obj.bases {
-                if seen.insert(base) {
-                    queue.push_back((base, dist + 1));
+    while !frontier.is_empty() && dist <= max_dist {
+        let mut next: Vec<Digest> = Vec::new();
+        for (uid, chunk) in frontier.iter().zip(store.get_many(&frontier)) {
+            let obj = match chunk {
+                Some(c) => FObject::decode_verified(&c, *uid)?,
+                None => return Err(crate::error::FbError::VersionNotFound(*uid)),
+            };
+            if dist < max_dist {
+                for &base in &obj.bases {
+                    if seen.insert(base) {
+                        next.push(base);
+                    }
                 }
             }
+            if dist >= min_dist {
+                out.push(TrackedVersion {
+                    uid: *uid,
+                    distance: dist,
+                    object: obj,
+                });
+            }
         }
+        frontier = next;
+        dist += 1;
     }
     out.sort_by(|a, b| a.distance.cmp(&b.distance).then(a.uid.cmp(&b.uid)));
     Ok(out)

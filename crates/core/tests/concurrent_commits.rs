@@ -1,0 +1,253 @@
+//! Concurrent commit pipeline equivalence suite.
+//!
+//! The sharded branch map + optimistic-CAS publish path (§4.5.1) must be
+//! observationally equivalent to *some* sequential interleaving of the
+//! same commits: disjoint-key writers land exactly the chains a
+//! sequential run produces (content-derived uids make this checkable
+//! bit-for-bit), overlapping writers serialize onto one chain with zero
+//! lost updates, and `commit_map_batch`'s merge-on-conflict keeps every
+//! subkey from every racing batch. The property tests pin the batched
+//! entry points (`put_many`, `put_conflict_many`) to their sequential
+//! counterparts on the same input.
+//!
+//! CI runs this with `RUST_TEST_THREADS=8` so the writer threads really
+//! overlap on multi-core runners.
+
+use forkbase_core::{ForkBase, Value};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::thread;
+
+const WRITERS: usize = 8;
+const ROUNDS: usize = 25;
+
+/// Disjoint-key writers: every thread owns its own key, so no CAS ever
+/// fails and the final heads must be bit-identical to a sequential run
+/// of the same per-key chains (uids are content-derived).
+#[test]
+fn disjoint_key_writers_match_sequential_run() {
+    let db = Arc::new(ForkBase::in_memory());
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|t| {
+            let db = Arc::clone(&db);
+            thread::spawn(move || {
+                for i in 0..ROUNDS {
+                    db.put(
+                        format!("key-{t}"),
+                        None,
+                        Value::Int((t * ROUNDS + i) as i64),
+                    )
+                    .expect("put");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("writer ok");
+    }
+
+    // Replay the same chains sequentially on a fresh engine.
+    let seq = ForkBase::in_memory();
+    for t in 0..WRITERS {
+        for i in 0..ROUNDS {
+            seq.put(
+                format!("key-{t}"),
+                None,
+                Value::Int((t * ROUNDS + i) as i64),
+            )
+            .expect("put");
+        }
+    }
+    for t in 0..WRITERS {
+        let key = format!("key-{t}");
+        assert_eq!(
+            db.head(key.clone(), None).expect("head"),
+            seq.head(key.clone(), None).expect("head"),
+            "disjoint-key chain {t} diverged from the sequential run"
+        );
+        assert_eq!(db.get(key, None).expect("get").depth as usize, ROUNDS - 1);
+    }
+}
+
+/// Overlapping writers on one key: every commit must land on the single
+/// serialized chain — final depth counts all of them, every returned uid
+/// is distinct, and exactly one untagged head remains.
+#[test]
+fn overlapping_writers_lose_no_updates() {
+    let db = Arc::new(ForkBase::in_memory());
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|t| {
+            let db = Arc::clone(&db);
+            thread::spawn(move || {
+                (0..ROUNDS)
+                    .map(|i| {
+                        db.put("hot", None, Value::Int((t * ROUNDS + i) as i64))
+                            .expect("put")
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let mut uids = HashSet::new();
+    for h in handles {
+        for uid in h.join().expect("writer ok") {
+            assert!(uids.insert(uid), "two commits produced the same uid");
+        }
+    }
+    assert_eq!(uids.len(), WRITERS * ROUNDS);
+    let head = db.get("hot", None).expect("get");
+    assert_eq!(
+        head.depth as usize,
+        WRITERS * ROUNDS - 1,
+        "depth counts every commit: zero lost updates"
+    );
+    assert_eq!(db.list_untagged_branches("hot").expect("list").len(), 1);
+}
+
+/// Racing `commit_map_batch` calls over disjoint subkey sets: the
+/// merge-on-conflict path must keep every subkey from every batch.
+#[test]
+fn concurrent_map_batches_keep_every_subkey() {
+    let db = Arc::new(ForkBase::in_memory());
+    db.put("m", None, Value::Map(db.new_map([("genesis", "0")])))
+        .expect("put");
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|t| {
+            let db = Arc::clone(&db);
+            thread::spawn(move || {
+                for round in 0..4 {
+                    let mut wb = forkbase_pos::WriteBatch::new();
+                    for s in 0..5 {
+                        wb.put(format!("t{t}-r{round}-s{s}"), format!("v{t}.{round}.{s}"));
+                    }
+                    db.commit_map_batch("m", None, wb).expect("commit");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("writer ok");
+    }
+
+    let map = db.get_value("m", None).expect("get").as_map().expect("map");
+    for t in 0..WRITERS {
+        for round in 0..4 {
+            for s in 0..5 {
+                let k = format!("t{t}-r{round}-s{s}");
+                assert_eq!(
+                    map.get(db.store(), k.as_bytes()),
+                    Some(bytes::Bytes::from(format!("v{t}.{round}.{s}"))),
+                    "subkey {k} lost in a conflicting batch merge"
+                );
+            }
+        }
+    }
+    assert_eq!(
+        map.get(db.store(), b"genesis"),
+        Some(bytes::Bytes::from_static(b"0"))
+    );
+}
+
+/// Racing batches that also contend on one hot subkey: own subkeys all
+/// survive, and the hot subkey holds exactly one of the written values.
+#[test]
+fn contended_map_batches_serialize_hot_subkey() {
+    let db = Arc::new(ForkBase::in_memory());
+    db.put("m", None, Value::Map(db.new_map([("hot", "init")])))
+        .expect("put");
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|t| {
+            let db = Arc::clone(&db);
+            thread::spawn(move || {
+                let mut wb = forkbase_pos::WriteBatch::new();
+                wb.put("hot", format!("w{t}")).put(format!("own-{t}"), "1");
+                db.commit_map_batch("m", None, wb).expect("commit");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("writer ok");
+    }
+
+    let map = db.get_value("m", None).expect("get").as_map().expect("map");
+    for t in 0..WRITERS {
+        assert!(
+            map.get(db.store(), format!("own-{t}").as_bytes()).is_some(),
+            "own subkey of writer {t} lost"
+        );
+    }
+    let hot = map.get(db.store(), b"hot").expect("hot present");
+    let winners: Vec<bytes::Bytes> = (0..WRITERS)
+        .map(|t| bytes::Bytes::from(format!("w{t}")))
+        .collect();
+    assert!(
+        winners.contains(&hot),
+        "hot subkey holds a value no writer wrote: {hot:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `put_many` is equivalent to issuing the same puts sequentially:
+    /// same returned uids (duplicate keys chain in batch order), same
+    /// final heads and values.
+    #[test]
+    fn put_many_matches_sequential_puts(
+        entries in prop::collection::vec(("[a-d]{1,2}", "[a-z]{0,8}"), 1..24)
+    ) {
+        let batched = ForkBase::in_memory();
+        let uids_batch = batched
+            .put_many(None, entries.iter().map(|(k, v)| (k.clone(), Value::String(v.clone()))))
+            .expect("put_many");
+
+        let seq = ForkBase::in_memory();
+        let uids_seq: Vec<_> = entries
+            .iter()
+            .map(|(k, v)| seq.put(k.clone(), None, Value::String(v.clone())).expect("put"))
+            .collect();
+
+        prop_assert_eq!(uids_batch, uids_seq, "per-entry uids diverge");
+        for (k, _) in &entries {
+            prop_assert_eq!(
+                batched.head(k.clone(), None).expect("head"),
+                seq.head(k.clone(), None).expect("head")
+            );
+            prop_assert_eq!(
+                batched.get_value(k.clone(), None).expect("get"),
+                seq.get_value(k.clone(), None).expect("get")
+            );
+        }
+    }
+
+    /// `put_conflict_many` is equivalent to sequential `put_conflict`
+    /// calls: same uids and the same set of untagged heads per key.
+    #[test]
+    fn put_conflict_many_matches_sequential(
+        values in prop::collection::vec("[a-z]{1,8}", 1..12)
+    ) {
+        let batched = ForkBase::in_memory();
+        let base_b = batched.put_conflict("k", None, Value::Int(0)).expect("genesis");
+        let uids_batch = batched
+            .put_conflict_many(values.iter().map(|v| {
+                ("k", Some(base_b), Value::String(v.clone()))
+            }))
+            .expect("put_conflict_many");
+
+        let seq = ForkBase::in_memory();
+        let base_s = seq.put_conflict("k", None, Value::Int(0)).expect("genesis");
+        prop_assert_eq!(base_b, base_s);
+        let uids_seq: Vec<_> = values
+            .iter()
+            .map(|v| seq.put_conflict("k", Some(base_s), Value::String(v.clone())).expect("put"))
+            .collect();
+
+        prop_assert_eq!(uids_batch, uids_seq);
+        let mut heads_b = batched.list_untagged_branches("k").expect("list");
+        let mut heads_s = seq.list_untagged_branches("k").expect("list");
+        heads_b.sort();
+        heads_s.sort();
+        prop_assert_eq!(heads_b, heads_s);
+    }
+}

@@ -143,17 +143,25 @@ impl StateBackend for ForkBaseBackend {
         // Group per contract for the second-level map updates.
         let mut per_contract: BTreeMap<String, Vec<(Bytes, Digest)>> = BTreeMap::new();
 
-        for ((contract, key), value) in staged {
-            let vk = value_key(&contract, &key);
-            let base = self
-                .latest_value
-                .get(&(contract.clone(), key.clone()))
-                .copied();
-            let blob = self.db.new_blob_bytes(value);
-            let uid = self
-                .db
-                .put_conflict(vk, base, Value::Blob(blob))
-                .expect("value commit");
+        // Value-level versions for the whole block go through one
+        // batched FoC round: every blob is encoded up front and the
+        // store sees a single `put_many` instead of per-value commits.
+        let mut pending: Vec<(String, Bytes)> = Vec::with_capacity(staged.len());
+        let entries: Vec<(Bytes, Option<Digest>, Value)> = staged
+            .into_iter()
+            .map(|((contract, key), value)| {
+                let vk = value_key(&contract, &key);
+                let base = self
+                    .latest_value
+                    .get(&(contract.clone(), key.clone()))
+                    .copied();
+                let blob = self.db.new_blob_bytes(value);
+                pending.push((contract, key));
+                (vk, base, Value::Blob(blob))
+            })
+            .collect();
+        let uids = self.db.put_conflict_many(entries).expect("value commits");
+        for ((contract, key), uid) in pending.into_iter().zip(uids) {
             self.latest_value
                 .insert((contract.clone(), key.clone()), uid);
             per_contract.entry(contract).or_default().push((key, uid));

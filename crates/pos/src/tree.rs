@@ -72,24 +72,29 @@ impl Blob {
         self.len(store) == 0
     }
 
-    /// Read the entire content.
+    /// Read the entire content. Sibling leaves are prefetched with one
+    /// [`get_many`](ChunkStore::get_many) instead of a per-leaf `get`,
+    /// so the cache/backing tier sees a single batched request.
     pub fn read_all(&self, store: &dyn ChunkStore) -> Option<Vec<u8>> {
         let scan = scan_tree(store, self.root, TreeType::Blob)?;
+        let cids: Vec<Digest> = scan.leaf_entries.iter().map(|e| e.cid).collect();
         let mut out = Vec::with_capacity(scan.total_count() as usize);
-        for e in &scan.leaf_entries {
-            let chunk = store.get(&e.cid)?;
-            out.extend_from_slice(chunk.payload());
+        for chunk in store.get_many(&cids) {
+            out.extend_from_slice(chunk?.payload());
         }
         Some(out)
     }
 
-    /// Read `len` bytes starting at `start` (clamped to the object).
+    /// Read `len` bytes starting at `start` (clamped to the object). The
+    /// leaves covering the range are prefetched with one batched
+    /// [`get_many`](ChunkStore::get_many).
     pub fn read_range(&self, store: &dyn ChunkStore, start: u64, len: u64) -> Option<Vec<u8>> {
         let scan = scan_tree(store, self.root, TreeType::Blob)?;
         let total = scan.total_count();
         let start = start.min(total);
         let end = (start + len).min(total);
-        let mut out = Vec::with_capacity((end - start) as usize);
+        // (leaf start offset, leaf end offset, cid) of the covering run.
+        let mut covering: Vec<(u64, u64, Digest)> = Vec::new();
         let mut cum = 0u64;
         for e in &scan.leaf_entries {
             let leaf_start = cum;
@@ -101,9 +106,14 @@ impl Blob {
             if leaf_start >= end {
                 break;
             }
-            let chunk = store.get(&e.cid)?;
-            let from = start.saturating_sub(leaf_start) as usize;
-            let to = (end.min(leaf_end) - leaf_start) as usize;
+            covering.push((leaf_start, leaf_end, e.cid));
+        }
+        let cids: Vec<Digest> = covering.iter().map(|(_, _, cid)| *cid).collect();
+        let mut out = Vec::with_capacity((end - start) as usize);
+        for ((leaf_start, leaf_end, _), chunk) in covering.iter().zip(store.get_many(&cids)) {
+            let chunk = chunk?;
+            let from = start.saturating_sub(*leaf_start) as usize;
+            let to = (end.min(*leaf_end) - leaf_start) as usize;
             out.extend_from_slice(&chunk.payload()[from..to]);
         }
         Some(out)

@@ -55,7 +55,7 @@
 use crate::builder::{build_from_entries_reusing, LeafBuilder};
 use crate::entry::IndexEntry;
 use crate::error::{TreeError, TreeResult};
-use crate::leaf::{decode_items_shared, Item, RawItemCursor};
+use crate::leaf::{Item, RawItemCursor};
 use crate::scan::scan_tree;
 use crate::types::TreeType;
 use bytes::Bytes;
@@ -470,6 +470,8 @@ fn splice_list_inner(
     let mut bytes_since_edit = 0usize;
     let mut li = first;
     let mut pos = cum;
+    // Scratch for the current leaf's element spans, reused across leaves.
+    let mut raw_items: Vec<crate::leaf::RawItem> = Vec::new();
 
     while li < leaves.len() {
         let e = &leaves[li];
@@ -487,9 +489,23 @@ fn splice_list_inner(
             let _ = li;
             break;
         }
+        // Walk the old payload as raw byte spans: untouched elements are
+        // adopted in whole runs ([`LeafBuilder::append_encoded_run`]) —
+        // no per-element decode/re-encode or `Bytes` refcounting;
+        // removals skip a span without materializing the items at all.
         let chunk = store.get(&e.cid)?;
-        let items = decode_items_shared(TreeType::List, chunk.payload())?;
-        for item in items {
+        let payload = chunk.payload();
+        raw_items.clear();
+        let mut cursor = RawItemCursor::new(TreeType::List, payload);
+        while let Some(raw) = cursor.next() {
+            raw_items.push(raw);
+        }
+        if !cursor.finished_clean() {
+            return None; // corrupt leaf payload
+        }
+        let n = raw_items.len();
+        let mut i = 0usize;
+        while i < n {
             if !inserted && pos == start {
                 for ins in insert {
                     lb.append_item(ins);
@@ -498,16 +514,28 @@ fn splice_list_inner(
                 dirty = true;
                 bytes_since_edit = 0;
             }
-            if inserted && to_remove > 0 && pos >= start {
-                to_remove -= 1;
+            if inserted && to_remove > 0 {
+                // Removal run: drop as much of it as this leaf holds.
+                let rm = (to_remove as usize).min(n - i);
+                i += rm;
+                pos += rm as u64;
+                to_remove -= rm as u64;
                 bytes_since_edit = 0;
-            } else {
-                lb.append_item(&item);
-                if dirty {
-                    bytes_since_edit += item.encoded_len(TreeType::List);
-                }
+                continue;
             }
-            pos += 1;
+            // Untouched run: up to the insertion point, else to leaf end.
+            let left = n - i;
+            let run_end = if !inserted && start < pos + left as u64 {
+                i + (start - pos) as usize
+            } else {
+                n
+            };
+            if run_end > i {
+                bytes_since_edit += raw_items[run_end - 1].span.1 - raw_items[i].span.0;
+                lb.append_encoded_run(payload, &raw_items[i..run_end]);
+                pos += (run_end - i) as u64;
+                i = run_end;
+            }
         }
         li += 1;
         if dirty && inserted && to_remove == 0 && lb.aligned() && bytes_since_edit >= window {

@@ -241,6 +241,29 @@ impl RedisLite {
         }
     }
 
+    /// Append a pre-encoded run of `records` AOF records in one lock
+    /// hold and one `write_all`. The batched entry points (MSET, the
+    /// pipeline) encode their whole batch up front and pay the log lock
+    /// and write syscall once instead of once per record.
+    fn log_batch(&self, buf: &[u8], records: u64) {
+        let Some(aof) = &self.aof else { return };
+        if records == 0 {
+            return;
+        }
+        if self.aof_poisoned.load(Ordering::Relaxed) {
+            self.aof_errors.fetch_add(records, Ordering::Relaxed);
+            return;
+        }
+        if let Err(e) = aof.lock().write_all(buf) {
+            // A torn tail makes every record of the batch unreachable at
+            // replay — count them all and poison.
+            self.aof_errors.fetch_add(records, Ordering::Relaxed);
+            if !self.aof_poisoned.swap(true, Ordering::Relaxed) {
+                eprintln!("redislite: AOF batch append failed (log poisoned): {e}");
+            }
+        }
+    }
+
     fn account(&self, old: Option<&RObject>, new: Option<&RObject>) {
         let old_b = old.map(|o| o.bytes()).unwrap_or(0);
         let new_b = new.map(|o| o.bytes()).unwrap_or(0);
@@ -334,11 +357,21 @@ impl RedisLite {
         K: Into<Bytes>,
         V: Into<Bytes>,
     {
+        let pairs: Vec<(Bytes, Bytes)> = pairs
+            .into_iter()
+            .map(|(k, v)| (k.into(), v.into()))
+            .collect();
+        self.ops.fetch_add(pairs.len() as u64, Ordering::Relaxed);
+        // Encode the whole batch before taking any lock; the AOF sees
+        // one contiguous append (log order still matches apply order —
+        // the append happens under the map write lock).
+        let mut buf = Vec::new();
+        for (key, value) in &pairs {
+            encode_aof(&mut buf, AOF_SET, key, value, 0);
+        }
         let mut map = self.map.write();
+        self.log_batch(&buf, pairs.len() as u64);
         for (key, value) in pairs {
-            self.ops.fetch_add(1, Ordering::Relaxed);
-            let (key, value) = (key.into(), value.into());
-            self.log(AOF_SET, &key, &value, 0);
             self.set_locked(&mut map, key, value);
         }
     }
@@ -426,12 +459,34 @@ impl RedisLite {
     /// the Redis pipelining model the paper's baselines rely on for
     /// write-heavy workloads.
     pub fn pipeline(&self, cmds: Vec<Cmd>) -> Vec<Reply> {
-        let mut map = self.map.write();
         self.ops.fetch_add(cmds.len() as u64, Ordering::Relaxed);
+        // Every mutating command's AOF record is state-independent, so
+        // the whole batch encodes before the lock and lands as one
+        // contiguous append instead of a write per command.
+        let mut buf = Vec::new();
+        let mut records = 0u64;
+        for cmd in &cmds {
+            match cmd {
+                Cmd::Set(key, value) => {
+                    encode_aof(&mut buf, AOF_SET, key, value, 0);
+                    records += 1;
+                }
+                Cmd::Rpush(key, elem) => {
+                    encode_aof(&mut buf, AOF_RPUSH, key, elem, 0);
+                    records += 1;
+                }
+                Cmd::Del(key) => {
+                    encode_aof(&mut buf, AOF_DEL, key, &[], 0);
+                    records += 1;
+                }
+                Cmd::Get(_) => {}
+            }
+        }
+        let mut map = self.map.write();
+        self.log_batch(&buf, records);
         cmds.into_iter()
             .map(|cmd| match cmd {
                 Cmd::Set(key, value) => {
-                    self.log(AOF_SET, &key, &value, 0);
                     self.set_locked(&mut map, key, value);
                     Reply::Ok
                 }
@@ -439,14 +494,8 @@ impl RedisLite {
                     Some(RObject::Str(s)) => Reply::Value(s.clone()),
                     _ => Reply::Nil,
                 },
-                Cmd::Rpush(key, elem) => {
-                    self.log(AOF_RPUSH, &key, &elem, 0);
-                    Reply::Len(self.rpush_locked(&mut map, key, elem))
-                }
-                Cmd::Del(key) => {
-                    self.log(AOF_DEL, &key, &[], 0);
-                    Reply::Len(usize::from(self.del_locked(&mut map, &key)))
-                }
+                Cmd::Rpush(key, elem) => Reply::Len(self.rpush_locked(&mut map, key, elem)),
+                Cmd::Del(key) => Reply::Len(usize::from(self.del_locked(&mut map, &key))),
             })
             .collect()
     }

@@ -1,0 +1,133 @@
+//! Closed-loop multi-threaded benchmark driver.
+//!
+//! The paper's write-scaling experiments (§6.1) drive one closed loop
+//! per client thread: each thread issues its next operation as soon as
+//! the previous one completes, so aggregate throughput reflects engine
+//! concurrency rather than open-loop queueing. The driver records one
+//! latency sample per operation and reports throughput plus latency
+//! percentiles across all threads.
+
+use std::time::Instant;
+
+/// Aggregate result of one closed-loop run.
+#[derive(Clone, Copy, Debug)]
+pub struct DriverReport {
+    /// Number of client threads.
+    pub threads: usize,
+    /// Operations completed across all threads.
+    pub total_ops: u64,
+    /// Wall-clock for the whole run.
+    pub elapsed_ns: u64,
+    /// Aggregate throughput.
+    pub ops_per_sec: f64,
+    /// Median per-op latency.
+    pub p50_ns: u64,
+    /// 95th-percentile per-op latency.
+    pub p95_ns: u64,
+    /// 99th-percentile per-op latency.
+    pub p99_ns: u64,
+    /// Worst per-op latency.
+    pub max_ns: u64,
+}
+
+impl DriverReport {
+    /// Mean ns per operation (what the bench JSON reports per iter).
+    pub fn ns_per_op(&self) -> f64 {
+        if self.total_ops == 0 {
+            return 0.0;
+        }
+        self.elapsed_ns as f64 / self.total_ops as f64
+    }
+}
+
+/// Run `ops_per_thread` operations on each of `threads` closed loops.
+///
+/// `op(thread, i)` executes the `i`-th operation of loop `thread`; it
+/// must be safe to call concurrently from all loops (the engine under
+/// test provides its own synchronization). Latencies are measured per
+/// operation and merged across threads for the percentile report.
+pub fn run_closed_loop<F>(threads: usize, ops_per_thread: usize, op: F) -> DriverReport
+where
+    F: Fn(usize, usize) + Sync,
+{
+    assert!(threads > 0, "at least one driver thread");
+    let start = Instant::now();
+    let mut lats: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let op = &op;
+                s.spawn(move || {
+                    let mut lats = Vec::with_capacity(ops_per_thread);
+                    for i in 0..ops_per_thread {
+                        let t0 = Instant::now();
+                        op(t, i);
+                        lats.push(t0.elapsed().as_nanos() as u64);
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("driver thread panicked"))
+            .collect()
+    });
+    let elapsed_ns = (start.elapsed().as_nanos() as u64).max(1);
+    lats.sort_unstable();
+    let total_ops = lats.len() as u64;
+    let pct = |p: f64| -> u64 {
+        if lats.is_empty() {
+            return 0;
+        }
+        let idx = ((lats.len() - 1) as f64 * p).round() as usize;
+        lats[idx]
+    };
+    DriverReport {
+        threads,
+        total_ops,
+        elapsed_ns,
+        ops_per_sec: total_ops as f64 * 1e9 / elapsed_ns as f64,
+        p50_ns: pct(0.50),
+        p95_ns: pct(0.95),
+        p99_ns: pct(0.99),
+        max_ns: lats.last().copied().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn runs_every_op_exactly_once() {
+        let counter = AtomicU64::new(0);
+        let report = run_closed_loop(4, 250, |_, _| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(report.total_ops, 1000);
+        assert_eq!(report.threads, 4);
+        assert!(report.ops_per_sec > 0.0);
+        assert!(report.p50_ns <= report.p95_ns);
+        assert!(report.p95_ns <= report.p99_ns);
+        assert!(report.p99_ns <= report.max_ns);
+    }
+
+    #[test]
+    fn thread_and_op_indices_cover_the_grid() {
+        let seen = AtomicU64::new(0);
+        run_closed_loop(2, 32, |t, i| {
+            // Each (t, i) pair sets a distinct bit.
+            seen.fetch_or(1 << (t * 32 + i), Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), u64::MAX);
+    }
+
+    #[test]
+    fn single_thread_is_sequential() {
+        let order = std::sync::Mutex::new(Vec::new());
+        run_closed_loop(1, 5, |_, i| order.lock().unwrap().push(i));
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+}
