@@ -15,7 +15,10 @@ use rand::SeedableRng;
 const NODES: usize = 16;
 
 fn run(partitioning: Partitioning, pages: usize, edits: usize) -> Vec<u64> {
-    let cluster = Cluster::new(NODES, partitioning);
+    let cluster = Cluster::builder(NODES)
+        .partitioning(partitioning)
+        .build()
+        .expect("cluster");
     let mut gen = PageEditGen::new(15, 0.9, 64);
     let zipf = Zipf::new(pages, 0.5);
     let mut rng = StdRng::seed_from_u64(4);

@@ -26,7 +26,10 @@ struct Sim {
 }
 
 fn run(n_servlets: usize, value_size: usize, total_ops: usize) -> Sim {
-    let cluster = Cluster::new(n_servlets, Partitioning::TwoLayer);
+    let cluster = Cluster::builder(n_servlets)
+        .partitioning(Partitioning::TwoLayer)
+        .build()
+        .expect("cluster");
     let payload = random_bytes(value_size, 7);
 
     // Puts, each timed on its home servlet.

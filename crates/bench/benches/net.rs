@@ -1,0 +1,131 @@
+//! Loopback cluster wire benchmark: the in-process transport vs TCP.
+//!
+//! The same closed-loop blob workload (50% reads / 50% new versions,
+//! driven by `fb_workload::run_closed_loop`) runs against clusters of
+//! 1/2/4 nodes, once with in-process chunk routing and once with every
+//! cross-node chunk crossing a real loopback TCP frame, at 8 and 64
+//! concurrent client connections (one closed loop each). The delta is
+//! the true cost of the wire — serialization, syscalls, and round trips
+//! — which the remote-chunk cache (PR 5) and the batched `get_many`
+//! opcode exist to hide.
+//!
+//! Results append to `$CRITERION_JSON` in the same line format as the
+//! criterion-shim benches, extended with `p50_ns`/`p99_ns` per-op
+//! latency fields, so `scripts/bench.sh` can assemble `BENCH_net.json`
+//! with latency percentiles included (the criterion shim itself only
+//! reports medians-of-iterations; a closed loop wants per-op tails).
+
+use fb_bench::*;
+use fb_workload::run_closed_loop;
+use forkbase_cluster::{Cluster, Partitioning, TcpConfig, Transport};
+use std::io::Write;
+
+const NODES: [usize; 3] = [1, 2, 4];
+const CONNS: [usize; 2] = [8, 64];
+const KEYS: usize = 32;
+const BLOB_LEN: usize = 4096;
+
+fn build(nodes: usize, transport: Transport) -> Cluster {
+    let cluster = Cluster::builder(nodes)
+        .partitioning(Partitioning::TwoLayer)
+        .transport(transport)
+        .build()
+        .expect("cluster");
+    for k in 0..KEYS {
+        cluster
+            .put_blob(format!("key-{k:03}"), &random_bytes(BLOB_LEN, k as u64))
+            .expect("preload");
+    }
+    cluster
+}
+
+/// One closed-loop pass: each connection alternates reads with new
+/// blob versions over a shared key space.
+fn run_pass(cluster: &Cluster, conns: usize, ops_per_conn: usize) -> fb_workload::DriverReport {
+    run_closed_loop(conns, ops_per_conn, |t, i| {
+        let k = (t * 31 + i * 7) % KEYS;
+        let key = format!("key-{k:03}");
+        if i % 2 == 0 {
+            cluster.get_blob(key).expect("get");
+        } else {
+            let seed = (t * 1_000_003 + i) as u64;
+            cluster
+                .put_blob(key, &random_bytes(BLOB_LEN, seed))
+                .expect("put");
+        }
+    })
+}
+
+fn emit(id: &str, r: &fb_workload::DriverReport) {
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = writeln!(
+                file,
+                concat!(
+                    "{{\"bench\":\"{}\",\"median_ns_per_iter\":{:.1},",
+                    "\"ops_per_sec\":{:.1},\"unit\":\"elements\",\"units_per_iter\":1,",
+                    "\"p50_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}"
+                ),
+                id,
+                r.ns_per_op(),
+                r.ops_per_sec,
+                r.p50_ns,
+                r.p99_ns,
+                r.max_ns,
+            );
+        }
+    }
+}
+
+fn main() {
+    banner(
+        "cluster net",
+        "in-process vs loopback-TCP chunk routing (closed-loop blob workload)",
+    );
+    let ops_per_conn = scaled(48);
+    header(&[
+        "nodes",
+        "conns",
+        "transport",
+        "ops/s",
+        "p50 us",
+        "p99 us",
+        "max us",
+    ]);
+    for &nodes in &NODES {
+        for &conns in &CONNS {
+            for (label, transport) in [
+                ("inproc", Transport::InProcess),
+                ("tcp", Transport::Tcp(TcpConfig::default())),
+            ] {
+                let cluster = build(nodes, transport);
+                // One warmup pass (fills remote caches, dials every
+                // pooled socket), then the measured pass.
+                run_pass(&cluster, conns, ops_per_conn.min(8));
+                let r = run_pass(&cluster, conns, ops_per_conn);
+                row(&[
+                    nodes.to_string(),
+                    conns.to_string(),
+                    label.to_string(),
+                    format!("{:.0}", r.ops_per_sec),
+                    format!("{}", r.p50_ns / 1000),
+                    format!("{}", r.p99_ns / 1000),
+                    format!("{}", r.max_ns / 1000),
+                ]);
+                emit(
+                    &format!("cluster_net/{label}_nodes{nodes}_conns{conns}"),
+                    &r,
+                );
+            }
+        }
+    }
+    println!(
+        "\npaper shape check: TCP pays a per-op wire tax that shrinks as the remote-chunk\n\
+         cache absorbs repeat reads; 1-node clusters route nothing remotely, so their\n\
+         tcp/inproc gap isolates pure transport overhead from routing."
+    );
+}

@@ -1,82 +1,63 @@
 //! The request dispatcher and the cluster facade.
 
-use crate::master::{Master, Partitioning};
+use crate::builder::ClusterBuilder;
+use crate::master::Master;
+use crate::net::ChunkServer;
+use crate::service::ChunkService;
 use crate::servlet::Servlet;
 use bytes::Bytes;
-use forkbase_chunk::{ChunkStore, MemStore};
+use forkbase_chunk::StoreStats;
 use forkbase_core::{FObject, Result, Value};
-use forkbase_crypto::{ChunkerConfig, Digest};
+use forkbase_crypto::Digest;
 use forkbase_pos::builder;
 use forkbase_pos::TreeType;
 use std::sync::Arc;
 
-/// An in-process ForkBase cluster: master + dispatcher + N servlets.
+/// A ForkBase cluster: master + dispatcher + N servlets, assembled by
+/// [`ClusterBuilder`] over either the in-process or the TCP transport.
 pub struct Cluster {
     master: Master,
     servlets: Vec<Arc<Servlet>>,
+    /// One [`ChunkService`] endpoint per node for cluster-level stats
+    /// collection — the servlets themselves in-process, dedicated TCP
+    /// clients otherwise (so [`node_stats`](Self::node_stats) exercises
+    /// the same wire peers use).
+    endpoints: Vec<Arc<dyn ChunkService>>,
+    /// The per-node TCP servers; empty under the in-process transport.
+    /// Declared last so clients (inside servlets/endpoints) drop first.
+    servers: Vec<ChunkServer>,
 }
 
 impl Cluster {
-    /// Spin up `n` servlets under the given partitioning policy.
-    pub fn new(n: usize, partitioning: Partitioning) -> Cluster {
-        Self::with_cfg(n, partitioning, ChunkerConfig::default())
+    /// Start configuring a cluster of `nodes` servlets. See
+    /// [`ClusterBuilder`] for the knobs; `Cluster::builder(n).build()`
+    /// gives two-layer partitioning over in-process MemStore nodes.
+    pub fn builder(nodes: usize) -> ClusterBuilder {
+        ClusterBuilder::new(nodes)
     }
 
-    /// Spin up with an explicit chunking configuration.
-    pub fn with_cfg(n: usize, partitioning: Partitioning, cfg: ChunkerConfig) -> Cluster {
-        let pool: Vec<Arc<dyn ChunkStore>> = (0..n)
-            .map(|_| Arc::new(MemStore::new()) as Arc<dyn ChunkStore>)
-            .collect();
-        Self::with_stores(pool, partitioning, cfg)
-    }
-
-    /// Spin up over caller-provided per-node chunk stores — one per
-    /// servlet. This is how a cluster runs on disk: hand it one
-    /// [`LogStore`](forkbase_chunk::LogStore) per node (or any mix of
-    /// backends). Each servlet's pool view gets the default remote-chunk
-    /// cache (§4.6).
-    pub fn with_stores(
-        pool: Vec<Arc<dyn ChunkStore>>,
-        partitioning: Partitioning,
-        cfg: ChunkerConfig,
+    pub(crate) fn from_parts(
+        master: Master,
+        servlets: Vec<Arc<Servlet>>,
+        endpoints: Vec<Arc<dyn ChunkService>>,
+        servers: Vec<ChunkServer>,
     ) -> Cluster {
-        Self::with_stores_cached(
-            pool,
-            partitioning,
-            cfg,
-            forkbase_chunk::CacheConfig::default(),
-        )
-    }
-
-    /// [`with_stores`](Self::with_stores) with explicit per-servlet
-    /// remote-cache sizing
-    /// ([`CacheConfig::disabled`](forkbase_chunk::CacheConfig::disabled)
-    /// for uncached pool reads).
-    pub fn with_stores_cached(
-        pool: Vec<Arc<dyn ChunkStore>>,
-        partitioning: Partitioning,
-        cfg: ChunkerConfig,
-        cache: forkbase_chunk::CacheConfig,
-    ) -> Cluster {
-        let n = pool.len();
-        let master = Master::new(n, partitioning);
-        let servlets = (0..n)
-            .map(|id| {
-                Arc::new(Servlet::with_cache(
-                    id,
-                    partitioning,
-                    &pool,
-                    cfg.clone(),
-                    cache,
-                ))
-            })
-            .collect();
-        Cluster { master, servlets }
+        Cluster {
+            master,
+            servlets,
+            endpoints,
+            servers,
+        }
     }
 
     /// The master's topology view.
     pub fn master(&self) -> &Master {
         &self.master
+    }
+
+    /// Whether this cluster's nodes talk over TCP.
+    pub fn is_networked(&self) -> bool {
+        !self.servers.is_empty()
     }
 
     /// The servlet a key routes to (layer 1).
@@ -88,6 +69,15 @@ impl Cluster {
     /// servlet).
     pub fn servlets(&self) -> &[Arc<Servlet>] {
         &self.servlets
+    }
+
+    /// Per-node merged stats — local storage counters plus each
+    /// servlet's remote-cache hits/misses and observed transport
+    /// errors. Over TCP this is a stats request to every node (the same
+    /// opcode peers use), so a dead node surfaces as `Err` rather than
+    /// a row of zeros.
+    pub fn node_stats(&self) -> Result<Vec<StoreStats>> {
+        self.endpoints.iter().map(|e| e.stats()).collect()
     }
 
     /// Dispatch a Put to the key's home servlet.
@@ -194,6 +184,8 @@ impl Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::master::Partitioning;
+    use forkbase_crypto::ChunkerConfig;
 
     fn payload(i: usize, len: usize) -> Vec<u8> {
         let mut state = i as u64 + 1;
@@ -209,7 +201,7 @@ mod tests {
 
     #[test]
     fn put_get_across_servlets() {
-        let cluster = Cluster::new(4, Partitioning::TwoLayer);
+        let cluster = Cluster::builder(4).build().expect("cluster");
         for i in 0..50 {
             let key = format!("key-{i}");
             let data = payload(i, 10_000);
@@ -224,7 +216,10 @@ mod tests {
         // the hot keys' servlets hold all their data; under 2LP the
         // chunks scatter.
         let run = |p: Partitioning| {
-            let cluster = Cluster::new(8, p);
+            let cluster = Cluster::builder(8)
+                .partitioning(p)
+                .build()
+                .expect("cluster");
             for version in 0..30 {
                 for hot in 0..3 {
                     let key = format!("hot-page-{hot}");
@@ -248,7 +243,7 @@ mod tests {
 
     #[test]
     fn offloaded_construction_equivalent() {
-        let cluster = Cluster::new(4, Partitioning::TwoLayer);
+        let cluster = Cluster::builder(4).build().expect("cluster");
         let data = payload(7, 100_000);
         let key = "offloaded";
         let home = cluster.master().servlet_of(key.as_bytes());
@@ -261,14 +256,14 @@ mod tests {
 
     #[test]
     fn single_servlet_cluster_degenerates_to_embedded() {
-        let cluster = Cluster::new(1, Partitioning::TwoLayer);
+        let cluster = Cluster::builder(1).build().expect("cluster");
         cluster.put_blob("k", b"embedded mode").expect("put");
         assert_eq!(cluster.get_blob("k").expect("get"), b"embedded mode");
     }
 
     #[test]
     fn parallel_clients() {
-        let cluster = Arc::new(Cluster::new(4, Partitioning::TwoLayer));
+        let cluster = Arc::new(Cluster::builder(4).build().expect("cluster"));
         let handles: Vec<_> = (0..8)
             .map(|t| {
                 let cluster = Arc::clone(&cluster);
@@ -316,11 +311,10 @@ mod tests {
         };
         let data = payload(42, 30_000);
         let uid = {
-            let cluster = Cluster::with_stores(
-                open_pool(),
-                Partitioning::TwoLayer,
-                ChunkerConfig::default(),
-            );
+            let cluster = Cluster::builder(3)
+                .stores(open_pool())
+                .build()
+                .expect("cluster");
             cluster.put_blob("doc", &data).expect("put");
             assert_eq!(cluster.get_blob("doc").expect("get"), data);
             cluster
@@ -333,11 +327,10 @@ mod tests {
         // A fresh cluster over the same directories serves the version
         // by uid — the chunks were scattered across the durable nodes
         // and all survived.
-        let cluster = Cluster::with_stores(
-            open_pool(),
-            Partitioning::TwoLayer,
-            ChunkerConfig::default(),
-        );
+        let cluster = Cluster::builder(3)
+            .stores(open_pool())
+            .build()
+            .expect("cluster");
         let servlet = cluster.servlet_for(b"doc");
         let obj = servlet.db().get_version("doc", uid).expect("recovered");
         let blob = obj
@@ -356,7 +349,7 @@ mod tests {
 
     #[test]
     fn cluster_wide_dedup_under_2lp() {
-        let cluster = Cluster::new(4, Partitioning::TwoLayer);
+        let cluster = Cluster::builder(4).build().expect("cluster");
         let data = payload(1, 50_000);
         // The same content written under keys homed at different
         // servlets deduplicates because chunks route by cid.
@@ -366,5 +359,40 @@ mod tests {
         let added = cluster.total_chunks() - after_first;
         // Only meta chunks (and possibly nothing else) are new.
         assert!(added <= 2, "cross-key dedup: {added} new chunks");
+    }
+
+    #[test]
+    fn node_stats_cover_every_node() {
+        let cluster = Cluster::builder(4).build().expect("cluster");
+        for i in 0..20 {
+            cluster
+                .put_blob(format!("k{i}"), &payload(i, 20_000))
+                .expect("put");
+        }
+        let stats = cluster.node_stats().expect("stats");
+        assert_eq!(stats.len(), 4);
+        assert!(stats.iter().all(|s| s.stored_chunks > 0));
+        assert_eq!(stats.iter().map(|s| s.io_errors).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn tcp_cluster_round_trips_blobs() {
+        let cluster = Cluster::builder(3)
+            .chunker(ChunkerConfig::default())
+            .tcp()
+            .build()
+            .expect("tcp cluster");
+        assert!(cluster.is_networked());
+        for i in 0..10 {
+            let key = format!("wire-{i}");
+            let data = payload(i, 30_000);
+            cluster.put_blob(key.clone(), &data).expect("put");
+            assert_eq!(cluster.get_blob(key).expect("get"), data, "key {i}");
+        }
+        // Chunks really scattered across the nodes' stores.
+        let stats = cluster.node_stats().expect("stats over the wire");
+        assert_eq!(stats.len(), 3);
+        assert!(stats.iter().all(|s| s.stored_chunks > 0), "{stats:?}");
+        assert_eq!(stats.iter().map(|s| s.io_errors).sum::<u64>(), 0);
     }
 }

@@ -1,5 +1,4 @@
-//! **forkbase-cluster** — the distributed deployment of §4.1/§4.6,
-//! simulated in-process.
+//! **forkbase-cluster** — the distributed deployment of §4.1/§4.6.
 //!
 //! A cluster is a master (topology bookkeeping), a request dispatcher,
 //! and N servlets, each co-located with a local chunk storage. Requests
@@ -17,17 +16,38 @@
 //! servlet. Both policies are provided so the experiment can compare
 //! them.
 //!
-//! The paper's network is not simulated — servlets are in-process — so
-//! cross-servlet routing costs nothing here; scalability (Fig. 8) derives
-//! from the absence of cross-servlet coordination, which this model
-//! preserves faithfully.
+//! Cross-node chunk traffic goes through the transport-agnostic
+//! [`ChunkService`] API (get / get_many / put / put_many / stats) with
+//! two interchangeable transports, selected per cluster by
+//! [`ClusterBuilder::transport`]:
+//!
+//! * **in-process** ([`StoreService`]) — direct handles to the peer
+//!   stores; zero-cost routing for single-machine runs and tests;
+//! * **TCP** ([`net`]) — every node serves a [`ChunkServer`] speaking
+//!   length-prefixed, checksummed binary frames, and peers dial it with
+//!   pooled, pipelined [`TcpChunkClient`]s. A killed node surfaces as
+//!   [`FbError::Io`](forkbase_core::FbError::Io) (counted in that
+//!   servlet's `io_errors`), never a hang; a restarted node is picked up
+//!   by lazy re-dial.
+//!
+//! The two transports are held to identical observable behavior —
+//! same answers, same per-node stats deltas — by the
+//! transport-equivalence suite, so experiments can chunk-route over
+//! loopback TCP (Fig. 8's real deployment shape) or in-process (fast)
+//! interchangeably.
 
+pub mod builder;
 pub mod dispatch;
 pub mod master;
+pub mod net;
+pub mod service;
 pub mod servlet;
 pub mod store2l;
 
+pub use builder::{ClusterBuilder, Transport};
 pub use dispatch::Cluster;
 pub use master::{Master, Partitioning};
+pub use net::{ChunkServer, TcpChunkClient, TcpConfig};
+pub use service::{ChunkService, StoreService};
 pub use servlet::Servlet;
 pub use store2l::TwoLayerStore;

@@ -1,0 +1,284 @@
+//! The client side of the cluster wire: a [`ChunkService`] over pooled,
+//! pipelined TCP connections.
+//!
+//! Each client owns a small pool of sockets to one peer. A request
+//! picks a socket round-robin, registers a waiter under a fresh request
+//! id, writes its frame, and blocks on the response channel — so many
+//! threads share one socket with their requests in flight
+//! simultaneously, and a `get_many` batch is one frame each way no
+//! matter how many cids it carries. One reader thread per socket
+//! dispatches responses back to waiters by request id.
+//!
+//! Connections are dialed lazily and re-dialed on the next request
+//! after a failure: a killed peer surfaces as
+//! [`FbError::Io`](forkbase_core::FbError::Io) on every in-flight
+//! request (the reader thread drops their channels — nothing hangs),
+//! and a restarted peer is picked up transparently.
+
+use super::frame::FrameDecoder;
+use super::proto::{self, Request, Response};
+use crate::service::ChunkService;
+use forkbase_chunk::{Chunk, PutOutcome, StoreStats};
+use forkbase_core::{FbError, Result};
+use forkbase_crypto::Digest;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// Tuning for the TCP transport.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpConfig {
+    /// Sockets per peer. Requests round-robin across them; each socket
+    /// carries many in-flight requests (pipelining), so a handful go a
+    /// long way.
+    pub connections: usize,
+    /// Dial timeout for one connection attempt.
+    pub connect_timeout: Duration,
+    /// Upper bound on waiting for one response. Connection loss is
+    /// detected eagerly by the reader thread; this is the safety net for
+    /// a peer that accepted the request and then wedged.
+    pub response_timeout: Duration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> TcpConfig {
+        TcpConfig {
+            connections: 4,
+            connect_timeout: Duration::from_secs(5),
+            response_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Waiters keyed by request id; the reader thread completes them.
+type PendingMap = Mutex<HashMap<u64, mpsc::Sender<Response>>>;
+
+/// An established connection. Present while believed healthy; cleared
+/// (by writer or reader, whoever sees the failure first) so the next
+/// request re-dials.
+struct Live {
+    stream: TcpStream,
+    generation: u64,
+}
+
+/// One pooled connection slot.
+struct Conn {
+    state: Mutex<Option<Live>>,
+    pending: PendingMap,
+    generations: AtomicU64,
+}
+
+impl Conn {
+    fn new() -> Arc<Conn> {
+        Arc::new(Conn {
+            state: Mutex::new(None),
+            pending: Mutex::new(HashMap::new()),
+            generations: AtomicU64::new(0),
+        })
+    }
+
+    /// Tear down the live connection of generation `gen` (no-op if a
+    /// newer one replaced it) and fail every pending waiter.
+    fn fail(self: &Arc<Conn>, gen: u64) {
+        {
+            let mut state = self.state.lock().expect("conn state lock");
+            if let Some(live) = state.as_ref() {
+                if live.generation == gen {
+                    let _ = live.stream.shutdown(Shutdown::Both);
+                    *state = None;
+                }
+            }
+        }
+        // Dropping the senders wakes every waiter with a recv error,
+        // which the request path reports as FbError::Io.
+        self.pending.lock().expect("pending lock").clear();
+    }
+
+    /// Register `req_id`, then write the frame — both under the state
+    /// lock, so concurrent senders interleave whole frames and a
+    /// connection teardown cannot slip between registration and write.
+    fn send(
+        self: &Arc<Conn>,
+        addr: SocketAddr,
+        cfg: &TcpConfig,
+        req_id: u64,
+        frame: &[u8],
+    ) -> Result<mpsc::Receiver<Response>> {
+        let mut state = self.state.lock().expect("conn state lock");
+        if state.is_none() {
+            let stream = TcpStream::connect_timeout(&addr, cfg.connect_timeout)
+                .map_err(|e| FbError::Io(format!("connect {addr}: {e}")))?;
+            let _ = stream.set_nodelay(true);
+            let reader_stream = stream
+                .try_clone()
+                .map_err(|e| FbError::Io(format!("clone socket to {addr}: {e}")))?;
+            let generation = self.generations.fetch_add(1, Ordering::SeqCst) + 1;
+            *state = Some(Live { stream, generation });
+            let conn = Arc::clone(self);
+            std::thread::Builder::new()
+                .name("fb-chunk-client-rx".into())
+                .spawn(move || reader_loop(reader_stream, &conn, generation))
+                .map_err(|e| FbError::Io(format!("spawn reader: {e}")))?;
+        }
+        let (tx, rx) = mpsc::channel();
+        self.pending
+            .lock()
+            .expect("pending lock")
+            .insert(req_id, tx);
+        let live = state.as_mut().expect("dialed above");
+        let generation = live.generation;
+        if let Err(e) = live.stream.write_all(frame) {
+            drop(state);
+            self.pending.lock().expect("pending lock").remove(&req_id);
+            self.fail(generation);
+            return Err(FbError::Io(format!("write to {addr}: {e}")));
+        }
+        Ok(rx)
+    }
+}
+
+/// Reads frames off one socket and routes them to waiters until the
+/// socket dies or produces garbage, then fails the connection.
+fn reader_loop(mut stream: TcpStream, conn: &Arc<Conn>, generation: u64) {
+    let mut decoder = FrameDecoder::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    'conn: loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break 'conn,
+            Ok(n) => n,
+        };
+        decoder.feed(&buf[..n]);
+        loop {
+            match decoder.next_frame() {
+                Ok(Some(frame)) => {
+                    let Some((req_id, resp)) = proto::decode_response(frame.opcode, &frame.payload)
+                    else {
+                        break 'conn; // malformed body: untrusted stream
+                    };
+                    // Unknown ids (waiter timed out and left) are dropped.
+                    let waiter = conn.pending.lock().expect("pending lock").remove(&req_id);
+                    if let Some(tx) = waiter {
+                        let _ = tx.send(resp);
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => break 'conn, // framing corruption
+            }
+        }
+    }
+    conn.fail(generation);
+}
+
+/// A [`ChunkService`] talking to one remote node over TCP.
+pub struct TcpChunkClient {
+    addr: SocketAddr,
+    cfg: TcpConfig,
+    conns: Vec<Arc<Conn>>,
+    next_conn: AtomicUsize,
+    next_req_id: AtomicU64,
+}
+
+impl TcpChunkClient {
+    /// A client for the node at `addr`. No connection is made until the
+    /// first request.
+    pub fn new(addr: SocketAddr, cfg: TcpConfig) -> TcpChunkClient {
+        let slots = cfg.connections.max(1);
+        TcpChunkClient {
+            addr,
+            cfg,
+            conns: (0..slots).map(|_| Conn::new()).collect(),
+            next_conn: AtomicUsize::new(0),
+            next_req_id: AtomicU64::new(1),
+        }
+    }
+
+    /// The peer address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// One round trip: send `req` on the next pooled connection and wait
+    /// for its response.
+    fn request(&self, req: &Request) -> Result<Response> {
+        let conn = &self.conns[self.next_conn.fetch_add(1, Ordering::Relaxed) % self.conns.len()];
+        let req_id = self.next_req_id.fetch_add(1, Ordering::Relaxed);
+        let frame = proto::encode_request(req_id, req);
+        let rx = conn.send(self.addr, &self.cfg, req_id, &frame)?;
+        match rx.recv_timeout(self.cfg.response_timeout) {
+            Ok(Response::Err(msg)) => Err(FbError::Io(format!("node {}: {msg}", self.addr))),
+            Ok(resp) => Ok(resp),
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                Err(FbError::Io(format!("connection to {} lost", self.addr)))
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                conn.pending.lock().expect("pending lock").remove(&req_id);
+                Err(FbError::Io(format!("request to {} timed out", self.addr)))
+            }
+        }
+    }
+
+    fn unexpected(&self) -> FbError {
+        FbError::Io(format!("node {}: response type mismatch", self.addr))
+    }
+
+    /// A fetched chunk must hash to the cid it was requested under —
+    /// the wire inherits the store's tamper evidence.
+    fn verify(&self, chunk: Chunk, cid: &Digest) -> Result<Chunk> {
+        if chunk.cid() == *cid {
+            Ok(chunk)
+        } else {
+            Err(FbError::Corrupt(format!(
+                "node {} returned chunk {} for requested cid {}",
+                self.addr,
+                chunk.cid().short_hex(),
+                cid.short_hex()
+            )))
+        }
+    }
+}
+
+impl ChunkService for TcpChunkClient {
+    fn get(&self, cid: &Digest) -> Result<Option<Chunk>> {
+        match self.request(&Request::Get(*cid))? {
+            Response::Get(found) => found.map(|c| self.verify(c, cid)).transpose(),
+            _ => Err(self.unexpected()),
+        }
+    }
+
+    fn get_many(&self, cids: &[Digest]) -> Result<Vec<Option<Chunk>>> {
+        match self.request(&Request::GetMany(cids.to_vec()))? {
+            Response::GetMany(found) if found.len() == cids.len() => found
+                .into_iter()
+                .zip(cids)
+                .map(|(c, cid)| c.map(|c| self.verify(c, cid)).transpose())
+                .collect(),
+            Response::GetMany(_) => Err(self.unexpected()),
+            _ => Err(self.unexpected()),
+        }
+    }
+
+    fn put(&self, chunk: Chunk) -> Result<PutOutcome> {
+        match self.request(&Request::Put(chunk))? {
+            Response::Put(outcome) => Ok(outcome),
+            _ => Err(self.unexpected()),
+        }
+    }
+
+    fn put_many(&self, chunks: Vec<Chunk>) -> Result<Vec<PutOutcome>> {
+        let n = chunks.len();
+        match self.request(&Request::PutMany(chunks))? {
+            Response::PutMany(outcomes) if outcomes.len() == n => Ok(outcomes),
+            _ => Err(self.unexpected()),
+        }
+    }
+
+    fn stats(&self) -> Result<StoreStats> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            _ => Err(self.unexpected()),
+        }
+    }
+}

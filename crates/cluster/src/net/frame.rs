@@ -1,0 +1,240 @@
+//! Length-prefixed binary framing for the cluster wire.
+//!
+//! Every message — request or response — travels as one frame:
+//!
+//! ```text
+//! [magic: u32 LE][len: u32 LE][opcode: u8][payload: len-1 bytes][checksum: u32 LE]
+//! ```
+//!
+//! * `magic` — [`MAGIC`], rejects cross-protocol garbage immediately;
+//! * `len` — byte length of `opcode + payload`, bounded by
+//!   [`MAX_BODY_LEN`] so a corrupt length cannot make the decoder buffer
+//!   gigabytes;
+//! * `checksum` — FNV-1a over `opcode + payload`, folded to 32 bits. It
+//!   guards the *framing* (torn writes, bit flips on the wire); chunk
+//!   payloads are additionally content-verified end to end, because
+//!   decoding a [`Chunk`](forkbase_chunk::Chunk) recomputes its cid.
+//!
+//! Decoding is incremental and torn-read safe: [`FrameDecoder`] is fed
+//! whatever the socket produced — any split, down to one byte at a time
+//! — and yields a frame only once every byte of it has arrived. A
+//! partial frame is never misparsed, mirroring the LogStore's torn-tail
+//! guarantees on disk.
+
+use bytes::Bytes;
+
+/// Frame magic: `FBW1` (ForkBase wire, version 1).
+pub const MAGIC: u32 = u32::from_le_bytes(*b"FBW1");
+
+/// Upper bound on `opcode + payload` length. Large enough for a
+/// `put_many` of thousands of 64 KB-scale chunks, small enough that a
+/// corrupted length field fails fast instead of allocating the moon.
+pub const MAX_BODY_LEN: usize = 256 << 20;
+
+/// Bytes of framing around the body: magic + len + checksum.
+pub const FRAME_OVERHEAD: usize = 4 + 4 + 4;
+
+/// A decoded frame: opcode plus payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Message discriminant (see [`super::proto`]).
+    pub opcode: u8,
+    /// Opcode-specific payload.
+    pub payload: Bytes,
+}
+
+/// Framing-level decode failure. Fatal for the connection that produced
+/// it: after corruption the stream offset can no longer be trusted, so
+/// both sides drop the socket rather than resynchronize.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The magic word did not match [`MAGIC`].
+    BadMagic(u32),
+    /// The length field was zero or exceeded [`MAX_BODY_LEN`].
+    BadLength(u32),
+    /// The body checksum did not match the header's.
+    BadChecksum {
+        /// Checksum carried by the frame.
+        expected: u32,
+        /// Checksum of the received body.
+        actual: u32,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            FrameError::BadLength(l) => write!(f, "bad frame length {l}"),
+            FrameError::BadChecksum { expected, actual } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: header {expected:#010x}, body {actual:#010x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// FNV-1a (64-bit, folded to 32) over the frame body.
+pub fn checksum(opcode: u8, payload: &[u8]) -> u32 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    h = (h ^ u64::from(opcode)).wrapping_mul(PRIME);
+    for &b in payload {
+        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    (h ^ (h >> 32)) as u32
+}
+
+/// Encode one frame into a fresh buffer.
+pub fn encode(opcode: u8, payload: &[u8]) -> Vec<u8> {
+    let body_len = 1 + payload.len();
+    assert!(body_len <= MAX_BODY_LEN, "frame body over MAX_BODY_LEN");
+    let mut out = Vec::with_capacity(FRAME_OVERHEAD + body_len);
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    out.push(opcode);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&checksum(opcode, payload).to_le_bytes());
+    out
+}
+
+/// Incremental frame decoder over an arbitrarily-split byte stream.
+///
+/// Feed it socket reads with [`feed`](Self::feed); drain complete frames
+/// with [`next_frame`](Self::next_frame). Bytes of an incomplete frame are buffered
+/// until the rest arrives — `next_frame` returns `Ok(None)` in the meantime
+/// and never consumes a partial frame.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Read offset into `buf`; consumed bytes are reclaimed lazily.
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder with an empty buffer.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Append freshly-received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Reclaim the consumed prefix before growing, so a long-lived
+        // connection's buffer stays proportional to one frame.
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos > 64 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered but not yet decoded.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Decode the next complete frame, if the buffer holds one.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 8 {
+            return Ok(None);
+        }
+        let magic = u32::from_le_bytes(avail[0..4].try_into().expect("4 bytes"));
+        if magic != MAGIC {
+            return Err(FrameError::BadMagic(magic));
+        }
+        let body_len = u32::from_le_bytes(avail[4..8].try_into().expect("4 bytes"));
+        if body_len == 0 || body_len as usize > MAX_BODY_LEN {
+            return Err(FrameError::BadLength(body_len));
+        }
+        let total = 8 + body_len as usize + 4;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let body = &avail[8..8 + body_len as usize];
+        let (opcode, payload) = (body[0], &body[1..]);
+        let expected = u32::from_le_bytes(
+            avail[8 + body_len as usize..total]
+                .try_into()
+                .expect("4 bytes"),
+        );
+        let actual = checksum(opcode, payload);
+        if expected != actual {
+            return Err(FrameError::BadChecksum { expected, actual });
+        }
+        let payload = Bytes::copy_from_slice(payload);
+        self.pos += total;
+        Ok(Some(Frame { opcode, payload }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&encode(7, b"hello frame"));
+        let frame = dec.next_frame().expect("valid").expect("complete");
+        assert_eq!(frame.opcode, 7);
+        assert_eq!(&frame.payload[..], b"hello frame");
+        assert_eq!(dec.next_frame().expect("valid"), None);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn empty_payload_frame() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&encode(1, b""));
+        let frame = dec.next_frame().expect("valid").expect("complete");
+        assert_eq!(frame.opcode, 1);
+        assert!(frame.payload.is_empty());
+    }
+
+    #[test]
+    fn back_to_back_frames_in_one_feed() {
+        let mut bytes = encode(1, b"first");
+        bytes.extend_from_slice(&encode(2, b"second"));
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        assert_eq!(dec.next_frame().unwrap().unwrap().opcode, 1);
+        assert_eq!(dec.next_frame().unwrap().unwrap().opcode, 2);
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode(1, b"x");
+        bytes[0] ^= 0xFF;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        assert!(matches!(dec.next_frame(), Err(FrameError::BadMagic(_))));
+    }
+
+    #[test]
+    fn oversize_length_rejected() {
+        let mut bytes = encode(1, b"x");
+        bytes[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        assert!(matches!(dec.next_frame(), Err(FrameError::BadLength(_))));
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_checksum() {
+        let mut bytes = encode(3, b"sensitive payload");
+        bytes[10] ^= 0x01;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(FrameError::BadChecksum { .. })
+        ));
+    }
+}

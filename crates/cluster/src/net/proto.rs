@@ -1,0 +1,388 @@
+//! Request/response messages carried by the frame layer.
+//!
+//! Every payload begins with a little-endian `u64` request id. The
+//! client allocates ids and matches responses back to waiters, so one
+//! socket can carry many in-flight requests (pipelining); the server
+//! echoes the id verbatim. Response opcodes are the request opcode with
+//! the high bit set, plus [`OP_ERR`] for server-side failures.
+//!
+//! Chunks travel in their canonical on-wire form
+//! ([`Chunk::encode`]: `[type: u8][payload…]`) and are re-hashed on
+//! decode, so a fetched chunk is verified against the requested cid end
+//! to end — the wire inherits the storage layer's tamper evidence
+//! (§4.4) rather than trusting the frame checksum alone.
+
+use forkbase_chunk::{Chunk, PutOutcome, StoreStats};
+use forkbase_crypto::Digest;
+
+/// Fetch one chunk.
+pub const OP_GET: u8 = 0x01;
+/// Fetch a batch of chunks.
+pub const OP_GET_MANY: u8 = 0x02;
+/// Store one chunk.
+pub const OP_PUT: u8 = 0x03;
+/// Store a batch of chunks.
+pub const OP_PUT_MANY: u8 = 0x04;
+/// Node statistics snapshot.
+pub const OP_STATS: u8 = 0x05;
+/// Response bit: `request opcode | OP_RESP` answers that request.
+pub const OP_RESP: u8 = 0x80;
+/// Server-side failure response (payload: request id + UTF-8 message).
+pub const OP_ERR: u8 = 0xFF;
+
+/// A decoded request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Fetch one chunk by cid.
+    Get(Digest),
+    /// Fetch many chunks; the response answers positionally.
+    GetMany(Vec<Digest>),
+    /// Store one chunk.
+    Put(Chunk),
+    /// Store many chunks; the response answers positionally.
+    PutMany(Vec<Chunk>),
+    /// Snapshot the node's [`StoreStats`].
+    Stats,
+}
+
+/// A decoded response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Get`].
+    Get(Option<Chunk>),
+    /// Answer to [`Request::GetMany`].
+    GetMany(Vec<Option<Chunk>>),
+    /// Answer to [`Request::Put`].
+    Put(PutOutcome),
+    /// Answer to [`Request::PutMany`].
+    PutMany(Vec<PutOutcome>),
+    /// Answer to [`Request::Stats`].
+    Stats(StoreStats),
+    /// The server failed to execute the request.
+    Err(String),
+}
+
+fn put_u32(out: &mut Vec<u8>, v: usize) {
+    out.extend_from_slice(&u32::try_from(v).expect("count fits u32").to_le_bytes());
+}
+
+/// Sequential reader over a payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn digest(&mut self) -> Option<Digest> {
+        Digest::from_slice(self.take(Digest::LEN)?)
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let slice = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        slice
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn outcome_byte(outcome: PutOutcome) -> u8 {
+    match outcome {
+        PutOutcome::Stored => 0,
+        PutOutcome::Deduplicated => 1,
+    }
+}
+
+fn outcome_from(byte: u8) -> Option<PutOutcome> {
+    match byte {
+        0 => Some(PutOutcome::Stored),
+        1 => Some(PutOutcome::Deduplicated),
+        _ => None,
+    }
+}
+
+/// The request id of any payload (request or response) — what the
+/// client's reader uses to route a response to its waiter without
+/// decoding the body.
+pub fn peek_req_id(payload: &[u8]) -> Option<u64> {
+    Cursor::new(payload).u64()
+}
+
+/// Encode a request as a complete frame.
+pub fn encode_request(req_id: u64, req: &Request) -> Vec<u8> {
+    let mut p = Vec::with_capacity(64);
+    p.extend_from_slice(&req_id.to_le_bytes());
+    let opcode = match req {
+        Request::Get(cid) => {
+            p.extend_from_slice(cid.as_bytes());
+            OP_GET
+        }
+        Request::GetMany(cids) => {
+            put_u32(&mut p, cids.len());
+            for cid in cids {
+                p.extend_from_slice(cid.as_bytes());
+            }
+            OP_GET_MANY
+        }
+        Request::Put(chunk) => {
+            p.extend_from_slice(&chunk.encode());
+            OP_PUT
+        }
+        Request::PutMany(chunks) => {
+            put_u32(&mut p, chunks.len());
+            for chunk in chunks {
+                let encoded = chunk.encode();
+                put_u32(&mut p, encoded.len());
+                p.extend_from_slice(&encoded);
+            }
+            OP_PUT_MANY
+        }
+        Request::Stats => OP_STATS,
+    };
+    super::frame::encode(opcode, &p)
+}
+
+/// Decode a request frame body. `None` on any malformed payload — the
+/// server drops the connection rather than guess.
+pub fn decode_request(opcode: u8, payload: &[u8]) -> Option<(u64, Request)> {
+    let mut c = Cursor::new(payload);
+    let req_id = c.u64()?;
+    let req = match opcode {
+        OP_GET => Request::Get(c.digest()?),
+        OP_GET_MANY => {
+            let n = c.u32()? as usize;
+            let mut cids = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                cids.push(c.digest()?);
+            }
+            Request::GetMany(cids)
+        }
+        OP_PUT => Request::Put(Chunk::decode(c.rest())?),
+        OP_PUT_MANY => {
+            let n = c.u32()? as usize;
+            let mut chunks = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                let len = c.u32()? as usize;
+                chunks.push(Chunk::decode(c.take(len)?)?);
+            }
+            Request::PutMany(chunks)
+        }
+        OP_STATS => Request::Stats,
+        _ => return None,
+    };
+    c.done().then_some((req_id, req))
+}
+
+/// Encode a response as a complete frame.
+pub fn encode_response(req_id: u64, resp: &Response) -> Vec<u8> {
+    let mut p = Vec::with_capacity(64);
+    p.extend_from_slice(&req_id.to_le_bytes());
+    let opcode = match resp {
+        Response::Get(chunk) => {
+            match chunk {
+                Some(chunk) => {
+                    p.push(1);
+                    p.extend_from_slice(&chunk.encode());
+                }
+                None => p.push(0),
+            }
+            OP_GET | OP_RESP
+        }
+        Response::GetMany(chunks) => {
+            put_u32(&mut p, chunks.len());
+            for chunk in chunks {
+                match chunk {
+                    Some(chunk) => {
+                        p.push(1);
+                        let encoded = chunk.encode();
+                        put_u32(&mut p, encoded.len());
+                        p.extend_from_slice(&encoded);
+                    }
+                    None => p.push(0),
+                }
+            }
+            OP_GET_MANY | OP_RESP
+        }
+        Response::Put(outcome) => {
+            p.push(outcome_byte(*outcome));
+            OP_PUT | OP_RESP
+        }
+        Response::PutMany(outcomes) => {
+            put_u32(&mut p, outcomes.len());
+            p.extend(outcomes.iter().map(|o| outcome_byte(*o)));
+            OP_PUT_MANY | OP_RESP
+        }
+        Response::Stats(stats) => {
+            p.extend_from_slice(&stats.to_wire());
+            OP_STATS | OP_RESP
+        }
+        Response::Err(msg) => {
+            p.extend_from_slice(msg.as_bytes());
+            OP_ERR
+        }
+    };
+    super::frame::encode(opcode, &p)
+}
+
+/// Decode a response frame body. `None` on any malformed payload.
+pub fn decode_response(opcode: u8, payload: &[u8]) -> Option<(u64, Response)> {
+    let mut c = Cursor::new(payload);
+    let req_id = c.u64()?;
+    let resp = match opcode {
+        o if o == OP_GET | OP_RESP => Response::Get(match c.u8()? {
+            0 => None,
+            1 => Some(Chunk::decode(c.rest())?),
+            _ => return None,
+        }),
+        o if o == OP_GET_MANY | OP_RESP => {
+            let n = c.u32()? as usize;
+            let mut chunks = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                chunks.push(match c.u8()? {
+                    0 => None,
+                    1 => {
+                        let len = c.u32()? as usize;
+                        Some(Chunk::decode(c.take(len)?)?)
+                    }
+                    _ => return None,
+                });
+            }
+            Response::GetMany(chunks)
+        }
+        o if o == OP_PUT | OP_RESP => Response::Put(outcome_from(c.u8()?)?),
+        o if o == OP_PUT_MANY | OP_RESP => {
+            let n = c.u32()? as usize;
+            let mut outcomes = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                outcomes.push(outcome_from(c.u8()?)?);
+            }
+            Response::PutMany(outcomes)
+        }
+        o if o == OP_STATS | OP_RESP => Response::Stats(StoreStats::from_wire(c.rest())?),
+        OP_ERR => Response::Err(String::from_utf8_lossy(c.rest()).into_owned()),
+        _ => return None,
+    };
+    c.done().then_some((req_id, resp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::frame::FrameDecoder;
+    use super::*;
+    use forkbase_chunk::ChunkType;
+
+    fn round_trip_request(req: Request) -> (u64, Request) {
+        let bytes = encode_request(77, &req);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        let frame = dec.next_frame().expect("valid").expect("complete");
+        decode_request(frame.opcode, &frame.payload).expect("decodes")
+    }
+
+    fn round_trip_response(resp: Response) -> (u64, Response) {
+        let bytes = encode_response(98, &resp);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        let frame = dec.next_frame().expect("valid").expect("complete");
+        decode_response(frame.opcode, &frame.payload).expect("decodes")
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let a = Chunk::new(ChunkType::Blob, &b"aaa"[..]);
+        let b = Chunk::new(ChunkType::Map, &b"bbb"[..]);
+        for req in [
+            Request::Get(a.cid()),
+            Request::GetMany(vec![a.cid(), b.cid()]),
+            Request::GetMany(vec![]),
+            Request::Put(a.clone()),
+            Request::PutMany(vec![a.clone(), b.clone()]),
+            Request::PutMany(vec![]),
+            Request::Stats,
+        ] {
+            let (id, back) = round_trip_request(req.clone());
+            assert_eq!(id, 77);
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let a = Chunk::new(ChunkType::Blob, &b"aaa"[..]);
+        let stats = StoreStats {
+            stored_chunks: 3,
+            io_errors: 9,
+            cache_hits: 12,
+            ..StoreStats::default()
+        };
+        for resp in [
+            Response::Get(Some(a.clone())),
+            Response::Get(None),
+            Response::GetMany(vec![Some(a.clone()), None, Some(a.clone())]),
+            Response::GetMany(vec![]),
+            Response::Put(PutOutcome::Stored),
+            Response::Put(PutOutcome::Deduplicated),
+            Response::PutMany(vec![PutOutcome::Stored, PutOutcome::Deduplicated]),
+            Response::Stats(stats),
+            Response::Err("node on fire".into()),
+        ] {
+            let (id, back) = round_trip_response(resp.clone());
+            assert_eq!(id, 98);
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn peek_matches_decoded_id() {
+        let bytes = encode_request(0xDEAD_BEEF_0123, &Request::Stats);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        let frame = dec.next_frame().unwrap().unwrap();
+        assert_eq!(peek_req_id(&frame.payload), Some(0xDEAD_BEEF_0123));
+    }
+
+    #[test]
+    fn truncated_and_trailing_payloads_rejected() {
+        let a = Chunk::new(ChunkType::Blob, &b"aaa"[..]);
+        let bytes = encode_request(5, &Request::Get(a.cid()));
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        let frame = dec.next_frame().unwrap().unwrap();
+        // Truncated: drop the last payload byte.
+        assert_eq!(
+            decode_request(frame.opcode, &frame.payload[..frame.payload.len() - 1]),
+            None
+        );
+        // Trailing garbage after a well-formed body.
+        let mut long = frame.payload.to_vec();
+        long.push(0);
+        assert_eq!(decode_request(frame.opcode, &long), None);
+        // Unknown opcode.
+        assert_eq!(decode_request(0x7E, &frame.payload), None);
+    }
+}

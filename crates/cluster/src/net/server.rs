@@ -1,0 +1,155 @@
+//! The servlet-side TCP endpoint: a blocking thread-per-connection
+//! server loop over any [`ChunkService`] backend.
+//!
+//! Each accepted connection gets one handler thread that decodes frames,
+//! executes requests against the backend, and writes the response frame
+//! back. Requests on one connection are served in order, but the client
+//! does not wait between sends — a pipelined batch pays one round trip,
+//! not one per request. Concurrency comes from connections (the client
+//! pools several), matching the `Durability::Batch` flusher precedent of
+//! plain background threads over an async runtime.
+
+use super::frame::FrameDecoder;
+use super::proto::{self, Request, Response};
+use crate::service::ChunkService;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Shared server state: the stop latch and the live connections that
+/// must be torn down on shutdown.
+struct Shared {
+    stop: AtomicBool,
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+/// A running chunk-service endpoint. Dropping (or [`stop`]ping) it
+/// closes the listener and every open connection; in-flight requests on
+/// a dying connection surface as I/O errors at the client.
+///
+/// [`stop`]: ChunkServer::stop
+pub struct ChunkServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ChunkServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and serve
+    /// `backend` until [`stop`](Self::stop)/drop.
+    pub fn bind(addr: &str, backend: Arc<dyn ChunkService>) -> std::io::Result<ChunkServer> {
+        Self::start(TcpListener::bind(addr)?, backend)
+    }
+
+    /// Serve `backend` on an already-bound listener.
+    pub fn start(
+        listener: TcpListener,
+        backend: Arc<dyn ChunkService>,
+    ) -> std::io::Result<ChunkServer> {
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("fb-chunk-server-{}", addr.port()))
+            .spawn(move || accept_loop(listener, backend, accept_shared))?;
+        Ok(ChunkServer {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (the real port when bound with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, close every open connection, and join the accept
+    /// loop. Idempotent.
+    pub fn stop(&mut self) {
+        if self.shared.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection; the loop
+        // re-checks the latch first thing.
+        let _ = TcpStream::connect(self.addr);
+        for conn in self.shared.conns.lock().expect("conns lock").drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ChunkServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, backend: Arc<dyn ChunkService>, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().expect("conns lock").push(clone);
+        }
+        let backend = Arc::clone(&backend);
+        let _ = std::thread::Builder::new()
+            .name("fb-chunk-conn".into())
+            .spawn(move || {
+                let _ = serve_conn(stream, &*backend);
+            });
+    }
+    // Handler threads exit on their own when their stream is shut down
+    // (stop()) or the peer disconnects.
+}
+
+/// Execute one request against the backend.
+fn execute(backend: &dyn ChunkService, req: Request) -> Response {
+    let executed = match req {
+        Request::Get(cid) => backend.get(&cid).map(Response::Get),
+        Request::GetMany(cids) => backend.get_many(&cids).map(Response::GetMany),
+        Request::Put(chunk) => backend.put(chunk).map(Response::Put),
+        Request::PutMany(chunks) => backend.put_many(chunks).map(Response::PutMany),
+        Request::Stats => backend.stats().map(Response::Stats),
+    };
+    executed.unwrap_or_else(|e| Response::Err(e.to_string()))
+}
+
+/// One connection's serve loop: read → decode → execute → respond.
+/// Returns (dropping the connection) on EOF, I/O failure, or the first
+/// malformed frame — after corruption the stream offset is untrusted.
+fn serve_conn(mut stream: TcpStream, backend: &dyn ChunkService) -> std::io::Result<()> {
+    let mut decoder = FrameDecoder::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Ok(()); // clean EOF
+        }
+        decoder.feed(&buf[..n]);
+        while let Some(frame) = decoder
+            .next_frame()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?
+        {
+            let Some((req_id, req)) = proto::decode_request(frame.opcode, &frame.payload) else {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "malformed request payload",
+                ));
+            };
+            let resp = execute(backend, req);
+            stream.write_all(&proto::encode_response(req_id, &resp))?;
+        }
+    }
+}

@@ -2,17 +2,27 @@
 //! storage (§4.1).
 
 use crate::master::Partitioning;
+use crate::service::ChunkService;
 use crate::store2l::TwoLayerStore;
-use forkbase_chunk::{CacheConfig, ChunkStore};
+use forkbase_chunk::{CacheConfig, Chunk, ChunkStore, PutOutcome, StoreStats};
 use forkbase_core::ForkBase;
-use forkbase_crypto::ChunkerConfig;
+use forkbase_crypto::{ChunkerConfig, Digest};
 use std::sync::Arc;
 
 /// One node of the cluster: servlet + local chunk storage. The storage
 /// is any [`ChunkStore`], so a node can run in memory or on disk
 /// (e.g. a [`LogStore`](forkbase_chunk::LogStore) per node). Under
-/// two-layer partitioning the servlet's pool view caches remote chunks
-/// (§4.6) by default.
+/// two-layer partitioning the servlet's pool view routes data chunks to
+/// their owning node through [`ChunkService`] endpoints — in-process
+/// handles or TCP clients, the servlet cannot tell — and caches remote
+/// chunks (§4.6) by default.
+///
+/// A servlet is itself a [`ChunkService`]: the endpoint peers talk to
+/// when they route a chunk here. Service requests are answered from the
+/// *local* storage only (the requester already did the routing), while
+/// [`stats`](ChunkService::stats) reports the merged node view — local
+/// store counters plus this servlet's remote-cache hits/misses and any
+/// transport errors it has observed.
 pub struct Servlet {
     id: usize,
     db: ForkBase,
@@ -24,15 +34,17 @@ pub struct Servlet {
 
 impl Servlet {
     /// Build servlet `id` with the default remote-chunk cache. Under
-    /// two-layer partitioning the servlet writes data chunks into the
-    /// whole `pool`; under one-layer it uses only its local storage.
+    /// two-layer partitioning the servlet routes data chunks across
+    /// `pool` (its own entry must be `pool[id]`); under one-layer it
+    /// uses only `local`.
     pub fn new(
         id: usize,
         partitioning: Partitioning,
-        pool: &[Arc<dyn ChunkStore>],
+        local: Arc<dyn ChunkStore>,
+        pool: Vec<Arc<dyn ChunkService>>,
         cfg: ChunkerConfig,
     ) -> Servlet {
-        Self::with_cache(id, partitioning, pool, cfg, CacheConfig::default())
+        Self::with_cache(id, partitioning, local, pool, cfg, CacheConfig::default())
     }
 
     /// [`new`](Self::new) with explicit remote-cache sizing
@@ -40,20 +52,16 @@ impl Servlet {
     pub fn with_cache(
         id: usize,
         partitioning: Partitioning,
-        pool: &[Arc<dyn ChunkStore>],
+        local: Arc<dyn ChunkStore>,
+        pool: Vec<Arc<dyn ChunkService>>,
         cfg: ChunkerConfig,
         cache: CacheConfig,
     ) -> Servlet {
-        let local = pool[id].clone();
         let mut view2l = None;
         let store: Arc<dyn ChunkStore> = match partitioning {
             Partitioning::OneLayer => local.clone(),
             Partitioning::TwoLayer => {
-                let view = Arc::new(TwoLayerStore::with_cache(
-                    local.clone(),
-                    pool.to_vec(),
-                    cache,
-                ));
+                let view = Arc::new(TwoLayerStore::with_cache(local.clone(), pool, id, cache));
                 view2l = Some(view.clone());
                 view
             }
@@ -96,5 +104,35 @@ impl Servlet {
     /// Chunks held on this node's local storage.
     pub fn local_chunks(&self) -> u64 {
         self.local.stats().stored_chunks
+    }
+}
+
+/// The service endpoint other nodes (and the cluster's stats collector)
+/// reach this servlet through — directly in-process, or as the backend
+/// of a [`ChunkServer`](crate::net::ChunkServer) over TCP.
+impl ChunkService for Servlet {
+    fn get(&self, cid: &Digest) -> forkbase_core::Result<Option<Chunk>> {
+        Ok(self.local.get(cid))
+    }
+
+    fn get_many(&self, cids: &[Digest]) -> forkbase_core::Result<Vec<Option<Chunk>>> {
+        Ok(self.local.get_many(cids))
+    }
+
+    fn put(&self, chunk: Chunk) -> forkbase_core::Result<PutOutcome> {
+        Ok(self.local.put(chunk))
+    }
+
+    fn put_many(&self, chunks: Vec<Chunk>) -> forkbase_core::Result<Vec<PutOutcome>> {
+        Ok(chunks.into_iter().map(|c| self.local.put(c)).collect())
+    }
+
+    /// The node's merged view: local storage counters, plus the
+    /// remote-cache tier and transport errors when running two-layer.
+    fn stats(&self) -> forkbase_core::Result<StoreStats> {
+        Ok(match &self.view2l {
+            Some(view) => view.stats(),
+            None => self.local.stats(),
+        })
     }
 }

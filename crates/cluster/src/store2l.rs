@@ -3,51 +3,72 @@
 //! cid across the whole pool, and a servlet-local cache for the chunks
 //! fetched from *remote* nodes — "each servlet may cache the frequently
 //! accessed remote chunks" (§4.6).
+//!
+//! The pool entries are [`ChunkService`] endpoints, not concrete stores:
+//! the same view runs over the in-process transport
+//! ([`StoreService`](crate::service::StoreService)) or over TCP
+//! ([`TcpChunkClient`](crate::net::TcpChunkClient)). A remote node that
+//! cannot be reached is *not* reported as "chunk absent" silently — the
+//! failure is counted in this view's `StoreStats::io_errors` (mirroring
+//! the durable [`LogStore`](forkbase_chunk::LogStore)'s read-failure
+//! contract) so [`Cluster::node_stats`](crate::Cluster::node_stats) makes
+//! a degraded peer visible.
 
+use crate::service::ChunkService;
 use forkbase_chunk::{
     CacheConfig, Chunk, ChunkCache, ChunkStore, ChunkType, PutOutcome, StoreStats,
 };
 use forkbase_crypto::Digest;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// A view over the cluster-wide chunk pool from one servlet. The pool
-/// entries are abstract [`ChunkStore`]s, so a node can run on anything —
-/// in-memory ([`MemStore`](forkbase_chunk::MemStore)), on disk
-/// ([`LogStore`](forkbase_chunk::LogStore)), cached, replicated, …
+/// A view over the cluster-wide chunk pool from one servlet, addressed
+/// through the transport-agnostic [`ChunkService`] API.
 pub struct TwoLayerStore {
     /// This servlet's co-located storage (meta chunks live here).
     local: Arc<dyn ChunkStore>,
-    /// All nodes' storages, indexable by cid hash.
-    pool: Vec<Arc<dyn ChunkStore>>,
-    /// Which pool entry is `local` (cache decisions need to know whether
-    /// a routed chunk is remote).
-    local_idx: Option<usize>,
+    /// Every node's service endpoint, indexable by cid hash. Entry
+    /// `local_idx` serves `local` directly — a servlet never pays the
+    /// wire to reach its own storage.
+    pool: Vec<Arc<dyn ChunkService>>,
+    /// Which pool entry is this servlet's own node (cache decisions need
+    /// to know whether a routed chunk is remote).
+    local_idx: usize,
     /// Sharded cache over chunks fetched from remote nodes. Local chunks
     /// are never cached — they are already one local read away.
     remote_cache: Option<ChunkCache>,
+    /// Transport/service failures observed by this view. Folded into
+    /// `stats().io_errors`.
+    io_errors: AtomicU64,
 }
 
 impl TwoLayerStore {
-    /// A view with `local` as the co-located storage and the default
-    /// remote-chunk cache.
-    pub fn new(local: Arc<dyn ChunkStore>, pool: Vec<Arc<dyn ChunkStore>>) -> TwoLayerStore {
-        Self::with_cache(local, pool, CacheConfig::default())
+    /// A view with `local` as the co-located storage (which pool entry
+    /// `local_idx` must serve) and the default remote-chunk cache.
+    pub fn new(
+        local: Arc<dyn ChunkStore>,
+        pool: Vec<Arc<dyn ChunkService>>,
+        local_idx: usize,
+    ) -> TwoLayerStore {
+        Self::with_cache(local, pool, local_idx, CacheConfig::default())
     }
 
     /// A view with explicit remote-cache sizing
     /// ([`CacheConfig::disabled`] turns caching off).
     pub fn with_cache(
         local: Arc<dyn ChunkStore>,
-        pool: Vec<Arc<dyn ChunkStore>>,
+        pool: Vec<Arc<dyn ChunkService>>,
+        local_idx: usize,
         cache: CacheConfig,
     ) -> TwoLayerStore {
         assert!(!pool.is_empty());
-        let local_idx = pool.iter().position(|n| Arc::ptr_eq(n, &local));
+        assert!(local_idx < pool.len(), "local_idx must index the pool");
         TwoLayerStore {
             local,
             pool,
             local_idx,
             remote_cache: cache.enabled.then(|| ChunkCache::new(&cache)),
+            io_errors: AtomicU64::new(0),
         }
     }
 
@@ -56,7 +77,11 @@ impl TwoLayerStore {
     }
 
     fn is_remote(&self, node: usize) -> bool {
-        self.local_idx != Some(node)
+        self.local_idx != node
+    }
+
+    fn record_io_error(&self) {
+        self.io_errors.fetch_add(1, Ordering::Relaxed);
     }
 
     /// (hits, misses) of the remote-chunk cache, if enabled.
@@ -71,11 +96,24 @@ impl TwoLayerStore {
         }
     }
 
+    /// Transport/service failures this view has swallowed into "absent"
+    /// answers (also folded into `stats().io_errors`).
+    pub fn transport_errors(&self) -> u64 {
+        self.io_errors.load(Ordering::Relaxed)
+    }
+
     /// Fetch from the owning node, filling the remote cache when the
-    /// owner is not this servlet's node.
+    /// owner is not this servlet's node. A transport failure counts as
+    /// an io_error and reads as absent, like a failed durable read.
     fn fetch_routed(&self, cid: &Digest) -> Option<Chunk> {
         let node = self.node_of(cid);
-        let chunk = self.pool[node].get(cid)?;
+        let chunk = match self.pool[node].get(cid) {
+            Ok(found) => found?,
+            Err(_) => {
+                self.record_io_error();
+                return None;
+            }
+        };
         if self.is_remote(node) {
             if let Some(cache) = &self.remote_cache {
                 cache.insert(chunk.clone());
@@ -101,9 +139,9 @@ impl ChunkStore for TwoLayerStore {
     }
 
     /// Batched get: local probes first, then the remote cache, then one
-    /// [`get_many`](ChunkStore::get_many) per owning node for whatever
-    /// is left (a cross-node fetch is the expensive step §4.6 caches —
-    /// batching amortizes it the same way).
+    /// [`get_many`](ChunkService::get_many) per owning node for whatever
+    /// is left — over TCP that is one request/response frame per node,
+    /// however many cids the batch carries.
     fn get_many(&self, cids: &[Digest]) -> Vec<Option<Chunk>> {
         let mut out: Vec<Option<Chunk>> = Vec::with_capacity(cids.len());
         let mut missing: Vec<usize> = Vec::new();
@@ -127,7 +165,13 @@ impl ChunkStore for TwoLayerStore {
                 continue;
             }
             let node_cids: Vec<Digest> = slots.iter().map(|&i| cids[i]).collect();
-            let fetched = self.pool[node].get_many(&node_cids);
+            let fetched = match self.pool[node].get_many(&node_cids) {
+                Ok(fetched) if fetched.len() == node_cids.len() => fetched,
+                _ => {
+                    self.record_io_error();
+                    continue; // the slots stay None
+                }
+            };
             for (slot, chunk) in slots.into_iter().zip(fetched) {
                 if let Some(chunk) = &chunk {
                     if self.is_remote(node) {
@@ -147,7 +191,17 @@ impl ChunkStore for TwoLayerStore {
             self.local.put(chunk)
         } else {
             let node = self.node_of(&chunk.cid());
-            let outcome = self.pool[node].put(chunk.clone());
+            let outcome = match self.pool[node].put(chunk.clone()) {
+                Ok(outcome) => outcome,
+                Err(_) => {
+                    // The chunk is lost to that node for now; the error
+                    // is latched in io_errors and the content-addressed
+                    // read path will surface the gap as Corrupt rather
+                    // than silently serving stale data.
+                    self.record_io_error();
+                    PutOutcome::Stored
+                }
+            };
             // Write-through for remote-routed chunks: this servlet just
             // built them, so it is the likeliest next reader.
             if self.is_remote(node) {
@@ -160,21 +214,31 @@ impl ChunkStore for TwoLayerStore {
     }
 
     fn contains(&self, cid: &Digest) -> bool {
-        self.local.contains(cid)
+        if self.local.contains(cid)
             || self
                 .remote_cache
                 .as_ref()
                 .is_some_and(|cache| cache.contains(cid))
-            || self.pool[self.node_of(cid)].contains(cid)
+        {
+            return true;
+        }
+        match self.pool[self.node_of(cid)].get(cid) {
+            Ok(found) => found.is_some(),
+            Err(_) => {
+                self.record_io_error();
+                false
+            }
+        }
     }
 
     fn stats(&self) -> StoreStats {
         // The servlet's view: its local storage (pool-wide stats are the
-        // cluster's to aggregate), plus this view's remote-cache tier.
-        // Only the cache_* fields are added: every view-level get was
-        // already counted by the local probe, so folding cache hits
-        // into `gets`/`get_hits` (what `fold_stats` does for a cache
-        // layered in front of one store) would double-count requests.
+        // cluster's to aggregate), plus this view's remote-cache tier
+        // and transport failures. Only the cache_*/io_error fields are
+        // added: every view-level get was already counted by the local
+        // probe, so folding cache hits into `gets`/`get_hits` (what
+        // `fold_stats` does for a cache layered in front of one store)
+        // would double-count requests.
         let mut stats = self.local.stats();
         if let Some(cache) = &self.remote_cache {
             let (hits, misses) = cache.hit_miss();
@@ -182,6 +246,7 @@ impl ChunkStore for TwoLayerStore {
             stats.cache_misses += misses;
             stats.cache_evictions += cache.evictions();
         }
+        stats.io_errors += self.io_errors.load(Ordering::Relaxed);
         stats
     }
 }
@@ -189,19 +254,31 @@ impl ChunkStore for TwoLayerStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::service::StoreService;
     use bytes::Bytes;
     use forkbase_chunk::{LogStore, MemStore};
 
-    fn pool(n: usize) -> Vec<Arc<dyn ChunkStore>> {
+    fn stores(n: usize) -> Vec<Arc<dyn ChunkStore>> {
         (0..n)
             .map(|_| Arc::new(MemStore::new()) as Arc<dyn ChunkStore>)
             .collect()
     }
 
+    fn services(stores: &[Arc<dyn ChunkStore>]) -> Vec<Arc<dyn ChunkService>> {
+        stores
+            .iter()
+            .map(|s| Arc::new(StoreService::new(s.clone())) as Arc<dyn ChunkService>)
+            .collect()
+    }
+
+    fn view(stores: &[Arc<dyn ChunkStore>], local_idx: usize) -> TwoLayerStore {
+        TwoLayerStore::new(stores[local_idx].clone(), services(stores), local_idx)
+    }
+
     #[test]
     fn meta_chunks_stay_local() {
-        let nodes = pool(4);
-        let store = TwoLayerStore::new(nodes[1].clone(), nodes.clone());
+        let nodes = stores(4);
+        let store = view(&nodes, 1);
         let meta = Chunk::new(ChunkType::Meta, Bytes::from_static(b"an fobject"));
         store.put(meta.clone());
         assert!(nodes[1].contains(&meta.cid()), "meta pinned to local node");
@@ -210,8 +287,8 @@ mod tests {
 
     #[test]
     fn data_chunks_route_by_cid() {
-        let nodes = pool(4);
-        let store = TwoLayerStore::new(nodes[0].clone(), nodes.clone());
+        let nodes = stores(4);
+        let store = view(&nodes, 0);
         for i in 0..400u32 {
             store.put(Chunk::new(ChunkType::Blob, i.to_le_bytes().to_vec()));
         }
@@ -226,9 +303,9 @@ mod tests {
 
     #[test]
     fn chunks_visible_from_any_servlet_view() {
-        let nodes = pool(3);
-        let view_a = TwoLayerStore::new(nodes[0].clone(), nodes.clone());
-        let view_b = TwoLayerStore::new(nodes[2].clone(), nodes.clone());
+        let nodes = stores(3);
+        let view_a = view(&nodes, 0);
+        let view_b = view(&nodes, 2);
         let chunk = Chunk::new(ChunkType::Map, Bytes::from_static(b"shared"));
         view_a.put(chunk.clone());
         assert_eq!(view_b.get(&chunk.cid()), Some(chunk), "pool is shared");
@@ -236,8 +313,8 @@ mod tests {
 
     #[test]
     fn remote_chunks_cached_after_first_fetch() {
-        let nodes = pool(4);
-        let store = TwoLayerStore::new(nodes[0].clone(), nodes.clone());
+        let nodes = stores(4);
+        let store = view(&nodes, 0);
         // Find a chunk that routes to a *remote* node.
         let chunk = (0u32..)
             .map(|i| Chunk::new(ChunkType::Blob, i.to_le_bytes().to_vec()))
@@ -269,8 +346,8 @@ mod tests {
 
     #[test]
     fn local_chunks_are_never_cached() {
-        let nodes = pool(2);
-        let store = TwoLayerStore::new(nodes[1].clone(), nodes.clone());
+        let nodes = stores(2);
+        let store = view(&nodes, 1);
         let chunk = (0u32..)
             .map(|i| Chunk::new(ChunkType::Blob, i.to_le_bytes().to_vec()))
             .find(|c| (c.cid().prefix_u64() % 2) == 1)
@@ -283,10 +360,14 @@ mod tests {
 
     #[test]
     fn get_many_equals_sequential_gets() {
-        let nodes = pool(3);
-        let store = TwoLayerStore::new(nodes[0].clone(), nodes.clone());
-        let uncached =
-            TwoLayerStore::with_cache(nodes[0].clone(), nodes.clone(), CacheConfig::disabled());
+        let nodes = stores(3);
+        let store = view(&nodes, 0);
+        let uncached = TwoLayerStore::with_cache(
+            nodes[0].clone(),
+            services(&nodes),
+            0,
+            CacheConfig::disabled(),
+        );
         let mut cids = Vec::new();
         for i in 0..60u32 {
             let c = Chunk::new(ChunkType::Blob, i.to_le_bytes().to_vec());
@@ -322,7 +403,7 @@ mod tests {
             Arc::new(MemStore::new()),
             durable.clone() as Arc<dyn ChunkStore>,
         ];
-        let store = TwoLayerStore::new(nodes[0].clone(), nodes.clone());
+        let store = view(&nodes, 0);
         let mut cids = Vec::new();
         for i in 0..100u32 {
             let c = Chunk::new(ChunkType::Blob, i.to_le_bytes().to_vec());
@@ -340,5 +421,40 @@ mod tests {
         drop(nodes);
         drop(durable);
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    /// A service that always fails — the "node unreachable" case.
+    struct DeadService;
+    impl ChunkService for DeadService {
+        fn get(&self, _: &Digest) -> forkbase_core::Result<Option<Chunk>> {
+            Err(forkbase_core::FbError::Io("node down".into()))
+        }
+        fn put(&self, _: Chunk) -> forkbase_core::Result<PutOutcome> {
+            Err(forkbase_core::FbError::Io("node down".into()))
+        }
+        fn stats(&self) -> forkbase_core::Result<StoreStats> {
+            Err(forkbase_core::FbError::Io("node down".into()))
+        }
+    }
+
+    #[test]
+    fn dead_node_counts_io_errors_instead_of_lying() {
+        let nodes = stores(2);
+        let mut pool = services(&nodes);
+        pool[1] = Arc::new(DeadService);
+        let store = TwoLayerStore::new(nodes[0].clone(), pool, 0);
+        // A chunk routed to the dead node: put and get fail over the
+        // "wire", reads answer None, and every failure is counted.
+        let chunk = (0u32..)
+            .map(|i| Chunk::new(ChunkType::Blob, i.to_le_bytes().to_vec()))
+            .find(|c| (c.cid().prefix_u64() % 2) == 1)
+            .expect("chunk routed to node 1");
+        store.put(chunk.clone());
+        // The write-through cache kept a copy; bypass it to hit the wire.
+        store.clear_remote_cache();
+        assert_eq!(store.get(&chunk.cid()), None);
+        assert!(!store.contains(&chunk.cid()));
+        assert_eq!(store.transport_errors(), 3, "put + get + contains");
+        assert_eq!(store.stats().io_errors, 3);
     }
 }

@@ -19,8 +19,12 @@
 # * BENCH_write_scaling.json — the concurrent commit pipeline: YCSB-A
 #   closed loops (50/50 read/update, zipfian) on one shared instance,
 #   1 → 8 client threads, with derived thread-N/thread-1 scaling factors.
+# * BENCH_net.json — the cluster wire: the closed-loop blob workload on
+#   1/2/4-node clusters at 8/64 connections, in-process chunk routing vs
+#   loopback TCP, with per-op p50/p99 latency and derived tcp/inproc
+#   slowdown ratios.
 #
-# Usage: scripts/bench.sh [chunking.json] [map_batch.json] [build.json] [store.json] [read.json] [write_scaling.json]
+# Usage: scripts/bench.sh [chunking.json] [map_batch.json] [build.json] [store.json] [read.json] [write_scaling.json] [net.json]
 # Knobs: CRITERION_SAMPLE_MS (per-bench budget, default 300).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -31,19 +35,21 @@ build_out="${3:-BENCH_build.json}"
 store_out="${4:-BENCH_store.json}"
 read_out="${5:-BENCH_read.json}"
 write_scaling_out="${6:-BENCH_write_scaling.json}"
+net_out="${7:-BENCH_net.json}"
 opt_json="$(mktemp)"
 naive_json="$(mktemp)"
 trap 'rm -f "$opt_json" "$naive_json"' EXIT
 
 export CRITERION_SAMPLE_MS="${CRITERION_SAMPLE_MS:-300}"
 
-echo "== optimized pipeline: crypto_micro + pos_micro + pos_build + store + read + write_scaling" >&2
+echo "== optimized pipeline: crypto_micro + pos_micro + pos_build + store + read + write_scaling + net" >&2
 CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench crypto_micro
 CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench pos_micro
 CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench pos_build
 CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench store
 CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench read
 CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench write_scaling
+CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench net
 
 echo "== naive-baseline pipeline: pos_micro (end-to-end A/B)" >&2
 CRITERION_JSON="$naive_json" cargo bench -q -p fb-bench --bench pos_micro \
@@ -301,3 +307,42 @@ scaling() {
 
 echo "wrote $write_scaling_out" >&2
 grep -A4 'scaling_vs_1_thread' "$write_scaling_out" >&2
+
+# ---- BENCH_net.json: in-process vs loopback-TCP chunk routing ----------
+
+# tcp/inproc per-op slowdown for one (nodes, conns) cell.
+net_slowdown() {
+    local inproc tcp
+    inproc=$(median "$opt_json" "cluster_net/inproc_nodes$1_conns$2")
+    tcp=$(median "$opt_json" "cluster_net/tcp_nodes$1_conns$2")
+    ratio "$tcp" "$inproc"
+}
+
+{
+    echo '{'
+    echo '  "bench": "net",'
+    echo "  \"date_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"host\": \"$(uname -srm)\","
+    echo "  \"host_cores\": $(nproc),"
+    echo "  \"rustc\": \"$(rustc --version)\","
+    echo '  "keys": 32,'
+    echo '  "blob_bytes": 4096,'
+    echo '  "note": "Closed-loop 50/50 blob read/new-version workload on 1/2/4-node clusters at 8/64 concurrent connections, two-layer partitioning, identical schedules per transport; tcp routes every cross-node chunk over loopback TCP frames (pooled, pipelined sockets), inproc is the zero-cost in-process baseline. p50_ns/p99_ns in the raw lines are per-op latency percentiles from the closed loops. tcp_vs_inproc_slowdown is per-op median tcp/inproc (1.0 = free wire); 1-node cells isolate pure transport overhead (nothing routes remotely). Absolute numbers are meaningless under the CI smoke budget — the committed file records a full run.",'
+    echo '  "tcp_vs_inproc_slowdown": {'
+    echo "    \"nodes1_conns8\": $(net_slowdown 1 8),"
+    echo "    \"nodes1_conns64\": $(net_slowdown 1 64),"
+    echo "    \"nodes2_conns8\": $(net_slowdown 2 8),"
+    echo "    \"nodes2_conns64\": $(net_slowdown 2 64),"
+    echo "    \"nodes4_conns8\": $(net_slowdown 4 8),"
+    echo "    \"nodes4_conns64\": $(net_slowdown 4 64)"
+    echo '  },'
+    echo '  "raw": ['
+    grep -F '"bench":"cluster_net/' "$opt_json" \
+        | awk 'NR > 1 { print prev "," } { prev = $0 } END { if (NR) print prev }' \
+        | sed 's/^/    /'
+    echo '  ]'
+    echo '}'
+} > "$net_out"
+
+echo "wrote $net_out" >&2
+grep -A7 'tcp_vs_inproc_slowdown' "$net_out" >&2

@@ -98,7 +98,10 @@ fn collab_matches_orpheus_baseline() {
 fn cluster_runs_wiki_workload_balanced() {
     // A zipf-skewed wiki workload on a 8-node cluster stays
     // storage-balanced under two-layer partitioning.
-    let cluster = Cluster::new(8, Partitioning::TwoLayer);
+    let cluster = Cluster::builder(8)
+        .partitioning(Partitioning::TwoLayer)
+        .build()
+        .expect("cluster");
     let mut gen = PageEditGen::new(11, 0.9, 64);
     let zipf = Zipf::new(40, 0.5);
     let mut rng = StdRng::seed_from_u64(17);
