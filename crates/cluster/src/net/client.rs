@@ -54,7 +54,12 @@ impl Default for TcpConfig {
 }
 
 /// Waiters keyed by request id; the reader thread completes them.
-type PendingMap = Mutex<HashMap<u64, mpsc::Sender<Response>>>;
+///
+/// One map per connection *generation*, shared between that generation's
+/// `Live` state and its reader thread — tearing down generation N can
+/// only ever drop waiters registered against generation N, never those
+/// of a re-dialed replacement.
+type Pending = Mutex<HashMap<u64, mpsc::Sender<Response>>>;
 
 /// An established connection. Present while believed healthy; cleared
 /// (by writer or reader, whoever sees the failure first) so the next
@@ -62,12 +67,12 @@ type PendingMap = Mutex<HashMap<u64, mpsc::Sender<Response>>>;
 struct Live {
     stream: TcpStream,
     generation: u64,
+    pending: Arc<Pending>,
 }
 
 /// One pooled connection slot.
 struct Conn {
     state: Mutex<Option<Live>>,
-    pending: PendingMap,
     generations: AtomicU64,
 }
 
@@ -75,38 +80,44 @@ impl Conn {
     fn new() -> Arc<Conn> {
         Arc::new(Conn {
             state: Mutex::new(None),
-            pending: Mutex::new(HashMap::new()),
             generations: AtomicU64::new(0),
         })
     }
 
     /// Tear down the live connection of generation `gen` (no-op if a
-    /// newer one replaced it) and fail every pending waiter.
-    fn fail(self: &Arc<Conn>, gen: u64) {
-        {
+    /// newer one replaced it) and fail every waiter registered against
+    /// that generation.
+    fn fail(&self, gen: u64) {
+        let pending = {
             let mut state = self.state.lock().expect("conn state lock");
-            if let Some(live) = state.as_ref() {
-                if live.generation == gen {
+            match state.as_ref() {
+                Some(live) if live.generation == gen => {
                     let _ = live.stream.shutdown(Shutdown::Both);
-                    *state = None;
+                    state.take().map(|live| live.pending)
                 }
+                _ => None,
             }
-        }
+        };
         // Dropping the senders wakes every waiter with a recv error,
         // which the request path reports as FbError::Io.
-        self.pending.lock().expect("pending lock").clear();
+        if let Some(pending) = pending {
+            pending.lock().expect("pending lock").clear();
+        }
     }
 
     /// Register `req_id`, then write the frame — both under the state
     /// lock, so concurrent senders interleave whole frames and a
     /// connection teardown cannot slip between registration and write.
+    /// Returns the response channel and the pending map the waiter was
+    /// registered in, so a timed-out waiter can deregister from the
+    /// right generation.
     fn send(
         self: &Arc<Conn>,
         addr: SocketAddr,
         cfg: &TcpConfig,
         req_id: u64,
         frame: &[u8],
-    ) -> Result<mpsc::Receiver<Response>> {
+    ) -> Result<(mpsc::Receiver<Response>, Arc<Pending>)> {
         let mut state = self.state.lock().expect("conn state lock");
         if state.is_none() {
             let stream = TcpStream::connect_timeout(&addr, cfg.connect_timeout)
@@ -116,33 +127,45 @@ impl Conn {
                 .try_clone()
                 .map_err(|e| FbError::Io(format!("clone socket to {addr}: {e}")))?;
             let generation = self.generations.fetch_add(1, Ordering::SeqCst) + 1;
-            *state = Some(Live { stream, generation });
+            let pending = Arc::new(Mutex::new(HashMap::new()));
+            *state = Some(Live {
+                stream,
+                generation,
+                pending: Arc::clone(&pending),
+            });
             let conn = Arc::clone(self);
-            std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name("fb-chunk-client-rx".into())
-                .spawn(move || reader_loop(reader_stream, &conn, generation))
-                .map_err(|e| FbError::Io(format!("spawn reader: {e}")))?;
+                .spawn(move || reader_loop(reader_stream, &conn, generation, &pending));
+            if let Err(e) = spawned {
+                // Without a reader nothing would ever dispatch responses
+                // — every request on this slot would write fine and then
+                // wait out the full response timeout. Tear the dial back
+                // down so the next request re-dials instead.
+                if let Some(live) = state.take() {
+                    let _ = live.stream.shutdown(Shutdown::Both);
+                }
+                return Err(FbError::Io(format!("spawn reader: {e}")));
+            }
         }
-        let (tx, rx) = mpsc::channel();
-        self.pending
-            .lock()
-            .expect("pending lock")
-            .insert(req_id, tx);
         let live = state.as_mut().expect("dialed above");
         let generation = live.generation;
+        let pending = Arc::clone(&live.pending);
+        let (tx, rx) = mpsc::channel();
+        pending.lock().expect("pending lock").insert(req_id, tx);
         if let Err(e) = live.stream.write_all(frame) {
             drop(state);
-            self.pending.lock().expect("pending lock").remove(&req_id);
+            pending.lock().expect("pending lock").remove(&req_id);
             self.fail(generation);
             return Err(FbError::Io(format!("write to {addr}: {e}")));
         }
-        Ok(rx)
+        Ok((rx, pending))
     }
 }
 
 /// Reads frames off one socket and routes them to waiters until the
 /// socket dies or produces garbage, then fails the connection.
-fn reader_loop(mut stream: TcpStream, conn: &Arc<Conn>, generation: u64) {
+fn reader_loop(mut stream: TcpStream, conn: &Arc<Conn>, generation: u64, pending: &Arc<Pending>) {
     let mut decoder = FrameDecoder::new();
     let mut buf = vec![0u8; 64 * 1024];
     'conn: loop {
@@ -159,7 +182,7 @@ fn reader_loop(mut stream: TcpStream, conn: &Arc<Conn>, generation: u64) {
                         break 'conn; // malformed body: untrusted stream
                     };
                     // Unknown ids (waiter timed out and left) are dropped.
-                    let waiter = conn.pending.lock().expect("pending lock").remove(&req_id);
+                    let waiter = pending.lock().expect("pending lock").remove(&req_id);
                     if let Some(tx) = waiter {
                         let _ = tx.send(resp);
                     }
@@ -170,6 +193,10 @@ fn reader_loop(mut stream: TcpStream, conn: &Arc<Conn>, generation: u64) {
         }
     }
     conn.fail(generation);
+    // If a re-dial already replaced this generation, fail() was a no-op
+    // on the new state — still wake any waiters left in *this*
+    // generation's map (only ours; the replacement has its own).
+    pending.lock().expect("pending lock").clear();
 }
 
 /// A [`ChunkService`] talking to one remote node over TCP.
@@ -206,7 +233,7 @@ impl TcpChunkClient {
         let conn = &self.conns[self.next_conn.fetch_add(1, Ordering::Relaxed) % self.conns.len()];
         let req_id = self.next_req_id.fetch_add(1, Ordering::Relaxed);
         let frame = proto::encode_request(req_id, req);
-        let rx = conn.send(self.addr, &self.cfg, req_id, &frame)?;
+        let (rx, pending) = conn.send(self.addr, &self.cfg, req_id, &frame)?;
         match rx.recv_timeout(self.cfg.response_timeout) {
             Ok(Response::Err(msg)) => Err(FbError::Io(format!("node {}: {msg}", self.addr))),
             Ok(resp) => Ok(resp),
@@ -214,7 +241,7 @@ impl TcpChunkClient {
                 Err(FbError::Io(format!("connection to {} lost", self.addr)))
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {
-                conn.pending.lock().expect("pending lock").remove(&req_id);
+                pending.lock().expect("pending lock").remove(&req_id);
                 Err(FbError::Io(format!("request to {} timed out", self.addr)))
             }
         }

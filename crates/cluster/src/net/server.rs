@@ -12,6 +12,7 @@
 use super::frame::FrameDecoder;
 use super::proto::{self, Request, Response};
 use crate::service::ChunkService;
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -19,10 +20,13 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Shared server state: the stop latch and the live connections that
-/// must be torn down on shutdown.
+/// must be torn down on shutdown. Keyed by connection id so each
+/// handler removes its own entry when the connection closes — the
+/// shutdown handle is a dup'd fd, and keeping it past the connection's
+/// life would leak one fd per client ever accepted.
 struct Shared {
     stop: AtomicBool,
-    conns: Mutex<Vec<TcpStream>>,
+    conns: Mutex<HashMap<u64, TcpStream>>,
 }
 
 /// A running chunk-service endpoint. Dropping (or [`stop`]ping) it
@@ -51,7 +55,7 @@ impl ChunkServer {
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
-            conns: Mutex::new(Vec::new()),
+            conns: Mutex::new(HashMap::new()),
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
@@ -78,7 +82,7 @@ impl ChunkServer {
         // Wake the blocking accept with a throwaway connection; the loop
         // re-checks the latch first thing.
         let _ = TcpStream::connect(self.addr);
-        for conn in self.shared.conns.lock().expect("conns lock").drain(..) {
+        for (_, conn) in self.shared.conns.lock().expect("conns lock").drain() {
             let _ = conn.shutdown(Shutdown::Both);
         }
         if let Some(handle) = self.accept_thread.take() {
@@ -94,20 +98,27 @@ impl Drop for ChunkServer {
 }
 
 fn accept_loop(listener: TcpListener, backend: Arc<dyn ChunkService>, shared: Arc<Shared>) {
+    let mut next_id = 0u64;
     for stream in listener.incoming() {
         if shared.stop.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
         let _ = stream.set_nodelay(true);
+        let id = next_id;
+        next_id += 1;
         if let Ok(clone) = stream.try_clone() {
-            shared.conns.lock().expect("conns lock").push(clone);
+            shared.conns.lock().expect("conns lock").insert(id, clone);
         }
         let backend = Arc::clone(&backend);
+        let conn_shared = Arc::clone(&shared);
         let _ = std::thread::Builder::new()
             .name("fb-chunk-conn".into())
             .spawn(move || {
                 let _ = serve_conn(stream, &*backend);
+                // The connection is done: drop its shutdown handle too,
+                // closing the dup'd fd.
+                conn_shared.conns.lock().expect("conns lock").remove(&id);
             });
     }
     // Handler threads exit on their own when their stream is shut down

@@ -96,8 +96,9 @@ impl TwoLayerStore {
         }
     }
 
-    /// Transport/service failures this view has swallowed into "absent"
-    /// answers (also folded into `stats().io_errors`).
+    /// Transport/service failures this view has observed — reads that
+    /// answered "absent" and puts that fell back to the local store
+    /// (also folded into `stats().io_errors`).
     pub fn transport_errors(&self) -> u64 {
         self.io_errors.load(Ordering::Relaxed)
     }
@@ -188,28 +189,31 @@ impl ChunkStore for TwoLayerStore {
 
     fn put(&self, chunk: Chunk) -> PutOutcome {
         if chunk.ty() == ChunkType::Meta {
-            self.local.put(chunk)
-        } else {
-            let node = self.node_of(&chunk.cid());
-            let outcome = match self.pool[node].put(chunk.clone()) {
-                Ok(outcome) => outcome,
-                Err(_) => {
-                    // The chunk is lost to that node for now; the error
-                    // is latched in io_errors and the content-addressed
-                    // read path will surface the gap as Corrupt rather
-                    // than silently serving stale data.
-                    self.record_io_error();
-                    PutOutcome::Stored
+            return self.local.put(chunk);
+        }
+        let node = self.node_of(&chunk.cid());
+        match self.pool[node].put(chunk.clone()) {
+            Ok(outcome) => {
+                // Write-through for remote-routed chunks: this servlet
+                // just built them, so it is the likeliest next reader.
+                if self.is_remote(node) {
+                    if let Some(cache) = &self.remote_cache {
+                        cache.insert(chunk);
+                    }
                 }
-            };
-            // Write-through for remote-routed chunks: this servlet just
-            // built them, so it is the likeliest next reader.
-            if self.is_remote(node) {
-                if let Some(cache) = &self.remote_cache {
-                    cache.insert(chunk);
-                }
+                outcome
             }
-            outcome
+            Err(_) => {
+                // The owning node is unreachable. Acking Stored with the
+                // chunk held only in the evictable cache would turn a
+                // transient blip into silent data loss — so the chunk
+                // falls back into the local store (content-addressed:
+                // any node may hold it) where it stays durable and
+                // readable through the local-first get path, and the
+                // failure is latched in io_errors.
+                self.record_io_error();
+                self.local.put(chunk)
+            }
         }
     }
 
@@ -222,13 +226,10 @@ impl ChunkStore for TwoLayerStore {
         {
             return true;
         }
-        match self.pool[self.node_of(cid)].get(cid) {
-            Ok(found) => found.is_some(),
-            Err(_) => {
-                self.record_io_error();
-                false
-            }
-        }
+        // The wire has no existence-only opcode, so this pays a full
+        // fetch — route it through fetch_routed so the chunk lands in
+        // the remote cache and a following get doesn't pay it again.
+        self.fetch_routed(cid).is_some()
     }
 
     fn stats(&self) -> StoreStats {
@@ -443,18 +444,46 @@ mod tests {
         let mut pool = services(&nodes);
         pool[1] = Arc::new(DeadService);
         let store = TwoLayerStore::new(nodes[0].clone(), pool, 0);
-        // A chunk routed to the dead node: put and get fail over the
-        // "wire", reads answer None, and every failure is counted.
+        // Two chunks routed to the dead node: one we put (must survive
+        // the failed wire), one never written anywhere (reads absent).
+        let mut routed = (0u32..)
+            .map(|i| Chunk::new(ChunkType::Blob, i.to_le_bytes().to_vec()))
+            .filter(|c| (c.cid().prefix_u64() % 2) == 1);
+        let chunk = routed.next().expect("chunk routed to node 1");
+        let absent = routed.next().expect("second chunk routed to node 1");
+
+        // The put fails over the "wire" but must not ack a chunk that
+        // exists nowhere durable: it falls back to the local store and
+        // stays readable even with the cache gone.
+        assert_eq!(store.put(chunk.clone()), PutOutcome::Stored);
+        assert!(nodes[0].contains(&chunk.cid()), "fallback landed locally");
+        store.clear_remote_cache();
+        assert_eq!(store.get(&chunk.cid()), Some(chunk.clone()));
+        assert!(store.contains(&chunk.cid()));
+        assert_eq!(store.transport_errors(), 1, "only the failed put");
+
+        // A chunk the pool never held: reads fail over the wire, answer
+        // absent, and every failure is counted.
+        assert_eq!(store.get(&absent.cid()), None);
+        assert!(!store.contains(&absent.cid()));
+        assert_eq!(store.transport_errors(), 3, "put + get + contains");
+        assert_eq!(store.stats().io_errors, 3);
+    }
+
+    #[test]
+    fn contains_fills_the_remote_cache() {
+        let nodes = stores(2);
+        let store = view(&nodes, 0);
         let chunk = (0u32..)
             .map(|i| Chunk::new(ChunkType::Blob, i.to_le_bytes().to_vec()))
             .find(|c| (c.cid().prefix_u64() % 2) == 1)
-            .expect("chunk routed to node 1");
-        store.put(chunk.clone());
-        // The write-through cache kept a copy; bypass it to hit the wire.
-        store.clear_remote_cache();
-        assert_eq!(store.get(&chunk.cid()), None);
-        assert!(!store.contains(&chunk.cid()));
-        assert_eq!(store.transport_errors(), 3, "put + get + contains");
-        assert_eq!(store.stats().io_errors, 3);
+            .expect("remote-routed chunk");
+        nodes[1].put(chunk.clone());
+        assert!(store.contains(&chunk.cid()));
+        // The existence check already paid the transfer; the follow-up
+        // get is served from the remote cache, not the wire again.
+        let gets_before = nodes[1].stats().gets;
+        assert_eq!(store.get(&chunk.cid()), Some(chunk));
+        assert_eq!(nodes[1].stats().gets, gets_before, "no second fetch");
     }
 }
