@@ -11,7 +11,7 @@
 //!
 //! Connections are dialed lazily and re-dialed on the next request
 //! after a failure: a killed peer surfaces as
-//! [`FbError::Io`](forkbase_core::FbError::Io) on every in-flight
+//! [`FbError::Io`] on every in-flight
 //! request (the reader thread drops their channels — nothing hangs),
 //! and a restarted peer is picked up transparently.
 

@@ -8,7 +8,8 @@
 //!
 //! * **in-process** — [`StoreService`] wraps the node's local
 //!   [`ChunkStore`] directly (the test/bench transport, and the self
-//!   entry of every servlet's pool view), and [`Servlet`] implements the
+//!   entry of every servlet's pool view), and [`Servlet`](crate::Servlet)
+//!   implements the
 //!   trait itself so a whole node can be plugged in as a peer;
 //! * **TCP** — [`TcpChunkClient`](crate::net::TcpChunkClient) speaks the
 //!   same trait over length-prefixed binary frames to a

@@ -1,6 +1,7 @@
-//! **redislite** — an in-memory object store with Redis-style `String`
-//! and `List` types, the baseline the paper's wiki engine is compared
-//! against (§5.2, §6.3).
+//! **redislite** — a Redis-style object store with `String` and `List`
+//! types, the baseline the paper's wiki engine is compared against
+//! (§5.2, §6.3) — servable in-process *or* over a real TCP wire speaking
+//! the RESP2 protocol ([`RespServer`]/[`RespClient`], [`resp`]).
 //!
 //! The paper implements a multi-versioned wiki over Redis by storing each
 //! page as a list and RPUSH-ing every new revision — full copies, no
@@ -15,14 +16,31 @@
 //! Memory accounting tracks the payload bytes of every stored object, the
 //! metric plotted in Fig. 13(b) and Fig. 15.
 //!
+//! # One command surface
+//!
+//! Every operation is a [`Cmd`] executed by [`RedisLite::execute`], which
+//! returns a [`Reply`]. The typed methods (`set`/`get`/`rpush`/…) are
+//! thin wrappers, [`pipeline`](RedisLite::pipeline) is an execute loop
+//! under one lock hold with one batched AOF append, AOF replay re-enters
+//! through the same dispatch, and the RESP server exposes it verbatim —
+//! wire semantics and in-process semantics are one code path.
+//!
+//! List indices follow Redis everywhere: they are `i64`, negative values
+//! count from the tail (`-1` = last element), `LRANGE` clamps
+//! out-of-range bounds to the list, `LINDEX` answers nil and `LSET`
+//! errors when the index falls outside it.
+//!
 //! # Durable mode
 //!
 //! [`RedisLite::open_durable`] attaches a Redis-style **append-only
 //! file** (AOF): every mutation (`SET`/`RPUSH`/`LSET`/`DEL`, including
 //! batched/pipelined forms) is appended as a checksummed record and
-//! replayed on open; a torn tail is truncated. Appends are buffered —
-//! call [`sync`](RedisLite::sync) (or drop the store) to flush, matching
-//! Redis's `appendfsync everysec`-ish default rather than `always`.
+//! replayed on open; a torn tail is truncated. With
+//! [`AofFsync::Buffered`] (the `open_durable` default) appends sit in a
+//! write buffer until [`sync`](RedisLite::sync) or drop, matching Redis's
+//! `appendfsync everysec`-ish default; [`AofFsync::Always`]
+//! (`open_durable_with`) flushes and fsyncs before the mutation is
+//! acknowledged, so a reply that reached the client survives a kill.
 
 use bytes::Bytes;
 use forkbase_crypto::fx::FxHashMap;
@@ -32,6 +50,13 @@ use std::hash::Hasher;
 use std::io::{BufWriter, Read, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+mod client;
+pub mod resp;
+mod server;
+
+pub use client::RespClient;
+pub use server::RespServer;
 
 /// A stored object: string or list.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -49,34 +74,94 @@ impl RObject {
     }
 }
 
-/// One pipelined command (the subset the workloads use).
-#[derive(Clone, Debug)]
+/// The canonical command algebra: everything the store can do, whether
+/// called in-process, pipelined, replayed from the AOF, or received over
+/// the RESP wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Cmd {
+    /// PING.
+    Ping,
     /// SET key value.
     Set(Bytes, Bytes),
     /// GET key.
     Get(Bytes),
+    /// MSET (key, value) pairs — applied atomically under one lock hold.
+    MSet(Vec<(Bytes, Bytes)>),
     /// RPUSH key elem.
     Rpush(Bytes, Bytes),
+    /// LINDEX key idx (negative = from the tail).
+    Lindex(Bytes, i64),
+    /// LLEN key.
+    Llen(Bytes),
+    /// LSET key idx elem (negative idx = from the tail).
+    Lset(Bytes, i64, Bytes),
+    /// LRANGE key start stop (inclusive; negatives from the tail,
+    /// out-of-range bounds clamped).
+    Lrange(Bytes, i64, i64),
     /// DEL key.
     Del(Bytes),
+    /// DBSIZE.
+    DbSize,
 }
 
-/// Reply to one pipelined command.
+impl Cmd {
+    /// Commands that never mutate run under the shared read lock.
+    fn is_read(&self) -> bool {
+        matches!(
+            self,
+            Cmd::Ping
+                | Cmd::Get(_)
+                | Cmd::Lindex(..)
+                | Cmd::Llen(_)
+                | Cmd::Lrange(..)
+                | Cmd::DbSize
+        )
+    }
+
+    /// Operations this command counts as (MSET = one per pair).
+    fn weight(&self) -> u64 {
+        match self {
+            Cmd::MSet(pairs) => pairs.len() as u64,
+            _ => 1,
+        }
+    }
+}
+
+/// Reply to one command.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Reply {
     /// Write acknowledged.
     Ok,
+    /// PING answered.
+    Pong,
     /// Key missing or wrong type.
     Nil,
     /// A value.
     Value(Bytes),
-    /// A length/count (RPUSH, DEL).
+    /// A length/count (RPUSH, DEL, LLEN, DBSIZE).
     Len(usize),
+    /// A list of values (LRANGE).
+    Multi(Vec<Bytes>),
+    /// Command-level failure (wrong index, wrong type, …); the
+    /// connection survives, only the command fails.
+    Err(String),
+}
+
+/// When AOF appends reach disk.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AofFsync {
+    /// Appends sit in a write buffer until [`sync`](RedisLite::sync) or
+    /// drop — Redis's `appendfsync everysec`-ish default.
+    #[default]
+    Buffered,
+    /// Flush + fsync after every logged batch, before the mutation is
+    /// acknowledged — Redis's `appendfsync always`. An acknowledged
+    /// write survives a kill.
+    Always,
 }
 
 /// An in-memory multi-type key-value store, optionally backed by an
-/// append-only file.
+/// append-only file and servable over RESP2 ([`RespServer`]).
 #[derive(Default)]
 pub struct RedisLite {
     map: RwLock<FxHashMap<Bytes, RObject>>,
@@ -84,6 +169,8 @@ pub struct RedisLite {
     ops: AtomicU64,
     /// Append-only persistence log (durable mode only).
     aof: Option<Mutex<BufWriter<File>>>,
+    /// When appends reach disk (durable mode only).
+    aof_fsync: AofFsync,
     /// AOF appends that failed (writes are not failable at the Redis API
     /// surface, so errors surface here instead of being swallowed).
     aof_errors: AtomicU64,
@@ -122,18 +209,57 @@ fn encode_aof(out: &mut Vec<u8>, op: u8, key: &[u8], value: &[u8], idx: u64) {
     out[body_start - 4..body_start].copy_from_slice(&check.to_le_bytes());
 }
 
+/// Resolve a Redis list index (negative = from the tail) against `len`
+/// elements; `None` when it falls outside the list on either side.
+fn resolve_index(idx: i64, len: usize) -> Option<usize> {
+    let i = if idx < 0 {
+        idx.checked_add(len as i64)?
+    } else {
+        idx
+    };
+    (0..len as i64).contains(&i).then_some(i as usize)
+}
+
+/// Resolve an LRANGE window: negatives count from the tail, then both
+/// bounds clamp to the list; `None` = the range is empty.
+fn resolve_range(start: i64, stop: i64, len: usize) -> Option<(usize, usize)> {
+    if len == 0 {
+        return None;
+    }
+    let norm = |i: i64| {
+        if i < 0 {
+            i.saturating_add(len as i64)
+        } else {
+            i
+        }
+    };
+    let s = norm(start).max(0);
+    let e = norm(stop).min(len as i64 - 1);
+    (s <= e).then_some((s as usize, e as usize))
+}
+
 impl RedisLite {
     /// Empty store.
     pub fn new() -> RedisLite {
         RedisLite::default()
     }
 
+    /// Open a durable store with buffered appends ([`AofFsync::Buffered`]).
+    pub fn open_durable(path: impl AsRef<Path>) -> std::io::Result<RedisLite> {
+        Self::open_durable_with(path, AofFsync::Buffered)
+    }
+
     /// Open a durable store: replay the append-only file at `path`
     /// (creating it when missing, truncating a torn tail) and log every
-    /// further mutation to it. The replay streams one record at a time
-    /// through a reusable buffer — memory is bounded by the largest
-    /// record, not the log size.
-    pub fn open_durable(path: impl AsRef<Path>) -> std::io::Result<RedisLite> {
+    /// further mutation to it under the chosen fsync policy. The replay
+    /// streams one record at a time through a reusable buffer — memory
+    /// is bounded by the largest record, not the log size — and applies
+    /// each record through the same [`Cmd`] dispatch every other entry
+    /// point uses.
+    pub fn open_durable_with(
+        path: impl AsRef<Path>,
+        fsync: AofFsync,
+    ) -> std::io::Result<RedisLite> {
         let path = path.as_ref();
         let db = RedisLite::new();
         if path.exists() {
@@ -144,6 +270,10 @@ impl RedisLite {
             let mut body = Vec::new();
             let mut pos = 0u64;
             let mut valid_end = 0u64;
+            // Replay sink: `db.aof` is still `None`, so nothing encodes
+            // or logs — the records only re-apply.
+            let mut sink = Vec::new();
+            let mut sunk = 0u64;
             while len - pos >= 21 {
                 reader.read_exact(&mut header)?;
                 let check = u32::from_le_bytes(header[0..4].try_into().expect("4"));
@@ -163,20 +293,16 @@ impl RedisLite {
                 }
                 let key = Bytes::copy_from_slice(&body[..klen]);
                 let value = Bytes::copy_from_slice(&body[klen..]);
-                let mut map = db.map.write();
-                match op {
-                    AOF_SET => db.set_locked(&mut map, key, value),
-                    AOF_RPUSH => {
-                        db.rpush_locked(&mut map, key, value);
-                    }
-                    AOF_DEL => {
-                        db.del_locked(&mut map, &key);
-                    }
-                    AOF_LSET => {
-                        db.lset_locked(&mut map, &key, idx as usize, value);
-                    }
+                // Logged LSET indices are already tail-resolved.
+                let cmd = match op {
+                    AOF_SET => Cmd::Set(key, value),
+                    AOF_RPUSH => Cmd::Rpush(key, value),
+                    AOF_DEL => Cmd::Del(key),
+                    AOF_LSET => Cmd::Lset(key, idx as i64, value),
                     _ => break, // unknown op: stop at the intact prefix
-                }
+                };
+                let mut map = db.map.write();
+                db.apply_locked(&mut map, cmd, &mut sink, &mut sunk);
                 drop(map);
                 pos += 21 + (klen + vlen) as u64;
                 valid_end = pos;
@@ -191,6 +317,7 @@ impl RedisLite {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
         Ok(RedisLite {
             aof: Some(Mutex::new(BufWriter::new(file))),
+            aof_fsync: fsync,
             ..db
         })
     }
@@ -220,31 +347,14 @@ impl RedisLite {
         self.aof_errors.load(Ordering::Relaxed)
     }
 
-    /// Append one mutation record; called with the map lock held so the
-    /// log order matches the apply order. After a failed append the log
-    /// is poisoned: a partial record may sit at the tail, so later
-    /// records would be unreachable at replay — stop appending and count
-    /// instead.
-    fn log(&self, op: u8, key: &[u8], value: &[u8], idx: u64) {
-        let Some(aof) = &self.aof else { return };
-        if self.aof_poisoned.load(Ordering::Relaxed) {
-            self.aof_errors.fetch_add(1, Ordering::Relaxed);
-            return;
-        }
-        let mut rec = Vec::with_capacity(21 + key.len() + value.len());
-        encode_aof(&mut rec, op, key, value, idx);
-        if let Err(e) = aof.lock().write_all(&rec) {
-            self.aof_errors.fetch_add(1, Ordering::Relaxed);
-            if !self.aof_poisoned.swap(true, Ordering::Relaxed) {
-                eprintln!("redislite: AOF append failed (log poisoned): {e}");
-            }
-        }
-    }
-
     /// Append a pre-encoded run of `records` AOF records in one lock
-    /// hold and one `write_all`. The batched entry points (MSET, the
-    /// pipeline) encode their whole batch up front and pay the log lock
-    /// and write syscall once instead of once per record.
+    /// hold and one `write_all` (plus one flush+fsync under
+    /// [`AofFsync::Always`]). Called with the map lock held so the log
+    /// order matches the apply order; batched entry points pay the log
+    /// lock and write syscall once for the whole batch. After a failed
+    /// append the log is poisoned: a partial record may sit at the tail,
+    /// so later records would be unreachable at replay — stop appending
+    /// and count instead.
     fn log_batch(&self, buf: &[u8], records: u64) {
         let Some(aof) = &self.aof else { return };
         if records == 0 {
@@ -254,7 +364,15 @@ impl RedisLite {
             self.aof_errors.fetch_add(records, Ordering::Relaxed);
             return;
         }
-        if let Err(e) = aof.lock().write_all(buf) {
+        let mut w = aof.lock();
+        let wrote = w.write_all(buf).and_then(|()| {
+            if self.aof_fsync == AofFsync::Always {
+                w.flush()?;
+                w.get_ref().sync_data()?;
+            }
+            Ok(())
+        });
+        if let Err(e) = wrote {
             // A torn tail makes every record of the batch unreachable at
             // replay — count them all and poison.
             self.aof_errors.fetch_add(records, Ordering::Relaxed);
@@ -274,8 +392,8 @@ impl RedisLite {
         }
     }
 
-    // Locked op bodies, shared between the single-op methods, MSET and
-    // the pipeline so the accounting logic exists exactly once.
+    // Locked op bodies, shared between every dispatch path so the
+    // accounting logic exists exactly once.
 
     fn set_locked(&self, map: &mut FxHashMap<Bytes, RObject>, key: Bytes, value: Bytes) {
         let new = RObject::Str(value);
@@ -315,72 +433,187 @@ impl RedisLite {
         }
     }
 
+    /// Replace the element at the (already tail-resolved) `idx`.
     fn lset_locked(
         &self,
         map: &mut FxHashMap<Bytes, RObject>,
         key: &[u8],
         idx: usize,
         elem: Bytes,
-    ) -> bool {
-        match map.get_mut(key) {
-            Some(RObject::List(l)) if idx < l.len() => {
-                let old_len = l[idx].len() as u64;
-                if elem.len() as u64 >= old_len {
-                    self.mem_bytes
-                        .fetch_add(elem.len() as u64 - old_len, Ordering::Relaxed);
-                } else {
-                    self.mem_bytes
-                        .fetch_sub(old_len - elem.len() as u64, Ordering::Relaxed);
-                }
-                l[idx] = elem;
-                true
+    ) {
+        let Some(RObject::List(l)) = map.get_mut(key) else {
+            return;
+        };
+        if let Some(slot) = l.get_mut(idx) {
+            let old_len = slot.len() as u64;
+            if elem.len() as u64 >= old_len {
+                self.mem_bytes
+                    .fetch_add(elem.len() as u64 - old_len, Ordering::Relaxed);
+            } else {
+                self.mem_bytes
+                    .fetch_sub(old_len - elem.len() as u64, Ordering::Relaxed);
             }
-            _ => false,
+            *slot = elem;
         }
+    }
+
+    /// Serve a read-only command against the (read- or write-) locked map.
+    fn read_locked(map: &FxHashMap<Bytes, RObject>, cmd: &Cmd) -> Reply {
+        match cmd {
+            Cmd::Ping => Reply::Pong,
+            Cmd::DbSize => Reply::Len(map.len()),
+            Cmd::Get(key) => match map.get(key) {
+                Some(RObject::Str(s)) => Reply::Value(s.clone()),
+                _ => Reply::Nil,
+            },
+            Cmd::Lindex(key, idx) => match map.get(key) {
+                Some(RObject::List(l)) => match resolve_index(*idx, l.len()) {
+                    Some(i) => Reply::Value(l[i].clone()),
+                    None => Reply::Nil,
+                },
+                _ => Reply::Nil,
+            },
+            Cmd::Llen(key) => match map.get(key) {
+                Some(RObject::List(l)) => Reply::Len(l.len()),
+                _ => Reply::Len(0),
+            },
+            Cmd::Lrange(key, start, stop) => match map.get(key) {
+                Some(RObject::List(l)) => match resolve_range(*start, *stop, l.len()) {
+                    Some((s, e)) => Reply::Multi(l[s..=e].to_vec()),
+                    None => Reply::Multi(Vec::new()),
+                },
+                _ => Reply::Multi(Vec::new()),
+            },
+            _ => unreachable!("write command dispatched to the read path"),
+        }
+    }
+
+    /// Apply one command to the write-locked map, appending the AOF
+    /// record of every mutation to `aof` (with list indices already
+    /// tail-resolved, so replay is position-exact). The caller flushes
+    /// `aof` with [`log_batch`](Self::log_batch) under the same lock
+    /// hold, which keeps log order equal to apply order; records are
+    /// only encoded when an AOF is attached.
+    fn apply_locked(
+        &self,
+        map: &mut FxHashMap<Bytes, RObject>,
+        cmd: Cmd,
+        aof: &mut Vec<u8>,
+        records: &mut u64,
+    ) -> Reply {
+        let log = self.aof.is_some();
+        match cmd {
+            Cmd::Set(key, value) => {
+                if log {
+                    encode_aof(aof, AOF_SET, &key, &value, 0);
+                    *records += 1;
+                }
+                self.set_locked(map, key, value);
+                Reply::Ok
+            }
+            Cmd::MSet(pairs) => {
+                for (key, value) in pairs {
+                    if log {
+                        encode_aof(aof, AOF_SET, &key, &value, 0);
+                        *records += 1;
+                    }
+                    self.set_locked(map, key, value);
+                }
+                Reply::Ok
+            }
+            Cmd::Rpush(key, elem) => {
+                if log {
+                    encode_aof(aof, AOF_RPUSH, &key, &elem, 0);
+                    *records += 1;
+                }
+                Reply::Len(self.rpush_locked(map, key, elem))
+            }
+            Cmd::Del(key) => {
+                if log {
+                    encode_aof(aof, AOF_DEL, &key, &[], 0);
+                    *records += 1;
+                }
+                Reply::Len(usize::from(self.del_locked(map, &key)))
+            }
+            Cmd::Lset(key, idx, elem) => {
+                let resolved = match map.get(&key) {
+                    Some(RObject::List(l)) => match resolve_index(idx, l.len()) {
+                        Some(i) => i,
+                        None => return Reply::Err("ERR index out of range".into()),
+                    },
+                    _ => return Reply::Err("ERR no such key".into()),
+                };
+                if log {
+                    encode_aof(aof, AOF_LSET, &key, &elem, resolved as u64);
+                    *records += 1;
+                }
+                self.lset_locked(map, &key, resolved, elem);
+                Reply::Ok
+            }
+            read => Self::read_locked(map, &read),
+        }
+    }
+
+    /// Execute one command — THE semantic entry point. Reads run under
+    /// the shared lock; writes take the exclusive lock, apply, and land
+    /// their AOF record in the same lock hold.
+    pub fn execute(&self, cmd: Cmd) -> Reply {
+        self.ops.fetch_add(cmd.weight(), Ordering::Relaxed);
+        if cmd.is_read() {
+            Self::read_locked(&self.map.read(), &cmd)
+        } else {
+            let mut buf = Vec::new();
+            let mut records = 0u64;
+            let mut map = self.map.write();
+            let reply = self.apply_locked(&mut map, cmd, &mut buf, &mut records);
+            self.log_batch(&buf, records);
+            reply
+        }
+    }
+
+    /// Execute a command pipeline: all commands run back-to-back under
+    /// one lock hold (readers see none or all of it), the AOF sees one
+    /// contiguous append for the whole batch, and the replies come back
+    /// in order — the Redis pipelining model the paper's baselines rely
+    /// on for write-heavy workloads.
+    pub fn pipeline(&self, cmds: Vec<Cmd>) -> Vec<Reply> {
+        let weight: u64 = cmds.iter().map(Cmd::weight).sum();
+        self.ops.fetch_add(weight, Ordering::Relaxed);
+        let mut buf = Vec::new();
+        let mut records = 0u64;
+        let mut map = self.map.write();
+        let replies = cmds
+            .into_iter()
+            .map(|cmd| self.apply_locked(&mut map, cmd, &mut buf, &mut records))
+            .collect();
+        self.log_batch(&buf, records);
+        replies
     }
 
     /// SET: store a string value.
     pub fn set(&self, key: impl Into<Bytes>, value: impl Into<Bytes>) {
-        self.ops.fetch_add(1, Ordering::Relaxed);
-        let (key, value) = (key.into(), value.into());
-        let mut map = self.map.write();
-        self.log(AOF_SET, &key, &value, 0);
-        self.set_locked(&mut map, key, value);
+        self.execute(Cmd::Set(key.into(), value.into()));
     }
 
-    /// MSET: store many string values under one lock hold — readers see
-    /// either none or all of the batch, and per-op lock traffic is paid
-    /// once.
+    /// MSET: store many string values atomically — readers see either
+    /// none or all of the batch, and per-op lock traffic is paid once.
     pub fn mset<I, K, V>(&self, pairs: I)
     where
         I: IntoIterator<Item = (K, V)>,
         K: Into<Bytes>,
         V: Into<Bytes>,
     {
-        let pairs: Vec<(Bytes, Bytes)> = pairs
+        let pairs = pairs
             .into_iter()
             .map(|(k, v)| (k.into(), v.into()))
             .collect();
-        self.ops.fetch_add(pairs.len() as u64, Ordering::Relaxed);
-        // Encode the whole batch before taking any lock; the AOF sees
-        // one contiguous append (log order still matches apply order —
-        // the append happens under the map write lock).
-        let mut buf = Vec::new();
-        for (key, value) in &pairs {
-            encode_aof(&mut buf, AOF_SET, key, value, 0);
-        }
-        let mut map = self.map.write();
-        self.log_batch(&buf, pairs.len() as u64);
-        for (key, value) in pairs {
-            self.set_locked(&mut map, key, value);
-        }
+        self.execute(Cmd::MSet(pairs));
     }
 
     /// GET: read a string value. `None` if missing or of another type.
     pub fn get(&self, key: &[u8]) -> Option<Bytes> {
-        self.ops.fetch_add(1, Ordering::Relaxed);
-        match self.map.read().get(key) {
-            Some(RObject::Str(s)) => Some(s.clone()),
+        match self.execute(Cmd::Get(Bytes::copy_from_slice(key))) {
+            Reply::Value(v) => Some(v),
             _ => None,
         }
     }
@@ -388,116 +621,52 @@ impl RedisLite {
     /// RPUSH: append an element to the list at `key` (creating it),
     /// returning the new length.
     pub fn rpush(&self, key: impl Into<Bytes>, elem: impl Into<Bytes>) -> usize {
-        self.ops.fetch_add(1, Ordering::Relaxed);
-        let (key, elem) = (key.into(), elem.into());
-        let mut map = self.map.write();
-        self.log(AOF_RPUSH, &key, &elem, 0);
-        self.rpush_locked(&mut map, key, elem)
+        match self.execute(Cmd::Rpush(key.into(), elem.into())) {
+            Reply::Len(n) => n,
+            reply => unreachable!("RPUSH replies Len, got {reply:?}"),
+        }
     }
 
-    /// LINDEX: element at `idx` (negative = from the end, like Redis).
+    /// LINDEX: element at `idx` (negative = from the tail, like Redis).
     pub fn lindex(&self, key: &[u8], idx: i64) -> Option<Bytes> {
-        self.ops.fetch_add(1, Ordering::Relaxed);
-        match self.map.read().get(key) {
-            Some(RObject::List(l)) => {
-                let i = if idx < 0 {
-                    l.len().checked_sub(idx.unsigned_abs() as usize)?
-                } else {
-                    idx as usize
-                };
-                l.get(i).cloned()
-            }
+        match self.execute(Cmd::Lindex(Bytes::copy_from_slice(key), idx)) {
+            Reply::Value(v) => Some(v),
             _ => None,
         }
     }
 
     /// LLEN: list length (0 for missing keys, like Redis).
     pub fn llen(&self, key: &[u8]) -> usize {
-        match self.map.read().get(key) {
-            Some(RObject::List(l)) => l.len(),
-            _ => 0,
+        match self.execute(Cmd::Llen(Bytes::copy_from_slice(key))) {
+            Reply::Len(n) => n,
+            reply => unreachable!("LLEN replies Len, got {reply:?}"),
         }
     }
 
-    /// LSET: replace the element at `idx`.
-    pub fn lset(&self, key: &[u8], idx: usize, elem: impl Into<Bytes>) -> bool {
-        self.ops.fetch_add(1, Ordering::Relaxed);
-        let elem = elem.into();
-        let mut map = self.map.write();
-        let ok = self.lset_locked(&mut map, key, idx, elem.clone());
-        if ok {
-            self.log(AOF_LSET, key, &elem, idx as u64);
-        }
-        ok
+    /// LSET: replace the element at `idx` (negative = from the tail).
+    /// `false` when the key holds no list or the index is out of range.
+    pub fn lset(&self, key: &[u8], idx: i64, elem: impl Into<Bytes>) -> bool {
+        matches!(
+            self.execute(Cmd::Lset(Bytes::copy_from_slice(key), idx, elem.into())),
+            Reply::Ok
+        )
     }
 
-    /// LRANGE: elements in `[start, stop]` (inclusive, clamped).
-    pub fn lrange(&self, key: &[u8], start: usize, stop: usize) -> Vec<Bytes> {
-        self.ops.fetch_add(1, Ordering::Relaxed);
-        match self.map.read().get(key) {
-            Some(RObject::List(l)) => {
-                let stop = stop.min(l.len().saturating_sub(1));
-                if start > stop {
-                    return Vec::new();
-                }
-                l[start..=stop].to_vec()
-            }
-            _ => Vec::new(),
+    /// LRANGE: elements in `[start, stop]` (inclusive; negatives count
+    /// from the tail, out-of-range bounds clamp, like Redis).
+    pub fn lrange(&self, key: &[u8], start: i64, stop: i64) -> Vec<Bytes> {
+        match self.execute(Cmd::Lrange(Bytes::copy_from_slice(key), start, stop)) {
+            Reply::Multi(v) => v,
+            reply => unreachable!("LRANGE replies Multi, got {reply:?}"),
         }
     }
 
     /// DEL: remove a key; returns whether it existed.
     pub fn del(&self, key: &[u8]) -> bool {
-        self.ops.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.map.write();
-        self.log(AOF_DEL, key, &[], 0);
-        self.del_locked(&mut map, key)
-    }
-
-    /// Execute a command pipeline: all commands run back-to-back without
-    /// per-command lock round-trips, and the replies come back in order —
-    /// the Redis pipelining model the paper's baselines rely on for
-    /// write-heavy workloads.
-    pub fn pipeline(&self, cmds: Vec<Cmd>) -> Vec<Reply> {
-        self.ops.fetch_add(cmds.len() as u64, Ordering::Relaxed);
-        // Every mutating command's AOF record is state-independent, so
-        // the whole batch encodes before the lock and lands as one
-        // contiguous append instead of a write per command.
-        let mut buf = Vec::new();
-        let mut records = 0u64;
-        for cmd in &cmds {
-            match cmd {
-                Cmd::Set(key, value) => {
-                    encode_aof(&mut buf, AOF_SET, key, value, 0);
-                    records += 1;
-                }
-                Cmd::Rpush(key, elem) => {
-                    encode_aof(&mut buf, AOF_RPUSH, key, elem, 0);
-                    records += 1;
-                }
-                Cmd::Del(key) => {
-                    encode_aof(&mut buf, AOF_DEL, key, &[], 0);
-                    records += 1;
-                }
-                Cmd::Get(_) => {}
-            }
-        }
-        let mut map = self.map.write();
-        self.log_batch(&buf, records);
-        cmds.into_iter()
-            .map(|cmd| match cmd {
-                Cmd::Set(key, value) => {
-                    self.set_locked(&mut map, key, value);
-                    Reply::Ok
-                }
-                Cmd::Get(key) => match map.get(&key) {
-                    Some(RObject::Str(s)) => Reply::Value(s.clone()),
-                    _ => Reply::Nil,
-                },
-                Cmd::Rpush(key, elem) => Reply::Len(self.rpush_locked(&mut map, key, elem)),
-                Cmd::Del(key) => Reply::Len(usize::from(self.del_locked(&mut map, &key))),
-            })
-            .collect()
+        matches!(
+            self.execute(Cmd::Del(Bytes::copy_from_slice(key))),
+            Reply::Len(1)
+        )
     }
 
     /// Number of keys.
@@ -544,6 +713,7 @@ mod tests {
                 db.rpush("page", format!("rev {i}"));
             }
             db.lset(b"page", 1, "rev 1 edited");
+            db.lset(b"page", -1, "rev 2 edited");
             db.pipeline(vec![
                 Cmd::Set(Bytes::from("p"), Bytes::from("pipelined")),
                 Cmd::Rpush(Bytes::from("page"), Bytes::from("rev 3")),
@@ -557,6 +727,7 @@ mod tests {
         assert_eq!(db.get(b"p"), Some(Bytes::from("pipelined")));
         assert_eq!(db.llen(b"page"), 4);
         assert_eq!(db.lindex(b"page", 1), Some(Bytes::from("rev 1 edited")));
+        assert_eq!(db.lindex(b"page", 2), Some(Bytes::from("rev 2 edited")));
         assert_eq!(db.lindex(b"page", -1), Some(Bytes::from("rev 3")));
         // Memory accounting was rebuilt by the replay.
         assert!(db.memory_bytes() > 0);
@@ -587,6 +758,27 @@ mod tests {
     }
 
     #[test]
+    fn aof_always_lands_without_sync() {
+        // Under AofFsync::Always every acknowledged mutation is on disk
+        // the moment execute returns: a reopen that never saw sync() or
+        // a drop-flush must still recover everything.
+        let path = temp_aof("always");
+        let db = RedisLite::open_durable_with(&path, AofFsync::Always).expect("open");
+        db.set("a", "1");
+        db.pipeline(vec![
+            Cmd::Set(Bytes::from("b"), Bytes::from("2")),
+            Cmd::Rpush(Bytes::from("l"), Bytes::from("x")),
+        ]);
+        // Simulate a kill: leak the instance so nothing flushes.
+        std::mem::forget(db);
+        let db = RedisLite::open_durable(&path).expect("reopen");
+        assert_eq!(db.get(b"a"), Some(Bytes::from("1")));
+        assert_eq!(db.get(b"b"), Some(Bytes::from("2")));
+        assert_eq!(db.llen(b"l"), 1);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
     fn string_ops() {
         let db = RedisLite::new();
         db.set("k", "v1");
@@ -608,17 +800,27 @@ mod tests {
         assert_eq!(db.lindex(b"page", 0), Some(Bytes::from("revision 0")));
         assert_eq!(db.lindex(b"page", -2), Some(Bytes::from("revision 3")));
         assert_eq!(db.lindex(b"page", 99), None);
+        assert_eq!(db.lindex(b"page", -6), None);
     }
 
     #[test]
-    fn lrange_clamps() {
+    fn lrange_redis_index_semantics() {
         let db = RedisLite::new();
         for i in 0..4 {
             db.rpush("l", format!("{i}"));
         }
         assert_eq!(db.lrange(b"l", 1, 2).len(), 2);
-        assert_eq!(db.lrange(b"l", 0, 100).len(), 4);
+        assert_eq!(db.lrange(b"l", 0, 100).len(), 4, "stop clamps");
         assert_eq!(db.lrange(b"l", 5, 10).len(), 0);
+        // Negative indices count from the tail.
+        assert_eq!(
+            db.lrange(b"l", -2, -1),
+            vec![Bytes::from("2"), Bytes::from("3")]
+        );
+        assert_eq!(db.lrange(b"l", 0, -1).len(), 4, "the canonical full range");
+        assert_eq!(db.lrange(b"l", -100, 0).len(), 1, "start clamps to head");
+        assert_eq!(db.lrange(b"l", -1, -2).len(), 0, "inverted after resolve");
+        assert_eq!(db.lrange(b"missing", 0, -1).len(), 0);
     }
 
     #[test]
@@ -642,8 +844,20 @@ mod tests {
         db.rpush("l", "bbb");
         assert!(db.lset(b"l", 0, "XXXXX"));
         assert_eq!(db.lindex(b"l", 0), Some(Bytes::from("XXXXX")));
+        assert!(db.lset(b"l", -1, "YY"), "negative index from the tail");
+        assert_eq!(db.lindex(b"l", 1), Some(Bytes::from("YY")));
         assert!(!db.lset(b"l", 9, "nope"));
-        assert_eq!(db.memory_bytes(), 8);
+        assert!(!db.lset(b"l", -3, "nope"));
+        assert_eq!(db.memory_bytes(), 7);
+        // The Cmd form distinguishes the two failure modes.
+        assert_eq!(
+            db.execute(Cmd::Lset(Bytes::from("l"), 9, Bytes::from("x"))),
+            Reply::Err("ERR index out of range".into())
+        );
+        assert_eq!(
+            db.execute(Cmd::Lset(Bytes::from("ghost"), 0, Bytes::from("x"))),
+            Reply::Err("ERR no such key".into())
+        );
     }
 
     #[test]
@@ -667,6 +881,7 @@ mod tests {
             Cmd::Rpush(Bytes::from("l"), Bytes::from("e2")),
             Cmd::Del(Bytes::from("k")),
             Cmd::Get(Bytes::from("k")),
+            Cmd::Lrange(Bytes::from("l"), 0, -1),
         ]);
         assert_eq!(
             replies,
@@ -677,10 +892,25 @@ mod tests {
                 Reply::Len(2),
                 Reply::Len(1),
                 Reply::Nil,
+                Reply::Multi(vec![Bytes::from("e1"), Bytes::from("e2")]),
             ]
         );
         assert_eq!(db.llen(b"l"), 2);
         assert_eq!(db.memory_bytes(), 4, "k reclaimed, e1+e2 counted");
+    }
+
+    #[test]
+    fn execute_covers_the_read_algebra() {
+        let db = RedisLite::new();
+        assert_eq!(db.execute(Cmd::Ping), Reply::Pong);
+        assert_eq!(db.execute(Cmd::DbSize), Reply::Len(0));
+        db.set("k", "v");
+        assert_eq!(db.execute(Cmd::DbSize), Reply::Len(1));
+        assert_eq!(
+            db.execute(Cmd::Get(Bytes::from("k"))),
+            Reply::Value(Bytes::from("v"))
+        );
+        assert_eq!(db.execute(Cmd::Llen(Bytes::from("k"))), Reply::Len(0));
     }
 
     #[test]

@@ -1,12 +1,21 @@
-//! Closed-loop multi-threaded benchmark driver.
+//! Closed-loop multi-worker benchmark driver, transport-agnostic.
 //!
 //! The paper's write-scaling experiments (§6.1) drive one closed loop
-//! per client thread: each thread issues its next operation as soon as
-//! the previous one completes, so aggregate throughput reflects engine
+//! per client: each worker issues its next operation as soon as the
+//! previous one completes, so aggregate throughput reflects engine
 //! concurrency rather than open-loop queueing. The driver records one
 //! latency sample per operation and reports throughput plus latency
-//! percentiles across all threads.
+//! percentiles across all workers.
+//!
+//! [`run_closed_loop_with`] is the general form: each worker owns a
+//! *client* built by a caller-supplied factory — a TCP connection, a
+//! cluster handle, or nothing at all — so the same driver measures
+//! in-process calls and real wire protocols. Client construction
+//! (dialing, handshakes) happens before a start barrier and is excluded
+//! from the measured window. [`run_closed_loop`] is the clientless
+//! shorthand the in-process benches use.
 
+use std::sync::Barrier;
 use std::time::Instant;
 
 /// Aggregate result of one closed-loop run.
@@ -50,29 +59,57 @@ pub fn run_closed_loop<F>(threads: usize, ops_per_thread: usize, op: F) -> Drive
 where
     F: Fn(usize, usize) + Sync,
 {
-    assert!(threads > 0, "at least one driver thread");
-    let start = Instant::now();
-    let mut lats: Vec<u64> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
+    run_closed_loop_with(threads, ops_per_thread, |_| (), |(), t, i| op(t, i))
+}
+
+/// Run `ops_per_worker` operations on each of `workers` closed loops,
+/// each loop owning a client built by `build`.
+///
+/// `build(worker)` runs on the worker's own thread (so e.g. dials
+/// proceed concurrently); every worker then parks on a barrier, and the
+/// measured window opens only once all clients exist — connection setup
+/// never pollutes throughput or latency numbers. `op(&mut client,
+/// worker, i)` executes the `i`-th operation of loop `worker`.
+pub fn run_closed_loop_with<C, B, F>(
+    workers: usize,
+    ops_per_worker: usize,
+    build: B,
+    op: F,
+) -> DriverReport
+where
+    C: Send,
+    B: Fn(usize) -> C + Sync,
+    F: Fn(&mut C, usize, usize) + Sync,
+{
+    assert!(workers > 0, "at least one driver worker");
+    let barrier = Barrier::new(workers + 1);
+    let mut lats: Vec<u64> = Vec::new();
+    let mut elapsed_ns = 1u64;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
             .map(|t| {
-                let op = &op;
+                let (op, build, barrier) = (&op, &build, &barrier);
                 s.spawn(move || {
-                    let mut lats = Vec::with_capacity(ops_per_thread);
-                    for i in 0..ops_per_thread {
+                    let mut client = build(t);
+                    barrier.wait();
+                    let mut lats = Vec::with_capacity(ops_per_worker);
+                    for i in 0..ops_per_worker {
                         let t0 = Instant::now();
-                        op(t, i);
+                        op(&mut client, t, i);
                         lats.push(t0.elapsed().as_nanos() as u64);
                     }
                     lats
                 })
             })
             .collect();
-        handles
+        barrier.wait();
+        let start = Instant::now();
+        lats = handles
             .into_iter()
-            .flat_map(|h| h.join().expect("driver thread panicked"))
-            .collect()
+            .flat_map(|h| h.join().expect("driver worker panicked"))
+            .collect();
+        elapsed_ns = (start.elapsed().as_nanos() as u64).max(1);
     });
-    let elapsed_ns = (start.elapsed().as_nanos() as u64).max(1);
     lats.sort_unstable();
     let total_ops = lats.len() as u64;
     let pct = |p: f64| -> u64 {
@@ -83,7 +120,7 @@ where
         lats[idx]
     };
     DriverReport {
-        threads,
+        threads: workers,
         total_ops,
         elapsed_ns,
         ops_per_sec: total_ops as f64 * 1e9 / elapsed_ns as f64,
@@ -122,6 +159,26 @@ mod tests {
             seen.fetch_or(1 << (t * 32 + i), Ordering::Relaxed);
         });
         assert_eq!(seen.load(Ordering::Relaxed), u64::MAX);
+    }
+
+    #[test]
+    fn factory_builds_one_owned_client_per_worker() {
+        let built = AtomicU64::new(0);
+        let report = run_closed_loop_with(
+            3,
+            10,
+            |t| {
+                built.fetch_add(1, Ordering::Relaxed);
+                (t, 0usize) // (identity, per-client op counter)
+            },
+            |client, t, i| {
+                assert_eq!(client.0, t, "worker got its own client");
+                assert_eq!(client.1, i, "client state persists across ops");
+                client.1 += 1;
+            },
+        );
+        assert_eq!(built.load(Ordering::Relaxed), 3, "one build per worker");
+        assert_eq!(report.total_ops, 30);
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Serving real clients: a RESP2 endpoint over a durable `RedisLite`.
+//!
+//! The store's whole command surface funnels through one entry point —
+//! `execute(Cmd) -> Reply` — and the TCP server is nothing but that
+//! entry point behind a RESP codec. This example starts a server on an
+//! ephemeral loopback port, drives it with the bundled client (single
+//! commands, then a pipelined batch that rides the batched-AOF fast
+//! path), speaks raw inline protocol like `nc` would, and finally
+//! restarts the server to show the AOF replaying into a fresh process.
+//!
+//! Run with `cargo run --example resp_server`.
+
+use forkbase::redislite::{AofFsync, Cmd, RedisLite, Reply, RespClient, RespServer};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn main() {
+    let aof = std::env::temp_dir().join(format!("resp-server-example-{}.aof", std::process::id()));
+    let _ = std::fs::remove_file(&aof);
+
+    // --- Serve: bind an ephemeral port over a durable store -------------
+    let db = Arc::new(RedisLite::open_durable_with(&aof, AofFsync::Always).expect("open aof"));
+    let server = RespServer::bind("127.0.0.1:0", Arc::clone(&db)).expect("bind");
+    let addr = server.addr();
+    println!(
+        "serving RESP on {addr} (appendfsync always, AOF at {})",
+        aof.display()
+    );
+
+    // --- A real client: single commands ----------------------------------
+    let mut client = RespClient::connect(addr).expect("connect");
+    assert_eq!(client.execute(&Cmd::Ping).expect("ping"), Reply::Pong);
+    client
+        .execute(&Cmd::Set("motd".into(), "forkable storage".into()))
+        .expect("set");
+    let got = client.execute(&Cmd::Get("motd".into())).expect("get");
+    println!("SET/GET over the wire: {got:?}");
+
+    // --- Pipelining: N commands, one round trip, one AOF append ---------
+    let batch: Vec<Cmd> = (0..5)
+        .map(|i| Cmd::Rpush("log".into(), format!("entry-{i}").into()))
+        .chain([Cmd::Lset("log".into(), -1, "entry-4 (edited)".into())])
+        .chain([Cmd::Lrange("log".into(), 0, -1)])
+        .collect();
+    let replies = client.pipeline(&batch).expect("pipeline");
+    println!(
+        "pipelined {} commands in one round trip; final LRANGE -> {:?}",
+        batch.len(),
+        replies.last().expect("one reply per command")
+    );
+
+    // --- The inline protocol: what `nc` or `redis-cli --pipe` sends -----
+    let mut raw = TcpStream::connect(addr).expect("connect raw");
+    raw.write_all(b"LLEN log\r\nDBSIZE\r\n")
+        .expect("write inline");
+    let mut lines = BufReader::new(raw.try_clone().expect("clone"));
+    let mut line = String::new();
+    lines.read_line(&mut line).expect("LLEN reply");
+    println!("inline 'LLEN log' -> {}", line.trim_end());
+    line.clear();
+    lines.read_line(&mut line).expect("DBSIZE reply");
+    println!("inline 'DBSIZE'   -> {}", line.trim_end());
+
+    // A bad command answers -ERR but the connection survives.
+    raw.write_all(b"EXPIRE motd 60\r\nPING\r\n").expect("write");
+    line.clear();
+    lines.read_line(&mut line).expect("error reply");
+    println!("inline 'EXPIRE'   -> {}", line.trim_end());
+    line.clear();
+    lines.read_line(&mut line).expect("pong after error");
+    assert_eq!(
+        line.trim_end(),
+        "+PONG",
+        "connection outlives command errors"
+    );
+
+    // --- Restart: the AOF replays into a fresh server --------------------
+    drop(client);
+    drop(server);
+    drop(db);
+    let reborn = Arc::new(RedisLite::open_durable_with(&aof, AofFsync::Always).expect("reopen"));
+    let server = RespServer::bind("127.0.0.1:0", Arc::clone(&reborn)).expect("rebind");
+    let mut client = RespClient::connect(server.addr()).expect("reconnect");
+    let log = client
+        .execute(&Cmd::Lrange("log".into(), 0, -1))
+        .expect("lrange");
+    let Reply::Multi(entries) = &log else {
+        panic!("LRANGE must reply with an array, got {log:?}");
+    };
+    assert_eq!(entries.len(), 5, "all acknowledged writes replayed");
+    assert_eq!(&entries[4][..], b"entry-4 (edited)");
+    println!(
+        "restarted on {}: {} log entries replayed from the AOF, tail = {:?}",
+        server.addr(),
+        entries.len(),
+        String::from_utf8_lossy(&entries[4]),
+    );
+
+    let _ = std::fs::remove_file(&aof);
+}

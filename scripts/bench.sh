@@ -23,8 +23,12 @@
 #   1/2/4-node clusters at 8/64 connections, in-process chunk routing vs
 #   loopback TCP, with per-op p50/p99 latency and derived tcp/inproc
 #   slowdown ratios.
+# * BENCH_serve.json — the RESP serving surface: YCSB-A/B/C closed loops
+#   through a live loopback RespServer at 64/256/512 connections vs the
+#   same schedules dispatched in-process, with p50/p95/p99 per-op
+#   latency and derived wire-tax ratios.
 #
-# Usage: scripts/bench.sh [chunking.json] [map_batch.json] [build.json] [store.json] [read.json] [write_scaling.json] [net.json]
+# Usage: scripts/bench.sh [chunking.json] [map_batch.json] [build.json] [store.json] [read.json] [write_scaling.json] [net.json] [serve.json]
 # Knobs: CRITERION_SAMPLE_MS (per-bench budget, default 300).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -36,13 +40,14 @@ store_out="${4:-BENCH_store.json}"
 read_out="${5:-BENCH_read.json}"
 write_scaling_out="${6:-BENCH_write_scaling.json}"
 net_out="${7:-BENCH_net.json}"
+serve_out="${8:-BENCH_serve.json}"
 opt_json="$(mktemp)"
 naive_json="$(mktemp)"
 trap 'rm -f "$opt_json" "$naive_json"' EXIT
 
 export CRITERION_SAMPLE_MS="${CRITERION_SAMPLE_MS:-300}"
 
-echo "== optimized pipeline: crypto_micro + pos_micro + pos_build + store + read + write_scaling + net" >&2
+echo "== optimized pipeline: crypto_micro + pos_micro + pos_build + store + read + write_scaling + net + serve" >&2
 CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench crypto_micro
 CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench pos_micro
 CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench pos_build
@@ -50,6 +55,7 @@ CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench store
 CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench read
 CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench write_scaling
 CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench net
+CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench serve
 
 echo "== naive-baseline pipeline: pos_micro (end-to-end A/B)" >&2
 CRITERION_JSON="$naive_json" cargo bench -q -p fb-bench --bench pos_micro \
@@ -346,3 +352,61 @@ net_slowdown() {
 
 echo "wrote $net_out" >&2
 grep -A7 'tcp_vs_inproc_slowdown' "$net_out" >&2
+
+# ---- BENCH_serve.json: the RESP serving surface ------------------------
+
+# Wire tax for one workload: per-op median at 64 tcp connections over
+# the 64-loop in-process baseline (same schedules, same execute path).
+serve_tax() {
+    local inproc tcp
+    inproc=$(median "$opt_json" "resp_serve/$1_inproc_conns64")
+    tcp=$(median "$opt_json" "resp_serve/$1_conns64")
+    ratio "$tcp" "$inproc"
+}
+
+# Aggregate ops/s for one bench id (first match).
+serve_ops() {
+    grep -F "\"bench\":\"resp_serve/$1\"" "$opt_json" | head -1 \
+        | sed 's/.*"ops_per_sec":\([0-9.]*\).*/\1/'
+}
+
+{
+    echo '{'
+    echo '  "bench": "serve",'
+    echo "  \"date_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"host\": \"$(uname -srm)\","
+    echo "  \"host_cores\": $(nproc),"
+    echo "  \"rustc\": \"$(rustc --version)\","
+    echo '  "n_keys": 10000,'
+    echo '  "value_bytes": 100,'
+    echo '  "zipf_s": 0.99,'
+    echo '  "note": "YCSB-A/B/C (50/95/100% reads, zipf 0.99) closed loops against one RedisLite behind a loopback RespServer at 64/256/512 connections (one blocking RESP round trip per op), vs the same pre-generated schedules dispatched straight into RedisLite::execute by 64 in-process loops. Every op crosses the full server path: RESP decode, the unified execute() dispatch, RESP encode, one reply write. wire_tax_64conns is per-op median tcp/inproc at 64 loops each — the cost of framing + syscalls + thread-per-connection scheduling; on a single-core host (see host_cores) it also absorbs all client/server context switching, so multi-core hosts will sit well below it. aggregate_ops_per_sec records the throughput sweep; closed loops mean more connections raise offered load only until the store or the core saturates.",'
+    echo '  "wire_tax_64conns": {'
+    echo "    \"ycsb_a\": $(serve_tax a),"
+    echo "    \"ycsb_b\": $(serve_tax b),"
+    echo "    \"ycsb_c\": $(serve_tax c)"
+    echo '  },'
+    echo '  "aggregate_ops_per_sec": {'
+    echo "    \"a_inproc_conns64\": $(serve_ops a_inproc_conns64),"
+    echo "    \"a_conns64\": $(serve_ops a_conns64),"
+    echo "    \"a_conns256\": $(serve_ops a_conns256),"
+    echo "    \"a_conns512\": $(serve_ops a_conns512),"
+    echo "    \"b_inproc_conns64\": $(serve_ops b_inproc_conns64),"
+    echo "    \"b_conns64\": $(serve_ops b_conns64),"
+    echo "    \"b_conns256\": $(serve_ops b_conns256),"
+    echo "    \"b_conns512\": $(serve_ops b_conns512),"
+    echo "    \"c_inproc_conns64\": $(serve_ops c_inproc_conns64),"
+    echo "    \"c_conns64\": $(serve_ops c_conns64),"
+    echo "    \"c_conns256\": $(serve_ops c_conns256),"
+    echo "    \"c_conns512\": $(serve_ops c_conns512)"
+    echo '  },'
+    echo '  "raw": ['
+    grep -F '"bench":"resp_serve/' "$opt_json" \
+        | awk 'NR > 1 { print prev "," } { prev = $0 } END { if (NR) print prev }' \
+        | sed 's/^/    /'
+    echo '  ]'
+    echo '}'
+} > "$serve_out"
+
+echo "wrote $serve_out" >&2
+grep -A4 'wire_tax_64conns' "$serve_out" >&2
