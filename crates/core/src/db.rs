@@ -2,18 +2,24 @@
 //!
 //! | Group | Methods |
 //! |-------|---------|
-//! | Get   | [`get`](ForkBase::get) (M1), [`get_version`](ForkBase::get_version) (M2) |
-//! | Put   | [`put`](ForkBase::put) (M3), [`put_guarded`](ForkBase::put_guarded), [`put_conflict`](ForkBase::put_conflict) (M4) |
-//! | Merge | [`merge_branches`](ForkBase::merge_branches) (M5), [`merge_with_version`](ForkBase::merge_with_version) (M6), [`merge_versions`](ForkBase::merge_versions) (M7) |
-//! | View  | [`list_keys`](ForkBase::list_keys) (M8), [`list_tagged_branches`](ForkBase::list_tagged_branches) (M9), [`list_untagged_branches`](ForkBase::list_untagged_branches) (M10) |
-//! | Fork  | [`fork`](ForkBase::fork) (M11), [`fork_version`](ForkBase::fork_version) (M12), [`rename_branch`](ForkBase::rename_branch) (M13), [`remove_branch`](ForkBase::remove_branch) (M14) |
-//! | Track | [`track`](ForkBase::track) (M15), [`track_version`](ForkBase::track_version) (M16), [`lca`](ForkBase::lca) (M17) |
+//! | Get   | [`get`](ForkBase::get) (M1), [`get_version`](Engine::get_version) (M2) |
+//! | Put   | [`put`](ForkBase::put) (M3), [`put_guarded`](ForkBase::put_guarded), [`put_conflict`](Engine::put_conflict) (M4) |
+//! | Merge | [`merge_branches`](ForkBase::merge_branches) (M5), [`merge_with_version`](ForkBase::merge_with_version) (M6), [`merge_versions`](Engine::merge_versions) (M7) |
+//! | View  | [`list_keys`](Engine::list_keys) (M8), [`list_tagged_branches`](Engine::list_tagged_branches) (M9), [`list_untagged_branches`](Engine::list_untagged_branches) (M10) |
+//! | Fork  | [`fork`](ForkBase::fork) (M11), [`fork_version`](Engine::fork_version) (M12), [`rename_branch`](Engine::rename_branch) (M13), [`remove_branch`](Engine::remove_branch) (M14) |
+//! | Track | [`track`](ForkBase::track) (M15), [`track_version`](Engine::track_version) (M16), [`lca`](Engine::lca) (M17) |
+//!
+//! All of these are available on the [`ForkBase`] handle, which derefs
+//! to [`Engine`]; the links point at whichever type defines the method
+//! (the handle shadows the default-branch-mutating subset to coordinate
+//! with the hot tier).
 
 use crate::branch::{BranchSlot, ShardedBranchMap};
 use crate::checkpoint::BranchSnapshot;
 use crate::error::{FbError, Result};
 use crate::fobject::FObject;
 use crate::history;
+use crate::hot::{HotTier, HotTierConfig, HotTierStats};
 use crate::value::{Value, ValueType};
 use bytes::Bytes;
 use forkbase_chunk::{
@@ -23,15 +29,17 @@ use forkbase_crypto::fx::FxHashMap;
 use forkbase_crypto::{ChunkerConfig, Digest};
 use forkbase_pos::{builder, merge3_blob, merge3_sorted, Blob, List, Map, Resolver, Set, TreeType};
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// The branch written when no branch is given (§3.1).
 pub const DEFAULT_BRANCH: &str = "master";
 
-/// An embedded ForkBase instance: one servlet plus one chunk storage
-/// (§4.1: "when used as an embedded storage, only one servlet and one
-/// chunk storage are instantiated").
-pub struct ForkBase {
+/// The engine core: branch tables, chunk store, and the full M1–M17
+/// method surface plus checkpointing. [`ForkBase`] is a thin handle that
+/// derefs to this and overlays the optional hot tier (see
+/// [`crate::hot`]); the hot-tier publisher commits through a shared
+/// `Arc<Engine>` behind the handle's back.
+pub struct Engine {
     store: Arc<dyn ChunkStore>,
     cfg: ChunkerConfig,
     /// Per-key branch-head slots behind striped locks (§4.5 branch
@@ -47,27 +55,33 @@ pub struct ForkBase {
     /// gives callers (and GC) stats/clear access without downcasting
     /// `store`.
     cache: Option<Arc<ShardedCache>>,
+    /// Serializes [`commit_checkpoint`](Self::commit_checkpoint): the
+    /// hot-tier publisher checkpoints after publish rounds while flushes
+    /// and callers checkpoint too, and the HEAD.tmp write + rename must
+    /// not interleave (a lost rename, or an older cid landing last).
+    ckpt_lock: Mutex<()>,
 }
 
 /// Name of the checkpoint-cid ref file inside a durable instance's
 /// directory (cf. git's `HEAD`).
 const HEAD_FILE: &str = "HEAD";
 
-impl ForkBase {
+impl Engine {
     /// In-memory instance with default chunking parameters.
-    pub fn in_memory() -> ForkBase {
-        ForkBase::with_store(Arc::new(MemStore::new()), ChunkerConfig::default())
+    pub fn in_memory() -> Engine {
+        Engine::with_store(Arc::new(MemStore::new()), ChunkerConfig::default())
     }
 
     /// Instance over an arbitrary chunk store (persistent, partitioned,
     /// replicated, …).
-    pub fn with_store(store: Arc<dyn ChunkStore>, cfg: ChunkerConfig) -> ForkBase {
-        ForkBase {
+    pub fn with_store(store: Arc<dyn ChunkStore>, cfg: ChunkerConfig) -> Engine {
+        Engine {
             store,
             cfg,
             branches: ShardedBranchMap::new(),
             durable: None,
             cache: None,
+            ckpt_lock: Mutex::new(()),
         }
     }
 
@@ -78,7 +92,7 @@ impl ForkBase {
     /// checkpoint ref (written by
     /// [`commit_checkpoint`](Self::commit_checkpoint)), all branch heads
     /// are restored from it.
-    pub fn open(path: impl AsRef<Path>) -> Result<ForkBase> {
+    pub fn open(path: impl AsRef<Path>) -> Result<Engine> {
         Self::open_with(
             path,
             ChunkerConfig::default(),
@@ -95,7 +109,7 @@ impl ForkBase {
         cfg: ChunkerConfig,
         durability: Durability,
         cache: CacheConfig,
-    ) -> Result<ForkBase> {
+    ) -> Result<Engine> {
         let path = path.as_ref();
         let log = Arc::new(LogStore::open_with(path, LogConfig::default(), durability)?);
         let mut cache_handle = None;
@@ -132,6 +146,7 @@ impl ForkBase {
             .durable
             .as_ref()
             .ok_or_else(|| FbError::Io("not a durable instance (use ForkBase::open)".into()))?;
+        let _serialized = self.ckpt_lock.lock().expect("checkpoint lock");
         let cid = self.checkpoint();
         store.sync()?;
         let tmp = store.dir().join("HEAD.tmp");
@@ -667,6 +682,22 @@ impl ForkBase {
         obj.value(self.store())
     }
 
+    /// Latest committed value of `subkey` inside the Map at `key`'s
+    /// default-branch head — the hot tier's fall-through read. A missing
+    /// key, branch or subkey is `Ok(None)`; only store/decode failures
+    /// (or a non-Map head) error.
+    pub fn map_get_latest(&self, key: &Bytes, subkey: &[u8]) -> Result<Option<Bytes>> {
+        let slot = match self.branches.get(key) {
+            Some(slot) => slot,
+            None => return Ok(None),
+        };
+        let head = slot.read().head(DEFAULT_BRANCH);
+        let Some(uid) = head else { return Ok(None) };
+        let obj = FObject::load(self.store(), uid)?;
+        let map = obj.value(self.store())?.as_map()?;
+        Ok(map.get(self.store(), subkey))
+    }
+
     // ---- View (M8–M10) ---------------------------------------------------
 
     /// M8: every key with at least one branch.
@@ -835,7 +866,7 @@ impl ForkBase {
         store: Arc<dyn ChunkStore>,
         cfg: ChunkerConfig,
         checkpoint: Digest,
-    ) -> Result<ForkBase> {
+    ) -> Result<Engine> {
         let chunk = store
             .get(&checkpoint)
             .ok_or(FbError::VersionNotFound(checkpoint))?;
@@ -857,12 +888,13 @@ impl ForkBase {
                 table.record_version(head, &[]);
             }
         }
-        Ok(ForkBase {
+        Ok(Engine {
             store,
             cfg,
             branches,
             durable: None,
             cache: None,
+            ckpt_lock: Mutex::new(()),
         })
     }
 
@@ -1046,6 +1078,407 @@ impl ForkBase {
                 }
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The ForkBase handle: engine core + optional hot-state tier
+// ---------------------------------------------------------------------------
+
+/// An embedded ForkBase instance: one servlet plus one chunk storage
+/// (§4.1: "when used as an embedded storage, only one servlet and one
+/// chunk storage are instantiated"), fronted by an optional flat
+/// hot-state tier (see [`crate::hot`]).
+///
+/// `ForkBase` derefs to [`Engine`], so the entire M1–M17 surface is
+/// available on a handle. The handle additionally overlays hot-tier
+/// coordination on the methods where the two tiers could disagree about
+/// a key's **default branch**:
+///
+/// * tree **writes** (`put`, `put_many`, `commit_map_batch`, merges, …)
+///   first publish the key's pending hot edits into the tree and
+///   invalidate its hot entries, so the write's base head already
+///   contains every earlier `hot_put`;
+/// * tree **reads** (`get`, `get_value`, `head`, `track`, `fork`) first
+///   publish pending hot edits, so a `get` observes every `hot_put`
+///   that happened before it (read-your-writes across tiers).
+///
+/// Tagged non-default branches and version reads never touch the hot
+/// tier — historical/cold reads always fall through to the POS-Tree.
+pub struct ForkBase {
+    inner: Arc<Engine>,
+    hot: Option<HotTier>,
+}
+
+impl std::ops::Deref for ForkBase {
+    type Target = Engine;
+    fn deref(&self) -> &Engine {
+        &self.inner
+    }
+}
+
+impl ForkBase {
+    /// In-memory instance with default chunking parameters and the hot
+    /// tier off.
+    pub fn in_memory() -> ForkBase {
+        Self::from_engine(Engine::in_memory(), HotTierConfig::default())
+    }
+
+    /// In-memory instance with an explicit hot-tier configuration.
+    pub fn in_memory_hot(hot: HotTierConfig) -> ForkBase {
+        Self::from_engine(Engine::in_memory(), hot)
+    }
+
+    /// Instance over an arbitrary chunk store (persistent, partitioned,
+    /// replicated, …), hot tier off.
+    pub fn with_store(store: Arc<dyn ChunkStore>, cfg: ChunkerConfig) -> ForkBase {
+        Self::from_engine(Engine::with_store(store, cfg), HotTierConfig::default())
+    }
+
+    /// [`with_store`](Self::with_store) with an explicit hot-tier
+    /// configuration.
+    pub fn with_store_hot(
+        store: Arc<dyn ChunkStore>,
+        cfg: ChunkerConfig,
+        hot: HotTierConfig,
+    ) -> ForkBase {
+        Self::from_engine(Engine::with_store(store, cfg), hot)
+    }
+
+    /// Open (or create) a durable instance in directory `path` over a
+    /// segmented [`LogStore`] with default chunking, sizing,
+    /// [`Durability`], the default read-tier chunk cache
+    /// ([`CacheConfig::default`] — on), and the hot tier off. If a
+    /// previous session left a checkpoint ref (written by
+    /// [`commit_checkpoint`](Engine::commit_checkpoint)), all branch
+    /// heads are restored from it.
+    pub fn open(path: impl AsRef<Path>) -> Result<ForkBase> {
+        Ok(Self::from_engine(
+            Engine::open(path)?,
+            HotTierConfig::default(),
+        ))
+    }
+
+    /// [`open`](Self::open) with explicit chunking configuration,
+    /// durability policy, read-tier cache sizing (pass
+    /// [`CacheConfig::disabled`] for raw `LogStore` reads), and
+    /// hot-tier configuration (pass [`HotTierConfig::default`] for the
+    /// tree-only engine).
+    pub fn open_with(
+        path: impl AsRef<Path>,
+        cfg: ChunkerConfig,
+        durability: Durability,
+        cache: CacheConfig,
+        hot: HotTierConfig,
+    ) -> Result<ForkBase> {
+        Ok(Self::from_engine(
+            Engine::open_with(path, cfg, durability, cache)?,
+            hot,
+        ))
+    }
+
+    /// Reopen an instance from a store plus the cid of a checkpoint
+    /// taken with [`checkpoint`](Engine::checkpoint), hot tier off.
+    pub fn restore(
+        store: Arc<dyn ChunkStore>,
+        cfg: ChunkerConfig,
+        checkpoint: Digest,
+    ) -> Result<ForkBase> {
+        Ok(Self::from_engine(
+            Engine::restore(store, cfg, checkpoint)?,
+            HotTierConfig::default(),
+        ))
+    }
+
+    fn from_engine(engine: Engine, hot: HotTierConfig) -> ForkBase {
+        let inner = Arc::new(engine);
+        let hot = HotTier::spawn(Arc::clone(&inner), hot);
+        ForkBase { inner, hot }
+    }
+
+    /// The shared engine core behind this handle.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.inner
+    }
+
+    /// Whether this handle fronts the engine with a hot tier.
+    pub fn hot_enabled(&self) -> bool {
+        self.hot.is_some()
+    }
+
+    // ---- Hot-tier surface --------------------------------------------------
+
+    /// Latest value of `subkey` under `key`'s default branch: answered
+    /// from the hot tier when it knows the subkey (including
+    /// tombstones), falling through to the committed POS-Tree map for
+    /// cold entries. With the tier off this *is* the tree read.
+    pub fn hot_get(&self, key: impl Into<Bytes>, subkey: &[u8]) -> Result<Option<Bytes>> {
+        let key = key.into();
+        match &self.hot {
+            Some(hot) => hot.get(&key, subkey),
+            None => self.inner.map_get_latest(&key, subkey),
+        }
+    }
+
+    /// Write `subkey = value` into `key`'s latest state. With the tier
+    /// on, the write lands in the flat index immediately (visible to
+    /// [`hot_get`](Self::hot_get) before any tree work) and is drained
+    /// into the POS-Tree by the background publisher. With the tier off
+    /// it is a synchronous one-edit [`commit_map_batch`](Engine::commit_map_batch).
+    pub fn hot_put(
+        &self,
+        key: impl Into<Bytes>,
+        subkey: impl Into<Bytes>,
+        value: impl Into<Bytes>,
+    ) -> Result<()> {
+        let key = key.into();
+        match &self.hot {
+            Some(hot) => hot.put_many(&key, vec![(subkey.into(), Some(value.into()))]),
+            None => {
+                let mut wb = forkbase_pos::WriteBatch::new();
+                wb.put(subkey.into(), value.into());
+                self.inner.commit_map_batch(key, None, wb).map(|_| ())
+            }
+        }
+    }
+
+    /// Batched [`hot_put`](Self::hot_put): `None` values are deletes.
+    /// One enqueue (and, with the tier off, one tree splice) for the
+    /// whole batch.
+    pub fn hot_put_many(
+        &self,
+        key: impl Into<Bytes>,
+        entries: impl IntoIterator<Item = (Bytes, Option<Bytes>)>,
+    ) -> Result<()> {
+        let key = key.into();
+        let entries: Vec<(Bytes, Option<Bytes>)> = entries.into_iter().collect();
+        if entries.is_empty() {
+            return Ok(());
+        }
+        match &self.hot {
+            Some(hot) => hot.put_many(&key, entries),
+            None => {
+                let mut wb = forkbase_pos::WriteBatch::new();
+                for (sk, v) in entries {
+                    match v {
+                        Some(v) => {
+                            wb.put(sk, v);
+                        }
+                        None => {
+                            wb.delete(sk);
+                        }
+                    }
+                }
+                self.inner.commit_map_batch(key, None, wb).map(|_| ())
+            }
+        }
+    }
+
+    /// Delete `subkey` from `key`'s latest state (a tombstone in the hot
+    /// tier until published).
+    pub fn hot_delete(&self, key: impl Into<Bytes>, subkey: impl Into<Bytes>) -> Result<()> {
+        let key = key.into();
+        match &self.hot {
+            Some(hot) => hot.put_many(&key, vec![(subkey.into(), None)]),
+            None => {
+                let mut wb = forkbase_pos::WriteBatch::new();
+                wb.delete(subkey.into());
+                self.inner.commit_map_batch(key, None, wb).map(|_| ())
+            }
+        }
+    }
+
+    /// Publish every pending hot edit into the POS-Tree and, on a
+    /// durable instance, [`commit_checkpoint`](Engine::commit_checkpoint)
+    /// the result. When this returns, every `hot_put` that happened
+    /// before the call is committed (crash-recoverable on durable
+    /// instances); per-key uids are readable via [`head`](Self::head).
+    /// A no-op with the tier off (writes were synchronous).
+    pub fn flush_hot(&self) -> Result<()> {
+        match &self.hot {
+            Some(hot) => hot.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Hot-tier counters (hits/misses/writes/published/pending), or
+    /// `None` with the tier off.
+    pub fn hot_stats(&self) -> Option<HotTierStats> {
+        self.hot.as_ref().map(|h| h.stats())
+    }
+
+    /// An O(1) snapshot of `key`'s hot-tier state (subkey → value,
+    /// `None` = tombstone), or `None` when the tier is off or the key
+    /// has no hot entries. The snapshot is immutable and fully isolated
+    /// from later writes.
+    pub fn hot_snapshot(&self, key: impl Into<Bytes>) -> Option<forkbase_pos::Hamt<Option<Bytes>>> {
+        self.hot.as_ref().and_then(|h| h.snapshot(&key.into()))
+    }
+
+    // ---- Hot/tree coordination --------------------------------------------
+
+    /// Before a tree write on `key`'s default branch: publish the key's
+    /// pending hot edits (so the write's base contains them) and drop
+    /// its hot entries (the write makes them stale).
+    fn sync_tree_write(&self, key: &Bytes, branch: Option<&str>) -> Result<()> {
+        if let Some(hot) = &self.hot {
+            if branch.unwrap_or(DEFAULT_BRANCH) == DEFAULT_BRANCH {
+                hot.drain_key(key)?;
+                hot.invalidate(key);
+            }
+        }
+        Ok(())
+    }
+
+    /// Before a tree read of `key`'s default branch: publish pending hot
+    /// edits so the read observes earlier `hot_put`s.
+    fn sync_tree_read(&self, key: &Bytes, branch: Option<&str>) -> Result<()> {
+        if let Some(hot) = &self.hot {
+            if branch.unwrap_or(DEFAULT_BRANCH) == DEFAULT_BRANCH {
+                hot.drain_key(key)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ---- Coordinated overrides of the Engine surface ----------------------
+    // (Inherent methods shadow the Deref'd Engine ones; everything not
+    // listed here goes straight to the engine.)
+
+    /// [`Engine::put`] with hot-tier coordination.
+    pub fn put(&self, key: impl Into<Bytes>, branch: Option<&str>, value: Value) -> Result<Digest> {
+        let key = key.into();
+        self.sync_tree_write(&key, branch)?;
+        self.inner.put(key, branch, value)
+    }
+
+    /// [`Engine::put_with_context`] with hot-tier coordination.
+    pub fn put_with_context(
+        &self,
+        key: impl Into<Bytes>,
+        branch: Option<&str>,
+        value: Value,
+        context: impl Into<Bytes>,
+    ) -> Result<Digest> {
+        let key = key.into();
+        self.sync_tree_write(&key, branch)?;
+        self.inner.put_with_context(key, branch, value, context)
+    }
+
+    /// [`Engine::put_many`] with hot-tier coordination.
+    pub fn put_many<I, K>(&self, branch: Option<&str>, entries: I) -> Result<Vec<Digest>>
+    where
+        I: IntoIterator<Item = (K, Value)>,
+        K: Into<Bytes>,
+    {
+        let entries: Vec<(Bytes, Value)> =
+            entries.into_iter().map(|(k, v)| (k.into(), v)).collect();
+        for (key, _) in &entries {
+            self.sync_tree_write(key, branch)?;
+        }
+        self.inner.put_many(branch, entries)
+    }
+
+    /// [`Engine::commit_map_batch`] with hot-tier coordination.
+    pub fn commit_map_batch(
+        &self,
+        key: impl Into<Bytes>,
+        branch: Option<&str>,
+        batch: forkbase_pos::WriteBatch,
+    ) -> Result<Digest> {
+        let key = key.into();
+        self.sync_tree_write(&key, branch)?;
+        self.inner.commit_map_batch(key, branch, batch)
+    }
+
+    /// [`Engine::put_guarded`] with hot-tier coordination.
+    pub fn put_guarded(
+        &self,
+        key: impl Into<Bytes>,
+        branch: Option<&str>,
+        value: Value,
+        guard: Digest,
+    ) -> Result<Digest> {
+        let key = key.into();
+        self.sync_tree_write(&key, branch)?;
+        self.inner.put_guarded(key, branch, value, guard)
+    }
+
+    /// [`Engine::get`] with hot-tier coordination.
+    pub fn get(&self, key: impl Into<Bytes>, branch: Option<&str>) -> Result<FObject> {
+        let key = key.into();
+        self.sync_tree_read(&key, branch)?;
+        self.inner.get(key, branch)
+    }
+
+    /// [`Engine::get_value`] with hot-tier coordination.
+    pub fn get_value(&self, key: impl Into<Bytes>, branch: Option<&str>) -> Result<Value> {
+        let key = key.into();
+        self.sync_tree_read(&key, branch)?;
+        self.inner.get_value(key, branch)
+    }
+
+    /// [`Engine::head`] with hot-tier coordination.
+    pub fn head(&self, key: impl Into<Bytes>, branch: Option<&str>) -> Result<Digest> {
+        let key = key.into();
+        self.sync_tree_read(&key, branch)?;
+        self.inner.head(key, branch)
+    }
+
+    /// [`Engine::fork`] with hot-tier coordination (forking *from* the
+    /// default branch must capture pending hot edits).
+    pub fn fork(&self, key: impl Into<Bytes>, from: &str, new_branch: &str) -> Result<()> {
+        let key = key.into();
+        self.sync_tree_read(&key, Some(from))?;
+        self.inner.fork(key, from, new_branch)
+    }
+
+    /// [`Engine::track`] with hot-tier coordination.
+    pub fn track(
+        &self,
+        key: impl Into<Bytes>,
+        branch: Option<&str>,
+        min_dist: u64,
+        max_dist: u64,
+    ) -> Result<Vec<history::TrackedVersion>> {
+        let key = key.into();
+        self.sync_tree_read(&key, branch)?;
+        self.inner.track(key, branch, min_dist, max_dist)
+    }
+
+    /// [`Engine::merge_branches`] with hot-tier coordination.
+    pub fn merge_branches(
+        &self,
+        key: impl Into<Bytes>,
+        target: &str,
+        reference: &str,
+        resolver: &Resolver,
+    ) -> Result<Digest> {
+        let key = key.into();
+        self.sync_tree_write(&key, Some(target))?;
+        self.sync_tree_read(&key, Some(reference))?;
+        self.inner.merge_branches(key, target, reference, resolver)
+    }
+
+    /// [`Engine::merge_with_version`] with hot-tier coordination.
+    pub fn merge_with_version(
+        &self,
+        key: impl Into<Bytes>,
+        target: &str,
+        ref_uid: Digest,
+        resolver: &Resolver,
+    ) -> Result<Digest> {
+        let key = key.into();
+        self.sync_tree_write(&key, Some(target))?;
+        self.inner
+            .merge_with_version(key, target, ref_uid, resolver)
+    }
+
+    /// [`Engine::commit_checkpoint`], publishing pending hot edits
+    /// first so the recovery point contains them.
+    pub fn commit_checkpoint(&self) -> Result<Digest> {
+        self.flush_hot()?;
+        self.inner.commit_checkpoint()
     }
 }
 
@@ -1456,6 +1889,7 @@ mod tests {
                 ChunkerConfig::default(),
                 forkbase_chunk::Durability::Always,
                 CacheConfig::default(),
+                HotTierConfig::default(),
             )
             .expect("open");
             assert!(db.durable_store().is_some());

@@ -127,7 +127,9 @@ pub fn compact_in_place(db: &ForkBase) -> Result<GcReport> {
         .ok_or_else(|| FbError::Io("not a durable instance (use ForkBase::open)".into()))?;
     // The checkpoint chunk is a GC root the branch walk cannot see (it
     // is referenced by the HEAD file, not by any version), so commit it
-    // first and pin it explicitly.
+    // first and pin it explicitly. Going through the handle also
+    // publishes any pending hot-tier edits first — compaction must not
+    // race the publisher over chunks it is about to retire.
     let checkpoint = db.commit_checkpoint()?;
     let (mut live, live_versions) = live_set(db)?;
     live.insert(checkpoint);

@@ -46,17 +46,19 @@ pub mod error;
 pub mod fobject;
 pub mod gc;
 pub mod history;
+pub mod hot;
 pub mod value;
 pub mod verify;
 
 pub use access::{AccessControl, Permission};
 pub use branch::BranchTable;
 pub use checkpoint::BranchSnapshot;
-pub use db::{ForkBase, DEFAULT_BRANCH};
+pub use db::{Engine, ForkBase, DEFAULT_BRANCH};
 pub use error::{FbError, Result};
 pub use fobject::FObject;
 pub use gc::{compact_into, GcReport};
 pub use history::TrackedVersion;
+pub use hot::{HotTierConfig, HotTierStats};
 pub use value::{Value, ValueType};
 pub use verify::{verify_history, verify_object, TamperEvidence};
 

@@ -225,3 +225,42 @@ fn concurrent_distinct_keys_are_independent() {
         }
     });
 }
+
+/// `commit_checkpoint` from many threads at once: the HEAD.tmp write +
+/// rename must be serialized (the hot-tier publisher checkpoints in the
+/// background while flushes and callers checkpoint too). Before the
+/// checkpoint lock, two racing renames could fail with ENOENT.
+#[test]
+fn concurrent_checkpoints_serialize() {
+    let dir = std::env::temp_dir().join(format!(
+        "forkbase-ckpt-race-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock")
+            .subsec_nanos()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let db = Arc::new(ForkBase::open(&dir).expect("open"));
+    db.put("k", None, Value::Int(0)).expect("seed");
+    thread::scope(|s| {
+        for t in 0..4 {
+            let db = Arc::clone(&db);
+            s.spawn(move || {
+                for i in 0..16 {
+                    db.put("k", None, Value::Int((t * 100 + i) as i64))
+                        .expect("put");
+                    db.commit_checkpoint().expect("checkpoint must never race");
+                }
+            });
+        }
+    });
+    drop(db);
+    let db = ForkBase::open(&dir).expect("reopen");
+    assert!(
+        matches!(db.get_value("k", None).expect("restored"), Value::Int(_)),
+        "HEAD points at a valid checkpoint"
+    );
+    drop(db);
+    std::fs::remove_dir_all(dir).ok();
+}

@@ -1,0 +1,157 @@
+//! Crash test for the hot tier's publish window: a child process writes
+//! through the hot surface, flushes a prefix, leaves a window of edits
+//! pending, and dies via `abort()` — no destructors, no publisher drain.
+//! The parent reopens and checks the loss bound:
+//!
+//! * everything acknowledged by `flush_hot` survives (the publisher
+//!   checkpointed it), and
+//! * the pending window loses *at most* its own edits — each window
+//!   subkey is either absent or carries exactly the value that was
+//!   written (a background publish round may have landed before the
+//!   abort, but nothing is ever torn or reordered).
+//!
+//! The `FB_HOT_TIER` env var (CI persistence-job matrix) picks the leg:
+//! `1`/unset runs the tier on with an aggressive publish schedule, `0`
+//! runs the tier off, where `hot_put` is a synchronous tree commit and
+//! the recovery point is the last explicit `commit_checkpoint` — the
+//! window is then *fully* lost on reopen, which the test pins too.
+
+use bytes::Bytes;
+use forkbase_core::{ForkBase, HotTierConfig};
+use std::process::Command;
+use std::time::Duration;
+
+/// Subkeys flushed (or checkpointed) before the crash window opens.
+const FLUSHED: usize = 64;
+/// Subkeys written after the flush, still pending at abort time.
+const WINDOW: usize = 24;
+const STATE_KEY: &str = "eth/state";
+
+fn hot_on() -> bool {
+    std::env::var("FB_HOT_TIER").as_deref() != Ok("0")
+}
+
+fn open(dir: &std::path::Path) -> ForkBase {
+    let hot = if hot_on() {
+        // Small rounds so background publishing genuinely races the
+        // abort — the window assertions must hold either way.
+        HotTierConfig {
+            enabled: true,
+            publish_batch: 8,
+            publish_interval: Duration::from_millis(1),
+        }
+    } else {
+        HotTierConfig::disabled()
+    };
+    ForkBase::open_with(
+        dir,
+        forkbase_crypto::ChunkerConfig::default(),
+        forkbase_chunk::Durability::Always,
+        forkbase_chunk::CacheConfig::default(),
+        hot,
+    )
+    .expect("open")
+}
+
+fn subkey(i: usize) -> Bytes {
+    Bytes::from(format!("acct/{i:06}"))
+}
+
+fn value(i: usize) -> Bytes {
+    Bytes::from(format!("balance-{i}-{}", "x".repeat(i % 7)))
+}
+
+/// Child mode: only active when `FORKBASE_HOT_KILL_DIR` is set.
+#[test]
+fn child_writer() {
+    let Some(dir) = std::env::var_os("FORKBASE_HOT_KILL_DIR") else {
+        return;
+    };
+    let db = open(std::path::Path::new(&dir));
+    for i in 0..FLUSHED {
+        db.hot_put(STATE_KEY, subkey(i), value(i)).expect("hot put");
+    }
+    if hot_on() {
+        // The durability point the parent will hold us to.
+        db.flush_hot().expect("flush");
+    } else {
+        // Tier off: writes were synchronous tree commits; the recovery
+        // point is the explicit checkpoint.
+        db.commit_checkpoint().expect("checkpoint");
+    }
+    for i in FLUSHED..FLUSHED + WINDOW {
+        db.hot_put(STATE_KEY, subkey(i), value(i)).expect("hot put");
+    }
+    // Die with the window pending: no Drop, no publisher drain, no
+    // clean close.
+    std::process::abort();
+}
+
+#[test]
+fn kill_loses_at_most_the_publish_window() {
+    let dir = std::env::temp_dir().join(format!(
+        "forkbase-hot-kill-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock")
+            .subsec_nanos()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let exe = std::env::current_exe().expect("own binary");
+    let status = Command::new(exe)
+        .args(["child_writer", "--exact", "--nocapture", "--test-threads=1"])
+        .env("FORKBASE_HOT_KILL_DIR", &dir)
+        .status()
+        .expect("spawn child");
+    assert!(
+        !status.success(),
+        "the child must die by abort, not exit cleanly"
+    );
+
+    let db = open(&dir);
+
+    // The flushed prefix is the hard guarantee: zero loss.
+    for i in 0..FLUSHED {
+        assert_eq!(
+            db.hot_get(STATE_KEY, &subkey(i)).expect("read"),
+            Some(value(i)),
+            "flushed subkey {i} must survive the crash"
+        );
+    }
+
+    // The window: bounded, prefix-free loss. Each subkey either made it
+    // into a published round (exact value) or is gone — never torn.
+    let mut lost = 0;
+    for i in FLUSHED..FLUSHED + WINDOW {
+        match db.hot_get(STATE_KEY, &subkey(i)).expect("read") {
+            Some(v) => assert_eq!(v, value(i), "window subkey {i} must not be torn"),
+            None => lost += 1,
+        }
+    }
+    assert!(
+        lost <= WINDOW,
+        "loss bounded by the pending window: lost {lost} of {WINDOW}"
+    );
+    if !hot_on() {
+        // Tier off: reopen restores the last checkpoint, taken before
+        // the window opened — the whole window is lost, exactly.
+        assert_eq!(lost, WINDOW, "tree-only recovery point is the checkpoint");
+    }
+
+    // The survivor is a fully functional engine: writes, flush, and a
+    // clean reopen all keep working.
+    db.hot_put(STATE_KEY, subkey(999_999), Bytes::from_static(b"alive"))
+        .expect("post-crash write");
+    db.flush_hot().expect("post-crash flush");
+    db.commit_checkpoint().expect("post-crash checkpoint");
+    drop(db);
+    let db = open(&dir);
+    assert_eq!(
+        db.hot_get(STATE_KEY, &subkey(999_999)).expect("read"),
+        Some(Bytes::from_static(b"alive"))
+    );
+    drop(db);
+    std::fs::remove_dir_all(dir).ok();
+}

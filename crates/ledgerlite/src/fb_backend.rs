@@ -94,6 +94,7 @@ impl ForkBaseBackend {
             cfg,
             durability,
             forkbase_chunk::CacheConfig::default(),
+            forkbase_core::HotTierConfig::default(),
         )?))
     }
 

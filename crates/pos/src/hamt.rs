@@ -1,0 +1,499 @@
+//! A persistent hash-array-mapped trie for the flat hot-state tier.
+//!
+//! Both Sonic Labs forkless-DB papers get their headline wins by serving
+//! *latest* state from a flat hash-shaped index and demoting the Merkle
+//! structure to an asynchronously maintained sidecar. This is that index:
+//! a 32-way HAMT over the 64-bit FxHash of a `Bytes` key, with
+//! path-copying updates so that
+//!
+//! * `clone()` is an O(1) snapshot — every node is behind an `Arc`, and a
+//!   snapshot just bumps the root's refcount;
+//! * mutation copies only the nodes it actually touches
+//!   ([`Arc::make_mut`]), so a uniquely-owned trie mutates in place at
+//!   hash-map speed while a shared one degrades gracefully to
+//!   copy-on-write along one root-to-leaf path (≤13 nodes).
+//!
+//! Unlike the POS-Tree [`crate::tree::Map`], a `Hamt` is purely in-memory
+//! and unordered: no chunk store, no content addressing, no iteration
+//! order guarantees. The hot tier pairs one of these (per engine key)
+//! with the POS-Tree map that authenticates it.
+
+use bytes::Bytes;
+use forkbase_crypto::fx::FxHasher;
+use std::hash::Hasher;
+use std::sync::Arc;
+
+/// Bits consumed per trie level. 2^5 = 32-way branching; a 64-bit hash
+/// supports 13 levels (12×5 + 4) before exact-collision handling kicks in.
+const BITS: u32 = 5;
+const LEVEL_MASK: u64 = (1 << BITS) - 1;
+/// Past this shift the hash is exhausted: equal remaining hashes mean a
+/// true 64-bit collision, handled by a `Collision` node.
+const MAX_SHIFT: u32 = 60;
+
+fn hash_key(key: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(key);
+    h.finish()
+}
+
+#[derive(Clone)]
+enum Node<V> {
+    /// Interior node: `bitmap` has bit `i` set iff child for slot `i`
+    /// exists; children are stored densely in slot order.
+    Branch {
+        bitmap: u32,
+        children: Vec<Arc<Node<V>>>,
+    },
+    /// A single key. The full hash is cached so splits never rehash.
+    Leaf { hash: u64, key: Bytes, value: V },
+    /// Keys whose full 64-bit hashes are identical.
+    Collision { hash: u64, entries: Vec<(Bytes, V)> },
+}
+
+/// A persistent (path-copying) hash map from `Bytes` to `V`.
+///
+/// `clone()` is an O(1) snapshot; mutating either copy never disturbs the
+/// other. See the module docs for where this sits in the engine.
+pub struct Hamt<V> {
+    root: Option<Arc<Node<V>>>,
+    len: usize,
+}
+
+impl<V> Clone for Hamt<V> {
+    fn clone(&self) -> Self {
+        Hamt {
+            root: self.root.clone(),
+            len: self.len,
+        }
+    }
+}
+
+impl<V> Default for Hamt<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> Hamt<V> {
+    pub fn new() -> Self {
+        Hamt { root: None, len: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<V: Clone> Hamt<V> {
+    /// Look up `key`, returning a reference into the trie.
+    pub fn get(&self, key: &[u8]) -> Option<&V> {
+        let mut node = self.root.as_deref()?;
+        let hash = hash_key(key);
+        let mut shift = 0u32;
+        loop {
+            match node {
+                Node::Branch { bitmap, children } => {
+                    let idx = ((hash >> shift) & LEVEL_MASK) as u32;
+                    let bit = 1u32 << idx;
+                    if bitmap & bit == 0 {
+                        return None;
+                    }
+                    let pos = (bitmap & (bit - 1)).count_ones() as usize;
+                    node = &children[pos];
+                    shift += BITS;
+                }
+                Node::Leaf {
+                    hash: h,
+                    key: k,
+                    value,
+                } => {
+                    return (*h == hash && k.as_ref() == key).then_some(value);
+                }
+                Node::Collision { hash: h, entries } => {
+                    if *h != hash {
+                        return None;
+                    }
+                    return entries
+                        .iter()
+                        .find(|(k, _)| k.as_ref() == key)
+                        .map(|(_, v)| v);
+                }
+            }
+        }
+    }
+
+    /// Insert or replace. Returns the previous value if the key was
+    /// present. Only the touched root-to-leaf path is copied; nodes
+    /// uniquely owned by this trie are mutated in place.
+    pub fn insert(&mut self, key: Bytes, value: V) -> Option<V> {
+        let hash = hash_key(&key);
+        self.insert_hashed(hash, key, value)
+    }
+
+    /// `insert` with the hash supplied by the caller. Exposed for tests
+    /// that need to force collision paths without reversing FxHash.
+    pub fn insert_hashed(&mut self, hash: u64, key: Bytes, value: V) -> Option<V> {
+        match &mut self.root {
+            None => {
+                self.root = Some(Arc::new(Node::Leaf { hash, key, value }));
+                self.len += 1;
+                None
+            }
+            Some(root) => {
+                let old = node_insert(root, 0, hash, key, value);
+                if old.is_none() {
+                    self.len += 1;
+                }
+                old
+            }
+        }
+    }
+
+    /// Remove `key`, returning its value if present.
+    pub fn remove(&mut self, key: &[u8]) -> Option<V> {
+        let hash = hash_key(key);
+        let root = self.root.as_mut()?;
+        let (old, now_empty) = node_remove(root, 0, hash, key);
+        if now_empty {
+            self.root = None;
+        }
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Visit every entry. Order is hash order — arbitrary but stable for
+    /// a given key set.
+    pub fn for_each(&self, mut f: impl FnMut(&Bytes, &V)) {
+        fn walk<V>(node: &Node<V>, f: &mut impl FnMut(&Bytes, &V)) {
+            match node {
+                Node::Branch { children, .. } => {
+                    for c in children {
+                        walk(c, f);
+                    }
+                }
+                Node::Leaf { key, value, .. } => f(key, value),
+                Node::Collision { entries, .. } => {
+                    for (k, v) in entries {
+                        f(k, v);
+                    }
+                }
+            }
+        }
+        if let Some(root) = &self.root {
+            walk(root, &mut f);
+        }
+    }
+
+    /// Collect every entry into a `Vec` (hash order).
+    pub fn entries(&self) -> Vec<(Bytes, V)> {
+        let mut out = Vec::with_capacity(self.len);
+        self.for_each(|k, v| out.push((k.clone(), v.clone())));
+        out
+    }
+}
+
+/// Build the smallest subtree distinguishing two leaves whose hashes
+/// differ somewhere at or above `shift`. Exact collisions are bucketed
+/// by the caller before this is reached.
+fn join_leaves<V>(shift: u32, a: Arc<Node<V>>, b: Arc<Node<V>>) -> Node<V> {
+    let (ha, hb) = match (&*a, &*b) {
+        (Node::Leaf { hash: ha, .. }, Node::Leaf { hash: hb, .. }) => (*ha, *hb),
+        _ => unreachable!("join_leaves called on non-leaf nodes"),
+    };
+    debug_assert_ne!(ha, hb, "equal hashes must be bucketed by the caller");
+    let ia = ((ha >> shift) & LEVEL_MASK) as u32;
+    let ib = ((hb >> shift) & LEVEL_MASK) as u32;
+    if ia == ib {
+        let child = Arc::new(join_leaves(shift + BITS, a, b));
+        Node::Branch {
+            bitmap: 1 << ia,
+            children: vec![child],
+        }
+    } else {
+        let (bitmap, children) = if ia < ib {
+            (1 << ia | 1 << ib, vec![a, b])
+        } else {
+            (1 << ia | 1 << ib, vec![b, a])
+        };
+        Node::Branch { bitmap, children }
+    }
+}
+
+fn node_insert<V: Clone>(
+    node: &mut Arc<Node<V>>,
+    shift: u32,
+    hash: u64,
+    key: Bytes,
+    value: V,
+) -> Option<V> {
+    let n = Arc::make_mut(node);
+    match n {
+        Node::Branch { bitmap, children } => {
+            let idx = ((hash >> shift) & LEVEL_MASK) as u32;
+            let bit = 1u32 << idx;
+            let pos = (*bitmap & (bit - 1)).count_ones() as usize;
+            if *bitmap & bit != 0 {
+                node_insert(&mut children[pos], shift + BITS, hash, key, value)
+            } else {
+                *bitmap |= bit;
+                children.insert(pos, Arc::new(Node::Leaf { hash, key, value }));
+                None
+            }
+        }
+        Node::Leaf {
+            hash: h,
+            key: k,
+            value: v,
+        } => {
+            if *h == hash && *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+            if *h == hash {
+                // Exact 64-bit collision: bucket node. (Distinct hashes
+                // always split within 64 bits, so `shift` stays ≤
+                // `MAX_SHIFT` on the split path.)
+                let old = (k.clone(), v.clone());
+                *n = Node::Collision {
+                    hash,
+                    entries: vec![old, (key, value)],
+                };
+                return None;
+            }
+            let old_leaf = Arc::new(n.clone());
+            let new_leaf = Arc::new(Node::Leaf { hash, key, value });
+            *n = join_leaves(shift, old_leaf, new_leaf);
+            None
+        }
+        Node::Collision { hash: h, entries } => {
+            let h = *h;
+            if h == hash {
+                if let Some(slot) = entries.iter_mut().find(|(k, _)| *k == key) {
+                    return Some(std::mem::replace(&mut slot.1, value));
+                }
+                entries.push((key, value));
+                return None;
+            }
+            // Distinct hash reaching a collision bucket: split the level.
+            debug_assert!(shift <= MAX_SHIFT, "distinct hashes agree on all 64 bits");
+            let bucket = Arc::new(n.clone());
+            let ib = ((h >> shift) & LEVEL_MASK) as u32;
+            let il = ((hash >> shift) & LEVEL_MASK) as u32;
+            let leaf = Arc::new(Node::Leaf { hash, key, value });
+            *n = if ib == il {
+                let mut inner = bucket;
+                let old = node_insert_into_subtree(&mut inner, shift + BITS, hash, leaf);
+                debug_assert!(old.is_none());
+                Node::Branch {
+                    bitmap: 1 << ib,
+                    children: vec![inner],
+                }
+            } else {
+                let (bitmap, children) = if ib < il {
+                    (1 << ib | 1 << il, vec![bucket, leaf])
+                } else {
+                    (1 << ib | 1 << il, vec![leaf, bucket])
+                };
+                Node::Branch { bitmap, children }
+            };
+            None
+        }
+    }
+}
+
+/// Insert an already-built leaf beneath `node` (used when splitting a
+/// collision bucket whose slot the new key shares).
+fn node_insert_into_subtree<V: Clone>(
+    node: &mut Arc<Node<V>>,
+    shift: u32,
+    hash: u64,
+    leaf: Arc<Node<V>>,
+) -> Option<V> {
+    match &*leaf {
+        Node::Leaf { key, value, .. } => node_insert(node, shift, hash, key.clone(), value.clone()),
+        _ => unreachable!(),
+    }
+}
+
+/// Returns `(removed_value, node_is_now_empty)`.
+fn node_remove<V: Clone>(
+    node: &mut Arc<Node<V>>,
+    shift: u32,
+    hash: u64,
+    key: &[u8],
+) -> (Option<V>, bool) {
+    // Peek before copying: a miss must not path-copy a shared trie.
+    let hit = match &**node {
+        Node::Branch { bitmap, .. } => {
+            let idx = ((hash >> shift) & LEVEL_MASK) as u32;
+            bitmap & (1 << idx) != 0
+        }
+        Node::Leaf {
+            hash: h, key: k, ..
+        } => *h == hash && k.as_ref() == key,
+        Node::Collision { hash: h, entries } => {
+            *h == hash && entries.iter().any(|(k, _)| k.as_ref() == key)
+        }
+    };
+    if !hit {
+        return (None, false);
+    }
+    let n = Arc::make_mut(node);
+    match n {
+        Node::Branch { bitmap, children } => {
+            let idx = ((hash >> shift) & LEVEL_MASK) as u32;
+            let bit = 1u32 << idx;
+            let pos = (*bitmap & (bit - 1)).count_ones() as usize;
+            let (old, child_empty) = node_remove(&mut children[pos], shift + BITS, hash, key);
+            if child_empty {
+                *bitmap &= !bit;
+                children.remove(pos);
+            }
+            (old, children.is_empty())
+        }
+        Node::Leaf { value, .. } => (Some(value.clone()), true),
+        Node::Collision { entries, .. } => {
+            let pos = entries
+                .iter()
+                .position(|(k, _)| k.as_ref() == key)
+                .expect("checked above");
+            let (_, v) = entries.remove(pos);
+            if entries.len() == 1 {
+                let (k, v1) = entries.pop().expect("one entry");
+                let h = match n {
+                    Node::Collision { hash, .. } => *hash,
+                    _ => unreachable!(),
+                };
+                *n = Node::Leaf {
+                    hash: h,
+                    key: k,
+                    value: v1,
+                };
+            }
+            (Some(v), false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut h: Hamt<u32> = Hamt::new();
+        assert_eq!(h.get(b"a"), None);
+        assert_eq!(h.insert(b("a"), 1), None);
+        assert_eq!(h.insert(b("b"), 2), None);
+        assert_eq!(h.insert(b("a"), 3), Some(1));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.get(b"a"), Some(&3));
+        assert_eq!(h.get(b"b"), Some(&2));
+        assert_eq!(h.remove(b"a"), Some(3));
+        assert_eq!(h.remove(b"a"), None);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.get(b"a"), None);
+        assert_eq!(h.get(b"b"), Some(&2));
+    }
+
+    #[test]
+    fn matches_hashmap_model_under_mixed_ops() {
+        // Deterministic pseudo-random op stream; 4096 ops over a 512-key
+        // space drives plenty of splits, replacements and removals.
+        let mut h: Hamt<u64> = Hamt::new();
+        let mut model: HashMap<Vec<u8>, u64> = HashMap::new();
+        let mut x = 0x243f_6a88_85a3_08d3u64;
+        for i in 0..4096u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = format!("key{:03}", x % 512);
+            match x % 3 {
+                0 | 1 => {
+                    let got = h.insert(b(&key), i);
+                    let want = model.insert(key.into_bytes(), i);
+                    assert_eq!(got, want);
+                }
+                _ => {
+                    let got = h.remove(key.as_bytes());
+                    let want = model.remove(key.as_bytes());
+                    assert_eq!(got, want);
+                }
+            }
+            assert_eq!(h.len(), model.len());
+        }
+        for (k, v) in &model {
+            assert_eq!(h.get(k), Some(v), "key {:?}", String::from_utf8_lossy(k));
+        }
+        let mut count = 0;
+        h.for_each(|k, v| {
+            assert_eq!(model.get(k.as_ref()), Some(v));
+            count += 1;
+        });
+        assert_eq!(count, model.len());
+    }
+
+    #[test]
+    fn snapshots_are_isolated() {
+        let mut h: Hamt<u32> = Hamt::new();
+        for i in 0..200 {
+            h.insert(b(&format!("k{i}")), i);
+        }
+        let snap = h.clone(); // O(1)
+        for i in 0..200 {
+            h.insert(b(&format!("k{i}")), i + 1000);
+        }
+        h.remove(b"k0");
+        for i in 0..200u32 {
+            assert_eq!(snap.get(format!("k{i}").as_bytes()), Some(&i));
+        }
+        assert_eq!(h.get(b"k0"), None);
+        assert_eq!(h.get(b"k1"), Some(&1001));
+        assert_eq!(snap.len(), 200);
+        assert_eq!(h.len(), 199);
+    }
+
+    #[test]
+    fn forced_collisions_bucket_and_split() {
+        let mut h: Hamt<u32> = Hamt::new();
+        // Same full hash: collision bucket.
+        h.insert_hashed(42, b("a"), 1);
+        h.insert_hashed(42, b("b"), 2);
+        h.insert_hashed(42, b("c"), 3);
+        // A distinct hash sharing the low 5 bits lands next to the bucket.
+        h.insert_hashed(42 + 32, b("d"), 4);
+        assert_eq!(h.len(), 4);
+        // get() rehashes with FxHash, so probe through entries() instead.
+        let got: HashMap<Bytes, u32> = h.entries().into_iter().collect();
+        assert_eq!(got[&b("a")], 1);
+        assert_eq!(got[&b("b")], 2);
+        assert_eq!(got[&b("c")], 3);
+        assert_eq!(got[&b("d")], 4);
+        // Replacement inside a bucket.
+        assert_eq!(h.insert_hashed(42, b("b"), 20), Some(2));
+        assert_eq!(h.len(), 4);
+    }
+
+    #[test]
+    fn empty_and_tombstone_values() {
+        // The hot tier stores Option<Bytes> (None = tombstone): make sure
+        // nested Option round-trips unambiguously.
+        let mut h: Hamt<Option<Bytes>> = Hamt::new();
+        h.insert(b("live"), Some(b("v")));
+        h.insert(b("dead"), None);
+        assert_eq!(h.get(b"live"), Some(&Some(b("v"))));
+        assert_eq!(h.get(b"dead"), Some(&None));
+        assert_eq!(h.get(b"missing"), None);
+    }
+}

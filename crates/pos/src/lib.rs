@@ -48,6 +48,7 @@ pub mod builder;
 pub mod diff;
 pub mod entry;
 pub mod error;
+pub mod hamt;
 pub mod iter;
 pub mod leaf;
 pub mod merge;
@@ -60,6 +61,7 @@ pub use batch::WriteBatch;
 pub use diff::{blob_diff_summary, sorted_diff, DiffEntry, RangeDiff};
 pub use entry::IndexEntry;
 pub use error::{TreeError, TreeResult};
+pub use hamt::Hamt;
 pub use iter::ItemIter;
 pub use leaf::Item;
 pub use merge::{

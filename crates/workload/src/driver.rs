@@ -131,10 +131,58 @@ where
     }
 }
 
+/// Partition `n_items` items into exactly `workers` contiguous index
+/// ranges, as even as possible (sizes differ by at most one).
+///
+/// When `workers > n_items` the tail ranges are **empty** — callers
+/// handing each closed-loop worker a slice of a preloaded key set must
+/// tolerate that (an empty slice means the worker issues no keyed ops),
+/// rather than dividing by a per-worker count of zero or indexing past
+/// the end. The ranges tile `0..n_items` in order with no gaps.
+pub fn per_worker_slices(n_items: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(workers > 0, "at least one worker");
+    let base = n_items / workers;
+    let extra = n_items % workers; // first `extra` workers get one more
+    let mut start = 0;
+    (0..workers)
+        .map(|w| {
+            let len = base + usize::from(w < extra);
+            let range = start..start + len;
+            start += len;
+            range
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn per_worker_slices_tile_without_gaps() {
+        for (n, w) in [(10, 3), (3, 8), (0, 4), (7, 7), (1, 1), (100, 9)] {
+            let slices = per_worker_slices(n, w);
+            assert_eq!(slices.len(), w, "exactly one range per worker");
+            let mut next = 0;
+            for r in &slices {
+                assert_eq!(r.start, next, "contiguous");
+                assert!(r.end >= r.start);
+                next = r.end;
+            }
+            assert_eq!(next, n, "ranges cover all items");
+            let sizes: Vec<usize> = slices.iter().map(|r| r.len()).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "even split: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn more_workers_than_items_yields_empty_tails() {
+        let slices = per_worker_slices(2, 5);
+        assert_eq!(slices.iter().filter(|r| !r.is_empty()).count(), 2);
+        assert_eq!(slices.iter().filter(|r| r.is_empty()).count(), 3);
+    }
 
     #[test]
     fn runs_every_op_exactly_once() {

@@ -14,7 +14,7 @@
 
 use forkbase::chunk::{CacheConfig, Durability};
 use forkbase::core::{gc, verify_history};
-use forkbase::{ChunkerConfig, ForkBase, Value};
+use forkbase::{ChunkerConfig, ForkBase, HotTierConfig, Value};
 
 fn main() {
     let dir = std::env::temp_dir().join(format!("forkbase-example-{}", std::process::id()));
@@ -30,6 +30,7 @@ fn main() {
             ChunkerConfig::default(),
             Durability::Always,
             CacheConfig::default(),
+            HotTierConfig::default(),
         )
         .expect("open durable engine");
 

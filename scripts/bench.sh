@@ -27,8 +27,12 @@
 #   through a live loopback RespServer at 64/256/512 connections vs the
 #   same schedules dispatched in-process, with p50/p95/p99 per-op
 #   latency and derived wire-tax ratios.
+# * BENCH_hot.json — the flat hot-state tier: YCSB-C/A zipfian point
+#   ops through the hot_get/hot_put engine surface with the tier on
+#   (flat HAMT + background publisher) vs off (cached POS-Tree reads,
+#   synchronous commits), with derived hot-vs-tree speedups.
 #
-# Usage: scripts/bench.sh [chunking.json] [map_batch.json] [build.json] [store.json] [read.json] [write_scaling.json] [net.json] [serve.json]
+# Usage: scripts/bench.sh [chunking.json] [map_batch.json] [build.json] [store.json] [read.json] [write_scaling.json] [net.json] [serve.json] [hot.json]
 # Knobs: CRITERION_SAMPLE_MS (per-bench budget, default 300).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -41,13 +45,14 @@ read_out="${5:-BENCH_read.json}"
 write_scaling_out="${6:-BENCH_write_scaling.json}"
 net_out="${7:-BENCH_net.json}"
 serve_out="${8:-BENCH_serve.json}"
+hot_out="${9:-BENCH_hot.json}"
 opt_json="$(mktemp)"
 naive_json="$(mktemp)"
 trap 'rm -f "$opt_json" "$naive_json"' EXIT
 
 export CRITERION_SAMPLE_MS="${CRITERION_SAMPLE_MS:-300}"
 
-echo "== optimized pipeline: crypto_micro + pos_micro + pos_build + store + read + write_scaling + net + serve" >&2
+echo "== optimized pipeline: crypto_micro + pos_micro + pos_build + store + read + write_scaling + net + serve + hot" >&2
 CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench crypto_micro
 CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench pos_micro
 CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench pos_build
@@ -56,6 +61,7 @@ CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench read
 CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench write_scaling
 CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench net
 CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench serve
+CRITERION_JSON="$opt_json" cargo bench -q -p fb-bench --bench hot
 
 echo "== naive-baseline pipeline: pos_micro (end-to-end A/B)" >&2
 CRITERION_JSON="$naive_json" cargo bench -q -p fb-bench --bench pos_micro \
@@ -410,3 +416,37 @@ serve_ops() {
 
 echo "wrote $serve_out" >&2
 grep -A4 'wire_tax_64conns' "$serve_out" >&2
+
+# ---- BENCH_hot.json: the flat hot-state tier ---------------------------
+
+hot_c_tree=$(median "$opt_json" "hot_tier/ycsbc_tree_cached")
+hot_c_hot=$(median "$opt_json" "hot_tier/ycsbc_hot")
+hot_a_tree=$(median "$opt_json" "hot_tier/ycsba_tree_cached")
+hot_a_hot=$(median "$opt_json" "hot_tier/ycsba_hot")
+
+{
+    echo '{'
+    echo '  "bench": "hot",'
+    echo "  \"date_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"host\": \"$(uname -srm)\","
+    echo "  \"host_cores\": $(nproc),"
+    echo "  \"rustc\": \"$(rustc --version)\","
+    echo "  \"sample_ms\": ${CRITERION_SAMPLE_MS},"
+    echo '  "n_keys": 10000,'
+    echo '  "value_bytes": 100,'
+    echo '  "zipf_s": 0.99,'
+    echo '  "note": "YCSB-C (100% reads) and YCSB-A (50/50 read/update), zipf 0.99, through the same hot_get/hot_put engine surface over a durable LogStore with the default chunk cache. tree_cached = tier off (every read a committed POS-Tree map lookup over the PR-5 sharded cache, every update a synchronous commit_map_batch); hot = tier on (flat-HAMT reads, updates drained by the background publisher). The acceptance targets are hot_vs_tree_cached ycsb_c >= 5 and ycsb_a >= 3 at equal working set; the committed file records a full run (CI smoke budgets make absolute numbers meaningless there).",'
+    echo '  "derived_speedups_hot_vs_tree_cached": {'
+    echo "    \"ycsb_c\": $(ratio "$hot_c_tree" "$hot_c_hot"),"
+    echo "    \"ycsb_a\": $(ratio "$hot_a_tree" "$hot_a_hot")"
+    echo '  },'
+    echo '  "raw": ['
+    grep -F '"bench":"hot_tier/' "$opt_json" \
+        | awk 'NR > 1 { print prev "," } { prev = $0 } END { if (NR) print prev }' \
+        | sed 's/^/    /'
+    echo '  ]'
+    echo '}'
+} > "$hot_out"
+
+echo "wrote $hot_out" >&2
+grep -A3 'derived_speedups_hot_vs_tree_cached' "$hot_out" >&2

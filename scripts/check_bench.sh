@@ -12,6 +12,9 @@
 #   * the "bench" kind tag differs,
 #   * a bench id present in the committed file is missing/renamed in the
 #     fresh run,
+#   * a committed file carries **zero** benchmark result lines — an
+#     empty benchmarks array means nothing is gated at all, which must
+#     be a loud failure rather than a vacuous pass,
 #   * a raw result line has a non-positive median or ops/s, or a
 #     throughput unit other than bytes/elements/iters.
 #
@@ -27,6 +30,11 @@ set -euo pipefail
 # The file-level kind tag: "bench": "<kind>" (note the space).
 kind_of() {
     { grep -oE '"bench": "[^"]+"' "$1" || true; } | head -1 | sed 's/.*: "//; s/"$//'
+}
+
+# Number of raw benchmark result lines ({"bench":"<id>",...}, no space).
+result_count() {
+    { grep -cE '"bench":"[^"]+"' "$1" || true; }
 }
 
 if [ "${1:-}" = "--orphans" ]; then
@@ -47,6 +55,11 @@ if [ "${1:-}" = "--orphans" ]; then
         kind="$(kind_of "$c")"
         if [ -z "$kind" ]; then
             echo "FAIL: committed $c has no \"bench\" kind tag" >&2
+            fail=1
+            continue
+        fi
+        if [ "$(result_count "$c")" -eq 0 ]; then
+            echo "FAIL: committed $c (kind '$kind') has zero benchmark entries — nothing would be gated" >&2
             fail=1
             continue
         fi
@@ -79,6 +92,14 @@ fresh_kind="$(kind_of "$fresh")"
 committed_kind="$(kind_of "$committed")"
 if [ -z "$fresh_kind" ] || [ "$fresh_kind" != "$committed_kind" ]; then
     echo "FAIL: kind tag mismatch: fresh='$fresh_kind' committed='$committed_kind'" >&2
+    fail=1
+fi
+
+# A committed file with no result lines gates nothing: the id-coverage
+# check below would pass vacuously, hiding e.g. a bench whose JSON
+# assembly silently emitted an empty array.
+if [ "$(result_count "$committed")" -eq 0 ]; then
+    echo "FAIL: committed $committed has zero benchmark entries — nothing would be gated" >&2
     fail=1
 fi
 

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# The CI bench gate, factored out of the workflow shell: given the fresh
+# smoke outputs of scripts/bench.sh, run every check that keeps the
+# committed BENCH_*.json files honest.
+#
+#   scripts/ci_bench_gate.sh <fresh-smoke.json...>
+#
+# 1. Pairwise gate — every committed BENCH_*.json is matched to the
+#    fresh output with the same file-level kind tag and checked with
+#    scripts/check_bench.sh (id coverage, sane units, non-empty).
+#    Matching by kind tag (not filename) means a new committed bench is
+#    gated the moment bench.sh produces its kind — no workflow edit.
+# 2. Orphan gate — every committed file must have a fresh counterpart.
+# 3. Negative self-tests — the gate must *fail* on (a) a committed file
+#    whose kind no smoke output produced, and (b) a committed file with
+#    an empty benchmarks array. A gate that cannot fail gates nothing.
+#
+# Exit 0 = all gates passed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+[ $# -gt 0 ] || {
+    echo "usage: ci_bench_gate.sh <fresh-smoke.json...>" >&2
+    exit 2
+}
+fresh_files=("$@")
+
+kind_of() {
+    { grep -oE '"bench": "[^"]+"' "$1" || true; } | head -1 | sed 's/.*: "//; s/"$//'
+}
+
+# ---- 1. Pairwise gates, matched by kind tag ----------------------------
+
+for committed in BENCH_*.json; do
+    kind="$(kind_of "$committed")"
+    match=""
+    for f in "${fresh_files[@]}"; do
+        if [ "$(kind_of "$f")" = "$kind" ]; then
+            match="$f"
+            break
+        fi
+    done
+    if [ -z "$match" ]; then
+        echo "FAIL: no fresh smoke output has kind '$kind' for $committed" >&2
+        exit 1
+    fi
+    echo "== pairwise: $match vs $committed (kind '$kind')"
+    scripts/check_bench.sh "$match" "$committed"
+done
+
+# ---- 2. Orphan gate ----------------------------------------------------
+
+echo "== orphan gate"
+scripts/check_bench.sh --orphans BENCH_*.json -- "${fresh_files[@]}"
+
+# ---- 3. Negative self-tests -------------------------------------------
+
+echo "== negative: phantom committed bench must fail the orphan gate"
+printf '{\n  "bench": "phantom",\n  "raw": [\n{"bench":"phantom/x","median_ns_per_iter":1.0,"ops_per_sec":1.0}\n  ]\n}\n' \
+    > BENCH_phantom.json
+if scripts/check_bench.sh --orphans BENCH_*.json -- "${fresh_files[@]}" 2>/dev/null; then
+    rm -f BENCH_phantom.json
+    echo "FAIL: orphan gate passed on a phantom bench file" >&2
+    exit 1
+fi
+rm -f BENCH_phantom.json
+
+echo "== negative: empty benchmarks array must fail the pairwise gate"
+first_kind="$(kind_of "${fresh_files[0]}")"
+printf '{\n  "bench": "%s",\n  "raw": []\n}\n' "$first_kind" > BENCH_empty_neg.tmp.json
+if scripts/check_bench.sh "${fresh_files[0]}" BENCH_empty_neg.tmp.json 2>/dev/null; then
+    rm -f BENCH_empty_neg.tmp.json
+    echo "FAIL: pairwise gate passed on a committed file with zero benchmark entries" >&2
+    exit 1
+fi
+rm -f BENCH_empty_neg.tmp.json
+
+echo "OK: pairwise + orphan gates passed and both negative self-tests failed as required"

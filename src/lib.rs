@@ -53,8 +53,8 @@ pub use rockslite;
 pub use wikilite as wiki;
 
 pub use forkbase_core::{
-    AccessControl, BranchSnapshot, FbError, ForkBase, GcReport, Permission, Result, Value,
-    ValueType, DEFAULT_BRANCH,
+    AccessControl, BranchSnapshot, Engine, FbError, ForkBase, GcReport, HotTierConfig,
+    HotTierStats, Permission, Result, Value, ValueType, DEFAULT_BRANCH,
 };
 pub use forkbase_crypto::{ChunkerConfig, Digest};
 pub use forkbase_pos::{Blob, List, Map, Resolver, Set, TreeError, WriteBatch};
