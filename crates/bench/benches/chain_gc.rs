@@ -1,0 +1,184 @@
+//! Chainstore scenario — block append, long-history reads, and GC under
+//! retention on a durable store.
+//!
+//! Not a figure of the paper: this measures the claim the paper only
+//! argues (§2, §6.1) — that a general versioned engine serves a real
+//! chain-storage access pattern end to end. The harness drives the
+//! `chainstore` crate (blocks = FObject versions, tips = fork-on-conflict
+//! heads) over a durable LogStore:
+//!
+//! 1. bulk sync: `append_batch` of a long main chain (one group-commit
+//!    round per batch),
+//! 2. fork churn: short side chains appended off random ancestors,
+//! 3. long-history reads: `follow_parents` header walks and full
+//!    header+body range scans from the best tip,
+//! 4. **GC under retention**: prune every side chain while retaining the
+//!    best tip — `prune_side_chains` retires the losing heads and
+//!    compacts the store in place — then prove the retained chain still
+//!    reads at full speed.
+//!
+//! Feeds `BENCH_paper_chain_gc.json` via `scripts/bench.sh --paper`.
+
+use chainstore::ChainStore;
+use fb_bench::*;
+use std::time::Instant;
+
+const BODY_BYTES: usize = 1024;
+
+fn body(lineage: u64, i: u64) -> Vec<u8> {
+    // Unique, incompressible bodies: dedup must not erase the side
+    // chains' storage, or the GC phase has nothing to reclaim.
+    random_bytes(BODY_BYTES, lineage.wrapping_mul(0x51ab_5eed) ^ i)
+}
+
+fn main() {
+    banner(
+        "chain_gc",
+        "chainstore: append / follow_parents / prune-under-retention (durable)",
+    );
+    let main_len = scaled(4000);
+    let n_forks = scaled(32).min(main_len / 2);
+    let fork_len = scaled(40);
+    let walks = scaled(50);
+
+    let dir = temp_dir("chain-gc");
+    let chain = ChainStore::open(&dir).expect("open durable chain store");
+
+    // ---- 1. bulk sync of the main chain ---------------------------------
+    let t = Instant::now();
+    let ids = chain
+        .append_batch(
+            None,
+            (0..main_len as u64).map(|i| (body(0, i), format!("slot-{i}").into())),
+        )
+        .expect("append main chain");
+    let append_time = t.elapsed();
+    let main_tip = *ids.last().expect("non-empty");
+    record(
+        "chain_gc/append_batch_main",
+        append_time / main_len.max(1) as u32,
+        ops_per_sec(main_len, append_time),
+    );
+    println!(
+        "append {} blocks ({} B bodies): {:.0} blocks/s",
+        main_len,
+        BODY_BYTES,
+        ops_per_sec(main_len, append_time)
+    );
+
+    // ---- 2. fork churn: side chains off random ancestors -----------------
+    let t = Instant::now();
+    let mut side_tips = Vec::with_capacity(n_forks);
+    for f in 0..n_forks as u64 {
+        let base = ids[(f as usize * 2654435761) % (main_len / 2)];
+        let side = chain
+            .append_batch(
+                Some(base),
+                (0..fork_len as u64).map(|i| (body(f + 1, i), format!("side-{f}-{i}").into())),
+            )
+            .expect("append side chain");
+        side_tips.push(*side.last().expect("non-empty"));
+    }
+    let fork_time = t.elapsed();
+    let fork_blocks = n_forks * fork_len;
+    record(
+        "chain_gc/append_side_chains",
+        fork_time / fork_blocks.max(1) as u32,
+        ops_per_sec(fork_blocks, fork_time),
+    );
+    assert_eq!(chain.tips().len(), n_forks + 1, "one tip per fork + main");
+    println!(
+        "fork churn: {} side chains x {} blocks: {:.0} blocks/s ({} tips)",
+        n_forks,
+        fork_len,
+        ops_per_sec(fork_blocks, fork_time),
+        n_forks + 1
+    );
+
+    // ---- 3. long-history reads from the best tip -------------------------
+    let best = chain.best_tip().expect("best").expect("non-empty");
+    assert_eq!(best, main_tip, "main chain is longest");
+    let depth = scaled(1000).min(main_len);
+    let t = Instant::now();
+    for _ in 0..walks {
+        let headers = chain.follow_parents(best, depth).expect("walk");
+        assert_eq!(headers.len(), depth);
+    }
+    let walk_time = t.elapsed();
+    record(
+        "chain_gc/follow_parents_headers",
+        walk_time / (walks * depth).max(1) as u32,
+        ops_per_sec(walks * depth, walk_time),
+    );
+
+    let span = scaled(200).min(main_len / 2);
+    let hi = (main_len - 1) as u64;
+    let t = Instant::now();
+    for _ in 0..walks {
+        let headers = chain
+            .iter_range(best, hi - span as u64 + 1, hi)
+            .expect("range");
+        for h in &headers {
+            chain.body(h.id).expect("body");
+        }
+    }
+    let range_time = t.elapsed();
+    record(
+        "chain_gc/iter_range_bodies",
+        range_time / (walks * span).max(1) as u32,
+        ops_per_sec(walks * span, range_time),
+    );
+    println!(
+        "history reads: {:.0} headers/s (walk depth {}), {:.0} full blocks/s (range {})",
+        ops_per_sec(walks * depth, walk_time),
+        depth,
+        ops_per_sec(walks * span, range_time),
+        span
+    );
+
+    // ---- 4. GC under retention: prune every side chain -------------------
+    chain.checkpoint().expect("checkpoint");
+    let t = Instant::now();
+    let report = chain.prune_side_chains(&[main_tip]).expect("prune");
+    let prune_time = t.elapsed();
+    let gc = report.gc.expect("durable prune compacts");
+    assert_eq!(report.tips_retired, n_forks);
+    assert_eq!(chain.tips(), vec![main_tip]);
+    record_with(
+        "chain_gc/prune_compact",
+        prune_time / fork_blocks.max(1) as u32,
+        ops_per_sec(fork_blocks, prune_time),
+        &[
+            ("reclaimed_bytes", gc.dropped_bytes as f64),
+            ("live_chunks", gc.live_chunks as f64),
+        ],
+    );
+    println!(
+        "prune {} side chains: {:.1} ms, reclaimed {:.1} MB ({} live chunks kept)",
+        n_forks,
+        ms(prune_time),
+        gc.dropped_bytes as f64 / 1e6,
+        gc.live_chunks
+    );
+
+    // ---- retained chain still reads at full speed ------------------------
+    let t = Instant::now();
+    for _ in 0..walks {
+        let headers = chain.follow_parents(main_tip, depth).expect("walk");
+        assert_eq!(headers.len(), depth);
+    }
+    let post_time = t.elapsed();
+    record(
+        "chain_gc/post_gc_walk_headers",
+        post_time / (walks * depth).max(1) as u32,
+        ops_per_sec(walks * depth, post_time),
+    );
+    println!(
+        "post-GC walk: {:.0} headers/s (retained chain intact)",
+        ops_per_sec(walks * depth, post_time)
+    );
+    println!("\nshape check: pruning reclaims side-chain bytes without touching the retained");
+    println!("chain (shared ancestors survive via head-derived liveness).");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -5,6 +5,7 @@
 //! the client chunk cache already holds most chunks of neighbouring
 //! versions (structural sharing), while Redis transfers each full copy.
 
+use chainstore::ChainStore;
 use fb_bench::*;
 use fb_workload::PageEditGen;
 use wikilite::{ForkBaseWiki, RedisWiki, WikiEngine};
@@ -35,7 +36,26 @@ fn main() {
         }
     }
 
-    header(&["#versions", "ForkBase", "Redis"]);
+    // The same access pattern expressed as a block store: one chain of
+    // page-sized blocks, each exploration walks `n` parents back from
+    // the tip (the level-batched track path) and reads every body.
+    let chain = ChainStore::in_memory();
+    let chain_len = scaled(64);
+    let tip = *chain
+        .append_batch(
+            None,
+            (0..chain_len.max(VERSIONS)).map(|i| {
+                (
+                    random_bytes(15 * 1024, 0xC0DE + i as u64),
+                    format!("height-{i}").into(),
+                )
+            }),
+        )
+        .expect("append chain")
+        .last()
+        .expect("non-empty");
+
+    header(&["#versions", "ForkBase", "Redis", "chainstore"]);
     for n_versions in 1..=6usize {
         // Each exploration reads versions latest, latest-1, …
         fb.clear_cache();
@@ -57,10 +77,32 @@ fn main() {
         }
         let redis_tput = ops_per_sec(explorations * n_versions, t.elapsed());
 
+        let t = std::time::Instant::now();
+        for _ in 0..explorations {
+            let headers = chain.follow_parents(tip, n_versions).expect("walk");
+            for h in &headers {
+                chain.body(h.id).expect("body");
+            }
+        }
+        let chain_tput = ops_per_sec(explorations * n_versions, t.elapsed());
+
+        for (series, tput) in [
+            ("forkbase", fb_tput),
+            ("redis", redis_tput),
+            ("chainstore", chain_tput),
+        ] {
+            record(
+                &format!("fig14/{series}_v{n_versions}"),
+                std::time::Duration::from_secs_f64(1.0 / tput.max(1e-9)),
+                tput,
+            );
+        }
+
         row(&[
             n_versions.to_string(),
             format!("{fb_tput:.0}/s"),
             format!("{redis_tput:.0}/s"),
+            format!("{chain_tput:.0}/s"),
         ]);
     }
     let (hits, misses) = fb.cache_stats().expect("cache configured");

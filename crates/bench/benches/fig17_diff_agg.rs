@@ -75,6 +75,16 @@ fn main() {
             assert_eq!(d.len(), mods.len());
         });
 
+        record(
+            &format!("fig17/diff_forkbase_pct{pct}"),
+            fb_time,
+            1.0 / fb_time.as_secs_f64().max(1e-12),
+        );
+        record(
+            &format!("fig17/diff_orpheus_pct{pct}"),
+            o_time,
+            1.0 / o_time.as_secs_f64().max(1e-12),
+        );
         row(&[
             format!("{pct}%"),
             format!("{:.2} ms", ms(fb_time)),
@@ -85,7 +95,11 @@ fn main() {
     // ---- (b) aggregation vs. dataset size --------------------------------
     println!("\n(b) aggregation (sum of an integer column)");
     header(&["#records", "FB-COL", "FB-ROW", "OrpheusDB"]);
-    for &n in &[scaled(25_000), scaled(50_000), scaled(100_000)] {
+    for (label, n) in [
+        ("25k", scaled(25_000)),
+        ("50k", scaled(50_000)),
+        ("100k", scaled(100_000)),
+    ] {
         let mut gen = DatasetGen::new(60 + n as u64);
         let records = gen.records(n);
         let db = ForkBase::in_memory();
@@ -116,6 +130,17 @@ fn main() {
             assert_eq!(orpheus.aggregate(ov, parse_price).expect("sum"), reference);
         });
 
+        for (series, dur) in [
+            ("fb_col", col_time),
+            ("fb_row", row_time),
+            ("orpheus", o_time),
+        ] {
+            record(
+                &format!("fig17/agg_{series}_{label}"),
+                dur,
+                ops_per_sec(n, dur),
+            );
+        }
         row(&[
             n.to_string(),
             format!("{:.2} ms", ms(col_time)),

@@ -85,6 +85,19 @@ fn main() {
         if base.is_none() {
             base = Some((a.put_tput, a.get_tput));
         }
+        for (series, tput, skew) in [
+            ("put_256b", a.put_tput, a.put_skew),
+            ("get_256b", a.get_tput, a.put_skew),
+            ("put_2560b", b.put_tput, b.put_skew),
+            ("get_2560b", b.get_tput, b.put_skew),
+        ] {
+            record_with(
+                &format!("fig8/{series}_servlets{n}"),
+                Duration::from_secs_f64(1.0 / tput.max(1e-9)),
+                tput,
+                &[("req_skew_milli", skew * 1e3)],
+            );
+        }
         row(&[
             n.to_string(),
             format!("{:.0}K/s", a.put_tput / 1e3),

@@ -64,6 +64,12 @@ fn main() {
         println!("\n--- value size {label} ---");
         header(&["op", "throughput", "avg latency"]);
         let fmt = |name: &str, (tput, lat): (f64, f64)| {
+            let slug = name.to_ascii_lowercase().replace('-', "_");
+            record(
+                &format!("table3/{slug}_{}", label.to_ascii_lowercase()),
+                std::time::Duration::from_nanos((lat * 1e3) as u64),
+                tput,
+            );
             row(&[
                 name.to_string(),
                 format!("{:.1}K ops/s", tput / 1e3),

@@ -27,9 +27,18 @@ fn main() {
     let sizes = [1024usize, 20 * 1024];
     let payloads: Vec<Vec<u8>> = sizes.iter().map(|s| random_bytes(*s, 7)).collect();
 
+    let cols = ["string_1kb", "string_20kb", "blob_1kb", "blob_20kb"];
+    let rec = |phase: &str, col: usize, avg: std::time::Duration| {
+        record(
+            &format!("table4/{phase}_{}", cols[col]),
+            avg,
+            1e9 / (avg.as_nanos() as f64).max(1.0),
+        );
+    };
+
     // --- Serialization: value -> meta-chunk bytes -----------------------
     let mut cells = vec!["Serialization".to_string()];
-    for p in &payloads {
+    for (i, p) in payloads.iter().enumerate() {
         let value = Value::String(
             String::from_utf8(p.iter().map(|b| b % 26 + 97).collect()).expect("ascii"),
         );
@@ -37,9 +46,10 @@ fn main() {
             let obj = FObject::new("key", &value, vec![], 0, "");
             std::hint::black_box(obj.to_chunk());
         });
+        rec("serialization", i, avg);
         cells.push(format!("{:.2}", us(avg)));
     }
-    for p in &payloads {
+    for (i, p) in payloads.iter().enumerate() {
         // Blob: serialization = encoding leaf payloads into chunks (the
         // tree build minus hashing is approximated by buffer copies).
         let (_, avg) = time_n(n, || {
@@ -47,13 +57,14 @@ fn main() {
             buf.extend_from_slice(p);
             std::hint::black_box(&buf);
         });
+        rec("serialization", 2 + i, avg);
         cells.push(format!("{:.2}", us(avg)));
     }
     row(&cells);
 
     // --- Deserialization: chunk bytes -> FObject/value -------------------
     let mut cells = vec!["Deserialization".to_string()];
-    for p in &payloads {
+    for (i, p) in payloads.iter().enumerate() {
         let value = Value::String(
             String::from_utf8(p.iter().map(|b| b % 26 + 97).collect()).expect("ascii"),
         );
@@ -62,24 +73,27 @@ fn main() {
             let obj = FObject::decode(chunk.payload()).expect("decode");
             std::hint::black_box(obj.value(&forkbase_chunk::MemStore::new()).expect("value"));
         });
+        rec("deserialization", i, avg);
         cells.push(format!("{:.2}", us(avg)));
     }
-    for p in &payloads {
+    for (i, p) in payloads.iter().enumerate() {
         let chunk = Chunk::new(ChunkType::Blob, p.clone());
         let (_, avg) = time_n(n, || {
             let decoded = Chunk::decode(&chunk.encode()).expect("decode");
             std::hint::black_box(decoded);
         });
+        rec("deserialization", 2 + i, avg);
         cells.push(format!("{:.2}", us(avg)));
     }
     row(&cells);
 
     // --- CryptoHash: SHA-256 over the content ----------------------------
     let mut cells = vec!["CryptoHash".to_string()];
-    for p in payloads.iter().chain(payloads.iter()) {
+    for (i, p) in payloads.iter().chain(payloads.iter()).enumerate() {
         let (_, avg) = time_n(n, || {
             std::hint::black_box(hash_bytes(p));
         });
+        rec("cryptohash", i, avg);
         cells.push(format!("{:.2}", us(avg)));
     }
     row(&cells);
@@ -88,7 +102,7 @@ fn main() {
     let mut cells = vec!["RollingHash".to_string()];
     cells.push("-".to_string());
     cells.push("-".to_string());
-    for p in &payloads {
+    for (i, p) in payloads.iter().enumerate() {
         let (_, avg) = time_n(n, || {
             let mut chunker = LeafChunker::new(&cfg);
             let mut off = 0usize;
@@ -103,6 +117,7 @@ fn main() {
             }
             std::hint::black_box(chunker.current_len());
         });
+        rec("rollinghash", 2 + i, avg);
         cells.push(format!("{:.2}", us(avg)));
     }
     row(&cells);
@@ -113,7 +128,7 @@ fn main() {
     let store = LogStore::open(dir.join("chunks.log")).expect("open");
     let mut cells = vec!["Persistence".to_string()];
     let mut salt = 0u64;
-    for p in payloads.iter().chain(payloads.iter()) {
+    for (i, p) in payloads.iter().chain(payloads.iter()).enumerate() {
         let (_, avg) = time_n(n, || {
             // Unique payloads so dedup doesn't short-circuit the write.
             let mut bytes = p.clone();
@@ -121,6 +136,7 @@ fn main() {
             salt += 1;
             store.put(Chunk::new(ChunkType::Blob, bytes));
         });
+        rec("persistence", i, avg);
         cells.push(format!("{:.2}", us(avg)));
     }
     row(&cells);

@@ -8,9 +8,35 @@
 //! under reproduction. `EXPERIMENTS.md` records paper-vs-measured for
 //! each one.
 //!
+//! ## The two bench families and the JSON files they feed
+//!
+//! **Micro/engine benches** (`crypto_micro`, `pos_micro`, `pos_build`,
+//! `store`, `read`, `write_scaling`, `net`, `serve`, `hot`) run under the
+//! vendored criterion shim and emit raw result lines to
+//! `$CRITERION_JSON`; `scripts/bench.sh` (no flag) assembles them into
+//! `BENCH_chunking/map_batch/build/store/read/write_scaling/net/serve/hot.json`.
+//!
+//! **Paper benches** (`fig8_scalability` … `table4_breakdown`, plus the
+//! chainstore `chain_gc` scenario bench) print the paper's own
+//! tables/series and, when `$FB_BENCH_JSON` is set, also [`record`] one
+//! raw result line per cell in the same format; `scripts/bench.sh
+//! --paper` assembles those into `BENCH_paper_fig8/fig14/fig15/fig17.json`,
+//! `BENCH_paper_table3/table4.json` and `BENCH_paper_chain_gc.json`.
+//! Per figure: fig8 = servlet scaling (ops/s vs nodes), fig14 = wiki
+//! version-read latency (ForkBase vs RedisWiki vs chainstore
+//! `follow_parents`), fig15 = two-level vs one-level partitioning skew,
+//! fig17 = diff + aggregation analytics, table3 = per-op
+//! throughput/latency, table4 = Put phase breakdown, chain_gc = block
+//! append / long-history walk / prune-under-retention.
+//!
+//! Both files end up gated by `scripts/ci_bench_gate.sh`: CI re-runs
+//! each tier at a smoke budget and checks every committed bench id is
+//! still produced with sane units.
+//!
 //! Set `FB_SCALE` (default `1.0`) to shrink/grow workload sizes, e.g.
 //! `FB_SCALE=0.1 cargo bench -p fb-bench --bench fig9_blockchain_ops`.
 
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Global workload scale factor from `FB_SCALE`.
@@ -99,6 +125,56 @@ pub fn row(cells: &[String]) {
             .collect::<Vec<_>>()
             .join(" ")
     );
+}
+
+/// Append one raw benchmark result line to the file named by
+/// `$FB_BENCH_JSON` (no-op when unset). The line format matches the
+/// vendored criterion shim's `$CRITERION_JSON` output, so
+/// `scripts/bench.sh --paper` and `scripts/check_bench.sh` consume both
+/// families with the same tooling:
+///
+/// ```json
+/// {"bench":"<id>","median_ns_per_iter":N,"ops_per_sec":O}
+/// ```
+///
+/// `per_op` is the median/representative wall time of one operation of
+/// the cell (clamped to >= 1 ns: the gate rejects non-positive medians);
+/// `ops_per_sec` the cell's aggregate throughput. Use a scale-stable
+/// `id` (`fig8/forkbase_servlets4`, not one derived from `FB_SCALE`d
+/// sizes) — CI re-runs the bench at a smoke scale and checks the
+/// committed ids are all still produced.
+pub fn record(id: &str, per_op: Duration, ops_per_sec: f64) {
+    record_with(id, per_op, ops_per_sec, &[]);
+}
+
+/// [`record`] with extra numeric fields appended to the line (figure
+/// context the gate ignores, e.g. `("max_over_avg_milli", 1042.0)`).
+pub fn record_with(id: &str, per_op: Duration, ops_per_sec: f64, extras: &[(&str, f64)]) {
+    let Ok(path) = std::env::var("FB_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let ns = (per_op.as_nanos() as f64).max(1.0);
+    let mut line = format!(
+        "{{\"bench\":\"{id}\",\"median_ns_per_iter\":{ns:.1},\"ops_per_sec\":{:.2}",
+        ops_per_sec.max(1e-9)
+    );
+    for (k, v) in extras {
+        line.push_str(&format!(",\"{k}\":{v:.3}"));
+    }
+    line.push('}');
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path);
+    match file {
+        Ok(mut f) => {
+            let _ = writeln!(f, "{line}");
+        }
+        Err(e) => eprintln!("FB_BENCH_JSON: cannot open {path}: {e}"),
+    }
 }
 
 /// Deterministic pseudo-random bytes (no rand dependency needed at call

@@ -555,6 +555,21 @@ impl Engine {
         base: Option<Digest>,
         value: Value,
     ) -> Result<Digest> {
+        self.put_conflict_with_context(key, base, value, Bytes::new())
+    }
+
+    /// M4 with application metadata stored in the FObject `context`
+    /// field. Because the uid commits to the context (alongside value,
+    /// bases and depth), context carried here is tamper-evident — a
+    /// block store keeps its header fields (timestamps, proposer ids)
+    /// in it and gets content-addressed headers for free.
+    pub fn put_conflict_with_context(
+        &self,
+        key: impl Into<Bytes>,
+        base: Option<Digest>,
+        value: Value,
+        context: impl Into<Bytes>,
+    ) -> Result<Digest> {
         let key = key.into();
         if let Some(base) = base {
             let obj = FObject::load(self.store(), base)?;
@@ -562,7 +577,62 @@ impl Engine {
                 return Err(FbError::VersionNotFound(base));
             }
         }
-        self.commit(&key, &value, base.into_iter().collect(), Bytes::new())
+        self.commit(&key, &value, base.into_iter().collect(), context.into())
+    }
+
+    /// Batched **linked** M4: append `items` as one untagged chain —
+    /// each version's base is the previous item's uid (the first links
+    /// to `base`, or starts a fresh lineage with `None`). Unlike
+    /// [`put_conflict_many`](Self::put_conflict_many), whose entries
+    /// carry independent pre-existing bases, the in-batch parent links
+    /// here are only known as the batch encodes, so the chain is built
+    /// in one pass: every meta chunk is encoded against its
+    /// predecessor's uid outside any lock, all of them land with a
+    /// single [`ChunkStore::put_many`] (one group-commit fsync round on
+    /// a durable store), and the UB-table records the whole chain under
+    /// one slot-lock hold — intermediate versions are retired as they
+    /// are superseded, so only the final uid surfaces as a new head.
+    /// Returns the uids in item order.
+    pub fn append_chain<I>(
+        &self,
+        key: impl Into<Bytes>,
+        base: Option<Digest>,
+        items: I,
+    ) -> Result<Vec<Digest>>
+    where
+        I: IntoIterator<Item = (Value, Bytes)>,
+    {
+        let key = key.into();
+        if let Some(base) = base {
+            let obj = FObject::load(self.store(), base)?;
+            if obj.key != key {
+                return Err(FbError::VersionNotFound(base));
+            }
+        }
+        let (mut bases, mut depth) = self.chain_link(base)?;
+        let mut chunks: Vec<Chunk> = Vec::new();
+        let mut links: Vec<(Digest, Vec<Digest>)> = Vec::new();
+        for (value, context) in items {
+            let obj = FObject::new(key.clone(), &value, bases.clone(), depth, context);
+            let chunk = obj.to_chunk();
+            let uid = chunk.cid();
+            links.push((uid, bases));
+            chunks.push(chunk);
+            bases = vec![uid];
+            depth += 1;
+        }
+        if chunks.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.store.put_many(chunks);
+        let slot = self.branches.slot(&key);
+        let mut table = slot.write();
+        let mut uids = Vec::with_capacity(links.len());
+        for (uid, bases) in links {
+            table.record_version(uid, &bases);
+            uids.push(uid);
+        }
+        Ok(uids)
     }
 
     /// Build and persist the FObject meta chunk. Touches only the chunk
@@ -790,6 +860,32 @@ impl Engine {
             table.retire_untagged(head);
         }
         Ok(())
+    }
+
+    /// Retire fork-on-conflict heads from `key`'s UB-table without
+    /// recording successors — the complement of
+    /// [`remove_branch`](Self::remove_branch) for *untagged* lineages.
+    /// Versions stay in the store; retiring a head only stops naming it
+    /// as a leaf of the derivation graph, so the lineage's exclusive
+    /// versions become reclaimable by a later [`gc`](crate::gc) pass. A
+    /// head that is also the head of a tagged branch is skipped (the
+    /// tagged ref still names it), as is a digest that is not currently
+    /// an untagged head. Returns how many heads were actually retired.
+    pub fn retire_untagged_heads(&self, key: impl Into<Bytes>, heads: &[Digest]) -> Result<usize> {
+        let key = key.into();
+        let slot = self.branches.get(&key).ok_or(FbError::KeyNotFound)?;
+        let mut table = slot.write();
+        let tagged: Vec<Digest> = table.tagged_branches().iter().map(|(_, h)| *h).collect();
+        let mut retired = 0usize;
+        for head in heads {
+            if tagged.contains(head) {
+                continue;
+            }
+            if table.retire_untagged(*head) {
+                retired += 1;
+            }
+        }
+        Ok(retired)
     }
 
     // ---- Track (M15–M17) --------------------------------------------------

@@ -32,10 +32,84 @@
 #   (flat HAMT + background publisher) vs off (cached POS-Tree reads,
 #   synchronous commits), with derived hot-vs-tree speedups.
 #
+# Paper tier: `scripts/bench.sh --paper [prefix]` runs the paper-figure
+# benches (fig8/fig14/fig15/fig17, table3/table4, plus the chainstore
+# chain_gc scenario) with the fb_bench JSON emitter enabled and
+# assembles one BENCH JSON per figure:
+#
+# * <prefix>fig8.json      (kind paper_fig8)      — servlet scaling
+# * <prefix>fig14.json     (kind paper_fig14)     — version-read tput
+#                            (ForkBase vs Redis vs chainstore walks)
+# * <prefix>fig15.json     (kind paper_fig15)     — partitioning skew
+# * <prefix>fig17.json     (kind paper_fig17)     — diff + aggregation
+# * <prefix>table3.json    (kind paper_table3)    — per-op tput/latency
+# * <prefix>table4.json    (kind paper_table4)    — Put phase breakdown
+# * <prefix>chain_gc.json  (kind paper_chain_gc)  — block append /
+#                            history walks / prune-under-retention
+#
+# <prefix> defaults to BENCH_paper_ (the committed reference files); CI
+# smoke passes a bench-smoke-paper- prefix and FB_SCALE to shrink the
+# workloads. Knob: FB_SCALE (default 1.0).
+#
 # Usage: scripts/bench.sh [chunking.json] [map_batch.json] [build.json] [store.json] [read.json] [write_scaling.json] [net.json] [serve.json] [hot.json]
 # Knobs: CRITERION_SAMPLE_MS (per-bench budget, default 300).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--paper" ]; then
+    prefix="${2:-BENCH_paper_}"
+    paper_json="$(mktemp)"
+    trap 'rm -f "$paper_json"' EXIT
+
+    echo "== paper tier: fig8 fig14 fig15 fig17 table3 table4 chain_gc (FB_SCALE=${FB_SCALE:-1.0})" >&2
+    for bench in fig8_scalability fig14_read_versions fig15_skew fig17_diff_agg \
+                 table3_ops table4_breakdown chain_gc; do
+        echo "== paper bench: $bench" >&2
+        FB_BENCH_JSON="$paper_json" cargo bench -q -p fb-bench --bench "$bench"
+    done
+
+    # Join the raw lines whose id starts with "$2/" into a JSON array body.
+    paper_raw() {
+        grep -F "\"bench\":\"$1/" "$paper_json" \
+            | awk 'NR > 1 { print prev "," } { prev = $0 } END { if (NR) print prev }' \
+            | sed 's/^/    /'
+    }
+
+    # Assemble one per-figure file: kind tag paper_<fig>, shared
+    # provenance fields, a figure-specific note, and the raw lines.
+    paper_file() {
+        local fig="$1" out="${prefix}$2" note="$3"
+        if ! grep -qF "\"bench\":\"$fig/" "$paper_json"; then
+            echo "FAIL: paper tier produced no '$fig/' results" >&2
+            exit 1
+        fi
+        {
+            echo '{'
+            echo "  \"bench\": \"paper_${fig}\","
+            echo "  \"date_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+            echo "  \"host\": \"$(uname -srm)\","
+            echo "  \"host_cores\": $(nproc),"
+            echo "  \"rustc\": \"$(rustc --version)\","
+            echo "  \"fb_scale\": ${FB_SCALE:-1.0},"
+            echo "  \"note\": \"${note}\","
+            echo '  "raw": ['
+            paper_raw "$fig"
+            echo '  ]'
+            echo '}'
+        } > "$out"
+        echo "wrote $out" >&2
+    }
+
+    paper_file fig8 fig8.json "Figure 8 reproduction: aggregate Put/Get ops/s for 1..16 servlets at 256B/2560B values, two-layer partitioning. Single-CPU host: parallel cluster time is simulated as max per-servlet busy time (the paper's linearity rests on even key spread — req_skew_milli — and size-independent per-request cost, both measured). ops_per_sec is the simulated aggregate throughput; EXPERIMENTS.md has paper-vs-reproduction tables."
+    paper_file fig14 fig14.json "Figure 14 reproduction: throughput of reading 1..6 consecutive page versions per exploration — ForkBase wiki (client chunk cache, structural sharing) vs RedisWiki (full copies) vs the same pattern as chainstore follow_parents walks reading headers+bodies. Paper shape: Redis wins at 1 version, ForkBase overtakes as explorations deepen."
+    paper_file fig15 fig15.json "Figure 15 reproduction: per-node storage balance under a zipf-0.5 wiki edit workload on 16 nodes. imbalance_max_over_mean_milli is the figure's metric (1000 = perfectly even): one-layer piles hot pages onto home servlets, two-layer spreads chunks by cid. The timed metric is ingest cost per put, which must not regress for the balance win."
+    paper_file fig17 fig17.json "Figure 17 reproduction: (a) version-diff latency vs fraction of differing records (ForkBase POS-Tree diff grows from near-zero; OrpheusDB full-vector compare is flat) and (b) aggregation-sum latency for FB-COL/FB-ROW/OrpheusDB at 25k/50k/100k nominal records (labels are pre-FB_SCALE sizes)."
+    paper_file table3 table3.json "Table 3 reproduction: throughput and mean latency of individual ForkBase ops at 1KB/20KB values, embedded servlet (paper latencies are network-dominated; these are compute-side). Shape under test: Put(primitive) beats Put(chunkable); Get-Meta/Track/Fork are size-independent; Get-Full scales with size."
+    paper_file table4 table4.json "Table 4 reproduction: Put phase breakdown (serialization, deserialization, crypto hash, rolling hash, persistence) for String/Blob at 1KB/20KB. Shape under test: the rolling hash is the dominant extra cost of chunkable Puts; crypto hash and persistence scale ~linearly with size."
+    paper_file chain_gc chain_gc.json "Chainstore scenario (not a paper figure): block append via append_batch, fork churn, follow_parents/iter_range long-history reads, then prune_side_chains under retention on a durable store — the blockchain-workload claim of Sec 2/6.1 measured end to end. prune_compact carries reclaimed_bytes/live_chunks from the in-place GC."
+
+    exit 0
+fi
 
 out="${1:-BENCH_chunking.json}"
 batch_out="${2:-BENCH_map_batch.json}"

@@ -15,6 +15,7 @@
 //! | [`crypto`] | `forkbase-crypto` | SHA-256, rolling hashes, chunking config |
 //! | [`cluster`] | `forkbase-cluster` | distributed-service simulation |
 //! | [`ledger`] | `ledgerlite` | blockchain platform (3 state backends) |
+//! | [`chain`] | `chainstore` | block-store scenario: append/follow/prune on the version DAG |
 //! | [`wiki`] | `wikilite` | multi-versioned wiki engine |
 //! | [`collab`] | `fb-collab` | collaborative analytics on relational data |
 //! | [`rockslite`] | `rockslite` | LSM KV baseline (RocksDB stand-in) |
@@ -44,6 +45,7 @@ pub use forkbase_core as core;
 pub use forkbase_crypto as crypto;
 pub use forkbase_pos as pos;
 
+pub use chainstore as chain;
 pub use fb_collab as collab;
 pub use fb_workload as workload;
 pub use ledgerlite as ledger;
